@@ -1,0 +1,66 @@
+// Ablation A4: the energy-aware decision engine (paper Section VII) vs the
+// naive policies. Always-consolidate falls into the Scenario-1 trap; the
+// model-based policy routes that batch away from consolidation while still
+// harvesting the Scenario-2-style wins.
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace ewc;
+
+struct PolicyResult {
+  double time = 0.0;
+  double energy = 0.0;
+};
+
+PolicyResult run_policy(bench::Harness& h, consolidate::DecisionPolicy policy,
+                        const std::vector<consolidate::WorkloadMix>& mix) {
+  consolidate::BackendOptions options;
+  options.policy = policy;
+  consolidate::ExperimentRunner runner(h.engine, h.training.model, options);
+  const auto r = runner.run_dynamic(mix);
+  return PolicyResult{r.time.seconds(), r.energy.joules()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header("Ablation A4: decision policy",
+                "judicious (model-based) consolidation avoids Scenario-1-"
+                "style losses that always-consolidate incurs");
+
+  struct Case {
+    std::string label;
+    std::vector<consolidate::WorkloadMix> mix;
+  };
+  const std::vector<Case> cases = {
+      {"scenario1 batch (MC+enc)",
+       {{workloads::scenario1_montecarlo(), 1},
+        {workloads::scenario1_encryption(), 1}}},
+      {"scenario2 batch (BS+search)",
+       {{workloads::scenario2_blackscholes(), 1},
+        {workloads::scenario2_search(), 1}}},
+      {"homogeneous enc x9", {{workloads::encryption_12k(), 9}}},
+      {"1E+1M", {{workloads::t78_encryption(), 1},
+                 {workloads::t78_montecarlo(), 1}}},
+  };
+
+  common::TextTable t({"batch", "model t(s)", "always t(s)", "never t(s)",
+                       "model E(J)", "always E(J)", "never E(J)"});
+  for (const auto& c : cases) {
+    const auto model = run_policy(h, consolidate::DecisionPolicy::kModelBased, c.mix);
+    const auto always =
+        run_policy(h, consolidate::DecisionPolicy::kAlwaysConsolidate, c.mix);
+    const auto never =
+        run_policy(h, consolidate::DecisionPolicy::kNeverConsolidate, c.mix);
+    t.add_row({c.label, bench::fmt(model.time, 1), bench::fmt(always.time, 1),
+               bench::fmt(never.time, 1), bench::fmt(model.energy, 0),
+               bench::fmt(always.energy, 0), bench::fmt(never.energy, 0)});
+  }
+  std::cout << t << "\n";
+  std::cout << "model-based should track min(always, never) per batch.\n";
+  return 0;
+}

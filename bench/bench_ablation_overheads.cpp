@@ -1,0 +1,67 @@
+// Ablations A1-A3: the framework's overhead-reduction optimizations
+// (paper Section IV): leader-frontend coordination for homogeneous groups,
+// argument batching, and constant-data reuse. Each is toggled independently
+// on the homogeneous-encryption workload the paper uses to motivate them.
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace ewc;
+
+consolidate::SetupResult run_with(bench::Harness& h,
+                                  const consolidate::Optimizations& opts,
+                                  int n) {
+  consolidate::BackendOptions options;
+  options.optimizations = opts;
+  consolidate::ExperimentRunner runner(h.engine, h.training.model, options);
+  std::vector<consolidate::WorkloadMix> mix{{workloads::encryption_12k(), n}};
+  return runner.run_dynamic(mix);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header("Ablation A1-A3: framework overhead optimizations",
+                "leader election \"reduces severe communication overhead\"; "
+                "argument batching reduces frontend/backend interactions; "
+                "constant reuse uploads AES tables once");
+
+  common::TextTable t({"configuration", "n=3 t(s)", "n=6 t(s)", "n=9 t(s)",
+                       "n=9 E(J)"});
+  auto row = [&](const std::string& label, consolidate::Optimizations opts) {
+    const auto r3 = run_with(h, opts, 3);
+    const auto r6 = run_with(h, opts, 6);
+    const auto r9 = run_with(h, opts, 9);
+    t.add_row({label, bench::fmt(r3.time.seconds(), 2),
+               bench::fmt(r6.time.seconds(), 2),
+               bench::fmt(r9.time.seconds(), 2),
+               bench::fmt(r9.energy.joules(), 0)});
+  };
+
+  consolidate::Optimizations all;
+  row("all optimizations", all);
+
+  consolidate::Optimizations no_leader = all;
+  no_leader.leader_election = false;
+  row("A1: no leader election", no_leader);
+
+  consolidate::Optimizations no_batch = all;
+  no_batch.argument_batching = false;
+  row("A2: no argument batching", no_batch);
+
+  consolidate::Optimizations no_reuse = all;
+  no_reuse.constant_data_reuse = false;
+  row("A3: no constant-data reuse", no_reuse);
+
+  consolidate::Optimizations none;
+  none.leader_election = false;
+  none.argument_batching = false;
+  none.constant_data_reuse = false;
+  row("none (raw framework)", none);
+
+  std::cout << t << "\n";
+  return 0;
+}

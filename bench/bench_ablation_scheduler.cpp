@@ -1,0 +1,64 @@
+// Extension E7 / ablation A5: block-scheduler sensitivity.
+//
+// Section V's type-2 model replays a ROUND-ROBIN dispatch; this ablation
+// measures how much the consolidated results (and the model's accuracy)
+// depend on that assumption by re-running the paper's type-2 scenarios
+// under alternative GigaThread policies.
+#include "bench/bench_common.hpp"
+
+#include "common/stats.hpp"
+#include "perf/consolidation_model.hpp"
+
+int main() {
+  using namespace ewc;
+
+  bench::header("Ablation A5: block-dispatch policy sensitivity",
+                "Section V assumes round-robin dispatch; how fragile is it?");
+
+  struct Case {
+    std::string label;
+    std::vector<std::pair<workloads::InstanceSpec, int>> mix;
+  };
+  const std::vector<Case> cases = {
+      {"scenario1 MC+enc", {{workloads::scenario1_montecarlo(), 1},
+                            {workloads::scenario1_encryption(), 1}}},
+      {"scenario2 BS+search", {{workloads::scenario2_blackscholes(), 1},
+                               {workloads::scenario2_search(), 1}}},
+      {"5E+15M", {{workloads::t78_encryption(), 5},
+                  {workloads::t78_montecarlo(), 15}}},
+  };
+
+  perf::ConsolidationModel model;  // always assumes round-robin
+
+  common::TextTable t({"consolidation", "round-robin (s)", "least-loaded (s)",
+                       "random (s)", "model (s)", "worst model error"});
+  for (const auto& c : cases) {
+    gpusim::LaunchPlan plan;
+    int id = 0;
+    for (const auto& [spec, n] : c.mix) {
+      for (int i = 0; i < n; ++i) {
+        plan.instances.push_back(gpusim::KernelInstance{spec.gpu, id++, ""});
+      }
+    }
+    const auto pred = model.predict(plan).total_time.seconds();
+
+    std::vector<double> times;
+    for (auto policy : {gpusim::DispatchPolicy::kRoundRobin,
+                        gpusim::DispatchPolicy::kLeastLoadedWarps,
+                        gpusim::DispatchPolicy::kRandom}) {
+      auto cfg = gpusim::tesla_c1060();
+      cfg.dispatch_policy = policy;
+      gpusim::FluidEngine engine(cfg);
+      times.push_back(engine.run(plan).total_time.seconds());
+    }
+    double worst = 0.0;
+    for (double m : times) {
+      worst = std::max(worst, common::relative_error(pred, m));
+    }
+    t.add_row({c.label, bench::fmt(times[0], 1), bench::fmt(times[1], 1),
+               bench::fmt(times[2], 1), bench::fmt(pred, 1),
+               bench::fmt(100.0 * worst, 1) + "%"});
+  }
+  std::cout << t << "\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared setup for the paper-reproduction bench harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper: it builds
+// the simulated node, trains the power model exactly as Section VI
+// prescribes, runs the experiment, and prints the same rows/series the paper
+// reports (plus the paper's own numbers where quoted, for comparison).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "consolidate/runner.hpp"
+#include "gpusim/engine.hpp"
+#include "power/trainer.hpp"
+#include "workloads/paper_configs.hpp"
+#include "workloads/rodinia_like.hpp"
+
+namespace ewc::bench {
+
+struct Harness {
+  gpusim::FluidEngine engine;
+  power::TrainingReport training;
+  consolidate::ExperimentRunner runner;
+
+  Harness()
+      : engine(),
+        training(power::ModelTrainer(engine).train(
+            workloads::rodinia_training_kernels())),
+        runner(engine, training.model) {}
+};
+
+inline std::string fmt(double v, int precision = 1) {
+  return common::TextTable::num(v, precision);
+}
+
+inline void header(const std::string& title, const std::string& paper_claim) {
+  std::cout << "==== " << title << " ====\n";
+  if (!paper_claim.empty()) std::cout << "paper: " << paper_claim << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace ewc::bench

@@ -1,0 +1,61 @@
+// Extension E10: the framework on the widened enterprise catalogue.
+//
+// The paper's intro motivates "search, data mining and analytics"; this
+// bench runs the four setups over mixed batches drawn from the full
+// 8-workload catalogue (the paper's five + k-means, SHA-256, compression),
+// showing the consolidation win is not an artifact of the original five.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header("Extension: widened enterprise catalogue",
+                "(beyond the paper's workload set)");
+
+  const auto kmeans = workloads::kmeans_256k();
+  const auto sha = workloads::sha256_64k();
+  const auto comp = workloads::compression_64m();
+  const auto enc = workloads::encryption_12k();
+  const auto srt = workloads::sorting_6k();
+
+  std::cout << "first-principles single-instance profiles:\n";
+  common::TextTable profiles({"workload", "GPU (s)", "CPU (s)", "speedup"});
+  for (const auto& s : {kmeans, sha, comp}) {
+    profiles.add_row({s.name, bench::fmt(s.paper_gpu_seconds, 2),
+                      bench::fmt(s.paper_cpu_seconds, 2),
+                      bench::fmt(s.paper_cpu_seconds / s.paper_gpu_seconds, 2)});
+  }
+  std::cout << profiles << "\n";
+
+  struct Case {
+    std::string label;
+    std::vector<consolidate::WorkloadMix> mix;
+  };
+  const std::vector<Case> cases = {
+      {"6 x kmeans", {{kmeans, 6}}},
+      {"8 x sha256", {{sha, 8}}},
+      {"6 x compression", {{comp, 6}}},
+      {"2kmeans+4sha+2comp", {{kmeans, 2}, {sha, 4}, {comp, 2}}},
+      {"3enc+3sort+3sha", {{enc, 3}, {srt, 3}, {sha, 3}}},
+  };
+
+  common::TextTable t({"batch", "CPU t(s)", "serial t(s)", "dynamic t(s)",
+                       "CPU E(J)", "dynamic E(J)", "energy benefit"});
+  for (const auto& c : cases) {
+    const auto r = h.runner.compare(c.mix);
+    t.add_row({c.label, bench::fmt(r.cpu.time.seconds(), 2),
+               bench::fmt(r.serial_gpu.time.seconds(), 2),
+               bench::fmt(r.dynamic_framework.time.seconds(), 2),
+               bench::fmt(r.cpu.energy.joules(), 0),
+               bench::fmt(r.dynamic_framework.energy.joules(), 0),
+               bench::fmt(r.cpu.energy / r.dynamic_framework.energy, 2) + "x"});
+  }
+  std::cout << t << "\n";
+  std::cout
+      << "note: sha256/compression requests run sub-second, so the framework's\n"
+         "IPC+staging overhead (sunk by decision time) dominates their batches\n"
+         "and the CPU-native deployment wins — the Figure-7 lesson generalizes:\n"
+         "consolidation pays once request service times reach seconds.\n";
+  return 0;
+}

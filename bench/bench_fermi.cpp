@@ -1,0 +1,68 @@
+// Extension E6: process-level consolidation vs Fermi concurrent kernels.
+//
+// The paper (Sections I & IX) argues its cross-process consolidation
+// complements Fermi's same-process concurrent-kernel execution. This bench
+// quantifies that: the same request batch runs as
+//   (a) GT200 + dynamic framework (cross-process, with overheads),
+//   (b) Fermi, serial kernels (one process at a time, no framework),
+//   (c) Fermi, concurrent kernels from ONE merged process (no IPC
+//       overheads — what CUDA 4.0 offers when all requests share a context),
+//   (d) Fermi + dynamic framework (consolidation still wins when requests
+//       come from different processes, which Fermi alone cannot merge).
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ewc;
+
+  bench::header("Extension: GT200 framework vs Fermi concurrent kernels",
+                "paper IX: \"our process-level consolidation ... can "
+                "complement future GPU architectures\"");
+
+  gpusim::FluidEngine gt200;
+  gpusim::FluidEngine fermi(gpusim::fermi_c2050(), gpusim::c2050_energy());
+
+  power::ModelTrainer gt200_trainer(gt200);
+  const auto gt200_model =
+      gt200_trainer.train(workloads::rodinia_training_kernels()).model;
+  power::ModelTrainer fermi_trainer(fermi);
+  const auto fermi_model =
+      fermi_trainer.train(workloads::rodinia_training_kernels()).model;
+
+  consolidate::ExperimentRunner gt200_runner(gt200, gt200_model);
+  consolidate::ExperimentRunner fermi_runner(fermi, fermi_model);
+
+  struct Case {
+    std::string label;
+    std::vector<consolidate::WorkloadMix> mix;
+  };
+  const std::vector<Case> cases = {
+      {"9 x encryption", {{workloads::encryption_12k(), 9}}},
+      {"1S+10B", {{workloads::t56_search(), 1},
+                  {workloads::t56_blackscholes(), 10}}},
+      {"3E+3M", {{workloads::t78_encryption(), 3},
+                 {workloads::t78_montecarlo(), 3}}},
+  };
+
+  common::TextTable t({"batch", "GT200+framework t(s)", "Fermi serial t(s)",
+                       "Fermi concurrent t(s)", "Fermi+framework t(s)",
+                       "Fermi+framework E(J)"});
+  for (const auto& c : cases) {
+    const auto a = gt200_runner.run_dynamic(c.mix);
+    const auto b = fermi_runner.run_serial(c.mix);
+    // Concurrent kernels from one context = a manual consolidated launch
+    // with no framework overhead.
+    const auto conc = fermi_runner.run_manual(c.mix);
+    const auto d = fermi_runner.run_dynamic(c.mix);
+    t.add_row({c.label, bench::fmt(a.time.seconds(), 1),
+               bench::fmt(b.time.seconds(), 1),
+               bench::fmt(conc.time.seconds(), 1),
+               bench::fmt(d.time.seconds(), 1),
+               bench::fmt(d.energy.joules(), 0)});
+  }
+  std::cout << t << "\n";
+  std::cout << "Fermi's concurrent kernels match manual consolidation, but "
+               "only within one process; cross-process batches still need "
+               "the framework, whose overheads stay small next to the win "
+               "over serial execution.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 1: "Benefit with consolidating workloads" — total execution time
+// and total energy for 1..12 encryption (12 KB) instances under three
+// setups: multicore CPU, serial GPU, and consolidated GPU.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header(
+      "Figure 1: consolidating encryption instances (12 KB each)",
+      "best case 9 instances: 68% less time, 29% energy savings vs CPU; "
+      "single GPU instance 16% slower & 1.5x energy of CPU");
+
+  const auto spec = workloads::encryption_12k();
+  common::TextTable t({"instances", "CPU t(s)", "serial t(s)", "consol t(s)",
+                       "CPU E(J)", "serial E(J)", "consol E(J)",
+                       "t vs CPU", "E vs CPU"});
+  for (int n = 1; n <= 12; ++n) {
+    std::vector<consolidate::WorkloadMix> mix{{spec, n}};
+    const auto cpu = h.runner.run_cpu(mix);
+    const auto serial = h.runner.run_serial(mix);
+    const auto consol = h.runner.run_manual(mix);
+    t.add_row({std::to_string(n), bench::fmt(cpu.time.seconds(), 2),
+               bench::fmt(serial.time.seconds(), 2),
+               bench::fmt(consol.time.seconds(), 2),
+               bench::fmt(cpu.energy.joules(), 0),
+               bench::fmt(serial.energy.joules(), 0),
+               bench::fmt(consol.energy.joules(), 0),
+               bench::fmt(100.0 * (1.0 - consol.time / cpu.time), 0) + "%",
+               bench::fmt(100.0 * (1.0 - consol.energy / cpu.energy), 0) + "%"});
+  }
+  std::cout << t << "\n";
+  return 0;
+}

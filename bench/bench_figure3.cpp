@@ -1,0 +1,71 @@
+// Figure 3: execution-time prediction for TYPE-1 consolidated workloads
+// (at most one thread block per SM), predicted vs measured.
+#include "bench/bench_common.hpp"
+
+#include "common/stats.hpp"
+#include "perf/consolidation_model.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+  perf::ConsolidationModel model(h.engine.device());
+
+  bench::header("Figure 3: type-1 consolidation time prediction",
+                "the extended model \"is accurate\" (bandwidth sharing)");
+
+  const auto enc = workloads::encryption_12k();
+  const auto sort = workloads::sorting_6k();
+  const auto search = workloads::search_10k();
+  const auto bs = workloads::t56_blackscholes();
+  const auto mc = workloads::t78_montecarlo();
+
+  struct Case {
+    std::string label;
+    std::vector<std::pair<const workloads::InstanceSpec*, int>> mix;
+  };
+  std::vector<Case> cases = {
+      {"3 x enc", {{&enc, 3}}},
+      {"6 x enc", {{&enc, 6}}},
+      {"9 x enc", {{&enc, 9}}},
+      {"enc+sort", {{&enc, 1}, {&sort, 1}}},
+      {"2enc+2sort", {{&enc, 2}, {&sort, 2}}},
+      {"search+5bs", {{&search, 1}, {&bs, 5}}},
+      {"sort+mc", {{&sort, 1}, {&mc, 1}}},
+      {"enc+search+bs", {{&enc, 1}, {&search, 1}, {&bs, 1}}},
+      {"3sort+3mc", {{&sort, 3}, {&mc, 3}}},
+      {"2search+2bs", {{&search, 2}, {&bs, 2}}},
+  };
+
+  common::TextTable t(
+      {"consolidation", "blocks", "measured (s)", "predicted (s)", "error"});
+  std::vector<double> pred, meas;
+  for (const auto& c : cases) {
+    gpusim::LaunchPlan plan;
+    int id = 0;
+    for (const auto& [spec, count] : c.mix) {
+      for (int i = 0; i < count; ++i) {
+        plan.instances.push_back(gpusim::KernelInstance{spec->gpu, id++, ""});
+      }
+    }
+    if (model.classify(plan) != perf::ConsolidationType::kType1) {
+      std::cout << "skipping " << c.label << ": not type 1\n";
+      continue;
+    }
+    const auto run = h.engine.run(plan);
+    const auto p = model.predict(plan);
+    pred.push_back(p.total_time.seconds());
+    meas.push_back(run.total_time.seconds());
+    t.add_row({c.label, std::to_string(plan.total_blocks()),
+               bench::fmt(run.total_time.seconds(), 2),
+               bench::fmt(p.total_time.seconds(), 2),
+               bench::fmt(100.0 * common::relative_error(
+                              p.total_time.seconds(), run.total_time.seconds()),
+                          1) + "%"});
+  }
+  std::cout << t << "\nmean error: "
+            << bench::fmt(100.0 * common::mean_relative_error(pred, meas), 1)
+            << "%  max error: "
+            << bench::fmt(100.0 * common::max_relative_error(pred, meas), 1)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 4: execution-time prediction for TYPE-2 consolidated workloads
+// (more than one thread block per SM) — the paper's two scenarios plus
+// further type-2 mixes. Paper: prediction error below 12%.
+#include "bench/bench_common.hpp"
+
+#include "common/stats.hpp"
+#include "perf/consolidation_model.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+  perf::ConsolidationModel model(h.engine.device());
+
+  bench::header("Figure 4: type-2 consolidation time prediction",
+                "prediction error less than 12%");
+
+  const auto s1mc = workloads::scenario1_montecarlo();
+  const auto s1e = workloads::scenario1_encryption();
+  const auto s2bs = workloads::scenario2_blackscholes();
+  const auto s2s = workloads::scenario2_search();
+  const auto e = workloads::t78_encryption();
+  const auto m = workloads::t78_montecarlo();
+  const auto enc = workloads::encryption_12k();
+
+  struct Case {
+    std::string label;
+    std::vector<std::pair<const workloads::InstanceSpec*, int>> mix;
+  };
+  std::vector<Case> cases = {
+      {"scenario1: MC+enc", {{&s1mc, 1}, {&s1e, 1}}},
+      {"scenario2: BS+search", {{&s2bs, 1}, {&s2s, 1}}},
+      {"2E+1M", {{&e, 2}, {&m, 1}}},
+      {"1E+20M", {{&e, 1}, {&m, 20}}},
+      {"12 x enc(12K)", {{&enc, 12}}},
+      {"2 x scenario2-BS", {{&s2bs, 2}}},
+  };
+
+  common::TextTable t({"consolidation", "blocks", "critical SM blocks",
+                       "measured (s)", "predicted (s)", "error"});
+  std::vector<double> pred, meas;
+  for (const auto& c : cases) {
+    gpusim::LaunchPlan plan;
+    int id = 0;
+    for (const auto& [spec, count] : c.mix) {
+      for (int i = 0; i < count; ++i) {
+        plan.instances.push_back(gpusim::KernelInstance{spec->gpu, id++, ""});
+      }
+    }
+    if (model.classify(plan) != perf::ConsolidationType::kType2) {
+      std::cout << "skipping " << c.label << ": not type 2\n";
+      continue;
+    }
+    const auto run = h.engine.run(plan);
+    const auto p = model.predict(plan);
+    pred.push_back(p.total_time.seconds());
+    meas.push_back(run.total_time.seconds());
+    t.add_row({c.label, std::to_string(plan.total_blocks()),
+               std::to_string(p.critical_sm_blocks.size()),
+               bench::fmt(run.total_time.seconds(), 2),
+               bench::fmt(p.total_time.seconds(), 2),
+               bench::fmt(100.0 * common::relative_error(
+                              p.total_time.seconds(), run.total_time.seconds()),
+                          1) + "%"});
+  }
+  std::cout << t << "\nmean error: "
+            << bench::fmt(100.0 * common::mean_relative_error(pred, meas), 1)
+            << "%  max error: "
+            << bench::fmt(100.0 * common::max_relative_error(pred, meas), 1)
+            << "%  (paper bound: 12%)\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 5: predicted vs measured average power for 14 consolidated
+// workload variations. Paper: error < 10% everywhere, 6.4% on average.
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "perf/consolidation_model.hpp"
+#include "power/meter.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+  perf::ConsolidationModel perf_model(h.engine.device());
+  power::PowerMeter meter(1.0, 0.01, 777);
+
+  bench::header("Figure 5: average power prediction, 14 consolidations",
+                "error < 10% on all variations, 6.4% on average");
+
+  const auto enc = workloads::encryption_12k();
+  const auto srt = workloads::sorting_6k();
+  const auto s = workloads::t56_search();
+  const auto bs = workloads::t56_blackscholes();
+  const auto e = workloads::t78_encryption();
+  const auto m = workloads::t78_montecarlo();
+
+  struct Case {
+    std::string label;
+    std::vector<std::pair<const workloads::InstanceSpec*, int>> mix;
+  };
+  const std::vector<Case> cases = {
+      {"enc x3", {{&enc, 3}}},
+      {"enc x6", {{&enc, 6}}},
+      {"enc x9", {{&enc, 9}}},
+      {"sort x3", {{&srt, 3}}},
+      {"sort x5", {{&srt, 5}}},
+      {"1S+1B", {{&s, 1}, {&bs, 1}}},
+      {"1S+2B", {{&s, 1}, {&bs, 2}}},
+      {"1E+1M", {{&e, 1}, {&m, 1}}},
+      {"3enc+2sort", {{&enc, 3}, {&srt, 2}}},
+      {"2S+2B", {{&s, 2}, {&bs, 2}}},
+      {"2E+1M", {{&e, 2}, {&m, 1}}},
+      {"2sort+1B", {{&srt, 2}, {&bs, 1}}},
+      {"2enc+1S", {{&enc, 2}, {&s, 1}}},
+      {"1M+1B", {{&m, 1}, {&bs, 1}}},
+  };
+
+  common::TextTable t({"consolidation", "measured (W)", "predicted (W)",
+                       "error"});
+  std::vector<double> errors;
+  for (const auto& c : cases) {
+    gpusim::LaunchPlan plan;
+    int id = 0;
+    for (const auto& [spec, count] : c.mix) {
+      for (int i = 0; i < count; ++i) {
+        plan.instances.push_back(gpusim::KernelInstance{spec->gpu, id++, ""});
+      }
+    }
+    const auto run = h.engine.run(plan);
+    const double measured =
+        meter.average_power(run, power::MeterWindow::kKernelOnly).watts();
+    const auto timing = perf_model.predict(plan);
+    const auto pw = h.training.model.predict(h.engine.device(), plan, timing);
+    const double predicted =
+        h.training.model.idle_power().watts() + pw.gpu_power.watts();
+    errors.push_back(common::relative_error(predicted, measured));
+    t.add_row({c.label, bench::fmt(measured, 1), bench::fmt(predicted, 1),
+               bench::fmt(100.0 * errors.back(), 1) + "%"});
+  }
+  std::cout << t << "\nmean error: " << bench::fmt(100.0 * common::mean(errors), 1)
+            << "%  (paper: 6.4%)   max error: "
+            << bench::fmt(100.0 * *std::max_element(errors.begin(), errors.end()), 1)
+            << "%  (paper bound: 10%)\n";
+  return 0;
+}

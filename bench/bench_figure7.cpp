@@ -1,0 +1,48 @@
+// Figure 7: multiple encryption (12 KB) instances under the four setups:
+// CPU, serial GPU, manual consolidation, dynamic framework.
+// Paper: up to 29% energy savings and 68% time savings vs CPU; overheads
+// become overwhelming beyond ~9 instances.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header("Figure 7: encryption instances, four setups",
+                "<=29% energy / <=68% time savings vs CPU; overheads "
+                "overwhelm past ~9 instances");
+
+  const auto spec = workloads::encryption_12k();
+  common::TextTable t({"n", "CPU t(s)", "serial t(s)", "manual t(s)",
+                       "dynamic t(s)", "CPU E(J)", "serial E(J)",
+                       "manual E(J)", "dynamic E(J)"});
+  for (int n : {1, 2, 3, 5, 7, 9, 10, 12}) {
+    std::vector<consolidate::WorkloadMix> mix{{spec, n}};
+    const auto r = h.runner.compare(mix);
+    t.add_row({std::to_string(n), bench::fmt(r.cpu.time.seconds(), 2),
+               bench::fmt(r.serial_gpu.time.seconds(), 2),
+               bench::fmt(r.manual.time.seconds(), 2),
+               bench::fmt(r.dynamic_framework.time.seconds(), 2),
+               bench::fmt(r.cpu.energy.joules(), 0),
+               bench::fmt(r.serial_gpu.energy.joules(), 0),
+               bench::fmt(r.manual.energy.joules(), 0),
+               bench::fmt(r.dynamic_framework.energy.joules(), 0)});
+  }
+  std::cout << t << "\n";
+
+  // Where does the dynamic framework stop beating the CPU? (below ~3
+  // instances the decision engine routes the batch to the CPU itself, so the
+  // scan starts where consolidation is actually chosen)
+  for (int n = 3; n <= 24; ++n) {
+    std::vector<consolidate::WorkloadMix> mix{{spec, n}};
+    const auto cpu = h.runner.run_cpu(mix);
+    const auto dyn = h.runner.run_dynamic(mix);
+    if (dyn.time.seconds() >= cpu.time.seconds()) {
+      std::cout << "dynamic consolidation stops paying off at n = " << n
+                << " (paper: ~9)\n";
+      return 0;
+    }
+  }
+  std::cout << "dynamic consolidation still beats the CPU at n = 24\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 8: multiple sorting (6 K elements) instances under the four setups.
+// Paper: consolidation benefit grows from 1.4x to 2x vs CPU at 9 instances;
+// manual consolidation time stays almost constant; serial loses to CPU.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header("Figure 8: sorting instances, four setups",
+                "1.4x -> 2x benefit vs CPU (at 9 instances); manual "
+                "consolidation time ~constant; serial GPU loses to CPU");
+
+  const auto spec = workloads::sorting_6k();
+  common::TextTable t({"n", "CPU t(s)", "serial t(s)", "manual t(s)",
+                       "dynamic t(s)", "CPU E(J)", "dynamic E(J)",
+                       "speedup vs CPU"});
+  for (int n = 1; n <= 9; ++n) {
+    std::vector<consolidate::WorkloadMix> mix{{spec, n}};
+    const auto r = h.runner.compare(mix);
+    t.add_row({std::to_string(n), bench::fmt(r.cpu.time.seconds(), 2),
+               bench::fmt(r.serial_gpu.time.seconds(), 2),
+               bench::fmt(r.manual.time.seconds(), 2),
+               bench::fmt(r.dynamic_framework.time.seconds(), 2),
+               bench::fmt(r.cpu.energy.joules(), 0),
+               bench::fmt(r.dynamic_framework.energy.joules(), 0),
+               bench::fmt(r.cpu.time / r.dynamic_framework.time, 2) + "x"});
+  }
+  std::cout << t << "\n";
+  return 0;
+}

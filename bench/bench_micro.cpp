@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark): throughput of the simulator and the
+// prediction models themselves. The decision engine runs in the backend's
+// request path, so its cost must stay negligible next to the workloads
+// (paper Section VII: "the overhead of calculating performance and energy
+// benefits is low").
+#include <benchmark/benchmark.h>
+
+#include "cpusim/engine.hpp"
+#include "gpusim/engine.hpp"
+#include "perf/consolidation_model.hpp"
+#include "power/event_rates.hpp"
+#include "power/trainer.hpp"
+#include "workloads/paper_configs.hpp"
+#include "workloads/rodinia_like.hpp"
+
+namespace {
+
+using namespace ewc;
+
+gpusim::LaunchPlan make_plan(int instances) {
+  static const auto spec = workloads::encryption_12k();
+  gpusim::LaunchPlan plan;
+  for (int i = 0; i < instances; ++i) {
+    plan.instances.push_back(gpusim::KernelInstance{spec.gpu, i, ""});
+  }
+  return plan;
+}
+
+void BM_EngineRun(benchmark::State& state) {
+  gpusim::FluidEngine engine;
+  const auto plan = make_plan(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(plan));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineRun)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_PerfPredict(benchmark::State& state) {
+  perf::ConsolidationModel model;
+  const auto plan = make_plan(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(plan));
+  }
+}
+BENCHMARK(BM_PerfPredict)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_PowerPredict(benchmark::State& state) {
+  gpusim::FluidEngine engine;
+  power::ModelTrainer trainer(engine);
+  const auto report = trainer.train(workloads::rodinia_training_kernels());
+  perf::ConsolidationModel perf_model;
+  const auto plan = make_plan(8);
+  const auto timing = perf_model.predict(plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        report.model.predict(engine.device(), plan, timing));
+  }
+}
+BENCHMARK(BM_PowerPredict);
+
+void BM_PowerTraining(benchmark::State& state) {
+  gpusim::FluidEngine engine;
+  const auto kernels = workloads::rodinia_training_kernels();
+  for (auto _ : state) {
+    power::ModelTrainer trainer(engine);
+    benchmark::DoNotOptimize(trainer.train(kernels));
+  }
+}
+BENCHMARK(BM_PowerTraining);
+
+void BM_CpuEngine(benchmark::State& state) {
+  cpusim::CpuEngine cpu;
+  std::vector<cpusim::CpuTask> tasks;
+  for (int i = 0; i < state.range(0); ++i) {
+    cpusim::CpuTask t;
+    t.name = "t";
+    t.core_seconds = 1.0 + 0.1 * i;
+    t.threads = 1 + i % 8;
+    t.cache_sensitivity = 0.4;
+    t.instance_id = i;
+    tasks.push_back(t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.run(tasks));
+  }
+}
+BENCHMARK(BM_CpuEngine)->Arg(4)->Arg(32);
+
+void BM_EventRateExtraction(benchmark::State& state) {
+  gpusim::DeviceConfig dev;
+  const auto plan = make_plan(16);
+  for (auto _ : state) {
+    auto totals = power::plan_event_totals(dev, plan);
+    benchmark::DoNotOptimize(power::virtual_sm_rates(dev, totals, 1e9));
+  }
+}
+BENCHMARK(BM_EventRateExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

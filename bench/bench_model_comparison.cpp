@@ -1,0 +1,53 @@
+// Extension E9: three estimates per kernel — the Hong-Kim ISCA'09 closed
+// form (the model the paper extends, ref [8]), this repository's extended
+// static model (Section V), and the dynamic simulator (the "measurement").
+#include "bench/bench_common.hpp"
+
+#include "common/stats.hpp"
+#include "perf/analytic.hpp"
+#include "perf/hong_kim.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+  perf::AnalyticModel model(h.engine.device());
+
+  bench::header("Extension: Hong-Kim [8] vs extended model vs simulator",
+                "Section V builds on [8]; this quantifies what the "
+                "extension buys on single kernels");
+
+  struct Case {
+    std::string label;
+    gpusim::KernelDesc desc;
+  };
+  std::vector<Case> cases;
+  for (const auto& spec :
+       {workloads::encryption_12k(), workloads::sorting_6k(),
+        workloads::search_10k(), workloads::t56_blackscholes(),
+        workloads::t78_montecarlo(), workloads::scenario1_montecarlo(),
+        workloads::scenario2_search()}) {
+    cases.push_back({spec.name, spec.gpu});
+  }
+
+  common::TextTable t({"kernel", "simulated (s)", "extended model (s)",
+                       "Hong-Kim (s)", "HK case", "ext err", "HK err"});
+  std::vector<double> ext_err, hk_err;
+  for (const auto& c : cases) {
+    gpusim::LaunchPlan plan;
+    plan.instances.push_back(gpusim::KernelInstance{c.desc, 0, ""});
+    const double sim = h.engine.run(plan).kernel_time.seconds();
+    const double ext = model.predict(c.desc).kernel_time.seconds();
+    const auto hk = perf::hong_kim_cycles(h.engine.device(), c.desc);
+    const double hks = hk.time(h.engine.device()).seconds();
+    ext_err.push_back(common::relative_error(ext, sim));
+    hk_err.push_back(common::relative_error(hks, sim));
+    t.add_row({c.label, bench::fmt(sim, 2), bench::fmt(ext, 2),
+               bench::fmt(hks, 2), perf::hong_kim_case_name(hk.which_case),
+               bench::fmt(100.0 * ext_err.back(), 1) + "%",
+               bench::fmt(100.0 * hk_err.back(), 1) + "%"});
+  }
+  std::cout << t << "\nmean error: extended "
+            << bench::fmt(100.0 * common::mean(ext_err), 1) << "%, Hong-Kim "
+            << bench::fmt(100.0 * common::mean(hk_err), 1) << "%\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension E5: multi-GPU consolidation scaling.
+//
+// The paper's batching threshold is "10 x the number of available GPUs" but
+// its testbed has one C1060. This bench completes the picture: a fixed
+// request batch is consolidated across 1..4 GPUs and the node-level
+// makespan / energy reported, for a bandwidth-saturated batch (scales with
+// GPUs) and a latency-bound batch (one GPU already absorbs it).
+#include "bench/bench_common.hpp"
+
+#include "consolidate/multi_gpu.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header("Extension: multi-GPU consolidation scaling",
+                "(no paper baseline; threshold text implies multi-GPU nodes)");
+
+  struct Case {
+    std::string label;
+    std::vector<gpusim::KernelInstance> instances;
+  };
+  std::vector<Case> cases;
+  {
+    Case c;
+    c.label = "8 x scenario1-MC (DRAM-saturated)";
+    c.instances = workloads::gpu_instances(workloads::scenario1_montecarlo(), 8);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.label = "2E+6M (latency-bound)";
+    c.instances = workloads::gpu_instances(workloads::t78_encryption(), 2);
+    auto m = workloads::gpu_instances(workloads::t78_montecarlo(), 6, 2);
+    c.instances.insert(c.instances.end(), m.begin(), m.end());
+    cases.push_back(std::move(c));
+  }
+
+  for (const auto& c : cases) {
+    std::cout << c.label << ":\n";
+    common::TextTable t({"GPUs", "makespan (s)", "energy (J)",
+                         "speedup vs 1", "energy vs 1"});
+    double t1 = 0.0, e1 = 0.0;
+    for (int gpus = 1; gpus <= 4; ++gpus) {
+      consolidate::MultiGpuScheduler farm(h.engine, gpus);
+      const auto r = farm.run(c.instances);
+      if (gpus == 1) {
+        t1 = r.makespan.seconds();
+        e1 = r.energy.joules();
+      }
+      t.add_row({std::to_string(gpus), bench::fmt(r.makespan.seconds(), 1),
+                 bench::fmt(r.energy.joules(), 0),
+                 bench::fmt(t1 / r.makespan.seconds(), 2) + "x",
+                 bench::fmt(r.energy.joules() / e1, 2) + "x"});
+    }
+    std::cout << t << "\n";
+  }
+  return 0;
+}

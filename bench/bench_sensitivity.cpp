@@ -1,0 +1,113 @@
+// Extension E11: device-model sensitivity analysis.
+//
+// The qualitative conclusions (Scenario 1 harmful, Scenario 2 beneficial,
+// homogeneous encryption consolidation ~free) must not hinge on the exact
+// calibrated constants. This bench perturbs the key device parameters —
+// DRAM bandwidth, memory latency, and the kernel-mixing penalty — by ±20%
+// (penalty: 0 to 2x) and reports whether each conclusion survives.
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace ewc;
+
+struct Verdicts {
+  bool scenario1_harmful = false;
+  bool scenario2_beneficial = false;
+  bool encryption_flat = false;
+};
+
+Verdicts evaluate(const gpusim::DeviceConfig& dev) {
+  gpusim::FluidEngine engine(dev);
+  auto run_total = [&](std::vector<gpusim::KernelInstance> insts) {
+    gpusim::LaunchPlan plan;
+    plan.instances = std::move(insts);
+    return engine.run(plan).total_time.seconds();
+  };
+  auto one = [&](const workloads::InstanceSpec& s, int id = 0) {
+    return gpusim::KernelInstance{s.gpu, id, ""};
+  };
+
+  Verdicts v;
+  {
+    const auto mc = workloads::scenario1_montecarlo();
+    const auto enc = workloads::scenario1_encryption();
+    const double serial = run_total({one(mc)}) + run_total({one(enc)});
+    const double consolidated = run_total({one(mc), one(enc, 1)});
+    v.scenario1_harmful = consolidated > serial;
+  }
+  {
+    const auto bs = workloads::scenario2_blackscholes();
+    const auto s = workloads::scenario2_search();
+    const double serial = run_total({one(bs)}) + run_total({one(s)});
+    const double consolidated = run_total({one(bs), one(s, 1)});
+    v.scenario2_beneficial = consolidated < 0.95 * serial;
+  }
+  {
+    const auto enc = workloads::encryption_12k();
+    const double t1 = run_total({one(enc)});
+    std::vector<gpusim::KernelInstance> nine;
+    for (int i = 0; i < 9; ++i) nine.push_back(one(enc, i));
+    v.encryption_flat = run_total(std::move(nine)) < 1.3 * t1;
+  }
+  return v;
+}
+
+const char* mark(bool b) { return b ? "yes" : "NO"; }
+
+}  // namespace
+
+int main() {
+  using namespace ewc;
+
+  bench::header("Extension: device-parameter sensitivity",
+                "do the Table 2/3 and Figure 1 conclusions survive +/-20% "
+                "perturbations of the calibrated constants?");
+
+  struct Case {
+    std::string label;
+    gpusim::DeviceConfig dev;
+  };
+  std::vector<Case> cases;
+  auto base = gpusim::tesla_c1060();
+  cases.push_back({"baseline (C1060)", base});
+  for (double f : {0.8, 1.2}) {
+    auto d = base;
+    d.dram_bandwidth = common::Bandwidth::from_bytes_per_second(
+        base.dram_bandwidth.bytes_per_second() * f);
+    cases.push_back({"bandwidth x" + common::TextTable::num(f, 1), d});
+  }
+  for (double f : {0.8, 1.2}) {
+    auto d = base;
+    d.dram_latency_cycles = base.dram_latency_cycles * f;
+    cases.push_back({"latency x" + common::TextTable::num(f, 1), d});
+  }
+  for (double p : {0.0, 0.12}) {
+    auto d = base;
+    d.mixing_penalty_per_kernel = p;
+    cases.push_back({"mixing penalty " + common::TextTable::num(p, 2), d});
+  }
+  {
+    auto d = base;
+    d.memory_level_parallelism = 8.0;
+    cases.push_back({"MLP 6 -> 8", d});
+  }
+
+  common::TextTable t({"perturbation", "scenario1 harmful", "scenario2 wins",
+                       "9x enc ~flat"});
+  for (const auto& c : cases) {
+    const auto v = evaluate(c.dev);
+    t.add_row({c.label, mark(v.scenario1_harmful),
+               mark(v.scenario2_beneficial), mark(v.encryption_flat)});
+  }
+  std::cout << t << "\n";
+  std::cout
+      << "reading the flips: Scenario 1's HARM requires the two kernels to "
+         "saturate DRAM — more bandwidth (or less latency pressure) "
+         "un-saturates them and the loss shrinks to 'no benefit'; removing "
+         "the row-locality mixing penalty does the same, identifying it as "
+         "the harm mechanism. The flat-encryption property fails exactly "
+         "when 27 blocks' demand outgrows the (reduced) bandwidth. Scenario "
+         "2's win survives every perturbation.\n";
+  return 0;
+}

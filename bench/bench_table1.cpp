@@ -1,0 +1,34 @@
+// Table 1: "Poor GPU speedup over multicore CPU" — the six enterprise
+// workloads at enterprise request sizes, single instance each.
+#include "bench/bench_common.hpp"
+
+#include "cpusim/engine.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+  cpusim::CpuEngine cpu;
+
+  bench::header("Table 1: GPU speedup over multicore CPU (single instance)",
+                "speedups 0.84 / 0.15 / 1.45 / 0.48 / 1.68 / 7.0");
+
+  const double paper_speedup[] = {0.84, 0.15, 1.45, 0.48, 1.68, 7.0};
+  common::TextTable t({"workload", "blocks", "thr/blk", "CPU (s)", "GPU (s)",
+                       "speedup", "paper"});
+  auto specs = workloads::table1_specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    gpusim::LaunchPlan plan;
+    plan.instances.push_back(gpusim::KernelInstance{spec.gpu, 0, "user"});
+    const auto gpu = h.engine.run(plan);
+    const auto host = cpu.run({spec.cpu});
+    t.add_row({spec.name, std::to_string(spec.gpu.num_blocks),
+               std::to_string(spec.gpu.threads_per_block),
+               bench::fmt(host.makespan.seconds(), 2),
+               bench::fmt(gpu.total_time.seconds(), 2),
+               bench::fmt(host.makespan.seconds() / gpu.total_time.seconds(), 2),
+               bench::fmt(paper_speedup[i], 2)});
+  }
+  std::cout << t << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Tables 2 & 3: the two motivating scenarios (Section III).
+//   Scenario 1 (Table 2): MonteCarlo (45 blk, memory-bound variant) +
+//     encryption (15 blk) — consolidation is HARMFUL.
+//   Scenario 2 (Table 3): BlackScholes (45 blk) + search (15 blk) —
+//     consolidation is BENEFICIAL.
+#include "bench/bench_common.hpp"
+
+#include "power/meter.hpp"
+
+namespace {
+
+using namespace ewc;
+
+void run_scenario(bench::Harness& h, const char* title,
+                  const workloads::InstanceSpec& a,
+                  const workloads::InstanceSpec& b, const double paper[3][2]) {
+  common::TextTable t({"workload", "time (s)", "energy (kJ)",
+                       "paper t (s)", "paper E (kJ)"});
+  auto run_one = [&](const workloads::InstanceSpec& s) {
+    gpusim::LaunchPlan p;
+    p.instances.push_back(gpusim::KernelInstance{s.gpu, 0, "user"});
+    return h.engine.run(p);
+  };
+  const auto ra = run_one(a);
+  const auto rb = run_one(b);
+  gpusim::LaunchPlan both;
+  both.instances.push_back(gpusim::KernelInstance{a.gpu, 0, "user-a"});
+  both.instances.push_back(gpusim::KernelInstance{b.gpu, 1, "user-b"});
+  const auto rab = h.engine.run(both);
+
+  auto row = [&](const std::string& name, const gpusim::RunResult& r,
+                 const double p[2]) {
+    t.add_row({name, bench::fmt(r.total_time.seconds(), 1),
+               bench::fmt(r.system_energy.kilojoules(), 2), bench::fmt(p[0], 1),
+               bench::fmt(p[1], 2)});
+  };
+  row("single " + a.name, ra, paper[0]);
+  row("single " + b.name, rb, paper[1]);
+  row(a.name + "+" + b.name, rab, paper[2]);
+  std::cout << title << "\n" << t;
+  const double sum_t = ra.total_time.seconds() + rb.total_time.seconds();
+  const double sum_e =
+      ra.system_energy.kilojoules() + rb.system_energy.kilojoules();
+  std::cout << "consolidated vs serial sum: time " << bench::fmt(sum_t, 1)
+            << " -> " << bench::fmt(rab.total_time.seconds(), 1) << " s, energy "
+            << bench::fmt(sum_e, 2) << " -> "
+            << bench::fmt(rab.system_energy.kilojoules(), 2) << " kJ ("
+            << (rab.total_time.seconds() > sum_t ? "HARMFUL" : "beneficial")
+            << ")\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::Harness h;
+  bench::header("Tables 2 & 3: when consolidation helps and when it hurts",
+                "Table 2: 62.4/19.5 -> 84.6 s (harmful). "
+                "Table 3: 26.4/49.2 -> 58.7 s (beneficial)");
+
+  const double paper2[3][2] = {{62.4, 25.6}, {19.5, 7.03}, {84.6, 33.5}};
+  run_scenario(h, "Scenario 1 (Table 2): MC + encryption",
+               workloads::scenario1_montecarlo(),
+               workloads::scenario1_encryption(), paper2);
+
+  const double paper3[3][2] = {{26.4, 12.2}, {49.2, 19.2}, {58.7, 26.7}};
+  run_scenario(h, "Scenario 2 (Table 3): BlackScholes + search",
+               workloads::scenario2_blackscholes(),
+               workloads::scenario2_search(), paper3);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Tables 5 & 6: heterogeneous Search (S) + BlackScholes (B) mixes under the
+// four setups — execution time (Table 5) and total energy (Table 6).
+// Paper best case (1S+20B): 9.3x speedup, 9.9x energy savings vs CPU.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header(
+      "Tables 5 & 6: Search + BlackScholes mixes",
+      "paper times (s): 1S+1B 60.3/36.6/38.1/69.4, 1S+10B 218.4/37.4/40.2/377.2,"
+      " 2S+10B 220.5/38.1/41.1/412.5, 1S+20B 401.7/38.4/43.4/719.2");
+
+  const auto s = workloads::t56_search();
+  const auto b = workloads::t56_blackscholes();
+  struct Row {
+    std::string label;
+    int ns, nb;
+  };
+  const std::vector<Row> rows = {
+      {"1S+1B", 1, 1}, {"1S+10B", 1, 10}, {"2S+10B", 2, 10}, {"1S+20B", 1, 20}};
+
+  common::TextTable time_table(
+      {"mix", "CPU (s)", "Manual (s)", "Dynamic (s)", "Serial (s)"});
+  common::TextTable energy_table(
+      {"mix", "CPU (J)", "Manual (J)", "Dynamic (J)", "Serial (J)"});
+  double best_speedup = 0.0, best_energy = 0.0;
+  for (const auto& row : rows) {
+    std::vector<consolidate::WorkloadMix> mix{{s, row.ns}, {b, row.nb}};
+    const auto r = h.runner.compare(mix);
+    time_table.add_row({row.label, bench::fmt(r.cpu.time.seconds(), 1),
+                        bench::fmt(r.manual.time.seconds(), 1),
+                        bench::fmt(r.dynamic_framework.time.seconds(), 1),
+                        bench::fmt(r.serial_gpu.time.seconds(), 1)});
+    energy_table.add_row({row.label, bench::fmt(r.cpu.energy.joules(), 0),
+                          bench::fmt(r.manual.energy.joules(), 0),
+                          bench::fmt(r.dynamic_framework.energy.joules(), 0),
+                          bench::fmt(r.serial_gpu.energy.joules(), 0)});
+    best_speedup = std::max(best_speedup, r.cpu.time / r.dynamic_framework.time);
+    best_energy =
+        std::max(best_energy, r.cpu.energy / r.dynamic_framework.energy);
+  }
+  std::cout << "Table 5 (execution time):\n" << time_table << "\n";
+  std::cout << "Table 6 (total energy):\n" << energy_table << "\n";
+  std::cout << "best dynamic-vs-CPU speedup: " << bench::fmt(best_speedup, 1)
+            << "x (paper: 9.3x), energy savings: " << bench::fmt(best_energy, 1)
+            << "x (paper: 9.9x)\n";
+  return 0;
+}

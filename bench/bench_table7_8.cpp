@@ -1,0 +1,50 @@
+// Tables 7 & 8: heterogeneous Encryption (E) + MonteCarlo (M) mixes under
+// the four setups — execution time (Table 7) and total energy (Table 8).
+// Paper best case (5E+15M): 19x speedup, 22x energy savings vs CPU.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ewc;
+  bench::Harness h;
+
+  bench::header(
+      "Tables 7 & 8: Encryption + MonteCarlo mixes",
+      "paper times (s): 1E+1M 387.7/57.2/57.2/88.9, 3E+3M 605.5/57.4/57.5/266.8,"
+      " 4E+12M 976.6/57.7/57.8/701.5, 5E+15M 1163.4/57.8/59.9/876.9");
+
+  const auto e = workloads::t78_encryption();
+  const auto m = workloads::t78_montecarlo();
+  struct Row {
+    std::string label;
+    int ne, nm;
+  };
+  const std::vector<Row> rows = {
+      {"1E+1M", 1, 1}, {"3E+3M", 3, 3}, {"4E+12M", 4, 12}, {"5E+15M", 5, 15}};
+
+  common::TextTable time_table(
+      {"mix", "CPU (s)", "Manual (s)", "Dynamic (s)", "Serial (s)"});
+  common::TextTable energy_table(
+      {"mix", "CPU (J)", "Manual (J)", "Dynamic (J)", "Serial (J)"});
+  double best_speedup = 0.0, best_energy = 0.0;
+  for (const auto& row : rows) {
+    std::vector<consolidate::WorkloadMix> mix{{e, row.ne}, {m, row.nm}};
+    const auto r = h.runner.compare(mix);
+    time_table.add_row({row.label, bench::fmt(r.cpu.time.seconds(), 1),
+                        bench::fmt(r.manual.time.seconds(), 1),
+                        bench::fmt(r.dynamic_framework.time.seconds(), 1),
+                        bench::fmt(r.serial_gpu.time.seconds(), 1)});
+    energy_table.add_row({row.label, bench::fmt(r.cpu.energy.joules(), 0),
+                          bench::fmt(r.manual.energy.joules(), 0),
+                          bench::fmt(r.dynamic_framework.energy.joules(), 0),
+                          bench::fmt(r.serial_gpu.energy.joules(), 0)});
+    best_speedup = std::max(best_speedup, r.cpu.time / r.dynamic_framework.time);
+    best_energy =
+        std::max(best_energy, r.cpu.energy / r.dynamic_framework.energy);
+  }
+  std::cout << "Table 7 (execution time):\n" << time_table << "\n";
+  std::cout << "Table 8 (total energy):\n" << energy_table << "\n";
+  std::cout << "best dynamic-vs-CPU speedup: " << bench::fmt(best_speedup, 1)
+            << "x (paper: 19x), energy savings: " << bench::fmt(best_energy, 1)
+            << "x (paper: 22x)\n";
+  return 0;
+}

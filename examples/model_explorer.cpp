@@ -1,0 +1,94 @@
+// Model explorer: poke the Section V performance model interactively-ish.
+//
+// Sweeps a synthetic kernel across the compute-bound -> memory-bound
+// spectrum and across grid sizes, printing predicted vs simulated times,
+// MWP/CWP diagnostics and the type-1/type-2 classification — a worked tour
+// of how the consolidation decision sees a kernel.
+//
+// Run:  ./build/examples/model_explorer
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/engine.hpp"
+#include "perf/consolidation_model.hpp"
+
+int main() {
+  using namespace ewc;
+  gpusim::FluidEngine engine;
+  perf::AnalyticModel model(engine.device());
+  perf::ConsolidationModel consolidation(engine.device());
+
+  std::cout << "== sweep 1: memory-instruction share (30 blocks x 256 thr) ==\n";
+  common::TextTable t1({"mem insts/thread", "MWP", "CWP", "bound",
+                        "predicted (s)", "simulated (s)"});
+  for (double mem : {0.0, 100.0, 500.0, 2000.0, 8000.0, 32000.0}) {
+    gpusim::KernelDesc k;
+    k.name = "sweep";
+    k.num_blocks = 30;
+    k.threads_per_block = 256;
+    k.mix.fp_insts = 2.0e5;
+    k.mix.int_insts = 5.0e4;
+    k.mix.coalesced_mem_insts = mem;
+    const auto pred = model.predict(k);
+    gpusim::LaunchPlan plan;
+    plan.instances.push_back(gpusim::KernelInstance{k, 0, ""});
+    const auto run = engine.run(plan);
+    t1.add_row({common::TextTable::num(mem, 0),
+                common::TextTable::num(pred.parallelism.mwp, 1),
+                common::TextTable::num(pred.parallelism.cwp, 1),
+                pred.parallelism.memory_bound ? "memory" : "compute",
+                common::TextTable::num(pred.kernel_time.seconds(), 4),
+                common::TextTable::num(run.kernel_time.seconds(), 4)});
+  }
+  std::cout << t1 << "\n";
+
+  std::cout << "== sweep 2: grid size (waves & classification) ==\n";
+  common::TextTable t2({"blocks", "waves", "type if consolidated with itself",
+                        "predicted (s)", "simulated (s)"});
+  for (int blocks : {5, 15, 30, 60, 120, 300}) {
+    gpusim::KernelDesc k;
+    k.name = "grid";
+    k.num_blocks = blocks;
+    k.threads_per_block = 256;
+    k.mix.fp_insts = 1.0e5;
+    k.mix.coalesced_mem_insts = 1.0e3;
+    const auto pred = model.predict(k);
+    gpusim::LaunchPlan pair;
+    pair.instances.push_back(gpusim::KernelInstance{k, 0, ""});
+    pair.instances.push_back(gpusim::KernelInstance{k, 1, ""});
+    gpusim::LaunchPlan single;
+    single.instances.push_back(gpusim::KernelInstance{k, 0, ""});
+    const auto run = engine.run(single);
+    t2.add_row(
+        {std::to_string(blocks), std::to_string(pred.waves),
+         consolidation.classify(pair) == perf::ConsolidationType::kType1
+             ? "type-1"
+             : "type-2",
+         common::TextTable::num(pred.kernel_time.seconds(), 4),
+         common::TextTable::num(run.kernel_time.seconds(), 4)});
+  }
+  std::cout << t2 << "\n";
+
+  std::cout << "== sweep 3: coalescing quality (DRAM efficiency) ==\n";
+  common::TextTable t3({"coalesced fraction", "DRAM efficiency",
+                        "predicted (s)", "simulated (s)"});
+  for (double frac : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    gpusim::KernelDesc k;
+    k.name = "coal";
+    k.num_blocks = 60;
+    k.threads_per_block = 256;
+    k.mix.int_insts = 1.0e4;
+    k.mix.coalesced_mem_insts = 4.0e3 * frac;
+    k.mix.uncoalesced_mem_insts = 4.0e3 * (1.0 - frac) / 8.0;  // similar bytes
+    const auto pred = model.predict(k);
+    gpusim::LaunchPlan plan;
+    plan.instances.push_back(gpusim::KernelInstance{k, 0, ""});
+    const auto run = engine.run(plan);
+    t3.add_row({common::TextTable::num(k.coalesced_fraction(), 2),
+                common::TextTable::num(k.dram_efficiency(engine.device()), 2),
+                common::TextTable::num(pred.kernel_time.seconds(), 4),
+                common::TextTable::num(run.kernel_time.seconds(), 4)});
+  }
+  std::cout << t3 << "\n";
+  return 0;
+}

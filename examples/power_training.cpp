@@ -1,0 +1,84 @@
+// Power-model training walkthrough (paper Section VI).
+//
+// Shows the whole Eq. 10/11 pipeline: idle measurement, training runs with
+// the simulated WattsUp meter, the fitted coefficients a_i and lambda, the
+// thermal decomposition, and a validation prediction on a consolidated
+// workload the trainer never saw.
+//
+// Run:  ./build/examples/power_training
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/engine.hpp"
+#include "perf/consolidation_model.hpp"
+#include "power/meter.hpp"
+#include "power/trainer.hpp"
+#include "workloads/paper_configs.hpp"
+#include "workloads/rodinia_like.hpp"
+
+int main() {
+  using namespace ewc;
+  gpusim::FluidEngine engine;
+
+  power::ModelTrainer trainer(engine);
+  const auto report = trainer.train(workloads::rodinia_training_kernels());
+
+  std::cout << "measured idle power: " << report.measured_idle.watts()
+            << " W (includes GPU static power)\n";
+  std::cout << "regression R^2: " << report.r_squared << "\n\n";
+
+  std::cout << "fitted Eq. 11 coefficients (W per event/cycle/SM):\n";
+  common::TextTable coef({"component", "a_i"});
+  for (std::size_t i = 0; i < power::kNumComponents; ++i) {
+    coef.add_row({power::kComponentNames[i],
+                  common::TextTable::num(report.model.fit().coefficients[i], 2)});
+  }
+  coef.add_row({"lambda (intercept)",
+                common::TextTable::num(report.model.fit().intercept, 2)});
+  std::cout << coef << "\n";
+
+  std::cout << "thermal fit: dT_ss = "
+            << report.model.thermal().kelvin_per_dyn_watt
+            << " K/W, P_T = " << report.model.thermal().watts_per_kelvin
+            << " W/K\n\n";
+
+  std::cout << "training samples (first 10 of " << report.samples.size()
+            << "):\n";
+  common::TextTable samples({"kernel", "measured (W)", "predicted (W)", "dT (K)"});
+  for (std::size_t i = 0; i < 10 && i < report.samples.size(); ++i) {
+    const auto& s = report.samples[i];
+    samples.add_row(
+        {s.kernel, common::TextTable::num(s.measured_watts_above_idle, 1),
+         common::TextTable::num(
+             report.model.gpu_power_from_rates(s.rates).watts(), 1),
+         common::TextTable::num(s.measured_temp_delta, 1)});
+  }
+  std::cout << samples << "\n";
+
+  // Validation on an unseen consolidated workload.
+  const auto e = workloads::t78_encryption();
+  const auto m = workloads::t78_montecarlo();
+  gpusim::LaunchPlan plan;
+  plan.instances.push_back(gpusim::KernelInstance{e.gpu, 0, "userE"});
+  plan.instances.push_back(gpusim::KernelInstance{m.gpu, 1, "userM"});
+
+  perf::ConsolidationModel perf_model(engine.device());
+  const auto timing = perf_model.predict(plan);
+  const auto pw = report.model.predict(engine.device(), plan, timing);
+  const auto decomposed = report.model.decompose(pw.rates);
+
+  const auto run = engine.run(plan);
+  power::PowerMeter meter;
+  const double measured =
+      meter.average_power(run, power::MeterWindow::kKernelOnly).watts();
+
+  std::cout << "validation (1E+1M consolidation, never seen in training):\n"
+            << "  predicted GPU power: " << pw.gpu_power.watts()
+            << " W above idle (P_dyn " << decomposed.dynamic.watts()
+            << " + P_T " << decomposed.thermal.watts() << ")\n"
+            << "  predicted system avg: " << pw.avg_system_power.watts()
+            << " W, energy " << pw.system_energy.joules() << " J\n"
+            << "  meter-measured avg:   " << measured << " W, total "
+            << run.system_energy.joules() << " J\n";
+  return 0;
+}

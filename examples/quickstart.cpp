@@ -1,0 +1,60 @@
+// Quickstart: the library in ~80 lines.
+//
+// 1. Build the simulated Tesla C1060 node.
+// 2. Train the paper's GPU power model on the Rodinia-like kernels.
+// 3. Take 6 encryption requests from 6 "users" and compare the four
+//    execution setups (CPU / serial GPU / manual / dynamic framework).
+//
+// Run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "common/table.hpp"
+#include "consolidate/runner.hpp"
+#include "gpusim/engine.hpp"
+#include "power/trainer.hpp"
+#include "workloads/paper_configs.hpp"
+#include "workloads/rodinia_like.hpp"
+
+int main() {
+  using namespace ewc;
+
+  // The simulated heterogeneous node: dual Xeon E5520 + Tesla C1060.
+  gpusim::FluidEngine engine;
+
+  // Train the Section VI power model (10 training kernels, 1 Hz meter).
+  power::ModelTrainer trainer(engine);
+  const power::TrainingReport training =
+      trainer.train(workloads::rodinia_training_kernels());
+  std::cout << "power model trained: R^2 = " << training.r_squared << "\n\n";
+
+  // Six users each submit one 12 KB AES encryption request.
+  const workloads::InstanceSpec spec = workloads::encryption_12k();
+  std::vector<consolidate::WorkloadMix> mix{{spec, 6}};
+
+  consolidate::ExperimentRunner runner(engine, training.model);
+  const consolidate::ComparisonResult r = runner.compare(mix);
+
+  common::TextTable table({"setup", "time (s)", "energy (J)"});
+  auto row = [&](const char* name, const consolidate::SetupResult& s) {
+    table.add_row({name, common::TextTable::num(s.time.seconds()),
+                   common::TextTable::num(s.energy.joules())});
+  };
+  row("CPU (8 cores)", r.cpu);
+  row("GPU serial", r.serial_gpu);
+  row("GPU manual consolidation", r.manual);
+  row("GPU dynamic framework", r.dynamic_framework);
+  std::cout << "6 x encryption (12 KB):\n" << table << "\n";
+
+  if (!r.dynamic_reports.empty() && r.dynamic_reports.front().decision) {
+    const auto& d = *r.dynamic_reports.front().decision;
+    std::cout << "decision engine chose: "
+              << consolidate::alternative_name(d.chosen) << "\n";
+    for (const auto& e : d.estimates) {
+      std::cout << "  " << consolidate::alternative_name(e.which)
+                << ": predicted " << e.time.seconds() << " s, "
+                << e.energy.joules() << " J"
+                << (e.feasible ? "" : " (infeasible)") << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "cli/args.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace ewc::cli {
+
+FlagParser::FlagParser(std::vector<FlagSpec> specs) : specs_(std::move(specs)) {}
+
+const FlagSpec* FlagParser::find(const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void FlagParser::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(tok);
+      continue;
+    }
+    std::string name = tok.substr(2);
+    std::optional<std::string> inline_value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const FlagSpec* spec = find(name);
+    if (spec == nullptr) {
+      throw ArgsError("unknown flag --" + name + "\n" + usage());
+    }
+    std::string value;
+    if (spec->is_boolean) {
+      if (inline_value.has_value()) {
+        throw ArgsError("--" + name + " takes no value");
+      }
+      value = "true";
+    } else if (inline_value.has_value()) {
+      value = *inline_value;
+    } else {
+      if (i + 1 >= tokens.size()) {
+        throw ArgsError("--" + name + " requires a value");
+      }
+      value = tokens[++i];
+    }
+    auto& slot = parsed_[name];
+    if (!slot.empty() && !spec->repeated) {
+      throw ArgsError("--" + name + " given more than once");
+    }
+    slot.push_back(std::move(value));
+  }
+}
+
+bool FlagParser::has(const std::string& name) const {
+  return parsed_.count(name) != 0;
+}
+
+std::optional<std::string> FlagParser::value(const std::string& name) const {
+  auto it = parsed_.find(name);
+  if (it == parsed_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::vector<std::string> FlagParser::values(const std::string& name) const {
+  auto it = parsed_.find(name);
+  return it == parsed_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::string FlagParser::get_string(const std::string& name,
+                                   const std::string& fallback) const {
+  return value(name).value_or(fallback);
+}
+
+int FlagParser::get_int(const std::string& name, int fallback) const {
+  auto v = value(name);
+  if (!v.has_value()) return fallback;
+  int out = 0;
+  auto res = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (res.ec != std::errc() || res.ptr != v->data() + v->size()) {
+    throw ArgsError("--" + name + " expects an integer, got '" + *v + "'");
+  }
+  return out;
+}
+
+double FlagParser::get_double(const std::string& name, double fallback) const {
+  auto v = value(name);
+  if (!v.has_value()) return fallback;
+  try {
+    std::size_t pos = 0;
+    double out = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw ArgsError("--" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+bool FlagParser::get_bool(const std::string& name) const { return has(name); }
+
+std::string FlagParser::usage() const {
+  std::ostringstream os;
+  for (const auto& s : specs_) {
+    os << "  --" << s.name << (s.is_boolean ? "" : " <value>")
+       << (s.repeated ? " (repeatable)" : "") << "  " << s.help << "\n";
+  }
+  return os.str();
+}
+
+std::pair<std::string, int> parse_workload_count(const std::string& token) {
+  auto eq = token.find('=');
+  if (eq == std::string::npos) return {token, 1};
+  const std::string name = token.substr(0, eq);
+  const std::string count_str = token.substr(eq + 1);
+  int count = 0;
+  auto res = std::from_chars(count_str.data(),
+                             count_str.data() + count_str.size(), count);
+  if (res.ec != std::errc() || res.ptr != count_str.data() + count_str.size() ||
+      count < 1) {
+    throw ArgsError("bad workload count in '" + token + "'");
+  }
+  return {name, count};
+}
+
+}  // namespace ewc::cli

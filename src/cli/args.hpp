@@ -1,0 +1,67 @@
+// Command-line flag parsing for the ewcsim tool.
+//
+// Supports `--name value`, `--name=value`, bare boolean `--flag`, and
+// repeated flags (e.g. several --workload entries). Unknown flags are
+// errors; positional arguments are collected separately.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ewc::cli {
+
+class ArgsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Declares one accepted flag.
+struct FlagSpec {
+  std::string name;         ///< without the leading "--"
+  std::string help;
+  bool is_boolean = false;  ///< takes no value
+  bool repeated = false;    ///< may appear multiple times
+};
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::vector<FlagSpec> specs);
+
+  /// Parse argv-style tokens (excluding program/subcommand names).
+  /// @throws ArgsError on unknown flags, missing values, or repeats of
+  ///         non-repeated flags.
+  void parse(const std::vector<std::string>& tokens);
+
+  bool has(const std::string& name) const;
+  /// Last value of the flag; nullopt if absent.
+  std::optional<std::string> value(const std::string& name) const;
+  /// All values of a repeated flag (empty if absent).
+  std::vector<std::string> values(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// One help line per declared flag.
+  std::string usage() const;
+
+ private:
+  const FlagSpec* find(const std::string& name) const;
+
+  std::vector<FlagSpec> specs_;
+  std::map<std::string, std::vector<std::string>> parsed_;
+  std::vector<std::string> positional_;
+};
+
+/// Split "name=count" (e.g. "encryption_12k=6"); count defaults to 1.
+/// @throws ArgsError on malformed counts.
+std::pair<std::string, int> parse_workload_count(const std::string& token);
+
+}  // namespace ewc::cli

@@ -1,0 +1,354 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "cli/args.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "consolidate/queue_sim.hpp"
+#include "consolidate/runner.hpp"
+#include "gpusim/engine.hpp"
+#include "perf/consolidation_model.hpp"
+#include "perf/hong_kim.hpp"
+#include "power/trainer.hpp"
+#include "ptx/analyzer.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/samples.hpp"
+#include "trace/trace.hpp"
+#include "workloads/paper_configs.hpp"
+#include "workloads/rodinia_like.hpp"
+
+namespace ewc::cli {
+
+namespace {
+
+using SpecMap = std::map<std::string, workloads::InstanceSpec>;
+
+const SpecMap& spec_catalogue() {
+  static const SpecMap catalogue = [] {
+    SpecMap m;
+    auto put = [&m](workloads::InstanceSpec s, const std::string& key) {
+      m.emplace(key, std::move(s));
+    };
+    put(workloads::encryption_12k(), "encryption_12k");
+    put(workloads::encryption_6k(), "encryption_6k");
+    put(workloads::sorting_6k(), "sorting_6k");
+    put(workloads::search_10k(), "search_10k");
+    put(workloads::blackscholes_4096k(), "blackscholes_4096k");
+    put(workloads::montecarlo_500k(), "montecarlo_500k");
+    put(workloads::scenario1_montecarlo(), "scenario1_montecarlo");
+    put(workloads::scenario1_encryption(), "scenario1_encryption");
+    put(workloads::scenario2_blackscholes(), "scenario2_blackscholes");
+    put(workloads::scenario2_search(), "scenario2_search");
+    put(workloads::t56_search(), "t56_search");
+    put(workloads::t56_blackscholes(), "t56_blackscholes");
+    put(workloads::t78_encryption(), "t78_encryption");
+    put(workloads::t78_montecarlo(), "t78_montecarlo");
+    put(workloads::kmeans_256k(), "kmeans_256k");
+    put(workloads::sha256_64k(), "sha256_64k");
+    put(workloads::compression_64m(), "compression_64m");
+    return m;
+  }();
+  return catalogue;
+}
+
+const workloads::InstanceSpec& find_spec(const std::string& name) {
+  auto it = spec_catalogue().find(name);
+  if (it == spec_catalogue().end()) {
+    throw ArgsError("unknown workload '" + name +
+                    "' (run `ewcsim list` for the catalogue)");
+  }
+  return it->second;
+}
+
+std::vector<consolidate::WorkloadMix> parse_mix(const FlagParser& flags) {
+  std::vector<consolidate::WorkloadMix> mix;
+  for (const auto& token : flags.values("workload")) {
+    auto [name, count] = parse_workload_count(token);
+    mix.push_back({find_spec(name), count});
+  }
+  if (mix.empty()) {
+    throw ArgsError("at least one --workload name[=count] is required");
+  }
+  return mix;
+}
+
+std::string ptx_sample(const std::string& name) {
+  if (name == "aes_encrypt") return std::string(ptx::samples::aes_encrypt());
+  if (name == "bitonic_sort") return std::string(ptx::samples::bitonic_sort());
+  if (name == "search") return std::string(ptx::samples::search());
+  if (name == "blackscholes") {
+    return std::string(ptx::samples::blackscholes());
+  }
+  if (name == "montecarlo") return std::string(ptx::samples::montecarlo());
+  throw ArgsError("unknown PTX sample '" + name +
+                  "' (aes_encrypt, bitonic_sort, search, blackscholes, "
+                  "montecarlo)");
+}
+
+}  // namespace
+
+std::string main_usage() {
+  return
+      "ewcsim — energy-aware GPU workload consolidation simulator\n"
+      "usage: ewcsim <command> [flags]\n"
+      "commands:\n"
+      "  list       show the calibrated workload catalogue\n"
+      "  compare    run a mix under CPU / serial / manual / dynamic setups\n"
+      "  predict    performance & power model predictions for a workload\n"
+      "  trace      replay a Poisson request trace through the backend\n"
+      "  ptx        statically analyze PTX into model inputs\n"
+      "  timeline   export a consolidated run's occupancy timeline\n";
+}
+
+int cmd_list(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({});
+  flags.parse(args);
+  common::TextTable t({"workload", "blocks", "thr/blk", "paper GPU (s)",
+                       "paper CPU (s)"});
+  for (const auto& [name, spec] : spec_catalogue()) {
+    t.add_row({name, std::to_string(spec.gpu.num_blocks),
+               std::to_string(spec.gpu.threads_per_block),
+               common::TextTable::num(spec.paper_gpu_seconds, 1),
+               common::TextTable::num(spec.paper_cpu_seconds, 1)});
+  }
+  out << t;
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"workload", "name[=count], repeatable", false, true},
+      {"csv", "also write the rows to this CSV file", false, false},
+  });
+  flags.parse(args);
+  const auto mix = parse_mix(flags);
+
+  gpusim::FluidEngine engine;
+  power::ModelTrainer trainer(engine);
+  const auto training = trainer.train(workloads::rodinia_training_kernels());
+  consolidate::ExperimentRunner runner(engine, training.model);
+  const auto r = runner.compare(mix);
+
+  common::TextTable t({"setup", "time (s)", "energy (J)"});
+  common::CsvWriter csv({"setup", "time_s", "energy_j"});
+  auto row = [&](const char* name, const consolidate::SetupResult& s) {
+    t.add_row({name, common::TextTable::num(s.time.seconds(), 2),
+               common::TextTable::num(s.energy.joules(), 0)});
+    csv.add_row({name, std::to_string(s.time.seconds()),
+                 std::to_string(s.energy.joules())});
+  };
+  row("cpu", r.cpu);
+  row("serial-gpu", r.serial_gpu);
+  row("manual-consolidated", r.manual);
+  row("dynamic-framework", r.dynamic_framework);
+  out << t;
+  if (auto path = flags.value("csv")) {
+    csv.write_file(*path);
+    out << "wrote " << *path << "\n";
+  }
+  return 0;
+}
+
+int cmd_predict(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"workload", "workload name from `ewcsim list`", false, false},
+      {"count", "instances to consolidate (default 1)", false, false},
+  });
+  flags.parse(args);
+  const auto name = flags.value("workload");
+  if (!name.has_value()) throw ArgsError("--workload is required");
+  const auto& spec = find_spec(*name);
+  const int count = flags.get_int("count", 1);
+  if (count < 1) throw ArgsError("--count must be >= 1");
+
+  gpusim::FluidEngine engine;
+  gpusim::LaunchPlan plan;
+  for (int i = 0; i < count; ++i) {
+    plan.instances.push_back(gpusim::KernelInstance{spec.gpu, i, "cli"});
+  }
+
+  perf::ConsolidationModel perf_model(engine.device());
+  const auto timing = perf_model.predict(plan);
+  const auto run = engine.run(plan);
+
+  out << *name << " x " << count << " ("
+      << (timing.type == perf::ConsolidationType::kType1 ? "type-1"
+                                                         : "type-2")
+      << " consolidation)\n";
+  out << "  predicted: " << timing.total_time.seconds() << " s (kernel "
+      << timing.kernel_time.seconds() << " s)\n";
+  out << "  simulated: " << run.total_time.seconds() << " s (kernel "
+      << run.kernel_time.seconds() << " s)\n";
+
+  if (count == 1) {
+    const auto hk = perf::hong_kim_cycles(engine.device(), spec.gpu);
+    out << "  Hong-Kim [8]: " << hk.time(engine.device()).seconds()
+        << " s (case " << perf::hong_kim_case_name(hk.which_case)
+        << ", MWP " << hk.mwp << ", CWP " << hk.cwp << ")\n";
+  }
+
+  power::ModelTrainer trainer(engine);
+  const auto training = trainer.train(workloads::rodinia_training_kernels());
+  const auto pw = training.model.predict(engine.device(), plan, timing);
+  out << "  predicted avg system power: " << pw.avg_system_power.watts()
+      << " W, energy " << pw.system_energy.joules() << " J\n";
+  out << "  simulated energy: " << run.system_energy.joules() << " J\n";
+  return 0;
+}
+
+int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"requests", "number of requests (default 60)", false, false},
+      {"rate", "arrival rate, req/s (default 2.0)", false, false},
+      {"threshold", "batching threshold (default 10)", false, false},
+      {"timeout", "batch timeout seconds (default 30)", false, false},
+      {"seed", "trace RNG seed (default 2026)", false, false},
+  });
+  flags.parse(args);
+  const int requests = flags.get_int("requests", 60);
+  const double rate = flags.get_double("rate", 2.0);
+  if (requests < 1 || rate <= 0.0) {
+    throw ArgsError("--requests must be >= 1 and --rate > 0");
+  }
+
+  gpusim::FluidEngine engine;
+  power::ModelTrainer trainer(engine);
+  const auto training = trainer.train(workloads::rodinia_training_kernels());
+
+  SpecMap catalogue;
+  for (const char* n : {"encryption_12k", "sorting_6k", "t56_blackscholes"}) {
+    catalogue.emplace(n, find_spec(n));
+  }
+  trace::PoissonTraceGenerator gen({{"encryption_12k", 4.0},
+                                    {"sorting_6k", 2.0},
+                                    {"t56_blackscholes", 1.0}},
+                                   rate,
+                                   static_cast<std::uint64_t>(
+                                       flags.get_int("seed", 2026)));
+  const auto reqs = gen.generate(requests);
+
+  consolidate::QueueSimOptions opt;
+  opt.batch_threshold = flags.get_int("threshold", 10);
+  opt.batch_timeout =
+      common::Duration::from_seconds(flags.get_double("timeout", 30.0));
+  consolidate::QueueSimulator sim(engine, training.model, catalogue, opt);
+  const auto r = sim.run(reqs);
+
+  out << requests << " requests at " << rate << " req/s, threshold "
+      << opt.batch_threshold << ":\n"
+      << "  batches:      " << r.batches << "\n"
+      << "  makespan:     " << r.makespan.seconds() << " s\n"
+      << "  mean latency: " << r.mean_latency_seconds << " s\n"
+      << "  p95 latency:  " << r.p95_latency_seconds << " s\n"
+      << "  energy:       " << r.energy.joules() << " J ("
+      << r.energy.joules() / requests << " J/request)\n";
+  return 0;
+}
+
+int cmd_ptx(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"sample", "built-in sample kernel name", false, false},
+      {"file", "path to a .ptx file", false, false},
+  });
+  flags.parse(args);
+  std::string source;
+  if (auto sample = flags.value("sample")) {
+    source = ptx_sample(*sample);
+  } else if (auto path = flags.value("file")) {
+    std::ifstream in(*path);
+    if (!in) throw ArgsError("cannot open " + *path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  } else {
+    throw ArgsError("--sample or --file is required");
+  }
+
+  const auto module = ptx::parse_module(source);
+  common::TextTable t({"kernel", "fp", "int", "sfu", "coal", "uncoal",
+                       "shared", "const", "sync", "regs", "smem B"});
+  for (const auto& k : module.kernels) {
+    const auto a = ptx::analyze_kernel(module, k);
+    auto n = [](double v) { return common::TextTable::num(v, 0); };
+    t.add_row({k.name, n(a.mix.fp_insts), n(a.mix.int_insts),
+               n(a.mix.sfu_insts), n(a.mix.coalesced_mem_insts),
+               n(a.mix.uncoalesced_mem_insts), n(a.mix.shared_accesses),
+               n(a.mix.const_accesses), n(a.mix.sync_insts),
+               std::to_string(a.registers_per_thread),
+               std::to_string(a.shared_bytes_per_block)});
+  }
+  out << t;
+  return 0;
+}
+
+int cmd_timeline(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"workload", "name[=count], repeatable", false, true},
+      {"csv", "write the timeline to this CSV file", false, false},
+  });
+  flags.parse(args);
+  const auto mix = parse_mix(flags);
+
+  gpusim::FluidEngine engine;
+  gpusim::LaunchPlan plan;
+  int id = 0;
+  for (const auto& m : mix) {
+    for (int i = 0; i < m.count; ++i) {
+      plan.instances.push_back(gpusim::KernelInstance{m.spec.gpu, id++, ""});
+    }
+  }
+  const auto run = engine.run(plan);
+
+  common::CsvWriter csv({"t_s", "busy_sms", "resident_blocks", "dram_util"});
+  for (const auto& s : run.occupancy) {
+    csv.add_numeric_row({s.time.seconds(), static_cast<double>(s.busy_sms),
+                         static_cast<double>(s.resident_blocks),
+                         s.dram_utilization});
+  }
+  if (auto path = flags.value("csv")) {
+    csv.write_file(*path);
+    out << "wrote " << csv.rows() << " samples to " << *path << "\n";
+  } else {
+    csv.write_to(out);
+  }
+  out << "kernel time " << run.kernel_time.seconds() << " s, avg DRAM util "
+      << run.avg_dram_utilization << ", avg SM util "
+      << run.avg_sm_utilization << "\n";
+  return 0;
+}
+
+int run_command(const std::vector<std::string>& argv, std::ostream& out,
+                std::ostream& err) {
+  if (argv.empty()) {
+    err << main_usage();
+    return 2;
+  }
+  const std::string command = argv.front();
+  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+  try {
+    if (command == "list") return cmd_list(rest, out);
+    if (command == "compare") return cmd_compare(rest, out);
+    if (command == "predict") return cmd_predict(rest, out);
+    if (command == "trace") return cmd_trace(rest, out);
+    if (command == "ptx") return cmd_ptx(rest, out);
+    if (command == "timeline") return cmd_timeline(rest, out);
+    if (command == "help" || command == "--help") {
+      out << main_usage();
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n" << main_usage();
+    return 2;
+  } catch (const ArgsError& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace ewc::cli

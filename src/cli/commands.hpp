@@ -1,0 +1,37 @@
+// ewcsim subcommands.
+//
+// Every command is a pure function of parsed flags, writing to the provided
+// stream and returning a process exit code, so the whole surface is unit
+// testable without spawning the binary.
+//
+//   ewcsim list
+//   ewcsim compare  --workload encryption_12k=6 [--workload sorting_6k=2]
+//   ewcsim predict  --workload t78_montecarlo [--count 3]
+//   ewcsim trace    --requests 60 --rate 2 --threshold 10 [--seed N]
+//   ewcsim ptx      --sample blackscholes | --file kernel.ptx
+//   ewcsim timeline --workload encryption_12k=9 [--csv out.csv]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ewc::cli {
+
+/// Dispatch `argv` (without the program name). Returns the exit code;
+/// errors are printed to `err`.
+int run_command(const std::vector<std::string>& argv, std::ostream& out,
+                std::ostream& err);
+
+// Individual commands (flags documented in each implementation).
+int cmd_list(const std::vector<std::string>& args, std::ostream& out);
+int cmd_compare(const std::vector<std::string>& args, std::ostream& out);
+int cmd_predict(const std::vector<std::string>& args, std::ostream& out);
+int cmd_trace(const std::vector<std::string>& args, std::ostream& out);
+int cmd_ptx(const std::vector<std::string>& args, std::ostream& out);
+int cmd_timeline(const std::vector<std::string>& args, std::ostream& out);
+
+/// Top-level usage text.
+std::string main_usage();
+
+}  // namespace ewc::cli

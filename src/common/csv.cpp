@@ -1,0 +1,74 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ewc::common {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("CsvWriter: empty header");
+  }
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    cells.push_back(os.str());
+  }
+  add_row(std::move(cells));
+}
+
+void CsvWriter::write_to(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  write_to(os);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write_to(out);
+}
+
+}  // namespace ewc::common

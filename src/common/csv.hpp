@@ -1,0 +1,37 @@
+// Minimal CSV writer for exporting simulator timelines and bench series.
+//
+// RFC-4180-style quoting: fields containing commas, quotes or newlines are
+// quoted with embedded quotes doubled. Rows must match the header width.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ewc::common {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// @throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows.
+  void add_numeric_row(const std::vector<double>& values, int precision = 6);
+
+  std::string to_string() const;
+  void write_to(std::ostream& os) const;
+  /// @throws std::runtime_error if the file cannot be opened.
+  void write_file(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ewc::common

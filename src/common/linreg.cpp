@@ -1,0 +1,101 @@
+#include "common/linreg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ewc::common {
+
+double LinearFit::predict(std::span<const double> features) const {
+  if (features.size() != coefficients.size()) {
+    throw std::invalid_argument("LinearFit::predict: feature width mismatch");
+  }
+  double y = intercept;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    y += coefficients[i] * features[i];
+  }
+  return y;
+}
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: bring the largest remaining entry to the diagonal.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-300) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * x[c];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+LinearFit fit_least_squares(const std::vector<std::vector<double>>& rows,
+                            std::span<const double> y, bool fit_intercept,
+                            double ridge) {
+  if (rows.empty() || rows.size() != y.size()) {
+    throw std::invalid_argument("fit_least_squares: empty or mismatched data");
+  }
+  const std::size_t width = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != width) {
+      throw std::invalid_argument("fit_least_squares: ragged feature matrix");
+    }
+  }
+  const std::size_t dim = width + (fit_intercept ? 1 : 0);
+
+  // Build the normal equations X'X beta = X'y with an appended 1-column for
+  // the intercept. dim is small (<= ~10 features), so dense is fine.
+  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> xty(dim, 0.0);
+  std::vector<double> aug(dim, 1.0);
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    for (std::size_t i = 0; i < width; ++i) aug[i] = rows[s][i];
+    if (fit_intercept) aug[width] = 1.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      xty[i] += aug[i] * y[s];
+      for (std::size_t j = 0; j < dim; ++j) xtx[i][j] += aug[i] * aug[j];
+    }
+  }
+  for (std::size_t i = 0; i < dim; ++i) xtx[i][i] += ridge;
+
+  std::vector<double> beta = solve_linear_system(std::move(xtx), std::move(xty));
+
+  LinearFit fit;
+  fit.coefficients.assign(beta.begin(), beta.begin() + static_cast<long>(width));
+  fit.intercept = fit_intercept ? beta[width] : 0.0;
+
+  // R^2 against the mean model.
+  double ymean = 0.0;
+  for (double v : y) ymean += v;
+  ymean /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    double pred = fit.predict(rows[s]);
+    ss_res += (y[s] - pred) * (y[s] - pred);
+    ss_tot += (y[s] - ymean) * (y[s] - ymean);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace ewc::common

@@ -1,0 +1,41 @@
+// Ordinary least-squares linear regression.
+//
+// The GPU power model (paper Section VI, Eq. 11) fits per-component dynamic
+// power coefficients a_i plus an intercept lambda from training-benchmark
+// measurements. This is a dense multivariate OLS: y ~ X * beta (+ intercept).
+// A tiny ridge term keeps the normal equations well-conditioned when training
+// kernels have correlated event rates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ewc::common {
+
+struct LinearFit {
+  std::vector<double> coefficients;  ///< one per feature column
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  /// Apply the fitted model to one feature vector.
+  double predict(std::span<const double> features) const;
+};
+
+/// Fit y ~ X*beta + intercept by least squares.
+///
+/// @param rows       feature matrix, rows.size() samples each of equal width.
+/// @param y          targets, same length as rows.
+/// @param fit_intercept  include a constant term (the paper's lambda).
+/// @param ridge      Tikhonov damping added to the normal-equation diagonal.
+/// @throws std::invalid_argument on shape mismatch or an empty problem.
+LinearFit fit_least_squares(const std::vector<std::vector<double>>& rows,
+                            std::span<const double> y,
+                            bool fit_intercept = true, double ridge = 1e-9);
+
+/// Solve the square system A x = b by Gaussian elimination with partial
+/// pivoting. @throws std::runtime_error if A is singular.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace ewc::common

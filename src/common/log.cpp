@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ewc::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::lock_guard lock(g_io_mutex);
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace ewc::common

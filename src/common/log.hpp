@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The backend daemon and simulators log decision traces at Debug level; the
+// default level is Warn so tests and benches stay quiet unless asked.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ewc::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the process-wide minimum level (thread safe).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` with a level prefix; no-op below the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+  }
+}
+template <class... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+  }
+}
+template <class... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+  }
+}
+template <class... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError) {
+    log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace ewc::common

@@ -1,0 +1,52 @@
+// Small statistics helpers shared by the model-validation benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ewc::common {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted copy.
+double percentile(std::span<const double> xs, double p);
+
+/// |predicted - measured| / measured. Returns 0 when measured == 0.
+double relative_error(double predicted, double measured);
+
+/// Mean of relative errors over paired vectors (must be equal length).
+double mean_relative_error(std::span<const double> predicted,
+                           std::span<const double> measured);
+
+/// Max of relative errors over paired vectors (must be equal length).
+double max_relative_error(std::span<const double> predicted,
+                          std::span<const double> measured);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Streaming accumulator for mean/min/max/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ewc::common

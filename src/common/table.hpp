@@ -1,0 +1,35 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the corresponding paper table/figure as rows;
+// TextTable keeps the formatting consistent and test-able.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ewc::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have the same width as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace ewc::common

@@ -1,0 +1,188 @@
+// Strong physical-quantity types used throughout the library.
+//
+// The simulator mixes several unit domains (simulated seconds, joules, watts,
+// bytes, shader cycles). Using `double` everywhere invites silent unit bugs
+// (e.g. adding watts to joules), so each quantity is a distinct wrapper with
+// only the physically meaningful operators defined:
+//
+//   Power * Duration -> Energy        Energy / Duration -> Power
+//   Bytes / Bandwidth -> Duration     Cycles / Frequency -> Duration
+//
+// All wrappers are trivially copyable value types; arithmetic is constexpr.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace ewc::common {
+
+namespace detail {
+
+// CRTP base providing the operators every scalar quantity shares.
+template <class Derived>
+struct Quantity {
+  double value = 0.0;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value + b.value};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value - b.value};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value / s};
+  }
+  // Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value / b.value;
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value <=> b.value;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value == b.value;
+  }
+  Derived& operator+=(Derived o) {
+    value += o.value;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived o) {
+    value -= o.value;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+}  // namespace detail
+
+/// Simulated wall-clock time span, in seconds.
+struct Duration : detail::Quantity<Duration> {
+  using Quantity::Quantity;
+  constexpr double seconds() const { return value; }
+  constexpr double millis() const { return value * 1e3; }
+  constexpr double micros() const { return value * 1e6; }
+  static constexpr Duration from_seconds(double s) { return Duration{s}; }
+  static constexpr Duration from_millis(double ms) { return Duration{ms * 1e-3}; }
+  static constexpr Duration from_micros(double us) { return Duration{us * 1e-6}; }
+  static constexpr Duration zero() { return Duration{0.0}; }
+  static constexpr Duration infinity() {
+    return Duration{std::numeric_limits<double>::infinity()};
+  }
+  constexpr bool is_finite() const { return std::isfinite(value); }
+};
+
+/// Energy, in joules.
+struct Energy : detail::Quantity<Energy> {
+  using Quantity::Quantity;
+  constexpr double joules() const { return value; }
+  constexpr double kilojoules() const { return value * 1e-3; }
+  static constexpr Energy from_joules(double j) { return Energy{j}; }
+  static constexpr Energy zero() { return Energy{0.0}; }
+};
+
+/// Power, in watts.
+struct Power : detail::Quantity<Power> {
+  using Quantity::Quantity;
+  constexpr double watts() const { return value; }
+  static constexpr Power from_watts(double w) { return Power{w}; }
+  static constexpr Power zero() { return Power{0.0}; }
+};
+
+/// Data volume, in bytes (fractional bytes allowed inside the fluid model).
+struct Bytes : detail::Quantity<Bytes> {
+  using Quantity::Quantity;
+  constexpr double bytes() const { return value; }
+  constexpr double megabytes() const { return value / (1024.0 * 1024.0); }
+  static constexpr Bytes from_bytes(double b) { return Bytes{b}; }
+  static constexpr Bytes from_kib(double k) { return Bytes{k * 1024.0}; }
+  static constexpr Bytes from_mib(double m) { return Bytes{m * 1024.0 * 1024.0}; }
+  static constexpr Bytes zero() { return Bytes{0.0}; }
+};
+
+/// Data rate, in bytes / second.
+struct Bandwidth : detail::Quantity<Bandwidth> {
+  using Quantity::Quantity;
+  constexpr double bytes_per_second() const { return value; }
+  constexpr double gib_per_second() const { return value / (1024.0 * 1024.0 * 1024.0); }
+  static constexpr Bandwidth from_bytes_per_second(double b) { return Bandwidth{b}; }
+  static constexpr Bandwidth from_gb_per_second(double g) {
+    return Bandwidth{g * 1e9};
+  }
+};
+
+/// Processor cycles (fractional cycles allowed inside the fluid model).
+struct Cycles : detail::Quantity<Cycles> {
+  using Quantity::Quantity;
+  constexpr double count() const { return value; }
+  static constexpr Cycles from_count(double c) { return Cycles{c}; }
+  static constexpr Cycles zero() { return Cycles{0.0}; }
+};
+
+/// Clock frequency, in hertz.
+struct Frequency : detail::Quantity<Frequency> {
+  using Quantity::Quantity;
+  constexpr double hertz() const { return value; }
+  static constexpr Frequency from_hertz(double h) { return Frequency{h}; }
+  static constexpr Frequency from_ghz(double g) { return Frequency{g * 1e9}; }
+};
+
+/// Temperature delta above ambient, in kelvin.
+struct TemperatureDelta : detail::Quantity<TemperatureDelta> {
+  using Quantity::Quantity;
+  constexpr double kelvin() const { return value; }
+  static constexpr TemperatureDelta from_kelvin(double k) {
+    return TemperatureDelta{k};
+  }
+  static constexpr TemperatureDelta zero() { return TemperatureDelta{0.0}; }
+};
+
+// ---- cross-quantity arithmetic ---------------------------------------------
+
+constexpr Energy operator*(Power p, Duration t) {
+  return Energy{p.watts() * t.seconds()};
+}
+constexpr Energy operator*(Duration t, Power p) { return p * t; }
+constexpr Power operator/(Energy e, Duration t) {
+  return Power{e.joules() / t.seconds()};
+}
+constexpr Duration operator/(Energy e, Power p) {
+  return Duration{e.joules() / p.watts()};
+}
+constexpr Duration operator/(Bytes b, Bandwidth bw) {
+  return Duration{b.bytes() / bw.bytes_per_second()};
+}
+constexpr Bytes operator*(Bandwidth bw, Duration t) {
+  return Bytes{bw.bytes_per_second() * t.seconds()};
+}
+constexpr Duration operator/(Cycles c, Frequency f) {
+  return Duration{c.count() / f.hertz()};
+}
+constexpr Cycles operator*(Frequency f, Duration t) {
+  return Cycles{f.hertz() * t.seconds()};
+}
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.seconds() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, Energy e) {
+  return os << e.joules() << "J";
+}
+inline std::ostream& operator<<(std::ostream& os, Power p) {
+  return os << p.watts() << "W";
+}
+inline std::ostream& operator<<(std::ostream& os, Bytes b) {
+  return os << b.bytes() << "B";
+}
+
+}  // namespace ewc::common

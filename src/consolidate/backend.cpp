@@ -1,0 +1,305 @@
+#include "consolidate/backend.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ewc::consolidate {
+
+namespace {
+/// Extra wall power the idle GPU adds to the node when the framework routes
+/// a batch to the CPU (the GPU stays installed, unlike the paper's
+/// disconnected-GPU baseline measurements).
+common::Power gpu_idle_adder(const gpusim::EnergyConfig& e) {
+  return common::Power::from_watts(e.system_idle_with_gpu.watts() -
+                                   e.host_only_idle.watts());
+}
+}  // namespace
+
+Backend::Backend(const gpusim::FluidEngine& engine,
+                 power::GpuPowerModel power_model, TemplateRegistry templates,
+                 BackendOptions options)
+    : engine_(engine),
+      decision_(engine.device(), std::move(power_model), options.cpu_config,
+                options.costs),
+      templates_(std::move(templates)),
+      options_(options),
+      context_("backend", std::size_t{4} * 1024 * 1024 * 1024) {
+  worker_ = std::thread([this] { run_loop(); });
+}
+
+Backend::~Backend() { shutdown(); }
+
+void Backend::set_cpu_profile(const std::string& kernel_name,
+                              cpusim::CpuTask task) {
+  std::lock_guard lock(state_mutex_);
+  cpu_profiles_[kernel_name] = std::move(task);
+}
+
+void Backend::flush() {
+  auto done = std::make_shared<common::Channel<bool>>();
+  channel_.send(FlushRequest{done});
+  done->receive();
+}
+
+void Backend::shutdown() {
+  if (!worker_.joinable()) return;
+  channel_.send(ShutdownRequest{});
+  channel_.close();
+  worker_.join();
+}
+
+std::vector<BatchReport> Backend::reports() const {
+  std::lock_guard lock(state_mutex_);
+  return reports_;
+}
+
+common::Duration Backend::total_time() const {
+  std::lock_guard lock(state_mutex_);
+  return total_time_;
+}
+
+common::Energy Backend::total_energy() const {
+  std::lock_guard lock(state_mutex_);
+  return total_energy_;
+}
+
+void Backend::run_loop() {
+  std::vector<LaunchRequest> pending;
+  for (;;) {
+    auto msg = channel_.receive();
+    if (!msg.has_value()) break;  // closed and drained
+    if (std::holds_alternative<ShutdownRequest>(*msg)) {
+      if (!pending.empty()) process_batch(pending);
+      break;
+    }
+    if (auto* flush = std::get_if<FlushRequest>(&*msg)) {
+      if (!pending.empty()) process_batch(pending);
+      flush->done->send(true);
+      continue;
+    }
+    pending.push_back(std::move(std::get<LaunchRequest>(*msg)));
+    if (static_cast<int>(pending.size()) >= options_.batch_threshold) {
+      process_batch(pending);
+    }
+  }
+}
+
+void Backend::process_batch(std::vector<LaunchRequest>& batch) {
+  // Frontends race to the channel; order the batch by owner so results are
+  // deterministic regardless of host thread scheduling.
+  std::sort(batch.begin(), batch.end(),
+            [](const LaunchRequest& a, const LaunchRequest& b) {
+              return a.owner < b.owner;
+            });
+
+  // Partition into candidate groups by template coverage (paper Section
+  // VII): each request joins the first group whose (possibly upgraded)
+  // template also covers it; requests no template covers form their own
+  // "run normally" groups.
+  struct Group {
+    std::vector<LaunchRequest> requests;
+    const ConsolidationTemplate* tmpl = nullptr;
+    std::vector<std::string> names;
+  };
+  std::vector<Group> groups;
+  for (auto& req : batch) {
+    bool placed = false;
+    for (auto& g : groups) {
+      if (g.tmpl == nullptr) continue;
+      std::vector<std::string> candidate = g.names;
+      candidate.push_back(req.desc.name);
+      if (const ConsolidationTemplate* t = templates_.find(candidate)) {
+        g.tmpl = t;
+        g.names = std::move(candidate);
+        g.requests.push_back(std::move(req));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      Group g;
+      g.names = {req.desc.name};
+      g.tmpl = templates_.find(g.names);
+      g.requests.push_back(std::move(req));
+      groups.push_back(std::move(g));
+    }
+  }
+  batch.clear();
+
+  for (auto& g : groups) {
+    process_group(g.requests, g.tmpl);
+  }
+}
+
+void Backend::process_group(std::vector<LaunchRequest>& batch,
+                            const ConsolidationTemplate* tmpl) {
+  using common::Duration;
+  using common::Energy;
+
+  BatchReport report;
+  report.num_instances = static_cast<int>(batch.size());
+
+  // Assemble the candidate set.
+  gpusim::LaunchPlan plan;
+  plan.reuse_constant_data = options_.optimizations.constant_data_reuse;
+  std::vector<std::size_t> staged;
+  std::vector<int> messages;
+  std::vector<std::optional<cpusim::CpuTask>> profiles;
+  {
+    std::lock_guard lock(state_mutex_);
+    for (auto& req : batch) {
+      gpusim::KernelInstance inst;
+      inst.desc = req.desc;
+      inst.owner = req.owner;
+      inst.instance_id = next_instance_id_++;
+      plan.instances.push_back(std::move(inst));
+      staged.push_back(req.staged_bytes);
+      messages.push_back(req.api_messages);
+      report.kernel_names.push_back(req.desc.name);
+      auto it = cpu_profiles_.find(req.desc.name);
+      if (it != cpu_profiles_.end()) {
+        cpusim::CpuTask t = it->second;
+        t.instance_id = plan.instances.back().instance_id;
+        profiles.emplace_back(std::move(t));
+      } else {
+        profiles.emplace_back(std::nullopt);
+      }
+    }
+  }
+
+  const Duration overhead = decision_.overhead(
+      plan.instances, staged, messages, options_.optimizations);
+  report.overhead = overhead;
+
+  // Template coverage gates consolidation (paper Section IV).
+  report.template_found = tmpl != nullptr;
+  if (tmpl != nullptr) report.template_name = tmpl->name;
+
+  Alternative chosen = Alternative::kIndividualGpu;
+  if (tmpl != nullptr) {
+    Decision d =
+        decision_.decide(plan, profiles, overhead, options_.policy);
+    chosen = d.chosen;
+    report.decision = std::move(d);
+  } else {
+    common::log_info("backend: no template covers batch; running individually");
+  }
+  report.executed = chosen;
+
+  // ---- execute the chosen alternative ----
+  Duration exec_time = Duration::zero();
+  Energy energy = Energy::zero();
+  std::vector<CompletionReply> replies(batch.size());
+
+  auto record_gpu_completions = [&](const gpusim::RunResult& run,
+                                    Duration offset,
+                                    CompletionReply::Where where,
+                                    std::size_t first_batch_index) {
+    for (const auto& c : run.completions) {
+      // instance_id is batch-relative here: map back to the request order.
+      for (std::size_t i = first_batch_index; i < plan.instances.size(); ++i) {
+        if (plan.instances[i].instance_id == c.instance_id) {
+          replies[i].ok = true;
+          replies[i].where = where;
+          replies[i].finish_time = overhead + offset + c.finish_time;
+          break;
+        }
+      }
+    }
+  };
+
+  switch (chosen) {
+    case Alternative::kConsolidatedGpu: {
+      // Split by template capacity; splits execute back-to-back.
+      std::vector<gpusim::LaunchPlan> chunks;
+      gpusim::LaunchPlan current;
+      current.reuse_constant_data = plan.reuse_constant_data;
+      int blocks = 0;
+      const int cap = tmpl ? tmpl->max_total_blocks : 240;
+      for (auto& inst : plan.instances) {
+        if (blocks > 0 && blocks + inst.desc.num_blocks > cap) {
+          chunks.push_back(std::move(current));
+          current = gpusim::LaunchPlan{};
+          current.reuse_constant_data = plan.reuse_constant_data;
+          blocks = 0;
+        }
+        blocks += inst.desc.num_blocks;
+        current.instances.push_back(inst);
+      }
+      if (!current.instances.empty()) chunks.push_back(std::move(current));
+      report.consolidated_launches = static_cast<int>(chunks.size());
+
+      Duration offset = Duration::zero();
+      for (const auto& chunk : chunks) {
+        const gpusim::RunResult run = engine_.run(chunk);
+        record_gpu_completions(run, offset,
+                               CompletionReply::Where::kConsolidatedGpu, 0);
+        offset += run.total_time;
+        energy += run.system_energy;
+      }
+      exec_time = offset;
+      break;
+    }
+    case Alternative::kIndividualGpu: {
+      Duration offset = Duration::zero();
+      for (std::size_t i = 0; i < plan.instances.size(); ++i) {
+        gpusim::LaunchPlan single;
+        single.instances.push_back(plan.instances[i]);
+        const gpusim::RunResult run = engine_.run(single);
+        replies[i].ok = true;
+        replies[i].where = CompletionReply::Where::kIndividualGpu;
+        replies[i].finish_time = overhead + offset + run.total_time;
+        offset += run.total_time;
+        energy += run.system_energy;
+      }
+      exec_time = offset;
+      break;
+    }
+    case Alternative::kCpu: {
+      std::vector<cpusim::CpuTask> tasks;
+      for (auto& p : profiles) tasks.push_back(*p);  // feasibility checked
+      cpusim::CpuEngine cpu(options_.cpu_config);
+      const cpusim::CpuRunResult run = cpu.run(tasks);
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (const auto& c : run.completions) {
+          if (c.instance_id == tasks[i].instance_id) {
+            replies[i].ok = true;
+            replies[i].where = CompletionReply::Where::kCpu;
+            replies[i].finish_time = overhead + c.finish_time;
+            break;
+          }
+        }
+      }
+      exec_time = run.makespan;
+      energy = run.system_energy +
+               gpu_idle_adder(engine_.energy_config()) * run.makespan;
+      break;
+    }
+  }
+
+  // The node sits near idle through the overhead window.
+  energy += engine_.energy_config().system_idle_with_gpu * overhead;
+
+  report.execution_time = exec_time;
+  report.total_time = overhead + exec_time;
+  report.energy = energy;
+
+  {
+    std::lock_guard lock(state_mutex_);
+    total_time_ += report.total_time;
+    total_energy_ += report.energy;
+    reports_.push_back(report);
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!replies[i].ok) {
+      replies[i].ok = false;
+      replies[i].error = "instance completion not recorded";
+    }
+    if (batch[i].reply) batch[i].reply->send(replies[i]);
+  }
+  batch.clear();
+}
+
+}  // namespace ewc::consolidate

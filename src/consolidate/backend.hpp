@@ -1,0 +1,121 @@
+// The consolidation backend daemon (paper Section IV).
+//
+// A daemon launched before any workload: it owns the only real GPU context,
+// listens for frontend connections, conducts every CUDA API call on their
+// behalf (staging cross-context copies through its pre-allocated buffer),
+// accumulates pending kernel launches, and — once enough work is queued —
+// selects template-covered candidate sets, asks the decision engine whether
+// consolidation is energy-beneficial, and executes the batch on the GPU
+// (consolidated or individual) or on the CPU.
+//
+// Time accounting: the framework's own overheads (IPC, staging, barriers)
+// are charged from the calibrated cost model; execution times and energies
+// come from the simulators. Host threads are real; the clock is simulated.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/channel.hpp"
+#include "consolidate/costs.hpp"
+#include "consolidate/decision.hpp"
+#include "consolidate/protocol.hpp"
+#include "consolidate/template_registry.hpp"
+#include "cpusim/engine.hpp"
+#include "cudart/context.hpp"
+#include "gpusim/engine.hpp"
+
+namespace ewc::consolidate {
+
+struct BackendOptions {
+  FrameworkCosts costs;
+  Optimizations optimizations;
+  DecisionPolicy policy = DecisionPolicy::kModelBased;
+  /// Process a batch when this many launches are pending (the paper uses
+  /// 10 x the number of GPUs); flush() forces earlier processing.
+  int batch_threshold = 10;
+  cpusim::CpuConfig cpu_config;
+};
+
+/// What happened to one processed candidate group. A batch of pending
+/// kernels is PARTITIONED by template coverage (paper Section VII: the
+/// backend "chooses workload candidates according to the available
+/// consolidation templates" and lets uncovered kernels "run normally"), so
+/// one flush can yield several reports.
+struct BatchReport {
+  int num_instances = 0;
+  std::vector<std::string> kernel_names;
+  std::optional<Decision> decision;  ///< absent when no template matched
+  Alternative executed = Alternative::kIndividualGpu;
+  bool template_found = false;
+  std::string template_name;  ///< empty when none matched
+  int consolidated_launches = 0;  ///< >1 when split by template capacity
+  common::Duration overhead = common::Duration::zero();
+  common::Duration execution_time = common::Duration::zero();
+  common::Duration total_time = common::Duration::zero();
+  common::Energy energy = common::Energy::zero();
+};
+
+class Backend {
+ public:
+  Backend(const gpusim::FluidEngine& engine, power::GpuPowerModel power_model,
+          TemplateRegistry templates, BackendOptions options);
+  ~Backend();
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  // ---- frontend-facing ----
+  common::Channel<BackendMessage>& channel() { return channel_; }
+  /// The backend's device context; every frontend allocation lives here.
+  /// Lock context_mutex() around any access.
+  cudart::Context& device_context() { return context_; }
+  std::mutex& context_mutex() { return context_mutex_; }
+  const BackendOptions& options() const { return options_; }
+
+  /// Register the CPU profile of one request instance of `kernel_name`
+  /// (paper: CPU performance/energy profiles are assumed available).
+  void set_cpu_profile(const std::string& kernel_name, cpusim::CpuTask task);
+
+  // ---- main-thread control ----
+  /// Process everything pending now; blocks until done.
+  void flush();
+  void shutdown();
+
+  // ---- results ----
+  std::vector<BatchReport> reports() const;
+  common::Duration total_time() const;
+  common::Energy total_energy() const;
+
+ private:
+  void run_loop();
+  void process_batch(std::vector<LaunchRequest>& batch);
+  /// Execute one template-covered candidate group (or an uncovered rest).
+  void process_group(std::vector<LaunchRequest>& group,
+                     const ConsolidationTemplate* tmpl);
+
+  const gpusim::FluidEngine& engine_;
+  DecisionEngine decision_;
+  TemplateRegistry templates_;
+  BackendOptions options_;
+
+  common::Channel<BackendMessage> channel_;
+  cudart::Context context_;
+  std::mutex context_mutex_;
+
+  mutable std::mutex state_mutex_;
+  std::map<std::string, cpusim::CpuTask> cpu_profiles_;
+  std::vector<BatchReport> reports_;
+  common::Duration total_time_ = common::Duration::zero();
+  common::Energy total_energy_ = common::Energy::zero();
+  int next_instance_id_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace ewc::consolidate

@@ -1,0 +1,175 @@
+#include "consolidate/decision.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace ewc::consolidate {
+
+const char* alternative_name(Alternative a) {
+  switch (a) {
+    case Alternative::kConsolidatedGpu: return "consolidated-gpu";
+    case Alternative::kIndividualGpu: return "individual-gpu";
+    case Alternative::kCpu: return "cpu";
+  }
+  return "?";
+}
+
+const AlternativeEstimate& Decision::chosen_estimate() const {
+  for (const auto& e : estimates) {
+    if (e.which == chosen) return e;
+  }
+  throw std::logic_error("Decision: chosen alternative missing");
+}
+
+DecisionEngine::DecisionEngine(gpusim::DeviceConfig dev,
+                               power::GpuPowerModel power_model,
+                               cpusim::CpuConfig cpu_cfg, FrameworkCosts costs)
+    : dev_(dev),
+      perf_(dev),
+      power_(std::move(power_model)),
+      cpu_cfg_(cpu_cfg),
+      costs_(costs) {}
+
+Duration DecisionEngine::overhead(
+    const std::vector<gpusim::KernelInstance>& instances,
+    const std::vector<std::size_t>& staged_bytes,
+    const std::vector<int>& api_messages, const Optimizations& opts) const {
+  if (instances.size() != staged_bytes.size() ||
+      instances.size() != api_messages.size()) {
+    throw std::invalid_argument("DecisionEngine::overhead: size mismatch");
+  }
+  const std::size_t n = instances.size();
+  double secs = costs_.decision_eval.seconds();
+
+  // Communication: with leader election, one frontend per homogeneous group
+  // speaks for the group and the rest only register + ship data.
+  std::map<std::string, int> seen;  // kernel name -> members so far
+  for (std::size_t i = 0; i < n; ++i) {
+    int messages = api_messages[i];
+    if (opts.leader_election) {
+      const int member = seen[instances[i].desc.name]++;
+      if (member > 0) messages = std::min(messages, costs_.messages_follower);
+    }
+    secs += messages * costs_.ipc_round_trip.seconds();
+  }
+
+  // Staging: one shared pre-allocated buffer serializes the copies, and each
+  // queued instance waits one extra round per predecessor. Without the
+  // constant-data-reuse optimization, every instance additionally ships its
+  // kernel's constant data (e.g. the AES T-tables) through the buffer.
+  std::set<std::string> constants_uploaded;
+  for (std::size_t i = 0; i < n; ++i) {
+    double bytes = static_cast<double>(staged_bytes[i]);
+    const double cbytes = instances[i].desc.resources.constant_data.bytes();
+    if (cbytes > 0.0) {
+      const bool first =
+          constants_uploaded.insert(instances[i].desc.name).second;
+      if (!opts.constant_data_reuse || first) {
+        bytes += cbytes;
+        secs += costs_.staging_fixed.seconds();  // extra upload round trip
+      }
+    }
+    secs += costs_.staging_fixed.seconds() +
+            bytes / costs_.staging_bandwidth.bytes_per_second();
+    secs += static_cast<double>(i) * costs_.staging_round.seconds();
+  }
+
+  // Frontend synchronization barrier before the combined launch.
+  secs += static_cast<double>(n) * costs_.barrier_per_frontend.seconds();
+  return Duration::from_seconds(secs);
+}
+
+Decision DecisionEngine::decide(
+    const gpusim::LaunchPlan& plan,
+    const std::vector<std::optional<cpusim::CpuTask>>& cpu_profiles,
+    Duration framework_overhead, DecisionPolicy policy) const {
+  if (plan.instances.empty()) {
+    throw std::invalid_argument("DecisionEngine::decide: empty plan");
+  }
+  if (cpu_profiles.size() != plan.instances.size()) {
+    throw std::invalid_argument("DecisionEngine::decide: profile count mismatch");
+  }
+
+  Decision d;
+
+  // (a) consolidated GPU.
+  {
+    AlternativeEstimate e;
+    e.which = Alternative::kConsolidatedGpu;
+    const auto timing = perf_.predict(plan);
+    const auto pw = power_.predict(dev_, plan, timing);
+    e.time = timing.total_time + framework_overhead;
+    // During the overhead window the node sits near idle (host-side copies).
+    e.energy = pw.system_energy + power_.idle_power() * framework_overhead;
+    e.note = timing.type == perf::ConsolidationType::kType1 ? "type-1" : "type-2";
+    d.estimates.push_back(e);
+  }
+
+  // (b) individual (serial) GPU execution.
+  {
+    AlternativeEstimate e;
+    e.which = Alternative::kIndividualGpu;
+    Duration total = Duration::zero();
+    Energy energy = Energy::zero();
+    for (const auto& inst : plan.instances) {
+      gpusim::LaunchPlan single;
+      single.instances.push_back(inst);
+      const auto timing = perf_.predict(single);
+      const auto pw = power_.predict(dev_, single, timing);
+      total += timing.total_time;
+      energy += pw.system_energy;
+    }
+    e.time = total;
+    e.energy = energy;
+    d.estimates.push_back(e);
+  }
+
+  // (c) CPU, from the provided profiles (paper: "we assume that CPU
+  // performance and energy profiles are available").
+  {
+    AlternativeEstimate e;
+    e.which = Alternative::kCpu;
+    std::vector<cpusim::CpuTask> tasks;
+    bool have_all = true;
+    for (const auto& p : cpu_profiles) {
+      if (!p.has_value()) {
+        have_all = false;
+        break;
+      }
+      tasks.push_back(*p);
+    }
+    if (have_all) {
+      cpusim::CpuEngine cpu(cpu_cfg_);
+      const auto run = cpu.run(tasks);
+      e.time = run.makespan;
+      e.energy = run.system_energy;
+    } else {
+      e.feasible = false;
+      e.note = "missing CPU profile";
+    }
+    d.estimates.push_back(e);
+  }
+
+  switch (policy) {
+    case DecisionPolicy::kAlwaysConsolidate:
+      d.chosen = Alternative::kConsolidatedGpu;
+      break;
+    case DecisionPolicy::kNeverConsolidate:
+      d.chosen = Alternative::kIndividualGpu;
+      break;
+    case DecisionPolicy::kModelBased: {
+      const AlternativeEstimate* best = nullptr;
+      for (const auto& e : d.estimates) {
+        if (!e.feasible) continue;
+        if (best == nullptr || e.energy < best->energy) best = &e;
+      }
+      d.chosen = best ? best->which : Alternative::kIndividualGpu;
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace ewc::consolidate

@@ -1,0 +1,80 @@
+// Energy-aware consolidation decision engine (paper Section VII, Figure 6).
+//
+// For a candidate set of pending kernels the engine predicts, with the
+// Section V performance model and the Section VI power model, the execution
+// time, average power and energy of three alternatives:
+//   (a) consolidate onto the GPU as one kernel (plus framework overhead),
+//   (b) run each kernel on the GPU individually (serial),
+//   (c) run the instances on the multicore CPU (profiles assumed available).
+// Energy E = P x T decides; consolidation must beat BOTH alternatives to be
+// chosen, mirroring the paper's "judicious consolidation" rule.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpusim/engine.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "perf/consolidation_model.hpp"
+#include "power/power_model.hpp"
+#include "consolidate/costs.hpp"
+
+namespace ewc::consolidate {
+
+using common::Duration;
+using common::Energy;
+
+enum class Alternative { kConsolidatedGpu, kIndividualGpu, kCpu };
+
+const char* alternative_name(Alternative a);
+
+struct AlternativeEstimate {
+  Alternative which = Alternative::kConsolidatedGpu;
+  Duration time = Duration::zero();
+  Energy energy = Energy::zero();
+  bool feasible = true;
+  std::string note;
+};
+
+struct Decision {
+  Alternative chosen = Alternative::kConsolidatedGpu;
+  std::vector<AlternativeEstimate> estimates;  ///< all alternatives
+  const AlternativeEstimate& chosen_estimate() const;
+};
+
+/// How the backend picks (ablation A4 swaps the policy).
+enum class DecisionPolicy { kModelBased, kAlwaysConsolidate, kNeverConsolidate };
+
+class DecisionEngine {
+ public:
+  DecisionEngine(gpusim::DeviceConfig dev, power::GpuPowerModel power_model,
+                 cpusim::CpuConfig cpu_cfg, FrameworkCosts costs);
+
+  /// Estimated framework overhead for staging/coordinating `requests`
+  /// (public so the backend charges the same cost it predicted with).
+  Duration overhead(
+      const std::vector<gpusim::KernelInstance>& instances,
+      const std::vector<std::size_t>& staged_bytes,
+      const std::vector<int>& api_messages, const Optimizations& opts) const;
+
+  /// Evaluate the three alternatives for a candidate consolidation. The CPU
+  /// alternative needs per-instance CPU profiles; if any are missing the CPU
+  /// path is reported infeasible.
+  Decision decide(const gpusim::LaunchPlan& plan,
+                  const std::vector<std::optional<cpusim::CpuTask>>& cpu_profiles,
+                  Duration framework_overhead,
+                  DecisionPolicy policy = DecisionPolicy::kModelBased) const;
+
+  const perf::ConsolidationModel& perf_model() const { return perf_; }
+  const power::GpuPowerModel& power_model() const { return power_; }
+
+ private:
+  gpusim::DeviceConfig dev_;
+  perf::ConsolidationModel perf_;
+  power::GpuPowerModel power_;
+  cpusim::CpuConfig cpu_cfg_;
+  FrameworkCosts costs_;
+};
+
+}  // namespace ewc::consolidate

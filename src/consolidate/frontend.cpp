@@ -1,0 +1,120 @@
+#include "consolidate/frontend.hpp"
+
+#include <cstring>
+
+namespace ewc::consolidate {
+
+using cudart::MemcpyKind;
+using cudart::wcudaError;
+
+Frontend::Frontend(Backend& backend, std::string owner,
+                   const cudart::KernelRegistry* registry)
+    : backend_(backend),
+      owner_(std::move(owner)),
+      registry_(registry ? registry : &cudart::KernelRegistry::global()),
+      batching_(backend.options().optimizations.argument_batching) {}
+
+wcudaError Frontend::on_malloc(void** dev_ptr, std::size_t bytes) {
+  std::lock_guard lock(backend_.context_mutex());
+  messages_since_launch_ += 1;
+  return backend_.device_context().allocate(bytes, dev_ptr);
+}
+
+wcudaError Frontend::on_free(void* dev_ptr) {
+  std::lock_guard lock(backend_.context_mutex());
+  messages_since_launch_ += 1;
+  return backend_.device_context().release(dev_ptr);
+}
+
+wcudaError Frontend::on_memcpy(void* dst, const void* src, std::size_t bytes,
+                               MemcpyKind kind) {
+  std::lock_guard lock(backend_.context_mutex());
+  auto& ctx = backend_.device_context();
+  switch (kind) {
+    case MemcpyKind::kHostToDevice: {
+      // The backend stages the frontend's data through its pre-allocated
+      // buffer and copies it into device memory (two copies; the cost model
+      // charges them per batch).
+      cudart::Allocation* alloc = ctx.find(dst);
+      if (alloc == nullptr) return wcudaError::kInvalidDevicePointer;
+      if (bytes > alloc->data.size()) return wcudaError::kInvalidValue;
+      std::memcpy(alloc->data.data(), src, bytes);
+      staged_since_launch_ += bytes;
+      messages_since_launch_ += 1;
+      return wcudaError::kSuccess;
+    }
+    case MemcpyKind::kDeviceToHost: {
+      cudart::Allocation* alloc = ctx.find(const_cast<void*>(src));
+      if (alloc == nullptr) return wcudaError::kInvalidDevicePointer;
+      if (bytes > alloc->data.size()) return wcudaError::kInvalidValue;
+      std::memcpy(dst, alloc->data.data(), bytes);
+      return wcudaError::kSuccess;
+    }
+    case MemcpyKind::kDeviceToDevice: {
+      cudart::Allocation* d = ctx.find(dst);
+      cudart::Allocation* s = ctx.find(const_cast<void*>(src));
+      if (d == nullptr || s == nullptr) {
+        return wcudaError::kInvalidDevicePointer;
+      }
+      if (bytes > d->data.size() || bytes > s->data.size()) {
+        return wcudaError::kInvalidValue;
+      }
+      std::memcpy(d->data.data(), s->data.data(), bytes);
+      return wcudaError::kSuccess;
+    }
+  }
+  return wcudaError::kInvalidValue;
+}
+
+wcudaError Frontend::on_configure_call(cudart::Dim3 grid, cudart::Dim3 block,
+                                       std::size_t shared_mem) {
+  config_ = cudart::LaunchConfig{grid, block, shared_mem, /*valid=*/true};
+  args_.clear();
+  if (!batching_) messages_since_launch_ += 1;
+  return wcudaError::kSuccess;
+}
+
+wcudaError Frontend::on_setup_argument(const void* arg, std::size_t size,
+                                       std::size_t offset) {
+  if (!config_.valid) return wcudaError::kInvalidConfiguration;
+  if (arg == nullptr || size == 0) return wcudaError::kInvalidValue;
+  if (args_.size() < offset + size) args_.resize(offset + size);
+  std::memcpy(args_.data() + offset, arg, size);
+  if (!batching_) messages_since_launch_ += 1;
+  return wcudaError::kSuccess;
+}
+
+wcudaError Frontend::on_launch(const std::string& kernel_name) {
+  if (!config_.valid) return wcudaError::kInvalidConfiguration;
+  if (!registry_->contains(kernel_name)) return wcudaError::kUnknownKernel;
+
+  LaunchRequest req;
+  req.owner = owner_;
+  try {
+    req.desc = registry_->instantiate(kernel_name, config_, args_);
+  } catch (const std::exception&) {
+    return wcudaError::kLaunchFailure;
+  }
+  if (staged_since_launch_ > 0) {
+    req.desc.h2d_bytes = common::Bytes::from_bytes(
+        static_cast<double>(staged_since_launch_));
+  }
+  req.staged_bytes = staged_since_launch_;
+  req.api_messages = messages_since_launch_ + 1;  // + the launch itself
+  req.reply = reply_;
+
+  config_ = cudart::LaunchConfig{};
+  args_.clear();
+  messages_since_launch_ = 0;
+  staged_since_launch_ = 0;
+
+  if (!backend_.channel().send(std::move(req))) {
+    return wcudaError::kLaunchFailure;
+  }
+  auto reply = reply_->receive();
+  if (!reply.has_value()) return wcudaError::kLaunchFailure;
+  last_reply_ = *reply;
+  return last_reply_.ok ? wcudaError::kSuccess : wcudaError::kLaunchFailure;
+}
+
+}  // namespace ewc::consolidate

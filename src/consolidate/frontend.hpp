@@ -1,0 +1,59 @@
+// The consolidation frontend (paper Section IV).
+//
+// One Frontend per user process: a cudart::Interceptor installed on the
+// process's Context that diverts the five CUDA entry points to the backend.
+// Memory operations are conducted against the backend's context (the only
+// real GPU context) with the data staged through the backend buffer; launch
+// configuration and arguments are forwarded — immediately, or held until
+// cudaLaunch when argument batching is on (the paper's optimization for
+// reducing frontend/backend interactions). on_launch blocks until the
+// backend's batch containing this kernel has executed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consolidate/backend.hpp"
+#include "cudart/interceptor.hpp"
+#include "cudart/registry.hpp"
+
+namespace ewc::consolidate {
+
+class Frontend : public cudart::Interceptor {
+ public:
+  Frontend(Backend& backend, std::string owner,
+           const cudart::KernelRegistry* registry = nullptr);
+
+  // cudart::Interceptor
+  cudart::wcudaError on_malloc(void** dev_ptr, std::size_t bytes) override;
+  cudart::wcudaError on_free(void* dev_ptr) override;
+  cudart::wcudaError on_memcpy(void* dst, const void* src, std::size_t bytes,
+                               cudart::MemcpyKind kind) override;
+  cudart::wcudaError on_configure_call(cudart::Dim3 grid, cudart::Dim3 block,
+                                       std::size_t shared_mem) override;
+  cudart::wcudaError on_setup_argument(const void* arg, std::size_t size,
+                                       std::size_t offset) override;
+  cudart::wcudaError on_launch(const std::string& kernel_name) override;
+
+  /// Result of the most recent (blocking) launch.
+  const CompletionReply& last_completion() const { return last_reply_; }
+
+  const std::string& owner() const { return owner_; }
+
+ private:
+  Backend& backend_;
+  std::string owner_;
+  const cudart::KernelRegistry* registry_;
+  bool batching_;
+
+  cudart::LaunchConfig config_;
+  std::vector<std::byte> args_;
+  int messages_since_launch_ = 0;
+  std::size_t staged_since_launch_ = 0;
+  std::shared_ptr<ReplyChannel> reply_ = std::make_shared<ReplyChannel>();
+  CompletionReply last_reply_;
+};
+
+}  // namespace ewc::consolidate

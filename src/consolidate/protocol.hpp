@@ -1,0 +1,55 @@
+// Frontend <-> backend message protocol.
+//
+// In the paper the frontend is a shared library that forwards intercepted
+// CUDA API information over a connection to the backend daemon, which is the
+// only process that actually talks to the GPU. Here each message carries the
+// resolved kernel descriptor (the backend would have resolved it from the
+// API arguments anyway) plus the accounting the overhead model needs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/channel.hpp"
+#include "common/units.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::consolidate {
+
+/// Backend's answer to one kernel launch, delivered when the batch the
+/// kernel joined has finished executing.
+struct CompletionReply {
+  bool ok = false;
+  std::string error;
+  /// Simulated wall time from batch start to this instance's completion.
+  common::Duration finish_time = common::Duration::zero();
+  /// Where the instance actually ran.
+  enum class Where { kConsolidatedGpu, kIndividualGpu, kCpu } where =
+      Where::kConsolidatedGpu;
+};
+
+using ReplyChannel = common::Channel<CompletionReply>;
+
+/// A kernel launch intercepted by a frontend.
+struct LaunchRequest {
+  std::string owner;
+  gpusim::KernelDesc desc;
+  /// Bytes the frontend staged through the backend buffer for this launch.
+  std::size_t staged_bytes = 0;
+  /// API messages this launch cost on the wire (depends on batching).
+  int api_messages = 0;
+  std::shared_ptr<ReplyChannel> reply;
+};
+
+/// Main-thread request to process everything pending immediately.
+struct FlushRequest {
+  std::shared_ptr<common::Channel<bool>> done;
+};
+
+struct ShutdownRequest {};
+
+using BackendMessage =
+    std::variant<LaunchRequest, FlushRequest, ShutdownRequest>;
+
+}  // namespace ewc::consolidate

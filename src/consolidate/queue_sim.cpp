@@ -1,0 +1,147 @@
+#include "consolidate/queue_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "cpusim/engine.hpp"
+
+namespace ewc::consolidate {
+
+QueueSimulator::QueueSimulator(
+    const gpusim::FluidEngine& engine, power::GpuPowerModel power_model,
+    std::map<std::string, workloads::InstanceSpec> catalogue,
+    QueueSimOptions options)
+    : engine_(engine),
+      decision_(engine.device(), std::move(power_model), options.cpu_config,
+                options.costs),
+      catalogue_(std::move(catalogue)),
+      options_(options) {}
+
+QueueSimResult QueueSimulator::run(
+    const std::vector<trace::Request>& requests) const {
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    if (requests[i].arrival_seconds < requests[i - 1].arrival_seconds) {
+      throw std::invalid_argument("QueueSimulator: trace not sorted");
+    }
+  }
+
+  QueueSimResult result;
+  const double idle_w =
+      engine_.energy_config().system_idle_with_gpu.watts();
+  const double gpu_idle_delta_w =
+      idle_w - engine_.energy_config().host_only_idle.watts();
+
+  std::size_t next = 0;
+  double t_free = 0.0;
+  double busy_and_gap_joules = 0.0;
+
+  while (next < requests.size()) {
+    // ---- form one batch ----
+    std::vector<trace::Request> batch{requests[next++]};
+    const double deadline =
+        batch.front().arrival_seconds + options_.batch_timeout.seconds();
+    while (static_cast<int>(batch.size()) < options_.batch_threshold &&
+           next < requests.size() &&
+           requests[next].arrival_seconds <= deadline) {
+      batch.push_back(requests[next++]);
+    }
+    const bool filled =
+        static_cast<int>(batch.size()) >= options_.batch_threshold;
+    // The batch triggers when it fills, when the timeout expires, or when
+    // the trace drains (flush).
+    double ready = filled ? batch.back().arrival_seconds
+                          : (next < requests.size()
+                                 ? deadline
+                                 : batch.back().arrival_seconds);
+
+    // ---- build the launch plan + profiles ----
+    gpusim::LaunchPlan plan;
+    plan.reuse_constant_data = options_.optimizations.constant_data_reuse;
+    std::vector<std::optional<cpusim::CpuTask>> profiles;
+    std::vector<std::size_t> staged;
+    std::vector<int> messages;
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      auto it = catalogue_.find(batch[b].workload);
+      if (it == catalogue_.end()) {
+        throw std::out_of_range("QueueSimulator: unknown workload '" +
+                                batch[b].workload + "'");
+      }
+      gpusim::KernelInstance inst;
+      inst.desc = it->second.gpu;
+      inst.instance_id = static_cast<int>(b);
+      inst.owner = "user" + std::to_string(batch[b].user_id);
+      plan.instances.push_back(std::move(inst));
+      cpusim::CpuTask task = it->second.cpu;
+      task.instance_id = static_cast<int>(b);
+      profiles.emplace_back(std::move(task));
+      staged.push_back(
+          static_cast<std::size_t>(it->second.gpu.h2d_bytes.bytes()));
+      messages.push_back(options_.optimizations.argument_batching ? 4 : 7);
+    }
+
+    const auto overhead = decision_.overhead(plan.instances, staged, messages,
+                                             options_.optimizations);
+    const auto decision =
+        decision_.decide(plan, profiles, overhead, options_.policy);
+
+    // ---- execute ----
+    double exec_seconds = 0.0;
+    double exec_joules = 0.0;
+    switch (decision.chosen) {
+      case Alternative::kConsolidatedGpu: {
+        const auto run = engine_.run(plan);
+        exec_seconds = run.total_time.seconds();
+        exec_joules = run.system_energy.joules();
+        break;
+      }
+      case Alternative::kIndividualGpu: {
+        const auto run = engine_.run_serial(plan.instances);
+        exec_seconds = run.total_time.seconds();
+        exec_joules = run.system_energy.joules();
+        break;
+      }
+      case Alternative::kCpu: {
+        std::vector<cpusim::CpuTask> tasks;
+        for (auto& p : profiles) tasks.push_back(*p);
+        cpusim::CpuEngine cpu(options_.cpu_config);
+        const auto run = cpu.run(tasks);
+        exec_seconds = run.makespan.seconds();
+        exec_joules = run.system_energy.joules() +
+                      gpu_idle_delta_w * run.makespan.seconds();
+        break;
+      }
+    }
+
+    const double start = std::max(ready, t_free);
+    const double gap = start - t_free;  // node idles between batches
+    const double finish = start + overhead.seconds() + exec_seconds;
+    busy_and_gap_joules += gap * idle_w + overhead.seconds() * idle_w +
+                           exec_joules;
+
+    for (const auto& req : batch) {
+      RequestOutcome o;
+      o.user_id = req.user_id;
+      o.workload = req.workload;
+      o.arrival_seconds = req.arrival_seconds;
+      o.finish_seconds = finish;
+      result.outcomes.push_back(std::move(o));
+    }
+    t_free = finish;
+    result.batches += 1;
+  }
+
+  result.makespan = common::Duration::from_seconds(t_free);
+  result.energy = common::Energy::from_joules(busy_and_gap_joules);
+
+  std::vector<double> latencies;
+  latencies.reserve(result.outcomes.size());
+  for (const auto& o : result.outcomes) {
+    latencies.push_back(o.latency_seconds());
+  }
+  result.mean_latency_seconds = common::mean(latencies);
+  result.p95_latency_seconds = common::percentile(latencies, 95.0);
+  return result;
+}
+
+}  // namespace ewc::consolidate

@@ -1,0 +1,73 @@
+// Trace-driven batching/queueing simulation (paper Section VII).
+//
+// The backend "keeps track of the number of workloads that issue GPU
+// kernels" and consolidates once the count reaches a threshold (10 x the
+// number of GPUs), which the paper says "can be adjusted based on further
+// observation". This module performs that observation: it replays a request
+// trace in simulated time against a single GPU whose batches form when the
+// threshold is reached (or a timeout expires, or the trace drains), runs
+// each batch through the decision engine, and reports the *request latency*
+// distribution alongside energy — the throughput/latency trade-off the
+// threshold knob controls.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "consolidate/decision.hpp"
+#include "gpusim/engine.hpp"
+#include "trace/trace.hpp"
+#include "workloads/paper_configs.hpp"
+
+namespace ewc::consolidate {
+
+struct QueueSimOptions {
+  int batch_threshold = 10;
+  /// A batch older than this executes even if under-filled (bounds latency).
+  common::Duration batch_timeout = common::Duration::from_seconds(30.0);
+  DecisionPolicy policy = DecisionPolicy::kModelBased;
+  FrameworkCosts costs;
+  Optimizations optimizations;
+  cpusim::CpuConfig cpu_config;
+};
+
+struct RequestOutcome {
+  int user_id = 0;
+  std::string workload;
+  double arrival_seconds = 0.0;
+  double finish_seconds = 0.0;
+  double latency_seconds() const { return finish_seconds - arrival_seconds; }
+};
+
+struct QueueSimResult {
+  std::vector<RequestOutcome> outcomes;
+  common::Duration makespan = common::Duration::zero();
+  common::Energy energy = common::Energy::zero();  ///< busy + idle gaps
+  int batches = 0;
+  double mean_latency_seconds = 0.0;
+  double p95_latency_seconds = 0.0;
+};
+
+class QueueSimulator {
+ public:
+  /// @param catalogue  workload-name -> calibrated spec for every workload
+  ///                   that may appear in a trace.
+  QueueSimulator(const gpusim::FluidEngine& engine,
+                 power::GpuPowerModel power_model,
+                 std::map<std::string, workloads::InstanceSpec> catalogue,
+                 QueueSimOptions options = {});
+
+  /// Replay `requests` (must be sorted by arrival time).
+  /// @throws std::out_of_range for workloads missing from the catalogue;
+  ///         std::invalid_argument for an unsorted trace.
+  QueueSimResult run(const std::vector<trace::Request>& requests) const;
+
+ private:
+  const gpusim::FluidEngine& engine_;
+  DecisionEngine decision_;
+  std::map<std::string, workloads::InstanceSpec> catalogue_;
+  QueueSimOptions options_;
+};
+
+}  // namespace ewc::consolidate

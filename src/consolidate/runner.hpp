@@ -1,0 +1,65 @@
+// ExperimentRunner: the paper's four evaluation setups side by side.
+//
+// Every evaluation table/figure in Section VIII compares:
+//   CPU     — all instances launched concurrently on the multicore CPU;
+//   Serial  — GPU, one instance after another (no consolidation);
+//   Manual  — hand-consolidated single kernel (no framework overheads, no
+//             framework optimizations);
+//   Dynamic — the full runtime framework: real frontends intercepting wcuda
+//             calls, backend staging + decision engine + consolidation.
+// The runner executes all four for a given workload mix and reports time and
+// energy per setup, exactly the rows the paper's tables print.
+#pragma once
+
+#include <vector>
+
+#include "consolidate/backend.hpp"
+#include "cpusim/engine.hpp"
+#include "power/power_model.hpp"
+#include "workloads/paper_configs.hpp"
+
+namespace ewc::consolidate {
+
+struct SetupResult {
+  common::Duration time = common::Duration::zero();
+  common::Energy energy = common::Energy::zero();
+};
+
+/// `count` instances of one calibrated workload spec.
+struct WorkloadMix {
+  workloads::InstanceSpec spec;
+  int count = 1;
+};
+
+struct ComparisonResult {
+  SetupResult cpu;
+  SetupResult serial_gpu;
+  SetupResult manual;
+  SetupResult dynamic_framework;
+  std::vector<BatchReport> dynamic_reports;
+};
+
+class ExperimentRunner {
+ public:
+  ExperimentRunner(const gpusim::FluidEngine& engine,
+                   power::GpuPowerModel power_model,
+                   BackendOptions options = {});
+
+  /// Run all four setups on the mix.
+  ComparisonResult compare(const std::vector<WorkloadMix>& mix) const;
+
+  SetupResult run_cpu(const std::vector<WorkloadMix>& mix) const;
+  SetupResult run_serial(const std::vector<WorkloadMix>& mix) const;
+  SetupResult run_manual(const std::vector<WorkloadMix>& mix) const;
+  /// Full framework path: one frontend thread per instance issuing real
+  /// wcuda calls through interception.
+  SetupResult run_dynamic(const std::vector<WorkloadMix>& mix,
+                          std::vector<BatchReport>* reports = nullptr) const;
+
+ private:
+  const gpusim::FluidEngine& engine_;
+  power::GpuPowerModel power_model_;
+  BackendOptions options_;
+};
+
+}  // namespace ewc::consolidate

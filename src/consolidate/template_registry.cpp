@@ -1,0 +1,56 @@
+#include "consolidate/template_registry.hpp"
+
+#include <algorithm>
+
+namespace ewc::consolidate {
+
+void TemplateRegistry::add(ConsolidationTemplate t) {
+  templates_.push_back(std::move(t));
+}
+
+void TemplateRegistry::add_homogeneous(const std::string& kernel,
+                                       int max_total_blocks) {
+  ConsolidationTemplate t;
+  t.name = kernel + "_homogeneous";
+  t.kernels = {kernel};
+  t.max_total_blocks = max_total_blocks;
+  add(std::move(t));
+}
+
+const ConsolidationTemplate* TemplateRegistry::find(
+    const std::vector<std::string>& kernel_names) const {
+  const ConsolidationTemplate* best = nullptr;
+  for (const auto& t : templates_) {
+    bool covers = std::all_of(
+        kernel_names.begin(), kernel_names.end(),
+        [&](const std::string& k) { return t.kernels.count(k) != 0; });
+    if (covers && (best == nullptr || t.kernels.size() < best->kernels.size())) {
+      best = &t;
+    }
+  }
+  return best;
+}
+
+TemplateRegistry TemplateRegistry::paper_defaults() {
+  TemplateRegistry r;
+  for (const char* k : {"aes_encrypt", "bitonic_sort", "search",
+                        "blackscholes", "montecarlo", "montecarlo_gmem",
+                        "kmeans", "sha256", "compression"}) {
+    r.add_homogeneous(k);
+  }
+  {
+    ConsolidationTemplate t;
+    t.name = "encryption_montecarlo";
+    t.kernels = {"aes_encrypt", "montecarlo", "montecarlo_gmem"};
+    r.add(std::move(t));
+  }
+  {
+    ConsolidationTemplate t;
+    t.name = "search_blackscholes";
+    t.kernels = {"search", "blackscholes"};
+    r.add(std::move(t));
+  }
+  return r;
+}
+
+}  // namespace ewc::consolidate

@@ -1,0 +1,51 @@
+// Precompiled consolidation templates (paper Section IV).
+//
+// A template is a pre-generated CUDA kernel that can execute any mix of
+// instances of a fixed set of workload kernels (renamed variables, re-indexed
+// accesses, if-else dispatch of blocks). It is parameterized by instance
+// counts and block partitioning, but it was compiled for a bounded combined
+// grid, so a batch larger than its capacity must be split into several
+// consolidated launches. The backend can only consolidate candidate sets for
+// which a template exists — exactly the paper's constraint.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ewc::consolidate {
+
+struct ConsolidationTemplate {
+  std::string name;
+  /// Workload kernels this template can host (a candidate set is coverable
+  /// iff every kernel name is in this set).
+  std::set<std::string> kernels;
+  /// Combined-grid capacity the template was compiled for.
+  int max_total_blocks = 240;  ///< 8 resident blocks x 30 SMs
+};
+
+class TemplateRegistry {
+ public:
+  void add(ConsolidationTemplate t);
+
+  /// The template covering all `kernel_names`, preferring the narrowest
+  /// match (fewest hosted kernels); nullptr when none covers the set.
+  const ConsolidationTemplate* find(
+      const std::vector<std::string>& kernel_names) const;
+
+  /// Register a single-workload (homogeneous) template for `kernel`.
+  void add_homogeneous(const std::string& kernel, int max_total_blocks = 240);
+
+  std::size_t size() const { return templates_.size(); }
+
+  /// The paper's manually pre-designed template set: homogeneous templates
+  /// for the five workloads plus the heterogeneous pairs evaluated in
+  /// Section VIII (encryption+montecarlo, search+blackscholes).
+  static TemplateRegistry paper_defaults();
+
+ private:
+  std::vector<ConsolidationTemplate> templates_;
+};
+
+}  // namespace ewc::consolidate

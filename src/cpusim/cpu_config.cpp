@@ -1,0 +1,7 @@
+#include "cpusim/cpu_config.hpp"
+
+namespace ewc::cpusim {
+
+CpuConfig xeon_e5520() { return CpuConfig{}; }
+
+}  // namespace ewc::cpusim

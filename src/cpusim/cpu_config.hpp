@@ -1,0 +1,42 @@
+// Multicore-CPU baseline configuration (dual-socket Intel Xeon E5520).
+//
+// The paper's CPU baseline runs N workload instances concurrently and lets
+// the OS spread them over 8 cores; its departure from linear scaling comes
+// from time slicing (context-switch overhead once instances outnumber cores)
+// and shared L2/L3 cache contention. Both mechanisms are modelled explicitly.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace ewc::cpusim {
+
+using common::Duration;
+using common::Frequency;
+using common::Power;
+
+struct CpuConfig {
+  int num_cores = 8;  ///< 2 sockets x 4 cores
+  Frequency core_clock = Frequency::from_ghz(2.27);
+
+  // OS scheduler (Linux 2.6.31 defaults, CFS-like round robin).
+  Duration time_slice = Duration::from_millis(6.0);
+  Duration context_switch_cost = Duration::from_micros(30.0);
+  /// Extra cache-refill penalty a task pays after being switched back in,
+  /// proportional to its working-set pressure (0..1).
+  Duration cold_cache_refill = Duration::from_micros(400.0);
+
+  // Shared-cache contention: each co-running instance beyond the first adds
+  // this much slowdown, scaled by the workload's cache sensitivity, and
+  // saturating once the shared caches are fully thrashed.
+  double contention_slope = 0.055;
+  double contention_max = 0.65;
+
+  // Whole-node power when the GPU is physically disconnected (paper's CPU
+  // measurement setup) plus per-active-core increments.
+  Power idle_power = Power::from_watts(133.0);
+  Power active_core_power = Power::from_watts(18.5);
+};
+
+CpuConfig xeon_e5520();
+
+}  // namespace ewc::cpusim

@@ -1,0 +1,52 @@
+// Fluid simulator of the multicore-CPU baseline.
+//
+// Instances run concurrently; the OS time-slices their threads over the
+// cores. Between completions, each instance drains its work at a rate set by
+// (a) its thread count, (b) the core share when threads oversubscribe the
+// machine (including context-switch and cache-refill overhead), and (c) a
+// shared-cache contention factor that grows with the number of co-runners.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "cpusim/cpu_config.hpp"
+#include "cpusim/task.hpp"
+
+namespace ewc::cpusim {
+
+using common::Duration;
+using common::Energy;
+using common::Power;
+
+struct CpuCompletion {
+  int instance_id = 0;
+  std::string name;
+  Duration finish_time = Duration::zero();
+};
+
+struct CpuRunResult {
+  Duration makespan = Duration::zero();
+  Energy system_energy = Energy::zero();
+  Power avg_system_power = Power::zero();
+  std::vector<CpuCompletion> completions;
+  /// Time-averaged number of busy cores.
+  double avg_busy_cores = 0.0;
+};
+
+class CpuEngine {
+ public:
+  explicit CpuEngine(CpuConfig cfg = xeon_e5520());
+
+  /// Run all tasks concurrently from t = 0 (the paper's CPU setup: launch N
+  /// instances and let the OS schedule them).
+  /// @throws std::invalid_argument on tasks with negative work or <1 thread.
+  CpuRunResult run(const std::vector<CpuTask>& tasks) const;
+
+  const CpuConfig& config() const { return cfg_; }
+
+ private:
+  CpuConfig cfg_;
+};
+
+}  // namespace ewc::cpusim

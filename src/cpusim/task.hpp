@@ -1,0 +1,21 @@
+// CPU-side workload description.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace ewc::cpusim {
+
+/// One workload instance as the CPU baseline sees it: a job with a total
+/// amount of single-core work, an OpenMP parallelism degree, and a shared-
+/// cache sensitivity in [0, 1] (how much co-runners hurt it).
+struct CpuTask {
+  std::string name;
+  double core_seconds = 0.0;   ///< total work, seconds on one dedicated core
+  int threads = 1;             ///< OpenMP worker count for this instance
+  double cache_sensitivity = 0.5;
+  int instance_id = 0;
+};
+
+}  // namespace ewc::cpusim

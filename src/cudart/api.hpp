@@ -1,0 +1,51 @@
+// "wcuda": a CUDA-runtime-like API surface executing on the GPU simulator.
+//
+// The consolidation framework (paper Section IV) works by intercepting five
+// CUDA runtime entry points from unmodified applications:
+//   cudaMalloc, cudaMemcpy, cudaConfigureCall, cudaSetupArgument, cudaLaunch
+// This header defines the equivalent vocabulary types for the simulated
+// stack. Applications call ewc::cudart::Runtime; when a consolidation
+// frontend is attached to their Context the calls are diverted to it,
+// mirroring the paper's LD_PRELOAD-style shared-library interposition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ewc::cudart {
+
+enum class wcudaError {
+  kSuccess = 0,
+  kInvalidValue,
+  kOutOfMemory,
+  kInvalidDevicePointer,
+  kInvalidConfiguration,
+  kLaunchFailure,
+  kUnknownKernel,
+};
+
+const char* error_name(wcudaError e);
+
+enum class MemcpyKind {
+  kHostToDevice,
+  kDeviceToHost,
+  kDeviceToDevice,
+};
+
+struct Dim3 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned z = 1;
+  unsigned count() const { return x * y * z; }
+};
+
+/// Execution configuration captured by wcudaConfigureCall.
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t shared_mem_bytes = 0;
+  bool valid = false;
+};
+
+}  // namespace ewc::cudart

@@ -1,0 +1,46 @@
+#include "cudart/context.hpp"
+
+namespace ewc::cudart {
+
+Context::Context(std::string owner, std::size_t device_capacity_bytes)
+    : owner_(std::move(owner)), capacity_(device_capacity_bytes) {}
+
+Context::~Context() = default;
+
+wcudaError Context::allocate(std::size_t bytes, void** out) {
+  if (out == nullptr || bytes == 0) return wcudaError::kInvalidValue;
+  if (used_ + bytes > capacity_) return wcudaError::kOutOfMemory;
+  auto alloc = std::make_unique<Allocation>();
+  alloc->data.resize(bytes);
+  void* ptr = alloc->data.data();
+  allocations_.emplace(ptr, std::move(alloc));
+  used_ += bytes;
+  *out = ptr;
+  return wcudaError::kSuccess;
+}
+
+wcudaError Context::release(void* ptr) {
+  auto it = allocations_.find(ptr);
+  if (it == allocations_.end()) return wcudaError::kInvalidDevicePointer;
+  used_ -= it->second->data.size();
+  allocations_.erase(it);
+  return wcudaError::kSuccess;
+}
+
+Allocation* Context::find(void* ptr) {
+  auto it = allocations_.find(ptr);
+  return it == allocations_.end() ? nullptr : it->second.get();
+}
+
+void Context::reset_launch_state() {
+  config_ = LaunchConfig{};
+  args_.clear();
+}
+
+std::size_t Context::take_h2d_since_launch() {
+  std::size_t b = h2d_since_launch_;
+  h2d_since_launch_ = 0;
+  return b;
+}
+
+}  // namespace ewc::cudart

@@ -1,0 +1,74 @@
+// Per-process device context.
+//
+// Each simulated user process owns one Context: its device allocations, the
+// pending launch configuration, and the marshalled kernel arguments. The
+// paper's central constraint — a process cannot touch another process's GPU
+// context, which is why the backend must stage copies through its own
+// buffer — is enforced here by giving every Context a private allocation map.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cudart/api.hpp"
+
+namespace ewc::cudart {
+
+class Interceptor;
+
+/// A device allocation with a real backing store, so workloads can round-trip
+/// data and verify functional correctness.
+struct Allocation {
+  std::vector<std::byte> data;
+};
+
+class Context {
+ public:
+  explicit Context(std::string owner, std::size_t device_capacity_bytes);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  const std::string& owner() const { return owner_; }
+
+  // ---- device memory ----
+  wcudaError allocate(std::size_t bytes, void** out);
+  wcudaError release(void* ptr);
+  /// Look up the allocation containing `ptr` (must be its base today).
+  Allocation* find(void* ptr);
+  std::size_t bytes_in_use() const { return used_; }
+  std::size_t allocation_count() const { return allocations_.size(); }
+
+  // ---- launch state machine ----
+  LaunchConfig& pending_config() { return config_; }
+  std::vector<std::byte>& pending_args() { return args_; }
+  void reset_launch_state();
+
+  // ---- interception ----
+  void set_interceptor(Interceptor* i) { interceptor_ = i; }
+  Interceptor* interceptor() const { return interceptor_; }
+
+  // ---- transfer accounting (feeds the engine's PCIe cost model) ----
+  void note_h2d(std::size_t bytes) { h2d_since_launch_ += bytes; }
+  void note_d2h(std::size_t bytes) { d2h_total_ += bytes; }
+  std::size_t take_h2d_since_launch();
+  std::size_t d2h_total() const { return d2h_total_; }
+
+ private:
+  std::string owner_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::map<void*, std::unique_ptr<Allocation>> allocations_;
+  LaunchConfig config_;
+  std::vector<std::byte> args_;
+  Interceptor* interceptor_ = nullptr;
+  std::size_t h2d_since_launch_ = 0;
+  std::size_t d2h_total_ = 0;
+};
+
+}  // namespace ewc::cudart

@@ -1,0 +1,29 @@
+// Interception hook: how the consolidation frontend captures API calls.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cudart/api.hpp"
+
+namespace ewc::cudart {
+
+/// Implemented by consolidate::Frontend. Each method corresponds to one of
+/// the paper's intercepted CUDA entry points; returning kSuccess means the
+/// interceptor handled the call and the runtime must not execute it directly.
+class Interceptor {
+ public:
+  virtual ~Interceptor() = default;
+
+  virtual wcudaError on_malloc(void** dev_ptr, std::size_t bytes) = 0;
+  virtual wcudaError on_free(void* dev_ptr) = 0;
+  virtual wcudaError on_memcpy(void* dst, const void* src, std::size_t bytes,
+                               MemcpyKind kind) = 0;
+  virtual wcudaError on_configure_call(Dim3 grid, Dim3 block,
+                                       std::size_t shared_mem_bytes) = 0;
+  virtual wcudaError on_setup_argument(const void* arg, std::size_t size,
+                                       std::size_t offset) = 0;
+  virtual wcudaError on_launch(const std::string& kernel_name) = 0;
+};
+
+}  // namespace ewc::cudart

@@ -1,0 +1,37 @@
+#include "cudart/registry.hpp"
+
+#include <stdexcept>
+
+namespace ewc::cudart {
+
+void KernelRegistry::register_kernel(std::string name, KernelFactory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool KernelRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+gpusim::KernelDesc KernelRegistry::instantiate(
+    const std::string& name, const LaunchConfig& config,
+    std::span<const std::byte> args) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::out_of_range("KernelRegistry: unknown kernel '" + name + "'");
+  }
+  return it->second(config, args);
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+KernelRegistry& KernelRegistry::global() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+}  // namespace ewc::cudart

@@ -1,0 +1,46 @@
+// Kernel registry: maps kernel names to descriptor factories.
+//
+// In real CUDA a launch resolves a device-code symbol; here it resolves a
+// factory that turns (launch configuration, marshalled arguments) into the
+// KernelDesc the simulator executes. Workload modules register their kernels
+// at startup, exactly like fatbin registration.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cudart/api.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::cudart {
+
+/// Builds a simulator kernel descriptor from a launch request.
+using KernelFactory = std::function<gpusim::KernelDesc(
+    const LaunchConfig& config, std::span<const std::byte> args)>;
+
+class KernelRegistry {
+ public:
+  /// Register `name`; overwrites any previous registration.
+  void register_kernel(std::string name, KernelFactory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// @throws std::out_of_range if the kernel is unknown.
+  gpusim::KernelDesc instantiate(const std::string& name,
+                                 const LaunchConfig& config,
+                                 std::span<const std::byte> args) const;
+
+  std::vector<std::string> names() const;
+
+  /// Process-wide registry (what fatbin registration would populate).
+  static KernelRegistry& global();
+
+ private:
+  std::map<std::string, KernelFactory> factories_;
+};
+
+}  // namespace ewc::cudart

@@ -1,0 +1,155 @@
+#include "cudart/runtime.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ewc::cudart {
+
+const char* error_name(wcudaError e) {
+  switch (e) {
+    case wcudaError::kSuccess: return "wcudaSuccess";
+    case wcudaError::kInvalidValue: return "wcudaErrorInvalidValue";
+    case wcudaError::kOutOfMemory: return "wcudaErrorOutOfMemory";
+    case wcudaError::kInvalidDevicePointer:
+      return "wcudaErrorInvalidDevicePointer";
+    case wcudaError::kInvalidConfiguration:
+      return "wcudaErrorInvalidConfiguration";
+    case wcudaError::kLaunchFailure: return "wcudaErrorLaunchFailure";
+    case wcudaError::kUnknownKernel: return "wcudaErrorUnknownKernel";
+  }
+  return "wcudaErrorUnknown";
+}
+
+Runtime::Runtime(const gpusim::FluidEngine& engine,
+                 const KernelRegistry* registry)
+    : engine_(engine),
+      registry_(registry ? registry : &KernelRegistry::global()) {
+  direct_stats_.sm_stats.resize(
+      static_cast<std::size_t>(engine_.device().num_sms));
+}
+
+wcudaError Runtime::wcudaMalloc(Context& ctx, void** dev_ptr,
+                                std::size_t bytes) {
+  if (auto* i = ctx.interceptor()) return i->on_malloc(dev_ptr, bytes);
+  return ctx.allocate(bytes, dev_ptr);
+}
+
+wcudaError Runtime::wcudaFree(Context& ctx, void* dev_ptr) {
+  if (auto* i = ctx.interceptor()) return i->on_free(dev_ptr);
+  return ctx.release(dev_ptr);
+}
+
+wcudaError Runtime::copy_into_allocation(Allocation& alloc, std::size_t offset,
+                                         const void* src, std::size_t bytes) {
+  if (offset + bytes > alloc.data.size()) return wcudaError::kInvalidValue;
+  std::memcpy(alloc.data.data() + offset, src, bytes);
+  return wcudaError::kSuccess;
+}
+
+wcudaError Runtime::wcudaMemcpy(Context& ctx, void* dst, const void* src,
+                                std::size_t bytes, MemcpyKind kind) {
+  if (dst == nullptr || src == nullptr) return wcudaError::kInvalidValue;
+  if (auto* i = ctx.interceptor()) return i->on_memcpy(dst, src, bytes, kind);
+
+  switch (kind) {
+    case MemcpyKind::kHostToDevice: {
+      Allocation* alloc = ctx.find(dst);
+      if (alloc == nullptr) return wcudaError::kInvalidDevicePointer;
+      if (bytes > alloc->data.size()) return wcudaError::kInvalidValue;
+      std::memcpy(alloc->data.data(), src, bytes);
+      ctx.note_h2d(bytes);
+      return wcudaError::kSuccess;
+    }
+    case MemcpyKind::kDeviceToHost: {
+      Allocation* alloc = ctx.find(const_cast<void*>(src));
+      if (alloc == nullptr) return wcudaError::kInvalidDevicePointer;
+      if (bytes > alloc->data.size()) return wcudaError::kInvalidValue;
+      std::memcpy(dst, alloc->data.data(), bytes);
+      ctx.note_d2h(bytes);
+      return wcudaError::kSuccess;
+    }
+    case MemcpyKind::kDeviceToDevice: {
+      Allocation* d = ctx.find(dst);
+      Allocation* s = ctx.find(const_cast<void*>(src));
+      if (d == nullptr || s == nullptr) {
+        return wcudaError::kInvalidDevicePointer;
+      }
+      if (bytes > d->data.size() || bytes > s->data.size()) {
+        return wcudaError::kInvalidValue;
+      }
+      std::memcpy(d->data.data(), s->data.data(), bytes);
+      return wcudaError::kSuccess;
+    }
+  }
+  return wcudaError::kInvalidValue;
+}
+
+wcudaError Runtime::wcudaConfigureCall(Context& ctx, Dim3 grid, Dim3 block,
+                                       std::size_t shared_mem_bytes) {
+  if (grid.count() == 0 || block.count() == 0 || block.count() > 1024) {
+    return wcudaError::kInvalidConfiguration;
+  }
+  if (auto* i = ctx.interceptor()) {
+    return i->on_configure_call(grid, block, shared_mem_bytes);
+  }
+  ctx.pending_config() =
+      LaunchConfig{grid, block, shared_mem_bytes, /*valid=*/true};
+  ctx.pending_args().clear();
+  return wcudaError::kSuccess;
+}
+
+wcudaError Runtime::wcudaSetupArgument(Context& ctx, const void* arg,
+                                       std::size_t size, std::size_t offset) {
+  if (arg == nullptr || size == 0) return wcudaError::kInvalidValue;
+  if (auto* i = ctx.interceptor()) {
+    return i->on_setup_argument(arg, size, offset);
+  }
+  if (!ctx.pending_config().valid) return wcudaError::kInvalidConfiguration;
+  auto& args = ctx.pending_args();
+  if (args.size() < offset + size) args.resize(offset + size);
+  std::memcpy(args.data() + offset, arg, size);
+  return wcudaError::kSuccess;
+}
+
+wcudaError Runtime::wcudaLaunch(Context& ctx, const std::string& kernel_name) {
+  if (auto* i = ctx.interceptor()) return i->on_launch(kernel_name);
+  if (!ctx.pending_config().valid) return wcudaError::kInvalidConfiguration;
+  if (!registry_->contains(kernel_name)) return wcudaError::kUnknownKernel;
+
+  gpusim::LaunchPlan plan;
+  gpusim::KernelInstance inst;
+  try {
+    inst.desc = registry_->instantiate(kernel_name, ctx.pending_config(),
+                                       ctx.pending_args());
+  } catch (const std::exception&) {
+    return wcudaError::kLaunchFailure;
+  }
+  // Transfers the app actually performed since the last launch dominate the
+  // descriptor's static estimate when present.
+  std::size_t copied = ctx.take_h2d_since_launch();
+  if (copied > 0) {
+    inst.desc.h2d_bytes = common::Bytes::from_bytes(static_cast<double>(copied));
+  }
+  inst.owner = ctx.owner();
+  ctx.reset_launch_state();
+
+  gpusim::RunResult run;
+  {
+    std::lock_guard lock(mu_);
+    inst.instance_id = next_instance_id_++;
+  }
+  plan.instances.push_back(std::move(inst));
+  try {
+    run = engine_.run(plan);
+  } catch (const std::exception&) {
+    return wcudaError::kLaunchFailure;
+  }
+  {
+    std::lock_guard lock(mu_);
+    direct_stats_.append(run);
+    direct_launches_ += 1;
+  }
+  return wcudaError::kSuccess;
+}
+
+}  // namespace ewc::cudart

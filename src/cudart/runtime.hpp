@@ -1,0 +1,63 @@
+// The wcuda runtime: the API applications call.
+//
+// Mirrors the five CUDA runtime entry points the paper's frontend intercepts,
+// plus wcudaFree. When a Context has an Interceptor attached (a consolidation
+// frontend), every call is diverted to it before touching the device — this
+// is the in-process equivalent of the paper's shared-library interposition.
+// Without an interceptor, calls execute directly: memory ops hit the
+// context's private device heap and launches run standalone on the simulator.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cudart/api.hpp"
+#include "cudart/context.hpp"
+#include "cudart/interceptor.hpp"
+#include "cudart/registry.hpp"
+#include "gpusim/engine.hpp"
+
+namespace ewc::cudart {
+
+class Runtime {
+ public:
+  /// @param engine    device the direct (unintercepted) path executes on.
+  /// @param registry  kernel-name resolution; defaults to the global one.
+  explicit Runtime(const gpusim::FluidEngine& engine,
+                   const KernelRegistry* registry = nullptr);
+
+  // ---- the five intercepted entry points (+ free) ----
+  wcudaError wcudaMalloc(Context& ctx, void** dev_ptr, std::size_t bytes);
+  wcudaError wcudaFree(Context& ctx, void* dev_ptr);
+  wcudaError wcudaMemcpy(Context& ctx, void* dst, const void* src,
+                         std::size_t bytes, MemcpyKind kind);
+  wcudaError wcudaConfigureCall(Context& ctx, Dim3 grid, Dim3 block,
+                                std::size_t shared_mem_bytes);
+  wcudaError wcudaSetupArgument(Context& ctx, const void* arg,
+                                std::size_t size, std::size_t offset);
+  wcudaError wcudaLaunch(Context& ctx, const std::string& kernel_name);
+
+  /// Copy helper for the direct path (also used by the backend, whose staging
+  /// buffer *is* in its own context).
+  static wcudaError copy_into_allocation(Allocation& alloc, std::size_t offset,
+                                         const void* src, std::size_t bytes);
+
+  /// Total simulated GPU activity executed through the *direct* path.
+  const gpusim::RunResult& direct_stats() const { return direct_stats_; }
+  int direct_launches() const { return direct_launches_; }
+
+  const gpusim::FluidEngine& engine() const { return engine_; }
+  const KernelRegistry& registry() const { return *registry_; }
+
+ private:
+  const gpusim::FluidEngine& engine_;
+  const KernelRegistry* registry_;
+  gpusim::RunResult direct_stats_;
+  int direct_launches_ = 0;
+  int next_instance_id_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace ewc::cudart

@@ -1,0 +1,161 @@
+#include "driver/driver.hpp"
+
+#include <cstring>
+
+#include "ptx/parser.hpp"
+
+namespace ewc::driver {
+
+Driver::Driver(const gpusim::FluidEngine& engine, std::size_t device_capacity)
+    : engine_(engine), context_("driver", device_capacity) {
+  stats_.sm_stats.resize(static_cast<std::size_t>(engine.device().num_sms));
+}
+
+wcudaError Driver::wcuModuleLoadData(WcuModule* module,
+                                     std::string_view ptx_image) {
+  if (module == nullptr) return wcudaError::kInvalidValue;
+  ptx::PtxModule parsed;
+  try {
+    parsed = ptx::parse_module(ptx_image);
+  } catch (const ptx::PtxError&) {
+    return wcudaError::kLaunchFailure;
+  }
+  if (parsed.kernels.empty()) return wcudaError::kInvalidValue;
+  const std::uint32_t id = next_module_++;
+  modules_.emplace(id, std::move(parsed));
+  module->id = id;
+  return wcudaError::kSuccess;
+}
+
+wcudaError Driver::wcuModuleUnload(WcuModule module) {
+  if (modules_.erase(module.id) == 0) return wcudaError::kInvalidValue;
+  // Invalidate functions resolved from the module.
+  for (auto it = functions_.begin(); it != functions_.end();) {
+    if (it->second.module_id == module.id) {
+      it = functions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return wcudaError::kSuccess;
+}
+
+wcudaError Driver::wcuModuleGetFunction(WcuFunction* function,
+                                        WcuModule module,
+                                        const std::string& name) {
+  if (function == nullptr) return wcudaError::kInvalidValue;
+  auto it = modules_.find(module.id);
+  if (it == modules_.end()) return wcudaError::kInvalidValue;
+  const ptx::PtxKernel* kernel = it->second.find_kernel(name);
+  if (kernel == nullptr) return wcudaError::kUnknownKernel;
+
+  FunctionState state;
+  state.module_id = module.id;
+  state.name = name;
+  try {
+    state.analysis = ptx::analyze_kernel(it->second, *kernel);
+  } catch (const std::exception&) {
+    return wcudaError::kLaunchFailure;
+  }
+  const std::uint32_t id = next_function_++;
+  functions_.emplace(id, std::move(state));
+  function->id = id;
+  return wcudaError::kSuccess;
+}
+
+Driver::FunctionState* Driver::find_function(WcuFunction f) {
+  auto it = functions_.find(f.id);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+wcudaError Driver::wcuFuncSetBlockShape(WcuFunction f, int x, int y, int z) {
+  FunctionState* fs = find_function(f);
+  if (fs == nullptr) return wcudaError::kInvalidValue;
+  if (x <= 0 || y <= 0 || z <= 0 || x * y * z > 1024) {
+    return wcudaError::kInvalidConfiguration;
+  }
+  fs->block_x = x;
+  fs->block_y = y;
+  fs->block_z = z;
+  return wcudaError::kSuccess;
+}
+
+wcudaError Driver::wcuFuncSetSharedSize(WcuFunction f, std::size_t bytes) {
+  FunctionState* fs = find_function(f);
+  if (fs == nullptr) return wcudaError::kInvalidValue;
+  fs->shared_bytes = bytes;
+  return wcudaError::kSuccess;
+}
+
+wcudaError Driver::wcuParamSetSize(WcuFunction f, std::size_t bytes) {
+  FunctionState* fs = find_function(f);
+  if (fs == nullptr) return wcudaError::kInvalidValue;
+  fs->params.assign(bytes, std::byte{0});
+  return wcudaError::kSuccess;
+}
+
+wcudaError Driver::wcuParamSetv(WcuFunction f, std::size_t offset,
+                                const void* data, std::size_t bytes) {
+  FunctionState* fs = find_function(f);
+  if (fs == nullptr || data == nullptr) return wcudaError::kInvalidValue;
+  if (offset + bytes > fs->params.size()) return wcudaError::kInvalidValue;
+  std::memcpy(fs->params.data() + offset, data, bytes);
+  return wcudaError::kSuccess;
+}
+
+wcudaError Driver::wcuMemAlloc(void** dptr, std::size_t bytes) {
+  return context_.allocate(bytes, dptr);
+}
+
+wcudaError Driver::wcuMemFree(void* dptr) { return context_.release(dptr); }
+
+wcudaError Driver::wcuMemcpyHtoD(void* dst, const void* src,
+                                 std::size_t bytes) {
+  cudart::Allocation* alloc = context_.find(dst);
+  if (alloc == nullptr) return wcudaError::kInvalidDevicePointer;
+  if (bytes > alloc->data.size()) return wcudaError::kInvalidValue;
+  std::memcpy(alloc->data.data(), src, bytes);
+  h2d_since_launch_ += bytes;
+  return wcudaError::kSuccess;
+}
+
+wcudaError Driver::wcuMemcpyDtoH(void* dst, const void* src,
+                                 std::size_t bytes) {
+  cudart::Allocation* alloc = context_.find(const_cast<void*>(src));
+  if (alloc == nullptr) return wcudaError::kInvalidDevicePointer;
+  if (bytes > alloc->data.size()) return wcudaError::kInvalidValue;
+  std::memcpy(dst, alloc->data.data(), bytes);
+  return wcudaError::kSuccess;
+}
+
+wcudaError Driver::wcuLaunchGrid(WcuFunction f, int grid_w, int grid_h) {
+  FunctionState* fs = find_function(f);
+  if (fs == nullptr) return wcudaError::kInvalidValue;
+  if (fs->block_x == 0) return wcudaError::kInvalidConfiguration;
+  if (grid_w <= 0 || grid_h <= 0) return wcudaError::kInvalidConfiguration;
+
+  gpusim::KernelDesc desc = ptx::to_kernel_desc(
+      fs->analysis, fs->name, grid_w * grid_h,
+      fs->block_x * fs->block_y * fs->block_z);
+  if (fs->shared_bytes > 0) {
+    desc.resources.shared_mem_per_block =
+        static_cast<std::int64_t>(fs->shared_bytes);
+  }
+  desc.h2d_bytes =
+      common::Bytes::from_bytes(static_cast<double>(h2d_since_launch_));
+  h2d_since_launch_ = 0;
+
+  gpusim::LaunchPlan plan;
+  plan.instances.push_back(gpusim::KernelInstance{desc, launches_, "driver"});
+  gpusim::RunResult run;
+  try {
+    run = engine_.run(plan);
+  } catch (const std::exception&) {
+    return wcudaError::kLaunchFailure;
+  }
+  stats_.append(run);
+  launches_ += 1;
+  return wcudaError::kSuccess;
+}
+
+}  // namespace ewc::driver

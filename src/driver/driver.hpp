@@ -1,0 +1,100 @@
+// "wcu": a CUDA *driver*-API-style layer over the wcuda runtime.
+//
+// The paper's framework intercepts runtime-API calls, but real deployments
+// (and the consolidation backend itself) also speak the driver API: modules
+// are loaded from PTX images, functions are looked up by name, parameters
+// and block shapes are set statefully, and grids are launched by handle.
+// This module provides that surface:
+//
+//   wcuModuleLoadData   - parse + statically analyze a PTX image
+//   wcuModuleGetFunction- resolve a kernel handle
+//   wcuFuncSetBlockShape/wcuFuncSetSharedSize
+//   wcuParamSetSize / wcuParamSetv
+//   wcuLaunchGrid       - build the descriptor and run it on the simulator
+//   wcuMemAlloc/Free, wcuMemcpyHtoD/DtoH
+//
+// Handles are opaque indices owned by the Driver; all calls are checked and
+// return wcudaError like the runtime layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cudart/context.hpp"
+#include "gpusim/engine.hpp"
+#include "ptx/analyzer.hpp"
+
+namespace ewc::driver {
+
+using cudart::wcudaError;
+
+/// Opaque module handle (0 is invalid).
+struct WcuModule {
+  std::uint32_t id = 0;
+};
+/// Opaque function handle (0 is invalid).
+struct WcuFunction {
+  std::uint32_t id = 0;
+};
+
+class Driver {
+ public:
+  /// @param engine  device the launches execute on.
+  /// @param device_capacity  bytes of device memory for this context.
+  explicit Driver(const gpusim::FluidEngine& engine,
+                  std::size_t device_capacity = std::size_t{4} << 30);
+
+  // ---- module management ----
+  wcudaError wcuModuleLoadData(WcuModule* module, std::string_view ptx_image);
+  wcudaError wcuModuleUnload(WcuModule module);
+  wcudaError wcuModuleGetFunction(WcuFunction* function, WcuModule module,
+                                  const std::string& name);
+
+  // ---- function state ----
+  wcudaError wcuFuncSetBlockShape(WcuFunction f, int x, int y, int z);
+  wcudaError wcuFuncSetSharedSize(WcuFunction f, std::size_t bytes);
+  wcudaError wcuParamSetSize(WcuFunction f, std::size_t bytes);
+  wcudaError wcuParamSetv(WcuFunction f, std::size_t offset, const void* data,
+                          std::size_t bytes);
+
+  // ---- memory ----
+  wcudaError wcuMemAlloc(void** dptr, std::size_t bytes);
+  wcudaError wcuMemFree(void* dptr);
+  wcudaError wcuMemcpyHtoD(void* dst, const void* src, std::size_t bytes);
+  wcudaError wcuMemcpyDtoH(void* dst, const void* src, std::size_t bytes);
+
+  // ---- launch ----
+  wcudaError wcuLaunchGrid(WcuFunction f, int grid_w, int grid_h);
+
+  /// Accumulated simulated results of every launch through this driver.
+  const gpusim::RunResult& stats() const { return stats_; }
+  int launches() const { return launches_; }
+  std::size_t loaded_modules() const { return modules_.size(); }
+
+ private:
+  struct FunctionState {
+    std::uint32_t module_id = 0;
+    std::string name;
+    ptx::KernelAnalysis analysis;
+    int block_x = 0, block_y = 1, block_z = 1;
+    std::size_t shared_bytes = 0;
+    std::vector<std::byte> params;
+  };
+
+  FunctionState* find_function(WcuFunction f);
+
+  const gpusim::FluidEngine& engine_;
+  cudart::Context context_;
+  std::map<std::uint32_t, ptx::PtxModule> modules_;
+  std::map<std::uint32_t, FunctionState> functions_;
+  std::uint32_t next_module_ = 1;
+  std::uint32_t next_function_ = 1;
+  gpusim::RunResult stats_;
+  int launches_ = 0;
+  std::size_t h2d_since_launch_ = 0;
+};
+
+}  // namespace ewc::driver

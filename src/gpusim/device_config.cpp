@@ -1,0 +1,43 @@
+#include "gpusim/device_config.hpp"
+
+namespace ewc::gpusim {
+
+DeviceConfig tesla_c1060() { return DeviceConfig{}; }
+
+EnergyConfig c1060_energy() { return EnergyConfig{}; }
+
+DeviceConfig fermi_c2050() {
+  DeviceConfig d;
+  d.num_sms = 14;
+  d.sps_per_sm = 32;
+  d.shader_clock = Frequency::from_ghz(1.15);
+  d.max_blocks_per_sm = 8;
+  d.max_threads_per_sm = 1536;
+  d.max_warps_per_sm = 48;
+  d.registers_per_sm = 32768;
+  d.shared_mem_per_sm = 48 * 1024;
+  d.dram_bandwidth = Bandwidth::from_gb_per_second(144.0);
+  d.dram_latency_cycles = 400.0;
+  d.uncoalesced_departure_cycles = 12.0;  // L1 absorbs most divergence
+  d.uncoalesced_dram_efficiency = 0.80;
+  d.memory_level_parallelism = 10.0;      // more MSHRs per SM
+  d.pcie_h2d = Bandwidth::from_gb_per_second(5.2);  // PCIe 2.0 x16
+  d.pcie_d2h = Bandwidth::from_gb_per_second(5.0);
+  d.cycles_per_alu_warp_inst = 1.0;  // 32 SPs retire one warp per cycle
+  d.cycles_per_sfu_warp_inst = 8.0;
+  d.barrier_cost_cycles = 25.0;
+  return d;
+}
+
+EnergyConfig c2050_energy() {
+  EnergyConfig e;
+  e.system_idle_with_gpu = Power::from_watts(215.0);  // C2050 idles hotter
+  e.fp_energy = 5.0e-9;  // 40 nm process: cheaper events, more of them
+  e.int_energy = 3.8e-9;
+  e.sfu_energy = 14.0e-9;
+  e.coalesced_tx_energy = 30.0e-9;
+  e.uncoalesced_tx_energy = 9.0e-9;
+  return e;
+}
+
+}  // namespace ewc::gpusim

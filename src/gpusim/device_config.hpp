@@ -1,0 +1,133 @@
+// GT200-class device description (NVIDIA Tesla C1060 defaults).
+//
+// Two groups of parameters live here:
+//  * architectural parameters the *analytic models* are allowed to know
+//    (paper Section VII lists them: DRAM latency, departure delays, SM clock,
+//    DRAM bandwidth, SM counts and residency limits);
+//  * ground-truth energy parameters only the *simulator* knows (per-event
+//    energies, thermal constants). The power model must recover its
+//    coefficients by regression against simulated measurements, exactly as
+//    the paper fits its model against a wall-power meter.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace ewc::gpusim {
+
+using common::Bandwidth;
+using common::Duration;
+using common::Frequency;
+using common::Power;
+
+/// How the GigaThread engine picks an SM for the next block. The paper
+/// observes round-robin on GT200; the alternatives quantify how sensitive
+/// consolidation results are to that assumption (scheduler ablation).
+enum class DispatchPolicy {
+  kRoundRobin,        ///< GT200 behaviour (default; what Section V models)
+  kLeastLoadedWarps,  ///< pick the fitting SM with the fewest resident warps
+  kRandom,            ///< uniform over fitting SMs (seeded, deterministic)
+};
+
+/// Architectural parameters (visible to the prediction models).
+struct DeviceConfig {
+  int num_sms = 30;                    ///< C1060: 30 SMs
+  int sps_per_sm = 8;                  ///< scalar processors per SM
+  int warp_size = 32;
+  Frequency shader_clock = Frequency::from_ghz(1.296);
+
+  // Per-SM residency limits (GT200).
+  int max_blocks_per_sm = 8;
+  int max_threads_per_sm = 1024;
+  int max_warps_per_sm = 32;
+  std::int64_t registers_per_sm = 16384;
+  std::int64_t shared_mem_per_sm = 16 * 1024;  ///< bytes
+
+  // Memory system.
+  Bandwidth dram_bandwidth = Bandwidth::from_gb_per_second(102.0);
+  double dram_latency_cycles = 450.0;       ///< load-to-use, shader cycles
+  double coalesced_departure_cycles = 4.0;  ///< between coalesced transactions
+  double uncoalesced_departure_cycles = 40.0;
+  double coalesced_tx_bytes = 128.0;  ///< one transaction per warp
+  double uncoalesced_tx_bytes = 32.0;  ///< per-thread transaction
+  double memory_level_parallelism = 6.0;  ///< outstanding requests per warp
+
+  /// DRAM row-locality efficiency for a fully-coalesced stream (1.0) down to
+  /// a fully-uncoalesced stream.
+  double uncoalesced_dram_efficiency = 0.55;
+  /// Multiplicative efficiency loss per *additional* distinct kernel whose
+  /// memory streams interleave in DRAM (row-buffer locality loss). This is
+  /// the mechanism behind the paper's Scenario 1 (Table 2), where
+  /// consolidating two memory-bound kernels costs more than serial execution.
+  double mixing_penalty_per_kernel = 0.06;
+  double min_mixing_efficiency = 0.78;
+
+  // Host link (pageable transfers through the C1060's PCIe 1.1 x16).
+  Bandwidth pcie_h2d = Bandwidth::from_gb_per_second(2.8);
+  Bandwidth pcie_d2h = Bandwidth::from_gb_per_second(2.5);
+  Duration transfer_latency = Duration::from_micros(15.0);
+
+  // Instruction timing (shader cycles per warp-instruction).
+  double cycles_per_alu_warp_inst = 4.0;   ///< FP32 / INT on the 8 SPs
+  double cycles_per_sfu_warp_inst = 16.0;  ///< transcendental on the 2 SFUs
+  double barrier_cost_cycles = 40.0;       ///< __syncthreads drain cost
+
+  // Block dispatch (scheduler-ablation knobs; models assume round-robin).
+  DispatchPolicy dispatch_policy = DispatchPolicy::kRoundRobin;
+  std::uint64_t dispatch_seed = 0x5EEDull;  ///< for kRandom
+
+  /// Issue cycles one warp needs per *thread-level* instruction mix.
+  /// Barriers are NOT issue work: they stall the warp without consuming SM
+  /// issue slots, so they are modelled as a separate latency demand
+  /// (warp_stall_cycles) that other blocks' warps can hide under.
+  double warp_compute_cycles(double fp, double intg, double sfu) const {
+    return (fp + intg) * cycles_per_alu_warp_inst +
+           sfu * cycles_per_sfu_warp_inst;
+  }
+
+  /// Stall cycles one warp spends waiting (barrier drain/rendezvous).
+  double warp_stall_cycles(double sync) const {
+    return sync * barrier_cost_cycles;
+  }
+};
+
+/// Ground-truth energy/thermal parameters (simulator-only; the fitted power
+/// model never reads these).
+struct EnergyConfig {
+  // System-level baselines (whole-node wall power, as the paper measures).
+  Power system_idle_with_gpu = Power::from_watts(205.0);  ///< host + idle GPU
+  Power host_only_idle = Power::from_watts(133.0);  ///< GPU power-disconnected
+  Power transfer_active_power = Power::from_watts(18.0);  ///< PCIe + MC activity
+
+  // Per-event energies, joules/event. "Events" are warp-instructions for the
+  // compute classes and DRAM transactions for the memory classes.
+  double fp_energy = 7.5e-9;
+  double int_energy = 5.5e-9;
+  double sfu_energy = 21.0e-9;
+  double coalesced_tx_energy = 36.0e-9;
+  double uncoalesced_tx_energy = 13.0e-9;  ///< per 32 B transaction
+  double shared_access_energy = 2.1e-9;
+  double const_access_energy = 1.6e-9;
+  double register_access_energy = 0.9e-9;
+
+  // Thermal model: dT/dt = (delta_ss - dT) / tau, delta_ss = k_ss * P_dyn,
+  // and the leakage response P_T = k_leak * dT (paper Eq. 10's P_T term).
+  double thermal_tau_seconds = 30.0;
+  double thermal_k_ss = 0.22;    ///< steady-state kelvin per dynamic watt
+  double leakage_w_per_kelvin = 0.32;
+};
+
+/// The Tesla C1060 + dual Xeon E5520 node used throughout the paper.
+DeviceConfig tesla_c1060();
+EnergyConfig c1060_energy();
+
+/// A Fermi-generation part (Tesla C2050): more SMs-worth of throughput per
+/// SM, cached uncoalesced accesses, deeper memory-level parallelism. The
+/// paper's Section I/IX discussion — Fermi runs concurrent kernels *from one
+/// process*, while this framework consolidates across processes — is
+/// quantified by bench_fermi using this config.
+DeviceConfig fermi_c2050();
+EnergyConfig c2050_energy();
+
+}  // namespace ewc::gpusim

@@ -1,0 +1,52 @@
+#include "gpusim/energy_integrator.hpp"
+
+#include <cmath>
+
+namespace ewc::gpusim {
+
+EnergyIntegrator::EnergyIntegrator(const EnergyConfig& cfg, Power system_idle)
+    : cfg_(cfg), idle_(system_idle) {}
+
+Power EnergyIntegrator::dynamic_power(const ComponentCounts& r) const {
+  double watts = r.fp * cfg_.fp_energy + r.int_ops * cfg_.int_energy +
+                 r.sfu * cfg_.sfu_energy +
+                 r.coalesced_tx * cfg_.coalesced_tx_energy +
+                 r.uncoalesced_tx * cfg_.uncoalesced_tx_energy +
+                 r.shared * cfg_.shared_access_energy +
+                 r.constant * cfg_.const_access_energy +
+                 r.reg * cfg_.register_access_energy;
+  return Power::from_watts(watts);
+}
+
+void EnergyIntegrator::advance(Duration dt, const ComponentCounts& events,
+                               bool transfer_active) {
+  if (dt.seconds() <= 0.0) return;
+  const double secs = dt.seconds();
+
+  // Event totals over the interval -> average rates -> dynamic power.
+  ComponentCounts rates = events.scaled(1.0 / secs);
+  const double p_dyn = dynamic_power(rates).watts();
+
+  // First-order thermal response: dT relaxes toward k_ss * P_dyn with time
+  // constant tau. Integrate the leakage term analytically over the interval.
+  const double tau = cfg_.thermal_tau_seconds;
+  const double target = cfg_.thermal_k_ss * p_dyn;
+  const double decay = std::exp(-secs / tau);
+  // Integral of dT over [0, secs]:
+  const double dt_integral =
+      target * secs + (temp_delta_ - target) * tau * (1.0 - decay);
+  const double leak_energy = cfg_.leakage_w_per_kelvin * dt_integral;
+  temp_integral_ += dt_integral;
+  temp_delta_ = target + (temp_delta_ - target) * decay;
+
+  double base = idle_.watts();
+  if (transfer_active) base += cfg_.transfer_active_power.watts();
+
+  const double avg_power = base + p_dyn + leak_energy / secs;
+  energy_ += Energy::from_joules(avg_power * secs);
+  segments_.push_back(
+      PowerSegment{elapsed_, dt, Power::from_watts(avg_power)});
+  elapsed_ += dt;
+}
+
+}  // namespace ewc::gpusim

@@ -1,0 +1,52 @@
+// Ground-truth energy integration for the simulator.
+//
+// Implements the paper's Eq. 10 decomposition from the *hardware* side:
+//   P_system = P_idle(system, incl. GPU static) + P_T(dT) + P_dyn(events)
+// P_dyn comes from per-event energies; P_T follows a first-order RC thermal
+// model driven by P_dyn. The fitted power model (src/power) must recover this
+// behaviour from measurements alone.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpusim/device_config.hpp"
+#include "gpusim/metrics.hpp"
+
+namespace ewc::gpusim {
+
+class EnergyIntegrator {
+ public:
+  EnergyIntegrator(const EnergyConfig& cfg, Power system_idle);
+
+  /// Dynamic GPU power for a device-wide event-rate vector (events/second).
+  Power dynamic_power(const ComponentCounts& rates_per_second) const;
+
+  /// Advance simulated time by dt during which the device generated `events`
+  /// (totals over the interval) and optionally kept the host link busy.
+  void advance(Duration dt, const ComponentCounts& events,
+               bool transfer_active = false);
+
+  /// Advance with the device fully idle.
+  void advance_idle(Duration dt) { advance(dt, ComponentCounts{}, false); }
+
+  Energy total_energy() const { return energy_; }
+  Duration elapsed() const { return elapsed_; }
+  double temperature_delta_kelvin() const { return temp_delta_; }
+  /// Time-weighted mean temperature delta over the run (kelvin).
+  double avg_temperature_delta_kelvin() const {
+    return elapsed_.seconds() > 0.0 ? temp_integral_ / elapsed_.seconds() : 0.0;
+  }
+  const std::vector<PowerSegment>& segments() const { return segments_; }
+
+ private:
+  EnergyConfig cfg_;
+  Power idle_;
+  Energy energy_ = Energy::zero();
+  Duration elapsed_ = Duration::zero();
+  double temp_delta_ = 0.0;  ///< kelvin above ambient
+  double temp_integral_ = 0.0;  ///< integral of temp_delta_ over time
+  std::vector<PowerSegment> segments_;
+};
+
+}  // namespace ewc::gpusim

@@ -1,0 +1,471 @@
+#include "gpusim/engine.hpp"
+
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace ewc::gpusim {
+
+namespace {
+
+constexpr double kEpsCycles = 1e-6;
+constexpr double kEpsBytes = 1e-6;
+constexpr double kRegReadsPerInst = 3.0;  // 2 reads + 1 write per ALU op
+
+/// Per-instance values precomputed once per run.
+struct KernelStatic {
+  std::string name;
+  int warps = 0;
+  int threads = 0;
+  std::int64_t regs_per_block = 0;
+  std::int64_t smem_per_block = 0;
+
+  double comp_per_warp = 0.0;   ///< issue cycles
+  double stall_per_warp = 0.0;  ///< barrier-stall cycles (unshared latency)
+  double mem_per_warp = 0.0;    ///< bytes
+  double per_warp_mem_cap = 0.0;  ///< bytes / second
+  double dram_eff = 1.0;
+
+  // Event densities: events per drained compute-cycle (per warp) and per
+  // drained DRAM byte (per warp).
+  double fp_per_cycle = 0.0;
+  double int_per_cycle = 0.0;
+  double sfu_per_cycle = 0.0;
+  double shared_per_cycle = 0.0;
+  double const_per_cycle = 0.0;
+  double reg_per_cycle = 0.0;
+  double coal_tx_per_byte = 0.0;
+  double uncoal_tx_per_byte = 0.0;
+
+  int blocks_remaining = 0;
+};
+
+struct Block {
+  int inst = -1;         ///< index into plan.instances / statics
+  double comp_rem = 0;   ///< issue cycles per warp
+  double stall_rem = 0;  ///< barrier-stall cycles per warp
+  double mem_rem = 0;    ///< bytes per warp
+  double comp_rate = 0;  ///< cycles / s per warp (recomputed each event)
+  double mem_rate = 0;   ///< bytes / s per warp
+
+  bool done() const {
+    return comp_rem <= kEpsCycles && stall_rem <= kEpsCycles &&
+           mem_rem <= kEpsBytes;
+  }
+};
+
+struct SmState {
+  std::vector<int> resident;  ///< indices into the block array
+  int threads_used = 0;
+  int nblocks = 0;
+  std::int64_t regs_used = 0;
+  std::int64_t smem_used = 0;
+};
+
+KernelStatic make_static(const DeviceConfig& dev, const KernelDesc& k) {
+  KernelStatic s;
+  s.name = k.name;
+  s.warps = k.warps_per_block(dev);
+  s.threads = k.threads_per_block;
+  s.regs_per_block = static_cast<std::int64_t>(k.resources.registers_per_thread) *
+                     k.threads_per_block;
+  s.smem_per_block = k.resources.shared_mem_per_block;
+  s.comp_per_warp = k.warp_compute_cycles(dev);
+  s.stall_per_warp = k.warp_stall_cycles(dev);
+  s.mem_per_warp = k.warp_mem_bytes(dev);
+  s.dram_eff = k.dram_efficiency(dev);
+
+  const double latency_s =
+      k.effective_mem_latency_cycles(dev) / dev.shader_clock.hertz();
+  s.per_warp_mem_cap =
+      k.effective_mlp(dev) * k.avg_tx_bytes(dev) / latency_s;
+
+  if (s.comp_per_warp > 0.0) {
+    const auto& m = k.mix;
+    s.fp_per_cycle = m.fp_insts / s.comp_per_warp;
+    s.int_per_cycle = m.int_insts / s.comp_per_warp;
+    s.sfu_per_cycle = m.sfu_insts / s.comp_per_warp;
+    s.shared_per_cycle = m.shared_accesses / s.comp_per_warp;
+    s.const_per_cycle = m.const_accesses / s.comp_per_warp;
+    s.reg_per_cycle = kRegReadsPerInst * m.compute_insts() / s.comp_per_warp;
+  }
+  if (s.mem_per_warp > 0.0) {
+    const auto& m = k.mix;
+    s.coal_tx_per_byte = m.coalesced_mem_insts / s.mem_per_warp;
+    s.uncoal_tx_per_byte =
+        m.uncoalesced_mem_insts * dev.warp_size / s.mem_per_warp;
+  }
+  s.blocks_remaining = k.num_blocks;
+  return s;
+}
+
+bool fits(const DeviceConfig& dev, const SmState& sm, const KernelStatic& k) {
+  if (sm.nblocks + 1 > dev.max_blocks_per_sm) return false;
+  if (sm.threads_used + k.threads > dev.max_threads_per_sm) return false;
+  if (sm.regs_used + k.regs_per_block > dev.registers_per_sm) return false;
+  if (sm.smem_used + k.smem_per_block > dev.shared_mem_per_sm) return false;
+  return true;
+}
+
+}  // namespace
+
+FluidEngine::FluidEngine(DeviceConfig dev, EnergyConfig energy)
+    : dev_(dev), energy_(energy) {}
+
+RunResult FluidEngine::run(const LaunchPlan& plan) const {
+  RunResult result;
+  result.sm_stats.resize(static_cast<std::size_t>(dev_.num_sms));
+  EnergyIntegrator integrator(energy_, energy_.system_idle_with_gpu);
+
+  // Precompute statics and validate.
+  std::vector<KernelStatic> statics;
+  statics.reserve(plan.instances.size());
+  for (const auto& inst : plan.instances) {
+    if (inst.desc.num_blocks < 0 || inst.desc.threads_per_block <= 0) {
+      throw std::invalid_argument("FluidEngine: malformed kernel '" +
+                                  inst.desc.name + "'");
+    }
+    if (inst.desc.num_blocks > 0 && !inst.desc.block_fits_empty_sm(dev_)) {
+      throw std::invalid_argument("FluidEngine: block of '" + inst.desc.name +
+                                  "' exceeds SM resources");
+    }
+    statics.push_back(make_static(dev_, inst.desc));
+  }
+
+  // ---- host -> device transfers ----
+  {
+    std::set<std::string> constants_uploaded;
+    double h2d_secs = 0.0;
+    for (const auto& inst : plan.instances) {
+      double bytes = inst.desc.h2d_bytes.bytes();
+      double cbytes = inst.desc.resources.constant_data.bytes();
+      if (cbytes > 0.0) {
+        if (!plan.reuse_constant_data ||
+            constants_uploaded.insert(inst.desc.name).second) {
+          bytes += cbytes;
+        }
+      }
+      if (bytes > 0.0) {
+        h2d_secs += bytes / dev_.pcie_h2d.bytes_per_second() +
+                    dev_.transfer_latency.seconds();
+      }
+    }
+    if (h2d_secs > 0.0) {
+      integrator.advance(Duration::from_seconds(h2d_secs), ComponentCounts{},
+                         /*transfer_active=*/true);
+    }
+    result.h2d_time = Duration::from_seconds(h2d_secs);
+  }
+
+  // ---- kernel execution (fluid DES) ----
+  std::vector<Block> blocks;
+  std::deque<int> pending;
+  for (std::size_t i = 0; i < plan.instances.size(); ++i) {
+    const auto& st = statics[i];
+    for (int b = 0; b < plan.instances[i].desc.num_blocks; ++b) {
+      Block blk;
+      blk.inst = static_cast<int>(i);
+      blk.comp_rem = st.comp_per_warp;
+      blk.stall_rem = st.stall_per_warp;
+      blk.mem_rem = st.mem_per_warp;
+      pending.push_back(static_cast<int>(blocks.size()));
+      blocks.push_back(blk);
+    }
+    if (plan.instances[i].desc.num_blocks == 0) {
+      // Empty instances complete immediately.
+      result.completions.push_back(InstanceCompletion{
+          plan.instances[i].instance_id, st.name, result.h2d_time});
+    }
+  }
+
+  std::vector<SmState> sms(static_cast<std::size_t>(dev_.num_sms));
+  std::vector<int> block_sm(blocks.size(), -1);
+  int rr_cursor = 0;
+  int resident_count = 0;
+  common::Rng dispatch_rng(dev_.dispatch_seed);
+
+  auto resident_warps = [&](const SmState& sm) {
+    int w = 0;
+    for (int bi : sm.resident) {
+      w += statics[static_cast<std::size_t>(blocks[bi].inst)].warps;
+    }
+    return w;
+  };
+
+  auto dispatch = [&]() {
+    // Strict grid-order dispatch. The SM choice follows dispatch_policy;
+    // the default round-robin cursor is the GT200 GigaThread behaviour the
+    // paper describes (initial round-robin distribution; freed SMs pick up
+    // the next untouched block).
+    while (!pending.empty()) {
+      int bi = pending.front();
+      const KernelStatic& st = statics[static_cast<std::size_t>(blocks[bi].inst)];
+      int chosen = -1;
+      switch (dev_.dispatch_policy) {
+        case DispatchPolicy::kRoundRobin:
+          for (int probe = 0; probe < dev_.num_sms; ++probe) {
+            int smi = (rr_cursor + probe) % dev_.num_sms;
+            if (fits(dev_, sms[static_cast<std::size_t>(smi)], st)) {
+              chosen = smi;
+              break;
+            }
+          }
+          break;
+        case DispatchPolicy::kLeastLoadedWarps: {
+          int best_warps = 0;
+          for (int smi = 0; smi < dev_.num_sms; ++smi) {
+            const SmState& sm = sms[static_cast<std::size_t>(smi)];
+            if (!fits(dev_, sm, st)) continue;
+            const int w = resident_warps(sm);
+            if (chosen < 0 || w < best_warps) {
+              chosen = smi;
+              best_warps = w;
+            }
+          }
+          break;
+        }
+        case DispatchPolicy::kRandom: {
+          std::vector<int> candidates;
+          for (int smi = 0; smi < dev_.num_sms; ++smi) {
+            if (fits(dev_, sms[static_cast<std::size_t>(smi)], st)) {
+              candidates.push_back(smi);
+            }
+          }
+          if (!candidates.empty()) {
+            chosen = candidates[dispatch_rng.pick_index(candidates.size())];
+          }
+          break;
+        }
+      }
+      if (chosen < 0) break;
+      SmState& sm = sms[static_cast<std::size_t>(chosen)];
+      sm.resident.push_back(bi);
+      sm.nblocks += 1;
+      sm.threads_used += st.threads;
+      sm.regs_used += st.regs_per_block;
+      sm.smem_used += st.smem_per_block;
+      block_sm[static_cast<std::size_t>(bi)] = chosen;
+      pending.pop_front();
+      rr_cursor = (chosen + 1) % dev_.num_sms;
+      resident_count += 1;
+    }
+  };
+
+  dispatch();
+
+  const double clock = dev_.shader_clock.hertz();
+  const double peak_bw = dev_.dram_bandwidth.bytes_per_second();
+  double t = 0.0;  // kernel-relative seconds
+  double dram_util_integral = 0.0;
+  double sm_util_integral = 0.0;
+
+  std::size_t max_events = 6 * blocks.size() + 64;
+  std::size_t events = 0;
+
+  while (resident_count > 0) {
+    if (++events > max_events) {
+      throw std::runtime_error("FluidEngine: event budget exceeded (bug)");
+    }
+
+    // -- rates --
+    // Compute: fair share of the SM's issue cycles among warps with work.
+    for (auto& sm : sms) {
+      int warps_with_comp = 0;
+      for (int bi : sm.resident) {
+        if (blocks[bi].comp_rem > kEpsCycles) {
+          warps_with_comp += statics[static_cast<std::size_t>(blocks[bi].inst)].warps;
+        }
+      }
+      for (int bi : sm.resident) {
+        Block& b = blocks[bi];
+        b.comp_rate = (b.comp_rem > kEpsCycles && warps_with_comp > 0)
+                          ? clock / warps_with_comp
+                          : 0.0;
+      }
+    }
+    // Memory: proportional share of effective DRAM bandwidth, per-warp cap.
+    double total_cap = 0.0;
+    double eff_weighted = 0.0;
+    std::set<std::string> active_kernels;
+    for (auto& sm : sms) {
+      for (int bi : sm.resident) {
+        Block& b = blocks[bi];
+        const KernelStatic& st = statics[static_cast<std::size_t>(b.inst)];
+        if (b.mem_rem > kEpsBytes) {
+          double cap = st.per_warp_mem_cap * st.warps;
+          total_cap += cap;
+          eff_weighted += cap * st.dram_eff;
+          active_kernels.insert(st.name);
+        }
+      }
+    }
+    double mem_scale = 1.0;
+    double eff_bw = peak_bw;
+    if (total_cap > 0.0) {
+      double stream_eff = eff_weighted / total_cap;
+      double mixing =
+          std::max(dev_.min_mixing_efficiency,
+                   1.0 - dev_.mixing_penalty_per_kernel *
+                             (static_cast<double>(active_kernels.size()) - 1.0));
+      eff_bw = peak_bw * stream_eff * mixing;
+      mem_scale = std::min(1.0, eff_bw / total_cap);
+    }
+    for (auto& sm : sms) {
+      for (int bi : sm.resident) {
+        Block& b = blocks[bi];
+        const KernelStatic& st = statics[static_cast<std::size_t>(b.inst)];
+        b.mem_rate =
+            (b.mem_rem > kEpsBytes) ? st.per_warp_mem_cap * mem_scale : 0.0;
+      }
+    }
+
+    // -- next event --
+    double dt = std::numeric_limits<double>::infinity();
+    for (auto& sm : sms) {
+      for (int bi : sm.resident) {
+        const Block& b = blocks[bi];
+        if (b.comp_rem > kEpsCycles && b.comp_rate > 0.0) {
+          dt = std::min(dt, b.comp_rem / b.comp_rate);
+        }
+        // Barrier stalls elapse at wall-clock rate, hidden under nothing.
+        if (b.stall_rem > kEpsCycles) {
+          dt = std::min(dt, b.stall_rem / clock);
+        }
+        if (b.mem_rem > kEpsBytes && b.mem_rate > 0.0) {
+          dt = std::min(dt, b.mem_rem / b.mem_rate);
+        }
+      }
+    }
+    if (!std::isfinite(dt)) dt = 0.0;  // only zero-work blocks remain resident
+
+    // -- drain demands, accumulate events & energy --
+    ComponentCounts interval_events;
+    double bytes_drained = 0.0;
+    int busy_sms = 0;
+    for (std::size_t smi = 0; smi < sms.size(); ++smi) {
+      SmState& sm = sms[smi];
+      if (!sm.resident.empty()) ++busy_sms;
+      for (int bi : sm.resident) {
+        Block& b = blocks[bi];
+        const KernelStatic& st = statics[static_cast<std::size_t>(b.inst)];
+        ComponentCounts ev;
+        if (dt > 0.0 && b.comp_rate > 0.0) {
+          double dc = std::min(b.comp_rem, b.comp_rate * dt);
+          b.comp_rem -= dc;
+          double warps = st.warps;
+          ev.fp += dc * st.fp_per_cycle * warps;
+          ev.int_ops += dc * st.int_per_cycle * warps;
+          ev.sfu += dc * st.sfu_per_cycle * warps;
+          ev.shared += dc * st.shared_per_cycle * warps;
+          ev.constant += dc * st.const_per_cycle * warps;
+          ev.reg += dc * st.reg_per_cycle * warps;
+        }
+        if (dt > 0.0 && b.stall_rem > kEpsCycles) {
+          b.stall_rem = std::max(0.0, b.stall_rem - clock * dt);
+        }
+        if (dt > 0.0 && b.mem_rate > 0.0) {
+          double db = std::min(b.mem_rem, b.mem_rate * dt);
+          b.mem_rem -= db;
+          double warps = st.warps;
+          ev.coalesced_tx += db * st.coal_tx_per_byte * warps;
+          ev.uncoalesced_tx += db * st.uncoal_tx_per_byte * warps;
+          bytes_drained += db * warps;
+        }
+        result.sm_stats[smi].counts += ev;
+        interval_events += ev;
+      }
+      if (dt > 0.0 && !sm.resident.empty()) {
+        result.sm_stats[smi].busy += Duration::from_seconds(dt);
+      }
+    }
+    if (dt > 0.0) {
+      integrator.advance(Duration::from_seconds(dt), interval_events, false);
+      result.device_counts += interval_events;
+      dram_util_integral += bytes_drained / peak_bw;  // seconds at full BW
+      sm_util_integral += dt * busy_sms / dev_.num_sms;
+      t += dt;
+      result.occupancy.push_back(OccupancySample{
+          Duration::from_seconds(t), busy_sms, resident_count,
+          bytes_drained / (peak_bw * dt)});
+    }
+
+    // -- completions --
+    for (std::size_t smi = 0; smi < sms.size(); ++smi) {
+      SmState& sm = sms[smi];
+      for (std::size_t r = 0; r < sm.resident.size();) {
+        int bi = sm.resident[r];
+        Block& b = blocks[bi];
+        if (b.done()) {
+          KernelStatic& st = statics[static_cast<std::size_t>(b.inst)];
+          sm.resident.erase(sm.resident.begin() + static_cast<long>(r));
+          sm.nblocks -= 1;
+          sm.threads_used -= st.threads;
+          sm.regs_used -= st.regs_per_block;
+          sm.smem_used -= st.smem_per_block;
+          result.sm_stats[smi].blocks_executed += 1;
+          resident_count -= 1;
+          if (--st.blocks_remaining == 0) {
+            result.completions.push_back(InstanceCompletion{
+                plan.instances[static_cast<std::size_t>(b.inst)].instance_id,
+                st.name, result.h2d_time + Duration::from_seconds(t)});
+          }
+        } else {
+          ++r;
+        }
+      }
+    }
+    dispatch();
+  }
+
+  result.kernel_time = Duration::from_seconds(t);
+  if (t > 0.0) {
+    result.avg_dram_utilization = dram_util_integral / t;
+    result.avg_sm_utilization = sm_util_integral / t;
+  }
+
+  // ---- device -> host transfers ----
+  {
+    double d2h_secs = 0.0;
+    for (const auto& inst : plan.instances) {
+      double bytes = inst.desc.d2h_bytes.bytes();
+      if (bytes > 0.0) {
+        d2h_secs += bytes / dev_.pcie_d2h.bytes_per_second() +
+                    dev_.transfer_latency.seconds();
+      }
+    }
+    if (d2h_secs > 0.0) {
+      integrator.advance(Duration::from_seconds(d2h_secs), ComponentCounts{},
+                         /*transfer_active=*/true);
+    }
+    result.d2h_time = Duration::from_seconds(d2h_secs);
+  }
+
+  result.total_time = integrator.elapsed();
+  result.system_energy = integrator.total_energy();
+  result.avg_system_power = result.total_time.seconds() > 0.0
+                                ? result.system_energy / result.total_time
+                                : Power::zero();
+  result.power_segments = integrator.segments();
+  result.avg_temp_delta_kelvin = integrator.avg_temperature_delta_kelvin();
+  return result;
+}
+
+RunResult FluidEngine::run_serial(
+    const std::vector<KernelInstance>& instances) const {
+  RunResult combined;
+  combined.sm_stats.resize(static_cast<std::size_t>(dev_.num_sms));
+  for (const auto& inst : instances) {
+    LaunchPlan plan;
+    plan.instances.push_back(inst);
+    combined.append(run(plan));
+  }
+  return combined;
+}
+
+}  // namespace ewc::gpusim

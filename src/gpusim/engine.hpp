@@ -1,0 +1,53 @@
+// FluidEngine: a fluid discrete-event simulator of a GT200-class GPU.
+//
+// Thread blocks are fluid tasks with two coupled demands — compute cycles and
+// DRAM bytes — drained concurrently (latency hiding) at rates recomputed at
+// every scheduling event:
+//   * an SM's issue bandwidth (shader clock) is shared fairly among the warps
+//     of its resident blocks that still have compute work;
+//   * device DRAM bandwidth is shared among all memory-active warps, each
+//     additionally capped by its memory-level parallelism; effective
+//     bandwidth degrades with the stream's coalescing quality and with the
+//     number of distinct kernels mixing in DRAM (row-locality loss);
+//   * blocks are dispatched to SMs in grid order, round-robin, subject to
+//     register / shared-memory / thread / block residency limits, and
+//     re-dispatched to whichever SM frees first (the paper's observed
+//     "redistribution of untouched blocks").
+//
+// Events are block dispatches and per-demand completions, so a run costs
+// O(#blocks * resident-per-SM) — fast enough for the thousands of runs the
+// benches perform. Energy is integrated by EnergyIntegrator over the same
+// fluid intervals, which is what the simulated power meter later samples.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device_config.hpp"
+#include "gpusim/energy_integrator.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "gpusim/metrics.hpp"
+
+namespace ewc::gpusim {
+
+class FluidEngine {
+ public:
+  explicit FluidEngine(DeviceConfig dev = tesla_c1060(),
+                       EnergyConfig energy = c1060_energy());
+
+  /// Execute one launch plan (a single kernel or a consolidated template).
+  /// Instance completion times are relative to the start of the run.
+  /// @throws std::invalid_argument for plans with non-runnable blocks.
+  RunResult run(const LaunchPlan& plan) const;
+
+  /// Execute instances back-to-back (the paper's "serial" GPU baseline).
+  RunResult run_serial(const std::vector<KernelInstance>& instances) const;
+
+  const DeviceConfig& device() const { return dev_; }
+  const EnergyConfig& energy_config() const { return energy_; }
+
+ private:
+  DeviceConfig dev_;
+  EnergyConfig energy_;
+};
+
+}  // namespace ewc::gpusim

@@ -1,0 +1,57 @@
+#include "gpusim/metrics.hpp"
+
+#include <algorithm>
+
+namespace ewc::gpusim {
+
+void RunResult::append(const RunResult& next) {
+  Duration offset = total_time;
+
+  // Weighted means before durations change.
+  double tt = total_time.seconds() + next.total_time.seconds();
+  if (tt > 0.0) {
+    avg_temp_delta_kelvin =
+        (avg_temp_delta_kelvin * total_time.seconds() +
+         next.avg_temp_delta_kelvin * next.total_time.seconds()) /
+        tt;
+  }
+  double kt = kernel_time.seconds() + next.kernel_time.seconds();
+  if (kt > 0.0) {
+    avg_dram_utilization = (avg_dram_utilization * kernel_time.seconds() +
+                            next.avg_dram_utilization * next.kernel_time.seconds()) /
+                           kt;
+    avg_sm_utilization = (avg_sm_utilization * kernel_time.seconds() +
+                          next.avg_sm_utilization * next.kernel_time.seconds()) /
+                         kt;
+  }
+
+  total_time += next.total_time;
+  kernel_time += next.kernel_time;
+  h2d_time += next.h2d_time;
+  d2h_time += next.d2h_time;
+  system_energy += next.system_energy;
+  avg_system_power = total_time.seconds() > 0.0
+                         ? system_energy / total_time
+                         : Power::zero();
+
+  if (sm_stats.size() < next.sm_stats.size()) {
+    sm_stats.resize(next.sm_stats.size());
+  }
+  for (std::size_t i = 0; i < next.sm_stats.size(); ++i) {
+    sm_stats[i].busy += next.sm_stats[i].busy;
+    sm_stats[i].blocks_executed += next.sm_stats[i].blocks_executed;
+    sm_stats[i].counts += next.sm_stats[i].counts;
+  }
+  device_counts += next.device_counts;
+
+  for (PowerSegment seg : next.power_segments) {
+    seg.start += offset;
+    power_segments.push_back(seg);
+  }
+  for (InstanceCompletion c : next.completions) {
+    c.finish_time += offset;
+    completions.push_back(c);
+  }
+}
+
+}  // namespace ewc::gpusim

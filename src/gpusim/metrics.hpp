@@ -1,0 +1,114 @@
+// Result types produced by the GPU simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ewc::gpusim {
+
+using common::Duration;
+using common::Energy;
+using common::Power;
+
+/// Device-wide (or per-SM) event totals for the power-relevant components.
+/// Compute classes count warp-instructions; memory classes count DRAM
+/// transactions; shared/const/register classes count accesses.
+struct ComponentCounts {
+  double fp = 0.0;
+  double int_ops = 0.0;
+  double sfu = 0.0;
+  double coalesced_tx = 0.0;
+  double uncoalesced_tx = 0.0;
+  double shared = 0.0;
+  double constant = 0.0;
+  double reg = 0.0;
+
+  ComponentCounts& operator+=(const ComponentCounts& o) {
+    fp += o.fp;
+    int_ops += o.int_ops;
+    sfu += o.sfu;
+    coalesced_tx += o.coalesced_tx;
+    uncoalesced_tx += o.uncoalesced_tx;
+    shared += o.shared;
+    constant += o.constant;
+    reg += o.reg;
+    return *this;
+  }
+  ComponentCounts scaled(double f) const {
+    ComponentCounts c = *this;
+    c.fp *= f;
+    c.int_ops *= f;
+    c.sfu *= f;
+    c.coalesced_tx *= f;
+    c.uncoalesced_tx *= f;
+    c.shared *= f;
+    c.constant *= f;
+    c.reg *= f;
+    return c;
+  }
+  double total() const {
+    return fp + int_ops + sfu + coalesced_tx + uncoalesced_tx + shared +
+           constant + reg;
+  }
+};
+
+/// A constant-power interval of the run (the meter samples across these).
+struct PowerSegment {
+  Duration start = Duration::zero();
+  Duration length = Duration::zero();
+  Power system_power = Power::zero();
+};
+
+/// Per-SM execution statistics.
+struct SmStats {
+  Duration busy = Duration::zero();
+  int blocks_executed = 0;
+  ComponentCounts counts;
+};
+
+/// Completion record for one kernel instance inside a launch plan.
+struct InstanceCompletion {
+  int instance_id = 0;
+  std::string kernel_name;
+  Duration finish_time = Duration::zero();  ///< relative to kernel start
+};
+
+/// One sample of device occupancy during kernel execution (taken at every
+/// fluid event boundary; suitable for timeline plots / CSV export).
+struct OccupancySample {
+  Duration time = Duration::zero();  ///< relative to kernel start
+  int busy_sms = 0;
+  int resident_blocks = 0;
+  double dram_utilization = 0.0;  ///< fraction of peak during the interval
+};
+
+/// Everything a simulated run reports.
+struct RunResult {
+  Duration total_time = Duration::zero();  ///< transfers + kernel execution
+  Duration kernel_time = Duration::zero();
+  Duration h2d_time = Duration::zero();
+  Duration d2h_time = Duration::zero();
+
+  Energy system_energy = Energy::zero();
+  Power avg_system_power = Power::zero();
+
+  std::vector<SmStats> sm_stats;
+  ComponentCounts device_counts;
+  std::vector<PowerSegment> power_segments;
+  std::vector<InstanceCompletion> completions;
+  std::vector<OccupancySample> occupancy;
+
+  /// Time-weighted mean GPU temperature delta above ambient (kelvin).
+  double avg_temp_delta_kelvin = 0.0;
+  /// Mean fraction of peak DRAM bandwidth consumed during kernel execution.
+  double avg_dram_utilization = 0.0;
+  /// Mean fraction of SM issue capacity consumed during kernel execution.
+  double avg_sm_utilization = 0.0;
+
+  /// Merge a subsequent run (serial back-to-back execution).
+  void append(const RunResult& next);
+};
+
+}  // namespace ewc::gpusim

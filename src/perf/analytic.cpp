@@ -1,0 +1,195 @@
+#include "perf/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ewc::perf {
+
+AnalyticModel::AnalyticModel(DeviceConfig dev) : dev_(dev) {}
+
+int max_resident_blocks(const DeviceConfig& dev, const KernelDesc& kernel) {
+  int resident = dev.max_blocks_per_sm;
+  if (kernel.threads_per_block > 0) {
+    resident =
+        std::min(resident, dev.max_threads_per_sm / kernel.threads_per_block);
+  }
+  const std::int64_t regs_per_block =
+      static_cast<std::int64_t>(kernel.resources.registers_per_thread) *
+      kernel.threads_per_block;
+  if (regs_per_block > 0) {
+    resident = std::min(
+        resident, static_cast<int>(dev.registers_per_sm / regs_per_block));
+  }
+  if (kernel.resources.shared_mem_per_block > 0) {
+    resident = std::min(
+        resident, static_cast<int>(dev.shared_mem_per_sm /
+                                   kernel.resources.shared_mem_per_block));
+  }
+  return std::max(resident, 1);
+}
+
+double per_warp_memory_cap(const DeviceConfig& dev, const KernelDesc& kernel) {
+  return kernel.effective_mlp(dev) * kernel.avg_tx_bytes(dev) /
+         (kernel.effective_mem_latency_cycles(dev) / dev.shader_clock.hertz());
+}
+
+WarpParallelism AnalyticModel::warp_parallelism(const KernelDesc& kernel,
+                                                double warps_per_sm,
+                                                int active_sms,
+                                                double bandwidth_fraction) const {
+  WarpParallelism wp;
+  wp.active_warps_per_sm = warps_per_sm;
+  if (warps_per_sm <= 0.0) return wp;
+
+  const double latency = kernel.effective_mem_latency_cycles(dev_);
+  const double mem_insts = kernel.mix.mem_insts();
+  const double comp_cycles = kernel.warp_compute_cycles(dev_);
+
+  if (mem_insts <= 0.0) {
+    wp.mwp = warps_per_sm;
+    wp.cwp = 1.0;
+    wp.memory_bound = false;
+    return wp;
+  }
+
+  // MWP bounded by latency/departure overlap (how many warps can have
+  // requests in flight) ...
+  const double f = kernel.coalesced_fraction();
+  const double departure =
+      f * dev_.coalesced_departure_cycles +
+      (1.0 - f) * dev_.uncoalesced_departure_cycles;
+  const double mwp_latency = latency / std::max(1.0, departure);
+
+  // ... and by peak DRAM bandwidth: bytes one warp streams per cycle while a
+  // request is outstanding vs. the per-SM bandwidth slice.
+  const double bw_per_warp =
+      kernel.effective_mlp(dev_) * kernel.avg_tx_bytes(dev_) / latency;
+  const double eff_bw_cycles =
+      dev_.dram_bandwidth.bytes_per_second() * bandwidth_fraction *
+      kernel.dram_efficiency(dev_) / dev_.shader_clock.hertz();
+  const double mwp_peak_bw =
+      eff_bw_cycles / std::max(1e-30, bw_per_warp * active_sms);
+
+  wp.mwp = std::min({mwp_latency, mwp_peak_bw, warps_per_sm});
+
+  // CWP: how many warps' computation fits into one memory waiting period.
+  const double mem_cycles = mem_insts * latency;
+  wp.cwp = comp_cycles > 0.0
+               ? std::min(warps_per_sm, (mem_cycles + comp_cycles) / comp_cycles)
+               : warps_per_sm;
+  wp.memory_bound = wp.cwp >= wp.mwp;
+  return wp;
+}
+
+KernelPrediction AnalyticModel::predict(const KernelDesc& kernel,
+                                        double bandwidth_fraction) const {
+  if (bandwidth_fraction <= 0.0 || bandwidth_fraction > 1.0) {
+    throw std::invalid_argument("AnalyticModel: bandwidth_fraction out of range");
+  }
+  KernelPrediction pred;
+  pred.h2d_time = h2d_time(
+      common::Bytes{kernel.h2d_bytes.bytes() +
+                    kernel.resources.constant_data.bytes()});
+  pred.d2h_time = d2h_time(kernel.d2h_bytes);
+
+  if (kernel.num_blocks == 0) {
+    pred.total_time = pred.h2d_time + pred.d2h_time;
+    return pred;
+  }
+
+  const double clock = dev_.shader_clock.hertz();
+  const int warps = kernel.warps_per_block(dev_);
+  const double comp_per_warp = kernel.warp_compute_cycles(dev_);
+  const double stall_seconds = kernel.warp_stall_cycles(dev_) / clock;
+  const double mem_per_warp = kernel.warp_mem_bytes(dev_);
+
+  // Residency: how many blocks fit one SM simultaneously.
+  const int resident = max_resident_blocks(dev_, kernel);
+
+  // Static wave-by-wave schedule: wave w holds min(remaining, capacity)
+  // blocks spread round-robin over the SMs.
+  const int capacity = resident * dev_.num_sms;
+  int remaining = kernel.num_blocks;
+  double kernel_seconds = 0.0;
+  double total_cycles = 0.0;
+  int waves = 0;
+  WarpParallelism last_wp;
+
+  const double per_warp_cap_rate =
+      kernel.effective_mlp(dev_) * kernel.avg_tx_bytes(dev_) /
+      (kernel.effective_mem_latency_cycles(dev_) / clock);  // bytes/s
+
+  while (remaining > 0) {
+    ++waves;
+    const int in_wave = std::min(remaining, capacity);
+    remaining -= in_wave;
+
+    const int full_sms = in_wave / dev_.num_sms;      // blocks on every SM
+    const int extra = in_wave % dev_.num_sms;         // SMs with one more
+    const int max_blocks_on_sm = full_sms + (extra > 0 ? 1 : 0);
+    const int active_sms = std::min(in_wave, dev_.num_sms);
+
+    // The slowest SM carries max_blocks_on_sm blocks.
+    const double warps_on_sm = static_cast<double>(max_blocks_on_sm) * warps;
+    const double comp_seconds = comp_per_warp * warps_on_sm / clock;
+
+    double mem_seconds = 0.0;
+    if (mem_per_warp > 0.0) {
+      // Device-wide demand this wave (static: assumed to persist all wave).
+      const double total_warps = static_cast<double>(in_wave) * warps;
+      const double total_cap = total_warps * per_warp_cap_rate;
+      const double eff_bw = dev_.dram_bandwidth.bytes_per_second() *
+                            bandwidth_fraction * kernel.dram_efficiency(dev_);
+      const double scale = std::min(1.0, eff_bw / std::max(1e-30, total_cap));
+      const double per_warp_rate = per_warp_cap_rate * scale;
+      mem_seconds = mem_per_warp / per_warp_rate;
+    }
+
+    // Barrier stalls elapse concurrently for every resident block.
+    kernel_seconds += std::max({comp_seconds, stall_seconds, mem_seconds});
+    last_wp = warp_parallelism(kernel, warps_on_sm, active_sms,
+                               bandwidth_fraction);
+  }
+
+  total_cycles = kernel_seconds * clock;
+  pred.kernel_time = Duration::from_seconds(kernel_seconds);
+  pred.execution_cycles = total_cycles;
+  pred.total_time = pred.h2d_time + pred.kernel_time + pred.d2h_time;
+  pred.parallelism = last_wp;
+  pred.waves = waves;
+  return pred;
+}
+
+Duration AnalyticModel::h2d_time(common::Bytes bytes) const {
+  if (bytes.bytes() <= 0.0) return Duration::zero();
+  return bytes / dev_.pcie_h2d + dev_.transfer_latency;
+}
+
+Duration AnalyticModel::d2h_time(common::Bytes bytes) const {
+  if (bytes.bytes() <= 0.0) return Duration::zero();
+  return bytes / dev_.pcie_d2h + dev_.transfer_latency;
+}
+
+Duration AnalyticModel::solo_block_time(const KernelDesc& kernel) const {
+  const double clock = dev_.shader_clock.hertz();
+  const int warps = kernel.warps_per_block(dev_);
+  const double comp_seconds =
+      std::max(kernel.warp_compute_cycles(dev_) * warps,
+               kernel.warp_stall_cycles(dev_)) /
+      clock;
+  double mem_seconds = 0.0;
+  if (kernel.warp_mem_bytes(dev_) > 0.0) {
+    const double per_warp_cap =
+        kernel.effective_mlp(dev_) * kernel.avg_tx_bytes(dev_) /
+        (kernel.effective_mem_latency_cycles(dev_) / clock);
+    const double bw_slice = dev_.dram_bandwidth.bytes_per_second() *
+                            kernel.dram_efficiency(dev_) / dev_.num_sms;
+    const double per_warp_rate =
+        std::min(per_warp_cap, bw_slice / std::max(1, warps));
+    mem_seconds = kernel.warp_mem_bytes(dev_) / per_warp_rate;
+  }
+  return Duration::from_seconds(std::max(comp_seconds, mem_seconds));
+}
+
+}  // namespace ewc::perf

@@ -1,0 +1,82 @@
+// Analytic single-kernel GPU performance model (paper Section V).
+//
+// The model follows Hong & Kim's MWP/CWP analysis [8]: a kernel's execution
+// is bounded by (a) the SM's warp-instruction issue throughput shared among
+// resident warps, (b) device DRAM bandwidth, and (c) per-warp memory latency
+// limited by memory-level parallelism. The paper parameterizes it with the
+// quantities of Section VII: computation instructions per thread,
+// coalesced/uncoalesced memory instructions per thread, synchronization
+// instructions, DRAM latency, departure delays, SM clock, and DRAM bandwidth.
+//
+// Unlike the dynamic simulator (gpusim::FluidEngine) this model is *static*:
+// it assumes a fixed block distribution and permanent bandwidth sharing. The
+// deliberate gap between the two is what Figures 3/4 measure.
+#pragma once
+
+#include "common/units.hpp"
+#include "gpusim/device_config.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::perf {
+
+using common::Duration;
+using gpusim::DeviceConfig;
+using gpusim::KernelDesc;
+
+/// Diagnostics in Hong-Kim vocabulary, reported alongside predictions.
+struct WarpParallelism {
+  double mwp = 0.0;  ///< memory warp parallelism (per SM)
+  double cwp = 0.0;  ///< computation warp parallelism (per SM)
+  double active_warps_per_sm = 0.0;
+  bool memory_bound = false;
+};
+
+/// Prediction for one kernel (or one merged "big workload").
+struct KernelPrediction {
+  Duration kernel_time = Duration::zero();
+  Duration h2d_time = Duration::zero();
+  Duration d2h_time = Duration::zero();
+  Duration total_time = Duration::zero();
+  double execution_cycles = 0.0;  ///< kernel_time in shader cycles
+  WarpParallelism parallelism;
+  int waves = 1;  ///< residency-limited dispatch waves
+};
+
+/// Maximum co-resident blocks of `kernel` on one SM (registers, shared
+/// memory, thread and block caps). Always >= 1 for a runnable kernel.
+int max_resident_blocks(const DeviceConfig& dev, const KernelDesc& kernel);
+
+/// Peak bytes/second one warp of `kernel` can pull from DRAM (MLP-limited).
+double per_warp_memory_cap(const DeviceConfig& dev, const KernelDesc& kernel);
+
+class AnalyticModel {
+ public:
+  explicit AnalyticModel(DeviceConfig dev = gpusim::tesla_c1060());
+
+  /// Predict a kernel running alone on the device.
+  /// @param bandwidth_fraction  share of DRAM bandwidth available to this
+  ///        kernel (1.0 alone; <1 under type-1 consolidation sharing).
+  KernelPrediction predict(const KernelDesc& kernel,
+                           double bandwidth_fraction = 1.0) const;
+
+  /// Hong-Kim MWP/CWP diagnostics for a kernel at a given per-SM warp count.
+  WarpParallelism warp_parallelism(const KernelDesc& kernel,
+                                   double warps_per_sm,
+                                   int active_sms,
+                                   double bandwidth_fraction = 1.0) const;
+
+  /// Host<->device transfer time for given byte counts (one op each way).
+  Duration h2d_time(common::Bytes bytes) const;
+  Duration d2h_time(common::Bytes bytes) const;
+
+  /// Time for one thread block running alone on one SM with a 1/num_sms
+  /// bandwidth share (used by the type-2 critical-SM replay).
+  Duration solo_block_time(const KernelDesc& kernel) const;
+
+  const DeviceConfig& device() const { return dev_; }
+
+ private:
+  DeviceConfig dev_;
+};
+
+}  // namespace ewc::perf

@@ -1,0 +1,104 @@
+#include "perf/hong_kim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "perf/analytic.hpp"
+
+namespace ewc::perf {
+
+const char* hong_kim_case_name(HongKimCase c) {
+  switch (c) {
+    case HongKimCase::kBalanced: return "balanced";
+    case HongKimCase::kMemoryBound: return "memory-bound";
+    case HongKimCase::kComputeBound: return "compute-bound";
+  }
+  return "?";
+}
+
+HongKimResult hong_kim_cycles(const gpusim::DeviceConfig& dev,
+                              const gpusim::KernelDesc& kernel) {
+  if (kernel.num_blocks <= 0) {
+    throw std::invalid_argument("hong_kim_cycles: kernel has no blocks");
+  }
+  const double mem_insts = kernel.mix.mem_insts();
+  const double comp_insts = kernel.mix.compute_insts();
+  if (mem_insts + comp_insts <= 0.0) {
+    throw std::invalid_argument("hong_kim_cycles: kernel has no work");
+  }
+
+  HongKimResult r;
+
+  // N: concurrently running warps on one SM.
+  const int resident = max_resident_blocks(dev, kernel);
+  const int blocks_per_sm_now =
+      std::min(resident, std::max(1, (kernel.num_blocks + dev.num_sms - 1) /
+                                         dev.num_sms));
+  r.active_warps =
+      static_cast<double>(blocks_per_sm_now) * kernel.warps_per_block(dev);
+  const double n = r.active_warps;
+
+  const int active_sms = std::min(kernel.num_blocks, dev.num_sms);
+
+  // #Rep: how many waves of blocks each SM processes.
+  r.repetitions = static_cast<int>(std::ceil(
+      static_cast<double>(kernel.num_blocks) /
+      (static_cast<double>(blocks_per_sm_now) * active_sms)));
+
+  // Memory system constants.
+  const double mem_l = kernel.effective_mem_latency_cycles(dev);
+  const double f = kernel.coalesced_fraction();
+  const double departure = f * dev.coalesced_departure_cycles +
+                           (1.0 - f) * dev.uncoalesced_departure_cycles;
+
+  // MWP (Eq. set of the ISCA'09 paper).
+  const double mwp_without_bw = mem_l / std::max(1.0, departure);
+  const double freq = dev.shader_clock.hertz();
+  const double bw_per_warp =
+      freq * kernel.avg_tx_bytes(dev) / mem_l;  // bytes/s one warp streams
+  const double mwp_peak_bw =
+      dev.dram_bandwidth.bytes_per_second() /
+      std::max(1e-30, bw_per_warp * active_sms);
+  r.mwp = std::max(1.0, std::min({mwp_without_bw, mwp_peak_bw, n}));
+
+  // Computation / memory cycles of ONE warp over the kernel.
+  const double comp_cycles =
+      kernel.warp_compute_cycles(dev) + kernel.warp_stall_cycles(dev);
+  const double mem_cycles = mem_insts * mem_l;
+
+  // CWP.
+  const double cwp_full =
+      comp_cycles > 0.0 ? (mem_cycles + comp_cycles) / comp_cycles : n;
+  r.cwp = std::max(1.0, std::min(cwp_full, n));
+
+  const double rep = static_cast<double>(r.repetitions);
+  double exec = 0.0;
+  if (mem_insts <= 0.0) {
+    // Pure compute: warps serialize on the issue pipeline.
+    r.which_case = HongKimCase::kComputeBound;
+    exec = comp_cycles * n * rep;
+  } else if (r.mwp >= n && r.cwp >= n) {
+    r.which_case = HongKimCase::kBalanced;
+    exec = (mem_cycles + comp_cycles +
+            comp_cycles / mem_insts * (r.mwp - 1.0)) *
+           rep;
+  } else if (r.cwp >= r.mwp) {
+    r.which_case = HongKimCase::kMemoryBound;
+    exec = (mem_cycles * n / r.mwp +
+            comp_cycles / mem_insts * (r.mwp - 1.0)) *
+           rep;
+  } else {
+    r.which_case = HongKimCase::kComputeBound;
+    exec = (mem_l + comp_cycles * n) * rep;
+  }
+
+  // Synchronization cost: barriers delay the departure of the next wave of
+  // requests by the departure delay times the warps ahead.
+  r.synch_cost_cycles =
+      departure * (r.mwp - 1.0) * kernel.mix.sync_insts * rep;
+  r.exec_cycles = exec + r.synch_cost_cycles;
+  return r;
+}
+
+}  // namespace ewc::perf

@@ -1,0 +1,49 @@
+// The original Hong & Kim analytical model (ISCA'09), exact closed form.
+//
+// The paper's Section V "extends a recent GPU performance model [8]"; this
+// module implements that base model verbatim — MWP/CWP case analysis,
+// repetition count, synchronization cost — so the repository can compare
+// three independent estimates for any kernel:
+//
+//   1. hong_kim_cycles()           (this file: the literature baseline)
+//   2. perf::AnalyticModel         (the paper-extended static model)
+//   3. gpusim::FluidEngine         (the dynamic simulator = "measurement")
+//
+// bench_model_comparison prints all three side by side.
+#pragma once
+
+#include "gpusim/device_config.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::perf {
+
+/// Which of the model's three execution cases applied.
+enum class HongKimCase {
+  kBalanced,      ///< MWP == CWP == N: fully overlapped
+  kMemoryBound,   ///< CWP >= MWP: memory requests dominate
+  kComputeBound,  ///< CWP < MWP: computation dominates
+};
+
+const char* hong_kim_case_name(HongKimCase c);
+
+struct HongKimResult {
+  double exec_cycles = 0.0;  ///< predicted total execution cycles
+  double mwp = 0.0;          ///< memory warp parallelism
+  double cwp = 0.0;          ///< computation warp parallelism
+  double active_warps = 0.0; ///< N: warps per SM
+  int repetitions = 1;       ///< #Rep: block waves per SM
+  double synch_cost_cycles = 0.0;
+  HongKimCase which_case = HongKimCase::kComputeBound;
+
+  common::Duration time(const gpusim::DeviceConfig& dev) const {
+    return common::Duration::from_seconds(exec_cycles /
+                                          dev.shader_clock.hertz());
+  }
+};
+
+/// Evaluate the ISCA'09 closed form for `kernel` running alone on `dev`.
+/// @throws std::invalid_argument for kernels with no work or no blocks.
+HongKimResult hong_kim_cycles(const gpusim::DeviceConfig& dev,
+                              const gpusim::KernelDesc& kernel);
+
+}  // namespace ewc::perf

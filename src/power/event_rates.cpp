@@ -1,0 +1,44 @@
+#include "power/event_rates.hpp"
+
+namespace ewc::power {
+
+gpusim::ComponentCounts plan_event_totals(const gpusim::DeviceConfig& dev,
+                                          const gpusim::LaunchPlan& plan) {
+  gpusim::ComponentCounts totals;
+  for (const auto& inst : plan.instances) {
+    const auto& k = inst.desc;
+    const double warps = static_cast<double>(k.num_blocks) *
+                         k.warps_per_block(dev);
+    const auto& m = k.mix;
+    gpusim::ComponentCounts c;
+    c.fp = m.fp_insts * warps;
+    c.int_ops = m.int_insts * warps;
+    c.sfu = m.sfu_insts * warps;
+    c.coalesced_tx = m.coalesced_mem_insts * warps;
+    c.uncoalesced_tx = m.uncoalesced_mem_insts * dev.warp_size * warps;
+    c.shared = m.shared_accesses * warps;
+    c.constant = m.const_accesses * warps;
+    c.reg = 3.0 * m.compute_insts() * warps;
+    totals += c;
+  }
+  return totals;
+}
+
+EventRates virtual_sm_rates(const gpusim::DeviceConfig& dev,
+                            const gpusim::ComponentCounts& totals,
+                            double execution_cycles) {
+  EventRates r;
+  if (execution_cycles <= 0.0) return r;
+  const double denom = execution_cycles * dev.num_sms;
+  r.e = {totals.fp / denom,
+         totals.int_ops / denom,
+         totals.sfu / denom,
+         totals.coalesced_tx / denom,
+         totals.uncoalesced_tx / denom,
+         totals.shared / denom,
+         totals.constant / denom,
+         totals.reg / denom};
+  return r;
+}
+
+}  // namespace ewc::power

@@ -1,0 +1,47 @@
+// Power-critical event rates (paper Section VI, Eq. 11-12).
+//
+// The dynamic-power model is linear in per-component event *rates*:
+//     e_i = (# occurrences of event i) / (execution cycles)
+// normalized per SM. For heterogeneous consolidation the paper's key fix is
+// the "virtual SM": rates are averaged over ALL SMs (idle ones included),
+// because per-SM rates summed across SMs mispredict by ~9x.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "gpusim/device_config.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "gpusim/metrics.hpp"
+
+namespace ewc::power {
+
+/// Fixed feature order used by the regression.
+inline constexpr std::size_t kNumComponents = 8;
+inline constexpr std::array<const char*, kNumComponents> kComponentNames = {
+    "fp",     "int",      "sfu",   "coal_tx",
+    "uncoal", "shared",   "const", "reg"};
+
+/// Virtual-SM event rates: events per shader cycle per SM.
+struct EventRates {
+  std::array<double, kNumComponents> e{};
+
+  std::vector<double> as_features() const {
+    return std::vector<double>(e.begin(), e.end());
+  }
+};
+
+/// Device-wide event totals a launch plan will generate. Event counts are
+/// schedule-independent (they depend only on the instruction mixes), which is
+/// why the model can compute them statically from the descriptors.
+gpusim::ComponentCounts plan_event_totals(const gpusim::DeviceConfig& dev,
+                                          const gpusim::LaunchPlan& plan);
+
+/// Virtual-SM rates from device-wide totals and total execution cycles.
+/// Used with *predicted* cycles at decision time and with *measured* cycles
+/// during training.
+EventRates virtual_sm_rates(const gpusim::DeviceConfig& dev,
+                            const gpusim::ComponentCounts& totals,
+                            double execution_cycles);
+
+}  // namespace ewc::power

@@ -1,0 +1,55 @@
+// Simulated WattsUp? PRO ES wall-power meter.
+//
+// The paper measures whole-system power at the wall, samples about once per
+// second, and — for workloads shorter than ~5 seconds — runs the workload
+// repeatedly and averages. The meter reproduces that procedure over the
+// piecewise-constant power trace the simulator emits, with multiplicative
+// Gaussian sample noise.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "gpusim/metrics.hpp"
+
+namespace ewc::power {
+
+using common::Duration;
+using common::Power;
+
+enum class MeterWindow {
+  kFullRun,     ///< transfers + kernel (what the energy tables report)
+  kKernelOnly,  ///< kernel execution phase (what model training uses)
+};
+
+class PowerMeter {
+ public:
+  /// @param sample_interval   seconds between samples (WattsUp: 1 s).
+  /// @param relative_noise    per-sample multiplicative noise sigma.
+  explicit PowerMeter(double sample_interval = 1.0,
+                      double relative_noise = 0.01,
+                      std::uint64_t seed = 0xC0FFEEull);
+
+  /// Discrete samples over the chosen window (repeats short runs).
+  std::vector<double> sample_watts(const gpusim::RunResult& run,
+                                   MeterWindow window = MeterWindow::kFullRun);
+
+  /// Mean of the samples: the paper's "average system power".
+  Power average_power(const gpusim::RunResult& run,
+                      MeterWindow window = MeterWindow::kFullRun);
+
+  /// Average power x wall time over the window.
+  common::Energy measured_energy(const gpusim::RunResult& run,
+                                 MeterWindow window = MeterWindow::kFullRun);
+
+ private:
+  double sample_interval_;
+  double noise_;
+  common::Rng rng_;
+};
+
+/// Noise-free exact average over a window (for tests and ground truth).
+Power exact_average_power(const gpusim::RunResult& run, MeterWindow window);
+
+}  // namespace ewc::power

@@ -1,0 +1,77 @@
+#include "power/power_model.hpp"
+
+#include <stdexcept>
+
+namespace ewc::power {
+
+GpuPowerModel::GpuPowerModel(common::LinearFit fit, Power measured_idle,
+                             ThermalFit thermal, Power transfer_power,
+                             gpusim::DeviceConfig dev)
+    : fit_(std::move(fit)),
+      idle_(measured_idle),
+      thermal_(thermal),
+      transfer_power_(transfer_power),
+      dev_(dev) {}
+
+Power GpuPowerModel::gpu_power_from_rates(const EventRates& rates) const {
+  if (!trained()) {
+    throw std::logic_error("GpuPowerModel: model has not been trained");
+  }
+  double w = fit_.predict(rates.as_features());
+  return Power::from_watts(w > 0.0 ? w : 0.0);
+}
+
+GpuPowerModel::Decomposition GpuPowerModel::decompose(
+    const EventRates& rates) const {
+  Decomposition d;
+  const double total = gpu_power_from_rates(rates).watts();
+  const double gain =
+      thermal_.kelvin_per_dyn_watt * thermal_.watts_per_kelvin;
+  // total = P_dyn * (1 + gain)  =>  split accordingly.
+  const double dyn = gain > 0.0 ? total / (1.0 + gain) : total;
+  d.dynamic = Power::from_watts(dyn);
+  d.thermal = Power::from_watts(total - dyn);
+  return d;
+}
+
+PowerPrediction GpuPowerModel::predict(
+    const gpusim::DeviceConfig& dev, const gpusim::LaunchPlan& plan,
+    const perf::ConsolidationPrediction& timing) const {
+  PowerPrediction out;
+  const auto totals = plan_event_totals(dev, plan);
+  out.rates = virtual_sm_rates(dev, totals, timing.execution_cycles);
+  out.gpu_power = gpu_power_from_rates(out.rates);
+
+  const double t_kernel = timing.kernel_time.seconds();
+  const double t_xfer = timing.h2d_time.seconds() + timing.d2h_time.seconds();
+  const double t_total = timing.total_time.seconds();
+  if (t_total > 0.0) {
+    const double joules = idle_.watts() * t_total +
+                          out.gpu_power.watts() * t_kernel +
+                          transfer_power_.watts() * t_xfer;
+    out.system_energy = Energy::from_joules(joules);
+    out.avg_system_power = out.system_energy / timing.total_time;
+  }
+  return out;
+}
+
+Power GpuPowerModel::predict_per_sm_summation(
+    const gpusim::DeviceConfig& dev, const gpusim::LaunchPlan& plan,
+    const perf::ConsolidationPrediction& timing, int active_sms) const {
+  if (active_sms <= 0) return Power::zero();
+  const auto totals = plan_event_totals(dev, plan);
+  if (timing.execution_cycles <= 0.0) return Power::zero();
+  // Each active SM's own rate vector (no virtual-SM averaging) ...
+  EventRates per_sm;
+  const double denom = timing.execution_cycles * active_sms;
+  per_sm.e = {totals.fp / denom,          totals.int_ops / denom,
+              totals.sfu / denom,         totals.coalesced_tx / denom,
+              totals.uncoalesced_tx / denom, totals.shared / denom,
+              totals.constant / denom,    totals.reg / denom};
+  // ... evaluated through the model and summed over SMs: the paper's
+  // rejected estimator.
+  const double one_sm = fit_.predict(per_sm.as_features());
+  return Power::from_watts(one_sm * active_sms);
+}
+
+}  // namespace ewc::power

@@ -1,0 +1,85 @@
+// The paper's GPU power model (Section VI).
+//
+//   P = P_static + P_T(dT) + P_dyn,      P_dyn = sum_i a_i * e_i + lambda
+//
+// P_static is folded into the measured whole-system idle power (the paper
+// measures GPU power as P_sys - P_idle). The a_i / lambda coefficients are
+// fitted by linear regression over training benchmarks; because the thermal
+// response P_T is itself approximately linear in P_dyn at steady state, the
+// fitted coefficients absorb most of it, and an explicit thermal fit
+// (dT ~ P_dyn, P_T ~ dT) is kept for the Eq. 10 decomposition.
+//
+// For consolidated (possibly heterogeneous) workloads the rates come from
+// the *virtual SM* (average over all SMs); predict_per_sm_summation() keeps
+// the naive alternative the paper rejects (9x error) for the ablation bench.
+#pragma once
+
+#include "common/linreg.hpp"
+#include "common/units.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "perf/consolidation_model.hpp"
+#include "power/event_rates.hpp"
+
+namespace ewc::power {
+
+using common::Energy;
+using common::Power;
+
+/// Explicit Eq. 10 thermal decomposition, fitted from training data.
+struct ThermalFit {
+  double kelvin_per_dyn_watt = 0.0;  ///< steady-state dT per dynamic watt
+  double watts_per_kelvin = 0.0;     ///< leakage response P_T / dT
+};
+
+/// Full prediction for one launch plan.
+struct PowerPrediction {
+  Power gpu_power = Power::zero();  ///< above idle, during kernel execution
+  Power avg_system_power = Power::zero();  ///< over the whole run
+  Energy system_energy = Energy::zero();   ///< over the whole run
+  EventRates rates;
+};
+
+class GpuPowerModel {
+ public:
+  GpuPowerModel() = default;
+  GpuPowerModel(common::LinearFit fit, Power measured_idle, ThermalFit thermal,
+                Power transfer_power, gpusim::DeviceConfig dev);
+
+  bool trained() const { return !fit_.coefficients.empty(); }
+
+  /// P_dyn + P_T for a virtual-SM rate vector (watts above system idle).
+  Power gpu_power_from_rates(const EventRates& rates) const;
+
+  /// Predict power & energy for a plan whose timing was predicted by the
+  /// performance model (decision-time path; nothing is executed).
+  PowerPrediction predict(const gpusim::DeviceConfig& dev,
+                          const gpusim::LaunchPlan& plan,
+                          const perf::ConsolidationPrediction& timing) const;
+
+  /// The rejected alternative: estimate each active SM's power from its own
+  /// rates and sum. Kept for the ablation reproducing the paper's ~9x error.
+  Power predict_per_sm_summation(const gpusim::DeviceConfig& dev,
+                                 const gpusim::LaunchPlan& plan,
+                                 const perf::ConsolidationPrediction& timing,
+                                 int active_sms) const;
+
+  const common::LinearFit& fit() const { return fit_; }
+  const ThermalFit& thermal() const { return thermal_; }
+  Power idle_power() const { return idle_; }
+
+  /// Eq. 10 decomposition of a predicted GPU power (for reporting).
+  struct Decomposition {
+    Power dynamic = Power::zero();
+    Power thermal = Power::zero();
+  };
+  Decomposition decompose(const EventRates& rates) const;
+
+ private:
+  common::LinearFit fit_;
+  Power idle_ = Power::zero();
+  ThermalFit thermal_;
+  Power transfer_power_ = Power::zero();
+  gpusim::DeviceConfig dev_;
+};
+
+}  // namespace ewc::power

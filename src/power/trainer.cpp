@@ -1,0 +1,119 @@
+#include "power/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/linreg.hpp"
+
+namespace ewc::power {
+
+ModelTrainer::ModelTrainer(const gpusim::FluidEngine& engine,
+                           double meter_noise, std::uint64_t seed)
+    : engine_(engine), meter_noise_(meter_noise), seed_(seed) {}
+
+TrainingReport ModelTrainer::train(
+    const std::vector<gpusim::KernelDesc>& kernels) {
+  if (kernels.size() < kNumComponents + 1) {
+    throw std::invalid_argument(
+        "ModelTrainer: need more training kernels than model coefficients");
+  }
+  const auto& dev = engine_.device();
+  PowerMeter meter(1.0, meter_noise_, seed_);
+  common::Rng rng(seed_ ^ 0x51DEull);
+
+  // Step 1: measure idle power (meter noise applies, as in the real setup).
+  const double idle_true = engine_.energy_config().system_idle_with_gpu.watts();
+  const double idle_measured = idle_true * rng.noise_factor(meter_noise_);
+
+  TrainingReport report;
+  report.measured_idle = Power::from_watts(idle_measured);
+
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  std::vector<double> dyn_watts;   // for the thermal fit
+  std::vector<double> temp_delta;
+
+  // Step 2: run and measure each training kernel. Each kernel is measured
+  // at three grid sizes (as the paper measures each benchmark at several
+  // problem sizes): smaller grids leave SMs idle, which spreads the
+  // virtual-SM rates and conditions the regression.
+  std::vector<gpusim::KernelDesc> samples_to_run;
+  for (const auto& k : kernels) {
+    for (double frac : {1.0, 0.6, 0.3}) {
+      gpusim::KernelDesc variant = k;
+      variant.num_blocks =
+          std::max(1, static_cast<int>(k.num_blocks * frac));
+      if (frac != 1.0) {
+        variant.name += "@" + std::to_string(variant.num_blocks);
+      }
+      samples_to_run.push_back(std::move(variant));
+    }
+  }
+  for (const auto& k : samples_to_run) {
+    gpusim::LaunchPlan plan;
+    plan.instances.push_back(gpusim::KernelInstance{k, 0, "trainer"});
+    const gpusim::RunResult run = engine_.run(plan);
+
+    const double cycles =
+        run.kernel_time.seconds() * dev.shader_clock.hertz();
+    const EventRates rates = virtual_sm_rates(dev, run.device_counts, cycles);
+    const double watts =
+        meter.average_power(run, MeterWindow::kKernelOnly).watts() -
+        idle_measured;
+
+    TrainingSample sample;
+    sample.kernel = k.name;
+    sample.rates = rates;
+    sample.measured_watts_above_idle = watts;
+    sample.measured_temp_delta = run.avg_temp_delta_kelvin;
+    report.samples.push_back(sample);
+
+    features.push_back(rates.as_features());
+    targets.push_back(watts);
+    dyn_watts.push_back(watts);
+    temp_delta.push_back(run.avg_temp_delta_kelvin);
+  }
+
+  // Step 3: Eq. 11 regression. The register-file rate is exactly collinear
+  // with the compute rates (3 accesses per instruction), so a mild ridge
+  // keeps the normal equations stable without biasing predictions.
+  common::LinearFit fit = common::fit_least_squares(features, targets,
+                                                    /*fit_intercept=*/true,
+                                                    /*ridge=*/1e-4);
+  report.r_squared = fit.r_squared;
+
+  // Step 4: thermal decomposition. dT ~ k_ss * P_dyn by one-feature OLS,
+  // and the leakage response uses the simulator-independent textbook ratio
+  // of the two single-feature fits.
+  ThermalFit thermal;
+  {
+    std::vector<std::vector<double>> x;
+    x.reserve(dyn_watts.size());
+    for (double w : dyn_watts) x.push_back({w});
+    common::LinearFit kss =
+        common::fit_least_squares(x, temp_delta, /*fit_intercept=*/false);
+    thermal.kelvin_per_dyn_watt = kss.coefficients.at(0);
+
+    std::vector<std::vector<double>> x2;
+    x2.reserve(temp_delta.size());
+    for (double t : temp_delta) x2.push_back({t});
+    // Leakage watts are not separately observable at the wall; estimate the
+    // response as the residual slope of measured power vs temperature after
+    // removing the event-linear part.
+    std::vector<double> residual(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      residual[i] = targets[i] - fit.predict(features[i]);
+    }
+    common::LinearFit leak =
+        common::fit_least_squares(x2, residual, /*fit_intercept=*/false,
+                                  /*ridge=*/1e-6);
+    thermal.watts_per_kelvin = leak.coefficients.at(0);
+  }
+
+  report.model = GpuPowerModel(
+      std::move(fit), report.measured_idle, thermal,
+      engine_.energy_config().transfer_active_power, dev);
+  return report;
+}
+
+}  // namespace ewc::power

@@ -1,0 +1,55 @@
+// Power-model training (paper Section VI).
+//
+// Procedure, mirroring the paper:
+//  1. measure whole-system idle power (includes GPU static power);
+//  2. run each training benchmark on the GPU; record the meter's average
+//     system power during kernel execution and the kernel's event totals /
+//     execution cycles (virtual-SM rates);
+//  3. linear-regress (P_measured - P_idle) on the rates to obtain a_i and
+//     lambda (Eq. 11);
+//  4. fit the thermal decomposition (dT ~ P_dyn, P_T ~ dT) for Eq. 10.
+//
+// The paper trains on 6 Rodinia benchmarks (10 kernels); workloads::
+// rodinia_training_kernels() provides the equivalent set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/engine.hpp"
+#include "power/meter.hpp"
+#include "power/power_model.hpp"
+
+namespace ewc::power {
+
+struct TrainingSample {
+  std::string kernel;
+  EventRates rates;
+  double measured_watts_above_idle = 0.0;
+  double measured_temp_delta = 0.0;
+};
+
+struct TrainingReport {
+  GpuPowerModel model;
+  std::vector<TrainingSample> samples;
+  double r_squared = 0.0;
+  Power measured_idle = Power::zero();
+};
+
+class ModelTrainer {
+ public:
+  explicit ModelTrainer(const gpusim::FluidEngine& engine,
+                        double meter_noise = 0.01,
+                        std::uint64_t seed = 0x7241AAull);
+
+  /// Train on the given kernels (each runs standalone on the engine).
+  /// @throws std::invalid_argument if fewer than kNumComponents+1 kernels.
+  TrainingReport train(const std::vector<gpusim::KernelDesc>& kernels);
+
+ private:
+  const gpusim::FluidEngine& engine_;
+  double meter_noise_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ewc::power

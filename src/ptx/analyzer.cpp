@@ -1,0 +1,201 @@
+#include "ptx/analyzer.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace ewc::ptx {
+
+namespace {
+
+/// Execution multiplicity of every statement: the product of the trip counts
+/// of all enclosing loops, where a loop is a backward branch to a label and
+/// its trip count comes from the label's `//@trip` annotation (default 1).
+std::vector<double> statement_multiplicities(const PtxKernel& kernel) {
+  const auto& body = kernel.body;
+  std::map<std::string, std::size_t> label_index;
+  std::map<std::string, double> label_trip;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i].label) {
+      label_index[body[i].label->name] = i;
+      label_trip[body[i].label->name] =
+          body[i].trip_annotation.value_or(1.0);
+    }
+  }
+
+  std::vector<double> mult(body.size(), 1.0);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const auto& st = body[i];
+    if (!st.instruction || st.instruction->op_class != OpClass::kBranch) {
+      continue;
+    }
+    if (!st.instruction->label_target) continue;
+    auto it = label_index.find(*st.instruction->label_target);
+    if (it == label_index.end()) {
+      throw std::invalid_argument("ptx: branch to unknown label '" +
+                                  *st.instruction->label_target + "' at line " +
+                                  std::to_string(st.instruction->line));
+    }
+    const std::size_t target = it->second;
+    if (target > i) continue;  // forward branch: body counted fully
+    const double trip = label_trip[*st.instruction->label_target];
+    for (std::size_t j = target; j <= i; ++j) mult[j] *= trip;
+  }
+  return mult;
+}
+
+/// Registers whose value is a linear function of the thread index.
+std::set<std::string> tid_tainted_registers(const PtxKernel& kernel) {
+  std::set<std::string> tainted;
+  // Special registers that carry the thread/block coordinates.
+  auto is_seed = [](const std::string& op) {
+    return op.rfind("%tid", 0) == 0 || op.rfind("%ctaid", 0) == 0 ||
+           op.rfind("%ntid", 0) == 0;
+  };
+  // Two passes handle simple forward-use chains.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& st : kernel.body) {
+      if (!st.instruction) continue;
+      const auto& inst = *st.instruction;
+      if (inst.op_class != OpClass::kIntArith &&
+          inst.op_class != OpClass::kFloatArith) {
+        continue;
+      }
+      static const std::set<std::string> linear = {
+          "mov", "add", "sub", "mad", "mul", "cvt", "shl", "and"};
+      auto dot = inst.opcode.find('.');
+      const std::string base = dot == std::string::npos
+                                   ? inst.opcode
+                                   : inst.opcode.substr(0, dot);
+      if (linear.find(base) == linear.end()) continue;
+      if (inst.operands.size() < 2) continue;
+      bool any_tainted = false;
+      for (std::size_t i = 1; i < inst.operands.size(); ++i) {
+        const std::string& op = inst.operands[i];
+        if (is_seed(op) || tainted.count(op) != 0) {
+          any_tainted = true;
+          break;
+        }
+      }
+      if (any_tainted) tainted.insert(inst.operands.front());
+    }
+  }
+  return tainted;
+}
+
+/// Address register of a memory operand like "[%rd4+16]" -> "%rd4".
+std::string address_register(const Instruction& inst) {
+  for (const auto& op : inst.operands) {
+    auto open = op.find('[');
+    if (open == std::string::npos) continue;
+    auto close = op.find_first_of("+]", open + 1);
+    if (close == std::string::npos) close = op.size();
+    return op.substr(open + 1, close - open - 1);
+  }
+  return {};
+}
+
+}  // namespace
+
+KernelAnalysis analyze_kernel(const PtxModule& module,
+                              const PtxKernel& kernel) {
+  KernelAnalysis out;
+  out.registers_per_thread = kernel.total_registers();
+  out.shared_bytes_per_block = kernel.shared_bytes;
+  out.const_bytes = module.const_bytes;
+
+  const auto mult = statement_multiplicities(kernel);
+  const auto tainted = tid_tainted_registers(kernel);
+
+  for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+    const auto& st = kernel.body[i];
+    if (!st.instruction) continue;
+    const auto& inst = *st.instruction;
+    const double m = mult[i];
+    out.dynamic_instructions += m;
+
+    switch (inst.op_class) {
+      case OpClass::kFloatArith:
+        out.mix.fp_insts += m;
+        break;
+      case OpClass::kIntArith:
+        out.mix.int_insts += m;
+        break;
+      case OpClass::kSpecial:
+        out.mix.sfu_insts += m;
+        break;
+      case OpClass::kBarrier:
+        out.mix.sync_insts += m;
+        break;
+      case OpClass::kBranch:
+        out.mix.int_insts += m;  // branch = address arithmetic on GT200
+        break;
+      case OpClass::kLoad:
+      case OpClass::kStore: {
+        const double accesses = m * inst.vector_width;
+        const StateSpace space = inst.space.value_or(StateSpace::kGlobal);
+        switch (space) {
+          case StateSpace::kShared:
+            out.mix.shared_accesses += accesses;
+            break;
+          case StateSpace::kConst:
+            out.mix.const_accesses += accesses;
+            break;
+          case StateSpace::kParam:
+          case StateSpace::kReg:
+            break;  // free on GT200
+          case StateSpace::kLocal:
+            // Local memory is DRAM-backed and per-thread: uncoalesced.
+            out.mix.uncoalesced_mem_insts += accesses;
+            break;
+          case StateSpace::kGlobal: {
+            bool coalesced = !inst.uncoalesced_hint;
+            if (coalesced) {
+              const std::string addr = address_register(inst);
+              coalesced = !addr.empty() && tainted.count(addr) != 0;
+            }
+            if (coalesced) {
+              out.mix.coalesced_mem_insts += accesses;
+            } else {
+              out.mix.uncoalesced_mem_insts += accesses;
+            }
+            break;
+          }
+        }
+        break;
+      }
+      case OpClass::kReturn:
+      case OpClass::kOther:
+        break;
+    }
+  }
+  return out;
+}
+
+KernelAnalysis analyze_kernel(const PtxModule& module,
+                              const std::string& name) {
+  const PtxKernel* k = module.find_kernel(name);
+  if (k == nullptr) {
+    throw std::out_of_range("ptx: no kernel named '" + name + "'");
+  }
+  return analyze_kernel(module, *k);
+}
+
+gpusim::KernelDesc to_kernel_desc(const KernelAnalysis& analysis,
+                                  const std::string& name, int num_blocks,
+                                  int threads_per_block) {
+  gpusim::KernelDesc k;
+  k.name = name;
+  k.num_blocks = num_blocks;
+  k.threads_per_block = threads_per_block;
+  k.mix = analysis.mix;
+  k.resources.registers_per_thread =
+      analysis.registers_per_thread > 0 ? analysis.registers_per_thread : 16;
+  k.resources.shared_mem_per_block = analysis.shared_bytes_per_block;
+  k.resources.constant_data = common::Bytes::from_bytes(
+      static_cast<double>(analysis.const_bytes));
+  return k;
+}
+
+}  // namespace ewc::ptx

@@ -1,0 +1,46 @@
+// Static PTX analysis -> power/performance-model inputs.
+//
+// Implements the paper's Section VI step: "The number of instructions that
+// access a hardware component is calculated by analyzing PTX code". The
+// analyzer walks a parsed kernel and produces the per-thread InstructionMix
+// the models consume:
+//
+//  * loop trip counts come from `//@trip N` annotations on loop-head labels
+//    (backward branches to a label repeat the enclosed body; nesting
+//    multiplies);
+//  * global accesses are classified coalesced/uncoalesced by a register
+//    taint analysis: an address derived from %tid.x through linear ops
+//    (mov/add/mad/mul/cvt/shl) coalesces; anything else (data-dependent
+//    gathers) does not. An `//@uncoalesced` annotation overrides;
+//  * shared/const/param/local spaces map to the corresponding components;
+//  * predicated instructions count fully (a warp executes both sides).
+#pragma once
+
+#include "gpusim/kernel_desc.hpp"
+#include "ptx/ast.hpp"
+
+namespace ewc::ptx {
+
+/// Per-kernel static analysis result.
+struct KernelAnalysis {
+  gpusim::InstructionMix mix;  ///< per-thread dynamic counts
+  int registers_per_thread = 0;
+  std::int64_t shared_bytes_per_block = 0;
+  std::int64_t const_bytes = 0;  ///< module-scope constant footprint
+  /// Dynamic instruction count (all classes, before memory weighting).
+  double dynamic_instructions = 0.0;
+};
+
+/// Analyze one kernel of a module. @throws std::invalid_argument if the
+/// kernel has a branch to an unknown label or malformed loop structure.
+KernelAnalysis analyze_kernel(const PtxModule& module, const PtxKernel& kernel);
+
+/// Convenience: analyze by name. @throws std::out_of_range if missing.
+KernelAnalysis analyze_kernel(const PtxModule& module, const std::string& name);
+
+/// Build a simulator descriptor from an analysis + launch geometry.
+gpusim::KernelDesc to_kernel_desc(const KernelAnalysis& analysis,
+                                  const std::string& name, int num_blocks,
+                                  int threads_per_block);
+
+}  // namespace ewc::ptx

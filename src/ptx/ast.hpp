@@ -1,0 +1,106 @@
+// PTX subset AST.
+//
+// The paper's power model derives per-component instruction counts "by
+// analyzing PTX code that the CUDA compiler generates" (Section VI). This
+// module implements that front end for a practical subset of PTX 1.4 (the
+// version CUDA 3.0 emits for GT200): module directives, kernel entries with
+// parameters, register/shared/const declarations, labels, predicated
+// instructions, loads/stores with state spaces, arithmetic, transcendental
+// (SFU) ops, barriers and branches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ewc::ptx {
+
+/// PTX state spaces relevant to the power model's components.
+enum class StateSpace {
+  kGlobal,
+  kShared,
+  kConst,
+  kLocal,
+  kParam,
+  kReg,
+};
+
+const char* state_space_name(StateSpace s);
+
+/// Instruction classes the analyzer folds opcodes into.
+enum class OpClass {
+  kFloatArith,   ///< add.f32, mul.f32, mad.f32, fma, ...
+  kIntArith,     ///< add.s32, mad.lo.s32, shl, and, setp, mov, cvt, ...
+  kSpecial,      ///< sin, cos, ex2, lg2, rcp, rsqrt, sqrt (SFU)
+  kLoad,         ///< ld.<space>
+  kStore,        ///< st.<space>
+  kBarrier,      ///< bar.sync
+  kBranch,       ///< bra
+  kReturn,       ///< ret / exit
+  kOther,
+};
+
+const char* op_class_name(OpClass c);
+
+struct Instruction {
+  OpClass op_class = OpClass::kOther;
+  std::string opcode;          ///< full opcode text, e.g. "ld.global.f32"
+  std::optional<StateSpace> space;  ///< for loads/stores
+  std::string predicate;       ///< guard register, without '@' (may be empty)
+  bool predicate_negated = false;  ///< '@!%p' form
+  std::vector<std::string> operands;
+  std::optional<std::string> label_target;  ///< for branches
+  int vector_width = 1;        ///< .v2 / .v4 memory ops
+  /// `//@uncoalesced` annotation: forces the access-pattern classification
+  /// (otherwise the analyzer's tid-taint heuristic decides).
+  bool uncoalesced_hint = false;
+  int line = 0;
+};
+
+/// A basic-block boundary marker inside a kernel body.
+struct Label {
+  std::string name;
+  int line = 0;
+};
+
+/// One statement of a kernel body: either a label or an instruction.
+struct Statement {
+  std::optional<Label> label;
+  std::optional<Instruction> instruction;
+  /// Loop-bound annotation attached via a `//@trip N` comment on the
+  /// statement (the analyzer multiplies the enclosing backward-branch body).
+  std::optional<double> trip_annotation;
+};
+
+struct KernelParam {
+  std::string name;
+  std::string type;  ///< e.g. ".u64", ".f32"
+};
+
+struct PtxKernel {
+  std::string name;
+  std::vector<KernelParam> params;
+  std::map<std::string, int> reg_decls;  ///< reg class prefix -> count
+  std::map<std::string, std::int64_t> shared_decls;  ///< symbol -> bytes
+  std::int64_t shared_bytes = 0;         ///< total of shared_decls
+  std::vector<Statement> body;
+
+  int total_registers() const {
+    int n = 0;
+    for (const auto& [_, count] : reg_decls) n += count;
+    return n;
+  }
+};
+
+struct PtxModule {
+  std::string version;  ///< ".version" directive value
+  std::string target;   ///< ".target" value, e.g. "sm_13"
+  std::int64_t const_bytes = 0;  ///< module-scope .const declarations
+  std::vector<PtxKernel> kernels;
+
+  const PtxKernel* find_kernel(const std::string& name) const;
+};
+
+}  // namespace ewc::ptx

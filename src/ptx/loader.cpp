@@ -1,0 +1,26 @@
+#include "ptx/loader.hpp"
+
+namespace ewc::ptx {
+
+std::vector<std::string> load_module(cudart::KernelRegistry& registry,
+                                     std::string_view source) {
+  const PtxModule module = parse_module(source);
+  std::vector<std::string> names;
+  for (const auto& kernel : module.kernels) {
+    const KernelAnalysis analysis = analyze_kernel(module, kernel);
+    const std::string name = kernel.name;
+    registry.register_kernel(
+        name, [analysis, name](const cudart::LaunchConfig& cfg,
+                               std::span<const std::byte>) {
+          const int blocks =
+              cfg.valid ? static_cast<int>(cfg.grid.count()) : 1;
+          const int threads =
+              cfg.valid ? static_cast<int>(cfg.block.count()) : 256;
+          return to_kernel_desc(analysis, name, blocks, threads);
+        });
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace ewc::ptx

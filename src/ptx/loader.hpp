@@ -1,0 +1,26 @@
+// PTX module loading into the wcuda runtime (the cuModuleLoadData analogue).
+//
+// Closes the loop between the PTX front end and the runtime: every kernel of
+// a parsed module is registered with a cudart::KernelRegistry under its PTX
+// entry name, with a factory that derives the simulator descriptor from the
+// static analysis plus the caller's launch configuration. Applications can
+// then wcudaLaunch PTX kernels exactly like the built-in workloads.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cudart/registry.hpp"
+#include "ptx/analyzer.hpp"
+#include "ptx/parser.hpp"
+
+namespace ewc::ptx {
+
+/// Parse `source`, analyze every kernel, and register each with `registry`.
+/// Returns the registered kernel names. @throws PtxError on parse failure,
+/// std::invalid_argument on analysis failure.
+std::vector<std::string> load_module(cudart::KernelRegistry& registry,
+                                     std::string_view source);
+
+}  // namespace ewc::ptx

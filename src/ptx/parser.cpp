@@ -1,0 +1,406 @@
+#include "ptx/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace ewc::ptx {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split_tokens(std::string_view s) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!current.empty()) {
+        out.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+/// Split an opcode into dot-separated parts ("ld.global.f32" -> ld, global, f32).
+std::vector<std::string> opcode_parts(std::string_view opcode) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : opcode) {
+    if (c == '.') {
+      parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(std::move(current));
+  return parts;
+}
+
+bool is_float_type_suffix(const std::vector<std::string>& parts) {
+  for (const auto& p : parts) {
+    if (p.size() >= 2 && p[0] == 'f' &&
+        std::isdigit(static_cast<unsigned char>(p[1]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parse `name[12345]` -> 12345; 0 when no bracket.
+std::int64_t bracket_size(std::string_view token) {
+  auto open = token.find('[');
+  auto close = token.find(']');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close <= open + 1) {
+    return 0;
+  }
+  std::int64_t v = 0;
+  auto sub = token.substr(open + 1, close - open - 1);
+  std::from_chars(sub.data(), sub.data() + sub.size(), v);
+  return v;
+}
+
+/// Parse `%r<12>` -> ("%r", 12).
+bool reg_decl_count(std::string_view token, std::string* prefix, int* count) {
+  auto open = token.find('<');
+  auto close = token.find('>');
+  if (open == std::string_view::npos || close == std::string_view::npos) {
+    return false;
+  }
+  *prefix = std::string(token.substr(0, open));
+  int v = 0;
+  auto sub = token.substr(open + 1, close - open - 1);
+  auto res = std::from_chars(sub.data(), sub.data() + sub.size(), v);
+  if (res.ec != std::errc()) return false;
+  *count = v;
+  return true;
+}
+
+struct LineCursor {
+  std::vector<std::string> lines;
+  std::size_t index = 0;
+
+  bool done() const { return index >= lines.size(); }
+  int line_no() const { return static_cast<int>(index) + 1; }
+};
+
+}  // namespace
+
+OpClass classify_opcode(std::string_view opcode) {
+  const auto parts = opcode_parts(opcode);
+  const std::string& base = parts.front();
+  if (base == "ld" || base == "ldu" || base == "tex") return OpClass::kLoad;
+  if (base == "st") return OpClass::kStore;
+  if (base == "bar" || base == "membar") return OpClass::kBarrier;
+  if (base == "bra") return OpClass::kBranch;
+  if (base == "ret" || base == "exit") return OpClass::kReturn;
+  if (base == "sin" || base == "cos" || base == "ex2" || base == "lg2" ||
+      base == "rcp" || base == "rsqrt" || base == "sqrt") {
+    return OpClass::kSpecial;
+  }
+  static const char* arith[] = {"add", "sub", "mul",  "mad", "fma", "div",
+                                "min", "max", "neg",  "abs", "rem", "sad"};
+  for (const char* a : arith) {
+    if (base == a) {
+      return is_float_type_suffix(parts) ? OpClass::kFloatArith
+                                         : OpClass::kIntArith;
+    }
+  }
+  static const char* integral[] = {"mov",  "setp", "cvt",  "and", "or",
+                                   "xor",  "not",  "shl",  "shr", "selp",
+                                   "slct", "cnot", "popc", "atom", "red"};
+  for (const char* a : integral) {
+    if (base == a) return OpClass::kIntArith;
+  }
+  return OpClass::kOther;
+}
+
+std::optional<StateSpace> opcode_state_space(std::string_view opcode) {
+  const auto parts = opcode_parts(opcode);
+  for (const auto& p : parts) {
+    if (p == "global") return StateSpace::kGlobal;
+    if (p == "shared") return StateSpace::kShared;
+    if (p == "const") return StateSpace::kConst;
+    if (p == "local") return StateSpace::kLocal;
+    if (p == "param") return StateSpace::kParam;
+  }
+  return std::nullopt;
+}
+
+int opcode_vector_width(std::string_view opcode) {
+  const auto parts = opcode_parts(opcode);
+  for (const auto& p : parts) {
+    if (p == "v2") return 2;
+    if (p == "v4") return 4;
+  }
+  return 1;
+}
+
+const char* state_space_name(StateSpace s) {
+  switch (s) {
+    case StateSpace::kGlobal: return "global";
+    case StateSpace::kShared: return "shared";
+    case StateSpace::kConst: return "const";
+    case StateSpace::kLocal: return "local";
+    case StateSpace::kParam: return "param";
+    case StateSpace::kReg: return "reg";
+  }
+  return "?";
+}
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kFloatArith: return "float";
+    case OpClass::kIntArith: return "int";
+    case OpClass::kSpecial: return "sfu";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBarrier: return "barrier";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kReturn: return "return";
+    case OpClass::kOther: return "other";
+  }
+  return "?";
+}
+
+const PtxKernel* PtxModule::find_kernel(const std::string& name) const {
+  for (const auto& k : kernels) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Strip comments; return any //@ annotation found on the line.
+std::string strip_comments(std::string line, std::string* annotation) {
+  // Block comments are assumed single-line in our subset.
+  for (;;) {
+    auto open = line.find("/*");
+    if (open == std::string::npos) break;
+    auto close = line.find("*/", open + 2);
+    if (close == std::string::npos) {
+      line.erase(open);
+      break;
+    }
+    line.erase(open, close + 2 - open);
+  }
+  auto slashes = line.find("//");
+  if (slashes != std::string::npos) {
+    std::string comment = trim(line.substr(slashes + 2));
+    if (!comment.empty() && comment[0] == '@') *annotation = comment;
+    line.erase(slashes);
+  }
+  return line;
+}
+
+void parse_body_line(const std::string& raw, int line_no, PtxKernel* kernel,
+                     std::optional<double>* pending_trip,
+                     bool* pending_uncoalesced) {
+  // Declarations.
+  if (raw.rfind(".reg", 0) == 0) {
+    auto tokens = split_tokens(raw.substr(4));
+    // ".reg .u32 %r<12>;"  -> type token then decl token.
+    for (const auto& tok : tokens) {
+      std::string prefix;
+      int count = 0;
+      std::string cleaned = tok;
+      if (!cleaned.empty() && cleaned.back() == ';') cleaned.pop_back();
+      if (reg_decl_count(cleaned, &prefix, &count)) {
+        kernel->reg_decls[prefix] += count;
+      }
+    }
+    return;
+  }
+  if (raw.rfind(".shared", 0) == 0) {
+    for (const auto& tok : split_tokens(raw)) {
+      std::int64_t b = bracket_size(tok);
+      if (b > 0) {
+        std::string name = tok.substr(0, tok.find('['));
+        kernel->shared_decls[name] += b;
+        kernel->shared_bytes += b;
+      }
+    }
+    return;
+  }
+  if (raw[0] == '.') return;  // other directives (.local, .align, ...)
+
+  std::string rest = raw;
+
+  // Labels (possibly followed by an instruction on the same line).
+  auto colon = rest.find(':');
+  if (colon != std::string::npos && rest.find_first_of(" \t") > colon) {
+    Statement st;
+    st.label = Label{trim(rest.substr(0, colon)), line_no};
+    st.trip_annotation = *pending_trip;
+    *pending_trip = std::nullopt;
+    kernel->body.push_back(std::move(st));
+    rest = trim(rest.substr(colon + 1));
+    if (rest.empty()) return;
+  }
+
+  // Instruction: "[@pred] opcode op1, op2, ...;"
+  if (!rest.empty() && rest.back() == ';') rest.pop_back();
+  rest = trim(rest);
+  if (rest.empty()) return;
+
+  Instruction inst;
+  inst.line = line_no;
+  if (rest[0] == '@') {
+    auto space = rest.find_first_of(" \t");
+    if (space == std::string::npos) {
+      throw PtxError(line_no, "predicate without instruction");
+    }
+    inst.predicate = rest.substr(1, space - 1);
+    if (!inst.predicate.empty() && inst.predicate[0] == '!') {
+      inst.predicate.erase(0, 1);
+      inst.predicate_negated = true;
+    }
+    rest = trim(rest.substr(space + 1));
+  }
+  auto space = rest.find_first_of(" \t");
+  inst.opcode = space == std::string::npos ? rest : rest.substr(0, space);
+  if (space != std::string::npos) {
+    inst.operands = split_tokens(rest.substr(space + 1));
+  }
+  inst.op_class = classify_opcode(inst.opcode);
+  inst.space = opcode_state_space(inst.opcode);
+  inst.vector_width = opcode_vector_width(inst.opcode);
+  inst.uncoalesced_hint = *pending_uncoalesced;
+  *pending_uncoalesced = false;
+  if (inst.op_class == OpClass::kBranch && !inst.operands.empty()) {
+    inst.label_target = inst.operands.front();
+  }
+  if (inst.op_class == OpClass::kOther) {
+    throw PtxError(line_no, "unsupported opcode '" + inst.opcode + "'");
+  }
+
+  Statement st;
+  st.instruction = std::move(inst);
+  kernel->body.push_back(std::move(st));
+}
+
+}  // namespace
+
+PtxModule parse_module(std::string_view source) {
+  PtxModule mod;
+  LineCursor cursor;
+  {
+    std::string text(source);
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) cursor.lines.push_back(line);
+  }
+
+  PtxKernel* current = nullptr;
+  bool in_params = false;
+  bool in_body = false;
+  std::optional<double> pending_trip;
+  bool pending_uncoalesced = false;
+
+  for (; !cursor.done(); ++cursor.index) {
+    const int line_no = cursor.line_no();
+    std::string annotation;
+    std::string line = trim(strip_comments(cursor.lines[cursor.index],
+                                           &annotation));
+    if (!annotation.empty()) {
+      auto tokens = split_tokens(annotation);
+      if (tokens[0] == "@trip") {
+        if (tokens.size() < 2) throw PtxError(line_no, "@trip needs a count");
+        pending_trip = std::stod(tokens[1]);
+      } else if (tokens[0] == "@uncoalesced") {
+        pending_uncoalesced = true;
+      } else {
+        throw PtxError(line_no, "unknown annotation '" + tokens[0] + "'");
+      }
+    }
+    if (line.empty()) continue;
+
+    if (in_params) {
+      if (line.find(')') != std::string::npos) {
+        in_params = false;
+        line = trim(line.substr(0, line.find(')')));
+      }
+      if (!line.empty()) {
+        auto tokens = split_tokens(line);
+        // ".param .u64 name"
+        if (tokens.size() >= 3 && tokens[0] == ".param") {
+          current->params.push_back(KernelParam{tokens[2], tokens[1]});
+        } else if (tokens.size() == 2 && tokens[0] == ".param") {
+          throw PtxError(line_no, "parameter missing a name");
+        }
+      }
+      continue;
+    }
+
+    if (!in_body) {
+      if (line.rfind(".version", 0) == 0) {
+        mod.version = trim(line.substr(8));
+        continue;
+      }
+      if (line.rfind(".target", 0) == 0) {
+        mod.target = trim(line.substr(7));
+        continue;
+      }
+      if (line.rfind(".const", 0) == 0) {
+        for (const auto& tok : split_tokens(line)) {
+          mod.const_bytes += bracket_size(tok);
+        }
+        continue;
+      }
+      if (line.rfind(".entry", 0) == 0) {
+        auto tokens = split_tokens(line);
+        if (tokens.size() < 2) throw PtxError(line_no, ".entry without a name");
+        std::string name = tokens[1];
+        auto paren = name.find('(');
+        bool opens_params = line.find('(') != std::string::npos;
+        if (paren != std::string::npos) name = name.substr(0, paren);
+        mod.kernels.push_back(PtxKernel{});
+        current = &mod.kernels.back();
+        current->name = name;
+        if (opens_params && line.find(')') == std::string::npos) {
+          in_params = true;
+        }
+        continue;
+      }
+      if (line == "{") {
+        if (current == nullptr) throw PtxError(line_no, "body outside .entry");
+        in_body = true;
+        continue;
+      }
+      if (line == "}") continue;  // stray close after body handled below
+      if (line[0] == '.') continue;  // tolerated module directive
+      throw PtxError(line_no, "unexpected line at module scope: " + line);
+    }
+
+    // In body.
+    if (line == "}") {
+      in_body = false;
+      current = nullptr;
+      continue;
+    }
+    parse_body_line(line, line_no, current, &pending_trip,
+                    &pending_uncoalesced);
+  }
+
+  if (in_body || in_params) {
+    throw PtxError(cursor.line_no(), "unterminated kernel");
+  }
+  return mod;
+}
+
+}  // namespace ewc::ptx

@@ -1,0 +1,43 @@
+// PTX subset parser.
+//
+// Parses the textual PTX that CUDA 3.0-era compilers emit for GT200
+// (version 1.4, target sm_13) into a PtxModule. Coverage: module directives,
+// .const declarations, .entry kernels with parameter lists, .reg/.shared
+// declarations, labels, predicated instructions, and `//@trip N` /
+// `//@uncoalesced` analysis annotations.
+//
+// Errors are reported with line numbers via PtxError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ptx/ast.hpp"
+
+namespace ewc::ptx {
+
+class PtxError : public std::runtime_error {
+ public:
+  PtxError(int line, const std::string& message)
+      : std::runtime_error("PTX line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a whole PTX module. @throws PtxError on malformed input.
+PtxModule parse_module(std::string_view source);
+
+/// Classify a full opcode string (e.g. "mad.lo.s32", "ld.global.v2.f32").
+OpClass classify_opcode(std::string_view opcode);
+
+/// Extract the state space from a load/store opcode; nullopt if none named.
+std::optional<StateSpace> opcode_state_space(std::string_view opcode);
+
+/// Vector width encoded in the opcode (.v2 -> 2, .v4 -> 4, else 1).
+int opcode_vector_width(std::string_view opcode);
+
+}  // namespace ewc::ptx

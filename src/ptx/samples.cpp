@@ -1,0 +1,365 @@
+#include "ptx/samples.hpp"
+
+namespace ewc::ptx::samples {
+
+std::string_view aes_encrypt() {
+  return R"PTX(
+.version 1.4
+.target sm_13
+.const .align 4 .b8 aes_tbox[8192];
+
+.entry aes_encrypt (
+    .param .u64 in_ptr,
+    .param .u64 out_ptr,
+    .param .u32 num_iters
+)
+{
+    .reg .u32 %r<20>;
+    .reg .u64 %rd<8>;
+    .reg .pred %p<2>;
+    .shared .align 4 .b8 round_keys[1024];
+
+    ld.param.u64 %rd1, [in_ptr];
+    ld.param.u64 %rd2, [out_ptr];
+    ld.param.u32 %r1, [num_iters];
+    mov.u32 %r2, %tid.x;
+    shl.b32 %r3, %r2, 4;
+    cvt.u64.u32 %rd3, %r3;
+    add.u64 %rd4, %rd1, %rd3;
+    add.u64 %rd5, %rd2, %rd3;
+    bar.sync 0;
+
+ //@trip 10
+ $Lround:
+    // one AES round over the 16-byte state
+    ld.global.u32 %r4, [%rd4+0];
+    ld.const.u32 %r5, [%rd3+0];
+    ld.const.u32 %r6, [%rd3+4];
+    ld.const.u32 %r7, [%rd3+8];
+    ld.const.u32 %r8, [%rd3+12];
+    //@uncoalesced
+    ld.global.u32 %r9, [%rd6+0];
+    xor.b32 %r10, %r4, %r5;
+    xor.b32 %r11, %r10, %r6;
+    xor.b32 %r12, %r11, %r7;
+    and.b32 %r13, %r12, 255;
+    shr.u32 %r14, %r12, 8;
+    shl.b32 %r15, %r13, 2;
+    ld.shared.u32 %r16, [round_keys+0];
+    xor.b32 %r17, %r14, %r16;
+    add.u32 %r18, %r17, %r15;
+    setp.lt.u32 %p1, %r18, %r1;
+    @%p1 bra $Lround;
+
+    st.global.u32 [%rd5+0], %r18;
+    exit;
+}
+)PTX";
+}
+
+std::string_view bitonic_sort() {
+  return R"PTX(
+.version 1.4
+.target sm_13
+
+.entry bitonic_sort (
+    .param .u64 data_ptr,
+    .param .u32 n
+)
+{
+    .reg .u32 %r<16>;
+    .reg .u64 %rd<6>;
+    .reg .pred %p<3>;
+    .shared .align 4 .b8 tile[4096];
+
+    ld.param.u64 %rd1, [data_ptr];
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, %tid.x;
+    shl.b32 %r3, %r2, 2;
+    cvt.u64.u32 %rd2, %r3;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.u32 %r4, [%rd3+0];
+    st.shared.u32 [tile+0], %r4;
+    bar.sync 0;
+
+ //@trip 78
+ $Lstage:
+    // one compare-exchange stage of the sorting network
+    ld.shared.u32 %r5, [tile+0];
+    ld.shared.u32 %r6, [tile+4];
+    setp.gt.u32 %p1, %r5, %r6;
+    selp.u32 %r7, %r6, %r5, %p1;
+    selp.u32 %r8, %r5, %r6, %p1;
+    st.shared.u32 [tile+0], %r7;
+    st.shared.u32 [tile+4], %r8;
+    bar.sync 0;
+    bar.sync 0;
+    bar.sync 0;
+    bar.sync 0;
+    add.u32 %r9, %r9, 1;
+    setp.lt.u32 %p2, %r9, %r1;
+    @%p2 bra $Lstage;
+
+    ld.shared.u32 %r10, [tile+0];
+    st.global.u32 [%rd3+0], %r10;
+    exit;
+}
+)PTX";
+}
+
+std::string_view search() {
+  return R"PTX(
+.version 1.4
+.target sm_13
+
+.entry search (
+    .param .u64 corpus_ptr,
+    .param .u64 counts_ptr,
+    .param .u32 passes
+)
+{
+    .reg .u32 %r<16>;
+    .reg .u64 %rd<6>;
+    .reg .pred %p<3>;
+    .shared .align 1 .b8 needle[256];
+
+    ld.param.u64 %rd1, [corpus_ptr];
+    ld.param.u32 %r1, [passes];
+    mov.u32 %r2, %tid.x;
+    shl.b32 %r3, %r2, 2;
+    cvt.u64.u32 %rd2, %r3;
+    add.u64 %rd3, %rd1, %rd2;
+    mov.u32 %r4, 0;
+
+ //@trip 1000
+ $Lscan:
+    ld.global.u32 %r5, [%rd3+0];
+    ld.global.u32 %r6, [%rd3+4];
+    ld.global.u32 %r7, [%rd3+8];
+    ld.shared.u32 %r8, [needle+0];
+    setp.eq.u32 %p1, %r5, %r8;
+    and.b32 %r9, %r5, 255;
+    xor.b32 %r10, %r6, %r8;
+    or.b32 %r11, %r9, %r10;
+    add.u32 %r12, %r4, 1;
+    selp.u32 %r4, %r12, %r4, %p1;
+    add.u32 %r13, %r13, 1;
+    setp.lt.u32 %p2, %r13, %r1;
+    @%p2 bra $Lscan;
+
+    ld.param.u64 %rd4, [counts_ptr];
+    st.global.u32 [%rd4+0], %r4;
+    exit;
+}
+)PTX";
+}
+
+std::string_view blackscholes() {
+  return R"PTX(
+.version 1.4
+.target sm_13
+
+.entry blackscholes (
+    .param .u64 opt_ptr,
+    .param .u64 price_ptr,
+    .param .u32 num_options
+)
+{
+    .reg .u32 %r<8>;
+    .reg .u64 %rd<6>;
+    .reg .f32 %f<24>;
+    .reg .pred %p<2>;
+
+    ld.param.u64 %rd1, [opt_ptr];
+    ld.param.u64 %rd2, [price_ptr];
+    ld.param.u32 %r1, [num_options];
+    mov.u32 %r2, %tid.x;
+    shl.b32 %r3, %r2, 3;
+    cvt.u64.u32 %rd3, %r3;
+    add.u64 %rd4, %rd1, %rd3;
+    add.u64 %rd5, %rd2, %rd3;
+
+ //@trip 1000
+ $Loption:
+    ld.global.v2.f32 %f1, [%rd4+0];
+    div.full.f32 %f3, %f1, %f2;
+    lg2.approx.f32 %f4, %f3;
+    mul.f32 %f5, %f4, 0f3F317218;
+    sqrt.approx.f32 %f6, %f2;
+    mul.f32 %f7, %f6, 0f3E99999A;
+    div.full.f32 %f8, %f5, %f7;
+    mul.f32 %f9, %f8, 0f3F000000;
+    // cumulative normal via exp of the rational polynomial
+    mul.f32 %f10, %f9, %f9;
+    mul.f32 %f11, %f10, 0fBF000000;
+    ex2.approx.f32 %f12, %f11;
+    mad.f32 %f13, %f12, %f9, %f8;
+    mad.f32 %f14, %f13, %f12, %f10;
+    mad.f32 %f15, %f14, %f9, %f11;
+    ex2.approx.f32 %f16, %f15;
+    mul.f32 %f17, %f16, %f1;
+    sub.f32 %f18, %f17, %f14;
+    mad.f32 %f19, %f18, %f12, %f17;
+    st.global.v2.f32 [%rd5+0], %f18;
+    add.u32 %r4, %r4, 1;
+    setp.lt.u32 %p1, %r4, %r1;
+    @%p1 bra $Loption;
+
+    exit;
+}
+)PTX";
+}
+
+std::string_view montecarlo() {
+  return R"PTX(
+.version 1.4
+.target sm_13
+
+.entry montecarlo (
+    .param .u64 sums_ptr,
+    .param .u32 num_steps
+)
+{
+    .reg .u32 %r<10>;
+    .reg .u64 %rd<4>;
+    .reg .f32 %f<20>;
+    .reg .pred %p<2>;
+    .shared .align 4 .b8 partials[2048];
+
+    ld.param.u32 %r1, [num_steps];
+    mov.u32 %r2, %tid.x;
+    mov.u32 %r3, 1103515245;
+    mov.f32 %f1, 0f3F800000;
+
+ //@trip 500000
+ $Lstep:
+    // xorshift RNG + Box-Muller + GBM update
+    mul.lo.u32 %r4, %r3, 1103515245;
+    add.u32 %r5, %r4, 12345;
+    and.b32 %r6, %r5, 8388607;
+    cvt.rn.f32.u32 %f2, %r6;
+    mul.f32 %f3, %f2, 0f34000000;
+    lg2.approx.f32 %f4, %f3;
+    mul.f32 %f5, %f4, 0fC0000000;
+    sqrt.approx.f32 %f6, %f5;
+    mul.f32 %f7, %f3, 0f40C90FDB;
+    sin.approx.f32 %f8, %f7;
+    mul.f32 %f9, %f6, %f8;
+    mad.f32 %f10, %f9, 0f3C23D70A, %f1;
+    mad.f32 %f11, %f10, 0f3A83126F, %f10;
+    mov.f32 %f1, %f11;
+    mov.u32 %r3, %r5;
+    add.u32 %r7, %r7, 1;
+    setp.lt.u32 %p1, %r7, %r1;
+    @%p1 bra $Lstep;
+
+    st.shared.f32 [partials+0], %f1;
+    bar.sync 0;
+    ld.shared.f32 %f12, [partials+0];
+    ld.param.u64 %rd1, [sums_ptr];
+    st.global.f32 [%rd1+0], %f12;
+    exit;
+}
+)PTX";
+}
+
+std::string_view sha256() {
+  return R"PTX(
+.version 1.4
+.target sm_13
+.const .align 4 .b8 sha_round_constants[256];
+
+.entry sha256 (
+    .param .u64 msg_ptr,
+    .param .u64 digest_ptr,
+    .param .u32 num_blocks
+)
+{
+    .reg .u32 %r<32>;
+    .reg .u64 %rd<6>;
+    .reg .pred %p<2>;
+
+    ld.param.u64 %rd1, [msg_ptr];
+    ld.param.u32 %r1, [num_blocks];
+    mov.u32 %r2, %tid.x;
+    shl.b32 %r3, %r2, 6;
+    cvt.u64.u32 %rd2, %r3;
+    add.u64 %rd3, %rd1, %rd2;
+
+ //@trip 64
+ $Lblock:
+    // one 64-byte block: schedule expansion + 64 compression rounds,
+    // all register-resident 32-bit integer arithmetic
+    ld.global.u32 %r4, [%rd3+0];
+    ld.const.u32 %r5, [%rd4+0];
+    shr.u32 %r6, %r4, 7;
+    shl.b32 %r7, %r4, 25;
+    or.b32 %r8, %r6, %r7;
+    shr.u32 %r9, %r4, 18;
+    shl.b32 %r10, %r4, 14;
+    or.b32 %r11, %r9, %r10;
+    xor.b32 %r12, %r8, %r11;
+    add.u32 %r13, %r12, %r5;
+    and.b32 %r14, %r13, %r4;
+    xor.b32 %r15, %r14, %r12;
+    add.u32 %r16, %r15, %r13;
+    add.u32 %r17, %r16, %r14;
+    xor.b32 %r18, %r17, %r16;
+    add.u32 %r19, %r18, %r17;
+    add.u32 %r20, %r20, 1;
+    setp.lt.u32 %p1, %r20, %r1;
+    @%p1 bra $Lblock;
+
+    ld.param.u64 %rd5, [digest_ptr];
+    st.global.u32 [%rd5+0], %r19;
+    exit;
+}
+)PTX";
+}
+
+std::string_view kmeans() {
+  return R"PTX(
+.version 1.4
+.target sm_13
+
+.entry kmeans (
+    .param .u64 points_ptr,
+    .param .u64 labels_ptr,
+    .param .u32 num_clusters
+)
+{
+    .reg .u32 %r<10>;
+    .reg .u64 %rd<6>;
+    .reg .f32 %f<16>;
+    .reg .pred %p<3>;
+    .shared .align 4 .b8 centroids[512];
+
+    ld.param.u64 %rd1, [points_ptr];
+    ld.param.u32 %r1, [num_clusters];
+    mov.u32 %r2, %tid.x;
+    shl.b32 %r3, %r2, 6;
+    cvt.u64.u32 %rd2, %r3;
+    add.u64 %rd3, %rd1, %rd2;
+    bar.sync 0;
+
+ //@trip 3200
+ $Ldistance:
+    // one (cluster, dimension) partial distance: point dims stream
+    // coalesced, centroids come from shared memory
+    ld.global.f32 %f1, [%rd3+0];
+    ld.shared.f32 %f2, [centroids+0];
+    sub.f32 %f3, %f1, %f2;
+    mad.f32 %f4, %f3, %f3, %f4;
+    min.f32 %f5, %f4, %f5;
+    add.u32 %r4, %r4, 1;
+    setp.lt.u32 %p1, %r4, %r1;
+    @%p1 bra $Ldistance;
+
+    ld.param.u64 %rd4, [labels_ptr];
+    st.global.u32 [%rd4+0], %r4;
+    exit;
+}
+)PTX";
+}
+
+}  // namespace ewc::ptx::samples

@@ -1,0 +1,34 @@
+// Reference PTX for the paper's five workload kernels.
+//
+// Hand-written PTX 1.4 (target sm_13) equivalents of the enterprise kernels,
+// annotated with `//@trip` loop bounds so the static analyzer can derive the
+// same instruction mixes the workload modules encode by hand. Used by tests
+// (analyzer vs hand-coded descriptors) and by the template-compiler demo.
+#pragma once
+
+#include <string_view>
+
+namespace ewc::ptx::samples {
+
+/// AES T-table encryption: const-cache lookups + data-dependent gathers.
+std::string_view aes_encrypt();
+
+/// Bitonic sort tile: shared-memory compare-exchange stages + barriers.
+std::string_view bitonic_sort();
+
+/// Text search: coalesced streaming scan with integer compares.
+std::string_view search();
+
+/// BlackScholes: SFU-heavy closed-form pricing, coalesced load/store.
+std::string_view blackscholes();
+
+/// MonteCarlo path simulation: RNG + GBM update loop.
+std::string_view montecarlo();
+
+/// SHA-256 batch hashing: 64-round integer compression loop.
+std::string_view sha256();
+
+/// K-means assignment step: coalesced point stream + shared-mem centroids.
+std::string_view kmeans();
+
+}  // namespace ewc::ptx::samples

@@ -1,0 +1,227 @@
+#include "ptx/template_compiler.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ewc::ptx {
+
+namespace {
+
+/// Rewrite every occurrence of registers (%x...), labels ($...) and the
+/// given symbol names in an operand so they live in slot `prefix`'s private
+/// namespace. Special registers (%tid, %ctaid, %ntid, %nctaid, ...) keep
+/// their names.
+class Renamer {
+ public:
+  explicit Renamer(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  void add_symbol(const std::string& name) { symbols_.insert({name, rename_symbol(name)}); }
+  std::string rename_symbol(const std::string& name) const {
+    return prefix_ + "_" + name;
+  }
+
+  std::string rename_label(const std::string& label) const {
+    std::string body = label;
+    if (!body.empty() && body[0] == '$') body.erase(0, 1);
+    return "$" + prefix_ + "_" + body;
+  }
+
+  /// Rename one operand (register, immediate, label or [addr+off] form).
+  std::string operand(const std::string& op) const {
+    std::string out;
+    std::size_t i = 0;
+    while (i < op.size()) {
+      char c = op[i];
+      if (c == '%') {
+        std::size_t j = i + 1;
+        while (j < op.size() &&
+               (std::isalnum(static_cast<unsigned char>(op[j])) ||
+                op[j] == '_' || op[j] == '.')) {
+          ++j;
+        }
+        std::string reg = op.substr(i, j - i);
+        out += rename_register(reg);
+        i = j;
+      } else if (c == '$') {
+        std::size_t j = i + 1;
+        while (j < op.size() &&
+               (std::isalnum(static_cast<unsigned char>(op[j])) ||
+                op[j] == '_')) {
+          ++j;
+        }
+        out += rename_label(op.substr(i, j - i));
+        i = j;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i;
+        while (j < op.size() &&
+               (std::isalnum(static_cast<unsigned char>(op[j])) ||
+                op[j] == '_')) {
+          ++j;
+        }
+        std::string word = op.substr(i, j - i);
+        auto it = symbols_.find(word);
+        out += it == symbols_.end() ? word : it->second;
+        i = j;
+      } else {
+        out += c;
+        ++i;
+      }
+    }
+    return out;
+  }
+
+  std::string rename_register(const std::string& reg) const {
+    static const char* special[] = {"%tid",    "%ntid",  "%ctaid",
+                                    "%nctaid", "%laneid", "%warpid"};
+    for (const char* s : special) {
+      if (reg.rfind(s, 0) == 0) return reg;
+    }
+    return "%" + prefix_ + "_" + reg.substr(1);
+  }
+
+ private:
+  std::string prefix_;
+  std::map<std::string, std::string> symbols_;
+};
+
+}  // namespace
+
+int CompiledTemplate::slot_offset(std::size_t i) const {
+  int off = 0;
+  for (std::size_t s = 0; s < i && s < slots.size(); ++s) {
+    off += slots[s].num_blocks;
+  }
+  return off;
+}
+
+CompiledTemplate compile_template(const PtxModule& module,
+                                  const std::vector<TemplateSlot>& slots,
+                                  const std::string& template_name) {
+  if (slots.empty()) {
+    throw std::invalid_argument("compile_template: no slots");
+  }
+  CompiledTemplate out;
+  out.name = template_name;
+  out.slots = slots;
+
+  std::vector<const PtxKernel*> kernels;
+  for (const auto& slot : slots) {
+    if (slot.num_blocks <= 0) {
+      throw std::invalid_argument("compile_template: non-positive block count");
+    }
+    const PtxKernel* k = module.find_kernel(slot.kernel_name);
+    if (k == nullptr) {
+      throw std::invalid_argument("compile_template: unknown kernel '" +
+                                  slot.kernel_name + "'");
+    }
+    kernels.push_back(k);
+    out.total_blocks += slot.num_blocks;
+  }
+
+  std::ostringstream ptx;
+  ptx << ".version " << (module.version.empty() ? "1.4" : module.version)
+      << "\n.target " << (module.target.empty() ? "sm_13" : module.target)
+      << "\n";
+  if (module.const_bytes > 0) {
+    ptx << ".const .align 4 .b8 template_const[" << module.const_bytes
+        << "];\n";
+  }
+  ptx << "\n.entry " << template_name << " (\n";
+
+  // Union of parameters, each in its slot's namespace.
+  std::vector<Renamer> renamers;
+  for (std::size_t s = 0; s < kernels.size(); ++s) {
+    renamers.emplace_back("k" + std::to_string(s));
+  }
+  bool first_param = true;
+  for (std::size_t s = 0; s < kernels.size(); ++s) {
+    for (const auto& p : kernels[s]->params) {
+      renamers[s].add_symbol(p.name);
+      ptx << (first_param ? "    " : ",\n    ") << ".param " << p.type << " "
+          << renamers[s].rename_symbol(p.name);
+      first_param = false;
+    }
+  }
+  ptx << "\n)\n{\n";
+
+  // Merged declarations.
+  ptx << "    .reg .u32 %dispatch<4>;\n";
+  ptx << "    .reg .pred %pdispatch<" << kernels.size() + 1 << ">;\n";
+  for (std::size_t s = 0; s < kernels.size(); ++s) {
+    for (const auto& [prefix, count] : kernels[s]->reg_decls) {
+      // Preserve the class letter so types stay readable: %k0_r<20> etc.
+      const std::string renamed =
+          renamers[s].rename_register(prefix);
+      const char cls = prefix.size() > 1 ? prefix[1] : 'r';
+      const char* type = cls == 'f' ? ".f32" : cls == 'p' ? ".pred" : ".u64";
+      // Integer classes (%r) are .u32; %rd is .u64.
+      const bool is64 = prefix.rfind("%rd", 0) == 0;
+      ptx << "    .reg " << (cls == 'f' ? ".f32" : cls == 'p' ? ".pred"
+                                                 : is64       ? ".u64"
+                                                              : ".u32")
+          << " " << renamed << "<" << count << ">;\n";
+      (void)type;
+    }
+    // Shared symbols move into the slot's private namespace.
+    for (const auto& [name, bytes] : kernels[s]->shared_decls) {
+      renamers[s].add_symbol(name);
+      ptx << "    .shared .align 4 .b8 " << renamers[s].rename_symbol(name)
+          << "[" << bytes << "];\n";
+    }
+  }
+
+  // Dispatch prologue: if-else chain over cumulative block ranges (the
+  // paper's "if-else control flow to distribute blocks between SMs").
+  ptx << "\n    mov.u32 %dispatch0, %ctaid.x;\n";
+  int offset = 0;
+  for (std::size_t s = 0; s < kernels.size(); ++s) {
+    offset += slots[s].num_blocks;
+    ptx << "    setp.lt.u32 %pdispatch" << s << ", %dispatch0, " << offset
+        << ";\n";
+    ptx << "    @%pdispatch" << s << " bra $section_k" << s << ";\n";
+  }
+  ptx << "    exit;\n";
+
+  // Sections: renamed bodies with the block index rebased per slot.
+  for (std::size_t s = 0; s < kernels.size(); ++s) {
+    const auto& renamer = renamers[s];
+    // Record shared symbol names so body references get remapped.
+    // (Shared declarations inside bodies were collected at parse time; body
+    // statements reference symbols by name.)
+    ptx << "\n $section_k" << s << ":\n";
+    // Index rebasing: local block id = %ctaid.x - slot offset.
+    ptx << "    mov.u32 %dispatch1, %ctaid.x;\n";
+    ptx << "    sub.u32 %dispatch2, %dispatch1, " << out.slot_offset(s)
+        << ";\n";
+    for (const auto& st : kernels[s]->body) {
+      if (st.label) {
+        if (st.trip_annotation) {
+          ptx << " //@trip " << *st.trip_annotation << "\n";
+        }
+        ptx << " " << renamer.rename_label(st.label->name) << ":\n";
+      }
+      if (!st.instruction) continue;
+      const auto& inst = *st.instruction;
+      if (inst.uncoalesced_hint) ptx << "    //@uncoalesced\n";
+      ptx << "    ";
+      if (!inst.predicate.empty()) {
+        std::string pred = inst.predicate;
+        if (pred[0] != '%') pred.insert(pred.begin(), '%');
+        ptx << "@" << (inst.predicate_negated ? "!" : "")
+            << renamer.rename_register(pred) << " ";
+      }
+      ptx << inst.opcode;
+      for (std::size_t o = 0; o < inst.operands.size(); ++o) {
+        ptx << (o == 0 ? " " : ", ") << renamer.operand(inst.operands[o]);
+      }
+      ptx << ";\n";
+    }
+  }
+  ptx << "}\n";
+
+  out.ptx = ptx.str();
+  return out;
+}
+
+}  // namespace ewc::ptx

@@ -1,0 +1,51 @@
+// Source-to-source consolidation-template compiler (paper Section IV).
+//
+// The paper's precompiled templates are CUDA kernels produced by "renaming
+// variables to prevent name collisions, updating the indexes for data
+// accesses, and adding if-else control flow to distribute blocks between
+// SMs", and notes that "the generation of templates can be automated with a
+// source-to-source compiler". This module is that compiler, operating at the
+// PTX level:
+//
+//   compile_template({aes_encrypt x k blocks, montecarlo x m blocks})
+//     -> one .entry whose prologue dispatches on %ctaid.x against the
+//        cumulative block partition, with every constituent's registers,
+//        labels, parameters and shared symbols renamed into a private
+//        namespace, and the block index rebased per section.
+//
+// The emitted PTX re-parses with ptx::parse_module, and the analyzer's mix
+// for the merged kernel equals the sum of the constituents' mixes plus the
+// dispatch prologue — the property the tests pin down.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ptx/ast.hpp"
+
+namespace ewc::ptx {
+
+/// One constituent of a template: a kernel and its block-partition size.
+struct TemplateSlot {
+  std::string kernel_name;
+  int num_blocks = 1;
+};
+
+struct CompiledTemplate {
+  std::string name;
+  std::string ptx;  ///< full merged module source
+  std::vector<TemplateSlot> slots;
+  int total_blocks = 0;
+
+  /// First block index of slot i in the combined grid.
+  int slot_offset(std::size_t i) const;
+};
+
+/// Merge the named kernels of `module` into one consolidated template.
+/// @throws std::invalid_argument for unknown kernels, empty slot lists or
+///         non-positive block counts.
+CompiledTemplate compile_template(const PtxModule& module,
+                                  const std::vector<TemplateSlot>& slots,
+                                  const std::string& template_name);
+
+}  // namespace ewc::ptx

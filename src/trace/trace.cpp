@@ -1,0 +1,78 @@
+#include "trace/trace.hpp"
+
+#include <stdexcept>
+
+namespace ewc::trace {
+
+PoissonTraceGenerator::PoissonTraceGenerator(std::vector<MixEntry> mix,
+                                             double rate, std::uint64_t seed)
+    : mix_(std::move(mix)), rate_(rate), rng_(seed) {
+  if (mix_.empty()) {
+    throw std::invalid_argument("PoissonTraceGenerator: empty mix");
+  }
+  if (rate_ <= 0.0) {
+    throw std::invalid_argument("PoissonTraceGenerator: rate must be positive");
+  }
+  for (const auto& m : mix_) {
+    if (m.weight <= 0.0) {
+      throw std::invalid_argument("PoissonTraceGenerator: weights must be > 0");
+    }
+    total_weight_ += m.weight;
+  }
+}
+
+Request PoissonTraceGenerator::next() {
+  clock_ += rng_.exponential(rate_);
+  double pick = rng_.uniform(0.0, total_weight_);
+  const MixEntry* chosen = &mix_.back();
+  for (const auto& m : mix_) {
+    if (pick < m.weight) {
+      chosen = &m;
+      break;
+    }
+    pick -= m.weight;
+  }
+  Request r;
+  r.arrival_seconds = clock_;
+  r.workload = chosen->workload;
+  r.user_id = next_user_++;
+  return r;
+}
+
+std::vector<Request> PoissonTraceGenerator::generate(int count) {
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(next());
+  return out;
+}
+
+std::vector<Request> PoissonTraceGenerator::generate_until(
+    double horizon_seconds) {
+  std::vector<Request> out;
+  for (;;) {
+    Request r = next();
+    if (r.arrival_seconds >= horizon_seconds) break;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> batch_workloads(
+    const std::vector<Request>& requests, int batch_size) {
+  if (batch_size <= 0) {
+    throw std::invalid_argument("batch_workloads: batch_size must be > 0");
+  }
+  std::vector<std::vector<std::string>> batches;
+  std::vector<std::string> current;
+  for (const auto& r : requests) {
+    current.push_back(r.workload);
+    if (static_cast<int>(current.size()) == batch_size) {
+      batches.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+}  // namespace ewc::trace

@@ -1,0 +1,59 @@
+// Data-center request traces.
+//
+// The paper assumes "many users simultaneously sending requests to a set of
+// known applications". This module synthesizes such traces: Poisson arrivals
+// over a weighted workload mix, reproducible from a seed. The datacenter
+// example and the decision-policy ablation consume these traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace ewc::trace {
+
+struct Request {
+  double arrival_seconds = 0.0;
+  std::string workload;  ///< workload label (matches an InstanceSpec name)
+  int user_id = 0;
+};
+
+/// One entry of the workload mix with its relative popularity.
+struct MixEntry {
+  std::string workload;
+  double weight = 1.0;
+};
+
+class PoissonTraceGenerator {
+ public:
+  /// @param mix   workload popularity weights (must be non-empty, weights > 0)
+  /// @param rate  aggregate arrival rate, requests / second
+  /// @throws std::invalid_argument on empty mix / non-positive inputs.
+  PoissonTraceGenerator(std::vector<MixEntry> mix, double rate,
+                        std::uint64_t seed = 0xDA7Aull);
+
+  /// Generate requests until `count` have arrived.
+  std::vector<Request> generate(int count);
+
+  /// Generate all requests arriving within [0, horizon_seconds).
+  std::vector<Request> generate_until(double horizon_seconds);
+
+ private:
+  Request next();
+
+  std::vector<MixEntry> mix_;
+  double total_weight_ = 0.0;
+  double rate_;
+  double clock_ = 0.0;
+  int next_user_ = 0;
+  common::Rng rng_;
+};
+
+/// Group consecutive requests into backend batches of `batch_size` (the
+/// paper's threshold): returns per-batch workload-name lists.
+std::vector<std::vector<std::string>> batch_workloads(
+    const std::vector<Request>& requests, int batch_size);
+
+}  // namespace ewc::trace

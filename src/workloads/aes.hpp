@@ -1,0 +1,67 @@
+// AES-128 encryption workload (paper ref [26]: "Implementing AES on GPU").
+//
+// The enterprise scenario: many users submit small (6-12 KB) buffers for
+// encryption. A functional AES-128 implementation (FIPS-197, ECB mode) keeps
+// the workload real and testable; the GPU kernel descriptor charges the
+// instruction mix of a T-table GPU implementation, which is dominated by
+// table lookups (constant cache + uncoalesced gathers) — this is why the
+// paper's encryption kernel is memory-bound and benefits so strongly from
+// consolidation onto idle SMs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cpusim/task.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::workloads {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// Expanded AES-128 key schedule: 11 round keys.
+struct AesKeySchedule {
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys;
+};
+
+AesKeySchedule aes128_expand_key(const AesKey& key);
+
+/// Encrypt / decrypt one 16-byte block in place.
+void aes128_encrypt_block(const AesKeySchedule& ks, AesBlock& block);
+void aes128_decrypt_block(const AesKeySchedule& ks, AesBlock& block);
+
+/// ECB over a whole buffer; the size must be a multiple of 16.
+/// @throws std::invalid_argument otherwise.
+std::vector<std::uint8_t> aes128_encrypt_ecb(std::span<const std::uint8_t> data,
+                                             const AesKey& key);
+std::vector<std::uint8_t> aes128_decrypt_ecb(std::span<const std::uint8_t> data,
+                                             const AesKey& key);
+
+/// Parameters of one encryption request instance.
+struct AesParams {
+  std::size_t input_bytes = 12 * 1024;  ///< paper: 12 KB or 6 KB
+  int threads_per_block = 256;          ///< paper: 256 (12 KB) / 128 (6 KB)
+  /// Back-to-back encryptions of the buffer per request (enterprise requests
+  /// batch many small messages; scales kernel work without changing shape).
+  double iterations = 1.0;
+  /// Multi-iteration variant (the paper's Scenario 1 / Tables 7-8 instances
+  /// with 1e5 iterations): each pass re-streams the whole buffer through
+  /// coalesced loads/stores, so the kernel becomes a DRAM-bandwidth-bound
+  /// streamer instead of a constant-cache-latency-bound lookup kernel.
+  bool streaming = false;
+};
+
+/// GPU kernel descriptor: one thread encrypts one 16-byte AES block; a
+/// thread block covers threads_per_block * 16 input bytes (12 KB @ 256
+/// threads -> 3 blocks, matching the paper's Table 1).
+gpusim::KernelDesc aes_kernel_desc(const AesParams& p);
+
+/// CPU-side profile of the same request (OpenMP-parallelized AES-NI-less
+/// byte-sliced implementation on the Xeon E5520).
+cpusim::CpuTask aes_cpu_task(const AesParams& p, int instance_id = 0);
+
+}  // namespace ewc::workloads

@@ -1,0 +1,51 @@
+// BlackScholes workload (paper ref [28]: NVIDIA CUDA SDK sample).
+//
+// Prices European call/put options with the closed-form Black-Scholes
+// formula — a compute-bound kernel (CND evaluation: exp/log/sqrt on the SFUs)
+// with perfectly coalesced streaming of the option arrays. In Scenario 2 /
+// Tables 5-6 it is the compute-bound partner that overlaps beautifully with
+// memory-bound search under consolidation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cpusim/task.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::workloads {
+
+struct OptionInput {
+  double spot = 0.0;
+  double strike = 0.0;
+  double years = 0.0;
+};
+
+struct OptionPrice {
+  double call = 0.0;
+  double put = 0.0;
+};
+
+/// Closed-form Black-Scholes price (risk-free rate r, volatility sigma).
+OptionPrice black_scholes(const OptionInput& opt, double r = 0.02,
+                          double sigma = 0.30);
+
+/// Vectorized pricing of a whole batch.
+std::vector<OptionPrice> black_scholes_batch(std::span<const OptionInput> opts,
+                                             double r = 0.02,
+                                             double sigma = 0.30);
+
+struct BlackScholesParams {
+  std::size_t num_options = 4096 * 1024;  ///< paper Table 1: 4096 K options
+  int num_blocks = 1;   ///< paper Table 1 uses 1 block; Scenario 2 uses 45
+  int threads_per_block = 256;
+  double iterations = 1.0;  ///< re-pricing rounds (paper Scenario 2: 1000)
+};
+
+gpusim::KernelDesc blackscholes_kernel_desc(const BlackScholesParams& p);
+
+cpusim::CpuTask blackscholes_cpu_task(const BlackScholesParams& p,
+                                      int instance_id = 0);
+
+}  // namespace ewc::workloads

@@ -1,0 +1,107 @@
+#include "workloads/compression.hpp"
+
+#include <stdexcept>
+
+namespace ewc::workloads {
+
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // Measure the run starting at i.
+    std::size_t run = 1;
+    while (i + run < data.size() && data[i + run] == data[i] && run < 130) {
+      ++run;
+    }
+    if (run >= 3) {
+      out.push_back(static_cast<std::uint8_t>(128 + run - 3));  // 128..255
+      out.push_back(data[i]);
+      i += run;
+      continue;
+    }
+    // Literal run: scan forward until a repeat of >= 3 starts (or cap 128).
+    std::size_t lit = 0;
+    while (i + lit < data.size() && lit < 128) {
+      std::size_t ahead = 1;
+      while (i + lit + ahead < data.size() &&
+             data[i + lit + ahead] == data[i + lit] && ahead < 3) {
+        ++ahead;
+      }
+      if (ahead >= 3) break;
+      ++lit;
+    }
+    if (lit == 0) lit = 1;
+    out.push_back(static_cast<std::uint8_t>(lit - 1));  // 0..127
+    out.insert(out.end(), data.begin() + static_cast<long>(i),
+               data.begin() + static_cast<long>(i + lit));
+    i += lit;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t control = data[i++];
+    if (control < 128) {
+      const std::size_t lit = static_cast<std::size_t>(control) + 1;
+      if (i + lit > data.size()) {
+        throw std::invalid_argument("rle_decompress: truncated literal run");
+      }
+      out.insert(out.end(), data.begin() + static_cast<long>(i),
+                 data.begin() + static_cast<long>(i + lit));
+      i += lit;
+    } else {
+      if (i >= data.size()) {
+        throw std::invalid_argument("rle_decompress: truncated repeat run");
+      }
+      const std::size_t run = static_cast<std::size_t>(control) - 128 + 3;
+      out.insert(out.end(), run, data[i++]);
+    }
+  }
+  return out;
+}
+
+gpusim::KernelDesc compression_kernel_desc(const CompressionParams& p) {
+  gpusim::KernelDesc k;
+  k.name = "compression";
+  k.threads_per_block = p.threads_per_block;
+  k.num_blocks = static_cast<int>(
+      (p.input_bytes + p.chunk_bytes - 1) / p.chunk_bytes);
+
+  // Per thread: scan its slice byte-by-byte (divergent control flow, byte
+  // loads), emit through a shared-memory staging buffer.
+  const double bytes_per_thread =
+      static_cast<double>(p.chunk_bytes) / p.threads_per_block;
+  gpusim::InstructionMix mix;
+  mix.int_insts = bytes_per_thread * 8.0;
+  mix.uncoalesced_mem_insts = bytes_per_thread / 32.0;  // byte-granular
+  mix.coalesced_mem_insts = bytes_per_thread / 128.0;   // staged output
+  mix.shared_accesses = bytes_per_thread * 1.5;
+  mix.sync_insts = 4.0;  // per-chunk offset reductions
+  k.mix = mix;
+
+  k.resources.registers_per_thread = 18;
+  k.resources.shared_mem_per_block = 8 * 1024;
+  k.h2d_bytes =
+      common::Bytes::from_bytes(static_cast<double>(p.input_bytes));
+  k.d2h_bytes =
+      common::Bytes::from_bytes(static_cast<double>(p.input_bytes) * 0.6);
+  return k;
+}
+
+cpusim::CpuTask compression_cpu_task(const CompressionParams& p,
+                                     int instance_id) {
+  cpusim::CpuTask t;
+  t.name = "compression";
+  t.instance_id = instance_id;
+  // Profile: ~6 cycles/byte scalar RLE scan.
+  t.core_seconds = 6.0 * static_cast<double>(p.input_bytes) / 2.27e9;
+  t.threads = 8;
+  t.cache_sensitivity = 0.65;  // streaming with byte-level access
+  return t;
+}
+
+}  // namespace ewc::workloads

@@ -1,0 +1,39 @@
+// Run-length + byte-pair compression workload (enterprise data services).
+//
+// A small, fully functional lossless codec (RLE with literal runs) used for
+// the storage/ingest class of enterprise requests; the GPU descriptor models
+// a chunk-parallel compressor: each thread block compresses an independent
+// chunk with byte-granular (uncoalesced) scanning — the memory-divergent
+// contrast to search's coalesced streaming.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cpusim/task.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::workloads {
+
+/// RLE with literal runs: [control byte][payload]. Control < 128: copy
+/// control+1 literal bytes; control >= 128: repeat next byte control-125
+/// times (run length 3..130). Worst-case expansion ~1/128.
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> data);
+
+/// Inverse of rle_compress. @throws std::invalid_argument on corrupt input.
+std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> data);
+
+struct CompressionParams {
+  std::size_t input_bytes = 256 * 1024;
+  std::size_t chunk_bytes = 16 * 1024;  ///< one thread block per chunk
+  int threads_per_block = 128;
+};
+
+gpusim::KernelDesc compression_kernel_desc(const CompressionParams& p);
+
+cpusim::CpuTask compression_cpu_task(const CompressionParams& p,
+                                     int instance_id = 0);
+
+}  // namespace ewc::workloads

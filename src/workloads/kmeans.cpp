@@ -1,0 +1,150 @@
+#include "workloads/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ewc::workloads {
+
+namespace {
+double sq_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+}  // namespace
+
+KmeansResult kmeans_cluster(const std::vector<std::vector<double>>& points,
+                            int k, int max_iterations, double tolerance) {
+  if (points.empty() || k < 1 || static_cast<std::size_t>(k) > points.size()) {
+    throw std::invalid_argument("kmeans_cluster: bad inputs");
+  }
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      throw std::invalid_argument("kmeans_cluster: ragged points");
+    }
+  }
+
+  KmeansResult result;
+  // Deterministic farthest-point initialization (k-means++ without the
+  // randomness): start from the first point, then repeatedly pick the point
+  // farthest from its nearest chosen centroid. Avoids the degenerate local
+  // optima of first-k seeding.
+  result.centroids.push_back(points.front());
+  std::vector<double> nearest(points.size(),
+                              std::numeric_limits<double>::infinity());
+  while (static_cast<int>(result.centroids.size()) < k) {
+    std::size_t farthest = 0;
+    double far_d = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      nearest[i] = std::min(nearest[i],
+                            sq_distance(points[i], result.centroids.back()));
+      if (nearest[i] > far_d) {
+        far_d = nearest[i];
+        farthest = i;
+      }
+    }
+    if (far_d <= 0.0) {
+      throw std::invalid_argument(
+          "kmeans_cluster: fewer distinct points than k");
+    }
+    result.centroids.push_back(points[farthest]);
+  }
+
+  result.assignment.assign(points.size(), -1);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d =
+            sq_distance(points[i], result.centroids[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(k), std::vector<double>(dim, 0.0));
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      auto c = static_cast<std::size_t>(result.assignment[i]);
+      counts[c] += 1;
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    double shift = 0.0;
+    for (int c = 0; c < k; ++c) {
+      auto cu = static_cast<std::size_t>(c);
+      if (counts[cu] == 0) continue;  // empty cluster keeps its centroid
+      std::vector<double> next(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        next[d] = sums[cu][d] / counts[cu];
+      }
+      shift += std::sqrt(sq_distance(next, result.centroids[cu]));
+      result.centroids[cu] = std::move(next);
+    }
+    if (!changed || shift < tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+gpusim::KernelDesc kmeans_kernel_desc(const KmeansParams& p) {
+  gpusim::KernelDesc k;
+  k.name = "kmeans";
+  k.threads_per_block = p.threads_per_block;
+  k.num_blocks = static_cast<int>(
+      (p.num_points + p.threads_per_block - 1) / p.threads_per_block);
+
+  // Per point per iteration: stream the point (coalesced), k x dim FMAs for
+  // the distances, one scatter into the centroid accumulators.
+  const double dim = p.dimensions;
+  const double kk = p.clusters;
+  gpusim::InstructionMix per_iter;
+  per_iter.coalesced_mem_insts = dim / 32.0;  // float per thread, per dim
+  per_iter.fp_insts = 3.0 * dim * kk;         // sub, mul, add per dim per c
+  per_iter.int_insts = 2.0 * kk + 6.0;
+  per_iter.uncoalesced_mem_insts = 0.05;  // centroid scatter (atomics)
+  per_iter.shared_accesses = dim;         // centroids cached in shared mem
+  per_iter.sync_insts = 0.01;
+  k.mix = per_iter.scaled(p.iterations);
+
+  k.resources.registers_per_thread = 24;
+  k.resources.shared_mem_per_block =
+      static_cast<std::int64_t>(p.clusters) * p.dimensions * 4;
+  k.h2d_bytes = common::Bytes::from_bytes(
+      static_cast<double>(p.num_points) * p.dimensions * 4.0);
+  k.d2h_bytes = common::Bytes::from_bytes(
+      static_cast<double>(p.num_points) * 4.0);  // assignments
+  return k;
+}
+
+cpusim::CpuTask kmeans_cpu_task(const KmeansParams& p, int instance_id) {
+  cpusim::CpuTask t;
+  t.name = "kmeans";
+  t.instance_id = instance_id;
+  // Profile: ~4 cycles per dimension per cluster per point per iteration.
+  const double cycles = 4.0 * p.dimensions * p.clusters *
+                        static_cast<double>(p.num_points) * p.iterations;
+  t.core_seconds = cycles / 2.27e9;
+  t.threads = 8;
+  t.cache_sensitivity = 0.55;  // working set is the point stream
+  return t;
+}
+
+}  // namespace ewc::workloads

@@ -1,0 +1,46 @@
+// K-means clustering workload (the paper's motivating "data mining and
+// analytics" enterprise class; also the first Rodinia training benchmark).
+//
+// Functional Lloyd's algorithm on dense float vectors plus the GPU kernel
+// descriptor of the classic CUDA implementation: the assignment step streams
+// points coalesced and is FP-heavy; the update step scatters into centroid
+// accumulators (uncoalesced atomics).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cpusim/task.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::workloads {
+
+struct KmeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k x dim
+  std::vector<int> assignment;                 ///< one entry per point
+  int iterations_run = 0;
+  bool converged = false;
+};
+
+/// Lloyd's algorithm. Points are row-major `n x dim`; initial centroids are
+/// the first k distinct points. Deterministic.
+/// @throws std::invalid_argument for empty input, k < 1 or k > n.
+KmeansResult kmeans_cluster(const std::vector<std::vector<double>>& points,
+                            int k, int max_iterations = 50,
+                            double tolerance = 1e-6);
+
+struct KmeansParams {
+  std::size_t num_points = 16 * 1024;
+  int dimensions = 16;
+  int clusters = 8;
+  int iterations = 20;
+  int threads_per_block = 256;
+};
+
+/// GPU kernel: one thread per point per iteration (assignment + partial
+/// update), grid-strided.
+gpusim::KernelDesc kmeans_kernel_desc(const KmeansParams& p);
+
+cpusim::CpuTask kmeans_cpu_task(const KmeansParams& p, int instance_id = 0);
+
+}  // namespace ewc::workloads

@@ -1,0 +1,106 @@
+#include "workloads/montecarlo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ewc::workloads {
+
+McResult monte_carlo_call_price(double spot, double strike, double years,
+                                double r, double sigma, std::size_t num_paths,
+                                std::size_t steps_per_path,
+                                std::uint64_t seed) {
+  if (spot <= 0.0 || strike <= 0.0 || years <= 0.0 || sigma <= 0.0 ||
+      num_paths == 0 || steps_per_path == 0) {
+    throw std::invalid_argument("monte_carlo_call_price: bad inputs");
+  }
+  common::Rng rng(seed);
+  const double dt = years / static_cast<double>(steps_per_path);
+  const double drift = (r - 0.5 * sigma * sigma) * dt;
+  const double vol = sigma * std::sqrt(dt);
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t p = 0; p < num_paths; ++p) {
+    double log_s = std::log(spot);
+    for (std::size_t s = 0; s < steps_per_path; ++s) {
+      log_s += drift + vol * rng.gaussian(0.0, 1.0);
+    }
+    const double payoff =
+        std::max(0.0, std::exp(log_s) - strike) * std::exp(-r * years);
+    sum += payoff;
+    sum_sq += payoff * payoff;
+  }
+  const double n = static_cast<double>(num_paths);
+  McResult result;
+  result.price = sum / n;
+  const double var = std::max(0.0, sum_sq / n - result.price * result.price);
+  result.std_error = std::sqrt(var / n);
+  return result;
+}
+
+gpusim::KernelDesc montecarlo_kernel_desc(const MonteCarloParams& p) {
+  gpusim::KernelDesc k;
+  k.name = p.state_in_global ? "montecarlo_gmem" : "montecarlo";
+  k.num_blocks = p.num_blocks;
+  k.threads_per_block = p.threads_per_block;
+
+  // Per path step: Box-Muller RNG (2 SFU ops) + GBM update.
+  gpusim::InstructionMix per_step;
+  if (p.state_in_global) {
+    // Few arithmetic ops survive per step — the state round trip dominates.
+    per_step.fp_insts = 3.0;
+    per_step.sfu_insts = 0.3;
+    per_step.int_insts = 2.0;
+  } else {
+    per_step.fp_insts = 14.0;
+    per_step.sfu_insts = 2.2;
+    per_step.int_insts = 6.0;
+  }
+  if (p.state_in_global) {
+    // Scenario-1 variant: the per-path state arrays (price, RNG state,
+    // accumulators) are re-streamed from global memory every step. The
+    // arrays are laid out structure-of-arrays, so the streams coalesce and
+    // the kernel saturates DRAM bandwidth — which is exactly why
+    // consolidating it with another memory-bound kernel is harmful.
+    per_step.coalesced_mem_insts = 2.4;
+    per_step.uncoalesced_mem_insts = 0.05;
+  } else {
+    per_step.coalesced_mem_insts = 0.002;  // payoff write-back only
+  }
+  k.mix = per_step.scaled(p.path_steps);
+  k.mix.shared_accesses += 32.0;  // block-level payoff reduction
+  k.mix.sync_insts += 6.0;
+
+  if (p.state_in_global) {
+    // Big per-thread register state forces low occupancy (one block/SM).
+    k.resources.registers_per_thread = 60;
+    k.resources.shared_mem_per_block = 10 * 1024;
+  } else {
+    k.resources.registers_per_thread = 30;
+    k.resources.shared_mem_per_block = 2 * 1024;
+  }
+  k.h2d_bytes = common::Bytes::from_kib(4.0);   // pricing parameters
+  k.d2h_bytes = common::Bytes::from_bytes(
+      static_cast<double>(p.num_blocks) * 16.0);  // per-block partial sums
+  return k;
+}
+
+cpusim::CpuTask montecarlo_cpu_task(const MonteCarloParams& p,
+                                    int instance_id) {
+  cpusim::CpuTask t;
+  t.name = "montecarlo";
+  t.instance_id = instance_id;
+  // Profile: ~70 cycles per path step per lane on the E5520 (Box-Muller
+  // dominates); total work scales with the whole grid's steps.
+  const double lanes =
+      static_cast<double>(p.num_blocks) * p.threads_per_block;
+  const double cycles = 70.0 * p.path_steps * lanes;
+  t.core_seconds = cycles / 2.27e9;
+  t.threads = 8;
+  t.cache_sensitivity = 0.15;
+  return t;
+}
+
+}  // namespace ewc::workloads

@@ -1,0 +1,50 @@
+// MonteCarlo workload (paper ref [28]: NVIDIA CUDA SDK sample).
+//
+// Monte-Carlo European option pricing over geometric-Brownian-motion paths.
+// Two kernel variants appear in the paper with opposite resource behaviour:
+//
+//  * the compute-bound variant (Table 1 / Tables 7-8): many path steps per
+//    sample, RNG + exp on the SFUs, almost no global traffic — the perfect
+//    consolidation partner for memory-bound encryption (5E+15M gives the
+//    paper's 19x/22x headline);
+//  * the memory-bound variant (Scenario 1 / Table 2): few iterations but the
+//    per-path state is re-streamed from global memory every step, so it
+//    saturates DRAM and consolidating it with (also memory-bound)
+//    encryption *loses* energy — the paper's cautionary example.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cpusim/task.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::workloads {
+
+struct McResult {
+  double price = 0.0;
+  double std_error = 0.0;
+};
+
+/// Price a European call by Monte-Carlo GBM simulation (functional host
+/// implementation; deterministic for a given seed).
+McResult monte_carlo_call_price(double spot, double strike, double years,
+                                double r, double sigma, std::size_t num_paths,
+                                std::size_t steps_per_path,
+                                std::uint64_t seed = 42);
+
+struct MonteCarloParams {
+  int num_blocks = 1;
+  int threads_per_block = 128;  ///< paper Table 1: 128
+  double path_steps = 500'000.0;  ///< paper Table 1: 500 K steps
+  /// When true, per-path state spills to global memory every step
+  /// (Scenario 1's memory-bound variant).
+  bool state_in_global = false;
+};
+
+gpusim::KernelDesc montecarlo_kernel_desc(const MonteCarloParams& p);
+
+cpusim::CpuTask montecarlo_cpu_task(const MonteCarloParams& p,
+                                    int instance_id = 0);
+
+}  // namespace ewc::workloads

@@ -1,0 +1,155 @@
+#include "workloads/registry.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "workloads/aes.hpp"
+#include "workloads/blackscholes.hpp"
+#include "workloads/compression.hpp"
+#include "workloads/kmeans.hpp"
+#include "workloads/montecarlo.hpp"
+#include "workloads/search.hpp"
+#include "workloads/sha256.hpp"
+#include "workloads/sort.hpp"
+
+namespace ewc::workloads {
+
+namespace {
+
+template <class Args>
+Args unmarshal(std::span<const std::byte> bytes) {
+  Args args{};  // defaults when the app passed nothing
+  if (!bytes.empty()) {
+    if (bytes.size() < sizeof(Args)) {
+      throw std::invalid_argument("kernel argument block too small");
+    }
+    std::memcpy(&args, bytes.data(), sizeof(Args));
+  }
+  return args;
+}
+
+/// Apply the caller's execution configuration over the descriptor defaults.
+gpusim::KernelDesc shaped(gpusim::KernelDesc k,
+                          const cudart::LaunchConfig& cfg) {
+  if (cfg.valid) {
+    k.num_blocks = static_cast<int>(cfg.grid.count());
+    k.threads_per_block = static_cast<int>(cfg.block.count());
+    if (cfg.shared_mem_bytes > 0) {
+      k.resources.shared_mem_per_block =
+          static_cast<std::int64_t>(cfg.shared_mem_bytes);
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+void register_paper_kernels(cudart::KernelRegistry& registry) {
+  registry.register_kernel(
+      "aes_encrypt",
+      [](const cudart::LaunchConfig& cfg, std::span<const std::byte> raw) {
+        const auto a = unmarshal<AesArgs>(raw);
+        AesParams p;
+        p.input_bytes = a.input_bytes;
+        p.threads_per_block =
+            cfg.valid ? static_cast<int>(cfg.block.count()) : 256;
+        p.iterations = a.iterations;
+        return shaped(aes_kernel_desc(p), cfg);
+      });
+
+  registry.register_kernel(
+      "bitonic_sort",
+      [](const cudart::LaunchConfig& cfg, std::span<const std::byte> raw) {
+        const auto a = unmarshal<SortArgs>(raw);
+        SortParams p;
+        p.num_elements = a.num_elements;
+        p.threads_per_block =
+            cfg.valid ? static_cast<int>(cfg.block.count()) : 256;
+        p.iterations = a.iterations;
+        return shaped(sort_kernel_desc(p), cfg);
+      });
+
+  registry.register_kernel(
+      "search",
+      [](const cudart::LaunchConfig& cfg, std::span<const std::byte> raw) {
+        const auto a = unmarshal<SearchArgs>(raw);
+        SearchParams p;
+        p.corpus_bytes = a.corpus_bytes;
+        p.needle_bytes = a.needle_bytes;
+        p.threads_per_block =
+            cfg.valid ? static_cast<int>(cfg.block.count()) : 256;
+        p.iterations = a.iterations;
+        return shaped(search_kernel_desc(p), cfg);
+      });
+
+  registry.register_kernel(
+      "blackscholes",
+      [](const cudart::LaunchConfig& cfg, std::span<const std::byte> raw) {
+        const auto a = unmarshal<BlackScholesArgs>(raw);
+        BlackScholesParams p;
+        p.num_options = a.num_options;
+        if (cfg.valid) {
+          p.num_blocks = static_cast<int>(cfg.grid.count());
+          p.threads_per_block = static_cast<int>(cfg.block.count());
+        }
+        p.iterations = a.iterations;
+        return shaped(blackscholes_kernel_desc(p), cfg);
+      });
+
+  registry.register_kernel(
+      "montecarlo",
+      [](const cudart::LaunchConfig& cfg, std::span<const std::byte> raw) {
+        const auto a = unmarshal<MonteCarloArgs>(raw);
+        MonteCarloParams p;
+        if (cfg.valid) {
+          p.num_blocks = static_cast<int>(cfg.grid.count());
+          p.threads_per_block = static_cast<int>(cfg.block.count());
+        }
+        p.path_steps = a.path_steps;
+        p.state_in_global = a.state_in_global != 0;
+        return shaped(montecarlo_kernel_desc(p), cfg);
+      });
+
+  registry.register_kernel(
+      "kmeans",
+      [](const cudart::LaunchConfig& cfg, std::span<const std::byte> raw) {
+        const auto a = unmarshal<KmeansArgs>(raw);
+        KmeansParams p;
+        p.num_points = a.num_points;
+        p.dimensions = static_cast<int>(a.dimensions);
+        p.clusters = static_cast<int>(a.clusters);
+        p.iterations = static_cast<int>(a.iterations);
+        if (cfg.valid) {
+          p.threads_per_block = static_cast<int>(cfg.block.count());
+        }
+        return shaped(kmeans_kernel_desc(p), cfg);
+      });
+
+  registry.register_kernel(
+      "sha256",
+      [](const cudart::LaunchConfig& cfg, std::span<const std::byte> raw) {
+        const auto a = unmarshal<Sha256Args>(raw);
+        Sha256Params p;
+        p.num_messages = a.num_messages;
+        p.message_bytes = a.message_bytes;
+        if (cfg.valid) {
+          p.threads_per_block = static_cast<int>(cfg.block.count());
+        }
+        return shaped(sha256_kernel_desc(p), cfg);
+      });
+
+  registry.register_kernel(
+      "compression",
+      [](const cudart::LaunchConfig& cfg, std::span<const std::byte> raw) {
+        const auto a = unmarshal<CompressionArgs>(raw);
+        CompressionParams p;
+        p.input_bytes = a.input_bytes;
+        p.chunk_bytes = a.chunk_bytes;
+        if (cfg.valid) {
+          p.threads_per_block = static_cast<int>(cfg.block.count());
+        }
+        return shaped(compression_kernel_desc(p), cfg);
+      });
+}
+
+}  // namespace ewc::workloads

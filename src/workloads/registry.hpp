@@ -1,0 +1,60 @@
+// Kernel registration and launch-argument ABI for the wcuda runtime.
+//
+// Applications launch workload kernels through the wcuda API by name, passing
+// one of the POD argument blocks below via wcudaSetupArgument (mirroring how
+// real CUDA marshals kernel arguments). The factories registered here turn
+// (launch config, argument block) into the simulator descriptor.
+#pragma once
+
+#include <cstdint>
+
+#include "cudart/registry.hpp"
+
+namespace ewc::workloads {
+
+// Argument blocks (the "kernel parameter" ABI). All fields are explicit-
+// width PODs so marshalling through the byte buffer is well defined.
+struct AesArgs {
+  std::uint64_t input_bytes = 12 * 1024;
+  double iterations = 1.0;
+};
+struct SortArgs {
+  std::uint64_t num_elements = 6 * 1024;
+  double iterations = 1.0;
+};
+struct SearchArgs {
+  std::uint64_t corpus_bytes = 10 * 1024;
+  std::uint64_t needle_bytes = 8;
+  double iterations = 1.0;
+};
+struct BlackScholesArgs {
+  std::uint64_t num_options = 4096 * 1024;
+  double iterations = 1.0;
+};
+struct MonteCarloArgs {
+  double path_steps = 500000.0;
+  std::uint32_t state_in_global = 0;
+};
+struct KmeansArgs {
+  std::uint64_t num_points = 16 * 1024;
+  std::uint32_t dimensions = 16;
+  std::uint32_t clusters = 8;
+  std::uint32_t iterations = 20;
+};
+struct Sha256Args {
+  std::uint64_t num_messages = 8 * 1024;
+  std::uint64_t message_bytes = 512;
+};
+struct CompressionArgs {
+  std::uint64_t input_bytes = 256 * 1024;
+  std::uint64_t chunk_bytes = 16 * 1024;
+};
+
+/// Register the paper's five workload kernels ("aes_encrypt",
+/// "bitonic_sort", "search", "blackscholes", "montecarlo") plus the
+/// analytics/data-services extensions ("kmeans", "sha256", "compression")
+/// with `registry`. Safe to call repeatedly (re-registration overwrites).
+void register_paper_kernels(
+    cudart::KernelRegistry& registry = cudart::KernelRegistry::global());
+
+}  // namespace ewc::workloads

@@ -1,0 +1,108 @@
+#include "workloads/rodinia_like.hpp"
+
+namespace ewc::workloads {
+
+namespace {
+
+gpusim::KernelDesc base(const char* name, int blocks, int threads) {
+  gpusim::KernelDesc k;
+  k.name = name;
+  k.num_blocks = blocks;
+  k.threads_per_block = threads;
+  k.resources.registers_per_thread = 16;
+  k.h2d_bytes = common::Bytes::from_mib(8.0);
+  k.d2h_bytes = common::Bytes::from_mib(4.0);
+  return k;
+}
+
+}  // namespace
+
+std::vector<gpusim::KernelDesc> rodinia_training_kernels() {
+  std::vector<gpusim::KernelDesc> ks;
+
+  {  // kmeans: distance kernel — FP + coalesced streaming.
+    auto k = base("kmeans_distance", 60, 256);
+    k.mix.fp_insts = 5.0e5;
+    k.mix.int_insts = 1.2e5;
+    k.mix.coalesced_mem_insts = 1.6e4;
+    ks.push_back(k);
+  }
+  {  // kmeans: membership swap — integer + uncoalesced gathers.
+    auto k = base("kmeans_swap", 60, 256);
+    k.mix.int_insts = 2.4e5;
+    k.mix.uncoalesced_mem_insts = 2.5e3;
+    k.mix.coalesced_mem_insts = 3.0e3;
+    ks.push_back(k);
+  }
+  {  // bfs: frontier expansion — uncoalesced, divergent, integer-heavy.
+    auto k = base("bfs_expand", 90, 256);
+    k.mix.int_insts = 1.6e5;
+    k.mix.uncoalesced_mem_insts = 4.0e3;
+    ks.push_back(k);
+  }
+  {  // hotspot: stencil — FP + shared memory + barriers.
+    auto k = base("hotspot_stencil", 56, 256);
+    k.mix.fp_insts = 4.2e5;
+    k.mix.shared_accesses = 2.2e5;
+    k.mix.sync_insts = 3.0e3;
+    k.mix.coalesced_mem_insts = 8.0e3;
+    k.resources.shared_mem_per_block = 8 * 1024;
+    ks.push_back(k);
+  }
+  {  // srad 1: extraction — SFU (exp/log) heavy.
+    auto k = base("srad_extract", 64, 256);
+    k.mix.fp_insts = 2.5e5;
+    k.mix.sfu_insts = 9.0e4;
+    k.mix.coalesced_mem_insts = 7.0e3;
+    ks.push_back(k);
+  }
+  {  // srad 2: diffusion update — balanced FP/memory.
+    auto k = base("srad_update", 64, 256);
+    k.mix.fp_insts = 3.0e5;
+    k.mix.coalesced_mem_insts = 2.0e4;
+    k.mix.int_insts = 8.0e4;
+    ks.push_back(k);
+  }
+  {  // lud: blocked factorization — shared memory + heavy synchronization.
+     // The barrier count makes this kernel barrier-stall-bound (like the
+     // sorting networks), so the regression sees high shared-access rates
+     // at low issue utilization — a corner the evaluation workloads hit.
+    auto k = base("lud_internal", 32, 256);
+    k.mix.fp_insts = 2.5e5;
+    k.mix.shared_accesses = 5.5e5;
+    k.mix.sync_insts = 6.0e4;
+    k.mix.coalesced_mem_insts = 4.0e3;
+    k.resources.shared_mem_per_block = 12 * 1024;
+    ks.push_back(k);
+  }
+  {  // nw: wavefront alignment — integer + constant (scoring matrix).
+    auto k = base("nw_wavefront", 31, 128);
+    k.mix.int_insts = 3.2e5;
+    k.mix.const_accesses = 1.4e5;
+    k.mix.shared_accesses = 9.0e4;
+    k.mix.sync_insts = 4.0e3;
+    ks.push_back(k);
+  }
+  {  // backprop: forward layer — FP + coalesced, few barriers.
+    auto k = base("backprop_forward", 48, 256);
+    k.mix.fp_insts = 6.5e5;
+    k.mix.coalesced_mem_insts = 1.1e4;
+    k.mix.shared_accesses = 6.0e4;
+    k.mix.sync_insts = 1.0e3;
+    ks.push_back(k);
+  }
+  {  // backprop: weight adjust — mixed streaming, uncoalesced updates.
+    auto k = base("backprop_adjust", 48, 256);
+    k.mix.fp_insts = 2.0e5;
+    k.mix.coalesced_mem_insts = 9.0e3;
+    k.mix.uncoalesced_mem_insts = 1.2e3;
+    ks.push_back(k);
+  }
+  // Size the kernels to run tens of simulated seconds, like the paper's
+  // Rodinia runs: long enough for the 1 Hz meter and for the thermal
+  // response to matter during training.
+  for (auto& k : ks) k = k.with_work_scale(1000.0);
+  return ks;
+}
+
+}  // namespace ewc::workloads

@@ -1,0 +1,20 @@
+// Training benchmarks for the power model (paper Section VI).
+//
+// The paper trains its regression on 6 Rodinia benchmarks (10 GPU kernels).
+// These descriptors model the corresponding kernels' instruction mixes so
+// the training set spans the power model's feature space: FP-heavy,
+// integer-heavy, SFU-heavy, coalesced- and uncoalesced-streaming,
+// shared-memory-heavy and constant-heavy points.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::workloads {
+
+/// The 10 training kernels (kmeans x2, bfs, hotspot, srad x2, lud, nw,
+/// backprop x2), sized to run for a few simulated seconds each.
+std::vector<gpusim::KernelDesc> rodinia_training_kernels();
+
+}  // namespace ewc::workloads

@@ -1,0 +1,56 @@
+#include "workloads/search.hpp"
+
+namespace ewc::workloads {
+
+std::size_t count_matches(std::string_view haystack, std::string_view needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return 0;
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = haystack.find(needle, pos)) != std::string_view::npos; ++pos) {
+    ++count;
+  }
+  return count;
+}
+
+gpusim::KernelDesc search_kernel_desc(const SearchParams& p) {
+  gpusim::KernelDesc k;
+  k.name = "search";
+  k.threads_per_block = p.threads_per_block;
+  const std::size_t bytes_per_block =
+      static_cast<std::size_t>(p.threads_per_block) * 4;
+  k.num_blocks = static_cast<int>((p.corpus_bytes + bytes_per_block - 1) /
+                                  bytes_per_block);
+
+  // Per thread, per pass: stream the window (coalesced), compare against the
+  // needle held in shared memory, tally with integer ops.
+  const double needle = static_cast<double>(p.needle_bytes);
+  gpusim::InstructionMix per_pass;
+  per_pass.coalesced_mem_insts = 3.0 + needle * 0.5;
+  per_pass.int_insts = 10.0 + needle * 4.0;
+  per_pass.shared_accesses = needle;
+  per_pass.sync_insts = 0.02;
+  k.mix = per_pass.scaled(p.iterations);
+
+  k.resources.registers_per_thread = 12;
+  k.resources.shared_mem_per_block = 256;
+  k.h2d_bytes =
+      common::Bytes::from_bytes(static_cast<double>(p.corpus_bytes));
+  k.d2h_bytes = common::Bytes::from_bytes(
+      static_cast<double>(k.num_blocks) * 8.0);  // match counters
+  return k;
+}
+
+cpusim::CpuTask search_cpu_task(const SearchParams& p, int instance_id) {
+  cpusim::CpuTask t;
+  t.name = "search";
+  t.instance_id = instance_id;
+  // Profile: SSE-optimized scan, ~1.5 cycles/byte plus per-candidate checks.
+  const double cycles =
+      1.5 * static_cast<double>(p.corpus_bytes) * p.iterations;
+  t.core_seconds = cycles / 2.27e9;
+  t.threads = 8;
+  t.cache_sensitivity = 0.7;  // streaming: thrashes the shared cache
+  return t;
+}
+
+}  // namespace ewc::workloads

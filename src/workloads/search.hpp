@@ -1,0 +1,36 @@
+// Search workload (paper ref [7]: enterprise text search kernels).
+//
+// Each user request scans a document corpus chunk for a needle string and
+// returns match counts — a streaming, memory-bound kernel with coalesced
+// reads and integer comparisons. One 10 K-element instance occupies 10
+// blocks (Table 1). In Scenario 2 / Tables 5-6 search is the long
+// memory-bound partner consolidated with compute-bound BlackScholes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "cpusim/task.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::workloads {
+
+/// Count occurrences of `needle` in `haystack` (overlapping matches count).
+std::size_t count_matches(std::string_view haystack, std::string_view needle);
+
+struct SearchParams {
+  std::size_t corpus_bytes = 10 * 1024;  ///< paper: 10 K input
+  std::size_t needle_bytes = 8;
+  int threads_per_block = 256;
+  double iterations = 1.0;  ///< scan passes per request (query batches)
+};
+
+/// GPU kernel: each thread scans a 4-byte-aligned window; 10 K @ 256
+/// threads x 4 B -> 10 blocks, matching Table 1.
+gpusim::KernelDesc search_kernel_desc(const SearchParams& p);
+
+cpusim::CpuTask search_cpu_task(const SearchParams& p, int instance_id = 0);
+
+}  // namespace ewc::workloads

@@ -1,0 +1,158 @@
+#include "workloads/sha256.hpp"
+
+#include <cstring>
+
+namespace ewc::workloads {
+
+namespace {
+
+constexpr std::uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+void compress(std::uint32_t state[8], const std::uint8_t block[64]) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kRoundConstants[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace
+
+Sha256Digest sha256(std::span<const std::uint8_t> data) {
+  std::uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+  // Full blocks.
+  std::size_t offset = 0;
+  while (offset + 64 <= data.size()) {
+    compress(state, data.data() + offset);
+    offset += 64;
+  }
+
+  // Padding: 0x80, zeros, 64-bit big-endian bit length.
+  std::uint8_t last[128] = {};
+  const std::size_t rem = data.size() - offset;
+  std::memcpy(last, data.data() + offset, rem);
+  last[rem] = 0x80;
+  const std::size_t pad_blocks = rem + 9 <= 64 ? 1 : 2;
+  const std::uint64_t bits = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    last[pad_blocks * 64 - 1 - i] =
+        static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  compress(state, last);
+  if (pad_blocks == 2) compress(state, last + 64);
+
+  Sha256Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(state[i] >> 24);
+    digest[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(state[i] >> 16);
+    digest[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(state[i] >> 8);
+    digest[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(state[i]);
+  }
+  return digest;
+}
+
+std::string sha256_hex(std::span<const std::uint8_t> data) {
+  static const char* hex = "0123456789abcdef";
+  const Sha256Digest d = sha256(data);
+  std::string out;
+  out.reserve(64);
+  for (std::uint8_t b : d) {
+    out.push_back(hex[b >> 4]);
+    out.push_back(hex[b & 0xF]);
+  }
+  return out;
+}
+
+gpusim::KernelDesc sha256_kernel_desc(const Sha256Params& p) {
+  gpusim::KernelDesc k;
+  k.name = "sha256";
+  k.threads_per_block = p.threads_per_block;
+  k.num_blocks = static_cast<int>(
+      (p.num_messages + p.threads_per_block - 1) / p.threads_per_block);
+
+  // Per 64-byte block: 64 rounds x ~14 integer ops + 48 schedule expansions
+  // x ~10 ops; the message streams in coalesced, the schedule stays in
+  // registers.
+  const double blocks_per_msg =
+      static_cast<double>((p.message_bytes + 9 + 63) / 64);
+  gpusim::InstructionMix per_block;
+  per_block.int_insts = 64.0 * 14.0 + 48.0 * 10.0;
+  per_block.coalesced_mem_insts = 64.0 / 128.0;  // 64 B per warp-spread load
+  k.mix = per_block.scaled(blocks_per_msg);
+  k.mix.coalesced_mem_insts += 1.0;  // digest write-back
+
+  k.resources.registers_per_thread = 32;  // state + schedule window
+  k.h2d_bytes = common::Bytes::from_bytes(
+      static_cast<double>(p.num_messages) * p.message_bytes);
+  k.d2h_bytes =
+      common::Bytes::from_bytes(static_cast<double>(p.num_messages) * 32.0);
+  return k;
+}
+
+cpusim::CpuTask sha256_cpu_task(const Sha256Params& p, int instance_id) {
+  cpusim::CpuTask t;
+  t.name = "sha256";
+  t.instance_id = instance_id;
+  // Profile: ~14 cycles/byte scalar SHA-256 on the E5520.
+  const double cycles = 14.0 * static_cast<double>(p.num_messages) *
+                        static_cast<double>(p.message_bytes);
+  t.core_seconds = cycles / 2.27e9;
+  t.threads = 8;
+  t.cache_sensitivity = 0.2;  // register-resident compression
+  return t;
+}
+
+}  // namespace ewc::workloads

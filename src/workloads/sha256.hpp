@@ -1,0 +1,42 @@
+// SHA-256 hashing workload (enterprise integrity / dedup services — the
+// "encryption etc." class of the paper's enterprise kernels).
+//
+// A full FIPS-180-4 implementation for functional correctness, plus the GPU
+// descriptor of a batched-hash kernel: one thread hashes one message, the
+// compression function is pure 32-bit integer arithmetic with the message
+// schedule held in registers — compute-bound, integer-heavy, a contrast to
+// AES's table-lookup profile.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpusim/task.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::workloads {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// FIPS-180-4 SHA-256 of a byte buffer.
+Sha256Digest sha256(std::span<const std::uint8_t> data);
+
+/// Digest rendered as 64 lowercase hex characters.
+std::string sha256_hex(std::span<const std::uint8_t> data);
+
+struct Sha256Params {
+  std::size_t num_messages = 8 * 1024;
+  std::size_t message_bytes = 512;
+  int threads_per_block = 256;
+};
+
+/// GPU kernel: one thread per message, grid sized accordingly.
+gpusim::KernelDesc sha256_kernel_desc(const Sha256Params& p);
+
+cpusim::CpuTask sha256_cpu_task(const Sha256Params& p, int instance_id = 0);
+
+}  // namespace ewc::workloads

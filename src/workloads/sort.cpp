@@ -1,0 +1,84 @@
+#include "workloads/sort.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace ewc::workloads {
+
+void bitonic_sort(std::vector<std::uint32_t>& data) {
+  if (data.size() < 2) return;
+  const std::size_t n = std::bit_ceil(data.size());
+  const std::size_t orig = data.size();
+  data.resize(n, std::numeric_limits<std::uint32_t>::max());
+
+  for (std::size_t k = 2; k <= n; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner > i) {
+          const bool ascending = (i & k) == 0;
+          if ((data[i] > data[partner]) == ascending) {
+            std::swap(data[i], data[partner]);
+          }
+        }
+      }
+    }
+  }
+  data.resize(orig);
+}
+
+std::vector<std::uint32_t> bitonic_sorted(std::span<const std::uint32_t> data) {
+  std::vector<std::uint32_t> copy(data.begin(), data.end());
+  bitonic_sort(copy);
+  return copy;
+}
+
+gpusim::KernelDesc sort_kernel_desc(const SortParams& p) {
+  gpusim::KernelDesc k;
+  k.name = "bitonic_sort";
+  k.threads_per_block = p.threads_per_block;
+  // Each block owns a tile of 4 elements per thread.
+  const std::size_t tile = static_cast<std::size_t>(p.threads_per_block) * 4;
+  k.num_blocks = static_cast<int>((p.num_elements + tile - 1) / tile);
+
+  // Per thread, per sort: log^2(n) compare-exchange stages; in-tile stages
+  // hit shared memory, cross-tile stages stream coalesced global memory.
+  const double n = static_cast<double>(p.num_elements);
+  const double log_n = std::log2(std::max(4.0, n));
+  const double stages = log_n * (log_n + 1.0) / 2.0;
+  // Bitonic sort on small tiles is barrier-dominated: every compare-exchange
+  // stage ends in __syncthreads and the warps spend most cycles waiting at
+  // the rendezvous, not issuing — which is why packing more sort instances
+  // per SM is nearly free (the paper's flat manual-consolidation curve).
+  gpusim::InstructionMix per_sort;
+  per_sort.int_insts = stages * 2.0;
+  per_sort.shared_accesses = stages * 6.0;
+  per_sort.sync_insts = stages * 5.0;
+  per_sort.coalesced_mem_insts = log_n * 2.5;  // cross-tile merge passes
+  k.mix = per_sort.scaled(p.iterations);
+
+  k.resources.registers_per_thread = 14;
+  k.resources.shared_mem_per_block = 4 * 1024;  // the tile
+  k.h2d_bytes =
+      common::Bytes::from_bytes(static_cast<double>(p.num_elements) * 4.0);
+  k.d2h_bytes = k.h2d_bytes;
+  return k;
+}
+
+cpusim::CpuTask sort_cpu_task(const SortParams& p, int instance_id) {
+  cpusim::CpuTask t;
+  t.name = "bitonic_sort";
+  t.instance_id = instance_id;
+  // Profile: parallel std::sort-quality merge sort, ~11 cycles per element
+  // per log2(n) level on the E5520.
+  const double n = static_cast<double>(p.num_elements);
+  const double cycles = 11.0 * n * std::log2(std::max(4.0, n));
+  t.core_seconds = cycles * p.iterations / 2.27e9;
+  t.threads = 8;
+  t.cache_sensitivity = 0.6;
+  return t;
+}
+
+}  // namespace ewc::workloads

@@ -1,0 +1,202 @@
+// Tests for the ewcsim command-line front end (flag parser + subcommands).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+namespace ewc::cli {
+namespace {
+
+// ---------------- flag parser ----------------
+
+FlagParser make_parser() {
+  return FlagParser({
+      {"name", "a string", false, false},
+      {"count", "an int", false, false},
+      {"rate", "a double", false, false},
+      {"verbose", "a boolean", true, false},
+      {"workload", "repeatable", false, true},
+  });
+}
+
+TEST(FlagParser, ParsesSeparateAndInlineValues) {
+  auto p = make_parser();
+  p.parse({"--name", "alpha", "--count=7"});
+  EXPECT_EQ(p.get_string("name", ""), "alpha");
+  EXPECT_EQ(p.get_int("count", 0), 7);
+}
+
+TEST(FlagParser, BooleanFlags) {
+  auto p = make_parser();
+  p.parse({"--verbose"});
+  EXPECT_TRUE(p.get_bool("verbose"));
+  auto q = make_parser();
+  q.parse({});
+  EXPECT_FALSE(q.get_bool("verbose"));
+}
+
+TEST(FlagParser, BooleanRejectsValue) {
+  auto p = make_parser();
+  EXPECT_THROW(p.parse({"--verbose=yes"}), ArgsError);
+}
+
+TEST(FlagParser, RepeatableFlagsAccumulate) {
+  auto p = make_parser();
+  p.parse({"--workload", "a=1", "--workload", "b=2"});
+  auto ws = p.values("workload");
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[0], "a=1");
+  EXPECT_EQ(ws[1], "b=2");
+}
+
+TEST(FlagParser, NonRepeatableRejectsRepeat) {
+  auto p = make_parser();
+  EXPECT_THROW(p.parse({"--name", "a", "--name", "b"}), ArgsError);
+}
+
+TEST(FlagParser, UnknownFlagRejected) {
+  auto p = make_parser();
+  EXPECT_THROW(p.parse({"--bogus", "1"}), ArgsError);
+}
+
+TEST(FlagParser, MissingValueRejected) {
+  auto p = make_parser();
+  EXPECT_THROW(p.parse({"--name"}), ArgsError);
+}
+
+TEST(FlagParser, TypedGetterValidation) {
+  auto p = make_parser();
+  p.parse({"--count", "abc", "--rate", "1.5"});
+  EXPECT_THROW(p.get_int("count", 0), ArgsError);
+  EXPECT_DOUBLE_EQ(p.get_double("rate", 0.0), 1.5);
+  auto q = make_parser();
+  q.parse({"--rate", "1.5x"});
+  EXPECT_THROW(q.get_double("rate", 0.0), ArgsError);
+}
+
+TEST(FlagParser, PositionalCollected) {
+  auto p = make_parser();
+  p.parse({"pos1", "--name", "n", "pos2"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+}
+
+TEST(FlagParser, DefaultsApply) {
+  auto p = make_parser();
+  p.parse({});
+  EXPECT_EQ(p.get_int("count", 42), 42);
+  EXPECT_EQ(p.get_string("name", "dflt"), "dflt");
+}
+
+TEST(FlagParser, UsageListsFlags) {
+  auto p = make_parser();
+  EXPECT_NE(p.usage().find("--workload"), std::string::npos);
+  EXPECT_NE(p.usage().find("(repeatable)"), std::string::npos);
+}
+
+TEST(WorkloadCount, ParsesNameAndCount) {
+  auto [name, count] = parse_workload_count("encryption_12k=6");
+  EXPECT_EQ(name, "encryption_12k");
+  EXPECT_EQ(count, 6);
+  auto [n2, c2] = parse_workload_count("sorting_6k");
+  EXPECT_EQ(n2, "sorting_6k");
+  EXPECT_EQ(c2, 1);
+  EXPECT_THROW(parse_workload_count("x=zero"), ArgsError);
+  EXPECT_THROW(parse_workload_count("x=0"), ArgsError);
+}
+
+// ---------------- commands ----------------
+
+TEST(Commands, HelpAndUnknown) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"help"}, out, err), 0);
+  EXPECT_NE(out.str().find("ewcsim"), std::string::npos);
+  EXPECT_EQ(run_command({"frobnicate"}, out, err), 2);
+  EXPECT_EQ(run_command({}, out, err), 2);
+}
+
+TEST(Commands, ListShowsCatalogue) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"list"}, out, err), 0);
+  EXPECT_NE(out.str().find("encryption_12k"), std::string::npos);
+  EXPECT_NE(out.str().find("t78_montecarlo"), std::string::npos);
+}
+
+TEST(Commands, PredictRunsModels) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"predict", "--workload", "sorting_6k"}, out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("predicted:"), std::string::npos);
+  EXPECT_NE(out.str().find("Hong-Kim"), std::string::npos);
+}
+
+TEST(Commands, PredictValidatesFlags) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"predict"}, out, err), 2);
+  EXPECT_NE(err.str().find("--workload"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_command({"predict", "--workload", "nope"}, out2, err2), 2);
+}
+
+TEST(Commands, CompareRunsFourSetups) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"compare", "--workload", "encryption_12k=4"}, out,
+                        err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("dynamic-framework"), std::string::npos);
+  EXPECT_NE(out.str().find("serial-gpu"), std::string::npos);
+}
+
+TEST(Commands, PtxSampleAnalysis) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"ptx", "--sample", "blackscholes"}, out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("blackscholes"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_command({"ptx", "--sample", "nonexistent"}, out2, err2), 2);
+  std::ostringstream out3, err3;
+  EXPECT_EQ(run_command({"ptx"}, out3, err3), 2);
+}
+
+TEST(Commands, PtxFromFile) {
+  const std::string path = "/tmp/ewc_cli_test.ptx";
+  {
+    std::ofstream f(path);
+    f << ".version 1.4\n.target sm_13\n.entry mini ( .param .u64 p )\n{\n"
+         "    .reg .u32 %r<3>;\n    add.u32 %r1, %r1, 1;\n    exit;\n}\n";
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"ptx", "--file", path}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("mini"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, TimelineEmitsCsv) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"timeline", "--workload", "sorting_6k=3"}, out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("t_s,busy_sms,resident_blocks,dram_util"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("avg DRAM util"), std::string::npos);
+}
+
+TEST(Commands, TraceReportsLatencies) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"trace", "--requests", "12", "--rate", "2",
+                         "--threshold", "4"},
+                        out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("mean latency"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_command({"trace", "--requests", "0"}, out2, err2), 2);
+}
+
+}  // namespace
+}  // namespace ewc::cli

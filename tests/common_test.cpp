@@ -1,0 +1,422 @@
+// Unit tests for src/common: units, rng, stats, linreg, channel, table, log.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "common/channel.hpp"
+#include "common/csv.hpp"
+#include "common/linreg.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace ewc::common {
+namespace {
+
+// ---------------- units ----------------
+
+TEST(Units, PowerTimesDurationIsEnergy) {
+  Energy e = Power::from_watts(250.0) * Duration::from_seconds(4.0);
+  EXPECT_DOUBLE_EQ(e.joules(), 1000.0);
+}
+
+TEST(Units, EnergyOverDurationIsPower) {
+  Power p = Energy::from_joules(500.0) / Duration::from_seconds(2.0);
+  EXPECT_DOUBLE_EQ(p.watts(), 250.0);
+}
+
+TEST(Units, EnergyOverPowerIsDuration) {
+  Duration t = Energy::from_joules(100.0) / Power::from_watts(25.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 4.0);
+}
+
+TEST(Units, BytesOverBandwidthIsDuration) {
+  Duration t = Bytes::from_mib(1.0) / Bandwidth::from_bytes_per_second(1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.0);
+}
+
+TEST(Units, CyclesOverFrequencyIsDuration) {
+  Duration t = Cycles::from_count(2.6e9) / Frequency::from_ghz(1.3);
+  EXPECT_DOUBLE_EQ(t.seconds(), 2.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  double r = Duration::from_seconds(3.0) / Duration::from_seconds(1.5);
+  EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(Units, ComparisonsAndAccumulation) {
+  Duration a = Duration::from_millis(5.0);
+  Duration b = Duration::from_micros(5000.0);
+  EXPECT_EQ(a, b);
+  a += Duration::from_seconds(1.0);
+  EXPECT_GT(a, b);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(Duration::from_millis(1500.0).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::from_seconds(2.0).millis(), 2000.0);
+  EXPECT_DOUBLE_EQ(Bytes::from_kib(2.0).bytes(), 2048.0);
+  EXPECT_DOUBLE_EQ(Energy::from_joules(3000.0).kilojoules(), 3.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::from_gb_per_second(1.0).bytes_per_second(), 1e9);
+}
+
+TEST(Units, InfinityAndZero) {
+  EXPECT_FALSE(Duration::infinity().is_finite());
+  EXPECT_TRUE(Duration::zero().is_finite());
+  EXPECT_EQ(Duration::zero().seconds(), 0.0);
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << Duration::from_seconds(2.5) << " " << Power::from_watts(10.0);
+  EXPECT_EQ(os.str(), "2.5s 10W");
+}
+
+// ---------------- rng ----------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.gaussian(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.02);
+}
+
+TEST(Rng, NoiseFactorStaysPositive) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(r.noise_factor(0.5), 0.0);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(19);
+  Rng child = parent.fork();
+  // Child stream must not simply mirror the parent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.uniform() == child.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, PickIndexInRange) {
+  Rng r(23);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(r.pick_index(7), 7u);
+  }
+}
+
+// ---------------- stats ----------------
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  std::vector<double> xs;
+  EXPECT_EQ(mean(xs), 0.0);
+  EXPECT_EQ(stddev(xs), 0.0);
+  EXPECT_EQ(percentile(xs, 50.0), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_EQ(relative_error(5.0, 0.0), 0.0);
+}
+
+TEST(Stats, MeanAndMaxRelativeError) {
+  std::vector<double> pred{11.0, 9.0};
+  std::vector<double> meas{10.0, 10.0};
+  EXPECT_NEAR(mean_relative_error(pred, meas), 0.1, 1e-12);
+  EXPECT_NEAR(max_relative_error(pred, meas), 0.1, 1e-12);
+}
+
+TEST(Stats, RelativeErrorSizeMismatchThrows) {
+  std::vector<double> a{1.0};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(mean_relative_error(a, b), std::invalid_argument);
+  EXPECT_THROW(max_relative_error(a, b), std::invalid_argument);
+}
+
+TEST(Stats, CorrelationPerfectAndNone) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  std::vector<double> flat{5.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(correlation(xs, flat), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+// ---------------- linreg ----------------
+
+TEST(LinReg, RecoversExactLinearModel) {
+  // y = 2 x0 - 3 x1 + 7
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    double x0 = rng.uniform(0, 10), x1 = rng.uniform(0, 10);
+    rows.push_back({x0, x1});
+    y.push_back(2.0 * x0 - 3.0 * x1 + 7.0);
+  }
+  auto fit = fit_least_squares(rows, y);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-6);
+  EXPECT_NEAR(fit.coefficients[1], -3.0, 1e-6);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(LinReg, NoInterceptMode) {
+  std::vector<std::vector<double>> rows{{1.0}, {2.0}, {3.0}};
+  std::vector<double> y{2.0, 4.0, 6.0};
+  auto fit = fit_least_squares(rows, y, /*fit_intercept=*/false);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_EQ(fit.intercept, 0.0);
+}
+
+TEST(LinReg, NoisyFitIsClose) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.uniform(0, 100);
+    rows.push_back({x});
+    y.push_back(5.0 * x + 1.0 + rng.gaussian(0.0, 2.0));
+  }
+  auto fit = fit_least_squares(rows, y);
+  EXPECT_NEAR(fit.coefficients[0], 5.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinReg, PredictMatchesManualEvaluation) {
+  LinearFit fit;
+  fit.coefficients = {1.5, -0.5};
+  fit.intercept = 2.0;
+  std::vector<double> x{4.0, 2.0};
+  EXPECT_DOUBLE_EQ(fit.predict(x), 1.5 * 4.0 - 0.5 * 2.0 + 2.0);
+}
+
+TEST(LinReg, PredictWidthMismatchThrows) {
+  LinearFit fit;
+  fit.coefficients = {1.0, 2.0};
+  std::vector<double> x{1.0};
+  EXPECT_THROW(fit.predict(x), std::invalid_argument);
+}
+
+TEST(LinReg, EmptyAndRaggedInputsThrow) {
+  std::vector<std::vector<double>> empty;
+  std::vector<double> y;
+  EXPECT_THROW(fit_least_squares(empty, y), std::invalid_argument);
+  std::vector<std::vector<double>> ragged{{1.0}, {1.0, 2.0}};
+  std::vector<double> y2{1.0, 2.0};
+  EXPECT_THROW(fit_least_squares(ragged, y2), std::invalid_argument);
+}
+
+TEST(LinReg, SolveLinearSystem) {
+  // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+  auto x = solve_linear_system({{2.0, 1.0}, {1.0, -1.0}}, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LinReg, SingularSystemThrows) {
+  EXPECT_THROW(
+      solve_linear_system({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+      std::runtime_error);
+}
+
+// ---------------- channel ----------------
+
+TEST(Channel, SendReceiveFifo) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.receive().value(), 1);
+  EXPECT_EQ(ch.receive().value(), 2);
+}
+
+TEST(Channel, TryReceiveEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+  ch.send(5);
+  EXPECT_EQ(ch.try_receive().value(), 5);
+}
+
+TEST(Channel, CloseDrainsThenReturnsNullopt) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.close();
+  EXPECT_FALSE(ch.send(2));  // rejected after close
+  EXPECT_EQ(ch.receive().value(), 1);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, CrossThreadDelivery) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) ch.send(i);
+    ch.close();
+  });
+  int sum = 0, count = 0;
+  while (auto v = ch.receive()) {
+    sum += *v;
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(Channel, SizeTracksContents) {
+  Channel<int> ch;
+  EXPECT_EQ(ch.size(), 0u);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.size(), 2u);
+  ch.receive();
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+// ---------------- table ----------------
+
+TEST(Table, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 22    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+// ---------------- csv ----------------
+
+TEST(Csv, BasicRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "x"});
+  csv.add_numeric_row({2.5, 3.0});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,x\n2.5,3\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, ValidatesShapes) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"a"});
+  csv.add_row({"1"});
+  EXPECT_THROW(csv.write_file("/nonexistent_dir/x.csv"), std::runtime_error);
+}
+
+// ---------------- log ----------------
+
+TEST(Log, LevelFiltering) {
+  LogLevel old = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Just exercise the paths; output goes to stderr.
+  log_debug("hidden ", 1);
+  log_error("visible ", 2);
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace ewc::common

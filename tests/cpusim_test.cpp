@@ -1,0 +1,145 @@
+// Unit & property tests for the multicore-CPU baseline simulator.
+#include <gtest/gtest.h>
+
+#include "cpusim/engine.hpp"
+
+namespace ewc::cpusim {
+namespace {
+
+CpuTask task(double core_seconds, int threads = 1, double sens = 0.0,
+             int id = 0) {
+  CpuTask t;
+  t.name = "t" + std::to_string(id);
+  t.core_seconds = core_seconds;
+  t.threads = threads;
+  t.cache_sensitivity = sens;
+  t.instance_id = id;
+  return t;
+}
+
+TEST(CpuEngine, SingleThreadedTaskRunsAtOneCore) {
+  CpuEngine cpu;
+  auto r = cpu.run({task(5.0)});
+  EXPECT_NEAR(r.makespan.seconds(), 5.0, 1e-9);
+  EXPECT_EQ(r.completions.size(), 1u);
+}
+
+TEST(CpuEngine, ParallelTaskUsesItsThreads) {
+  CpuEngine cpu;
+  auto r = cpu.run({task(8.0, 8)});
+  EXPECT_NEAR(r.makespan.seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(r.avg_busy_cores, 8.0, 1e-9);
+}
+
+TEST(CpuEngine, UpToCoreCountTasksRunInParallelWithoutSlicing) {
+  CpuEngine cpu;
+  std::vector<CpuTask> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back(task(3.0, 1, 0.0, i));
+  auto r = cpu.run(tasks);
+  EXPECT_NEAR(r.makespan.seconds(), 3.0, 1e-9);
+}
+
+TEST(CpuEngine, OversubscriptionSlowsDown) {
+  CpuEngine cpu;
+  std::vector<CpuTask> tasks;
+  for (int i = 0; i < 16; ++i) tasks.push_back(task(1.0, 1, 0.0, i));
+  auto r = cpu.run(tasks);
+  // 16 core-seconds over 8 cores = 2 s minimum, plus slicing overhead.
+  EXPECT_GT(r.makespan.seconds(), 2.0);
+  EXPECT_LT(r.makespan.seconds(), 2.5);
+}
+
+TEST(CpuEngine, CacheContentionSlowsSensitiveTasks) {
+  CpuEngine cpu;
+  std::vector<CpuTask> insensitive, sensitive;
+  for (int i = 0; i < 4; ++i) {
+    insensitive.push_back(task(2.0, 1, 0.0, i));
+    sensitive.push_back(task(2.0, 1, 1.0, i));
+  }
+  const double t_ins = cpu.run(insensitive).makespan.seconds();
+  const double t_sen = cpu.run(sensitive).makespan.seconds();
+  EXPECT_GT(t_sen, t_ins * 1.05);
+}
+
+TEST(CpuEngine, EnergyIsPowerTimesTime) {
+  CpuConfig cfg;
+  CpuEngine cpu(cfg);
+  auto r = cpu.run({task(4.0, 1)});
+  const double expect =
+      (cfg.idle_power.watts() + cfg.active_core_power.watts()) * 4.0;
+  EXPECT_NEAR(r.system_energy.joules(), expect, 1e-6);
+  EXPECT_NEAR(r.avg_system_power.watts(),
+              cfg.idle_power.watts() + cfg.active_core_power.watts(), 1e-9);
+}
+
+TEST(CpuEngine, CompletionsOrderedByWork) {
+  CpuEngine cpu;
+  auto r = cpu.run({task(1.0, 1, 0.0, 0), task(2.0, 1, 0.0, 1)});
+  ASSERT_EQ(r.completions.size(), 2u);
+  double t0 = 0, t1 = 0;
+  for (const auto& c : r.completions) {
+    (c.instance_id == 0 ? t0 : t1) = c.finish_time.seconds();
+  }
+  EXPECT_LT(t0, t1);
+  EXPECT_NEAR(r.makespan.seconds(), t1, 1e-12);
+}
+
+TEST(CpuEngine, ZeroWorkCompletesImmediately) {
+  CpuEngine cpu;
+  auto r = cpu.run({task(0.0)});
+  EXPECT_EQ(r.makespan.seconds(), 0.0);
+  ASSERT_EQ(r.completions.size(), 1u);
+  EXPECT_EQ(r.completions[0].finish_time.seconds(), 0.0);
+}
+
+TEST(CpuEngine, EmptyTaskListIsEmptyResult) {
+  CpuEngine cpu;
+  auto r = cpu.run({});
+  EXPECT_EQ(r.makespan.seconds(), 0.0);
+  EXPECT_EQ(r.system_energy.joules(), 0.0);
+  EXPECT_TRUE(r.completions.empty());
+}
+
+TEST(CpuEngine, MalformedTasksThrow) {
+  CpuEngine cpu;
+  CpuTask bad = task(1.0);
+  bad.threads = 0;
+  EXPECT_THROW(cpu.run({bad}), std::invalid_argument);
+  bad = task(-1.0);
+  EXPECT_THROW(cpu.run({bad}), std::invalid_argument);
+}
+
+TEST(CpuEngine, WorkConservation) {
+  // Total busy-core integral >= total work submitted (overheads only add).
+  CpuEngine cpu;
+  std::vector<CpuTask> tasks;
+  double total_work = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    tasks.push_back(task(0.5 + 0.25 * i, 1 + i % 4, 0.3, i));
+    total_work += 0.5 + 0.25 * i;
+  }
+  auto r = cpu.run(tasks);
+  EXPECT_GE(r.avg_busy_cores * r.makespan.seconds(), total_work * 0.999);
+}
+
+// Paper shape: CPU execution time grows once instances contend.
+class InstanceScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(InstanceScaling, MakespanNonDecreasingInInstances) {
+  CpuEngine cpu;
+  const int n = GetParam();
+  auto make = [&](int count) {
+    std::vector<CpuTask> tasks;
+    for (int i = 0; i < count; ++i) tasks.push_back(task(2.0, 4, 0.4, i));
+    return tasks;
+  };
+  const double t_n = cpu.run(make(n)).makespan.seconds();
+  const double t_n1 = cpu.run(make(n + 1)).makespan.seconds();
+  EXPECT_GE(t_n1, t_n * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, InstanceScaling,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace ewc::cpusim

@@ -1,0 +1,253 @@
+// Unit tests for the wcuda runtime substrate.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "cudart/context.hpp"
+#include "cudart/registry.hpp"
+#include "cudart/runtime.hpp"
+#include "gpusim/engine.hpp"
+
+namespace ewc::cudart {
+namespace {
+
+gpusim::KernelDesc tiny_kernel() {
+  gpusim::KernelDesc k;
+  k.name = "tiny";
+  k.num_blocks = 2;
+  k.threads_per_block = 64;
+  k.mix.fp_insts = 1000.0;
+  return k;
+}
+
+class CudartTest : public ::testing::Test {
+ protected:
+  CudartTest() : runtime_(engine_, &registry_) {
+    registry_.register_kernel(
+        "tiny", [](const LaunchConfig& cfg, std::span<const std::byte>) {
+          gpusim::KernelDesc k = tiny_kernel();
+          if (cfg.valid) {
+            k.num_blocks = static_cast<int>(cfg.grid.count());
+            k.threads_per_block = static_cast<int>(cfg.block.count());
+          }
+          return k;
+        });
+  }
+
+  gpusim::FluidEngine engine_;
+  KernelRegistry registry_;
+  Runtime runtime_;
+};
+
+// ---------------- context / memory ----------------
+
+TEST_F(CudartTest, MallocFreeRoundTrip) {
+  Context ctx("user", 1 << 20);
+  void* p = nullptr;
+  EXPECT_EQ(runtime_.wcudaMalloc(ctx, &p, 1024), wcudaError::kSuccess);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(ctx.bytes_in_use(), 1024u);
+  EXPECT_EQ(runtime_.wcudaFree(ctx, p), wcudaError::kSuccess);
+  EXPECT_EQ(ctx.bytes_in_use(), 0u);
+}
+
+TEST_F(CudartTest, MallocRejectsBadArgs) {
+  Context ctx("user", 1 << 20);
+  void* p = nullptr;
+  EXPECT_EQ(runtime_.wcudaMalloc(ctx, nullptr, 16), wcudaError::kInvalidValue);
+  EXPECT_EQ(runtime_.wcudaMalloc(ctx, &p, 0), wcudaError::kInvalidValue);
+}
+
+TEST_F(CudartTest, OutOfMemory) {
+  Context ctx("user", 1024);
+  void* p = nullptr;
+  EXPECT_EQ(runtime_.wcudaMalloc(ctx, &p, 2048), wcudaError::kOutOfMemory);
+  EXPECT_EQ(runtime_.wcudaMalloc(ctx, &p, 1024), wcudaError::kSuccess);
+  void* q = nullptr;
+  EXPECT_EQ(runtime_.wcudaMalloc(ctx, &q, 1), wcudaError::kOutOfMemory);
+}
+
+TEST_F(CudartTest, FreeUnknownPointerFails) {
+  Context ctx("user", 1 << 20);
+  int local = 0;
+  EXPECT_EQ(runtime_.wcudaFree(ctx, &local),
+            wcudaError::kInvalidDevicePointer);
+}
+
+TEST_F(CudartTest, MemcpyRoundTripPreservesData) {
+  Context ctx("user", 1 << 20);
+  void* dev = nullptr;
+  ASSERT_EQ(runtime_.wcudaMalloc(ctx, &dev, 256), wcudaError::kSuccess);
+  std::vector<std::uint8_t> in(256);
+  std::iota(in.begin(), in.end(), 0);
+  ASSERT_EQ(runtime_.wcudaMemcpy(ctx, dev, in.data(), 256,
+                                 MemcpyKind::kHostToDevice),
+            wcudaError::kSuccess);
+  std::vector<std::uint8_t> out(256, 0xFF);
+  ASSERT_EQ(runtime_.wcudaMemcpy(ctx, out.data(), dev, 256,
+                                 MemcpyKind::kDeviceToHost),
+            wcudaError::kSuccess);
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(CudartTest, MemcpyDeviceToDevice) {
+  Context ctx("user", 1 << 20);
+  void *a = nullptr, *b = nullptr;
+  ASSERT_EQ(runtime_.wcudaMalloc(ctx, &a, 64), wcudaError::kSuccess);
+  ASSERT_EQ(runtime_.wcudaMalloc(ctx, &b, 64), wcudaError::kSuccess);
+  std::vector<std::uint8_t> in(64, 0x5A);
+  ASSERT_EQ(runtime_.wcudaMemcpy(ctx, a, in.data(), 64,
+                                 MemcpyKind::kHostToDevice),
+            wcudaError::kSuccess);
+  ASSERT_EQ(runtime_.wcudaMemcpy(ctx, b, a, 64, MemcpyKind::kDeviceToDevice),
+            wcudaError::kSuccess);
+  std::vector<std::uint8_t> out(64, 0);
+  ASSERT_EQ(runtime_.wcudaMemcpy(ctx, out.data(), b, 64,
+                                 MemcpyKind::kDeviceToHost),
+            wcudaError::kSuccess);
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(CudartTest, MemcpyOverrunRejected) {
+  Context ctx("user", 1 << 20);
+  void* dev = nullptr;
+  ASSERT_EQ(runtime_.wcudaMalloc(ctx, &dev, 16), wcudaError::kSuccess);
+  std::vector<std::uint8_t> big(32, 0);
+  EXPECT_EQ(runtime_.wcudaMemcpy(ctx, dev, big.data(), 32,
+                                 MemcpyKind::kHostToDevice),
+            wcudaError::kInvalidValue);
+}
+
+TEST_F(CudartTest, ContextsAreIsolated) {
+  Context a("alice", 1 << 20), b("bob", 1 << 20);
+  void* pa = nullptr;
+  ASSERT_EQ(runtime_.wcudaMalloc(a, &pa, 64), wcudaError::kSuccess);
+  // Bob cannot free or copy Alice's allocation.
+  EXPECT_EQ(runtime_.wcudaFree(b, pa), wcudaError::kInvalidDevicePointer);
+  std::uint8_t buf[64];
+  EXPECT_EQ(runtime_.wcudaMemcpy(b, buf, pa, 64, MemcpyKind::kDeviceToHost),
+            wcudaError::kInvalidDevicePointer);
+}
+
+// ---------------- launch state machine ----------------
+
+TEST_F(CudartTest, LaunchWithoutConfigureFails) {
+  Context ctx("user", 1 << 20);
+  EXPECT_EQ(runtime_.wcudaLaunch(ctx, "tiny"),
+            wcudaError::kInvalidConfiguration);
+}
+
+TEST_F(CudartTest, SetupArgumentWithoutConfigureFails) {
+  Context ctx("user", 1 << 20);
+  int arg = 5;
+  EXPECT_EQ(runtime_.wcudaSetupArgument(ctx, &arg, sizeof arg, 0),
+            wcudaError::kInvalidConfiguration);
+}
+
+TEST_F(CudartTest, InvalidConfigurationRejected) {
+  Context ctx("user", 1 << 20);
+  EXPECT_EQ(runtime_.wcudaConfigureCall(ctx, Dim3{0, 1, 1}, Dim3{256, 1, 1}, 0),
+            wcudaError::kInvalidConfiguration);
+  EXPECT_EQ(
+      runtime_.wcudaConfigureCall(ctx, Dim3{1, 1, 1}, Dim3{2048, 1, 1}, 0),
+      wcudaError::kInvalidConfiguration);
+}
+
+TEST_F(CudartTest, UnknownKernelRejected) {
+  Context ctx("user", 1 << 20);
+  ASSERT_EQ(runtime_.wcudaConfigureCall(ctx, Dim3{1, 1, 1}, Dim3{64, 1, 1}, 0),
+            wcudaError::kSuccess);
+  EXPECT_EQ(runtime_.wcudaLaunch(ctx, "nope"), wcudaError::kUnknownKernel);
+}
+
+TEST_F(CudartTest, SuccessfulLaunchRunsOnEngine) {
+  Context ctx("user", 1 << 20);
+  ASSERT_EQ(runtime_.wcudaConfigureCall(ctx, Dim3{4, 1, 1}, Dim3{128, 1, 1}, 0),
+            wcudaError::kSuccess);
+  ASSERT_EQ(runtime_.wcudaLaunch(ctx, "tiny"), wcudaError::kSuccess);
+  EXPECT_EQ(runtime_.direct_launches(), 1);
+  EXPECT_GT(runtime_.direct_stats().total_time.seconds(), 0.0);
+}
+
+TEST_F(CudartTest, LaunchConsumesConfiguration) {
+  Context ctx("user", 1 << 20);
+  ASSERT_EQ(runtime_.wcudaConfigureCall(ctx, Dim3{1, 1, 1}, Dim3{64, 1, 1}, 0),
+            wcudaError::kSuccess);
+  ASSERT_EQ(runtime_.wcudaLaunch(ctx, "tiny"), wcudaError::kSuccess);
+  EXPECT_EQ(runtime_.wcudaLaunch(ctx, "tiny"),
+            wcudaError::kInvalidConfiguration);
+}
+
+TEST_F(CudartTest, ArgumentsMarshalledAtOffsets) {
+  Context ctx("user", 1 << 20);
+  ASSERT_EQ(runtime_.wcudaConfigureCall(ctx, Dim3{1, 1, 1}, Dim3{64, 1, 1}, 0),
+            wcudaError::kSuccess);
+  std::uint32_t a = 0xDEADBEEF;
+  std::uint64_t b = 0x0123456789ABCDEFull;
+  ASSERT_EQ(runtime_.wcudaSetupArgument(ctx, &a, sizeof a, 0),
+            wcudaError::kSuccess);
+  ASSERT_EQ(runtime_.wcudaSetupArgument(ctx, &b, sizeof b, 8),
+            wcudaError::kSuccess);
+  const auto& args = ctx.pending_args();
+  ASSERT_EQ(args.size(), 16u);
+  std::uint32_t a2;
+  std::uint64_t b2;
+  std::memcpy(&a2, args.data(), sizeof a2);
+  std::memcpy(&b2, args.data() + 8, sizeof b2);
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(b2, b);
+}
+
+TEST_F(CudartTest, H2DBytesFlowIntoLaunchCost) {
+  Context ctx("user", 1 << 20);
+  void* dev = nullptr;
+  const std::size_t bytes = 512 * 1024;
+  ASSERT_EQ(runtime_.wcudaMalloc(ctx, &dev, bytes), wcudaError::kSuccess);
+  std::vector<std::uint8_t> in(bytes, 1);
+  ASSERT_EQ(runtime_.wcudaMemcpy(ctx, dev, in.data(), bytes,
+                                 MemcpyKind::kHostToDevice),
+            wcudaError::kSuccess);
+  ASSERT_EQ(runtime_.wcudaConfigureCall(ctx, Dim3{1, 1, 1}, Dim3{64, 1, 1}, 0),
+            wcudaError::kSuccess);
+  ASSERT_EQ(runtime_.wcudaLaunch(ctx, "tiny"), wcudaError::kSuccess);
+  EXPECT_GT(runtime_.direct_stats().h2d_time.seconds(),
+            bytes * 0.9 / engine_.device().pcie_h2d.bytes_per_second());
+}
+
+// ---------------- registry ----------------
+
+TEST(KernelRegistry, RegisterAndInstantiate) {
+  KernelRegistry reg;
+  reg.register_kernel("k", [](const LaunchConfig&, std::span<const std::byte>) {
+    return tiny_kernel();
+  });
+  EXPECT_TRUE(reg.contains("k"));
+  EXPECT_FALSE(reg.contains("missing"));
+  LaunchConfig cfg;
+  auto desc = reg.instantiate("k", cfg, {});
+  EXPECT_EQ(desc.name, "tiny");
+  EXPECT_THROW(reg.instantiate("missing", cfg, {}), std::out_of_range);
+}
+
+TEST(KernelRegistry, NamesSorted) {
+  KernelRegistry reg;
+  auto factory = [](const LaunchConfig&, std::span<const std::byte>) {
+    return tiny_kernel();
+  };
+  reg.register_kernel("b", factory);
+  reg.register_kernel("a", factory);
+  auto names = reg.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(ErrorNames, AllDistinct) {
+  EXPECT_STREQ(error_name(wcudaError::kSuccess), "wcudaSuccess");
+  EXPECT_STRNE(error_name(wcudaError::kOutOfMemory),
+               error_name(wcudaError::kInvalidValue));
+}
+
+}  // namespace
+}  // namespace ewc::cudart

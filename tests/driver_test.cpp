@@ -1,0 +1,147 @@
+// Tests for the wcu driver-API layer (module handles over PTX).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "driver/driver.hpp"
+#include "ptx/samples.hpp"
+
+namespace ewc::driver {
+namespace {
+
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest() : drv_(engine_) {}
+
+  WcuFunction load_function(std::string_view ptx, const std::string& name) {
+    WcuModule mod;
+    EXPECT_EQ(drv_.wcuModuleLoadData(&mod, ptx), wcudaError::kSuccess);
+    WcuFunction f;
+    EXPECT_EQ(drv_.wcuModuleGetFunction(&f, mod, name), wcudaError::kSuccess);
+    return f;
+  }
+
+  gpusim::FluidEngine engine_;
+  Driver drv_;
+};
+
+TEST_F(DriverTest, ModuleLoadAndFunctionLookup) {
+  WcuModule mod;
+  ASSERT_EQ(drv_.wcuModuleLoadData(&mod, ptx::samples::search()),
+            wcudaError::kSuccess);
+  EXPECT_GT(mod.id, 0u);
+  EXPECT_EQ(drv_.loaded_modules(), 1u);
+  WcuFunction f;
+  EXPECT_EQ(drv_.wcuModuleGetFunction(&f, mod, "search"),
+            wcudaError::kSuccess);
+  EXPECT_EQ(drv_.wcuModuleGetFunction(&f, mod, "nope"),
+            wcudaError::kUnknownKernel);
+}
+
+TEST_F(DriverTest, BadPtxRejected) {
+  WcuModule mod;
+  EXPECT_EQ(drv_.wcuModuleLoadData(&mod, "garbage input"),
+            wcudaError::kLaunchFailure);
+  EXPECT_EQ(drv_.wcuModuleLoadData(nullptr, ptx::samples::search()),
+            wcudaError::kInvalidValue);
+}
+
+TEST_F(DriverTest, UnloadInvalidatesFunctions) {
+  WcuModule mod;
+  ASSERT_EQ(drv_.wcuModuleLoadData(&mod, ptx::samples::search()),
+            wcudaError::kSuccess);
+  WcuFunction f;
+  ASSERT_EQ(drv_.wcuModuleGetFunction(&f, mod, "search"),
+            wcudaError::kSuccess);
+  ASSERT_EQ(drv_.wcuModuleUnload(mod), wcudaError::kSuccess);
+  EXPECT_EQ(drv_.wcuFuncSetBlockShape(f, 256, 1, 1),
+            wcudaError::kInvalidValue);
+  EXPECT_EQ(drv_.wcuModuleUnload(mod), wcudaError::kInvalidValue);  // twice
+}
+
+TEST_F(DriverTest, LaunchStateMachine) {
+  auto f = load_function(ptx::samples::search(), "search");
+  // Launch without a block shape fails.
+  EXPECT_EQ(drv_.wcuLaunchGrid(f, 10, 1), wcudaError::kInvalidConfiguration);
+  ASSERT_EQ(drv_.wcuFuncSetBlockShape(f, 256, 1, 1), wcudaError::kSuccess);
+  EXPECT_EQ(drv_.wcuLaunchGrid(f, 0, 1), wcudaError::kInvalidConfiguration);
+  EXPECT_EQ(drv_.wcuLaunchGrid(f, 10, 1), wcudaError::kSuccess);
+  EXPECT_EQ(drv_.launches(), 1);
+  EXPECT_GT(drv_.stats().kernel_time.seconds(), 0.0);
+}
+
+TEST_F(DriverTest, BlockShapeValidation) {
+  auto f = load_function(ptx::samples::search(), "search");
+  EXPECT_EQ(drv_.wcuFuncSetBlockShape(f, 0, 1, 1),
+            wcudaError::kInvalidConfiguration);
+  EXPECT_EQ(drv_.wcuFuncSetBlockShape(f, 2048, 1, 1),
+            wcudaError::kInvalidConfiguration);
+  EXPECT_EQ(drv_.wcuFuncSetBlockShape(f, 16, 16, 2), wcudaError::kSuccess);
+}
+
+TEST_F(DriverTest, ParamMarshalling) {
+  auto f = load_function(ptx::samples::search(), "search");
+  ASSERT_EQ(drv_.wcuParamSetSize(f, 16), wcudaError::kSuccess);
+  std::uint64_t p0 = 0xAABB;
+  EXPECT_EQ(drv_.wcuParamSetv(f, 0, &p0, sizeof p0), wcudaError::kSuccess);
+  EXPECT_EQ(drv_.wcuParamSetv(f, 12, &p0, sizeof p0),
+            wcudaError::kInvalidValue);  // overrun
+  EXPECT_EQ(drv_.wcuParamSetv(f, 0, nullptr, 4), wcudaError::kInvalidValue);
+}
+
+TEST_F(DriverTest, MemoryRoundTrip) {
+  void* dptr = nullptr;
+  ASSERT_EQ(drv_.wcuMemAlloc(&dptr, 256), wcudaError::kSuccess);
+  std::vector<std::uint8_t> in(256);
+  std::iota(in.begin(), in.end(), 0);
+  ASSERT_EQ(drv_.wcuMemcpyHtoD(dptr, in.data(), 256), wcudaError::kSuccess);
+  std::vector<std::uint8_t> out(256, 0);
+  ASSERT_EQ(drv_.wcuMemcpyDtoH(out.data(), dptr, 256), wcudaError::kSuccess);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(drv_.wcuMemFree(dptr), wcudaError::kSuccess);
+  EXPECT_EQ(drv_.wcuMemFree(dptr), wcudaError::kInvalidDevicePointer);
+}
+
+TEST_F(DriverTest, H2DCopiesChargeTheNextLaunch) {
+  auto f = load_function(ptx::samples::search(), "search");
+  ASSERT_EQ(drv_.wcuFuncSetBlockShape(f, 256, 1, 1), wcudaError::kSuccess);
+  void* dptr = nullptr;
+  const std::size_t big = 8 << 20;
+  ASSERT_EQ(drv_.wcuMemAlloc(&dptr, big), wcudaError::kSuccess);
+  std::vector<std::uint8_t> data(big, 1);
+  ASSERT_EQ(drv_.wcuMemcpyHtoD(dptr, data.data(), big), wcudaError::kSuccess);
+  ASSERT_EQ(drv_.wcuLaunchGrid(f, 10, 1), wcudaError::kSuccess);
+  const double t1 = drv_.stats().h2d_time.seconds();
+  EXPECT_GT(t1, big * 0.9 / engine_.device().pcie_h2d.bytes_per_second());
+  // Next launch has no pending copies.
+  ASSERT_EQ(drv_.wcuLaunchGrid(f, 10, 1), wcudaError::kSuccess);
+  EXPECT_NEAR(drv_.stats().h2d_time.seconds(), t1, 1e-9);
+}
+
+TEST_F(DriverTest, SharedSizeOverridesDescriptor) {
+  auto f = load_function(ptx::samples::blackscholes(), "blackscholes");
+  ASSERT_EQ(drv_.wcuFuncSetBlockShape(f, 256, 1, 1), wcudaError::kSuccess);
+  ASSERT_EQ(drv_.wcuFuncSetSharedSize(f, 12 * 1024), wcudaError::kSuccess);
+  EXPECT_EQ(drv_.wcuLaunchGrid(f, 4, 1), wcudaError::kSuccess);
+  // Too much shared memory makes the block unrunnable.
+  ASSERT_EQ(drv_.wcuFuncSetSharedSize(f, 64 * 1024), wcudaError::kSuccess);
+  EXPECT_EQ(drv_.wcuLaunchGrid(f, 4, 1), wcudaError::kLaunchFailure);
+}
+
+TEST_F(DriverTest, MultipleModulesCoexist) {
+  WcuModule m1, m2;
+  ASSERT_EQ(drv_.wcuModuleLoadData(&m1, ptx::samples::search()),
+            wcudaError::kSuccess);
+  ASSERT_EQ(drv_.wcuModuleLoadData(&m2, ptx::samples::montecarlo()),
+            wcudaError::kSuccess);
+  EXPECT_NE(m1.id, m2.id);
+  WcuFunction f1, f2;
+  EXPECT_EQ(drv_.wcuModuleGetFunction(&f1, m1, "search"),
+            wcudaError::kSuccess);
+  EXPECT_EQ(drv_.wcuModuleGetFunction(&f2, m2, "montecarlo"),
+            wcudaError::kSuccess);
+  EXPECT_NE(f1.id, f2.id);
+}
+
+}  // namespace
+}  // namespace ewc::driver

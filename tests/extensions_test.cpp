@@ -1,0 +1,224 @@
+// Tests for the extension subsystems: multi-GPU scheduling, the Fermi
+// device model, and the block-dispatch policy ablation knobs.
+#include <gtest/gtest.h>
+
+#include "consolidate/multi_gpu.hpp"
+#include "gpusim/engine.hpp"
+#include "workloads/paper_configs.hpp"
+
+namespace ewc {
+namespace {
+
+std::vector<gpusim::KernelInstance> n_instances(
+    const workloads::InstanceSpec& spec, int n) {
+  return workloads::gpu_instances(spec, n);
+}
+
+// ---------------- multi-GPU scheduler ----------------
+
+TEST(MultiGpu, RejectsBadGpuCount) {
+  gpusim::FluidEngine engine;
+  EXPECT_THROW(consolidate::MultiGpuScheduler(engine, 0),
+               std::invalid_argument);
+}
+
+TEST(MultiGpu, SingleGpuMatchesDirectRun) {
+  gpusim::FluidEngine engine;
+  consolidate::MultiGpuScheduler farm(engine, 1);
+  const auto spec = workloads::encryption_12k();
+  const auto insts = n_instances(spec, 4);
+  const auto farm_result = farm.run(insts);
+  gpusim::LaunchPlan plan;
+  plan.instances = insts;
+  plan.reuse_constant_data = true;
+  const auto direct = engine.run(plan);
+  EXPECT_NEAR(farm_result.makespan.seconds(), direct.total_time.seconds(),
+              1e-9);
+  EXPECT_NEAR(farm_result.energy.joules(), direct.system_energy.joules(),
+              1e-6 * direct.system_energy.joules());
+}
+
+TEST(MultiGpu, PartitionBalancesLoad) {
+  gpusim::FluidEngine engine;
+  consolidate::MultiGpuScheduler farm(engine, 2);
+  const auto insts = n_instances(workloads::t56_blackscholes(), 8);
+  const auto parts = farm.partition(insts);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].size(), 4u);
+  EXPECT_EQ(parts[1].size(), 4u);
+}
+
+TEST(MultiGpu, EveryInstanceAssignedExactlyOnce) {
+  gpusim::FluidEngine engine;
+  consolidate::MultiGpuScheduler farm(engine, 3);
+  std::vector<gpusim::KernelInstance> insts;
+  auto a = n_instances(workloads::t56_search(), 2);
+  auto b = n_instances(workloads::t56_blackscholes(), 7);
+  insts.insert(insts.end(), a.begin(), a.end());
+  insts.insert(insts.end(), b.begin(), b.end());
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    insts[i].instance_id = static_cast<int>(i);
+  }
+  const auto parts = farm.partition(insts);
+  std::set<int> seen;
+  for (const auto& p : parts) {
+    for (const auto& inst : p) {
+      EXPECT_TRUE(seen.insert(inst.instance_id).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), insts.size());
+}
+
+TEST(MultiGpu, TwoGpusHalveSaturatedWork) {
+  // Bandwidth-saturating kernels split across two GPUs finish in about
+  // half the time (each GPU has its own DRAM).
+  gpusim::FluidEngine engine;
+  const auto spec = workloads::scenario1_montecarlo();
+  const auto insts = n_instances(spec, 2);
+  consolidate::MultiGpuScheduler one(engine, 1);
+  consolidate::MultiGpuScheduler two(engine, 2);
+  const auto t1 = one.run(insts).makespan.seconds();
+  const auto t2 = two.run(insts).makespan.seconds();
+  EXPECT_LT(t2, 0.6 * t1);
+}
+
+TEST(MultiGpu, EnergyCountsHostOnceAndAllGpus) {
+  gpusim::FluidEngine engine;
+  const auto& e = engine.energy_config();
+  consolidate::MultiGpuScheduler two(engine, 2);
+  // Zero instances on GPU 2: the idle second GPU still draws power for the
+  // makespan of the farm.
+  const auto insts = n_instances(workloads::t78_montecarlo(), 1);
+  const auto r = two.run(insts);
+  const double gpu_idle_delta =
+      e.system_idle_with_gpu.watts() - e.host_only_idle.watts();
+  // Farm idle floor: host + 2 GPUs idling for the makespan.
+  const double floor = (e.host_only_idle.watts() + 2.0 * gpu_idle_delta) *
+                       r.makespan.seconds();
+  EXPECT_GT(r.energy.joules(), floor * 0.999);
+  // And strictly more than the single-GPU deployment's idle share.
+  consolidate::MultiGpuScheduler one(engine, 1);
+  const auto r1 = one.run(insts);
+  EXPECT_GT(r.energy.joules(), r1.energy.joules());
+}
+
+TEST(MultiGpu, EmptyBatch) {
+  gpusim::FluidEngine engine;
+  consolidate::MultiGpuScheduler farm(engine, 4);
+  const auto r = farm.run({});
+  EXPECT_EQ(r.makespan.seconds(), 0.0);
+  EXPECT_EQ(r.energy.joules(), 0.0);
+}
+
+// ---------------- Fermi device model ----------------
+
+TEST(Fermi, ConfigIsSelfConsistent) {
+  const auto d = gpusim::fermi_c2050();
+  EXPECT_EQ(d.num_sms, 14);
+  EXPECT_GT(d.dram_bandwidth.bytes_per_second(),
+            gpusim::tesla_c1060().dram_bandwidth.bytes_per_second());
+  EXPECT_GT(d.uncoalesced_dram_efficiency,
+            gpusim::tesla_c1060().uncoalesced_dram_efficiency);
+}
+
+TEST(Fermi, RunsPaperWorkloadsFaster) {
+  gpusim::FluidEngine gt200;
+  gpusim::FluidEngine fermi(gpusim::fermi_c2050(), gpusim::c2050_energy());
+  for (const auto& spec : {workloads::t78_montecarlo(),
+                           workloads::scenario2_search()}) {
+    gpusim::LaunchPlan plan;
+    plan.instances.push_back(gpusim::KernelInstance{spec.gpu, 0, ""});
+    const double t_old = gt200.run(plan).kernel_time.seconds();
+    const double t_new = fermi.run(plan).kernel_time.seconds();
+    EXPECT_LT(t_new, t_old) << spec.name;
+  }
+}
+
+TEST(Fermi, UncoalescedKernelsBenefitMost) {
+  gpusim::FluidEngine gt200;
+  gpusim::FluidEngine fermi(gpusim::fermi_c2050(), gpusim::c2050_energy());
+  gpusim::KernelDesc uncoal;
+  uncoal.name = "gather";
+  uncoal.num_blocks = 28;
+  uncoal.threads_per_block = 256;
+  uncoal.mix.int_insts = 1.0e4;
+  uncoal.mix.uncoalesced_mem_insts = 2.0e3;
+  gpusim::KernelDesc coal = uncoal;
+  coal.name = "stream";
+  coal.mix.uncoalesced_mem_insts = 0.0;
+  coal.mix.coalesced_mem_insts = 2.0e3 * 8.0;  // similar byte volume
+
+  auto speedup = [&](const gpusim::KernelDesc& k) {
+    gpusim::LaunchPlan plan;
+    plan.instances.push_back(gpusim::KernelInstance{k, 0, ""});
+    return gt200.run(plan).kernel_time.seconds() /
+           fermi.run(plan).kernel_time.seconds();
+  };
+  EXPECT_GT(speedup(uncoal), speedup(coal));
+}
+
+// ---------------- dispatch-policy ablation ----------------
+
+class DispatchPolicySweep
+    : public ::testing::TestWithParam<gpusim::DispatchPolicy> {};
+
+TEST_P(DispatchPolicySweep, BlockConservationUnderEveryPolicy) {
+  auto cfg = gpusim::tesla_c1060();
+  cfg.dispatch_policy = GetParam();
+  gpusim::FluidEngine engine(cfg);
+  gpusim::KernelDesc k;
+  k.name = "k";
+  k.num_blocks = 77;
+  k.threads_per_block = 192;
+  k.mix.fp_insts = 1.0e4;
+  k.mix.coalesced_mem_insts = 500.0;
+  gpusim::LaunchPlan plan;
+  plan.instances.push_back(gpusim::KernelInstance{k, 0, ""});
+  const auto r = engine.run(plan);
+  int executed = 0;
+  for (const auto& sm : r.sm_stats) executed += sm.blocks_executed;
+  EXPECT_EQ(executed, 77);
+  EXPECT_EQ(r.completions.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DispatchPolicySweep,
+                         ::testing::Values(
+                             gpusim::DispatchPolicy::kRoundRobin,
+                             gpusim::DispatchPolicy::kLeastLoadedWarps,
+                             gpusim::DispatchPolicy::kRandom));
+
+TEST(DispatchPolicy, HomogeneousUniformWorkIsPolicyInsensitive) {
+  // With identical blocks, all policies fill SMs equivalently.
+  gpusim::KernelDesc k;
+  k.name = "k";
+  k.num_blocks = 60;
+  k.threads_per_block = 256;
+  k.mix.fp_insts = 2.0e5;
+  gpusim::LaunchPlan plan;
+  plan.instances.push_back(gpusim::KernelInstance{k, 0, ""});
+
+  std::vector<double> times;
+  for (auto policy : {gpusim::DispatchPolicy::kRoundRobin,
+                      gpusim::DispatchPolicy::kLeastLoadedWarps}) {
+    auto cfg = gpusim::tesla_c1060();
+    cfg.dispatch_policy = policy;
+    gpusim::FluidEngine engine(cfg);
+    times.push_back(engine.run(plan).kernel_time.seconds());
+  }
+  EXPECT_NEAR(times[0], times[1], 1e-9);
+}
+
+TEST(DispatchPolicy, RandomIsDeterministicPerSeed) {
+  auto cfg = gpusim::tesla_c1060();
+  cfg.dispatch_policy = gpusim::DispatchPolicy::kRandom;
+  cfg.dispatch_seed = 42;
+  gpusim::FluidEngine a(cfg), b(cfg);
+  const auto spec = workloads::t78_encryption();
+  gpusim::LaunchPlan plan;
+  plan.instances.push_back(gpusim::KernelInstance{spec.gpu, 0, ""});
+  EXPECT_DOUBLE_EQ(a.run(plan).kernel_time.seconds(),
+                   b.run(plan).kernel_time.seconds());
+}
+
+}  // namespace
+}  // namespace ewc

@@ -1,0 +1,536 @@
+// Unit & property tests for the GPU simulator substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/energy_integrator.hpp"
+#include "gpusim/kernel_desc.hpp"
+
+namespace ewc::gpusim {
+namespace {
+
+KernelDesc compute_kernel(int blocks, double fp = 1.0e5) {
+  KernelDesc k;
+  k.name = "compute";
+  k.num_blocks = blocks;
+  k.threads_per_block = 256;
+  k.mix.fp_insts = fp;
+  k.mix.int_insts = fp * 0.2;
+  k.resources.registers_per_thread = 16;
+  return k;
+}
+
+KernelDesc memory_kernel(int blocks, double coal = 2.0e4) {
+  KernelDesc k;
+  k.name = "memory";
+  k.num_blocks = blocks;
+  k.threads_per_block = 256;
+  k.mix.coalesced_mem_insts = coal;
+  k.mix.int_insts = coal * 0.5;
+  k.resources.registers_per_thread = 16;
+  return k;
+}
+
+LaunchPlan single(const KernelDesc& k) {
+  LaunchPlan p;
+  p.instances.push_back(KernelInstance{k, 0, "test"});
+  return p;
+}
+
+// ---------------- kernel descriptors ----------------
+
+TEST(KernelDesc, WarpsPerBlock) {
+  DeviceConfig dev;
+  KernelDesc k = compute_kernel(1);
+  EXPECT_EQ(k.warps_per_block(dev), 8);
+  k.threads_per_block = 100;
+  EXPECT_EQ(k.warps_per_block(dev), 4);  // ceil(100/32)
+}
+
+TEST(KernelDesc, CoalescedFraction) {
+  KernelDesc k;
+  k.mix.coalesced_mem_insts = 3.0;
+  k.mix.uncoalesced_mem_insts = 1.0;
+  EXPECT_DOUBLE_EQ(k.coalesced_fraction(), 0.75);
+  KernelDesc pure;
+  EXPECT_DOUBLE_EQ(pure.coalesced_fraction(), 1.0);  // no mem work
+}
+
+TEST(KernelDesc, DramEfficiencyInterpolates) {
+  DeviceConfig dev;
+  KernelDesc coal = memory_kernel(1);
+  EXPECT_DOUBLE_EQ(coal.dram_efficiency(dev), 1.0);
+  KernelDesc uncoal;
+  uncoal.mix.uncoalesced_mem_insts = 10.0;
+  EXPECT_DOUBLE_EQ(uncoal.dram_efficiency(dev),
+                   dev.uncoalesced_dram_efficiency);
+}
+
+TEST(KernelDesc, WarpMemBytes) {
+  DeviceConfig dev;
+  KernelDesc k;
+  k.mix.coalesced_mem_insts = 2.0;    // 2 x 128 B
+  k.mix.uncoalesced_mem_insts = 1.0;  // 32 x 32 B
+  EXPECT_DOUBLE_EQ(k.warp_mem_bytes(dev), 2 * 128.0 + 32 * 32.0);
+  EXPECT_DOUBLE_EQ(k.warp_mem_transactions(dev), 2.0 + 32.0);
+}
+
+TEST(KernelDesc, WorkScalePreservesShape) {
+  KernelDesc k = compute_kernel(4);
+  KernelDesc scaled = k.with_work_scale(2.5);
+  EXPECT_DOUBLE_EQ(scaled.mix.fp_insts, k.mix.fp_insts * 2.5);
+  EXPECT_DOUBLE_EQ(scaled.mix.int_insts, k.mix.int_insts * 2.5);
+  EXPECT_EQ(scaled.num_blocks, k.num_blocks);
+  EXPECT_EQ(scaled.threads_per_block, k.threads_per_block);
+}
+
+TEST(KernelDesc, BlockFitsEmptySm) {
+  DeviceConfig dev;
+  KernelDesc k = compute_kernel(1);
+  EXPECT_TRUE(k.block_fits_empty_sm(dev));
+  k.resources.registers_per_thread = 100;  // 100 x 256 > 16384
+  EXPECT_FALSE(k.block_fits_empty_sm(dev));
+  k = compute_kernel(1);
+  k.resources.shared_mem_per_block = 17 * 1024;
+  EXPECT_FALSE(k.block_fits_empty_sm(dev));
+  k = compute_kernel(1);
+  k.threads_per_block = 2048;
+  EXPECT_FALSE(k.block_fits_empty_sm(dev));
+}
+
+TEST(KernelDesc, EffectiveLatencyGrowsWhenUncoalesced) {
+  DeviceConfig dev;
+  KernelDesc coal = memory_kernel(1);
+  KernelDesc uncoal = coal;
+  uncoal.mix.coalesced_mem_insts = 0.0;
+  uncoal.mix.uncoalesced_mem_insts = 100.0;
+  EXPECT_GT(uncoal.effective_mem_latency_cycles(dev),
+            coal.effective_mem_latency_cycles(dev));
+}
+
+TEST(LaunchPlanDesc, TotalBlocks) {
+  LaunchPlan p;
+  p.instances.push_back(KernelInstance{compute_kernel(3), 0, ""});
+  p.instances.push_back(KernelInstance{memory_kernel(5), 1, ""});
+  EXPECT_EQ(p.total_blocks(), 8);
+}
+
+// ---------------- energy integrator ----------------
+
+TEST(EnergyIntegrator, IdleIsBaselinePower) {
+  EnergyConfig cfg;
+  EnergyIntegrator integ(cfg, Power::from_watts(200.0));
+  integ.advance_idle(Duration::from_seconds(10.0));
+  EXPECT_NEAR(integ.total_energy().joules(), 2000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(integ.elapsed().seconds(), 10.0);
+}
+
+TEST(EnergyIntegrator, DynamicPowerIsLinearInEvents) {
+  EnergyConfig cfg;
+  EnergyIntegrator integ(cfg, Power::zero());
+  ComponentCounts rates;
+  rates.fp = 1e9;
+  Power p1 = integ.dynamic_power(rates);
+  rates.fp = 2e9;
+  Power p2 = integ.dynamic_power(rates);
+  EXPECT_NEAR(p2.watts(), 2.0 * p1.watts(), 1e-9);
+  EXPECT_NEAR(p1.watts(), 1e9 * cfg.fp_energy, 1e-9);
+}
+
+TEST(EnergyIntegrator, TemperatureApproachesSteadyState) {
+  EnergyConfig cfg;
+  EnergyIntegrator integ(cfg, Power::zero());
+  ComponentCounts events;
+  events.fp = 1e10;  // per second below
+  const double p_dyn = 1e10 * cfg.fp_energy;
+  for (int i = 0; i < 300; ++i) {
+    ComponentCounts chunk = events;  // events over 1 second
+    integ.advance(Duration::from_seconds(1.0), chunk);
+  }
+  EXPECT_NEAR(integ.temperature_delta_kelvin(), cfg.thermal_k_ss * p_dyn,
+              0.01 * cfg.thermal_k_ss * p_dyn);
+}
+
+TEST(EnergyIntegrator, SegmentsCoverElapsedTime) {
+  EnergyConfig cfg;
+  EnergyIntegrator integ(cfg, Power::from_watts(100.0));
+  integ.advance_idle(Duration::from_seconds(1.0));
+  integ.advance_idle(Duration::from_seconds(2.5));
+  double covered = 0.0;
+  for (const auto& s : integ.segments()) covered += s.length.seconds();
+  EXPECT_DOUBLE_EQ(covered, integ.elapsed().seconds());
+}
+
+TEST(EnergyIntegrator, TransferPowerAdds) {
+  EnergyConfig cfg;
+  EnergyIntegrator a(cfg, Power::from_watts(100.0));
+  EnergyIntegrator b(cfg, Power::from_watts(100.0));
+  a.advance(Duration::from_seconds(1.0), ComponentCounts{}, false);
+  b.advance(Duration::from_seconds(1.0), ComponentCounts{}, true);
+  EXPECT_NEAR(b.total_energy().joules() - a.total_energy().joules(),
+              cfg.transfer_active_power.watts(), 1e-9);
+}
+
+// ---------------- engine basics ----------------
+
+TEST(Engine, EmptyPlanCompletesInstantly) {
+  FluidEngine engine;
+  LaunchPlan plan;
+  KernelDesc k = compute_kernel(0);
+  k.h2d_bytes = common::Bytes::zero();
+  plan.instances.push_back(KernelInstance{k, 7, "u"});
+  RunResult r = engine.run(plan);
+  EXPECT_EQ(r.kernel_time.seconds(), 0.0);
+  ASSERT_EQ(r.completions.size(), 1u);
+  EXPECT_EQ(r.completions[0].instance_id, 7);
+}
+
+TEST(Engine, AllBlocksExecuteExactlyOnce) {
+  FluidEngine engine;
+  RunResult r = engine.run(single(compute_kernel(95)));
+  int executed = 0;
+  for (const auto& sm : r.sm_stats) executed += sm.blocks_executed;
+  EXPECT_EQ(executed, 95);
+}
+
+TEST(Engine, RoundRobinSpreadsBlocks) {
+  FluidEngine engine;
+  RunResult r = engine.run(single(compute_kernel(30)));
+  for (const auto& sm : r.sm_stats) {
+    EXPECT_EQ(sm.blocks_executed, 1);
+  }
+}
+
+TEST(Engine, ComputeKernelTimeMatchesIssueModel) {
+  FluidEngine engine;
+  const auto& dev = engine.device();
+  KernelDesc k = compute_kernel(30, 1.0e6);
+  k.h2d_bytes = common::Bytes::zero();
+  k.d2h_bytes = common::Bytes::zero();
+  RunResult r = engine.run(single(k));
+  // One block per SM, 8 warps: time = warp_cycles * 8 / clock.
+  const double expect =
+      k.warp_compute_cycles(dev) * 8.0 / dev.shader_clock.hertz();
+  EXPECT_NEAR(r.kernel_time.seconds(), expect, expect * 1e-9);
+}
+
+TEST(Engine, MemoryKernelRespectsBandwidthCeiling) {
+  FluidEngine engine;
+  const auto& dev = engine.device();
+  // Saturating: 240 blocks x 8 warps of coalesced streaming.
+  KernelDesc k = memory_kernel(240, 1.0e5);
+  k.h2d_bytes = common::Bytes::zero();
+  k.d2h_bytes = common::Bytes::zero();
+  RunResult r = engine.run(single(k));
+  const double total_bytes =
+      k.warp_mem_bytes(dev) * 8.0 * 240.0;
+  const double floor_secs =
+      total_bytes / dev.dram_bandwidth.bytes_per_second();
+  EXPECT_GE(r.kernel_time.seconds(), floor_secs * 0.999);
+  // And it should be close to the ceiling, not far above.
+  EXPECT_LE(r.kernel_time.seconds(), floor_secs * 1.3);
+  EXPECT_GT(r.avg_dram_utilization, 0.7);
+}
+
+TEST(Engine, EnergyEqualsIntegralOfSegments) {
+  FluidEngine engine;
+  RunResult r = engine.run(single(compute_kernel(45)));
+  double joules = 0.0;
+  for (const auto& s : r.power_segments) {
+    joules += s.system_power.watts() * s.length.seconds();
+  }
+  EXPECT_NEAR(r.system_energy.joules(), joules,
+              1e-9 * std::max(1.0, joules));
+}
+
+TEST(Engine, SegmentsSpanTotalTime) {
+  FluidEngine engine;
+  KernelDesc k = compute_kernel(10);
+  k.h2d_bytes = common::Bytes::from_mib(1.0);
+  k.d2h_bytes = common::Bytes::from_mib(1.0);
+  RunResult r = engine.run(single(k));
+  double covered = 0.0;
+  for (const auto& s : r.power_segments) covered += s.length.seconds();
+  EXPECT_NEAR(covered, r.total_time.seconds(), 1e-9);
+  EXPECT_NEAR(r.total_time.seconds(),
+              (r.h2d_time + r.kernel_time + r.d2h_time).seconds(), 1e-9);
+}
+
+TEST(Engine, TransferTimeMatchesPcieModel) {
+  FluidEngine engine;
+  const auto& dev = engine.device();
+  KernelDesc k = compute_kernel(1, 1.0);
+  k.h2d_bytes = common::Bytes::from_mib(100.0);
+  k.d2h_bytes = common::Bytes::zero();
+  RunResult r = engine.run(single(k));
+  const double expect = 100.0 * 1024 * 1024 / dev.pcie_h2d.bytes_per_second() +
+                        dev.transfer_latency.seconds();
+  EXPECT_NEAR(r.h2d_time.seconds(), expect, 1e-9);
+}
+
+TEST(Engine, OversubscribedBlocksQueue) {
+  FluidEngine engine;
+  // 60 identical compute blocks on 30 SMs: two per SM with fair sharing
+  // gives exactly 2x the 30-block time.
+  KernelDesc k = compute_kernel(30, 2.0e5);
+  k.h2d_bytes = common::Bytes::zero();
+  k.d2h_bytes = common::Bytes::zero();
+  RunResult r30 = engine.run(single(k));
+  k.num_blocks = 60;
+  RunResult r60 = engine.run(single(k));
+  EXPECT_NEAR(r60.kernel_time.seconds(), 2.0 * r30.kernel_time.seconds(),
+              0.01 * r60.kernel_time.seconds());
+}
+
+TEST(Engine, ResourceLimitSerializesBlocks) {
+  FluidEngine engine;
+  // Two blocks that cannot co-reside (registers) on 1 SM take 2x as long as
+  // one, even though the device has 30 SMs... but with 31 blocks round-robin
+  // one SM must run two sequentially.
+  KernelDesc k = compute_kernel(31, 2.0e5);
+  k.resources.registers_per_thread = 60;  // 60*256*2 > 16384: no co-residence
+  k.h2d_bytes = common::Bytes::zero();
+  k.d2h_bytes = common::Bytes::zero();
+  RunResult r = engine.run(single(k));
+  KernelDesc one = k;
+  one.num_blocks = 30;
+  RunResult r30 = engine.run(single(one));
+  EXPECT_NEAR(r.kernel_time.seconds(), 2.0 * r30.kernel_time.seconds(),
+              0.01 * r.kernel_time.seconds());
+}
+
+TEST(Engine, LatencyHidingOverlapsComputeAndMemory) {
+  FluidEngine engine;
+  KernelDesc both = compute_kernel(30, 5.0e5);
+  both.mix.coalesced_mem_insts = 1.0e4;
+  both.h2d_bytes = common::Bytes::zero();
+  both.d2h_bytes = common::Bytes::zero();
+
+  KernelDesc comp_only = both;
+  comp_only.mix.coalesced_mem_insts = 0.0;
+  KernelDesc mem_only = both;
+  mem_only.mix.fp_insts = 0.0;
+  mem_only.mix.int_insts = 0.0;
+
+  const double t_both = engine.run(single(both)).kernel_time.seconds();
+  const double t_comp = engine.run(single(comp_only)).kernel_time.seconds();
+  const double t_mem = engine.run(single(mem_only)).kernel_time.seconds();
+  // Overlap: the combined kernel costs ~max(compute, memory), not the sum.
+  EXPECT_LT(t_both, 0.95 * (t_comp + t_mem));
+  EXPECT_LE(t_both, std::max(t_comp, t_mem) * 1.05);
+  EXPECT_GE(t_both, std::max(t_comp, t_mem) * 0.999);
+}
+
+TEST(Engine, CompletionsReportedForEveryInstance) {
+  FluidEngine engine;
+  LaunchPlan plan;
+  plan.instances.push_back(KernelInstance{compute_kernel(5), 11, "a"});
+  plan.instances.push_back(KernelInstance{memory_kernel(7), 22, "b"});
+  RunResult r = engine.run(plan);
+  ASSERT_EQ(r.completions.size(), 2u);
+  bool saw11 = false, saw22 = false;
+  for (const auto& c : r.completions) {
+    saw11 |= c.instance_id == 11;
+    saw22 |= c.instance_id == 22;
+    EXPECT_LE(c.finish_time.seconds(), r.total_time.seconds() + 1e-9);
+  }
+  EXPECT_TRUE(saw11 && saw22);
+}
+
+TEST(Engine, ShortKernelFinishesBeforeLongPartner) {
+  FluidEngine engine;
+  LaunchPlan plan;
+  KernelDesc small = compute_kernel(5, 1.0e4);
+  small.name = "small";
+  KernelDesc big = compute_kernel(5, 1.0e6);
+  big.name = "big";
+  plan.instances.push_back(KernelInstance{small, 0, ""});
+  plan.instances.push_back(KernelInstance{big, 1, ""});
+  RunResult r = engine.run(plan);
+  Duration t_small, t_big;
+  for (const auto& c : r.completions) {
+    (c.instance_id == 0 ? t_small : t_big) = c.finish_time;
+  }
+  EXPECT_LT(t_small.seconds(), t_big.seconds());
+}
+
+TEST(Engine, MalformedKernelThrows) {
+  FluidEngine engine;
+  KernelDesc k = compute_kernel(1);
+  k.threads_per_block = 0;
+  EXPECT_THROW(engine.run(single(k)), std::invalid_argument);
+  k = compute_kernel(1);
+  k.resources.registers_per_thread = 1000;
+  EXPECT_THROW(engine.run(single(k)), std::invalid_argument);
+}
+
+TEST(Engine, RunSerialSumsTimes) {
+  FluidEngine engine;
+  KernelDesc k = compute_kernel(10);
+  std::vector<KernelInstance> insts{{k, 0, ""}, {k, 1, ""}};
+  RunResult serial = engine.run_serial(insts);
+  RunResult one = engine.run(single(k));
+  EXPECT_NEAR(serial.total_time.seconds(), 2.0 * one.total_time.seconds(),
+              1e-9);
+  EXPECT_NEAR(serial.system_energy.joules(), 2.0 * one.system_energy.joules(),
+              1e-6);
+  EXPECT_EQ(serial.completions.size(), 2u);
+}
+
+TEST(Engine, ConstantDataReuseShortensTransfers) {
+  FluidEngine engine;
+  KernelDesc k = compute_kernel(3);
+  k.resources.constant_data = common::Bytes::from_mib(64.0);
+  LaunchPlan plan;
+  for (int i = 0; i < 4; ++i) {
+    plan.instances.push_back(KernelInstance{k, i, ""});
+  }
+  plan.reuse_constant_data = false;
+  const double without = engine.run(plan).h2d_time.seconds();
+  plan.reuse_constant_data = true;
+  const double with = engine.run(plan).h2d_time.seconds();
+  EXPECT_LT(with, without);
+}
+
+// ---------------- consolidation phenomenology (paper Section III) ----------
+
+TEST(Engine, HomogeneousSmallKernelConsolidationIsNearlyFree) {
+  // The Figure 1 effect: a 3-block kernel leaves 27 SMs idle; consolidating
+  // up to 9 instances barely moves the execution time.
+  FluidEngine engine;
+  KernelDesc k = compute_kernel(3, 2.0e5);
+  k.h2d_bytes = common::Bytes::zero();
+  k.d2h_bytes = common::Bytes::zero();
+  const double t1 = engine.run(single(k)).kernel_time.seconds();
+  LaunchPlan plan9;
+  for (int i = 0; i < 9; ++i) plan9.instances.push_back(KernelInstance{k, i, ""});
+  const double t9 = engine.run(plan9).kernel_time.seconds();
+  EXPECT_LT(t9, 1.15 * t1);
+}
+
+TEST(Engine, TwoMemoryBoundKernelsDoNotOverlap) {
+  // The Scenario 1 effect: consolidating two DRAM-saturating kernels cannot
+  // beat their serial sum (and mixing costs a little extra).
+  FluidEngine engine;
+  KernelDesc a = memory_kernel(45, 3.0e4);
+  a.name = "mem_a";
+  a.mix.coalesced_mem_insts = 0;
+  a.mix.uncoalesced_mem_insts = 2.0e3;
+  a.h2d_bytes = common::Bytes::zero();
+  a.d2h_bytes = common::Bytes::zero();
+  KernelDesc b = a;
+  b.name = "mem_b";
+  b.num_blocks = 15;
+
+  const double ta = engine.run(single(a)).kernel_time.seconds();
+  const double tb = engine.run(single(b)).kernel_time.seconds();
+  LaunchPlan both;
+  both.instances.push_back(KernelInstance{a, 0, ""});
+  both.instances.push_back(KernelInstance{b, 1, ""});
+  const double tab = engine.run(both).kernel_time.seconds();
+  EXPECT_GT(tab, 0.95 * (ta + tb));  // no overlap benefit
+}
+
+TEST(Engine, ComputePlusMemoryBoundKernelsOverlapWell) {
+  // The Scenario 2 effect: a compute-bound kernel hides behind a
+  // memory-bound one; consolidated time is near the max, not the sum.
+  FluidEngine engine;
+  KernelDesc comp = compute_kernel(45, 4.0e5);
+  comp.name = "comp";
+  comp.h2d_bytes = common::Bytes::zero();
+  comp.d2h_bytes = common::Bytes::zero();
+  KernelDesc mem = memory_kernel(15, 8.0e4);
+  mem.name = "mem";
+  mem.h2d_bytes = common::Bytes::zero();
+  mem.d2h_bytes = common::Bytes::zero();
+
+  const double tc = engine.run(single(comp)).kernel_time.seconds();
+  const double tm = engine.run(single(mem)).kernel_time.seconds();
+  LaunchPlan both;
+  both.instances.push_back(KernelInstance{comp, 0, ""});
+  both.instances.push_back(KernelInstance{mem, 1, ""});
+  const double tboth = engine.run(both).kernel_time.seconds();
+  EXPECT_LT(tboth, 0.8 * (tc + tm));
+}
+
+TEST(Engine, MixingPenaltyReducesEffectiveBandwidth) {
+  FluidEngine engine;
+  // Same total demand, once as one kernel and once as two distinct kernels.
+  KernelDesc one = memory_kernel(60, 5.0e4);
+  one.h2d_bytes = common::Bytes::zero();
+  one.d2h_bytes = common::Bytes::zero();
+  const double t_one = engine.run(single(one)).kernel_time.seconds();
+
+  KernelDesc half = one;
+  half.num_blocks = 30;
+  KernelDesc half2 = half;
+  half2.name = "memory2";
+  LaunchPlan two;
+  two.instances.push_back(KernelInstance{half, 0, ""});
+  two.instances.push_back(KernelInstance{half2, 1, ""});
+  const double t_two = engine.run(two).kernel_time.seconds();
+  EXPECT_GT(t_two, 1.02 * t_one);
+}
+
+TEST(Engine, OccupancyTimelineIsConsistent) {
+  FluidEngine engine;
+  KernelDesc k = compute_kernel(45, 2.0e5);
+  k.mix.coalesced_mem_insts = 1.0e3;
+  RunResult r = engine.run(single(k));
+  ASSERT_FALSE(r.occupancy.empty());
+  double prev = 0.0;
+  for (const auto& s : r.occupancy) {
+    EXPECT_GT(s.time.seconds(), prev);  // strictly increasing samples
+    prev = s.time.seconds();
+    EXPECT_GE(s.busy_sms, 0);
+    EXPECT_LE(s.busy_sms, engine.device().num_sms);
+    EXPECT_GE(s.resident_blocks, 0);
+    EXPECT_GE(s.dram_utilization, 0.0);
+    EXPECT_LE(s.dram_utilization, 1.0 + 1e-9);
+  }
+  // The final sample lands at the end of kernel execution.
+  EXPECT_NEAR(r.occupancy.back().time.seconds(), r.kernel_time.seconds(),
+              1e-9);
+}
+
+// ---------------- parameterized residency sweep ----------------
+
+class ResidencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResidencySweep, BlockConservation) {
+  const int blocks = GetParam();
+  FluidEngine engine;
+  KernelDesc k = compute_kernel(blocks, 1.0e4);
+  k.mix.coalesced_mem_insts = 100.0;
+  RunResult r = engine.run(single(k));
+  int executed = 0;
+  for (const auto& sm : r.sm_stats) executed += sm.blocks_executed;
+  EXPECT_EQ(executed, blocks);
+  EXPECT_EQ(r.completions.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCounts, ResidencySweep,
+                         ::testing::Values(1, 7, 29, 30, 31, 45, 60, 240, 241,
+                                           480));
+
+// Monotonicity: more work never finishes sooner.
+class WorkMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(WorkMonotonicity, MoreWorkTakesLonger) {
+  FluidEngine engine;
+  KernelDesc base = compute_kernel(40, 1.0e5);
+  base.mix.coalesced_mem_insts = 5.0e3;
+  const double t1 = engine.run(single(base)).kernel_time.seconds();
+  const double t2 =
+      engine.run(single(base.with_work_scale(GetParam()))).kernel_time.seconds();
+  EXPECT_GE(t2, t1 * 0.999);
+  // And roughly proportionally for the fluid model.
+  EXPECT_NEAR(t2 / t1, GetParam(), 0.15 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, WorkMonotonicity,
+                         ::testing::Values(1.0, 1.5, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace ewc::gpusim

@@ -1,0 +1,487 @@
+// Tests for the PTX front end: parser, static analyzer, and the
+// source-to-source consolidation-template compiler.
+#include <gtest/gtest.h>
+
+#include "cudart/runtime.hpp"
+#include "gpusim/engine.hpp"
+#include "ptx/analyzer.hpp"
+#include "ptx/loader.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/samples.hpp"
+#include "ptx/template_compiler.hpp"
+
+namespace ewc::ptx {
+namespace {
+
+constexpr std::string_view kTiny = R"(
+.version 1.4
+.target sm_13
+
+.entry tiny (
+    .param .u64 data,
+    .param .u32 n
+)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<3>;
+    .reg .f32 %f<3>;
+    .reg .pred %p<2>;
+
+    ld.param.u64 %rd1, [data];
+    mov.u32 %r1, %tid.x;
+    shl.b32 %r2, %r1, 2;
+    cvt.u64.u32 %rd2, %r2;
+    add.u64 %rd1, %rd1, %rd2;
+    ld.global.f32 %f1, [%rd1+0];
+    add.f32 %f2, %f1, 0f3F800000;
+    st.global.f32 [%rd1+0], %f2;
+    bar.sync 0;
+    exit;
+}
+)";
+
+// ---------------- parser ----------------
+
+TEST(PtxParser, ParsesModuleDirectives) {
+  auto mod = parse_module(kTiny);
+  EXPECT_EQ(mod.version, "1.4");
+  EXPECT_EQ(mod.target, "sm_13");
+  ASSERT_EQ(mod.kernels.size(), 1u);
+  EXPECT_EQ(mod.kernels[0].name, "tiny");
+}
+
+TEST(PtxParser, ParsesParams) {
+  auto mod = parse_module(kTiny);
+  const auto& k = mod.kernels[0];
+  ASSERT_EQ(k.params.size(), 2u);
+  EXPECT_EQ(k.params[0].name, "data");
+  EXPECT_EQ(k.params[0].type, ".u64");
+  EXPECT_EQ(k.params[1].name, "n");
+}
+
+TEST(PtxParser, ParsesRegisterDeclarations) {
+  auto mod = parse_module(kTiny);
+  const auto& k = mod.kernels[0];
+  EXPECT_EQ(k.reg_decls.at("%r"), 4);
+  EXPECT_EQ(k.reg_decls.at("%rd"), 3);
+  EXPECT_EQ(k.reg_decls.at("%f"), 3);
+  EXPECT_EQ(k.total_registers(), 4 + 3 + 3 + 2);
+}
+
+TEST(PtxParser, CountsInstructionsAndClasses) {
+  auto mod = parse_module(kTiny);
+  const auto& k = mod.kernels[0];
+  int loads = 0, stores = 0, barriers = 0, fp = 0;
+  for (const auto& st : k.body) {
+    if (!st.instruction) continue;
+    switch (st.instruction->op_class) {
+      case OpClass::kLoad: ++loads; break;
+      case OpClass::kStore: ++stores; break;
+      case OpClass::kBarrier: ++barriers; break;
+      case OpClass::kFloatArith: ++fp; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(loads, 2);  // ld.param + ld.global
+  EXPECT_EQ(stores, 1);
+  EXPECT_EQ(barriers, 1);
+  EXPECT_EQ(fp, 1);
+}
+
+TEST(PtxParser, OpcodeClassification) {
+  EXPECT_EQ(classify_opcode("mad.lo.s32"), OpClass::kIntArith);
+  EXPECT_EQ(classify_opcode("mad.f32"), OpClass::kFloatArith);
+  EXPECT_EQ(classify_opcode("fma.rn.f32"), OpClass::kFloatArith);
+  EXPECT_EQ(classify_opcode("sin.approx.f32"), OpClass::kSpecial);
+  EXPECT_EQ(classify_opcode("ld.global.v2.f32"), OpClass::kLoad);
+  EXPECT_EQ(classify_opcode("st.shared.u32"), OpClass::kStore);
+  EXPECT_EQ(classify_opcode("bar.sync"), OpClass::kBarrier);
+  EXPECT_EQ(classify_opcode("bra"), OpClass::kBranch);
+  EXPECT_EQ(classify_opcode("exit"), OpClass::kReturn);
+  EXPECT_EQ(classify_opcode("setp.lt.u32"), OpClass::kIntArith);
+}
+
+TEST(PtxParser, StateSpacesAndVectorWidths) {
+  EXPECT_EQ(opcode_state_space("ld.global.f32"), StateSpace::kGlobal);
+  EXPECT_EQ(opcode_state_space("ld.const.u32"), StateSpace::kConst);
+  EXPECT_EQ(opcode_state_space("st.shared.u32"), StateSpace::kShared);
+  EXPECT_EQ(opcode_state_space("ld.param.u64"), StateSpace::kParam);
+  EXPECT_FALSE(opcode_state_space("add.f32").has_value());
+  EXPECT_EQ(opcode_vector_width("ld.global.v2.f32"), 2);
+  EXPECT_EQ(opcode_vector_width("ld.global.v4.f32"), 4);
+  EXPECT_EQ(opcode_vector_width("ld.global.f32"), 1);
+}
+
+TEST(PtxParser, RejectsUnknownOpcode) {
+  constexpr std::string_view bad = R"(
+.version 1.4
+.target sm_13
+.entry k ( .param .u64 p )
+{
+    .reg .u32 %r<2>;
+    frobnicate.u32 %r1, %r1;
+}
+)";
+  try {
+    parse_module(bad);
+    FAIL() << "expected PtxError";
+  } catch (const PtxError& e) {
+    EXPECT_EQ(e.line(), 7);
+  }
+}
+
+TEST(PtxParser, RejectsUnterminatedKernel) {
+  constexpr std::string_view bad = R"(
+.version 1.4
+.entry k ( .param .u64 p )
+{
+    .reg .u32 %r<2>;
+)";
+  EXPECT_THROW(parse_module(bad), PtxError);
+}
+
+TEST(PtxParser, ParsesAllSampleKernels) {
+  for (auto src : {samples::aes_encrypt(), samples::bitonic_sort(),
+                   samples::search(), samples::blackscholes(),
+                   samples::montecarlo(), samples::sha256(),
+                   samples::kmeans()}) {
+    auto mod = parse_module(src);
+    ASSERT_EQ(mod.kernels.size(), 1u);
+    EXPECT_FALSE(mod.kernels[0].body.empty());
+  }
+}
+
+TEST(PtxAnalyzer, ExtensionSampleShapes) {
+  auto sha_mod = parse_module(samples::sha256());
+  auto sha = analyze_kernel(sha_mod, "sha256");
+  EXPECT_GT(sha.mix.int_insts, 10.0 * sha.mix.coalesced_mem_insts);
+  EXPECT_EQ(sha.mix.sfu_insts, 0.0);
+  EXPECT_EQ(sha.const_bytes, 256);
+
+  auto km_mod = parse_module(samples::kmeans());
+  auto km = analyze_kernel(km_mod, "kmeans");
+  EXPECT_GT(km.mix.fp_insts, 0.0);
+  EXPECT_GT(km.mix.shared_accesses, 1000.0);
+  EXPECT_GT(km.mix.coalesced_mem_insts, 1000.0);  // point stream
+  EXPECT_EQ(km.shared_bytes_per_block, 512);
+}
+
+TEST(PtxParser, PredicateNegation) {
+  constexpr std::string_view src = R"(
+.version 1.4
+.entry k ( .param .u64 p )
+{
+    .reg .pred %p<2>;
+    .reg .u32 %r<2>;
+ $L:
+    @!%p1 bra $L;
+    exit;
+}
+)";
+  auto mod = parse_module(src);
+  const auto* inst = mod.kernels[0].body[1].instruction ?
+      &*mod.kernels[0].body[1].instruction : nullptr;
+  ASSERT_NE(inst, nullptr);
+  EXPECT_TRUE(inst->predicate_negated);
+  EXPECT_EQ(inst->predicate, "%p1");
+}
+
+// ---------------- analyzer ----------------
+
+TEST(PtxAnalyzer, CountsWithoutLoops) {
+  auto mod = parse_module(kTiny);
+  auto a = analyze_kernel(mod, "tiny");
+  EXPECT_DOUBLE_EQ(a.mix.fp_insts, 1.0);
+  EXPECT_DOUBLE_EQ(a.mix.sync_insts, 1.0);
+  // ld.global + st.global, both via tid-derived address -> coalesced.
+  EXPECT_DOUBLE_EQ(a.mix.coalesced_mem_insts, 2.0);
+  EXPECT_DOUBLE_EQ(a.mix.uncoalesced_mem_insts, 0.0);
+  EXPECT_EQ(a.registers_per_thread, 12);
+}
+
+TEST(PtxAnalyzer, TripAnnotationMultipliesLoopBody) {
+  constexpr std::string_view src = R"(
+.version 1.4
+.entry k ( .param .u32 n )
+{
+    .reg .u32 %r<4>;
+    .reg .pred %p<2>;
+    ld.param.u32 %r1, [n];
+ //@trip 100
+ $Loop:
+    add.u32 %r2, %r2, 1;
+    add.u32 %r3, %r3, 2;
+    setp.lt.u32 %p1, %r2, %r1;
+    @%p1 bra $Loop;
+    exit;
+}
+)";
+  auto mod = parse_module(src);
+  auto a = analyze_kernel(mod, "k");
+  // 3 int ops + branch(counted as int) per iteration, x100.
+  EXPECT_DOUBLE_EQ(a.mix.int_insts, 400.0 + 1.0 /* ld.param is free */ * 0.0);
+}
+
+TEST(PtxAnalyzer, NestedLoopsMultiply) {
+  constexpr std::string_view src = R"(
+.version 1.4
+.entry k ( .param .u32 n )
+{
+    .reg .u32 %r<6>;
+    .reg .pred %p<3>;
+ //@trip 10
+ $Outer:
+ //@trip 20
+ $Inner:
+    add.u32 %r1, %r1, 1;
+    setp.lt.u32 %p1, %r1, %r2;
+    @%p1 bra $Inner;
+    add.u32 %r3, %r3, 1;
+    setp.lt.u32 %p2, %r3, %r4;
+    @%p2 bra $Outer;
+    exit;
+}
+)";
+  auto mod = parse_module(src);
+  auto a = analyze_kernel(mod, "k");
+  // Inner body: 3 insts x 200; outer tail: 3 insts x 10.
+  EXPECT_DOUBLE_EQ(a.mix.int_insts, 3.0 * 200.0 + 3.0 * 10.0);
+}
+
+TEST(PtxAnalyzer, UncoalescedHintAndTaint) {
+  constexpr std::string_view src = R"(
+.version 1.4
+.entry k ( .param .u64 p )
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<6>;
+    ld.param.u64 %rd1, [p];
+    mov.u32 %r1, %tid.x;
+    cvt.u64.u32 %rd2, %r1;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.u32 %r2, [%rd3+0];
+    cvt.u64.u32 %rd4, %r2;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.u32 %r3, [%rd5+0];
+    //@uncoalesced
+    ld.global.u32 %r4, [%rd3+0];
+    exit;
+}
+)";
+  auto mod = parse_module(src);
+  auto a = analyze_kernel(mod, "k");
+  // First load: tid-derived -> coalesced. Second: data-dependent (address
+  // from a loaded value) -> uncoalesced. Third: forced by annotation.
+  EXPECT_DOUBLE_EQ(a.mix.coalesced_mem_insts, 1.0);
+  EXPECT_DOUBLE_EQ(a.mix.uncoalesced_mem_insts, 2.0);
+}
+
+TEST(PtxAnalyzer, BranchToUnknownLabelThrows) {
+  constexpr std::string_view src = R"(
+.version 1.4
+.entry k ( .param .u32 n )
+{
+    .reg .u32 %r<2>;
+    .reg .pred %p<2>;
+    @%p1 bra $Nowhere;
+    exit;
+}
+)";
+  auto mod = parse_module(src);
+  EXPECT_THROW(analyze_kernel(mod, "k"), std::invalid_argument);
+}
+
+TEST(PtxAnalyzer, UnknownKernelNameThrows) {
+  auto mod = parse_module(kTiny);
+  EXPECT_THROW(analyze_kernel(mod, "missing"), std::out_of_range);
+}
+
+TEST(PtxAnalyzer, SampleWorkloadShapesMatchHandCodedDescriptors) {
+  // The analyzer must recover each workload's *boundedness shape*: what is
+  // the dominant component (the property the models depend on).
+  auto analyze = [](std::string_view src, const char* name) {
+    auto mod = parse_module(src);
+    return analyze_kernel(mod, name);
+  };
+
+  auto aes = analyze(samples::aes_encrypt(), "aes_encrypt");
+  EXPECT_GT(aes.mix.const_accesses, aes.mix.coalesced_mem_insts);
+  EXPECT_GT(aes.mix.uncoalesced_mem_insts, 0.0);
+  EXPECT_GT(aes.mix.int_insts, aes.mix.fp_insts);
+  EXPECT_EQ(aes.const_bytes, 8192);
+
+  auto sort = analyze(samples::bitonic_sort(), "bitonic_sort");
+  EXPECT_GT(sort.mix.sync_insts, 100.0);  // barrier-dominated
+  EXPECT_GT(sort.mix.shared_accesses, sort.mix.coalesced_mem_insts);
+  EXPECT_EQ(sort.shared_bytes_per_block, 4096);
+
+  auto search = analyze(samples::search(), "search");
+  EXPECT_GT(search.mix.coalesced_mem_insts, 2000.0);  // streaming
+  EXPECT_DOUBLE_EQ(search.mix.sfu_insts, 0.0);
+
+  auto bs = analyze(samples::blackscholes(), "blackscholes");
+  EXPECT_GT(bs.mix.sfu_insts, 1000.0);  // transcendental-heavy
+  EXPECT_GT(bs.mix.fp_insts, bs.mix.coalesced_mem_insts);
+
+  auto mc = analyze(samples::montecarlo(), "montecarlo");
+  EXPECT_GT(mc.mix.sfu_insts, 100000.0);  // 500 K-step loop
+  EXPECT_LT(mc.mix.coalesced_mem_insts, 10.0);  // register-resident state
+}
+
+TEST(PtxAnalyzer, DescriptorRunsOnSimulator) {
+  auto mod = parse_module(samples::search());
+  auto a = analyze_kernel(mod, "search");
+  auto desc = to_kernel_desc(a, "search_from_ptx", 10, 256);
+  EXPECT_TRUE(desc.block_fits_empty_sm(gpusim::DeviceConfig{}));
+  gpusim::FluidEngine engine;
+  gpusim::LaunchPlan plan;
+  plan.instances.push_back(gpusim::KernelInstance{desc, 0, ""});
+  auto run = engine.run(plan);
+  EXPECT_GT(run.kernel_time.seconds(), 0.0);
+  EXPECT_EQ(run.completions.size(), 1u);
+}
+
+// ---------------- template compiler ----------------
+
+class TemplateCompilerTest : public ::testing::Test {
+ protected:
+  TemplateCompilerTest() {
+    std::string merged_src;
+    merged_src += samples::aes_encrypt();
+    merged_src += samples::montecarlo();
+    module_ = parse_module(merged_src);
+  }
+  PtxModule module_;
+};
+
+TEST_F(TemplateCompilerTest, EmitsReparsablePtx) {
+  auto tmpl = compile_template(
+      module_, {{"aes_encrypt", 15}, {"montecarlo", 45}}, "aes_mc_template");
+  EXPECT_EQ(tmpl.total_blocks, 60);
+  EXPECT_EQ(tmpl.slot_offset(0), 0);
+  EXPECT_EQ(tmpl.slot_offset(1), 15);
+  auto merged = parse_module(tmpl.ptx);
+  ASSERT_EQ(merged.kernels.size(), 1u);
+  EXPECT_EQ(merged.kernels[0].name, "aes_mc_template");
+}
+
+TEST_F(TemplateCompilerTest, MergedParamsAreNamespaced) {
+  auto tmpl = compile_template(
+      module_, {{"aes_encrypt", 3}, {"montecarlo", 2}}, "t");
+  auto merged = parse_module(tmpl.ptx);
+  const auto& k = merged.kernels[0];
+  // 3 aes params + 2 mc params, all prefixed.
+  ASSERT_EQ(k.params.size(), 5u);
+  EXPECT_EQ(k.params[0].name, "k0_in_ptr");
+  EXPECT_EQ(k.params[3].name, "k1_sums_ptr");
+}
+
+TEST_F(TemplateCompilerTest, MergedAnalysisIsSumOfConstituents) {
+  auto aes = analyze_kernel(module_, "aes_encrypt");
+  auto mc = analyze_kernel(module_, "montecarlo");
+  auto tmpl = compile_template(
+      module_, {{"aes_encrypt", 1}, {"montecarlo", 1}}, "t");
+  auto merged_mod = parse_module(tmpl.ptx);
+  auto merged = analyze_kernel(merged_mod, "t");
+
+  // The merged body contains both constituents (plus a small dispatch
+  // prologue of integer ops); loop structure must survive the renaming.
+  EXPECT_NEAR(merged.mix.sfu_insts, aes.mix.sfu_insts + mc.mix.sfu_insts,
+              1e-9);
+  EXPECT_NEAR(merged.mix.const_accesses,
+              aes.mix.const_accesses + mc.mix.const_accesses, 1e-9);
+  EXPECT_NEAR(merged.mix.sync_insts, aes.mix.sync_insts + mc.mix.sync_insts,
+              1e-9);
+  EXPECT_NEAR(merged.mix.uncoalesced_mem_insts,
+              aes.mix.uncoalesced_mem_insts + mc.mix.uncoalesced_mem_insts,
+              1e-9);
+  // Dispatch adds a handful of int ops but no more than ~10.
+  EXPECT_GE(merged.mix.int_insts, aes.mix.int_insts + mc.mix.int_insts);
+  EXPECT_LE(merged.mix.int_insts,
+            aes.mix.int_insts + mc.mix.int_insts + 12.0);
+  // Shared arenas merge without collision.
+  EXPECT_EQ(merged.shared_bytes_per_block,
+            aes.shared_bytes_per_block + mc.shared_bytes_per_block);
+}
+
+TEST_F(TemplateCompilerTest, DispatchChainCoversEverySlot) {
+  auto tmpl = compile_template(
+      module_, {{"aes_encrypt", 15}, {"montecarlo", 45}}, "t");
+  // Textual checks on the paper's "if-else control flow".
+  EXPECT_NE(tmpl.ptx.find("setp.lt.u32 %pdispatch0, %dispatch0, 15"),
+            std::string::npos);
+  EXPECT_NE(tmpl.ptx.find("setp.lt.u32 %pdispatch1, %dispatch0, 60"),
+            std::string::npos);
+  EXPECT_NE(tmpl.ptx.find("$section_k0"), std::string::npos);
+  EXPECT_NE(tmpl.ptx.find("$section_k1"), std::string::npos);
+  // Index rebasing for the second slot.
+  EXPECT_NE(tmpl.ptx.find("sub.u32 %dispatch2, %dispatch1, 15"),
+            std::string::npos);
+}
+
+TEST_F(TemplateCompilerTest, ValidatesInputs) {
+  EXPECT_THROW(compile_template(module_, {}, "t"), std::invalid_argument);
+  EXPECT_THROW(compile_template(module_, {{"nope", 1}}, "t"),
+               std::invalid_argument);
+  EXPECT_THROW(compile_template(module_, {{"aes_encrypt", 0}}, "t"),
+               std::invalid_argument);
+}
+
+// ---------------- loader ----------------
+
+TEST(PtxLoader, RegistersAllKernels) {
+  cudart::KernelRegistry registry;
+  std::string src;
+  src += samples::aes_encrypt();
+  src += samples::search();
+  auto names = ptx::load_module(registry, src);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_TRUE(registry.contains("aes_encrypt"));
+  EXPECT_TRUE(registry.contains("search"));
+}
+
+TEST(PtxLoader, LoadedKernelLaunchesThroughRuntime) {
+  cudart::KernelRegistry registry;
+  ptx::load_module(registry, samples::bitonic_sort());
+  gpusim::FluidEngine engine;
+  cudart::Runtime runtime(engine, &registry);
+  cudart::Context ctx("u", 1 << 20);
+  ASSERT_EQ(runtime.wcudaConfigureCall(ctx, {6, 1, 1}, {256, 1, 1}, 0),
+            cudart::wcudaError::kSuccess);
+  EXPECT_EQ(runtime.wcudaLaunch(ctx, "bitonic_sort"),
+            cudart::wcudaError::kSuccess);
+  EXPECT_GT(runtime.direct_stats().kernel_time.seconds(), 0.0);
+}
+
+TEST(PtxLoader, LaunchConfigShapesTheDescriptor) {
+  cudart::KernelRegistry registry;
+  ptx::load_module(registry, samples::search());
+  cudart::LaunchConfig cfg;
+  cfg.grid = {25, 1, 1};
+  cfg.block = {128, 1, 1};
+  cfg.valid = true;
+  auto desc = registry.instantiate("search", cfg, {});
+  EXPECT_EQ(desc.num_blocks, 25);
+  EXPECT_EQ(desc.threads_per_block, 128);
+}
+
+TEST(PtxLoader, MalformedSourceThrows) {
+  cudart::KernelRegistry registry;
+  EXPECT_THROW(ptx::load_module(registry, "this is not ptx"), PtxError);
+}
+
+TEST_F(TemplateCompilerTest, HomogeneousTemplateOfThreeInstances) {
+  auto tmpl = compile_template(module_,
+                               {{"aes_encrypt", 3},
+                                {"aes_encrypt", 3},
+                                {"aes_encrypt", 3}},
+                               "aes_x3");
+  auto merged = parse_module(tmpl.ptx);
+  auto a = analyze_kernel(merged, "aes_x3");
+  auto one = analyze_kernel(module_, "aes_encrypt");
+  EXPECT_NEAR(a.mix.const_accesses, 3.0 * one.mix.const_accesses, 1e-9);
+  EXPECT_EQ(tmpl.total_blocks, 9);
+}
+
+}  // namespace
+}  // namespace ewc::ptx

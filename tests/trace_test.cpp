@@ -1,0 +1,81 @@
+// Tests for the request-trace generator.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace ewc::trace {
+namespace {
+
+std::vector<MixEntry> default_mix() {
+  return {{"aes", 3.0}, {"sort", 1.0}};
+}
+
+TEST(Trace, ArrivalsAreMonotone) {
+  PoissonTraceGenerator gen(default_mix(), 10.0, 1);
+  auto reqs = gen.generate(200);
+  ASSERT_EQ(reqs.size(), 200u);
+  for (std::size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].arrival_seconds, reqs[i - 1].arrival_seconds);
+  }
+}
+
+TEST(Trace, RateMatchesMeanInterarrival) {
+  PoissonTraceGenerator gen(default_mix(), 5.0, 2);
+  auto reqs = gen.generate(5000);
+  const double span = reqs.back().arrival_seconds;
+  EXPECT_NEAR(5000.0 / span, 5.0, 0.25);
+}
+
+TEST(Trace, MixWeightsRespected) {
+  PoissonTraceGenerator gen(default_mix(), 1.0, 3);
+  auto reqs = gen.generate(4000);
+  int aes = 0;
+  for (const auto& r : reqs) aes += r.workload == "aes";
+  EXPECT_NEAR(static_cast<double>(aes) / 4000.0, 0.75, 0.03);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  PoissonTraceGenerator a(default_mix(), 2.0, 7), b(default_mix(), 2.0, 7);
+  auto ra = a.generate(50), rb = b.generate(50);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].arrival_seconds, rb[i].arrival_seconds);
+    EXPECT_EQ(ra[i].workload, rb[i].workload);
+  }
+}
+
+TEST(Trace, UserIdsUnique) {
+  PoissonTraceGenerator gen(default_mix(), 2.0, 9);
+  auto reqs = gen.generate(100);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].user_id, static_cast<int>(i));
+  }
+}
+
+TEST(Trace, GenerateUntilHorizon) {
+  PoissonTraceGenerator gen(default_mix(), 20.0, 11);
+  auto reqs = gen.generate_until(10.0);
+  EXPECT_GT(reqs.size(), 100u);
+  for (const auto& r : reqs) EXPECT_LT(r.arrival_seconds, 10.0);
+}
+
+TEST(Trace, ValidatesInputs) {
+  EXPECT_THROW(PoissonTraceGenerator({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(PoissonTraceGenerator(default_mix(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(PoissonTraceGenerator({{"a", -1.0}}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Trace, BatchingSplitsEvenly) {
+  PoissonTraceGenerator gen(default_mix(), 2.0, 13);
+  auto reqs = gen.generate(25);
+  auto batches = batch_workloads(reqs, 10);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 10u);
+  EXPECT_EQ(batches[2].size(), 5u);
+  EXPECT_THROW(batch_workloads(reqs, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ewc::trace

@@ -1,0 +1,227 @@
+// Tests for the analytics/data-services workload extensions:
+// k-means, SHA-256 and RLE compression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "cudart/registry.hpp"
+#include "gpusim/engine.hpp"
+#include "workloads/compression.hpp"
+#include "workloads/kmeans.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/sha256.hpp"
+
+namespace ewc::workloads {
+namespace {
+
+// ---------------- k-means ----------------
+
+TEST(Kmeans, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  common::Rng rng(5);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      points.push_back({c * 100.0 + rng.gaussian(0, 1.0),
+                        c * 100.0 + rng.gaussian(0, 1.0)});
+    }
+  }
+  auto r = kmeans_cluster(points, 3);
+  EXPECT_TRUE(r.converged);
+  // All points of a ground-truth cluster share one label.
+  for (int c = 0; c < 3; ++c) {
+    const int label = r.assignment[static_cast<std::size_t>(c * 40)];
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(r.assignment[static_cast<std::size_t>(c * 40 + i)], label);
+    }
+  }
+  // Centroids land near the cluster means.
+  std::vector<double> xs;
+  for (const auto& c : r.centroids) xs.push_back(c[0]);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[0], 0.0, 2.0);
+  EXPECT_NEAR(xs[1], 100.0, 2.0);
+  EXPECT_NEAR(xs[2], 200.0, 2.0);
+}
+
+TEST(Kmeans, KEqualsNAssignsEachPointItsOwnCluster) {
+  std::vector<std::vector<double>> points{{0.0}, {10.0}, {20.0}};
+  auto r = kmeans_cluster(points, 3);
+  std::set<int> labels(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(Kmeans, ValidatesInputs) {
+  std::vector<std::vector<double>> points{{1.0}, {2.0}};
+  EXPECT_THROW(kmeans_cluster({}, 1), std::invalid_argument);
+  EXPECT_THROW(kmeans_cluster(points, 0), std::invalid_argument);
+  EXPECT_THROW(kmeans_cluster(points, 3), std::invalid_argument);
+  std::vector<std::vector<double>> ragged{{1.0}, {2.0, 3.0}};
+  EXPECT_THROW(kmeans_cluster(ragged, 1), std::invalid_argument);
+  std::vector<std::vector<double>> dup{{1.0}, {1.0}};
+  EXPECT_THROW(kmeans_cluster(dup, 2), std::invalid_argument);
+}
+
+TEST(Kmeans, Deterministic) {
+  std::vector<std::vector<double>> points;
+  common::Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+  }
+  auto a = kmeans_cluster(points, 4);
+  auto b = kmeans_cluster(points, 4);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+}
+
+TEST(Kmeans, KernelDescShape) {
+  KmeansParams p;
+  auto k = kmeans_kernel_desc(p);
+  EXPECT_EQ(k.num_blocks, 64);  // 16384 / 256
+  EXPECT_GT(k.mix.fp_insts, k.mix.int_insts);  // distance FMAs dominate
+  EXPECT_GT(k.mix.shared_accesses, 0.0);       // centroids in shared memory
+  EXPECT_TRUE(k.block_fits_empty_sm(gpusim::DeviceConfig{}));
+}
+
+// ---------------- SHA-256 ----------------
+
+TEST(Sha256, Fips180KnownVectors) {
+  // NIST test vectors.
+  const std::string abc = "abc";
+  EXPECT_EQ(sha256_hex(std::span(
+                reinterpret_cast<const std::uint8_t*>(abc.data()), abc.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const std::string two_blocks =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(sha256_hex(std::span(
+                reinterpret_cast<const std::uint8_t*>(two_blocks.data()),
+                two_blocks.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56-byte padding split and the 64-byte block edge
+  // must not crash and must be distinct.
+  std::set<std::string> digests;
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    std::vector<std::uint8_t> data(len, 0x61);
+    digests.insert(sha256_hex(data));
+  }
+  EXPECT_EQ(digests.size(), 8u);
+}
+
+TEST(Sha256, AvalancheEffect) {
+  std::vector<std::uint8_t> a(100, 0x00), b(100, 0x00);
+  b[99] = 0x01;
+  const auto da = sha256(a), db = sha256(b);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    differing_bits += __builtin_popcount(da[i] ^ db[i]);
+  }
+  EXPECT_GT(differing_bits, 80);  // ~128 expected
+}
+
+TEST(Sha256, KernelIsIntegerBound) {
+  Sha256Params p;
+  auto k = sha256_kernel_desc(p);
+  EXPECT_GT(k.mix.int_insts, 100.0 * k.mix.mem_insts());
+  EXPECT_EQ(k.mix.sfu_insts, 0.0);
+  EXPECT_EQ(k.num_blocks, 32);  // 8192 messages / 256 threads
+}
+
+// ---------------- compression ----------------
+
+TEST(Compression, RoundTripsArbitraryData) {
+  common::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(rng.uniform_int(0, 4096)));
+    for (auto& b : data) {
+      // Mix runs and noise.
+      b = rng.uniform() < 0.5 ? 0xAA
+                              : static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    auto packed = rle_compress(data);
+    auto unpacked = rle_decompress(packed);
+    EXPECT_EQ(unpacked, data) << "trial " << trial;
+  }
+}
+
+TEST(Compression, CompressesRuns) {
+  std::vector<std::uint8_t> runs(10000, 0x7F);
+  auto packed = rle_compress(runs);
+  EXPECT_LT(packed.size(), runs.size() / 20);
+  EXPECT_EQ(rle_decompress(packed), runs);
+}
+
+TEST(Compression, HandlesIncompressibleData) {
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + (i >> 3));
+  }
+  auto packed = rle_compress(data);
+  EXPECT_LT(packed.size(), data.size() + data.size() / 64 + 8);
+  EXPECT_EQ(rle_decompress(packed), data);
+}
+
+TEST(Compression, RejectsCorruptStreams) {
+  // Literal control claiming more bytes than remain.
+  std::vector<std::uint8_t> bad{0x05, 0x01};
+  EXPECT_THROW(rle_decompress(bad), std::invalid_argument);
+  // Repeat control with no payload byte.
+  std::vector<std::uint8_t> bad2{0x80};
+  EXPECT_THROW(rle_decompress(bad2), std::invalid_argument);
+}
+
+TEST(Compression, KernelIsDivergent) {
+  CompressionParams p;
+  auto k = compression_kernel_desc(p);
+  EXPECT_EQ(k.num_blocks, 16);  // 256K / 16K chunks
+  EXPECT_GT(k.mix.uncoalesced_mem_insts, k.mix.coalesced_mem_insts);
+  EXPECT_GT(k.mix.sync_insts, 0.0);
+}
+
+// ---------------- registry integration ----------------
+
+TEST(Registry2, NewKernelsRegistered) {
+  cudart::KernelRegistry reg;
+  register_paper_kernels(reg);
+  for (const char* name : {"kmeans", "sha256", "compression"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+}
+
+TEST(Registry2, NewKernelsRunOnSimulator) {
+  cudart::KernelRegistry reg;
+  register_paper_kernels(reg);
+  gpusim::FluidEngine engine;
+  for (const char* name : {"kmeans", "sha256", "compression"}) {
+    cudart::LaunchConfig cfg;
+    auto desc = reg.instantiate(name, cfg, {});
+    gpusim::LaunchPlan plan;
+    plan.instances.push_back(gpusim::KernelInstance{desc, 0, ""});
+    auto run = engine.run(plan);
+    EXPECT_GT(run.kernel_time.seconds(), 0.0) << name;
+  }
+}
+
+TEST(Registry2, ArgsShapeDescriptors) {
+  cudart::KernelRegistry reg;
+  register_paper_kernels(reg);
+  Sha256Args args;
+  args.num_messages = 1024;
+  args.message_bytes = 64;
+  std::vector<std::byte> raw(sizeof args);
+  std::memcpy(raw.data(), &args, sizeof args);
+  cudart::LaunchConfig cfg;
+  auto k = reg.instantiate("sha256", cfg, raw);
+  EXPECT_EQ(k.num_blocks, 4);  // 1024 / 256
+  EXPECT_NEAR(k.h2d_bytes.bytes(), 1024.0 * 64.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ewc::workloads

@@ -1,0 +1,18 @@
+// ewcsim: command-line front end to the consolidation library.
+//
+//   ewcsim list
+//   ewcsim compare --workload encryption_12k=6
+//   ewcsim predict --workload t78_montecarlo
+//   ewcsim trace --requests 60 --rate 2 --threshold 10
+//   ewcsim ptx --sample blackscholes
+//   ewcsim timeline --workload encryption_12k=9 --csv timeline.csv
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ewc::cli::run_command(args, std::cout, std::cerr);
+}
