@@ -7,6 +7,8 @@
 // (penalty: 0 to 2x) and reports whether each conclusion survives.
 #include "bench/bench_common.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace {
 
 using namespace ewc;
@@ -95,9 +97,15 @@ int main() {
 
   common::TextTable t({"perturbation", "scenario1 harmful", "scenario2 wins",
                        "9x enc ~flat"});
-  for (const auto& c : cases) {
-    const auto v = evaluate(c.dev);
-    t.add_row({c.label, mark(v.scenario1_harmful),
+  // Each perturbation gets its own engine, so the sweep parallelizes
+  // cleanly; indexed results keep the printed order deterministic.
+  std::vector<Verdicts> verdicts(cases.size());
+  common::ThreadPool::shared().parallel_for(
+      0, cases.size(),
+      [&](std::size_t i) { verdicts[i] = evaluate(cases[i].dev); });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& v = verdicts[i];
+    t.add_row({cases[i].label, mark(v.scenario1_harmful),
                mark(v.scenario2_beneficial), mark(v.encryption_flat)});
   }
   std::cout << t << "\n";

@@ -7,6 +7,7 @@
 // energy — the knob's actual trade-off curve.
 #include "bench/bench_common.hpp"
 
+#include "common/thread_pool.hpp"
 #include "consolidate/queue_sim.hpp"
 #include "trace/trace.hpp"
 
@@ -33,14 +34,22 @@ int main() {
   common::TextTable t({"threshold", "batches", "mean latency (s)",
                        "p95 latency (s)", "makespan (s)", "energy (J)",
                        "J/request"});
-  for (int threshold : {1, 2, 5, 10, 20, 45}) {
-    consolidate::QueueSimOptions opt;
-    opt.batch_threshold = threshold;
-    opt.batch_timeout = common::Duration::from_seconds(60.0);
-    consolidate::QueueSimulator sim(h.engine, h.training.model, catalogue,
-                                    opt);
-    const auto r = sim.run(requests);
-    t.add_row({std::to_string(threshold), std::to_string(r.batches),
+  // Sweep points are independent replays: run them on the shared pool and
+  // collect per-index results so row order stays deterministic.
+  const std::vector<int> thresholds{1, 2, 5, 10, 20, 45};
+  std::vector<consolidate::QueueSimResult> results(thresholds.size());
+  common::ThreadPool::shared().parallel_for(
+      0, thresholds.size(), [&](std::size_t i) {
+        consolidate::QueueSimOptions opt;
+        opt.batch_threshold = thresholds[i];
+        opt.batch_timeout = common::Duration::from_seconds(60.0);
+        consolidate::QueueSimulator sim(h.engine, h.training.model, catalogue,
+                                        opt);
+        results[i] = sim.run(requests);
+      });
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({std::to_string(thresholds[i]), std::to_string(r.batches),
                bench::fmt(r.mean_latency_seconds, 1),
                bench::fmt(r.p95_latency_seconds, 1),
                bench::fmt(r.makespan.seconds(), 1),

@@ -1,11 +1,15 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "cli/args.hpp"
+#include "common/thread_pool.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "consolidate/queue_sim.hpp"
@@ -101,7 +105,9 @@ std::string main_usage() {
       "  predict    performance & power model predictions for a workload\n"
       "  trace      replay a Poisson request trace through the backend\n"
       "  ptx        statically analyze PTX into model inputs\n"
-      "  timeline   export a consolidated run's occupancy timeline\n";
+      "  timeline   export a consolidated run's occupancy timeline\n"
+      "  cache-stats  replay a trace cache-off vs cache-on and report\n"
+      "               hit/miss/eviction counts, speedup and output parity\n";
 }
 
 int cmd_list(const std::vector<std::string>& args, std::ostream& out) {
@@ -321,6 +327,98 @@ int cmd_timeline(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"requests", "number of requests (default 300)", false, false},
+      {"rate", "arrival rate, req/s (default 2.0)", false, false},
+      {"threshold", "batching threshold (default 10)", false, false},
+      {"timeout", "batch timeout seconds (default 30)", false, false},
+      {"seed", "trace RNG seed (default 2026)", false, false},
+      {"workload", "catalogue name, repeatable (default encryption_12k)",
+       false, true},
+      {"pool", "decision-engine worker threads (default 0 = off)", false,
+       false},
+  });
+  flags.parse(args);
+  const int requests = flags.get_int("requests", 300);
+  const double rate = flags.get_double("rate", 2.0);
+  if (requests < 1 || rate <= 0.0) {
+    throw ArgsError("--requests must be >= 1 and --rate > 0");
+  }
+  const int pool_threads = flags.get_int("pool", 0);
+  if (pool_threads < 0) throw ArgsError("--pool must be >= 0");
+
+  std::vector<trace::MixEntry> mix;
+  SpecMap catalogue;
+  auto names = flags.values("workload");
+  if (names.empty()) names.push_back("encryption_12k");
+  for (const auto& n : names) {
+    catalogue.emplace(n, find_spec(n));
+    mix.push_back({n, 1.0});
+  }
+
+  gpusim::FluidEngine engine;
+  power::ModelTrainer trainer(engine);
+  const auto training = trainer.train(workloads::rodinia_training_kernels());
+  trace::PoissonTraceGenerator gen(
+      mix, rate, static_cast<std::uint64_t>(flags.get_int("seed", 2026)));
+  const auto reqs = gen.generate(requests);
+
+  consolidate::QueueSimOptions opt;
+  opt.batch_threshold = flags.get_int("threshold", 10);
+  opt.batch_timeout =
+      common::Duration::from_seconds(flags.get_double("timeout", 30.0));
+  std::unique_ptr<common::ThreadPool> pool;
+  if (pool_threads > 0) {
+    pool = std::make_unique<common::ThreadPool>(
+        static_cast<std::size_t>(pool_threads));
+    opt.pool = pool.get();
+  }
+
+  auto replay = [&](bool cached) {
+    opt.enable_sim_cache = cached;
+    consolidate::QueueSimulator sim(engine, training.model, catalogue, opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = sim.run(reqs);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::make_pair(std::move(r),
+                          std::chrono::duration<double>(t1 - t0).count());
+  };
+  const auto [cold, cold_s] = replay(false);
+  const auto [warm, warm_s] = replay(true);
+
+  // A cache hit must be bit-identical to a fresh simulation, so the two
+  // replays have to agree on every outcome exactly.
+  bool identical = cold.outcomes.size() == warm.outcomes.size() &&
+                   cold.batches == warm.batches &&
+                   cold.makespan.seconds() == warm.makespan.seconds() &&
+                   cold.energy.joules() == warm.energy.joules();
+  for (std::size_t i = 0; identical && i < cold.outcomes.size(); ++i) {
+    const auto& a = cold.outcomes[i];
+    const auto& b = warm.outcomes[i];
+    identical = a.user_id == b.user_id && a.workload == b.workload &&
+                a.arrival_seconds == b.arrival_seconds &&
+                a.finish_seconds == b.finish_seconds;
+  }
+
+  auto row = [](const gpusim::CacheStats& s) {
+    std::ostringstream os;
+    os << s.hits << " hits / " << s.misses << " misses / " << s.evictions
+       << " evictions (hit rate " << s.hit_rate() << ")";
+    return os.str();
+  };
+  out << requests << " requests, threshold " << opt.batch_threshold
+      << ", pool " << pool_threads << ":\n"
+      << "  cache off:     " << cold_s << " s\n"
+      << "  cache on:      " << warm_s << " s ("
+      << (warm_s > 0.0 ? cold_s / warm_s : 0.0) << "x)\n"
+      << "  run cache:     " << row(warm.run_cache_stats) << "\n"
+      << "  predict cache: " << row(warm.predict_cache_stats) << "\n"
+      << "  outputs:       " << (identical ? "identical" : "DIVERGED")
+      << "\n";
+  return identical ? 0 : 1;
+}
+
 int run_command(const std::vector<std::string>& argv, std::ostream& out,
                 std::ostream& err) {
   if (argv.empty()) {
@@ -336,6 +434,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "trace") return cmd_trace(rest, out);
     if (command == "ptx") return cmd_ptx(rest, out);
     if (command == "timeline") return cmd_timeline(rest, out);
+    if (command == "cache-stats") return cmd_cache_stats(rest, out);
     if (command == "help" || command == "--help") {
       out << main_usage();
       return 0;

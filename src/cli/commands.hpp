@@ -10,6 +10,7 @@
 //   ewcsim trace    --requests 60 --rate 2 --threshold 10 [--seed N]
 //   ewcsim ptx      --sample blackscholes | --file kernel.ptx
 //   ewcsim timeline --workload encryption_12k=9 [--csv out.csv]
+//   ewcsim cache-stats --requests 300 [--workload name]... [--pool 4]
 #pragma once
 
 #include <iosfwd>
@@ -30,6 +31,7 @@ int cmd_predict(const std::vector<std::string>& args, std::ostream& out);
 int cmd_trace(const std::vector<std::string>& args, std::ostream& out);
 int cmd_ptx(const std::vector<std::string>& args, std::ostream& out);
 int cmd_timeline(const std::vector<std::string>& args, std::ostream& out);
+int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out);
 
 /// Top-level usage text.
 std::string main_usage();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace ewc::common {
@@ -36,33 +37,44 @@ double percentile(std::span<const double> xs, double p) {
 }
 
 double relative_error(double predicted, double measured) {
-  if (measured == 0.0) return 0.0;
+  if (measured == 0.0) {
+    // 0/0 is a perfect (if degenerate) prediction; anything else has no
+    // defined relative error — NaN, never a fake 0.
+    return predicted == 0.0 ? 0.0
+                            : std::numeric_limits<double>::quiet_NaN();
+  }
   return std::abs(predicted - measured) / std::abs(measured);
+}
+
+RelativeErrorSummary relative_error_summary(std::span<const double> predicted,
+                                            std::span<const double> measured) {
+  if (predicted.size() != measured.size()) {
+    throw std::invalid_argument("relative_error_summary: size mismatch");
+  }
+  RelativeErrorSummary out;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = relative_error(predicted[i], measured[i]);
+    if (std::isnan(e)) {
+      ++out.skipped;
+      continue;
+    }
+    ++out.counted;
+    sum += e;
+    out.max = std::max(out.max, e);
+  }
+  if (out.counted > 0) out.mean = sum / static_cast<double>(out.counted);
+  return out;
 }
 
 double mean_relative_error(std::span<const double> predicted,
                            std::span<const double> measured) {
-  if (predicted.size() != measured.size()) {
-    throw std::invalid_argument("mean_relative_error: size mismatch");
-  }
-  if (predicted.empty()) return 0.0;
-  double s = 0.0;
-  for (std::size_t i = 0; i < predicted.size(); ++i) {
-    s += relative_error(predicted[i], measured[i]);
-  }
-  return s / static_cast<double>(predicted.size());
+  return relative_error_summary(predicted, measured).mean;
 }
 
 double max_relative_error(std::span<const double> predicted,
                           std::span<const double> measured) {
-  if (predicted.size() != measured.size()) {
-    throw std::invalid_argument("max_relative_error: size mismatch");
-  }
-  double mx = 0.0;
-  for (std::size_t i = 0; i < predicted.size(); ++i) {
-    mx = std::max(mx, relative_error(predicted[i], measured[i]));
-  }
-  return mx;
+  return relative_error_summary(predicted, measured).max;
 }
 
 double correlation(std::span<const double> xs, std::span<const double> ys) {

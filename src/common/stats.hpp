@@ -16,14 +16,31 @@ double stddev(std::span<const double> xs);
 /// p-th percentile (0..100) by linear interpolation on the sorted copy.
 double percentile(std::span<const double> xs, double p);
 
-/// |predicted - measured| / measured. Returns 0 when measured == 0.
+/// |predicted - measured| / |measured|. A zero measurement cannot anchor a
+/// relative error: the result is 0 only when the prediction is also 0, and
+/// NaN otherwise (so a broken model can never report perfect accuracy).
 double relative_error(double predicted, double measured);
 
+/// Paired relative-error reduction that accounts for undefined pairs
+/// (measured == 0 with a nonzero prediction) instead of silently absorbing
+/// them into the average.
+struct RelativeErrorSummary {
+  double mean = 0.0;       ///< over the defined pairs only
+  double max = 0.0;        ///< over the defined pairs only
+  std::size_t counted = 0; ///< pairs with a defined relative error
+  std::size_t skipped = 0; ///< undefined pairs excluded from mean/max
+};
+RelativeErrorSummary relative_error_summary(std::span<const double> predicted,
+                                            std::span<const double> measured);
+
 /// Mean of relative errors over paired vectors (must be equal length).
+/// Undefined pairs (see relative_error) are skipped; use
+/// relative_error_summary to see how many were.
 double mean_relative_error(std::span<const double> predicted,
                            std::span<const double> measured);
 
-/// Max of relative errors over paired vectors (must be equal length).
+/// Max of relative errors over paired vectors (must be equal length),
+/// skipping undefined pairs like mean_relative_error.
 double max_relative_error(std::span<const double> predicted,
                           std::span<const double> measured);
 

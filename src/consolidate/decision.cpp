@@ -32,6 +32,36 @@ DecisionEngine::DecisionEngine(gpusim::DeviceConfig dev,
       cpu_cfg_(cpu_cfg),
       costs_(costs) {}
 
+void DecisionEngine::enable_prediction_cache(std::size_t capacity) {
+  cache_ = std::make_unique<gpusim::SimCache<GpuPrediction>>(capacity);
+  cache_key_prefix_ = gpusim::config_key_prefix(dev_);
+}
+
+void DecisionEngine::disable_prediction_cache() { cache_.reset(); }
+
+gpusim::CacheStats DecisionEngine::prediction_cache_stats() const {
+  return cache_ ? cache_->stats() : gpusim::CacheStats{};
+}
+
+DecisionEngine::GpuPrediction DecisionEngine::predict_gpu(
+    const gpusim::LaunchPlan& plan, std::string_view tag,
+    bool include_instance_ids) const {
+  gpusim::PlanSignature sig;
+  if (cache_) {
+    sig = gpusim::plan_signature_with_prefix(plan, cache_key_prefix_, tag,
+                                             include_instance_ids);
+    if (auto hit = cache_->get(sig)) return *hit;
+  }
+  GpuPrediction p;
+  const auto timing = perf_.predict(plan);
+  const auto pw = power_.predict(dev_, plan, timing);
+  p.time = timing.total_time;
+  p.energy = pw.system_energy;
+  p.type1 = timing.type == perf::ConsolidationType::kType1;
+  if (cache_) cache_->put(sig, p);
+  return p;
+}
+
 Duration DecisionEngine::overhead(
     const std::vector<gpusim::KernelInstance>& instances,
     const std::vector<std::size_t>& staged_bytes,
@@ -93,44 +123,41 @@ Decision DecisionEngine::decide(
   }
 
   Decision d;
+  AlternativeEstimate ea, eb, ec;
 
   // (a) consolidated GPU.
-  {
-    AlternativeEstimate e;
-    e.which = Alternative::kConsolidatedGpu;
-    const auto timing = perf_.predict(plan);
-    const auto pw = power_.predict(dev_, plan, timing);
-    e.time = timing.total_time + framework_overhead;
+  const auto eval_consolidated = [&] {
+    ea.which = Alternative::kConsolidatedGpu;
+    const auto p = predict_gpu(plan, "decide-consolidated",
+                               /*include_instance_ids=*/false);
+    ea.time = p.time + framework_overhead;
     // During the overhead window the node sits near idle (host-side copies).
-    e.energy = pw.system_energy + power_.idle_power() * framework_overhead;
-    e.note = timing.type == perf::ConsolidationType::kType1 ? "type-1" : "type-2";
-    d.estimates.push_back(e);
-  }
+    ea.energy = p.energy + power_.idle_power() * framework_overhead;
+    ea.note = p.type1 ? "type-1" : "type-2";
+  };
 
-  // (b) individual (serial) GPU execution.
-  {
-    AlternativeEstimate e;
-    e.which = Alternative::kIndividualGpu;
+  // (b) individual (serial) GPU execution. Each instance is predicted alone,
+  // so the memo entry for a kernel shape is shared across batch positions.
+  const auto eval_individual = [&] {
+    eb.which = Alternative::kIndividualGpu;
     Duration total = Duration::zero();
     Energy energy = Energy::zero();
     for (const auto& inst : plan.instances) {
       gpusim::LaunchPlan single;
       single.instances.push_back(inst);
-      const auto timing = perf_.predict(single);
-      const auto pw = power_.predict(dev_, single, timing);
-      total += timing.total_time;
-      energy += pw.system_energy;
+      const auto p = predict_gpu(single, "decide-single",
+                                 /*include_instance_ids=*/false);
+      total += p.time;
+      energy += p.energy;
     }
-    e.time = total;
-    e.energy = energy;
-    d.estimates.push_back(e);
-  }
+    eb.time = total;
+    eb.energy = energy;
+  };
 
   // (c) CPU, from the provided profiles (paper: "we assume that CPU
   // performance and energy profiles are available").
-  {
-    AlternativeEstimate e;
-    e.which = Alternative::kCpu;
+  const auto eval_cpu = [&] {
+    ec.which = Alternative::kCpu;
     std::vector<cpusim::CpuTask> tasks;
     bool have_all = true;
     for (const auto& p : cpu_profiles) {
@@ -143,14 +170,30 @@ Decision DecisionEngine::decide(
     if (have_all) {
       cpusim::CpuEngine cpu(cpu_cfg_);
       const auto run = cpu.run(tasks);
-      e.time = run.makespan;
-      e.energy = run.system_energy;
+      ec.time = run.makespan;
+      ec.energy = run.system_energy;
     } else {
-      e.feasible = false;
-      e.note = "missing CPU profile";
+      ec.feasible = false;
+      ec.note = "missing CPU profile";
     }
-    d.estimates.push_back(e);
+  };
+
+  if (pool_ != nullptr) {
+    // The GPU alternatives go to the pool; the CPU alternative runs here so
+    // the calling thread contributes instead of blocking immediately.
+    auto fa = pool_->submit(eval_consolidated);
+    auto fb = pool_->submit(eval_individual);
+    eval_cpu();
+    fa.get();
+    fb.get();
+  } else {
+    eval_consolidated();
+    eval_individual();
+    eval_cpu();
   }
+  d.estimates.push_back(std::move(ea));
+  d.estimates.push_back(std::move(eb));
+  d.estimates.push_back(std::move(ec));
 
   switch (policy) {
     case DecisionPolicy::kAlwaysConsolidate:

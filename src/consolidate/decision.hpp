@@ -10,12 +10,16 @@
 // chosen, mirroring the paper's "judicious consolidation" rule.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "cpusim/engine.hpp"
 #include "gpusim/kernel_desc.hpp"
+#include "gpusim/sim_cache.hpp"
 #include "perf/consolidation_model.hpp"
 #include "power/power_model.hpp"
 #include "consolidate/costs.hpp"
@@ -61,20 +65,53 @@ class DecisionEngine {
   /// Evaluate the three alternatives for a candidate consolidation. The CPU
   /// alternative needs per-instance CPU profiles; if any are missing the CPU
   /// path is reported infeasible.
+  ///
+  /// With a pool attached the GPU alternatives are evaluated concurrently
+  /// while the CPU alternative runs on the calling thread; the returned
+  /// estimates are in the same fixed order either way. Do not call decide()
+  /// from inside a task running on the attached pool.
   Decision decide(const gpusim::LaunchPlan& plan,
                   const std::vector<std::optional<cpusim::CpuTask>>& cpu_profiles,
                   Duration framework_overhead,
                   DecisionPolicy policy = DecisionPolicy::kModelBased) const;
 
+  /// Evaluate the two GPU alternatives on `pool` (nullptr = calling thread).
+  void set_pool(common::ThreadPool* pool) { pool_ = pool; }
+
+  /// Memoize GPU time/power predictions keyed by the canonical plan
+  /// signature. Framework overhead is applied *outside* the cache, and the
+  /// per-instance predictions of the serial alternative share entries across
+  /// batch positions (instance ids excluded from their keys). The power
+  /// model is fixed per engine, so it need not appear in the key.
+  void enable_prediction_cache(std::size_t capacity);
+  void disable_prediction_cache();
+  gpusim::CacheStats prediction_cache_stats() const;
+
   const perf::ConsolidationModel& perf_model() const { return perf_; }
   const power::GpuPowerModel& power_model() const { return power_; }
 
  private:
+  /// A pure (overhead-free) GPU prediction — the unit the cache stores.
+  struct GpuPrediction {
+    Duration time = Duration::zero();
+    Energy energy = Energy::zero();
+    bool type1 = false;
+  };
+
+  GpuPrediction predict_gpu(const gpusim::LaunchPlan& plan,
+                            std::string_view tag,
+                            bool include_instance_ids) const;
+
   gpusim::DeviceConfig dev_;
   perf::ConsolidationModel perf_;
   power::GpuPowerModel power_;
   cpusim::CpuConfig cpu_cfg_;
   FrameworkCosts costs_;
+  common::ThreadPool* pool_ = nullptr;
+  // SimCache is internally synchronized, so the const decide() path may
+  // populate it; mutable keeps that invisible to callers.
+  mutable std::unique_ptr<gpusim::SimCache<GpuPrediction>> cache_;
+  std::string cache_key_prefix_;  ///< device portion, encoded once
 };
 
 }  // namespace ewc::consolidate

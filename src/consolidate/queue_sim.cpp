@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/stats.hpp"
 #include "cpusim/engine.hpp"
+#include "trace/counters.hpp"
 
 namespace ewc::consolidate {
 
@@ -16,7 +18,16 @@ QueueSimulator::QueueSimulator(
       decision_(engine.device(), std::move(power_model), options.cpu_config,
                 options.costs),
       catalogue_(std::move(catalogue)),
-      options_(options) {}
+      options_(options) {
+  if (options_.enable_sim_cache) {
+    run_cache_ = std::make_unique<gpusim::RunResultCache>(
+        options_.sim_cache_capacity);
+    run_key_prefix_ = gpusim::config_key_prefix(engine_.device(),
+                                                &engine_.energy_config());
+    decision_.enable_prediction_cache(options_.sim_cache_capacity);
+  }
+  decision_.set_pool(options_.pool);
+}
 
 QueueSimResult QueueSimulator::run(
     const std::vector<trace::Request>& requests) const {
@@ -48,12 +59,11 @@ QueueSimResult QueueSimulator::run(
     }
     const bool filled =
         static_cast<int>(batch.size()) >= options_.batch_threshold;
-    // The batch triggers when it fills, when the timeout expires, or when
-    // the trace drains (flush).
-    double ready = filled ? batch.back().arrival_seconds
-                          : (next < requests.size()
-                                 ? deadline
-                                 : batch.back().arrival_seconds);
+    // The batch triggers when it fills or when the timeout expires. An
+    // under-filled batch always waits out the timeout: the runtime cannot
+    // know the trace has drained, so a flush at the last arrival would
+    // let the final batch jump its own deadline.
+    double ready = filled ? batch.back().arrival_seconds : deadline;
 
     // ---- build the launch plan + profiles ----
     gpusim::LaunchPlan plan;
@@ -86,17 +96,32 @@ QueueSimResult QueueSimulator::run(
         decision_.decide(plan, profiles, overhead, options_.policy);
 
     // ---- execute ----
+    // Same batch shapes recur constantly in a datacenter replay, and a cache
+    // hit is bit-identical to a fresh simulation (the key encodes every
+    // input exactly), so memoizing the FluidEngine runs only saves time.
+    const auto simulate = [&](std::string_view tag,
+                              auto&& fresh) -> gpusim::RunResult {
+      if (!run_cache_) return fresh();
+      const auto sig = gpusim::plan_signature_with_prefix(
+          plan, run_key_prefix_, tag, /*include_instance_ids=*/true);
+      if (auto hit = run_cache_->get(sig)) return *hit;
+      gpusim::RunResult fresh_run = fresh();
+      run_cache_->put(sig, fresh_run);
+      return fresh_run;
+    };
+
     double exec_seconds = 0.0;
     double exec_joules = 0.0;
     switch (decision.chosen) {
       case Alternative::kConsolidatedGpu: {
-        const auto run = engine_.run(plan);
+        const auto run = simulate("run", [&] { return engine_.run(plan); });
         exec_seconds = run.total_time.seconds();
         exec_joules = run.system_energy.joules();
         break;
       }
       case Alternative::kIndividualGpu: {
-        const auto run = engine_.run_serial(plan.instances);
+        const auto run = simulate(
+            "serial", [&] { return engine_.run_serial(plan.instances); });
         exec_seconds = run.total_time.seconds();
         exec_joules = run.system_energy.joules();
         break;
@@ -141,6 +166,22 @@ QueueSimResult QueueSimulator::run(
   }
   result.mean_latency_seconds = common::mean(latencies);
   result.p95_latency_seconds = common::percentile(latencies, 95.0);
+
+  if (run_cache_) result.run_cache_stats = run_cache_->stats();
+  result.predict_cache_stats = decision_.prediction_cache_stats();
+  auto& counters = trace::Counters::instance();
+  counters.set("queue_sim.run_cache.hits",
+               static_cast<double>(result.run_cache_stats.hits));
+  counters.set("queue_sim.run_cache.misses",
+               static_cast<double>(result.run_cache_stats.misses));
+  counters.set("queue_sim.run_cache.evictions",
+               static_cast<double>(result.run_cache_stats.evictions));
+  counters.set("queue_sim.predict_cache.hits",
+               static_cast<double>(result.predict_cache_stats.hits));
+  counters.set("queue_sim.predict_cache.misses",
+               static_cast<double>(result.predict_cache_stats.misses));
+  counters.set("queue_sim.predict_cache.evictions",
+               static_cast<double>(result.predict_cache_stats.evictions));
   return result;
 }
 

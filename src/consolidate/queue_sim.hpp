@@ -12,11 +12,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "consolidate/decision.hpp"
 #include "gpusim/engine.hpp"
+#include "gpusim/sim_cache.hpp"
 #include "trace/trace.hpp"
 #include "workloads/paper_configs.hpp"
 
@@ -30,6 +33,14 @@ struct QueueSimOptions {
   FrameworkCosts costs;
   Optimizations optimizations;
   cpusim::CpuConfig cpu_config;
+  /// Memoize FluidEngine runs (and the decision engine's predictions) per
+  /// batch shape. Hits are bit-identical to fresh simulations, so this only
+  /// changes wall-clock time, never results.
+  bool enable_sim_cache = true;
+  std::size_t sim_cache_capacity = 1024;
+  /// Optional pool for evaluating the decision alternatives concurrently;
+  /// nullptr keeps everything on the calling thread.
+  common::ThreadPool* pool = nullptr;
 };
 
 struct RequestOutcome {
@@ -47,6 +58,10 @@ struct QueueSimResult {
   int batches = 0;
   double mean_latency_seconds = 0.0;
   double p95_latency_seconds = 0.0;
+  /// FluidEngine run memoization over this replay (zeros when disabled).
+  gpusim::CacheStats run_cache_stats;
+  /// Decision-engine prediction memoization (zeros when disabled).
+  gpusim::CacheStats predict_cache_stats;
 };
 
 class QueueSimulator {
@@ -68,6 +83,9 @@ class QueueSimulator {
   DecisionEngine decision_;
   std::map<std::string, workloads::InstanceSpec> catalogue_;
   QueueSimOptions options_;
+  // const run() populates the cache; SimCache synchronizes internally.
+  mutable std::unique_ptr<gpusim::RunResultCache> run_cache_;
+  std::string run_key_prefix_;  ///< device+energy portion, encoded once
 };
 
 }  // namespace ewc::consolidate

@@ -118,6 +118,27 @@ bool fits(const DeviceConfig& dev, const SmState& sm, const KernelStatic& k) {
 FluidEngine::FluidEngine(DeviceConfig dev, EnergyConfig energy)
     : dev_(dev), energy_(energy) {}
 
+std::size_t FluidEngine::event_budget(std::size_t total_blocks) {
+  // Every loop iteration either (a) drives some block's demand (compute,
+  // stall or memory) to completion — each of the <= 3 nonzero demands of a
+  // block completes in at most 2 + kFpRetrySlack events, because the argmin
+  // drain leaves at worst an ulp-scale remainder that shrinks by a factor of
+  // ~2^52 per retry — or (b) is a zero-length dispatch round that retires
+  // at least one already-finished block (head-of-line blocking can force one
+  // such round per block). Hence:
+  //   events <= blocks * (kDemandsPerBlock * (2 + retries) + 1 dispatch
+  //             round) + slack
+  // with constant slack for the first wave and empty-plan edge cases. The
+  // old heuristic (6n + 64) sat exactly at the no-retry ceiling; this bound
+  // is strictly larger and justified term by term.
+  constexpr std::size_t kDemandsPerBlock = 3;
+  constexpr std::size_t kEventsPerDemand = 2 + 1;  // completion+retry+slack
+  constexpr std::size_t kDispatchRoundsPerBlock = 1;
+  return total_blocks *
+             (kDemandsPerBlock * kEventsPerDemand + kDispatchRoundsPerBlock) +
+         64;
+}
+
 RunResult FluidEngine::run(const LaunchPlan& plan) const {
   RunResult result;
   result.sm_stats.resize(static_cast<std::size_t>(dev_.num_sms));
@@ -265,12 +286,15 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
   double dram_util_integral = 0.0;
   double sm_util_integral = 0.0;
 
-  std::size_t max_events = 6 * blocks.size() + 64;
+  const std::size_t max_events = event_budget(blocks.size());
   std::size_t events = 0;
 
   while (resident_count > 0) {
     if (++events > max_events) {
-      throw std::runtime_error("FluidEngine: event budget exceeded (bug)");
+      throw std::runtime_error(
+          "FluidEngine: event budget exceeded (bug): " +
+          std::to_string(events) + " events for " +
+          std::to_string(blocks.size()) + " blocks");
     }
 
     // -- rates --

@@ -42,6 +42,11 @@ class FluidEngine {
   /// Execute instances back-to-back (the paper's "serial" GPU baseline).
   RunResult run_serial(const std::vector<KernelInstance>& instances) const;
 
+  /// Upper bound on fluid events a run over `total_blocks` blocks may need
+  /// (the runaway-loop guard). Derived, not heuristic — see the definition
+  /// for the event accounting.
+  static std::size_t event_budget(std::size_t total_blocks);
+
   const DeviceConfig& device() const { return dev_; }
   const EnergyConfig& energy_config() const { return energy_; }
 

@@ -52,6 +52,13 @@ void RunResult::append(const RunResult& next) {
     c.finish_time += offset;
     completions.push_back(c);
   }
+  // Occupancy samples are kernel-relative within one run; shift them by the
+  // accumulated offset, the same convention completions use, so the combined
+  // series reads as one timeline.
+  for (OccupancySample s : next.occupancy) {
+    s.time += offset;
+    occupancy.push_back(s);
+  }
 }
 
 }  // namespace ewc::gpusim

@@ -107,7 +107,10 @@ struct RunResult {
   /// Mean fraction of SM issue capacity consumed during kernel execution.
   double avg_sm_utilization = 0.0;
 
-  /// Merge a subsequent run (serial back-to-back execution).
+  /// Merge a subsequent run (serial back-to-back execution). Time-stamped
+  /// series (power segments, completions, occupancy samples) are
+  /// concatenated with the accumulated offset applied, so the combined
+  /// result reads as one timeline starting at the first run.
   void append(const RunResult& next);
 };
 

@@ -1,0 +1,37 @@
+#include "trace/counters.hpp"
+
+namespace ewc::trace {
+
+Counters& Counters::instance() {
+  // Leaked: published-to from arbitrary threads until process exit.
+  static Counters* c = new Counters();
+  return *c;
+}
+
+void Counters::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[name] = value;
+}
+
+void Counters::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[name] += delta;
+}
+
+double Counters::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> Counters::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+void Counters::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+}  // namespace ewc::trace

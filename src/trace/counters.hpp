@@ -1,0 +1,38 @@
+// Process-wide named counters for runtime observability.
+//
+// The caching/parallel layer (SimCache, ThreadPool, QueueSimulator,
+// DecisionEngine) publishes its statistics here under dotted names
+// ("queue_sim.run_cache.hits", "decision.pool.executed", ...), and reporting
+// surfaces — `ewcsim cache-stats`, the bench harnesses — read one coherent
+// snapshot instead of threading stats structs through every layer. Counters
+// are doubles: most are event counts, some are rates.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ewc::trace {
+
+class Counters {
+ public:
+  /// The process-wide registry.
+  static Counters& instance();
+
+  void set(const std::string& name, double value);
+  void add(const std::string& name, double delta);
+
+  /// 0.0 for counters never published.
+  double value(const std::string& name) const;
+
+  std::map<std::string, double> snapshot() const;
+
+  /// Forget everything (tests; the CLI before a measured run).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> values_;
+};
+
+}  // namespace ewc::trace

@@ -198,5 +198,24 @@ TEST(Commands, TraceReportsLatencies) {
   EXPECT_EQ(run_command({"trace", "--requests", "0"}, out2, err2), 2);
 }
 
+TEST(Commands, CacheStatsReportsParityAndCounters) {
+  // Exit code 0 certifies the cache-on replay matched cache-off exactly.
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command({"cache-stats", "--requests", "40", "--pool", "2"},
+                        out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("run cache:"), std::string::npos);
+  EXPECT_NE(out.str().find("predict cache:"), std::string::npos);
+  EXPECT_NE(out.str().find("identical"), std::string::npos);
+  EXPECT_EQ(out.str().find("DIVERGED"), std::string::npos);
+
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_command({"cache-stats", "--requests", "0"}, out2, err2), 2);
+  std::ostringstream out3, err3;
+  EXPECT_EQ(
+      run_command({"cache-stats", "--workload", "mystery"}, out3, err3), 2);
+}
+
 }  // namespace
 }  // namespace ewc::cli

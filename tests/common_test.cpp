@@ -185,7 +185,11 @@ TEST(Stats, PercentileInterpolates) {
 TEST(Stats, RelativeError) {
   EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
   EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
-  EXPECT_EQ(relative_error(5.0, 0.0), 0.0);
+  // A zero measurement cannot anchor a relative error: only the 0/0 case is
+  // a (perfect) prediction; everything else is undefined, not "0% error".
+  EXPECT_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isnan(relative_error(5.0, 0.0)));
+  EXPECT_TRUE(std::isnan(relative_error(-5.0, 0.0)));
 }
 
 TEST(Stats, MeanAndMaxRelativeError) {
@@ -193,6 +197,22 @@ TEST(Stats, MeanAndMaxRelativeError) {
   std::vector<double> meas{10.0, 10.0};
   EXPECT_NEAR(mean_relative_error(pred, meas), 0.1, 1e-12);
   EXPECT_NEAR(max_relative_error(pred, meas), 0.1, 1e-12);
+}
+
+TEST(Stats, RelativeErrorSummarySkipsAndCountsUndefinedPairs) {
+  // Pair 1 is a 10% miss, pair 2 is undefined (measured 0, predicted 5),
+  // pair 3 is a 50% miss. The undefined pair must be skipped and counted,
+  // not folded into the mean as a fake perfect prediction.
+  std::vector<double> pred{11.0, 5.0, 15.0};
+  std::vector<double> meas{10.0, 0.0, 10.0};
+  const RelativeErrorSummary s = relative_error_summary(pred, meas);
+  EXPECT_EQ(s.counted, 2u);
+  EXPECT_EQ(s.skipped, 1u);
+  EXPECT_NEAR(s.mean, 0.3, 1e-12);
+  EXPECT_NEAR(s.max, 0.5, 1e-12);
+  // mean/max delegate to the summary, so they skip the pair too.
+  EXPECT_NEAR(mean_relative_error(pred, meas), 0.3, 1e-12);
+  EXPECT_NEAR(max_relative_error(pred, meas), 0.5, 1e-12);
 }
 
 TEST(Stats, RelativeErrorSizeMismatchThrows) {

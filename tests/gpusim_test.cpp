@@ -365,6 +365,65 @@ TEST(Engine, MalformedKernelThrows) {
   EXPECT_THROW(engine.run(single(k)), std::invalid_argument);
 }
 
+TEST(Engine, EventBudgetIsDerivedAndMonotone) {
+  EXPECT_EQ(FluidEngine::event_budget(0), 64u);
+  EXPECT_GT(FluidEngine::event_budget(1), FluidEngine::event_budget(0));
+  EXPECT_LT(FluidEngine::event_budget(10), FluidEngine::event_budget(100));
+  // The derived bound strictly dominates the old 6n + 64 heuristic, so any
+  // plan the old guard admitted still runs.
+  for (std::size_t n : {1u, 10u, 1000u}) {
+    EXPECT_GT(FluidEngine::event_budget(n), 6u * n + 64u);
+  }
+}
+
+TEST(Engine, EventBudgetSurvivesAdversarialPlans) {
+  // Stress battery for the runaway-loop guard: shapes that maximize events
+  // per block (heterogeneous mixes, fat/thin head-of-line blocking, zero-work
+  // blocks, extreme magnitudes and near-ties). A spurious "event budget
+  // exceeded" throw is the regression this protects against.
+  FluidEngine engine;
+  auto run_ok = [&](LaunchPlan plan, const char* label) {
+    EXPECT_NO_THROW(engine.run(plan)) << label;
+  };
+
+  {
+    LaunchPlan plan;  // many tiny kernels with distinct mixes
+    for (int i = 0; i < 120; ++i) {
+      KernelDesc k = compute_kernel(1, 100.0 + 7.0 * i);
+      k.name = "tiny" + std::to_string(i);
+      k.mix.coalesced_mem_insts = 5.0 * (i % 11);
+      plan.instances.push_back(KernelInstance{k, i, ""});
+    }
+    run_ok(std::move(plan), "many tiny heterogeneous kernels");
+  }
+  {
+    LaunchPlan plan;  // one fat kernel behind a swarm of thin ones
+    plan.instances.push_back(KernelInstance{compute_kernel(60, 5.0e7), 0, ""});
+    for (int i = 1; i <= 40; ++i) {
+      plan.instances.push_back(KernelInstance{compute_kernel(1, 50.0), i, ""});
+    }
+    run_ok(std::move(plan), "fat/thin head-of-line blocking");
+  }
+  {
+    LaunchPlan plan;  // zero-work blocks only dispatch, never drain demand
+    KernelDesc idle = compute_kernel(40, 0.0);
+    idle.mix.int_insts = 0.0;
+    plan.instances.push_back(KernelInstance{idle, 0, ""});
+    plan.instances.push_back(KernelInstance{memory_kernel(20), 1, ""});
+    run_ok(std::move(plan), "zero-work blocks mixed with memory traffic");
+  }
+  {
+    LaunchPlan plan;  // extreme magnitudes and near-ties stress fp remainders
+    KernelDesc big = compute_kernel(30, 1.0e12);
+    big.mix.coalesced_mem_insts = 1.0e12;
+    KernelDesc close = compute_kernel(30, 1.0e12 * (1.0 + 1e-15));
+    close.name = "close";
+    plan.instances.push_back(KernelInstance{big, 0, ""});
+    plan.instances.push_back(KernelInstance{close, 1, ""});
+    run_ok(std::move(plan), "huge magnitudes with near-tied demands");
+  }
+}
+
 TEST(Engine, RunSerialSumsTimes) {
   FluidEngine engine;
   KernelDesc k = compute_kernel(10);
@@ -376,6 +435,33 @@ TEST(Engine, RunSerialSumsTimes) {
   EXPECT_NEAR(serial.system_energy.joules(), 2.0 * one.system_energy.joules(),
               1e-6);
   EXPECT_EQ(serial.completions.size(), 2u);
+}
+
+TEST(Engine, AppendConcatenatesOccupancyWithTimeOffset) {
+  // Regression: RunResult::append used to drop next.occupancy entirely, so
+  // a serial run's timeline ended after the first kernel.
+  FluidEngine engine;
+  KernelDesc k = compute_kernel(10);
+  std::vector<KernelInstance> insts{{k, 0, ""}, {k, 1, ""}};
+  RunResult serial = engine.run_serial(insts);
+  RunResult one = engine.run(single(k));
+  ASSERT_FALSE(one.occupancy.empty());
+  ASSERT_EQ(serial.occupancy.size(), 2u * one.occupancy.size());
+  // The second run's samples are the first run's, shifted by one full run.
+  const std::size_t n = one.occupancy.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& shifted = serial.occupancy[n + i];
+    EXPECT_NEAR(shifted.time.seconds(),
+                one.occupancy[i].time.seconds() + one.total_time.seconds(),
+                1e-12);
+    EXPECT_EQ(shifted.busy_sms, one.occupancy[i].busy_sms);
+    EXPECT_EQ(shifted.resident_blocks, one.occupancy[i].resident_blocks);
+  }
+  // Samples never run backwards on the combined timeline.
+  for (std::size_t i = 1; i < serial.occupancy.size(); ++i) {
+    EXPECT_GE(serial.occupancy[i].time.seconds(),
+              serial.occupancy[i - 1].time.seconds());
+  }
 }
 
 TEST(Engine, ConstantDataReuseShortensTransfers) {

@@ -3,6 +3,7 @@
 
 #include "consolidate/queue_sim.hpp"
 #include "gpusim/engine.hpp"
+#include "trace/counters.hpp"
 #include "perf/hong_kim.hpp"
 #include "power/trainer.hpp"
 #include "workloads/paper_configs.hpp"
@@ -191,6 +192,48 @@ TEST_F(QueueSimTest, TimeoutBoundsWaiting) {
   ASSERT_EQ(result.outcomes.size(), 2u);
   // First request executes at its 5 s deadline, not at t=100.
   EXPECT_LT(result.outcomes[0].latency_seconds(), 12.0);
+}
+
+TEST_F(QueueSimTest, DrainedTraceStillWaitsOutTheBatchTimeout) {
+  // Regression: an under-filled batch used to execute at its last arrival
+  // when the trace drained mid-window, letting the final batch jump its own
+  // timeout. A real runtime cannot see that no more requests are coming, so
+  // the flush must wait out the batch deadline like any other timeout.
+  consolidate::QueueSimOptions opt;
+  opt.batch_threshold = 100;  // never fills
+  opt.batch_timeout = common::Duration::from_seconds(5.0);
+  consolidate::QueueSimulator sim(*engine_, *model_, catalogue(), opt);
+  std::vector<trace::Request> reqs;
+  for (int i = 0; i < 3; ++i) {
+    trace::Request r;
+    r.arrival_seconds = 0.4 * i;  // trace ends mid-window at t = 0.8
+    r.workload = "encryption_12k";
+    r.user_id = i;
+    reqs.push_back(std::move(r));
+  }
+  auto result = sim.run(reqs);
+  ASSERT_EQ(result.batches, 1);
+  ASSERT_EQ(result.outcomes.size(), 3u);
+  // The batch executes at the 5 s deadline, not at the last arrival; every
+  // request's latency therefore includes the residual window.
+  for (const auto& o : result.outcomes) {
+    EXPECT_GE(o.finish_seconds, 5.0);
+  }
+  EXPECT_GE(result.outcomes.front().latency_seconds(), 5.0);
+}
+
+TEST_F(QueueSimTest, PublishesCacheCountersAfterARun) {
+  trace::Counters::instance().clear();
+  consolidate::QueueSimOptions opt;
+  opt.batch_threshold = 4;
+  consolidate::QueueSimulator sim(*engine_, *model_, catalogue(), opt);
+  auto result = sim.run(uniform_trace(12, 0.5));
+  const auto& counters = trace::Counters::instance();
+  const double hits = counters.value("queue_sim.predict_cache.hits");
+  const double misses = counters.value("queue_sim.predict_cache.misses");
+  EXPECT_EQ(hits, static_cast<double>(result.predict_cache_stats.hits));
+  EXPECT_EQ(misses, static_cast<double>(result.predict_cache_stats.misses));
+  EXPECT_GT(hits + misses, 0.0);
 }
 
 TEST_F(QueueSimTest, RejectsUnknownWorkloadAndUnsortedTrace) {
