@@ -1,6 +1,7 @@
 #include "cli/args.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <sstream>
 
 namespace ewc::cli {
@@ -78,6 +79,9 @@ int FlagParser::get_int(const std::string& name, int fallback) const {
   if (!v.has_value()) return fallback;
   int out = 0;
   auto res = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (res.ec == std::errc::result_out_of_range) {
+    throw ArgsError("--" + name + " value '" + *v + "' is out of range");
+  }
   if (res.ec != std::errc() || res.ptr != v->data() + v->size()) {
     throw ArgsError("--" + name + " expects an integer, got '" + *v + "'");
   }
@@ -92,9 +96,37 @@ double FlagParser::get_double(const std::string& name, double fallback) const {
     double out = std::stod(*v, &pos);
     if (pos != v->size()) throw std::invalid_argument("trailing");
     return out;
+  } catch (const std::out_of_range&) {
+    throw ArgsError("--" + name + " value '" + *v + "' is out of range");
   } catch (const std::exception&) {
     throw ArgsError("--" + name + " expects a number, got '" + *v + "'");
   }
+}
+
+int FlagParser::get_int_in(const std::string& name, int fallback, int min_value,
+                           int max_value) const {
+  const int out = get_int(name, fallback);
+  if (out < min_value || out > max_value) {
+    throw ArgsError("--" + name + " must be in [" + std::to_string(min_value) +
+                    ", " + std::to_string(max_value) + "], got " +
+                    std::to_string(out));
+  }
+  return out;
+}
+
+double FlagParser::get_double_in(const std::string& name, double fallback,
+                                 double min_value, double max_value) const {
+  const double out = get_double(name, fallback);
+  if (!std::isfinite(out)) {
+    throw ArgsError("--" + name + " must be finite");
+  }
+  if (out < min_value || out > max_value) {
+    std::ostringstream os;
+    os << "--" << name << " must be in [" << min_value << ", " << max_value
+       << "], got " << out;
+    throw ArgsError(os.str());
+  }
+  return out;
 }
 
 bool FlagParser::get_bool(const std::string& name) const { return has(name); }

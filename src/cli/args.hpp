@@ -43,8 +43,17 @@ class FlagParser {
 
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
+  /// Numeric accessors reject trailing garbage ("--rate=2x") and values the
+  /// type cannot represent, naming the offending flag in the error.
   int get_int(const std::string& name, int fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  /// Range-checked variants: the parsed value (and the fallback's domain)
+  /// must lie in [min_value, max_value]. get_double_in additionally rejects
+  /// non-finite values (nan/inf never make a valid rate or timeout).
+  int get_int_in(const std::string& name, int fallback, int min_value,
+                 int max_value) const;
+  double get_double_in(const std::string& name, double fallback,
+                       double min_value, double max_value) const;
   bool get_bool(const std::string& name) const;
 
   const std::vector<std::string>& positional() const { return positional_; }

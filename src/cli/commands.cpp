@@ -1,11 +1,17 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
 #include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "cli/args.hpp"
@@ -14,6 +20,7 @@
 #include "common/table.hpp"
 #include "consolidate/queue_sim.hpp"
 #include "consolidate/runner.hpp"
+#include "cudart/runtime.hpp"
 #include "gpusim/engine.hpp"
 #include "perf/consolidation_model.hpp"
 #include "perf/hong_kim.hpp"
@@ -21,6 +28,9 @@
 #include "ptx/analyzer.hpp"
 #include "ptx/parser.hpp"
 #include "ptx/samples.hpp"
+#include "server/client.hpp"
+#include "server/remote_frontend.hpp"
+#include "server/server.hpp"
 #include "trace/trace.hpp"
 #include "workloads/paper_configs.hpp"
 #include "workloads/rodinia_like.hpp"
@@ -80,6 +90,28 @@ std::vector<consolidate::WorkloadMix> parse_mix(const FlagParser& flags) {
   return mix;
 }
 
+std::string padded_owner(const std::string& name, int idx) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "#%04d", idx);
+  return name + buf;
+}
+
+/// Bit-exact text form of a double (IEEE-754 bits, little-endian hex), so
+/// test harnesses can compare results across processes without rounding.
+std::string f64_bits(double v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+server::Server* g_serve_instance = nullptr;
+
+void serve_signal_handler(int) {
+  // Async-signal-safe: notify_stop only writes one byte to a self-pipe.
+  if (g_serve_instance != nullptr) g_serve_instance->notify_stop();
+}
+
 std::string ptx_sample(const std::string& name) {
   if (name == "aes_encrypt") return std::string(ptx::samples::aes_encrypt());
   if (name == "bitonic_sort") return std::string(ptx::samples::bitonic_sort());
@@ -107,7 +139,9 @@ std::string main_usage() {
       "  ptx        statically analyze PTX into model inputs\n"
       "  timeline   export a consolidated run's occupancy timeline\n"
       "  cache-stats  replay a trace cache-off vs cache-on and report\n"
-      "               hit/miss/eviction counts, speedup and output parity\n";
+      "               hit/miss/eviction counts, speedup and output parity\n"
+      "  serve      run the consolidation daemon on a UNIX socket (ewcd)\n"
+      "  client     launch workloads against a running ewcd daemon\n";
 }
 
 int cmd_list(const std::vector<std::string>& args, std::ostream& out) {
@@ -168,8 +202,7 @@ int cmd_predict(const std::vector<std::string>& args, std::ostream& out) {
   const auto name = flags.value("workload");
   if (!name.has_value()) throw ArgsError("--workload is required");
   const auto& spec = find_spec(*name);
-  const int count = flags.get_int("count", 1);
-  if (count < 1) throw ArgsError("--count must be >= 1");
+  const int count = flags.get_int_in("count", 1, 1, 1 << 20);
 
   gpusim::FluidEngine engine;
   gpusim::LaunchPlan plan;
@@ -215,11 +248,8 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
       {"seed", "trace RNG seed (default 2026)", false, false},
   });
   flags.parse(args);
-  const int requests = flags.get_int("requests", 60);
-  const double rate = flags.get_double("rate", 2.0);
-  if (requests < 1 || rate <= 0.0) {
-    throw ArgsError("--requests must be >= 1 and --rate > 0");
-  }
+  const int requests = flags.get_int_in("requests", 60, 1, 1 << 24);
+  const double rate = flags.get_double_in("rate", 2.0, 1e-9, 1e9);
 
   gpusim::FluidEngine engine;
   power::ModelTrainer trainer(engine);
@@ -238,9 +268,9 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
   const auto reqs = gen.generate(requests);
 
   consolidate::QueueSimOptions opt;
-  opt.batch_threshold = flags.get_int("threshold", 10);
-  opt.batch_timeout =
-      common::Duration::from_seconds(flags.get_double("timeout", 30.0));
+  opt.batch_threshold = flags.get_int_in("threshold", 10, 1, 1 << 20);
+  opt.batch_timeout = common::Duration::from_seconds(
+      flags.get_double_in("timeout", 30.0, 0.0, 1e9));
   consolidate::QueueSimulator sim(engine, training.model, catalogue, opt);
   const auto r = sim.run(reqs);
 
@@ -340,13 +370,9 @@ int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out) {
        false},
   });
   flags.parse(args);
-  const int requests = flags.get_int("requests", 300);
-  const double rate = flags.get_double("rate", 2.0);
-  if (requests < 1 || rate <= 0.0) {
-    throw ArgsError("--requests must be >= 1 and --rate > 0");
-  }
-  const int pool_threads = flags.get_int("pool", 0);
-  if (pool_threads < 0) throw ArgsError("--pool must be >= 0");
+  const int requests = flags.get_int_in("requests", 300, 1, 1 << 24);
+  const double rate = flags.get_double_in("rate", 2.0, 1e-9, 1e9);
+  const int pool_threads = flags.get_int_in("pool", 0, 0, 1024);
 
   std::vector<trace::MixEntry> mix;
   SpecMap catalogue;
@@ -365,9 +391,9 @@ int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out) {
   const auto reqs = gen.generate(requests);
 
   consolidate::QueueSimOptions opt;
-  opt.batch_threshold = flags.get_int("threshold", 10);
-  opt.batch_timeout =
-      common::Duration::from_seconds(flags.get_double("timeout", 30.0));
+  opt.batch_threshold = flags.get_int_in("threshold", 10, 1, 1 << 20);
+  opt.batch_timeout = common::Duration::from_seconds(
+      flags.get_double_in("timeout", 30.0, 0.0, 1e9));
   std::unique_ptr<common::ThreadPool> pool;
   if (pool_threads > 0) {
     pool = std::make_unique<common::ThreadPool>(
@@ -419,6 +445,237 @@ int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out) {
   return identical ? 0 : 1;
 }
 
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"socket", "UNIX socket path to listen on", false, false},
+      {"workload", "name[=count] the daemon will serve, repeatable", false,
+       true},
+      {"threshold", "batch threshold (default: sum of workload counts)", false,
+       false},
+      {"max-clients", "concurrent client connections (default 64)", false,
+       false},
+      {"inflight", "per-client unanswered-launch limit (default 64)", false,
+       false},
+      {"deadline", "per-request real-time deadline, s (default 0 = off)",
+       false, false},
+      {"drain-timeout", "drain flush budget, s (default 10)", false, false},
+  });
+  flags.parse(args);
+  const auto socket_path = flags.value("socket");
+  if (!socket_path.has_value()) throw ArgsError("--socket is required");
+  const auto mix = parse_mix(flags);
+  int total = 0;
+  for (const auto& m : mix) total += m.count;
+
+  gpusim::FluidEngine engine;
+  power::ModelTrainer trainer(engine);
+  const auto training = trainer.train(workloads::rodinia_training_kernels());
+
+  // Same backend recipe as ExperimentRunner::run_dynamic, so a mix served
+  // over the socket is bit-identical to the in-process experiment.
+  consolidate::BackendOptions options;
+  options.batch_threshold =
+      flags.get_int_in("threshold", total, 1, 1 << 20);
+  consolidate::TemplateRegistry templates =
+      consolidate::TemplateRegistry::paper_defaults();
+  {
+    consolidate::ConsolidationTemplate t;
+    t.name = "experiment_mix";
+    for (const auto& m : mix) t.kernels.insert(m.spec.gpu.name);
+    templates.add(std::move(t));
+  }
+  consolidate::Backend backend(engine, training.model, std::move(templates),
+                               options);
+  for (const auto& m : mix) {
+    backend.set_cpu_profile(m.spec.gpu.name, m.spec.cpu);
+  }
+
+  server::ServerOptions sopt;
+  sopt.socket_path = *socket_path;
+  sopt.max_clients = flags.get_int_in("max-clients", 64, 1, 4096);
+  sopt.inflight_limit = flags.get_int_in("inflight", 64, 1, 1 << 20);
+  sopt.request_deadline = common::Duration::from_seconds(
+      flags.get_double_in("deadline", 0.0, 0.0, 86400.0));
+  sopt.drain_timeout = common::Duration::from_seconds(
+      flags.get_double_in("drain-timeout", 10.0, 0.1, 86400.0));
+
+  server::Server server(backend, sopt);
+  std::string error;
+  if (!server.start(&error)) {
+    throw ArgsError("cannot start server: " + error);
+  }
+  g_serve_instance = &server;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+
+  out << "ewcd listening on " << *socket_path << " (threshold "
+      << options.batch_threshold << ", " << total << " expected instances)\n";
+  out.flush();
+  server.wait();
+  g_serve_instance = nullptr;
+
+  // Bit-exact batch reports, one line each, for cross-process comparison.
+  for (const auto& r : backend.reports()) {
+    out << "REPORT n=" << r.num_instances << " tmpl="
+        << (r.template_found ? r.template_name : std::string("-"))
+        << " executed=" << static_cast<int>(r.executed)
+        << " launches=" << r.consolidated_launches
+        << " overhead=" << f64_bits(r.overhead.seconds())
+        << " exec=" << f64_bits(r.execution_time.seconds())
+        << " total=" << f64_bits(r.total_time.seconds())
+        << " energy=" << f64_bits(r.energy.joules()) << " kernels=";
+    for (std::size_t i = 0; i < r.kernel_names.size(); ++i) {
+      out << (i ? "," : "") << r.kernel_names[i];
+    }
+    out << "\n";
+  }
+  out << "TOTAL time=" << f64_bits(backend.total_time().seconds())
+      << " energy=" << f64_bits(backend.total_energy().joules()) << "\n";
+  backend.shutdown();
+  out << "ewcd drained, exiting\n";
+  return 0;
+}
+
+int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"socket", "UNIX socket path of the daemon", false, false},
+      {"workload", "name[=count] to launch, repeatable", false, true},
+      {"slot-base", "first global slot index for owner naming (default 0)",
+       false, false},
+      {"timeout", "reply wait budget per launch, s (default 300)", false,
+       false},
+      {"connect-timeout", "daemon connect budget, s (default 10)", false,
+       false},
+      {"flush", "ask the daemon to flush after the launches", true, false},
+      {"shutdown", "ask the daemon to drain and exit afterwards", true, false},
+  });
+  flags.parse(args);
+  const auto socket_path = flags.value("socket");
+  if (!socket_path.has_value()) throw ArgsError("--socket is required");
+  const auto mix = parse_mix(flags);
+  const int slot_base = flags.get_int_in("slot-base", 0, 0, 1 << 20);
+  const auto reply_timeout = common::Duration::from_seconds(
+      flags.get_double_in("timeout", 300.0, 0.1, 86400.0));
+  const auto connect_timeout = common::Duration::from_seconds(
+      flags.get_double_in("connect-timeout", 10.0, 0.1, 3600.0));
+
+  // Same registry recipe as run_dynamic: one "precompiled" kernel per spec.
+  cudart::KernelRegistry registry;
+  int total = 0;
+  for (const auto& m : mix) {
+    const gpusim::KernelDesc desc = m.spec.gpu;
+    registry.register_kernel(
+        "spec:" + m.spec.name,
+        [desc](const cudart::LaunchConfig&, std::span<const std::byte>) {
+          return desc;
+        });
+    total += m.count;
+  }
+
+  std::string error;
+  auto conn = server::ClientConnection::connect(
+      *socket_path, "client@" + std::to_string(slot_base), connect_timeout,
+      &error);
+  if (conn == nullptr) throw ArgsError("cannot connect: " + error);
+
+  // The direct (unintercepted) runtime path needs an engine; with the
+  // RemoteFrontend installed every call goes to the daemon instead.
+  gpusim::FluidEngine engine;
+  cudart::Runtime runtime(engine, &registry);
+
+  // One app thread per instance, mirroring ExperimentRunner::run_dynamic.
+  struct InstanceResult {
+    std::string owner;
+    cudart::wcudaError status = cudart::wcudaError::kSuccess;
+    consolidate::CompletionReply reply;
+  };
+  std::vector<InstanceResult> results(static_cast<std::size_t>(total));
+  std::vector<std::thread> apps;
+  int idx = 0;
+  for (const auto& m : mix) {
+    for (int i = 0; i < m.count; ++i, ++idx) {
+      const int slot = idx;
+      const auto spec = m.spec;
+      apps.emplace_back([&, spec, slot] {
+        auto& res = results[static_cast<std::size_t>(slot)];
+        cudart::Context ctx(padded_owner(spec.name, slot_base + slot),
+                            512u << 20);
+        res.owner = ctx.owner();
+        server::RemoteFrontend frontend(*conn, ctx.owner(), &registry,
+                                        reply_timeout);
+        ctx.set_interceptor(&frontend);
+
+        auto fail = [&](cudart::wcudaError e) { res.status = e; };
+
+        const std::size_t in_bytes = std::max<std::size_t>(
+            16, static_cast<std::size_t>(spec.gpu.h2d_bytes.bytes()));
+        const std::size_t out_bytes = std::max<std::size_t>(
+            16, static_cast<std::size_t>(spec.gpu.d2h_bytes.bytes()));
+        std::vector<std::uint8_t> input(in_bytes, 0xAB);
+        std::vector<std::uint8_t> output(out_bytes, 0);
+
+        void* dev = nullptr;
+        auto e = runtime.wcudaMalloc(ctx, &dev, std::max(in_bytes, out_bytes));
+        if (e != cudart::wcudaError::kSuccess) return fail(e);
+        e = runtime.wcudaMemcpy(ctx, dev, input.data(), in_bytes,
+                                cudart::MemcpyKind::kHostToDevice);
+        if (e != cudart::wcudaError::kSuccess) return fail(e);
+        e = runtime.wcudaConfigureCall(
+            ctx, cudart::Dim3{static_cast<unsigned>(spec.gpu.num_blocks), 1, 1},
+            cudart::Dim3{static_cast<unsigned>(spec.gpu.threads_per_block), 1,
+                         1},
+            0);
+        if (e != cudart::wcudaError::kSuccess) return fail(e);
+        const std::uint64_t token =
+            static_cast<std::uint64_t>(slot_base + slot);
+        e = runtime.wcudaSetupArgument(ctx, &token, sizeof token, 0);
+        if (e != cudart::wcudaError::kSuccess) return fail(e);
+        e = runtime.wcudaLaunch(ctx, "spec:" + spec.name);
+        res.reply = frontend.last_completion();
+        if (e != cudart::wcudaError::kSuccess) return fail(e);
+        e = runtime.wcudaMemcpy(ctx, output.data(), dev, out_bytes,
+                                cudart::MemcpyKind::kDeviceToHost);
+        if (e != cudart::wcudaError::kSuccess) return fail(e);
+        runtime.wcudaFree(ctx, dev);
+      });
+    }
+  }
+  for (auto& t : apps) t.join();
+
+  bool flushed_ok = true;
+  if (flags.get_bool("flush")) {
+    flushed_ok = conn->flush(reply_timeout);
+    out << "FLUSH " << (flushed_ok ? "ok" : "FAILED") << "\n";
+  }
+
+  // One parseable line per instance: bit-exact finish time + placement.
+  std::sort(results.begin(), results.end(),
+            [](const InstanceResult& a, const InstanceResult& b) {
+              return a.owner < b.owner;
+            });
+  bool all_ok = flushed_ok;
+  for (const auto& r : results) {
+    const bool ok =
+        r.status == cudart::wcudaError::kSuccess && r.reply.ok;
+    all_ok = all_ok && ok;
+    out << "REPLY owner=" << r.owner << " ok=" << (ok ? 1 : 0)
+        << " where=" << static_cast<int>(r.reply.where)
+        << " finish=" << f64_bits(r.reply.finish_time.seconds());
+    if (!ok) {
+      out << " error="
+          << (r.reply.error.empty() ? cudart::error_name(r.status)
+                                    : r.reply.error);
+    }
+    out << "\n";
+  }
+
+  if (flags.get_bool("shutdown")) {
+    out << "SHUTDOWN " << (conn->request_shutdown() ? "sent" : "FAILED")
+        << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
 int run_command(const std::vector<std::string>& argv, std::ostream& out,
                 std::ostream& err) {
   if (argv.empty()) {
@@ -435,6 +692,8 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "ptx") return cmd_ptx(rest, out);
     if (command == "timeline") return cmd_timeline(rest, out);
     if (command == "cache-stats") return cmd_cache_stats(rest, out);
+    if (command == "serve") return cmd_serve(rest, out);
+    if (command == "client") return cmd_client(rest, out);
     if (command == "help" || command == "--help") {
       out << main_usage();
       return 0;

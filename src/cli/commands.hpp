@@ -11,6 +11,9 @@
 //   ewcsim ptx      --sample blackscholes | --file kernel.ptx
 //   ewcsim timeline --workload encryption_12k=9 [--csv out.csv]
 //   ewcsim cache-stats --requests 300 [--workload name]... [--pool 4]
+//   ewcsim serve    --socket /tmp/ewcd.sock --workload encryption_12k=6 ...
+//   ewcsim client   --socket /tmp/ewcd.sock --workload encryption_12k=3
+//                   [--slot-base 0] [--flush] [--shutdown]
 #pragma once
 
 #include <iosfwd>
@@ -32,6 +35,8 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out);
 int cmd_ptx(const std::vector<std::string>& args, std::ostream& out);
 int cmd_timeline(const std::vector<std::string>& args, std::ostream& out);
 int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out);
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out);
+int cmd_client(const std::vector<std::string>& args, std::ostream& out);
 
 /// Top-level usage text.
 std::string main_usage();

@@ -6,11 +6,14 @@
 // messages and lets frontends observe shutdown instead of blocking forever.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/units.hpp"
 
 namespace ewc::common {
 
@@ -36,6 +39,25 @@ class Channel {
   std::optional<T> receive() {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Timed receive: block up to `timeout` (real wall-clock time) for a
+  /// message. Returns nullopt on timeout or when the channel is closed and
+  /// drained; a non-finite timeout waits indefinitely like receive().
+  std::optional<T> receive_for(Duration timeout) {
+    std::unique_lock lock(mu_);
+    const auto ready = [&] { return !queue_.empty() || closed_; };
+    if (!timeout.is_finite()) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_for(
+                   lock, std::chrono::duration<double>(timeout.seconds()),
+                   ready)) {
+      return std::nullopt;
+    }
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();

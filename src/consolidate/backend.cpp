@@ -68,7 +68,14 @@ void Backend::run_loop() {
   std::vector<LaunchRequest> pending;
   for (;;) {
     auto msg = channel_.receive();
-    if (!msg.has_value()) break;  // closed and drained
+    if (!msg.has_value()) {
+      // Closed and drained without a ShutdownRequest (a crashing producer, a
+      // test tearing the channel down). The pending requests will never
+      // execute; answer their reply channels instead of leaving the owning
+      // frontends blocked forever.
+      fail_pending(pending, "backend channel closed before batch executed");
+      break;
+    }
     if (std::holds_alternative<ShutdownRequest>(*msg)) {
       if (!pending.empty()) process_batch(pending);
       break;
@@ -83,6 +90,19 @@ void Backend::run_loop() {
       process_batch(pending);
     }
   }
+}
+
+void Backend::fail_pending(std::vector<LaunchRequest>& pending,
+                           const std::string& error) {
+  for (auto& req : pending) {
+    if (!req.reply) continue;
+    CompletionReply reply;
+    reply.ok = false;
+    reply.error = error;
+    reply.request_id = req.request_id;
+    req.reply->send(std::move(reply));
+  }
+  pending.clear();
 }
 
 void Backend::process_batch(std::vector<LaunchRequest>& batch) {
@@ -297,6 +317,7 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
       replies[i].ok = false;
       replies[i].error = "instance completion not recorded";
     }
+    replies[i].request_id = batch[i].request_id;
     if (batch[i].reply) batch[i].reply->send(replies[i]);
   }
   batch.clear();

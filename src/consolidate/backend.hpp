@@ -94,6 +94,10 @@ class Backend {
 
  private:
   void run_loop();
+  /// Answer every request's reply channel with an error (requests that will
+  /// never execute, e.g. when the channel closes under a non-empty batch).
+  static void fail_pending(std::vector<LaunchRequest>& pending,
+                           const std::string& error);
   void process_batch(std::vector<LaunchRequest>& batch);
   /// Execute one template-covered candidate group (or an uncovered rest).
   void process_group(std::vector<LaunchRequest>& group,

@@ -7,6 +7,7 @@
 // API arguments anyway) plus the accounting the overhead model needs.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <variant>
@@ -22,6 +23,9 @@ namespace ewc::consolidate {
 struct CompletionReply {
   bool ok = false;
   std::string error;
+  /// Echo of LaunchRequest::request_id, so transports that multiplex many
+  /// launches over one reply channel (the ewcd socket server) can correlate.
+  std::uint64_t request_id = 0;
   /// Simulated wall time from batch start to this instance's completion.
   common::Duration finish_time = common::Duration::zero();
   /// Where the instance actually ran.
@@ -34,6 +38,10 @@ using ReplyChannel = common::Channel<CompletionReply>;
 /// A kernel launch intercepted by a frontend.
 struct LaunchRequest {
   std::string owner;
+  /// Transport-level correlation id, echoed into the CompletionReply. The
+  /// in-process Frontend leaves it 0 (its reply channel carries one launch
+  /// at a time); the socket server assigns per-connection unique ids.
+  std::uint64_t request_id = 0;
   gpusim::KernelDesc desc;
   /// Bytes the frontend staged through the backend buffer for this launch.
   std::size_t staged_bytes = 0;

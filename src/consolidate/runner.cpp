@@ -68,8 +68,8 @@ SetupResult ExperimentRunner::run_manual(
 }
 
 SetupResult ExperimentRunner::run_dynamic(
-    const std::vector<WorkloadMix>& mix,
-    std::vector<BatchReport>* reports) const {
+    const std::vector<WorkloadMix>& mix, std::vector<BatchReport>* reports,
+    std::map<std::string, CompletionReply>* completions) const {
   // Register one "precompiled" kernel per spec so the calibrated descriptor
   // flows through the real API path.
   cudart::KernelRegistry registry;
@@ -108,6 +108,7 @@ SetupResult ExperimentRunner::run_dynamic(
   std::vector<std::thread> apps;
   std::vector<cudart::wcudaError> status(static_cast<std::size_t>(total),
                                          cudart::wcudaError::kSuccess);
+  std::mutex completions_mu;
   int idx = 0;
   for (const auto& m : mix) {
     for (int i = 0; i < m.count; ++i, ++idx) {
@@ -147,6 +148,10 @@ SetupResult ExperimentRunner::run_dynamic(
                                 cudart::MemcpyKind::kDeviceToHost);
         if (e != cudart::wcudaError::kSuccess) return fail(e);
         runtime.wcudaFree(ctx, dev);
+        if (completions) {
+          std::lock_guard lock(completions_mu);
+          (*completions)[ctx.owner()] = frontend.last_completion();
+        }
       });
     }
   }

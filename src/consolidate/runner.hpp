@@ -11,6 +11,8 @@
 // energy per setup, exactly the rows the paper's tables print.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "consolidate/backend.hpp"
@@ -52,9 +54,14 @@ class ExperimentRunner {
   SetupResult run_serial(const std::vector<WorkloadMix>& mix) const;
   SetupResult run_manual(const std::vector<WorkloadMix>& mix) const;
   /// Full framework path: one frontend thread per instance issuing real
-  /// wcuda calls through interception.
-  SetupResult run_dynamic(const std::vector<WorkloadMix>& mix,
-                          std::vector<BatchReport>* reports = nullptr) const;
+  /// wcuda calls through interception. When `completions` is non-null it
+  /// receives each instance's CompletionReply keyed by its owner name
+  /// ("<spec>#<slot>") — the reference the socket-served path is compared
+  /// against bit for bit.
+  SetupResult run_dynamic(
+      const std::vector<WorkloadMix>& mix,
+      std::vector<BatchReport>* reports = nullptr,
+      std::map<std::string, CompletionReply>* completions = nullptr) const;
 
  private:
   const gpusim::FluidEngine& engine_;

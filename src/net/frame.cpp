@@ -1,0 +1,64 @@
+#include "net/frame.hpp"
+
+#include "net/wire.hpp"
+
+namespace ewc::net {
+
+IoStatus write_frame(Socket& sock, std::uint16_t type,
+                     std::span<const std::byte> payload,
+                     const Deadline& deadline, std::string* error) {
+  if (payload.size() > kMaxFramePayload) {
+    if (error) *error = "frame payload too large";
+    return IoStatus::kError;
+  }
+  Writer w;
+  w.u32(kFrameMagic);
+  w.u16(type);
+  w.u16(0);  // flags
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  // One send for header+payload: frames from concurrent writers guarded by a
+  // mutex can never interleave mid-frame.
+  return sock.send_exact(w.bytes().data(), w.bytes().size(), deadline, error);
+}
+
+IoStatus read_frame(Socket& sock, Frame* out, const Deadline& deadline,
+                    std::string* error) {
+  std::byte header[kFrameHeaderSize];
+  IoStatus s = sock.recv_exact(header, sizeof(header), deadline, error);
+  if (s != IoStatus::kOk) return s;
+
+  Reader r(std::span<const std::byte>(header, sizeof(header)));
+  const std::uint32_t magic = r.u32();
+  const std::uint16_t type = r.u16();
+  const std::uint16_t flags = r.u16();
+  const std::uint32_t length = r.u32();
+  if (magic != kFrameMagic) {
+    if (error) *error = "bad frame magic";
+    return IoStatus::kError;
+  }
+  if (flags != 0) {
+    if (error) *error = "unsupported frame flags";
+    return IoStatus::kError;
+  }
+  if (length > kMaxFramePayload) {
+    if (error) *error = "frame payload too large";
+    return IoStatus::kError;
+  }
+
+  out->type = type;
+  out->payload.resize(length);
+  if (length > 0) {
+    s = sock.recv_exact(out->payload.data(), length, deadline, error);
+    if (s == IoStatus::kEof) {
+      // Peer vanished between header and payload: a torn frame, not a
+      // clean close.
+      if (error) *error = "EOF inside frame payload";
+      return IoStatus::kError;
+    }
+    if (s != IoStatus::kOk) return s;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace ewc::net

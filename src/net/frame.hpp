@@ -1,0 +1,45 @@
+// Length-prefixed binary framing over a stream socket.
+//
+// Every ewcd message travels as one frame:
+//
+//   offset  size  field
+//   0       4     magic   0x45574331 ("EWC1", little-endian on the wire)
+//   4       2     type    message type (ewc::server::MsgType)
+//   6       2     flags   reserved, must be 0
+//   8       4     length  payload byte count, <= kMaxFramePayload
+//   12      len   payload message body (net::Writer encoding)
+//
+// A bad magic, non-zero flags, or an oversized length is a protocol error:
+// the stream cannot be resynchronized, so the connection must be dropped.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace ewc::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x45574331;  // "1CWE" LE = EWC1
+inline constexpr std::size_t kFrameHeaderSize = 12;
+/// Generous for this protocol (the largest real message is a launch request
+/// of a few hundred bytes) while still bounding a malicious length field.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+struct Frame {
+  std::uint16_t type = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Serialize and send one frame before the deadline.
+IoStatus write_frame(Socket& sock, std::uint16_t type,
+                     std::span<const std::byte> payload,
+                     const Deadline& deadline, std::string* error);
+
+/// Receive one frame. kEof only when the peer closed between frames.
+IoStatus read_frame(Socket& sock, Frame* out, const Deadline& deadline,
+                    std::string* error);
+
+}  // namespace ewc::net

@@ -1,0 +1,273 @@
+#include "net/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ewc::net {
+
+namespace {
+
+void set_error(std::string* error, const char* what) {
+  if (error) *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Fill a sockaddr_un; sun_path is a fixed 108-byte array, so long paths
+/// must be rejected instead of silently truncated.
+bool fill_addr(const std::string& path, sockaddr_un* addr,
+               std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (error) {
+      *error = "socket path must be 1.." +
+               std::to_string(sizeof(addr->sun_path) - 1) +
+               " characters, got " + std::to_string(path.size());
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// Poll one fd for `events` up to the deadline.
+IoStatus poll_for(int fd, short events, const Deadline& deadline,
+                  std::string* error) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (rc > 0) return IoStatus::kOk;
+    if (rc == 0) {
+      if (error) *error = "timed out";
+      return IoStatus::kTimeout;
+    }
+    if (errno == EINTR) continue;
+    set_error(error, "poll");
+    return IoStatus::kError;
+  }
+}
+
+}  // namespace
+
+Deadline Deadline::after(common::Duration real_time) {
+  Deadline d;
+  if (real_time.is_finite()) {
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(real_time.seconds()));
+  }
+  return d;
+}
+
+bool Deadline::expired() const {
+  return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+}
+
+int Deadline::poll_timeout_ms() const {
+  if (!at_.has_value()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      *at_ - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 1000 * 3600) return 1000 * 3600;
+  return static_cast<int>(left.count());
+}
+
+const char* io_status_name(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kEof: return "eof";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kError: return "error";
+  }
+  return "?";
+}
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_rw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+IoStatus Socket::send_exact(const void* data, std::size_t n,
+                            const Deadline& deadline, std::string* error) {
+  const auto* p = static_cast<const std::byte*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the daemon.
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const IoStatus w = poll_for(fd_, POLLOUT, deadline, error);
+      if (w != IoStatus::kOk) return w;
+      continue;
+    }
+    set_error(error, "send");
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus Socket::recv_exact(void* data, std::size_t n, const Deadline& deadline,
+                            std::string* error) {
+  auto* p = static_cast<std::byte*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    // Bound the blocking recv with poll so deadlines hold even on sockets
+    // left in blocking mode.
+    if (!deadline.is_never() || got == 0) {
+      const IoStatus w = poll_for(fd_, POLLIN, deadline, error);
+      if (w != IoStatus::kOk) return w;
+    }
+    const ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (got == 0) return IoStatus::kEof;
+      if (error) {
+        *error = "unexpected EOF after " + std::to_string(got) + "/" +
+                 std::to_string(n) + " bytes";
+      }
+      return IoStatus::kError;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    set_error(error, "recv");
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus Socket::wait_readable(const Deadline& deadline, std::string* error) {
+  return poll_for(fd_, POLLIN, deadline, error);
+}
+
+std::optional<Socket> connect_unix(const std::string& path,
+                                   const Deadline& deadline,
+                                   std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr, error)) return std::nullopt;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return std::nullopt;
+  }
+  Socket sock(fd);
+  // UNIX-domain connects complete (or fail) immediately; the deadline is
+  // honored by retrying while the listener's backlog is full.
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    if ((errno == EAGAIN || errno == ECONNREFUSED || errno == ENOENT) &&
+        !deadline.expired()) {
+      // Daemon may still be binding (ENOENT) or draining its backlog.
+      ::poll(nullptr, 0, 20);
+      continue;
+    }
+    set_error(error, ("connect " + path).c_str());
+    return std::nullopt;
+  }
+}
+
+std::optional<Listener> Listener::bind_unix(const std::string& path,
+                                            int backlog, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(path, &addr, error)) return std::nullopt;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return std::nullopt;
+  }
+  Listener l;
+  l.fd_ = fd;
+  l.path_ = path;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, ("bind " + path).c_str());
+    l.path_.clear();  // not ours to unlink
+    return std::nullopt;
+  }
+  if (::listen(fd, backlog) != 0) {
+    set_error(error, "listen");
+    return std::nullopt;
+  }
+  return l;
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& o) noexcept : fd_(o.fd_), path_(std::move(o.path_)) {
+  o.fd_ = -1;
+  o.path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    path_ = std::move(o.path_);
+    o.fd_ = -1;
+    o.path_.clear();
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+std::optional<Socket> Listener::accept(const Deadline& deadline,
+                                       IoStatus* status, std::string* error) {
+  for (;;) {
+    const IoStatus w = poll_for(fd_, POLLIN, deadline, error);
+    if (w != IoStatus::kOk) {
+      if (status) *status = w;
+      return std::nullopt;
+    }
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      if (status) *status = IoStatus::kOk;
+      return Socket(cfd);
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      continue;
+    }
+    set_error(error, "accept");
+    if (status) *status = IoStatus::kError;
+    return std::nullopt;
+  }
+}
+
+}  // namespace ewc::net

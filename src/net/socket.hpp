@@ -1,0 +1,114 @@
+// UNIX-domain stream sockets with poll-based readiness and timed I/O.
+//
+// The transport layer under the ewcd daemon (paper Section IV deploys the
+// consolidation backend as a daemon reached over a UNIX-socket connection).
+// Everything here deals in *real* wall-clock deadlines — the simulated clock
+// lives above this layer. The API is non-throwing: operations report
+// IoStatus plus an error string, because a remote peer dying mid-write is an
+// expected event for a server, not an exception.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace ewc::net {
+
+/// A real-time limit for one I/O operation. Deadline::never() blocks
+/// indefinitely; Deadline::after(d) expires d (real seconds) from now.
+class Deadline {
+ public:
+  static Deadline never() { return Deadline{}; }
+  static Deadline after(common::Duration real_time);
+
+  bool is_never() const { return !at_.has_value(); }
+  bool expired() const;
+  /// Remaining time as a poll(2) timeout: -1 = infinite, 0 = expired.
+  int poll_timeout_ms() const;
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+enum class IoStatus {
+  kOk,
+  kEof,      ///< peer closed cleanly (only at an operation boundary)
+  kTimeout,  ///< deadline expired before the operation finished
+  kError,    ///< errno-level failure, including EOF mid-message
+};
+
+const char* io_status_name(IoStatus s);
+
+/// RAII wrapper over one connected stream-socket fd. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void close();
+  /// shutdown(2) both directions: wakes any thread blocked in recv on this
+  /// socket (they observe EOF) without racing the fd's lifetime.
+  void shutdown_rw();
+
+  /// Send exactly `n` bytes before the deadline. Partial progress on
+  /// timeout leaves the stream unusable for framing; callers treat kTimeout
+  /// like kError and drop the connection.
+  IoStatus send_exact(const void* data, std::size_t n, const Deadline& deadline,
+                      std::string* error);
+  /// Receive exactly `n` bytes. kEof only if the peer closed before the
+  /// first byte; EOF mid-buffer is kError ("unexpected EOF").
+  IoStatus recv_exact(void* data, std::size_t n, const Deadline& deadline,
+                      std::string* error);
+
+  /// Poll for readability up to the deadline.
+  IoStatus wait_readable(const Deadline& deadline, std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to a UNIX-domain stream socket at `path`.
+std::optional<Socket> connect_unix(const std::string& path,
+                                   const Deadline& deadline,
+                                   std::string* error);
+
+/// A bound, listening UNIX-domain socket. Unlinks its path on destruction.
+class Listener {
+ public:
+  static std::optional<Listener> bind_unix(const std::string& path,
+                                           int backlog, std::string* error);
+  ~Listener();
+
+  Listener(Listener&& o) noexcept;
+  Listener& operator=(Listener&& o) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accept one connection; nullopt on timeout or error (status tells which).
+  std::optional<Socket> accept(const Deadline& deadline, IoStatus* status,
+                               std::string* error);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+  void close();
+
+ private:
+  Listener() = default;
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace ewc::net

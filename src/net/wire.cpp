@@ -1,0 +1,88 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ewc::net {
+
+namespace {
+
+// Serialize an unsigned integer little-endian, byte by byte, so the encoding
+// does not depend on host endianness.
+template <class T>
+void put_le(std::vector<std::byte>& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+template <class T>
+T get_le(const std::byte* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { put_le(out_, v); }
+void Writer::u16(std::uint16_t v) { put_le(out_, v); }
+void Writer::u32(std::uint32_t v) { put_le(out_, v); }
+void Writer::u64(std::uint64_t v) { put_le(out_, v); }
+void Writer::i32(std::int32_t v) { put_le(out_, static_cast<std::uint32_t>(v)); }
+void Writer::i64(std::int64_t v) { put_le(out_, static_cast<std::uint64_t>(v)); }
+void Writer::f64(double v) { put_le(out_, std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(std::as_bytes(std::span<const char>(v.data(), v.size())));
+}
+
+void Writer::raw(std::span<const std::byte> bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+const std::byte* Reader::take(std::size_t n) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return nullptr;
+  }
+  const std::byte* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::u8() {
+  const std::byte* p = take(1);
+  return p ? get_le<std::uint8_t>(p) : 0;
+}
+std::uint16_t Reader::u16() {
+  const std::byte* p = take(2);
+  return p ? get_le<std::uint16_t>(p) : 0;
+}
+std::uint32_t Reader::u32() {
+  const std::byte* p = take(4);
+  return p ? get_le<std::uint32_t>(p) : 0;
+}
+std::uint64_t Reader::u64() {
+  const std::byte* p = take(8);
+  return p ? get_le<std::uint64_t>(p) : 0;
+}
+std::int32_t Reader::i32() { return static_cast<std::int32_t>(u32()); }
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t len = u32();
+  // Guard before take(): a garbage length must not allocate gigabytes.
+  if (failed_ || data_.size() - pos_ < len) {
+    failed_ = true;
+    return {};
+  }
+  const std::byte* p = take(len);
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+}  // namespace ewc::net

@@ -1,0 +1,187 @@
+#include "server/client.hpp"
+
+#include "net/frame.hpp"
+
+namespace ewc::server {
+
+std::unique_ptr<ClientConnection> ClientConnection::connect(
+    const std::string& socket_path, const std::string& owner,
+    common::Duration timeout, std::string* error) {
+  auto sock = net::connect_unix(socket_path, net::Deadline::after(timeout),
+                                error);
+  if (!sock.has_value()) return nullptr;
+
+  std::unique_ptr<ClientConnection> conn(new ClientConnection());
+  conn->sock_ = std::move(*sock);
+  conn->owner_ = owner;
+
+  const auto deadline = net::Deadline::after(conn->io_timeout_);
+  std::string err;
+  if (net::write_frame(conn->sock_,
+                       static_cast<std::uint16_t>(MsgType::kHello),
+                       encode_hello({kProtocolVersion, owner}), deadline,
+                       &err) != net::IoStatus::kOk) {
+    if (error) *error = "hello: " + err;
+    return nullptr;
+  }
+  net::Frame frame;
+  if (net::read_frame(conn->sock_, &frame, deadline, &err) !=
+      net::IoStatus::kOk) {
+    if (error) *error = "hello reply: " + err;
+    return nullptr;
+  }
+  if (frame.type == static_cast<std::uint16_t>(MsgType::kError)) {
+    const auto msg = decode_error(frame.payload);
+    if (error) *error = "server refused: " + (msg ? msg->message : "?");
+    return nullptr;
+  }
+  const auto ok = frame.type == static_cast<std::uint16_t>(MsgType::kHelloOk)
+                      ? decode_hello_ok(frame.payload)
+                      : std::nullopt;
+  if (!ok.has_value()) {
+    if (error) *error = "malformed hello reply";
+    return nullptr;
+  }
+  conn->settings_ = *ok;
+  conn->reader_ = std::thread([raw = conn.get()] { raw->reader_loop(); });
+  return conn;
+}
+
+ClientConnection::~ClientConnection() {
+  sock_.shutdown_rw();
+  if (reader_.joinable()) reader_.join();
+}
+
+bool ClientConnection::send(MsgType type, std::span<const std::byte> payload) {
+  std::lock_guard lock(write_mu_);
+  return net::write_frame(sock_, static_cast<std::uint16_t>(type), payload,
+                          net::Deadline::after(io_timeout_),
+                          nullptr) == net::IoStatus::kOk;
+}
+
+consolidate::CompletionReply ClientConnection::launch(
+    consolidate::LaunchRequest req, common::Duration timeout) {
+  auto fail = [&](const std::string& why) {
+    consolidate::CompletionReply reply;
+    reply.ok = false;
+    reply.error = why;
+    reply.request_id = req.request_id;
+    return reply;
+  };
+  if (dead_.load()) return fail("connection dead: " + death_reason_);
+
+  auto waiter =
+      std::make_shared<common::Channel<consolidate::CompletionReply>>();
+  {
+    std::lock_guard lock(mu_);
+    req.request_id = next_id_++;
+    launch_waiters_[req.request_id] = waiter;
+  }
+  req.reply = nullptr;  // never crosses the wire
+  if (!send(MsgType::kLaunch, encode_launch(req))) {
+    std::lock_guard lock(mu_);
+    launch_waiters_.erase(req.request_id);
+    return fail("send failed");
+  }
+  auto reply = waiter->receive_for(timeout);
+  {
+    std::lock_guard lock(mu_);
+    launch_waiters_.erase(req.request_id);
+  }
+  if (!reply.has_value()) return fail("timed out waiting for completion");
+  return *reply;
+}
+
+bool ClientConnection::flush(common::Duration timeout) {
+  if (dead_.load()) return false;
+  auto waiter = std::make_shared<common::Channel<bool>>();
+  std::uint64_t token;
+  {
+    std::lock_guard lock(mu_);
+    token = next_id_++;
+    flush_waiters_[token] = waiter;
+  }
+  bool ok = send(MsgType::kFlush, encode_flush({token}));
+  if (ok) {
+    const auto done = waiter->receive_for(timeout);
+    ok = done.has_value() && *done;
+  }
+  std::lock_guard lock(mu_);
+  flush_waiters_.erase(token);
+  return ok;
+}
+
+bool ClientConnection::request_shutdown() {
+  if (dead_.load()) return false;
+  return send(MsgType::kShutdown, encode_shutdown());
+}
+
+void ClientConnection::fail_all(const std::string& error) {
+  std::map<std::uint64_t,
+           std::shared_ptr<common::Channel<consolidate::CompletionReply>>>
+      launches;
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<bool>>> flushes;
+  {
+    std::lock_guard lock(mu_);
+    death_reason_ = error;
+    dead_.store(true);
+    launches.swap(launch_waiters_);
+    flushes.swap(flush_waiters_);
+  }
+  for (auto& [id, waiter] : launches) {
+    consolidate::CompletionReply reply;
+    reply.ok = false;
+    reply.error = error;
+    reply.request_id = id;
+    waiter->send(std::move(reply));
+  }
+  for (auto& [token, waiter] : flushes) waiter->send(false);
+}
+
+void ClientConnection::reader_loop() {
+  for (;;) {
+    net::Frame frame;
+    std::string err;
+    const auto s =
+        net::read_frame(sock_, &frame, net::Deadline::never(), &err);
+    if (s == net::IoStatus::kEof) return fail_all("server closed connection");
+    if (s != net::IoStatus::kOk) return fail_all("read failed: " + err);
+
+    switch (static_cast<MsgType>(frame.type)) {
+      case MsgType::kCompletion: {
+        const auto reply = decode_completion(frame.payload);
+        if (!reply.has_value()) return fail_all("malformed completion");
+        std::shared_ptr<common::Channel<consolidate::CompletionReply>> waiter;
+        {
+          std::lock_guard lock(mu_);
+          auto it = launch_waiters_.find(reply->request_id);
+          if (it != launch_waiters_.end()) waiter = it->second;
+        }
+        // No waiter: the launcher timed out and moved on; drop it.
+        if (waiter) waiter->send(*reply);
+        break;
+      }
+      case MsgType::kFlushDone: {
+        const auto done = decode_flush_done(frame.payload);
+        if (!done.has_value()) return fail_all("malformed flush_done");
+        std::shared_ptr<common::Channel<bool>> waiter;
+        {
+          std::lock_guard lock(mu_);
+          auto it = flush_waiters_.find(done->token);
+          if (it != flush_waiters_.end()) waiter = it->second;
+        }
+        if (waiter) waiter->send(done->ok);
+        break;
+      }
+      case MsgType::kError: {
+        const auto msg = decode_error(frame.payload);
+        return fail_all("server error: " + (msg ? msg->message : "?"));
+      }
+      default:
+        return fail_all("unexpected message type " +
+                        std::to_string(frame.type));
+    }
+  }
+}
+
+}  // namespace ewc::server

@@ -1,0 +1,84 @@
+// Client-side connection to an ewcd daemon.
+//
+// One ClientConnection per user process: it performs the hello handshake,
+// owns the socket, and demultiplexes completion frames back to the threads
+// that launched them (several RemoteFrontends — one per simulated app
+// thread — can share one connection; request ids correlate). A dead or
+// misbehaving daemon surfaces as failed CompletionReplies, never as a hang:
+// every wait is bounded by the caller's timeout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/channel.hpp"
+#include "consolidate/protocol.hpp"
+#include "net/socket.hpp"
+#include "server/protocol_wire.hpp"
+
+namespace ewc::server {
+
+class ClientConnection {
+ public:
+  /// Connect + handshake. Retries while the daemon is still binding, up to
+  /// `timeout` (real time). nullptr (with *error) on failure.
+  static std::unique_ptr<ClientConnection> connect(
+      const std::string& socket_path, const std::string& owner,
+      common::Duration timeout, std::string* error);
+
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  /// Submit one launch and block until the daemon answers (bounded by
+  /// `timeout`; non-finite waits indefinitely). The request_id field is
+  /// assigned here. Always returns a reply — transport failures come back
+  /// as ok=false with an error message.
+  consolidate::CompletionReply launch(consolidate::LaunchRequest req,
+                                      common::Duration timeout);
+
+  /// Ask the daemon to process everything pending; true when it confirms.
+  bool flush(common::Duration timeout);
+
+  /// Ask the daemon to drain and exit (admin path).
+  bool request_shutdown();
+
+  /// Settings the server announced in the hello handshake.
+  const HelloOkMsg& server_settings() const { return settings_; }
+  const std::string& owner() const { return owner_; }
+  bool alive() const { return !dead_.load(); }
+
+ private:
+  ClientConnection() = default;
+  void reader_loop();
+  /// Fail every waiter and mark the connection dead.
+  void fail_all(const std::string& error);
+  bool send(MsgType type, std::span<const std::byte> payload);
+
+  net::Socket sock_;
+  std::string owner_;
+  HelloOkMsg settings_;
+  common::Duration io_timeout_ = common::Duration::from_seconds(30.0);
+
+  std::mutex write_mu_;
+  std::mutex mu_;  ///< guards next_id_ and the waiter maps
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t,
+           std::shared_ptr<common::Channel<consolidate::CompletionReply>>>
+      launch_waiters_;
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<bool>>>
+      flush_waiters_;
+
+  std::atomic<bool> dead_{false};
+  std::string death_reason_;
+  std::thread reader_;
+};
+
+}  // namespace ewc::server

@@ -1,0 +1,196 @@
+#include "server/protocol_wire.hpp"
+
+namespace ewc::server {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloOk: return "hello_ok";
+    case MsgType::kLaunch: return "launch";
+    case MsgType::kCompletion: return "completion";
+    case MsgType::kFlush: return "flush";
+    case MsgType::kFlushDone: return "flush_done";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+void encode_kernel_desc(net::Writer& w, const gpusim::KernelDesc& d) {
+  w.str(d.name);
+  w.i32(d.num_blocks);
+  w.i32(d.threads_per_block);
+  w.f64(d.mix.fp_insts);
+  w.f64(d.mix.int_insts);
+  w.f64(d.mix.sfu_insts);
+  w.f64(d.mix.sync_insts);
+  w.f64(d.mix.coalesced_mem_insts);
+  w.f64(d.mix.uncoalesced_mem_insts);
+  w.f64(d.mix.shared_accesses);
+  w.f64(d.mix.const_accesses);
+  w.i32(d.resources.registers_per_thread);
+  w.i64(d.resources.shared_mem_per_block);
+  w.f64(d.resources.constant_data.bytes());
+  w.f64(d.mlp);
+  w.f64(d.h2d_bytes.bytes());
+  w.f64(d.d2h_bytes.bytes());
+}
+
+gpusim::KernelDesc decode_kernel_desc(net::Reader& r) {
+  gpusim::KernelDesc d;
+  d.name = r.str();
+  d.num_blocks = r.i32();
+  d.threads_per_block = r.i32();
+  d.mix.fp_insts = r.f64();
+  d.mix.int_insts = r.f64();
+  d.mix.sfu_insts = r.f64();
+  d.mix.sync_insts = r.f64();
+  d.mix.coalesced_mem_insts = r.f64();
+  d.mix.uncoalesced_mem_insts = r.f64();
+  d.mix.shared_accesses = r.f64();
+  d.mix.const_accesses = r.f64();
+  d.resources.registers_per_thread = r.i32();
+  d.resources.shared_mem_per_block = r.i64();
+  d.resources.constant_data = common::Bytes::from_bytes(r.f64());
+  d.mlp = r.f64();
+  d.h2d_bytes = common::Bytes::from_bytes(r.f64());
+  d.d2h_bytes = common::Bytes::from_bytes(r.f64());
+  return d;
+}
+
+std::vector<std::byte> encode_hello(const HelloMsg& m) {
+  net::Writer w;
+  w.u32(m.version);
+  w.str(m.owner);
+  return w.take();
+}
+
+std::optional<HelloMsg> decode_hello(std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  HelloMsg m;
+  m.version = r.u32();
+  m.owner = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_hello_ok(const HelloOkMsg& m) {
+  net::Writer w;
+  w.u32(m.version);
+  w.u32(m.inflight_limit);
+  w.u64(m.deadline_micros);
+  w.u8(m.argument_batching ? 1 : 0);
+  return w.take();
+}
+
+std::optional<HelloOkMsg> decode_hello_ok(std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  HelloOkMsg m;
+  m.version = r.u32();
+  m.inflight_limit = r.u32();
+  m.deadline_micros = r.u64();
+  m.argument_batching = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_launch(const consolidate::LaunchRequest& req) {
+  net::Writer w;
+  w.u64(req.request_id);
+  w.str(req.owner);
+  encode_kernel_desc(w, req.desc);
+  w.u64(static_cast<std::uint64_t>(req.staged_bytes));
+  w.i32(req.api_messages);
+  return w.take();
+}
+
+std::optional<consolidate::LaunchRequest> decode_launch(
+    std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  consolidate::LaunchRequest req;
+  req.request_id = r.u64();
+  req.owner = r.str();
+  req.desc = decode_kernel_desc(r);
+  req.staged_bytes = static_cast<std::size_t>(r.u64());
+  req.api_messages = r.i32();
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+std::vector<std::byte> encode_completion(
+    const consolidate::CompletionReply& reply) {
+  net::Writer w;
+  w.u64(reply.request_id);
+  w.u8(reply.ok ? 1 : 0);
+  w.str(reply.error);
+  w.f64(reply.finish_time.seconds());
+  w.u8(static_cast<std::uint8_t>(reply.where));
+  return w.take();
+}
+
+std::optional<consolidate::CompletionReply> decode_completion(
+    std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  consolidate::CompletionReply reply;
+  reply.request_id = r.u64();
+  reply.ok = r.u8() != 0;
+  reply.error = r.str();
+  reply.finish_time = common::Duration::from_seconds(r.f64());
+  const std::uint8_t where = r.u8();
+  if (!r.done() ||
+      where > static_cast<std::uint8_t>(
+                  consolidate::CompletionReply::Where::kCpu)) {
+    return std::nullopt;
+  }
+  reply.where = static_cast<consolidate::CompletionReply::Where>(where);
+  return reply;
+}
+
+std::vector<std::byte> encode_flush(const FlushMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  return w.take();
+}
+
+std::optional<FlushMsg> decode_flush(std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  FlushMsg m;
+  m.token = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_flush_done(const FlushDoneMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u8(m.ok ? 1 : 0);
+  return w.take();
+}
+
+std::optional<FlushDoneMsg> decode_flush_done(
+    std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  FlushDoneMsg m;
+  m.token = r.u64();
+  m.ok = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_shutdown() { return {}; }
+
+std::vector<std::byte> encode_error(const ErrorMsg& m) {
+  net::Writer w;
+  w.str(m.message);
+  return w.take();
+}
+
+std::optional<ErrorMsg> decode_error(std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  ErrorMsg m;
+  m.message = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace ewc::server

@@ -1,0 +1,102 @@
+// Wire codecs for the ewcd protocol: the consolidate protocol messages
+// (LaunchRequest / CompletionReply / FlushRequest / ShutdownRequest) plus
+// gpusim::KernelDesc, encoded with net::Writer into net frames.
+//
+// The encoding is versioned through the hello handshake: a client opens with
+// kHello{version, owner}; the server answers kHelloOk carrying its limits
+// and the backend's argument-batching setting (so a RemoteFrontend counts
+// API messages exactly like the in-process Frontend would). Field order is
+// part of the protocol — see docs/SERVER.md for the byte-level layout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "consolidate/protocol.hpp"
+#include "gpusim/kernel_desc.hpp"
+#include "net/wire.hpp"
+
+namespace ewc::server {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame types (net::Frame::type).
+enum class MsgType : std::uint16_t {
+  kHello = 1,       ///< client -> server: version + owner
+  kHelloOk = 2,     ///< server -> client: limits + backend settings
+  kLaunch = 3,      ///< client -> server: one LaunchRequest
+  kCompletion = 4,  ///< server -> client: one CompletionReply
+  kFlush = 5,       ///< client -> server: process everything pending
+  kFlushDone = 6,   ///< server -> client: flush finished
+  kShutdown = 7,    ///< client -> server: ask the daemon to drain and exit
+  kError = 8,       ///< server -> client: fatal protocol error, then close
+};
+
+const char* msg_type_name(MsgType t);
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string owner;
+};
+
+struct HelloOkMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t inflight_limit = 0;        ///< per-client admission bound
+  std::uint64_t deadline_micros = 0;       ///< per-request deadline; 0 = none
+  bool argument_batching = true;           ///< backend optimization setting
+};
+
+struct FlushMsg {
+  std::uint64_t token = 0;
+};
+
+struct FlushDoneMsg {
+  std::uint64_t token = 0;
+  bool ok = false;  ///< false: backend unreachable or drain timeout
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+// ---- KernelDesc (nested inside launch requests) ----
+void encode_kernel_desc(net::Writer& w, const gpusim::KernelDesc& d);
+gpusim::KernelDesc decode_kernel_desc(net::Reader& r);
+
+// ---- whole-message encode/decode ----
+// Encoders return the frame payload; decoders return nullopt on any
+// malformed input (underflow, trailing bytes, bad enum values).
+std::vector<std::byte> encode_hello(const HelloMsg& m);
+std::optional<HelloMsg> decode_hello(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_hello_ok(const HelloOkMsg& m);
+std::optional<HelloOkMsg> decode_hello_ok(std::span<const std::byte> payload);
+
+/// Serializes owner, request_id, desc, staged_bytes, api_messages. The
+/// reply channel is transport-local and never crosses the wire.
+std::vector<std::byte> encode_launch(const consolidate::LaunchRequest& req);
+std::optional<consolidate::LaunchRequest> decode_launch(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_completion(
+    const consolidate::CompletionReply& reply);
+std::optional<consolidate::CompletionReply> decode_completion(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_flush(const FlushMsg& m);
+std::optional<FlushMsg> decode_flush(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_flush_done(const FlushDoneMsg& m);
+std::optional<FlushDoneMsg> decode_flush_done(
+    std::span<const std::byte> payload);
+
+/// consolidate::ShutdownRequest carries no fields; its frame is empty.
+std::vector<std::byte> encode_shutdown();
+
+std::vector<std::byte> encode_error(const ErrorMsg& m);
+std::optional<ErrorMsg> decode_error(std::span<const std::byte> payload);
+
+}  // namespace ewc::server

@@ -1,0 +1,407 @@
+#include "server/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "trace/counters.hpp"
+
+namespace ewc::server {
+
+namespace {
+
+/// Writer wake-up tick: bounds deadline-sweep latency without busy-waiting.
+constexpr common::Duration kWriterTick = common::Duration::from_millis(50.0);
+
+trace::Counters& counters() { return trace::Counters::instance(); }
+
+}  // namespace
+
+Server::Server(consolidate::Backend& backend, ServerOptions options)
+    : backend_(backend), options_(std::move(options)) {}
+
+Server::~Server() {
+  if (running_.load()) stop();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (int fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+bool Server::start(std::string* error) {
+  if (running_.load()) {
+    if (error) *error = "server already running";
+    return false;
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  ::fcntl(stop_pipe_[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(stop_pipe_[1], F_SETFD, FD_CLOEXEC);
+  auto listener = net::Listener::bind_unix(options_.socket_path,
+                                           /*backlog=*/128, error);
+  if (!listener.has_value()) return false;
+  listener_ = std::move(*listener);
+  {
+    std::lock_guard lock(stopped_mu_);
+    stopped_ = false;
+  }
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::notify_stop() {
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    // Async-signal-safe; a full pipe means a stop is already pending.
+    [[maybe_unused]] ssize_t rc = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait() {
+  std::unique_lock lock(stopped_mu_);
+  stopped_cv_.wait(lock, [&] { return stopped_; });
+}
+
+void Server::stop() {
+  notify_stop();
+  wait();
+}
+
+int Server::active_connections() const {
+  std::lock_guard lock(conns_mu_);
+  int n = 0;
+  for (const auto& c : conns_) {
+    if (!c->reader_done.load()) ++n;
+  }
+  return n;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    reap_finished();
+    pollfd fds[2] = {{listener_->fd(), POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      common::log_info("ewcd: poll failed, draining");
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop requested
+    if (fds[0].revents == 0) continue;
+
+    std::string err;
+    net::IoStatus status;
+    auto sock = listener_->accept(net::Deadline::after(common::Duration::zero()),
+                                  &status, &err);
+    if (!sock.has_value()) {
+      if (status == net::IoStatus::kError) {
+        common::log_info("ewcd: accept failed: " + err);
+      }
+      continue;
+    }
+    if (active_connections() >= options_.max_clients) {
+      // Turn the connection away explicitly rather than letting it hang.
+      // Consume the client's hello first so the rejection is ordered after
+      // its send: closing before the hello arrives would RST the socket and
+      // the client could lose the error frame instead of reading it.
+      net::Frame hello_frame;
+      net::read_frame(*sock, &hello_frame,
+                      net::Deadline::after(options_.io_timeout), nullptr);
+      const auto payload = encode_error({"server full"});
+      net::write_frame(*sock, static_cast<std::uint16_t>(MsgType::kError),
+                       payload, net::Deadline::after(options_.io_timeout),
+                       nullptr);
+      counters().inc("server.connections.rejected");
+      continue;
+    }
+
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(*sock);
+    {
+      std::lock_guard lock(conns_mu_);
+      conn->id = next_conn_id_++;
+      conns_.push_back(conn);
+    }
+    counters().inc("server.connections.accepted");
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
+  }
+  drain();
+  running_.store(false);
+  {
+    std::lock_guard lock(stopped_mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::reap_finished() {
+  std::lock_guard lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    auto& c = *it;
+    if (c->reader_done.load() && c->writer_done.load()) {
+      if (c->reader.joinable()) c->reader.join();
+      if (c->writer.joinable()) c->writer.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Server::send_frame(Connection& conn, MsgType type,
+                        std::span<const std::byte> payload) {
+  std::lock_guard lock(conn.write_mu);
+  std::string err;
+  const auto s = net::write_frame(conn.sock,
+                                  static_cast<std::uint16_t>(type), payload,
+                                  net::Deadline::after(options_.io_timeout),
+                                  &err);
+  if (s != net::IoStatus::kOk) {
+    conn.closing.store(true);
+    return false;
+  }
+  return true;
+}
+
+void Server::send_completion_error(Connection& conn, std::uint64_t request_id,
+                                   const std::string& error) {
+  consolidate::CompletionReply reply;
+  reply.ok = false;
+  reply.error = error;
+  reply.request_id = request_id;
+  send_frame(conn, MsgType::kCompletion, encode_completion(reply));
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  const auto teardown = [&] {
+    conn->closing.store(true);
+    // Closing the reply channel (a) wakes the writer and (b) makes the
+    // backend's send() of any still-outstanding reply for this client a
+    // dropped no-op — a dead client fails only its own replies.
+    conn->replies->close();
+    conn->sock.shutdown_rw();
+    conn->reader_done.store(true);
+    counters().inc("server.connections.closed");
+  };
+
+  // ---- handshake ----
+  net::Frame frame;
+  std::string err;
+  auto s = net::read_frame(conn->sock, &frame,
+                           net::Deadline::after(options_.io_timeout), &err);
+  if (s != net::IoStatus::kOk ||
+      frame.type != static_cast<std::uint16_t>(MsgType::kHello)) {
+    counters().inc("server.protocol_errors");
+    send_frame(*conn, MsgType::kError, encode_error({"expected hello"}));
+    return teardown();
+  }
+  const auto hello = decode_hello(frame.payload);
+  if (!hello.has_value() || hello->version != kProtocolVersion) {
+    counters().inc("server.protocol_errors");
+    send_frame(*conn, MsgType::kError,
+               encode_error({"unsupported protocol version"}));
+    return teardown();
+  }
+  conn->owner = hello->owner;
+  HelloOkMsg ok;
+  ok.inflight_limit = static_cast<std::uint32_t>(options_.inflight_limit);
+  ok.deadline_micros =
+      static_cast<std::uint64_t>(options_.request_deadline.micros());
+  ok.argument_batching = backend_.options().optimizations.argument_batching;
+  if (!send_frame(*conn, MsgType::kHelloOk, encode_hello_ok(ok))) {
+    return teardown();
+  }
+
+  // ---- request loop ----
+  for (;;) {
+    s = net::read_frame(conn->sock, &frame, net::Deadline::never(), &err);
+    if (s == net::IoStatus::kEof) break;  // clean close
+    if (s != net::IoStatus::kOk) {
+      if (!conn->closing.load()) {
+        counters().inc("server.protocol_errors");
+        send_frame(*conn, MsgType::kError, encode_error({err}));
+      }
+      break;
+    }
+    switch (static_cast<MsgType>(frame.type)) {
+      case MsgType::kLaunch: {
+        auto req = decode_launch(frame.payload);
+        if (!req.has_value()) {
+          counters().inc("server.protocol_errors");
+          send_frame(*conn, MsgType::kError,
+                     encode_error({"malformed launch"}));
+          return teardown();
+        }
+        const std::uint64_t id = req->request_id;
+        if (draining_.load()) {
+          send_completion_error(*conn, id, "server draining");
+          counters().inc("server.rejected");
+          break;
+        }
+        // Admission control: bounded unanswered launches per client.
+        bool admitted = false;
+        {
+          std::lock_guard lock(conn->mu);
+          if (static_cast<int>(conn->outstanding.size()) <
+              options_.inflight_limit) {
+            std::optional<std::chrono::steady_clock::time_point> deadline;
+            if (options_.request_deadline > common::Duration::zero()) {
+              deadline = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.request_deadline.seconds()));
+            }
+            admitted = conn->outstanding.emplace(id, deadline).second;
+          }
+        }
+        if (!admitted) {
+          send_completion_error(
+              *conn, id,
+              "rejected: in-flight limit (" +
+                  std::to_string(options_.inflight_limit) +
+                  ") exceeded or duplicate request id");
+          counters().inc("server.rejected");
+          break;
+        }
+        req->reply = conn->replies;
+        if (!backend_.channel().send(std::move(*req))) {
+          std::lock_guard lock(conn->mu);
+          conn->outstanding.erase(id);
+          send_completion_error(*conn, id, "backend unavailable");
+          counters().inc("server.rejected");
+          break;
+        }
+        counters().inc("server.requests");
+        break;
+      }
+      case MsgType::kFlush: {
+        const auto flush = decode_flush(frame.payload);
+        if (!flush.has_value()) {
+          counters().inc("server.protocol_errors");
+          send_frame(*conn, MsgType::kError, encode_error({"malformed flush"}));
+          return teardown();
+        }
+        counters().inc("server.flushes");
+        auto done = std::make_shared<common::Channel<bool>>();
+        FlushDoneMsg reply{flush->token, false};
+        if (backend_.channel().send(consolidate::FlushRequest{done})) {
+          reply.ok = done->receive_for(options_.drain_timeout).has_value();
+        }
+        send_frame(*conn, MsgType::kFlushDone, encode_flush_done(reply));
+        break;
+      }
+      case MsgType::kShutdown: {
+        counters().inc("server.shutdown_requests");
+        notify_stop();
+        break;
+      }
+      default: {
+        counters().inc("server.protocol_errors");
+        send_frame(*conn, MsgType::kError,
+                   encode_error({std::string("unexpected message type ") +
+                                 std::to_string(frame.type)}));
+        return teardown();
+      }
+    }
+  }
+  teardown();
+}
+
+void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    auto reply = conn->replies->receive_for(kWriterTick);
+    if (reply.has_value()) {
+      bool live = false;
+      {
+        std::lock_guard lock(conn->mu);
+        live = conn->outstanding.erase(reply->request_id) > 0;
+      }
+      // A reply whose id is no longer outstanding already got a deadline /
+      // drain error; dropping the late real answer keeps the stream sane.
+      if (live && !conn->closing.load()) {
+        send_frame(*conn, MsgType::kCompletion, encode_completion(*reply));
+        counters().inc("server.replies");
+      }
+    }
+
+    if (options_.request_deadline > common::Duration::zero() &&
+        !conn->closing.load()) {
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<std::uint64_t> expired;
+      {
+        std::lock_guard lock(conn->mu);
+        for (const auto& [id, deadline] : conn->outstanding) {
+          if (deadline.has_value() && now >= *deadline) expired.push_back(id);
+        }
+        for (std::uint64_t id : expired) conn->outstanding.erase(id);
+      }
+      for (std::uint64_t id : expired) {
+        send_completion_error(*conn, id, "request deadline exceeded");
+        counters().inc("server.deadline_expired");
+      }
+    }
+
+    if (conn->replies->closed() && !reply.has_value()) break;
+  }
+  conn->writer_done.store(true);
+}
+
+void Server::drain() {
+  draining_.store(true);
+  listener_->close();  // stop accepting; unlinks the socket path
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(conns_mu_);
+    conns = conns_;
+  }
+
+  // Fail outstanding replies with an error...
+  for (auto& conn : conns) {
+    std::vector<std::uint64_t> ids;
+    {
+      std::lock_guard lock(conn->mu);
+      for (const auto& [id, deadline] : conn->outstanding) ids.push_back(id);
+      conn->outstanding.clear();
+    }
+    for (std::uint64_t id : ids) {
+      send_completion_error(*conn, id, "server draining");
+      counters().inc("server.drain.failed_replies");
+    }
+  }
+
+  // ...flush the pending batch (its replies were failed above and are
+  // dropped; the batch still executes so the backend's reports are complete)
+  // bounded by drain_timeout...
+  auto done = std::make_shared<common::Channel<bool>>();
+  if (backend_.channel().send(consolidate::FlushRequest{done})) {
+    if (!done->receive_for(options_.drain_timeout).has_value()) {
+      common::log_info("ewcd: drain flush timed out");
+      counters().inc("server.drain.flush_timeouts");
+    }
+  }
+
+  // ...and close every connection.
+  for (auto& conn : conns) {
+    conn->closing.store(true);
+    conn->replies->close();
+    conn->sock.shutdown_rw();
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  {
+    std::lock_guard lock(conns_mu_);
+    conns_.clear();
+  }
+}
+
+}  // namespace ewc::server

@@ -1,0 +1,142 @@
+// ewcd — the consolidation daemon, served over a UNIX-domain socket.
+//
+// The paper (Section IV) deploys the framework as a frontend shared library
+// in each user process talking to a backend daemon over a UNIX-socket
+// connection. This is that service boundary made real: Server accepts N
+// concurrent client connections, speaks the framed wire protocol
+// (net/frame.hpp + server/protocol_wire.hpp), and bridges every decoded
+// LaunchRequest onto the existing consolidate::Backend channel. Replies are
+// correlated back to their connection through per-connection reply channels
+// and the request_id field.
+//
+// Service properties:
+//   * admission control — at most `inflight_limit` unanswered launches per
+//     client; excess launches are rejected immediately with an error
+//     CompletionReply (backpressure instead of unbounded queueing);
+//   * per-request deadlines — a launch unanswered after `request_deadline`
+//     (real time) is failed with an error reply; a later backend reply for
+//     it is dropped;
+//   * fault isolation — a client dying mid-batch fails only that client's
+//     outstanding replies (they are dropped on its closed reply channel);
+//     the daemon keeps serving every other connection;
+//   * graceful drain — on stop (SIGTERM via notify_stop()) the daemon stops
+//     accepting, fails outstanding replies with an error, flushes the
+//     pending backend batch (bounded by drain_timeout), and exits.
+//
+// Threads: one acceptor, plus a reader and a writer per connection. All
+// socket I/O is real time; the simulated clock stays inside the Backend.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "consolidate/backend.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "server/protocol_wire.hpp"
+
+namespace ewc::server {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Concurrent client connections; further connects get kError + close.
+  int max_clients = 64;
+  /// Unanswered launches per client before rejection (backpressure).
+  int inflight_limit = 64;
+  /// Real-time budget for one launch to be answered; zero = unlimited.
+  common::Duration request_deadline = common::Duration::zero();
+  /// Bound on waiting for the backend flush while draining.
+  common::Duration drain_timeout = common::Duration::from_seconds(10.0);
+  /// Per-frame socket write budget (a stuck client cannot wedge a writer).
+  common::Duration io_timeout = common::Duration::from_seconds(30.0);
+};
+
+class Server {
+ public:
+  Server(consolidate::Backend& backend, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and start accepting. False (with *error) on failure.
+  bool start(std::string* error);
+
+  /// Async-signal-safe stop trigger (callable from a SIGTERM handler):
+  /// writes one byte to the acceptor's self-pipe.
+  void notify_stop();
+
+  /// Block until the daemon has drained and stopped.
+  void wait();
+
+  /// notify_stop() + wait().
+  void stop();
+
+  bool running() const { return running_.load(); }
+  const std::string& socket_path() const { return options_.socket_path; }
+  /// Connections whose reader is still alive (observability/tests).
+  int active_connections() const;
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    net::Socket sock;
+    std::string owner;
+    /// Serializes frames from the reader (rejects, flush acks) and the
+    /// writer (completions) onto the socket.
+    std::mutex write_mu;
+    /// Backend delivers CompletionReplies here; closed on teardown so late
+    /// replies for a dead client are dropped, not delivered.
+    std::shared_ptr<consolidate::ReplyChannel> replies =
+        std::make_shared<consolidate::ReplyChannel>();
+    std::mutex mu;  ///< guards `outstanding`
+    /// request_id -> optional real-time deadline.
+    std::map<std::uint64_t,
+             std::optional<std::chrono::steady_clock::time_point>>
+        outstanding;
+    std::atomic<bool> closing{false};
+    std::atomic<bool> reader_done{false};
+    std::atomic<bool> writer_done{false};
+    std::thread reader;
+    std::thread writer;
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void writer_loop(const std::shared_ptr<Connection>& conn);
+  void drain();
+  /// Join and drop connections whose threads have both finished.
+  void reap_finished();
+
+  bool send_frame(Connection& conn, MsgType type,
+                  std::span<const std::byte> payload);
+  void send_completion_error(Connection& conn, std::uint64_t request_id,
+                             const std::string& error);
+
+  consolidate::Backend& backend_;
+  ServerOptions options_;
+
+  std::optional<net::Listener> listener_;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread acceptor_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = true;  ///< until start()
+};
+
+}  // namespace ewc::server

@@ -21,6 +21,8 @@ class Counters {
 
   void set(const std::string& name, double value);
   void add(const std::string& name, double delta);
+  /// add(name, 1.0) — the common event-count case (server accept/reject...).
+  void inc(const std::string& name) { add(name, 1.0); }
 
   /// 0.0 for counters never published.
   double value(const std::string& name) const;

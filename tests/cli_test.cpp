@@ -78,6 +78,93 @@ TEST(FlagParser, TypedGetterValidation) {
   EXPECT_THROW(q.get_double("rate", 0.0), ArgsError);
 }
 
+TEST(FlagParser, NumericParsingRejectsGarbageAndOverflow) {
+  // Trailing garbage on an integer.
+  auto p = make_parser();
+  p.parse({"--count", "12abc"});
+  EXPECT_THROW(p.get_int("count", 0), ArgsError);
+
+  // Integer overflow reports "out of range", not "expects an integer".
+  auto q = make_parser();
+  q.parse({"--count", "99999999999999999999"});
+  try {
+    q.get_int("count", 0);
+    FAIL() << "expected ArgsError";
+  } catch (const ArgsError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("--count"), std::string::npos);
+  }
+
+  // Double overflow (1e400 is not representable).
+  auto r = make_parser();
+  r.parse({"--rate", "1e400"});
+  EXPECT_THROW(r.get_double("rate", 0.0), ArgsError);
+
+  // Errors name the offending flag.
+  auto s = make_parser();
+  s.parse({"--rate", "abc"});
+  try {
+    s.get_double("rate", 0.0);
+    FAIL() << "expected ArgsError";
+  } catch (const ArgsError& e) {
+    EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FlagParser, RangedGettersEnforceBounds) {
+  auto p = make_parser();
+  p.parse({"--count", "-1"});
+  EXPECT_THROW(p.get_int_in("count", 1, 1, 100), ArgsError);
+
+  auto q = make_parser();
+  q.parse({"--count", "50"});
+  EXPECT_EQ(q.get_int_in("count", 1, 1, 100), 50);
+
+  auto r = make_parser();
+  r.parse({"--rate", "nan"});
+  EXPECT_THROW(r.get_double_in("rate", 1.0, 0.0, 100.0), ArgsError);
+
+  auto s = make_parser();
+  s.parse({"--rate", "inf"});
+  EXPECT_THROW(s.get_double_in("rate", 1.0, 0.0, 100.0), ArgsError);
+
+  auto t = make_parser();
+  t.parse({"--rate", "250.0"});
+  EXPECT_THROW(t.get_double_in("rate", 1.0, 0.0, 100.0), ArgsError);
+  auto u = make_parser();
+  u.parse({"--rate", "2.5"});
+  EXPECT_DOUBLE_EQ(u.get_double_in("rate", 1.0, 0.0, 100.0), 2.5);
+}
+
+TEST(Commands, TraceRejectsMalformedNumericFlags) {
+  // The hardened parsing surfaces as exit code 2 + a flag-naming message.
+  auto run = [](std::vector<std::string> argv) {
+    std::ostringstream out, err;
+    const int code = run_command(argv, out, err);
+    return std::make_pair(code, err.str());
+  };
+  auto [c1, e1] = run({"trace", "--rate=abc"});
+  EXPECT_EQ(c1, 2);
+  EXPECT_NE(e1.find("--rate"), std::string::npos) << e1;
+
+  auto [c2, e2] = run({"trace", "--threshold=-1", "--requests", "5"});
+  EXPECT_EQ(c2, 2);
+
+  auto [c3, e3] = run({"trace", "--requests", "99999999999999999999"});
+  EXPECT_EQ(c3, 2);
+  EXPECT_NE(e3.find("out of range"), std::string::npos) << e3;
+
+  auto [c4, e4] = run({"trace", "--rate", "1e400"});
+  EXPECT_EQ(c4, 2);
+
+  auto [c5, e5] = run({"serve", "--socket", "/tmp/x.sock", "--workload",
+                       "encryption_12k=1", "--deadline", "nan"});
+  EXPECT_EQ(c5, 2);
+  EXPECT_NE(e5.find("--deadline"), std::string::npos) << e5;
+}
+
 TEST(FlagParser, PositionalCollected) {
   auto p = make_parser();
   p.parse({"pos1", "--name", "n", "pos2"});

@@ -1,6 +1,7 @@
 // Unit tests for src/common: units, rng, stats, linreg, channel, table, log.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <thread>
@@ -424,6 +425,67 @@ TEST(Csv, WriteFileFailsOnBadPath) {
   CsvWriter csv({"a"});
   csv.add_row({"1"});
   EXPECT_THROW(csv.write_file("/nonexistent_dir/x.csv"), std::runtime_error);
+}
+
+// ---------------- channel receive_for ----------------
+
+TEST(Channel, ReceiveForReturnsImmediatelyWhenValueIsQueued) {
+  Channel<int> ch;
+  ch.send(42);
+  const auto v = ch.receive_for(Duration::from_seconds(0.0));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(Channel, ReceiveForTimesOutOnEmptyChannel) {
+  Channel<int> ch;
+  const auto start = std::chrono::steady_clock::now();
+  const auto v = ch.receive_for(Duration::from_seconds(0.05));
+  const std::chrono::duration<double> waited =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(v.has_value());
+  EXPECT_GE(waited.count(), 0.045);  // honored the bound (minus clock slop)
+}
+
+TEST(Channel, ReceiveForDeliversCrossThread) {
+  Channel<int> ch;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send(7);
+  });
+  const auto v = ch.receive_for(Duration::from_seconds(5.0));
+  sender.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Channel, ReceiveForOnClosedChannelDrainsThenReturnsNullopt) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.close();
+  // Queued values still drain after close...
+  auto v = ch.receive_for(Duration::from_seconds(1.0));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  // ...then a closed empty channel answers immediately, not at the timeout.
+  const auto start = std::chrono::steady_clock::now();
+  v = ch.receive_for(Duration::from_seconds(30.0));
+  const std::chrono::duration<double> waited =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(v.has_value());
+  EXPECT_LT(waited.count(), 5.0);
+}
+
+TEST(Channel, ReceiveForWithInfiniteTimeoutBlocksLikeReceive) {
+  Channel<int> ch;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send(9);
+  });
+  const auto v = ch.receive_for(Duration::infinity());
+  sender.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
 }
 
 // ---------------- log ----------------

@@ -565,5 +565,65 @@ TEST_F(ConsolidateTest, HeterogeneousSearchBlackScholesBenefits) {
             0.5 * r.serial_gpu.time.seconds());
 }
 
+TEST_F(ConsolidateTest, ClosedChannelFailsPendingRepliesInsteadOfDropping) {
+  // Regression: a channel closed under a non-empty pending batch (no
+  // ShutdownRequest — e.g. a crashing embedder) used to silently drop the
+  // batch, leaving every waiting frontend blocked forever. The backend must
+  // answer each reply channel with an error.
+  const auto spec = workloads::encryption_12k();
+  BackendOptions options;
+  options.batch_threshold = 100;  // launches stay pending
+  auto templates = TemplateRegistry::paper_defaults();
+  Backend backend(*engine_, *model_, std::move(templates), options);
+
+  std::vector<std::shared_ptr<ReplyChannel>> waiters;
+  for (int i = 0; i < 3; ++i) {
+    LaunchRequest req;
+    req.owner = "victim#000" + std::to_string(i);
+    req.desc = spec.gpu;
+    req.api_messages = 1;
+    req.reply = std::make_shared<ReplyChannel>();
+    waiters.push_back(req.reply);
+    ASSERT_TRUE(backend.channel().send(std::move(req)));
+  }
+  backend.channel().close();  // no ShutdownRequest: abnormal teardown
+
+  for (auto& waiter : waiters) {
+    const auto reply = waiter->receive_for(common::Duration::from_seconds(30.0));
+    ASSERT_TRUE(reply.has_value()) << "reply channel never answered";
+    EXPECT_FALSE(reply->ok);
+    EXPECT_NE(reply->error.find("closed"), std::string::npos) << reply->error;
+  }
+}
+
+TEST_F(ConsolidateTest, BackendEchoesRequestIdsIntoReplies) {
+  const auto spec = workloads::encryption_12k();
+  BackendOptions options;
+  options.batch_threshold = 2;
+  auto templates = TemplateRegistry::paper_defaults();
+  Backend backend(*engine_, *model_, std::move(templates), options);
+  backend.set_cpu_profile(spec.gpu.name, spec.cpu);
+
+  auto replies = std::make_shared<ReplyChannel>();
+  for (std::uint64_t id : {1001ull, 1002ull}) {
+    LaunchRequest req;
+    req.owner = "echo#" + std::to_string(id);
+    req.request_id = id;
+    req.desc = spec.gpu;
+    req.api_messages = 1;
+    req.reply = replies;
+    ASSERT_TRUE(backend.channel().send(std::move(req)));
+  }
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2; ++i) {
+    const auto reply =
+        replies->receive_for(common::Duration::from_seconds(30.0));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_TRUE(reply->ok) << reply->error;
+    seen.insert(reply->request_id);
+  }
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{1001, 1002}));
+}
+
 }  // namespace
 }  // namespace ewc::consolidate

@@ -1,0 +1,421 @@
+// Tests for the wire serialization, framing, socket, and protocol codec
+// layers under the ewcd daemon.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "server/protocol_wire.hpp"
+
+namespace ewc {
+namespace {
+
+using common::Duration;
+using net::Deadline;
+using net::Frame;
+using net::IoStatus;
+using net::Reader;
+using net::Socket;
+using net::Writer;
+
+// ---- wire ----
+
+TEST(WireTest, IntegerRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123456789ll);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123456789ll);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, DoubleRoundTripIsBitExact) {
+  // Every representable double must survive, including the values a lossy
+  // text encoding would mangle.
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      6.62607015e-34,
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+  };
+  Writer w;
+  for (double v : cases) w.f64(v);
+  Reader r(w.bytes());
+  for (double v : cases) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+              std::bit_cast<std::uint64_t>(v));
+  }
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, StringRoundTrip) {
+  Writer w;
+  w.str("");
+  w.str("encryption_12k#0003");
+  w.str(std::string_view("nul\0inside", 10));
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "encryption_12k#0003");
+  EXPECT_EQ(r.str(), std::string("nul\0inside", 10));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, ReaderFailureIsSticky) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u32(), 0u);  // underflow: 2 bytes available, 4 wanted
+  EXPECT_FALSE(r.ok());
+  // Every later read stays poisoned even though bytes remain.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.done());
+}
+
+TEST(WireTest, StringWithGarbageLengthDoesNotAllocate) {
+  // A length prefix far beyond the buffer must poison the reader instead of
+  // attempting a huge allocation.
+  Writer w;
+  w.u32(0xFFFFFFFFu);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, PartialConsumptionIsNotDone) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u32(), 1u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.done());  // trailing bytes: decoders must reject
+}
+
+// ---- framing over a socketpair ----
+
+class FramePairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a_ = Socket(fds[0]);
+    b_ = Socket(fds[1]);
+  }
+
+  Socket a_;
+  Socket b_;
+};
+
+TEST_F(FramePairTest, FrameRoundTrip) {
+  Writer w;
+  w.str("hello");
+  w.f64(1.0 / 3.0);
+  const auto payload = w.take();
+
+  std::string error;
+  ASSERT_EQ(net::write_frame(a_, 3, payload, Deadline::never(), &error),
+            IoStatus::kOk)
+      << error;
+
+  Frame f;
+  ASSERT_EQ(net::read_frame(b_, &f, Deadline::never(), &error), IoStatus::kOk)
+      << error;
+  EXPECT_EQ(f.type, 3);
+  EXPECT_EQ(f.payload, payload);
+}
+
+TEST_F(FramePairTest, EmptyPayloadFrame) {
+  std::string error;
+  ASSERT_EQ(net::write_frame(a_, 7, {}, Deadline::never(), &error),
+            IoStatus::kOk);
+  Frame f;
+  ASSERT_EQ(net::read_frame(b_, &f, Deadline::never(), &error), IoStatus::kOk);
+  EXPECT_EQ(f.type, 7);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST_F(FramePairTest, BadMagicIsError) {
+  const std::uint8_t junk[12] = {0xDE, 0xAD, 0xBE, 0xEF, 0, 0,
+                                 0,    0,    0,    0,    0, 0};
+  std::string error;
+  ASSERT_EQ(a_.send_exact(junk, sizeof junk, Deadline::never(), &error),
+            IoStatus::kOk);
+  Frame f;
+  EXPECT_EQ(net::read_frame(b_, &f, Deadline::never(), &error),
+            IoStatus::kError);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST_F(FramePairTest, OversizedLengthIsError) {
+  // Valid magic, length beyond kMaxFramePayload.
+  std::uint8_t hdr[12] = {};
+  const std::uint32_t magic = net::kFrameMagic;
+  const std::uint32_t len = net::kMaxFramePayload + 1;
+  std::memcpy(hdr, &magic, 4);  // test runs on little-endian hosts
+  std::memcpy(hdr + 8, &len, 4);
+  std::string error;
+  ASSERT_EQ(a_.send_exact(hdr, sizeof hdr, Deadline::never(), &error),
+            IoStatus::kOk);
+  Frame f;
+  EXPECT_EQ(net::read_frame(b_, &f, Deadline::never(), &error),
+            IoStatus::kError);
+}
+
+TEST_F(FramePairTest, CleanEofBetweenFrames) {
+  a_.close();
+  Frame f;
+  std::string error;
+  EXPECT_EQ(net::read_frame(b_, &f, Deadline::never(), &error), IoStatus::kEof);
+}
+
+TEST_F(FramePairTest, EofInsidePayloadIsError) {
+  // Send a complete header promising 100 bytes, then only 10, then close.
+  std::uint8_t hdr[12] = {};
+  const std::uint32_t magic = net::kFrameMagic;
+  const std::uint32_t len = 100;
+  std::memcpy(hdr, &magic, 4);
+  std::memcpy(hdr + 8, &len, 4);
+  std::string error;
+  ASSERT_EQ(a_.send_exact(hdr, sizeof hdr, Deadline::never(), &error),
+            IoStatus::kOk);
+  std::uint8_t partial[10] = {};
+  ASSERT_EQ(a_.send_exact(partial, sizeof partial, Deadline::never(), &error),
+            IoStatus::kOk);
+  a_.close();
+  Frame f;
+  EXPECT_EQ(net::read_frame(b_, &f, Deadline::never(), &error),
+            IoStatus::kError);
+}
+
+TEST_F(FramePairTest, ReadTimesOutWhenNoDataArrives) {
+  Frame f;
+  std::string error;
+  EXPECT_EQ(net::read_frame(b_, &f,
+                            Deadline::after(Duration::from_seconds(0.05)),
+                            &error),
+            IoStatus::kTimeout);
+}
+
+TEST_F(FramePairTest, ShutdownWakesBlockedReader) {
+  std::thread closer([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    b_.shutdown_rw();
+  });
+  Frame f;
+  std::string error;
+  EXPECT_EQ(net::read_frame(b_, &f, Deadline::never(), &error), IoStatus::kEof);
+  closer.join();
+}
+
+// ---- listener / connect ----
+
+TEST(ListenerTest, BindAcceptConnectRoundTrip) {
+  const std::string path = ::testing::TempDir() + "net_test_lst.sock";
+  ::unlink(path.c_str());
+  std::string error;
+  auto listener = net::Listener::bind_unix(path, 8, &error);
+  ASSERT_TRUE(listener.has_value()) << error;
+
+  std::optional<Socket> client;
+  std::thread connector([&] {
+    client = net::connect_unix(path, Deadline::after(Duration::from_seconds(5)),
+                               &error);
+  });
+  IoStatus status = IoStatus::kOk;
+  auto server_side =
+      listener->accept(Deadline::after(Duration::from_seconds(5)), &status,
+                       &error);
+  connector.join();
+  ASSERT_TRUE(server_side.has_value()) << error;
+  ASSERT_TRUE(client.has_value()) << error;
+
+  ASSERT_EQ(net::write_frame(*client, 1, {}, Deadline::never(), &error),
+            IoStatus::kOk);
+  Frame f;
+  ASSERT_EQ(net::read_frame(*server_side, &f, Deadline::never(), &error),
+            IoStatus::kOk);
+  EXPECT_EQ(f.type, 1);
+}
+
+TEST(ListenerTest, ConnectRetriesUntilServerBinds) {
+  // The daemon may still be binding when a client starts; connect_unix must
+  // retry ENOENT/ECONNREFUSED until its deadline.
+  const std::string path = ::testing::TempDir() + "net_test_late.sock";
+  ::unlink(path.c_str());
+  std::string error;
+  std::optional<net::Listener> listener;
+  std::thread late_binder([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    listener = net::Listener::bind_unix(path, 8, &error);
+  });
+  std::string cerr2;
+  auto client = net::connect_unix(
+      path, Deadline::after(Duration::from_seconds(5)), &cerr2);
+  late_binder.join();
+  ASSERT_TRUE(listener.has_value()) << error;
+  EXPECT_TRUE(client.has_value()) << cerr2;
+}
+
+TEST(ListenerTest, ConnectToMissingPathTimesOut) {
+  std::string error;
+  auto client = net::connect_unix(
+      "/tmp/ewc_net_test_definitely_missing.sock",
+      Deadline::after(Duration::from_seconds(0.1)), &error);
+  EXPECT_FALSE(client.has_value());
+}
+
+TEST(ListenerTest, OverlongPathIsRejected) {
+  std::string error;
+  auto listener = net::Listener::bind_unix(std::string(200, 'x'), 8, &error);
+  EXPECT_FALSE(listener.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// ---- protocol codecs ----
+
+TEST(ProtocolWireTest, HelloRoundTrip) {
+  server::HelloMsg m;
+  m.owner = "client@4";
+  const auto payload = server::encode_hello(m);
+  const auto back = server::decode_hello(payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, server::kProtocolVersion);
+  EXPECT_EQ(back->owner, "client@4");
+}
+
+TEST(ProtocolWireTest, HelloOkRoundTrip) {
+  server::HelloOkMsg m;
+  m.inflight_limit = 16;
+  m.deadline_micros = 2500000;
+  m.argument_batching = false;
+  const auto back = server::decode_hello_ok(server::encode_hello_ok(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->inflight_limit, 16u);
+  EXPECT_EQ(back->deadline_micros, 2500000u);
+  EXPECT_FALSE(back->argument_batching);
+}
+
+TEST(ProtocolWireTest, LaunchRoundTripIsBitExact) {
+  consolidate::LaunchRequest req;
+  req.request_id = 77;
+  req.owner = "encryption_12k#0002";
+  req.desc.name = "aes_encrypt";
+  req.desc.num_blocks = 48;
+  req.desc.threads_per_block = 256;
+  req.desc.mix.fp_insts = 1.0 / 3.0;
+  req.desc.mix.int_insts = 1234.5678;
+  req.desc.mix.sfu_insts = 1e-300;
+  req.desc.mix.sync_insts = 17.0;
+  req.desc.mix.coalesced_mem_insts = 96.25;
+  req.desc.mix.uncoalesced_mem_insts = 0.125;
+  req.desc.mix.shared_accesses = 2048.0;
+  req.desc.mix.const_accesses = 7.0;
+  req.desc.resources.registers_per_thread = 24;
+  req.desc.resources.shared_mem_per_block = 16384;
+  req.desc.resources.constant_data = common::Bytes::from_bytes(65536.0);
+  req.desc.mlp = 3.5;
+  req.desc.h2d_bytes = common::Bytes::from_bytes(12288.0 + 1.0 / 7.0);
+  req.desc.d2h_bytes = common::Bytes::from_bytes(4096.0);
+  req.staged_bytes = 12289;
+  req.api_messages = 4;
+
+  const auto back = server::decode_launch(server::encode_launch(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->request_id, 77u);
+  EXPECT_EQ(back->owner, req.owner);
+  EXPECT_EQ(back->desc.name, "aes_encrypt");
+  EXPECT_EQ(back->desc.num_blocks, 48);
+  EXPECT_EQ(back->desc.threads_per_block, 256);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back->desc.mix.fp_insts),
+            std::bit_cast<std::uint64_t>(req.desc.mix.fp_insts));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back->desc.mix.sfu_insts),
+            std::bit_cast<std::uint64_t>(req.desc.mix.sfu_insts));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back->desc.h2d_bytes.bytes()),
+            std::bit_cast<std::uint64_t>(req.desc.h2d_bytes.bytes()));
+  EXPECT_EQ(back->desc.resources.shared_mem_per_block, 16384);
+  EXPECT_EQ(back->staged_bytes, 12289u);
+  EXPECT_EQ(back->api_messages, 4);
+  EXPECT_EQ(back->reply, nullptr);  // transport-local, never on the wire
+}
+
+TEST(ProtocolWireTest, CompletionRoundTrip) {
+  consolidate::CompletionReply reply;
+  reply.ok = true;
+  reply.request_id = 99;
+  reply.finish_time = common::Duration::from_seconds(2.0 + 1.0 / 3.0);
+  reply.where = consolidate::CompletionReply::Where::kCpu;
+  const auto back = server::decode_completion(server::encode_completion(reply));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->request_id, 99u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back->finish_time.seconds()),
+            std::bit_cast<std::uint64_t>(reply.finish_time.seconds()));
+  EXPECT_EQ(back->where, consolidate::CompletionReply::Where::kCpu);
+}
+
+TEST(ProtocolWireTest, MalformedPayloadsAreRejected) {
+  // Truncated launch.
+  consolidate::LaunchRequest req;
+  req.owner = "x";
+  req.desc.name = "k";
+  auto launch = server::encode_launch(req);
+  launch.resize(launch.size() - 1);
+  EXPECT_FALSE(server::decode_launch(launch).has_value());
+
+  // Trailing junk after a valid hello.
+  auto hello = server::encode_hello({server::kProtocolVersion, "o"});
+  hello.push_back(std::byte{0});
+  EXPECT_FALSE(server::decode_hello(hello).has_value());
+
+  // Out-of-range `where` enum in a completion.
+  consolidate::CompletionReply reply;
+  reply.ok = true;
+  auto comp = server::encode_completion(reply);
+  comp.back() = std::byte{9};
+  EXPECT_FALSE(server::decode_completion(comp).has_value());
+
+  // Empty payload where fields are mandatory.
+  EXPECT_FALSE(server::decode_flush({}).has_value());
+  EXPECT_FALSE(server::decode_hello_ok({}).has_value());
+}
+
+TEST(ProtocolWireTest, ShutdownFrameIsEmpty) {
+  EXPECT_TRUE(server::encode_shutdown().empty());
+}
+
+TEST(ProtocolWireTest, ErrorRoundTrip) {
+  const auto back =
+      server::decode_error(server::encode_error({"server full"}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->message, "server full");
+}
+
+}  // namespace
+}  // namespace ewc
