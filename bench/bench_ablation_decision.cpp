@@ -24,7 +24,7 @@ PolicyResult run_policy(bench::Harness& h, consolidate::DecisionPolicy policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -62,5 +62,6 @@ int main() {
   }
   std::cout << t << "\n";
   std::cout << "model-based should track min(always, never) per batch.\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_ablation_decision");
   return 0;
 }

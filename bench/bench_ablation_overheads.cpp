@@ -20,7 +20,7 @@ consolidate::SetupResult run_with(bench::Harness& h,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -63,5 +63,6 @@ int main() {
   row("none (raw framework)", none);
 
   std::cout << t << "\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_ablation_overheads");
   return 0;
 }

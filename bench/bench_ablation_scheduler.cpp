@@ -9,7 +9,7 @@
 #include "common/stats.hpp"
 #include "perf/consolidation_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
 
   bench::header("Ablation A5: block-dispatch policy sensitivity",
@@ -60,5 +60,6 @@ int main() {
                bench::fmt(100.0 * worst, 1) + "%"});
   }
   std::cout << t << "\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_ablation_scheduler");
   return 0;
 }

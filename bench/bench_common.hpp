@@ -6,13 +6,18 @@
 // reports (plus the paper's own numbers where quoted, for comparison).
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/table.hpp"
 #include "consolidate/runner.hpp"
 #include "gpusim/engine.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
 #include "power/trainer.hpp"
+#include "trace/counters.hpp"
 #include "workloads/paper_configs.hpp"
 #include "workloads/rodinia_like.hpp"
 
@@ -38,6 +43,57 @@ inline void header(const std::string& title, const std::string& paper_claim) {
   std::cout << "==== " << title << " ====\n";
   if (!paper_claim.empty()) std::cout << "paper: " << paper_claim << "\n";
   std::cout << "\n";
+}
+
+/// The observability sidecar path for this run: `--json <path>` (or
+/// `--json=<path>`) on the command line, else the EWC_BENCH_JSON environment
+/// variable, else empty (no sidecar).
+inline std::string observability_json_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  if (const char* env = std::getenv("EWC_BENCH_JSON")) return env;
+  return {};
+}
+
+/// One-line JSON record of everything the run measured: every trace counter
+/// plus every histogram with count/mean/p50/p95/p99. Appended (JSON-lines)
+/// so repeated runs accumulate a diffable log instead of clobbering each
+/// other. Call at the end of main; no-op when no path is configured.
+inline void write_observability_json(int argc, char** argv,
+                                     const std::string& bench_name) {
+  const std::string path = observability_json_path(argc, argv);
+  if (path.empty()) return;
+
+  obs::json::Object counters;
+  for (const auto& [name, value] : trace::Counters::instance().snapshot()) {
+    counters.emplace(name, value);
+  }
+  obs::json::Object histograms;
+  for (const auto& [name, h] : obs::HistogramRegistry::instance()
+                                   .snapshot_all()) {
+    obs::json::Object entry;
+    entry.emplace("count", static_cast<double>(h.total));
+    entry.emplace("mean", h.mean());
+    entry.emplace("p50", h.percentile(50));
+    entry.emplace("p95", h.percentile(95));
+    entry.emplace("p99", h.percentile(99));
+    histograms.emplace(name, std::move(entry));
+  }
+  obs::json::Object doc;
+  doc.emplace("bench", bench_name);
+  doc.emplace("counters", std::move(counters));
+  doc.emplace("histograms", std::move(histograms));
+
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::cerr << "bench: cannot open " << path << " for append\n";
+    return;
+  }
+  out << obs::json::Value(std::move(doc)).dump() << "\n";
+  std::cout << "observability JSON appended to " << path << "\n";
 }
 
 }  // namespace ewc::bench

@@ -6,7 +6,7 @@
 // showing the consolidation win is not an artifact of the original five.
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -57,5 +57,6 @@ int main() {
          "IPC+staging overhead (sunk by decision time) dominates their batches\n"
          "and the CPU-native deployment wins — the Figure-7 lesson generalizes:\n"
          "consolidation pays once request service times reach seconds.\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_enterprise_mix");
   return 0;
 }

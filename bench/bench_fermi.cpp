@@ -11,7 +11,7 @@
 //       come from different processes, which Fermi alone cannot merge).
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
 
   bench::header("Extension: GT200 framework vs Fermi concurrent kernels",
@@ -64,5 +64,6 @@ int main() {
                "only within one process; cross-process batches still need "
                "the framework, whose overheads stay small next to the win "
                "over serial execution.\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_fermi");
   return 0;
 }

@@ -3,7 +3,7 @@
 // setups: multicore CPU, serial GPU, and consolidated GPU.
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -31,5 +31,6 @@ int main() {
                bench::fmt(100.0 * (1.0 - consol.energy / cpu.energy), 0) + "%"});
   }
   std::cout << t << "\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_figure1");
   return 0;
 }

@@ -5,7 +5,7 @@
 #include "common/stats.hpp"
 #include "perf/consolidation_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
   perf::ConsolidationModel model(h.engine.device());
@@ -67,5 +67,6 @@ int main() {
             << "%  max error: "
             << bench::fmt(100.0 * common::max_relative_error(pred, meas), 1)
             << "%\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_figure3");
   return 0;
 }

@@ -8,7 +8,7 @@
 #include "perf/consolidation_model.hpp"
 #include "power/meter.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
   perf::ConsolidationModel perf_model(h.engine.device());
@@ -71,5 +71,6 @@ int main() {
             << "%  (paper: 6.4%)   max error: "
             << bench::fmt(100.0 * *std::max_element(errors.begin(), errors.end()), 1)
             << "%  (paper bound: 10%)\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_figure5");
   return 0;
 }

@@ -4,7 +4,7 @@
 // become overwhelming beyond ~9 instances.
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -40,9 +40,11 @@ int main() {
     if (dyn.time.seconds() >= cpu.time.seconds()) {
       std::cout << "dynamic consolidation stops paying off at n = " << n
                 << " (paper: ~9)\n";
+      ewc::bench::write_observability_json(argc, argv, "bench_figure7");
       return 0;
     }
   }
   std::cout << "dynamic consolidation still beats the CPU at n = 24\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_figure7");
   return 0;
 }

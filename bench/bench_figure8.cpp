@@ -3,7 +3,7 @@
 // manual consolidation time stays almost constant; serial loses to CPU.
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -27,5 +27,6 @@ int main() {
                bench::fmt(r.cpu.time / r.dynamic_framework.time, 2) + "x"});
   }
   std::cout << t << "\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_figure8");
   return 0;
 }

@@ -5,6 +5,11 @@
 // benefits is low").
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
 #include "cpusim/engine.hpp"
 #include "gpusim/engine.hpp"
 #include "perf/consolidation_model.hpp"
@@ -99,4 +104,26 @@ BENCHMARK(BM_EventRateExtraction);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the run can end with the shared
+// observability JSON block. --json/--json= is ours, not google-benchmark's,
+// so it is stripped before Initialize (which rejects unknown flags).
+int main(int argc, char** argv) {
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) continue;
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ewc::bench::write_observability_json(argc, argv, "bench_micro");
+  return 0;
+}

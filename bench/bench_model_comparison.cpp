@@ -7,7 +7,7 @@
 #include "perf/analytic.hpp"
 #include "perf/hong_kim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
   perf::AnalyticModel model(h.engine.device());
@@ -49,5 +49,6 @@ int main() {
   std::cout << t << "\nmean error: extended "
             << bench::fmt(100.0 * common::mean(ext_err), 1) << "%, Hong-Kim "
             << bench::fmt(100.0 * common::mean(hk_err), 1) << "%\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_model_comparison");
   return 0;
 }

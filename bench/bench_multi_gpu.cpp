@@ -9,7 +9,7 @@
 
 #include "consolidate/multi_gpu.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -55,5 +55,6 @@ int main() {
     }
     std::cout << t << "\n";
   }
+  ewc::bench::write_observability_json(argc, argv, "bench_multi_gpu");
   return 0;
 }

@@ -59,7 +59,7 @@ const char* mark(bool b) { return b ? "yes" : "NO"; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
 
   bench::header("Extension: device-parameter sensitivity",
@@ -117,5 +117,6 @@ int main() {
          "the harm mechanism. The flat-encryption property fails exactly "
          "when 27 blocks' demand outgrows the (reduced) bandwidth. Scenario "
          "2's win survives every perturbation.\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_sensitivity");
   return 0;
 }

@@ -4,7 +4,7 @@
 
 #include "cpusim/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
   cpusim::CpuEngine cpu;
@@ -30,5 +30,6 @@ int main() {
                bench::fmt(paper_speedup[i], 2)});
   }
   std::cout << t << "\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_table1");
   return 0;
 }

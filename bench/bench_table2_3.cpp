@@ -51,7 +51,7 @@ void run_scenario(bench::Harness& h, const char* title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Harness h;
   bench::header("Tables 2 & 3: when consolidation helps and when it hurts",
                 "Table 2: 62.4/19.5 -> 84.6 s (harmful). "
@@ -66,5 +66,6 @@ int main() {
   run_scenario(h, "Scenario 2 (Table 3): BlackScholes + search",
                workloads::scenario2_blackscholes(),
                workloads::scenario2_search(), paper3);
+  ewc::bench::write_observability_json(argc, argv, "bench_table2_3");
   return 0;
 }

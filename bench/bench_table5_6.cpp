@@ -3,7 +3,7 @@
 // Paper best case (1S+20B): 9.3x speedup, 9.9x energy savings vs CPU.
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -46,5 +46,6 @@ int main() {
   std::cout << "best dynamic-vs-CPU speedup: " << bench::fmt(best_speedup, 1)
             << "x (paper: 9.3x), energy savings: " << bench::fmt(best_energy, 1)
             << "x (paper: 9.9x)\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_table5_6");
   return 0;
 }

@@ -3,7 +3,7 @@
 // Paper best case (5E+15M): 19x speedup, 22x energy savings vs CPU.
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -46,5 +46,6 @@ int main() {
   std::cout << "best dynamic-vs-CPU speedup: " << bench::fmt(best_speedup, 1)
             << "x (paper: 19x), energy savings: " << bench::fmt(best_energy, 1)
             << "x (paper: 22x)\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_table7_8");
   return 0;
 }

@@ -11,7 +11,7 @@
 #include "consolidate/queue_sim.hpp"
 #include "trace/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ewc;
   bench::Harness h;
 
@@ -60,5 +60,6 @@ int main() {
   }
   std::cout << t << "\n";
   std::cout << "bigger batches amortize energy per request; latency pays.\n";
+  ewc::bench::write_observability_json(argc, argv, "bench_threshold_sweep");
   return 0;
 }

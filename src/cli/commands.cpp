@@ -18,6 +18,9 @@
 #include "common/thread_pool.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
 #include "consolidate/queue_sim.hpp"
 #include "consolidate/runner.hpp"
 #include "cudart/runtime.hpp"
@@ -112,6 +115,38 @@ void serve_signal_handler(int) {
   if (g_serve_instance != nullptr) g_serve_instance->notify_stop();
 }
 
+/// Shared --trace-out flag spec for commands that can record a trace.
+FlagSpec trace_out_spec() {
+  return {"trace-out", "enable tracing; write Chrome-trace JSON here on exit",
+          false, false};
+}
+
+/// Turn the tracer on when --trace-out was given. Call right after parse so
+/// the whole command's lifetime is covered.
+void maybe_enable_tracing(const FlagParser& flags) {
+  if (flags.value("trace-out").has_value()) {
+    obs::Tracer::instance().set_enabled(true);
+  }
+}
+
+/// Export the recorded trace to the --trace-out path, if any. Runs after the
+/// command's work (for `serve`, that is after the SIGTERM-triggered drain
+/// finished — the daemon's shutdown path still produces a trace file).
+void maybe_export_trace(const FlagParser& flags,
+                        const std::string& process_name, std::ostream& out) {
+  const auto path = flags.value("trace-out");
+  if (!path.has_value()) return;
+  std::string error;
+  if (obs::export_chrome_trace_file(*path, process_name, &error)) {
+    const auto wrapped = obs::Tracer::instance().wrapped();
+    out << "TRACE wrote " << *path;
+    if (wrapped > 0) out << " (" << wrapped << " events lost to ring wrap)";
+    out << "\n";
+  } else {
+    out << "TRACE export FAILED: " << error << "\n";
+  }
+}
+
 std::string ptx_sample(const std::string& name) {
   if (name == "aes_encrypt") return std::string(ptx::samples::aes_encrypt());
   if (name == "bitonic_sort") return std::string(ptx::samples::bitonic_sort());
@@ -141,7 +176,9 @@ std::string main_usage() {
       "  cache-stats  replay a trace cache-off vs cache-on and report\n"
       "               hit/miss/eviction counts, speedup and output parity\n"
       "  serve      run the consolidation daemon on a UNIX socket (ewcd)\n"
-      "  client     launch workloads against a running ewcd daemon\n";
+      "  client     launch workloads against a running ewcd daemon\n"
+      "  stats      print a live counter/histogram snapshot from a daemon\n"
+      "  trace-merge  merge Chrome-trace JSONs (client + server) into one\n";
 }
 
 int cmd_list(const std::vector<std::string>& args, std::ostream& out) {
@@ -459,8 +496,10 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
       {"deadline", "per-request real-time deadline, s (default 0 = off)",
        false, false},
       {"drain-timeout", "drain flush budget, s (default 10)", false, false},
+      trace_out_spec(),
   });
   flags.parse(args);
+  maybe_enable_tracing(flags);
   const auto socket_path = flags.value("socket");
   if (!socket_path.has_value()) throw ArgsError("--socket is required");
   const auto mix = parse_mix(flags);
@@ -532,6 +571,7 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   out << "TOTAL time=" << f64_bits(backend.total_time().seconds())
       << " energy=" << f64_bits(backend.total_energy().joules()) << "\n";
   backend.shutdown();
+  maybe_export_trace(flags, "ewcsim serve", out);
   out << "ewcd drained, exiting\n";
   return 0;
 }
@@ -548,8 +588,10 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
        false},
       {"flush", "ask the daemon to flush after the launches", true, false},
       {"shutdown", "ask the daemon to drain and exit afterwards", true, false},
+      trace_out_spec(),
   });
   flags.parse(args);
+  maybe_enable_tracing(flags);
   const auto socket_path = flags.value("socket");
   if (!socket_path.has_value()) throw ArgsError("--socket is required");
   const auto mix = parse_mix(flags);
@@ -673,7 +715,79 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
     out << "SHUTDOWN " << (conn->request_shutdown() ? "sent" : "FAILED")
         << "\n";
   }
+  maybe_export_trace(flags, "ewcsim client", out);
   return all_ok ? 0 : 1;
+}
+
+int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"socket", "UNIX socket path of the daemon", false, false},
+      {"connect-timeout", "daemon connect budget, s (default 10)", false,
+       false},
+      {"timeout", "reply wait budget, s (default 30)", false, false},
+      {"no-histograms", "fetch counters only", true, false},
+  });
+  flags.parse(args);
+  const auto socket_path = flags.value("socket");
+  if (!socket_path.has_value()) throw ArgsError("--socket is required");
+  const auto connect_timeout = common::Duration::from_seconds(
+      flags.get_double_in("connect-timeout", 10.0, 0.1, 3600.0));
+  const auto reply_timeout = common::Duration::from_seconds(
+      flags.get_double_in("timeout", 30.0, 0.1, 3600.0));
+
+  std::string error;
+  auto conn = server::ClientConnection::connect(*socket_path, "ewcsim-stats",
+                                                connect_timeout, &error);
+  if (conn == nullptr) throw ArgsError("cannot connect: " + error);
+  const auto reply =
+      conn->stats(!flags.get_bool("no-histograms"), reply_timeout);
+  if (!reply.has_value()) {
+    throw ArgsError(
+        "no stats reply (daemon too old for the STATS frame, or timed out)");
+  }
+
+  out << "ewcd uptime: "
+      << static_cast<double>(reply->uptime_micros) * 1e-6 << " s\n";
+  common::TextTable counters({"counter", "value"});
+  for (const auto& [name, value] : reply->counters) {
+    counters.add_row({name, common::TextTable::num(value, 0)});
+  }
+  out << "counters:\n" << counters;
+
+  if (!reply->histograms.empty()) {
+    common::TextTable hists(
+        {"histogram", "count", "mean", "p50", "p95", "p99"});
+    for (const auto& [name, h] : reply->histograms) {
+      hists.add_row({name, std::to_string(h.total),
+                     common::TextTable::num(h.mean(), 6),
+                     common::TextTable::num(h.percentile(50), 6),
+                     common::TextTable::num(h.percentile(95), 6),
+                     common::TextTable::num(h.percentile(99), 6)});
+    }
+    out << "histograms:\n" << hists;
+  }
+  return 0;
+}
+
+int cmd_trace_merge(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"in", "input Chrome-trace JSON, repeatable", false, true},
+      {"out", "merged output path", false, false},
+  });
+  flags.parse(args);
+  std::vector<std::string> inputs = flags.values("in");
+  for (const auto& p : flags.positional()) inputs.push_back(p);
+  const auto out_path = flags.value("out");
+  if (!out_path.has_value()) throw ArgsError("--out is required");
+  if (inputs.size() < 2) {
+    throw ArgsError("need at least two inputs (--in a.json --in b.json)");
+  }
+  std::string error;
+  if (!obs::merge_chrome_trace_files(inputs, *out_path, &error)) {
+    throw ArgsError("merge failed: " + error);
+  }
+  out << "merged " << inputs.size() << " traces into " << *out_path << "\n";
+  return 0;
 }
 
 int run_command(const std::vector<std::string>& argv, std::ostream& out,
@@ -694,6 +808,8 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "cache-stats") return cmd_cache_stats(rest, out);
     if (command == "serve") return cmd_serve(rest, out);
     if (command == "client") return cmd_client(rest, out);
+    if (command == "stats") return cmd_stats(rest, out);
+    if (command == "trace-merge") return cmd_trace_merge(rest, out);
     if (command == "help" || command == "--help") {
       out << main_usage();
       return 0;

@@ -12,8 +12,12 @@
 //   ewcsim timeline --workload encryption_12k=9 [--csv out.csv]
 //   ewcsim cache-stats --requests 300 [--workload name]... [--pool 4]
 //   ewcsim serve    --socket /tmp/ewcd.sock --workload encryption_12k=6 ...
+//                   [--trace-out serve.json]
 //   ewcsim client   --socket /tmp/ewcd.sock --workload encryption_12k=3
 //                   [--slot-base 0] [--flush] [--shutdown]
+//                   [--trace-out client.json]
+//   ewcsim stats    --socket /tmp/ewcd.sock [--no-histograms]
+//   ewcsim trace-merge --in serve.json --in client.json --out merged.json
 #pragma once
 
 #include <iosfwd>
@@ -37,6 +41,8 @@ int cmd_timeline(const std::vector<std::string>& args, std::ostream& out);
 int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out);
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out);
 int cmd_client(const std::vector<std::string>& args, std::ostream& out);
+int cmd_stats(const std::vector<std::string>& args, std::ostream& out);
+int cmd_trace_merge(const std::vector<std::string>& args, std::ostream& out);
 
 /// Top-level usage text.
 std::string main_usage();

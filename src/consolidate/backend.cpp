@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
 
 namespace ewc::consolidate {
 
@@ -106,6 +108,14 @@ void Backend::fail_pending(std::vector<LaunchRequest>& pending,
 }
 
 void Backend::process_batch(std::vector<LaunchRequest>& batch) {
+  static obs::Histogram* batch_hist =
+      obs::HistogramRegistry::instance().get("backend.batch_size");
+  batch_hist->record(static_cast<double>(batch.size()));
+  obs::ScopedSpan span("backend.batch");
+  if (span.active()) {
+    span.set_args("\"requests\":" + std::to_string(batch.size()));
+  }
+
   // Frontends race to the channel; order the batch by owner so results are
   // deterministic regardless of host thread scheduling.
   std::sort(batch.begin(), batch.end(),
@@ -157,8 +167,20 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
   using common::Duration;
   using common::Energy;
 
+  obs::ScopedSpan span("backend.group");
+
   BatchReport report;
   report.num_instances = static_cast<int>(batch.size());
+
+  // Anchor this group's simulated-time events on the daemon's accumulated
+  // simulated timeline: groups execute back-to-back in simulated time, so
+  // the engine's own t=0 maps to everything that ran before plus this
+  // group's framework overhead.
+  double sim_anchor = 0.0;
+  if (obs::Tracer::enabled()) {
+    std::lock_guard lock(state_mutex_);
+    sim_anchor = total_time_.seconds();
+  }
 
   // Assemble the candidate set.
   gpusim::LaunchPlan plan;
@@ -252,6 +274,8 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
 
       Duration offset = Duration::zero();
       for (const auto& chunk : chunks) {
+        obs::SimClockScope sim_base(sim_anchor + overhead.seconds() +
+                                    offset.seconds());
         const gpusim::RunResult run = engine_.run(chunk);
         record_gpu_completions(run, offset,
                                CompletionReply::Where::kConsolidatedGpu, 0);
@@ -266,6 +290,9 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
       for (std::size_t i = 0; i < plan.instances.size(); ++i) {
         gpusim::LaunchPlan single;
         single.instances.push_back(plan.instances[i]);
+        obs::SimClockScope sim_base(sim_anchor + overhead.seconds() +
+                                    offset.seconds());
+        obs::RequestScope req_scope(batch[i].request_id);
         const gpusim::RunResult run = engine_.run(single);
         replies[i].ok = true;
         replies[i].where = CompletionReply::Where::kIndividualGpu;
@@ -305,6 +332,15 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
   report.total_time = overhead + exec_time;
   report.energy = energy;
 
+  if (span.active()) {
+    std::string args = "\"instances\":" + std::to_string(batch.size()) +
+                       ",\"chosen\":\"" + alternative_name(chosen) + "\"";
+    if (tmpl != nullptr) {
+      args += ",\"template\":\"" + obs::json_escape(tmpl->name) + "\"";
+    }
+    span.set_args(std::move(args));
+  }
+
   {
     std::lock_guard lock(state_mutex_);
     total_time_ += report.total_time;
@@ -312,12 +348,19 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
     reports_.push_back(report);
   }
 
+  const bool tracing = obs::Tracer::enabled();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (!replies[i].ok) {
       replies[i].ok = false;
       replies[i].error = "instance completion not recorded";
     }
     replies[i].request_id = batch[i].request_id;
+    if (tracing) {
+      obs::instant("backend.reply", batch[i].request_id,
+                   "\"where\":" +
+                       std::to_string(static_cast<int>(replies[i].where)) +
+                       ",\"ok\":" + (replies[i].ok ? "true" : "false"));
+    }
     if (batch[i].reply) batch[i].reply->send(replies[i]);
   }
   batch.clear();

@@ -5,6 +5,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
+
 namespace ewc::consolidate {
 
 const char* alternative_name(Alternative a) {
@@ -122,6 +125,11 @@ Decision DecisionEngine::decide(
     throw std::invalid_argument("DecisionEngine::decide: profile count mismatch");
   }
 
+  static obs::Histogram* decide_hist =
+      obs::HistogramRegistry::instance().get("decision.decide_seconds");
+  const double t0_us = obs::Tracer::now_us();
+  obs::ScopedSpan span("decision.decide");
+
   Decision d;
   AlternativeEstimate ea, eb, ec;
 
@@ -211,6 +219,11 @@ Decision DecisionEngine::decide(
       d.chosen = best ? best->which : Alternative::kIndividualGpu;
       break;
     }
+  }
+  decide_hist->record((obs::Tracer::now_us() - t0_us) * 1e-6);
+  if (span.active()) {
+    span.set_args("\"instances\":" + std::to_string(plan.instances.size()) +
+                  ",\"chosen\":\"" + alternative_name(d.chosen) + "\"");
   }
   return d;
 }

@@ -6,6 +6,8 @@
 
 #include "common/stats.hpp"
 #include "cpusim/engine.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
 #include "trace/counters.hpp"
 
 namespace ewc::consolidate {
@@ -42,6 +44,16 @@ QueueSimResult QueueSimulator::run(
       engine_.energy_config().system_idle_with_gpu.watts();
   const double gpu_idle_delta_w =
       idle_w - engine_.energy_config().host_only_idle.watts();
+
+  // Per-batch counters bump through cached handles: one registry lookup
+  // here, then a lock-free atomic add per batch inside the loop.
+  auto& counters = trace::Counters::instance();
+  auto batches_ctr = counters.handle("queue_sim.batches");
+  auto requests_ctr = counters.handle("queue_sim.requests");
+  obs::Histogram* batch_hist =
+      obs::HistogramRegistry::instance().get("queue_sim.batch_size");
+  obs::Histogram* latency_hist = obs::HistogramRegistry::instance().get(
+      "queue_sim.request_latency_seconds");
 
   std::size_t next = 0;
   double t_free = 0.0;
@@ -110,8 +122,13 @@ QueueSimResult QueueSimulator::run(
       return fresh_run;
     };
 
+    const double start = std::max(ready, t_free);
+
     double exec_seconds = 0.0;
     double exec_joules = 0.0;
+    // The engine's sim-clock events are relative to its own t=0; anchor them
+    // at this batch's execution start on the queue timeline.
+    obs::SimClockScope sim_base(start + overhead.seconds());
     switch (decision.chosen) {
       case Alternative::kConsolidatedGpu: {
         const auto run = simulate("run", [&] { return engine_.run(plan); });
@@ -138,11 +155,22 @@ QueueSimResult QueueSimulator::run(
       }
     }
 
-    const double start = std::max(ready, t_free);
     const double gap = start - t_free;  // node idles between batches
     const double finish = start + overhead.seconds() + exec_seconds;
     busy_and_gap_joules += gap * idle_w + overhead.seconds() * idle_w +
                            exec_joules;
+
+    batches_ctr.inc();
+    requests_ctr.add(static_cast<double>(batch.size()));
+    batch_hist->record(static_cast<double>(batch.size()));
+    if (obs::Tracer::enabled()) {
+      // sim_base anchors at start+overhead; back up to the batch's start.
+      obs::sim_span("queue_sim.batch", -overhead.seconds(),
+                    finish - start, 0,
+                    "\"requests\":" + std::to_string(batch.size()) +
+                        ",\"chosen\":\"" +
+                        alternative_name(decision.chosen) + "\"");
+    }
 
     for (const auto& req : batch) {
       RequestOutcome o;
@@ -163,13 +191,13 @@ QueueSimResult QueueSimulator::run(
   latencies.reserve(result.outcomes.size());
   for (const auto& o : result.outcomes) {
     latencies.push_back(o.latency_seconds());
+    latency_hist->record(o.latency_seconds());
   }
   result.mean_latency_seconds = common::mean(latencies);
   result.p95_latency_seconds = common::percentile(latencies, 95.0);
 
   if (run_cache_) result.run_cache_stats = run_cache_->stats();
   result.predict_cache_stats = decision_.prediction_cache_stats();
-  auto& counters = trace::Counters::instance();
   counters.set("queue_sim.run_cache.hits",
                static_cast<double>(result.run_cache_stats.hits));
   counters.set("queue_sim.run_cache.misses",

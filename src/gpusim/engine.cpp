@@ -1,9 +1,11 @@
 #include "gpusim/engine.hpp"
 
 #include "common/rng.hpp"
+#include "obs/tracer.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <limits>
 #include <set>
@@ -144,6 +146,12 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
   result.sm_stats.resize(static_cast<std::size_t>(dev_.num_sms));
   EnergyIntegrator integrator(energy_, energy_.system_idle_with_gpu);
 
+  // Sampled once: a mid-run toggle is not observed, which keeps every check
+  // below branch-predictable. Simulated-time events land on lane 0
+  // (batch-level) or lane 1+sm (per-SM), offset by the caller's
+  // SimClockScope.
+  const bool tracing = obs::Tracer::enabled();
+
   // Precompute statics and validate.
   std::vector<KernelStatic> statics;
   statics.reserve(plan.instances.size());
@@ -180,6 +188,7 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
     if (h2d_secs > 0.0) {
       integrator.advance(Duration::from_seconds(h2d_secs), ComponentCounts{},
                          /*transfer_active=*/true);
+      if (tracing) obs::sim_span("gpusim.h2d", 0.0, h2d_secs, 0);
     }
     result.h2d_time = Duration::from_seconds(h2d_secs);
   }
@@ -211,6 +220,12 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
   int resident_count = 0;
   common::Rng dispatch_rng(dev_.dispatch_seed);
 
+  const double h2d_secs = result.h2d_time.seconds();
+  double t = 0.0;  // kernel-relative seconds
+  // Per-block dispatch times, so completion can emit the block's residency
+  // span on its SM's lane.
+  std::vector<double> block_dispatched(tracing ? blocks.size() : 0, 0.0);
+
   auto resident_warps = [&](const SmState& sm) {
     int w = 0;
     for (int bi : sm.resident) {
@@ -224,6 +239,7 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
     // the default round-robin cursor is the GT200 GigaThread behaviour the
     // paper describes (initial round-robin distribution; freed SMs pick up
     // the next untouched block).
+    int placed = 0;
     while (!pending.empty()) {
       int bi = pending.front();
       const KernelStatic& st = statics[static_cast<std::size_t>(blocks[bi].inst)];
@@ -275,6 +291,13 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
       pending.pop_front();
       rr_cursor = (chosen + 1) % dev_.num_sms;
       resident_count += 1;
+      placed += 1;
+      if (tracing) block_dispatched[static_cast<std::size_t>(bi)] = t;
+    }
+    if (tracing && placed > 0) {
+      obs::sim_instant("gpusim.dispatch_wave", h2d_secs + t, 0,
+                       "\"blocks\":" + std::to_string(placed) +
+                           ",\"pending\":" + std::to_string(pending.size()));
     }
   };
 
@@ -282,9 +305,14 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
 
   const double clock = dev_.shader_clock.hertz();
   const double peak_bw = dev_.dram_bandwidth.bytes_per_second();
-  double t = 0.0;  // kernel-relative seconds
   double dram_util_integral = 0.0;
   double sm_util_integral = 0.0;
+  // Bandwidth-saturation tracking: a stretch of events where demanded DRAM
+  // bandwidth exceeds what the device can deliver (mem_scale < 1) becomes
+  // one "gpusim.bw_saturated" span on lane 0.
+  double sat_start = -1.0;
+  double sat_min_scale = 1.0;
+  int prev_busy_sms = 0;
 
   const std::size_t max_events = event_budget(blocks.size());
   std::size_t events = 0;
@@ -413,6 +441,37 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
       result.device_counts += interval_events;
       dram_util_integral += bytes_drained / peak_bw;  // seconds at full BW
       sm_util_integral += dt * busy_sms / dev_.num_sms;
+      if (tracing) {
+        const bool saturated = total_cap > 0.0 && mem_scale < 1.0;
+        if (saturated) {
+          if (sat_start < 0.0) {
+            sat_start = t;
+            sat_min_scale = mem_scale;
+          }
+          sat_min_scale = std::min(sat_min_scale, mem_scale);
+        } else if (sat_start >= 0.0) {
+          char args[64];
+          std::snprintf(args, sizeof args, "\"min_scale\":%.4f",
+                        sat_min_scale);
+          obs::sim_span("gpusim.bw_saturated", h2d_secs + sat_start,
+                        t - sat_start, 0, args);
+          sat_start = -1.0;
+        }
+        // Takeover: the tail of the batch collapses onto one SM, the
+        // "critical" SM whose last blocks now bound the makespan.
+        if (busy_sms == 1 && prev_busy_sms > 1) {
+          for (std::size_t smi = 0; smi < sms.size(); ++smi) {
+            if (!sms[smi].resident.empty()) {
+              obs::sim_instant(
+                  "gpusim.critical_sm_takeover", h2d_secs + t,
+                  static_cast<std::uint32_t>(smi) + 1,
+                  "\"resident_blocks\":" + std::to_string(resident_count));
+              break;
+            }
+          }
+        }
+        prev_busy_sms = busy_sms;
+      }
       t += dt;
       result.occupancy.push_back(OccupancySample{
           Duration::from_seconds(t), busy_sms, resident_count,
@@ -434,10 +493,28 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
           sm.smem_used -= st.smem_per_block;
           result.sm_stats[smi].blocks_executed += 1;
           resident_count -= 1;
+          if (tracing) {
+            const double t0 = block_dispatched[static_cast<std::size_t>(bi)];
+            obs::sim_span("block:" + st.name, h2d_secs + t0, t - t0,
+                          static_cast<std::uint32_t>(smi) + 1);
+          }
           if (--st.blocks_remaining == 0) {
             result.completions.push_back(InstanceCompletion{
                 plan.instances[static_cast<std::size_t>(b.inst)].instance_id,
                 st.name, result.h2d_time + Duration::from_seconds(t)});
+            if (tracing) {
+              // Cumulative system energy at this completion: subtracting the
+              // previous instance's figure attributes the increment.
+              char args[128];
+              std::snprintf(
+                  args, sizeof args,
+                  "\"instance_id\":%d,\"kernel\":\"%s\",\"cum_energy_j\":%.6f",
+                  plan.instances[static_cast<std::size_t>(b.inst)].instance_id,
+                  obs::json_escape(st.name).c_str(),
+                  integrator.total_energy().joules());
+              obs::sim_instant("gpusim.instance_complete", h2d_secs + t,
+                               static_cast<std::uint32_t>(smi) + 1, args);
+            }
           }
         } else {
           ++r;
@@ -470,6 +547,19 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
     result.d2h_time = Duration::from_seconds(d2h_secs);
   }
 
+  if (tracing) {
+    if (sat_start >= 0.0) {
+      char args[64];
+      std::snprintf(args, sizeof args, "\"min_scale\":%.4f", sat_min_scale);
+      obs::sim_span("gpusim.bw_saturated", h2d_secs + sat_start,
+                    t - sat_start, 0, args);
+    }
+    if (t > 0.0) obs::sim_span("gpusim.kernels", h2d_secs, t, 0);
+    if (result.d2h_time.seconds() > 0.0) {
+      obs::sim_span("gpusim.d2h", h2d_secs + t, result.d2h_time.seconds(), 0);
+    }
+  }
+
   result.total_time = integrator.elapsed();
   result.system_energy = integrator.total_energy();
   result.avg_system_power = result.total_time.seconds() > 0.0
@@ -477,6 +567,14 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
                                 : Power::zero();
   result.power_segments = integrator.segments();
   result.avg_temp_delta_kelvin = integrator.avg_temperature_delta_kelvin();
+  if (tracing) {
+    char args[96];
+    std::snprintf(args, sizeof args,
+                  "\"instances\":%zu,\"energy_j\":%.6f",
+                  plan.instances.size(), result.system_energy.joules());
+    obs::sim_span("gpusim.run", 0.0, result.total_time.seconds(), 0, args,
+                  obs::Tracer::current_request_id());
+  }
   return result;
 }
 

@@ -1,0 +1,198 @@
+#include "obs/chrome_trace.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace ewc::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void write_event_common(std::ostream& out, const SpanEvent& ev, int pid,
+                        std::uint32_t tid) {
+  out << "{\"name\":\"" << json_escape(ev.name) << "\",\"ph\":\""
+      << (ev.dur_us >= 0.0 ? 'X' : 'i') << "\",\"ts\":" << num(ev.ts_us)
+      << ",\"pid\":" << pid << ",\"tid\":" << tid;
+  if (ev.dur_us >= 0.0) {
+    out << ",\"dur\":" << num(ev.dur_us);
+  } else {
+    out << ",\"s\":\"t\"";  // instant scope: thread
+  }
+  out << ",\"cat\":\"" << (ev.clock == Clock::kSim ? "sim" : "wall") << '"';
+  if (ev.request_id != 0 || !ev.args.empty()) {
+    out << ",\"args\":{";
+    bool first = true;
+    if (ev.request_id != 0) {
+      out << "\"request_id\":" << ev.request_id;
+      first = false;
+    }
+    if (!ev.args.empty()) {
+      if (!first) out << ',';
+      out << ev.args;
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+void write_metadata(std::ostream& out, int pid, std::uint32_t tid,
+                    const char* kind, const std::string& value, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"name\":\"" << kind << "\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+      << json_escape(value) << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanEvent>& events,
+                        const ExportOptions& options) {
+  const int pid = options.pid != 0 ? options.pid : static_cast<int>(::getpid());
+  const int sim_pid = pid + options.sim_pid_offset;
+  const std::string name =
+      options.process_name.empty() ? "ewc" : options.process_name;
+
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  write_metadata(out, pid, 0, "process_name", name, first);
+  write_metadata(out, sim_pid, 0, "process_name", name + " [simulated time]",
+                 first);
+  std::set<std::uint32_t> sim_lanes;
+  std::set<std::uint32_t> wall_tids;
+  for (const auto& ev : events) {
+    (ev.clock == Clock::kSim ? sim_lanes : wall_tids).insert(ev.lane);
+  }
+  for (std::uint32_t lane : sim_lanes) {
+    write_metadata(out, sim_pid, lane, "thread_name",
+                   lane == 0 ? std::string("batch")
+                             : "sm " + std::to_string(lane - 1),
+                   first);
+  }
+  for (std::uint32_t tid : wall_tids) {
+    write_metadata(out, pid, tid, "thread_name",
+                   "thread " + std::to_string(tid), first);
+  }
+  for (const auto& ev : events) {
+    if (!first) out << ",\n";
+    first = false;
+    if (ev.clock == Clock::kSim) {
+      write_event_common(out, ev, sim_pid, ev.lane);
+    } else {
+      write_event_common(out, ev, pid, ev.lane);
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool export_chrome_trace_file(const std::string& path,
+                              const std::string& process_name,
+                              std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  ExportOptions options;
+  options.process_name = process_name;
+  write_chrome_trace(out, Tracer::instance().collect(), options);
+  out.flush();
+  if (!out) {
+    if (error) *error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+bool merge_chrome_trace_files(const std::vector<std::string>& inputs,
+                              const std::string& output, std::string* error) {
+  json::Array merged;
+  for (const auto& path : inputs) {
+    std::string err;
+    auto doc = json::parse_file(path, &err);
+    if (!doc.has_value()) {
+      if (error) *error = path + ": " + err;
+      return false;
+    }
+    const json::Value* events = doc->find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      if (error) *error = path + ": no traceEvents array";
+      return false;
+    }
+    for (const auto& ev : events->as_array()) merged.push_back(ev);
+  }
+  json::Object root;
+  root.emplace("traceEvents", json::Value(std::move(merged)));
+  root.emplace("displayTimeUnit", json::Value("ms"));
+  std::ofstream out(output, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open " + output + " for writing";
+    return false;
+  }
+  out << json::Value(std::move(root)).dump() << "\n";
+  out.flush();
+  if (!out) {
+    if (error) *error = "write failed: " + output;
+    return false;
+  }
+  return true;
+}
+
+std::string top_spans_report(const std::vector<SpanEvent>& events, int top_n) {
+  struct Agg {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::pair<int, std::string>, Agg> by_name;  // (clock, name)
+  for (const auto& ev : events) {
+    if (ev.dur_us < 0.0) continue;
+    auto& a = by_name[{static_cast<int>(ev.clock), ev.name}];
+    a.count += 1;
+    a.total_us += ev.dur_us;
+    a.max_us = std::max(a.max_us, ev.dur_us);
+  }
+  std::vector<std::pair<std::pair<int, std::string>, Agg>> rows(
+      by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.first.first != b.first.first) return a.first.first < b.first.first;
+    return a.second.total_us > b.second.total_us;
+  });
+
+  std::ostringstream out;
+  int emitted_for_clock[2] = {0, 0};
+  int last_clock = -1;
+  for (const auto& [key, a] : rows) {
+    const auto& [clock, name] = key;
+    if (emitted_for_clock[clock] >= top_n) continue;
+    if (clock != last_clock) {
+      out << (clock == 0 ? "top wall-clock spans (ms):\n"
+                         : "top simulated-clock spans (sim ms):\n");
+      last_clock = clock;
+    }
+    emitted_for_clock[clock] += 1;
+    out << "  " << name << ": n=" << a.count << " total="
+        << num(a.total_us / 1e3) << " mean="
+        << num(a.total_us / 1e3 / static_cast<double>(a.count))
+        << " max=" << num(a.max_us / 1e3) << "\n";
+  }
+  if (rows.empty()) out << "no spans recorded\n";
+  return out.str();
+}
+
+}  // namespace ewc::obs

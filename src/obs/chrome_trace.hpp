@@ -1,0 +1,56 @@
+// Chrome-trace / Perfetto JSON export of recorded spans.
+//
+// The emitted file is the JSON-object trace format
+// ({"traceEvents":[...]}): open it at https://ui.perfetto.dev or
+// chrome://tracing. Layout:
+//
+//   * one pid per real process (wall-clock spans, steady-clock µs
+//     timestamps — comparable across processes on one host, which is what
+//     lines a client's launch span up with the daemon's admission span);
+//   * one synthetic pid per process for the *simulated* clock domain, whose
+//     tids are simulator lanes (SM index, lane 0 for batch-level events) —
+//     simulated seconds never interleave with wall microseconds;
+//   * every span whose request_id != 0 carries it in args.request_id, the
+//     cross-process correlation key.
+//
+// Event kinds used: "X" (complete span), "i" (instant), "M" (metadata:
+// process_name / thread_name).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace ewc::obs {
+
+struct ExportOptions {
+  std::string process_name;  ///< e.g. "ewcsim serve"
+  int pid = 0;               ///< 0 = getpid()
+  /// Offset added to pid for the simulated-clock pseudo-process.
+  int sim_pid_offset = 1000000;
+};
+
+/// Serialize events (as returned by Tracer::collect()) to `out`.
+void write_chrome_trace(std::ostream& out, const std::vector<SpanEvent>& events,
+                        const ExportOptions& options);
+
+/// Collect from the process-wide Tracer and write `path`. False (with
+/// *error) on I/O failure.
+bool export_chrome_trace_file(const std::string& path,
+                              const std::string& process_name,
+                              std::string* error);
+
+/// Merge several Chrome-trace JSON files (each {"traceEvents":[...]}) into
+/// one. Events pass through untouched — pids keep the files apart. False
+/// with *error on unreadable/malformed input.
+bool merge_chrome_trace_files(const std::vector<std::string>& inputs,
+                              const std::string& output, std::string* error);
+
+/// Plain-text top-N summary of complete spans grouped by name: count,
+/// total/mean/max duration, ordered by total descending. Wall and simulated
+/// domains are reported separately (their units differ).
+std::string top_spans_report(const std::vector<SpanEvent>& events, int top_n);
+
+}  // namespace ewc::obs

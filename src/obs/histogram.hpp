@@ -1,0 +1,111 @@
+// Fixed log-bucket histograms for latency/size distributions.
+//
+// The paper's claims are distributional (Figures 3-8 report where requests
+// spend their lives, not just end totals), so every layer that measures a
+// latency, a batch size or an occupancy publishes into one of these instead
+// of keeping a flat counter. Design constraints, in order:
+//
+//   * recording is wait-free (one atomic fetch-add on a fixed bucket) so the
+//     simulation loop and the server's per-request path can record freely;
+//   * snapshots are mergeable — the daemon sums per-process snapshots, the
+//     STATS frame ships them over the wire, and the bench harnesses diff
+//     them across runs — which log buckets give for free (same geometry on
+//     both sides => merge is a vector add);
+//   * percentiles (p50/p95/p99) come from the snapshot by interpolating
+//     inside the covering bucket, with relative error bounded by the bucket
+//     growth factor (2^(1/4) ~ 19% by default).
+//
+// Bucket i covers [min_value * g^i, min_value * g^(i+1)); values below
+// min_value land in bucket 0, values at or above the top edge land in the
+// dedicated overflow bucket (last). All histograms with equal geometry
+// (min_value, growth, bucket count) merge exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ewc::obs {
+
+/// Shared bucket geometry. Equality is what makes two snapshots mergeable.
+struct HistogramParams {
+  double min_value = 1e-6;  ///< lower edge of bucket 0
+  double growth = 1.189207115002721;  ///< 2^(1/4): 4 buckets per octave
+  int buckets = 160;  ///< regular buckets; +1 overflow is kept separately
+
+  friend bool operator==(const HistogramParams&,
+                         const HistogramParams&) = default;
+
+  /// Lower edge of bucket i (i may be == buckets: the overflow threshold).
+  double bucket_lower(int i) const;
+  /// Index of the regular bucket covering v, or `buckets` for overflow.
+  int bucket_index(double v) const;
+};
+
+/// An immutable copy of a histogram's state: what travels over the STATS
+/// wire, lands in bench JSON, and answers percentile queries.
+struct HistogramSnapshot {
+  HistogramParams params;
+  std::vector<std::uint64_t> counts;  ///< params.buckets + 1 (overflow last)
+  std::uint64_t total = 0;
+  double sum = 0.0;
+
+  bool empty() const { return total == 0; }
+  double mean() const { return total ? sum / static_cast<double>(total) : 0.0; }
+
+  /// p in [0, 100]. Linear interpolation inside the covering bucket;
+  /// overflow-bucket hits report the overflow threshold (the histogram
+  /// cannot see beyond its top edge). 0 for an empty snapshot.
+  double percentile(double p) const;
+
+  /// Sum another snapshot into this one.
+  /// @throws std::invalid_argument on mismatched geometry.
+  void merge(const HistogramSnapshot& other);
+};
+
+/// A concurrently recordable histogram. record() is wait-free; snapshot()
+/// is a racy-but-coherent read (each bucket read atomically; recording may
+/// proceed concurrently).
+class Histogram {
+ public:
+  explicit Histogram(HistogramParams params = {});
+
+  void record(double value);
+  HistogramSnapshot snapshot() const;
+  const HistogramParams& params() const { return params_; }
+  void clear();
+
+ private:
+  HistogramParams params_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< buckets + 1
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The process-wide named-histogram registry, the distribution-shaped twin
+/// of trace::Counters. Names are dotted ("server.request_latency_seconds");
+/// see docs/OBSERVABILITY.md for the naming conventions.
+class HistogramRegistry {
+ public:
+  static HistogramRegistry& instance();
+
+  /// Find-or-create. The returned pointer stays valid for the process
+  /// lifetime, so hot paths look it up once and keep the handle.
+  Histogram* get(const std::string& name, HistogramParams params = {});
+
+  std::map<std::string, HistogramSnapshot> snapshot_all() const;
+
+  /// Zero every histogram (tests; the CLI before a measured run). Handles
+  /// remain valid.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ewc::obs

@@ -1,0 +1,295 @@
+#include "obs/json.hpp"
+
+// GCC 12 flags spurious -Wmaybe-uninitialized on std::variant moves through
+// std::optional (PR 105562); the parser below trips it.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/tracer.hpp"  // json_escape
+
+namespace ewc::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& o = as_object();
+  auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void dump_to(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    const double d = v.as_number();
+    char buf[32];
+    if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+      std::snprintf(buf, sizeof buf, "%.0f", d);
+    } else if (std::isfinite(d)) {
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+    } else {
+      std::snprintf(buf, sizeof buf, "null");  // JSON has no Inf/NaN
+    }
+    out += buf;
+  } else if (v.is_string()) {
+    out += '"';
+    out += json_escape(v.as_string());
+    out += '"';
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const auto& e : v.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      dump_to(e, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += json_escape(k);
+      out += "\":";
+      dump_to(e, out);
+    }
+    out += '}';
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    auto v = parse_value();
+    if (v.has_value()) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after document");
+        v.reset();
+      }
+    }
+    if (!v.has_value() && error) {
+      *error = "offset " + std::to_string(pos_) + ": " + error_;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Value(std::move(*s));
+    }
+    if (c == 't' || c == 'f') return parse_keyword();
+    if (c == 'n') return parse_keyword();
+    return parse_number();
+  }
+
+  std::optional<Value> parse_keyword() {
+    auto lit = [&](std::string_view word, Value v) -> std::optional<Value> {
+      if (text_.substr(pos_, word.size()) == word) {
+        pos_ += word.size();
+        return v;
+      }
+      fail("bad literal");
+      return std::nullopt;
+    };
+    if (text_[pos_] == 't') return lit("true", Value(true));
+    if (text_[pos_] == 'f') return lit("false", Value(false));
+    return lit("null", Value(nullptr));
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      fail("malformed number '" + token + "'");
+      return std::nullopt;
+    }
+    return Value(d);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          char* end = nullptr;
+          const long cp = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+          // ASCII only; anything wider is replaced (enough for our traces,
+          // whose escapes only encode control characters).
+          out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default:
+          fail("bad escape character");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  // Both aggregate parsers funnel through a single return statement: GCC 12
+  // mis-diagnoses -Wmaybe-uninitialized on the variant move when returning
+  // from inside the loop.
+  std::optional<Value> parse_array() {
+    consume('[');
+    Array arr;
+    skip_ws();
+    bool closed = consume(']');
+    while (!closed) {
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      closed = consume(']');
+      if (!closed && !consume(',')) {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+    return Value(std::move(arr));
+  }
+
+  std::optional<Value> parse_object() {
+    consume('{');
+    Object obj;
+    skip_ws();
+    bool closed = consume('}');
+    while (!closed) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      obj.insert_or_assign(std::move(*key), std::move(*v));
+      closed = consume('}');
+      if (!closed && !consume(',')) {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+    return Value(std::move(obj));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
+}
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+std::optional<Value> parse_file(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), error);
+}
+
+}  // namespace ewc::obs::json

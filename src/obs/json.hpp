@@ -1,0 +1,71 @@
+// A minimal JSON value + recursive-descent parser.
+//
+// Used to schema-validate emitted Chrome-trace files in tests, to merge
+// per-process trace files (`ewcsim trace-merge`), and to keep the bench
+// JSON reports honest. Not a general-purpose library: no streaming, whole
+// document in memory, doubles only (JSON numbers), UTF-8 passed through
+// except \uXXXX escapes for the ASCII range.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ewc::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+
+ private:
+  Storage v_;
+};
+
+/// Parse a complete JSON document. nullopt (with *error set to
+/// "offset N: reason") on malformed input or trailing garbage.
+std::optional<Value> parse(std::string_view text, std::string* error);
+
+/// Read + parse a file. nullopt with *error on I/O or parse failure.
+std::optional<Value> parse_file(const std::string& path, std::string* error);
+
+}  // namespace ewc::obs::json

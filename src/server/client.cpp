@@ -1,6 +1,9 @@
 #include "server/client.hpp"
 
+#include <cstdio>
+
 #include "net/frame.hpp"
+#include "obs/tracer.hpp"
 
 namespace ewc::server {
 
@@ -70,6 +73,10 @@ consolidate::CompletionReply ClientConnection::launch(
   };
   if (dead_.load()) return fail("connection dead: " + death_reason_);
 
+  // Client half of the request-lifecycle trace: this wall-clock span and the
+  // server's "server.request" span carry the same request_id, so a merged
+  // trace shows the queueing + wire time around the daemon's processing.
+  obs::ScopedSpan span("client.launch");
   auto waiter =
       std::make_shared<common::Channel<consolidate::CompletionReply>>();
   {
@@ -77,6 +84,7 @@ consolidate::CompletionReply ClientConnection::launch(
     req.request_id = next_id_++;
     launch_waiters_[req.request_id] = waiter;
   }
+  span.set_request_id(req.request_id);
   req.reply = nullptr;  // never crosses the wire
   if (!send(MsgType::kLaunch, encode_launch(req))) {
     std::lock_guard lock(mu_);
@@ -89,6 +97,13 @@ consolidate::CompletionReply ClientConnection::launch(
     launch_waiters_.erase(req.request_id);
   }
   if (!reply.has_value()) return fail("timed out waiting for completion");
+  if (span.active()) {
+    char args[96];
+    std::snprintf(args, sizeof(args), "\"ok\":%s,\"kernel\":\"%s\"",
+                  reply->ok ? "true" : "false",
+                  obs::json_escape(req.desc.name).c_str());
+    span.set_args(args);
+  }
   return *reply;
 }
 
@@ -111,6 +126,27 @@ bool ClientConnection::flush(common::Duration timeout) {
   return ok;
 }
 
+std::optional<StatsReplyMsg> ClientConnection::stats(
+    bool include_histograms, common::Duration timeout) {
+  if (dead_.load()) return std::nullopt;
+  auto waiter =
+      std::make_shared<common::Channel<std::optional<StatsReplyMsg>>>();
+  std::uint64_t token;
+  {
+    std::lock_guard lock(mu_);
+    token = next_id_++;
+    stats_waiters_[token] = waiter;
+  }
+  std::optional<StatsReplyMsg> reply;
+  if (send(MsgType::kStats, encode_stats({token, include_histograms}))) {
+    auto got = waiter->receive_for(timeout);
+    if (got.has_value()) reply = std::move(*got);
+  }
+  std::lock_guard lock(mu_);
+  stats_waiters_.erase(token);
+  return reply;
+}
+
 bool ClientConnection::request_shutdown() {
   if (dead_.load()) return false;
   return send(MsgType::kShutdown, encode_shutdown());
@@ -121,12 +157,16 @@ void ClientConnection::fail_all(const std::string& error) {
            std::shared_ptr<common::Channel<consolidate::CompletionReply>>>
       launches;
   std::map<std::uint64_t, std::shared_ptr<common::Channel<bool>>> flushes;
+  std::map<std::uint64_t,
+           std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>>>
+      stats;
   {
     std::lock_guard lock(mu_);
     death_reason_ = error;
     dead_.store(true);
     launches.swap(launch_waiters_);
     flushes.swap(flush_waiters_);
+    stats.swap(stats_waiters_);
   }
   for (auto& [id, waiter] : launches) {
     consolidate::CompletionReply reply;
@@ -136,6 +176,7 @@ void ClientConnection::fail_all(const std::string& error) {
     waiter->send(std::move(reply));
   }
   for (auto& [token, waiter] : flushes) waiter->send(false);
+  for (auto& [token, waiter] : stats) waiter->send(std::nullopt);
 }
 
 void ClientConnection::reader_loop() {
@@ -171,6 +212,18 @@ void ClientConnection::reader_loop() {
           if (it != flush_waiters_.end()) waiter = it->second;
         }
         if (waiter) waiter->send(done->ok);
+        break;
+      }
+      case MsgType::kStatsReply: {
+        auto reply = decode_stats_reply(frame.payload);
+        if (!reply.has_value()) return fail_all("malformed stats_reply");
+        std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>> waiter;
+        {
+          std::lock_guard lock(mu_);
+          auto it = stats_waiters_.find(reply->token);
+          if (it != stats_waiters_.end()) waiter = it->second;
+        }
+        if (waiter) waiter->send(std::move(reply));
         break;
       }
       case MsgType::kError: {

@@ -47,6 +47,12 @@ class ClientConnection {
   /// Ask the daemon to process everything pending; true when it confirms.
   bool flush(common::Duration timeout);
 
+  /// Snapshot the daemon's counters (and optionally histograms). nullopt on
+  /// timeout, transport failure, or a pre-stats daemon (which answers the
+  /// kStats frame with kError).
+  std::optional<StatsReplyMsg> stats(bool include_histograms,
+                                     common::Duration timeout);
+
   /// Ask the daemon to drain and exit (admin path).
   bool request_shutdown();
 
@@ -75,6 +81,11 @@ class ClientConnection {
       launch_waiters_;
   std::map<std::uint64_t, std::shared_ptr<common::Channel<bool>>>
       flush_waiters_;
+  /// Stats waiters receive nullopt when the connection dies (or when the
+  /// server predates kStats and answers with kError).
+  std::map<std::uint64_t,
+           std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>>>
+      stats_waiters_;
 
   std::atomic<bool> dead_{false};
   std::string death_reason_;

@@ -12,6 +12,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kFlushDone: return "flush_done";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kError: return "error";
+    case MsgType::kStats: return "stats";
+    case MsgType::kStatsReply: return "stats_reply";
   }
   return "unknown";
 }
@@ -189,6 +191,85 @@ std::optional<ErrorMsg> decode_error(std::span<const std::byte> payload) {
   net::Reader r(payload);
   ErrorMsg m;
   m.message = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_stats(const StatsMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u8(m.include_histograms ? 1 : 0);
+  return w.take();
+}
+
+std::optional<StatsMsg> decode_stats(std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  StatsMsg m;
+  m.token = r.u64();
+  m.include_histograms = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_stats_reply(const StatsReplyMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u64(m.uptime_micros);
+  w.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [name, value] : m.counters) {
+    w.str(name);
+    w.f64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(m.histograms.size()));
+  for (const auto& [name, h] : m.histograms) {
+    w.str(name);
+    w.f64(h.params.min_value);
+    w.f64(h.params.growth);
+    w.u32(static_cast<std::uint32_t>(h.params.buckets));
+    w.u64(h.total);
+    w.f64(h.sum);
+    w.u32(static_cast<std::uint32_t>(h.counts.size()));
+    for (std::uint64_t c : h.counts) w.u64(c);
+  }
+  return w.take();
+}
+
+std::optional<StatsReplyMsg> decode_stats_reply(
+    std::span<const std::byte> payload) {
+  // Counts are bounded before allocation so a malformed frame cannot ask
+  // for gigabytes.
+  constexpr std::uint32_t kMaxEntries = 1 << 20;
+  net::Reader r(payload);
+  StatsReplyMsg m;
+  m.token = r.u64();
+  m.uptime_micros = r.u64();
+  const std::uint32_t ncounters = r.u32();
+  if (!r.ok() || ncounters > kMaxEntries) return std::nullopt;
+  for (std::uint32_t i = 0; i < ncounters && r.ok(); ++i) {
+    std::string name = r.str();
+    const double value = r.f64();
+    m.counters.emplace(std::move(name), value);
+  }
+  const std::uint32_t nhists = r.u32();
+  if (!r.ok() || nhists > kMaxEntries) return std::nullopt;
+  for (std::uint32_t i = 0; i < nhists && r.ok(); ++i) {
+    std::string name = r.str();
+    obs::HistogramSnapshot h;
+    h.params.min_value = r.f64();
+    h.params.growth = r.f64();
+    h.params.buckets = static_cast<int>(r.u32());
+    h.total = r.u64();
+    h.sum = r.f64();
+    const std::uint32_t ncounts = r.u32();
+    if (!r.ok() || ncounts > kMaxEntries ||
+        h.params.buckets < 0 ||
+        ncounts != static_cast<std::uint32_t>(h.params.buckets) + 1) {
+      return std::nullopt;
+    }
+    h.counts.reserve(ncounts);
+    for (std::uint32_t c = 0; c < ncounts; ++c) h.counts.push_back(r.u64());
+    m.histograms.emplace(std::move(name), std::move(h));
+  }
   if (!r.done()) return std::nullopt;
   return m;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
@@ -18,6 +19,7 @@
 #include "consolidate/protocol.hpp"
 #include "gpusim/kernel_desc.hpp"
 #include "net/wire.hpp"
+#include "obs/histogram.hpp"
 
 namespace ewc::server {
 
@@ -33,6 +35,10 @@ enum class MsgType : std::uint16_t {
   kFlushDone = 6,   ///< server -> client: flush finished
   kShutdown = 7,    ///< client -> server: ask the daemon to drain and exit
   kError = 8,       ///< server -> client: fatal protocol error, then close
+  // Additive extension (still protocol version 1): a version-1 server that
+  // predates it answers kStats with kError, which stats clients must accept.
+  kStats = 9,       ///< client -> server: snapshot counters (+ histograms)
+  kStatsReply = 10, ///< server -> client: the snapshot
 };
 
 const char* msg_type_name(MsgType t);
@@ -60,6 +66,22 @@ struct FlushDoneMsg {
 
 struct ErrorMsg {
   std::string message;
+};
+
+struct StatsMsg {
+  std::uint64_t token = 0;
+  bool include_histograms = true;
+};
+
+/// One coherent snapshot of the daemon's trace::Counters and obs histogram
+/// registry. Histograms travel with their full bucket geometry, so the
+/// client interpolates percentiles itself (and can merge snapshots from
+/// several daemons).
+struct StatsReplyMsg {
+  std::uint64_t token = 0;
+  std::uint64_t uptime_micros = 0;
+  std::map<std::string, double> counters;
+  std::map<std::string, obs::HistogramSnapshot> histograms;
 };
 
 // ---- KernelDesc (nested inside launch requests) ----
@@ -98,5 +120,12 @@ std::vector<std::byte> encode_shutdown();
 
 std::vector<std::byte> encode_error(const ErrorMsg& m);
 std::optional<ErrorMsg> decode_error(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_stats(const StatsMsg& m);
+std::optional<StatsMsg> decode_stats(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_stats_reply(const StatsReplyMsg& m);
+std::optional<StatsReplyMsg> decode_stats_reply(
+    std::span<const std::byte> payload);
 
 }  // namespace ewc::server

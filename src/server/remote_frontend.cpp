@@ -1,6 +1,9 @@
 #include "server/remote_frontend.hpp"
 
+#include <cstdio>
 #include <cstring>
+
+#include "obs/tracer.hpp"
 
 namespace ewc::server {
 
@@ -108,7 +111,20 @@ wcudaError RemoteFrontend::on_launch(const std::string& kernel_name) {
   messages_since_launch_ = 0;
   staged_since_launch_ = 0;
 
+  // Wraps the whole remote round trip (encode, wire, daemon batch, reply)
+  // from this app thread's point of view; the request_id the connection
+  // assigned arrives with the reply and correlates this span with the
+  // client.launch and server.request spans underneath it.
+  obs::ScopedSpan span("frontend.launch");
   last_reply_ = conn_.launch(std::move(req), reply_timeout_);
+  if (span.active()) {
+    span.set_request_id(last_reply_.request_id);
+    char args[96];
+    std::snprintf(args, sizeof(args), "\"kernel\":\"%s\",\"ok\":%s",
+                  obs::json_escape(kernel_name).c_str(),
+                  last_reply_.ok ? "true" : "false");
+    span.set_args(args);
+  }
   return last_reply_.ok ? wcudaError::kSuccess : wcudaError::kLaunchFailure;
 }
 

@@ -8,6 +8,8 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
 #include "trace/counters.hpp"
 
 namespace ewc::server {
@@ -17,7 +19,36 @@ namespace {
 /// Writer wake-up tick: bounds deadline-sweep latency without busy-waiting.
 constexpr common::Duration kWriterTick = common::Duration::from_millis(50.0);
 
-trace::Counters& counters() { return trace::Counters::instance(); }
+/// The daemon's counters, resolved to atomic cells once: the reader/writer
+/// loops bump these per frame, so each hit is one relaxed atomic add with no
+/// registry lock. The `server.*` namespace is documented in docs/SERVER.md.
+struct ServerCounters {
+  trace::Counters::Handle connections_accepted, connections_rejected,
+      connections_closed, protocol_errors, admitted, rejected, requests,
+      replies, flushes, shutdown_requests, stats_requests, deadline_expired,
+      drain_failed_replies, drain_flush_timeouts;
+};
+
+ServerCounters& counters() {
+  auto h = [](const char* n) {
+    return trace::Counters::instance().handle(n);
+  };
+  static ServerCounters* s = new ServerCounters{
+      h("server.connections.accepted"), h("server.connections.rejected"),
+      h("server.connections.closed"),   h("server.protocol_errors"),
+      h("server.admitted"),             h("server.rejected"),
+      h("server.requests"),             h("server.replies"),
+      h("server.flushes"),              h("server.shutdown_requests"),
+      h("server.stats_requests"),       h("server.deadline_expired"),
+      h("server.drain.failed_replies"), h("server.drain.flush_timeouts")};
+  return *s;
+}
+
+obs::Histogram* request_latency_hist() {
+  static obs::Histogram* hist = obs::HistogramRegistry::instance().get(
+      "server.request_latency_seconds");
+  return hist;
+}
 
 }  // namespace
 
@@ -52,6 +83,7 @@ bool Server::start(std::string* error) {
     stopped_ = false;
   }
   running_.store(true);
+  started_at_ = std::chrono::steady_clock::now();
   acceptor_ = std::thread([this] { accept_loop(); });
   return true;
 }
@@ -118,7 +150,7 @@ void Server::accept_loop() {
       net::write_frame(*sock, static_cast<std::uint16_t>(MsgType::kError),
                        payload, net::Deadline::after(options_.io_timeout),
                        nullptr);
-      counters().inc("server.connections.rejected");
+      counters().connections_rejected.inc();
       continue;
     }
 
@@ -129,7 +161,7 @@ void Server::accept_loop() {
       conn->id = next_conn_id_++;
       conns_.push_back(conn);
     }
-    counters().inc("server.connections.accepted");
+    counters().connections_accepted.inc();
     conn->reader = std::thread([this, conn] { reader_loop(conn); });
     conn->writer = std::thread([this, conn] { writer_loop(conn); });
   }
@@ -189,7 +221,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     conn->replies->close();
     conn->sock.shutdown_rw();
     conn->reader_done.store(true);
-    counters().inc("server.connections.closed");
+    counters().connections_closed.inc();
   };
 
   // ---- handshake ----
@@ -199,13 +231,13 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
                            net::Deadline::after(options_.io_timeout), &err);
   if (s != net::IoStatus::kOk ||
       frame.type != static_cast<std::uint16_t>(MsgType::kHello)) {
-    counters().inc("server.protocol_errors");
+    counters().protocol_errors.inc();
     send_frame(*conn, MsgType::kError, encode_error({"expected hello"}));
     return teardown();
   }
   const auto hello = decode_hello(frame.payload);
   if (!hello.has_value() || hello->version != kProtocolVersion) {
-    counters().inc("server.protocol_errors");
+    counters().protocol_errors.inc();
     send_frame(*conn, MsgType::kError,
                encode_error({"unsupported protocol version"}));
     return teardown();
@@ -226,7 +258,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     if (s == net::IoStatus::kEof) break;  // clean close
     if (s != net::IoStatus::kOk) {
       if (!conn->closing.load()) {
-        counters().inc("server.protocol_errors");
+        counters().protocol_errors.inc();
         send_frame(*conn, MsgType::kError, encode_error({err}));
       }
       break;
@@ -235,7 +267,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       case MsgType::kLaunch: {
         auto req = decode_launch(frame.payload);
         if (!req.has_value()) {
-          counters().inc("server.protocol_errors");
+          counters().protocol_errors.inc();
           send_frame(*conn, MsgType::kError,
                      encode_error({"malformed launch"}));
           return teardown();
@@ -243,7 +275,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
         const std::uint64_t id = req->request_id;
         if (draining_.load()) {
           send_completion_error(*conn, id, "server draining");
-          counters().inc("server.rejected");
+          counters().rejected.inc();
           break;
         }
         // Admission control: bounded unanswered launches per client.
@@ -260,7 +292,10 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
                              std::chrono::duration<double>(
                                  options_.request_deadline.seconds()));
             }
-            admitted = conn->outstanding.emplace(id, deadline).second;
+            admitted = conn->outstanding
+                           .emplace(id, Connection::Outstanding{
+                                            deadline, obs::Tracer::now_us()})
+                           .second;
           }
         }
         if (!admitted) {
@@ -269,7 +304,8 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
               "rejected: in-flight limit (" +
                   std::to_string(options_.inflight_limit) +
                   ") exceeded or duplicate request id");
-          counters().inc("server.rejected");
+          counters().rejected.inc();
+          obs::instant("server.reject", id);
           break;
         }
         req->reply = conn->replies;
@@ -277,20 +313,23 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
           std::lock_guard lock(conn->mu);
           conn->outstanding.erase(id);
           send_completion_error(*conn, id, "backend unavailable");
-          counters().inc("server.rejected");
+          counters().rejected.inc();
           break;
         }
-        counters().inc("server.requests");
+        counters().requests.inc();
+        counters().admitted.inc();
+        obs::instant("server.admit", id,
+                     "\"owner\":\"" + obs::json_escape(conn->owner) + "\"");
         break;
       }
       case MsgType::kFlush: {
         const auto flush = decode_flush(frame.payload);
         if (!flush.has_value()) {
-          counters().inc("server.protocol_errors");
+          counters().protocol_errors.inc();
           send_frame(*conn, MsgType::kError, encode_error({"malformed flush"}));
           return teardown();
         }
-        counters().inc("server.flushes");
+        counters().flushes.inc();
         auto done = std::make_shared<common::Channel<bool>>();
         FlushDoneMsg reply{flush->token, false};
         if (backend_.channel().send(consolidate::FlushRequest{done})) {
@@ -300,12 +339,33 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
         break;
       }
       case MsgType::kShutdown: {
-        counters().inc("server.shutdown_requests");
+        counters().shutdown_requests.inc();
         notify_stop();
         break;
       }
+      case MsgType::kStats: {
+        const auto stats = decode_stats(frame.payload);
+        if (!stats.has_value()) {
+          counters().protocol_errors.inc();
+          send_frame(*conn, MsgType::kError, encode_error({"malformed stats"}));
+          return teardown();
+        }
+        counters().stats_requests.inc();
+        StatsReplyMsg reply;
+        reply.token = stats->token;
+        reply.uptime_micros = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - started_at_)
+                .count());
+        reply.counters = trace::Counters::instance().snapshot();
+        if (stats->include_histograms) {
+          reply.histograms = obs::HistogramRegistry::instance().snapshot_all();
+        }
+        send_frame(*conn, MsgType::kStatsReply, encode_stats_reply(reply));
+        break;
+      }
       default: {
-        counters().inc("server.protocol_errors");
+        counters().protocol_errors.inc();
         send_frame(*conn, MsgType::kError,
                    encode_error({std::string("unexpected message type ") +
                                  std::to_string(frame.type)}));
@@ -321,15 +381,34 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
     auto reply = conn->replies->receive_for(kWriterTick);
     if (reply.has_value()) {
       bool live = false;
+      double admitted_at_us = 0.0;
       {
         std::lock_guard lock(conn->mu);
-        live = conn->outstanding.erase(reply->request_id) > 0;
+        auto it = conn->outstanding.find(reply->request_id);
+        if (it != conn->outstanding.end()) {
+          live = true;
+          admitted_at_us = it->second.admitted_at_us;
+          conn->outstanding.erase(it);
+        }
       }
       // A reply whose id is no longer outstanding already got a deadline /
       // drain error; dropping the late real answer keeps the stream sane.
       if (live && !conn->closing.load()) {
         send_frame(*conn, MsgType::kCompletion, encode_completion(*reply));
-        counters().inc("server.replies");
+        counters().replies.inc();
+        const double now_us = obs::Tracer::now_us();
+        request_latency_hist()->record((now_us - admitted_at_us) * 1e-6);
+        if (obs::Tracer::enabled()) {
+          // The server-side request-lifecycle span: admission to reply
+          // write, correlated with the client's launch span by request_id.
+          obs::SpanEvent ev;
+          ev.name = "server.request";
+          ev.ts_us = admitted_at_us;
+          ev.dur_us = now_us - admitted_at_us;
+          ev.request_id = reply->request_id;
+          ev.args = std::string("\"ok\":") + (reply->ok ? "true" : "false");
+          obs::Tracer::instance().record(std::move(ev));
+        }
       }
     }
 
@@ -339,14 +418,17 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
       std::vector<std::uint64_t> expired;
       {
         std::lock_guard lock(conn->mu);
-        for (const auto& [id, deadline] : conn->outstanding) {
-          if (deadline.has_value() && now >= *deadline) expired.push_back(id);
+        for (const auto& [id, entry] : conn->outstanding) {
+          if (entry.deadline.has_value() && now >= *entry.deadline) {
+            expired.push_back(id);
+          }
         }
         for (std::uint64_t id : expired) conn->outstanding.erase(id);
       }
       for (std::uint64_t id : expired) {
         send_completion_error(*conn, id, "request deadline exceeded");
-        counters().inc("server.deadline_expired");
+        counters().deadline_expired.inc();
+        obs::instant("server.deadline_expired", id);
       }
     }
 
@@ -370,12 +452,12 @@ void Server::drain() {
     std::vector<std::uint64_t> ids;
     {
       std::lock_guard lock(conn->mu);
-      for (const auto& [id, deadline] : conn->outstanding) ids.push_back(id);
+      for (const auto& [id, entry] : conn->outstanding) ids.push_back(id);
       conn->outstanding.clear();
     }
     for (std::uint64_t id : ids) {
       send_completion_error(*conn, id, "server draining");
-      counters().inc("server.drain.failed_replies");
+      counters().drain_failed_replies.inc();
     }
   }
 
@@ -386,7 +468,7 @@ void Server::drain() {
   if (backend_.channel().send(consolidate::FlushRequest{done})) {
     if (!done->receive_for(options_.drain_timeout).has_value()) {
       common::log_info("ewcd: drain flush timed out");
-      counters().inc("server.drain.flush_timeouts");
+      counters().drain_flush_timeouts.inc();
     }
   }
 

@@ -97,11 +97,16 @@ class Server {
     /// replies for a dead client are dropped, not delivered.
     std::shared_ptr<consolidate::ReplyChannel> replies =
         std::make_shared<consolidate::ReplyChannel>();
+    /// Admission-time bookkeeping for one unanswered launch.
+    struct Outstanding {
+      std::optional<std::chrono::steady_clock::time_point> deadline;
+      /// steady-clock µs at admission (Tracer::now_us domain): the request-
+      /// latency histogram and the server-side request span measure from
+      /// here.
+      double admitted_at_us = 0.0;
+    };
     std::mutex mu;  ///< guards `outstanding`
-    /// request_id -> optional real-time deadline.
-    std::map<std::uint64_t,
-             std::optional<std::chrono::steady_clock::time_point>>
-        outstanding;
+    std::map<std::uint64_t, Outstanding> outstanding;
     std::atomic<bool> closing{false};
     std::atomic<bool> reader_done{false};
     std::atomic<bool> writer_done{false};
@@ -134,6 +139,7 @@ class Server {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point started_at_{};
   std::mutex stopped_mu_;
   std::condition_variable stopped_cv_;
   bool stopped_ = true;  ///< until start()

@@ -8,30 +8,39 @@ Counters& Counters::instance() {
   return *c;
 }
 
-void Counters::set(const std::string& name, double value) {
+Counters::Handle Counters::handle(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  values_[name] = value;
-}
-
-void Counters::add(const std::string& name, double delta) {
-  std::lock_guard<std::mutex> lock(mu_);
-  values_[name] += delta;
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    it = cells_
+             .emplace(name, std::make_unique<std::atomic<double>>(0.0))
+             .first;
+  }
+  return Handle(it->second.get());
 }
 
 double Counters::value(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = values_.find(name);
-  return it == values_.end() ? 0.0 : it->second;
+  auto it = cells_.find(name);
+  return it == cells_.end()
+             ? 0.0
+             : it->second->load(std::memory_order_relaxed);
 }
 
 std::map<std::string, double> Counters::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return values_;
+  std::map<std::string, double> out;
+  for (const auto& [name, cell] : cells_) {
+    out.emplace(name, cell->load(std::memory_order_relaxed));
+  }
+  return out;
 }
 
 void Counters::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  values_.clear();
+  for (auto& [name, cell] : cells_) {
+    cell->store(0.0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace ewc::trace

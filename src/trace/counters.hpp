@@ -1,14 +1,24 @@
 // Process-wide named counters for runtime observability.
 //
 // The caching/parallel layer (SimCache, ThreadPool, QueueSimulator,
-// DecisionEngine) publishes its statistics here under dotted names
-// ("queue_sim.run_cache.hits", "decision.pool.executed", ...), and reporting
-// surfaces — `ewcsim cache-stats`, the bench harnesses — read one coherent
-// snapshot instead of threading stats structs through every layer. Counters
-// are doubles: most are event counts, some are rates.
+// DecisionEngine) and the server publish statistics here under dotted names
+// ("queue_sim.run_cache.hits", "server.requests", ...), and reporting
+// surfaces — `ewcsim cache-stats`, `ewcsim stats`, the bench harnesses —
+// read one coherent snapshot instead of threading stats structs through
+// every layer. Counters are doubles: most are event counts, some are rates.
+//
+// Hot paths should resolve a Counters::Handle once (one registry lookup
+// under the mutex) and bump through it: a handle is a pointer to the
+// counter's atomic cell, so add()/inc() are a single relaxed fetch_add with
+// no lock and no string hashing. Cells live as long as the process — clear()
+// zeroes them in place — so a cached handle never dangles. The string-keyed
+// add()/set()/inc() remain as thin wrappers (lookup + atomic op) for cold
+// paths.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -16,11 +26,48 @@ namespace ewc::trace {
 
 class Counters {
  public:
+  /// A borrowed pointer to one counter's atomic cell. Cheap to copy; valid
+  /// for the life of the process once obtained from handle(). The
+  /// default-constructed handle is a safe no-op sink.
+  class Handle {
+   public:
+    Handle() = default;
+
+    void add(double delta) {
+      if (cell_ == nullptr) return;
+      cell_->fetch_add(delta, std::memory_order_relaxed);
+    }
+    void inc() { add(1.0); }
+    void set(double value) {
+      if (cell_ == nullptr) return;
+      cell_->store(value, std::memory_order_relaxed);
+    }
+    double value() const {
+      return cell_ == nullptr ? 0.0
+                              : cell_->load(std::memory_order_relaxed);
+    }
+    explicit operator bool() const { return cell_ != nullptr; }
+
+   private:
+    friend class Counters;
+    explicit Handle(std::atomic<double>* cell) : cell_(cell) {}
+    std::atomic<double>* cell_ = nullptr;
+  };
+
   /// The process-wide registry.
   static Counters& instance();
 
-  void set(const std::string& name, double value);
-  void add(const std::string& name, double delta);
+  /// Resolve (registering on first use) the counter's cell. The slow path:
+  /// call once per site, keep the handle.
+  Handle handle(const std::string& name);
+
+  // String-keyed convenience wrappers: one registry lookup per call.
+  void set(const std::string& name, double value) {
+    handle(name).set(value);
+  }
+  void add(const std::string& name, double delta) {
+    handle(name).add(delta);
+  }
   /// add(name, 1.0) — the common event-count case (server accept/reject...).
   void inc(const std::string& name) { add(name, 1.0); }
 
@@ -29,12 +76,13 @@ class Counters {
 
   std::map<std::string, double> snapshot() const;
 
-  /// Forget everything (tests; the CLI before a measured run).
+  /// Zero every counter in place (tests; the CLI before a measured run).
+  /// Registered cells — and therefore outstanding handles — stay valid.
   void clear();
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, double> values_;
+  std::map<std::string, std::unique_ptr<std::atomic<double>>> cells_;
 };
 
 }  // namespace ewc::trace
