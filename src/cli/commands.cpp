@@ -24,6 +24,7 @@
 #include "consolidate/queue_sim.hpp"
 #include "consolidate/runner.hpp"
 #include "cudart/runtime.hpp"
+#include "fault/injector.hpp"
 #include "gpusim/engine.hpp"
 #include "perf/consolidation_model.hpp"
 #include "perf/hong_kim.hpp"
@@ -496,12 +497,31 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
       {"deadline", "per-request real-time deadline, s (default 0 = off)",
        false, false},
       {"drain-timeout", "drain flush budget, s (default 10)", false, false},
+      {"decision-deadline",
+       "decision-engine wall budget, s; overruns degrade to serial "
+       "execution (default 0 = off)",
+       false, false},
+      {"faults",
+       "fault-injection scenario, e.g. 'decision.decide=fail:times=2' "
+       "(see docs/ROBUSTNESS.md)",
+       false, false},
+      {"fault-seed", "seed for the fault scenario rng (default 0)", false,
+       false},
       trace_out_spec(),
   });
   flags.parse(args);
   maybe_enable_tracing(flags);
   const auto socket_path = flags.value("socket");
   if (!socket_path.has_value()) throw ArgsError("--socket is required");
+  if (const auto scenario = flags.value("faults")) {
+    const auto seed = static_cast<std::uint64_t>(
+        flags.get_int_in("fault-seed", 0, 0, 1 << 30));
+    std::string ferr;
+    if (!fault::Injector::instance().arm(*scenario, seed, &ferr)) {
+      throw ArgsError("--faults: " + ferr);
+    }
+    out << "FAULTS armed: " << *scenario << " (seed " << seed << ")\n";
+  }
   const auto mix = parse_mix(flags);
   int total = 0;
   for (const auto& m : mix) total += m.count;
@@ -515,6 +535,8 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   consolidate::BackendOptions options;
   options.batch_threshold =
       flags.get_int_in("threshold", total, 1, 1 << 20);
+  options.decision_deadline = common::Duration::from_seconds(
+      flags.get_double_in("decision-deadline", 0.0, 0.0, 3600.0));
   consolidate::TemplateRegistry templates =
       consolidate::TemplateRegistry::paper_defaults();
   {
@@ -559,6 +581,7 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
         << (r.template_found ? r.template_name : std::string("-"))
         << " executed=" << static_cast<int>(r.executed)
         << " launches=" << r.consolidated_launches
+        << " degraded=" << (r.degraded ? 1 : 0)
         << " overhead=" << f64_bits(r.overhead.seconds())
         << " exec=" << f64_bits(r.execution_time.seconds())
         << " total=" << f64_bits(r.total_time.seconds())
@@ -588,6 +611,18 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
        false},
       {"flush", "ask the daemon to flush after the launches", true, false},
       {"shutdown", "ask the daemon to drain and exit afterwards", true, false},
+      {"reconnect",
+       "redial + replay unanswered launches if the daemon drops the "
+       "connection",
+       true, false},
+      {"retry-max", "reconnect dial attempts (default 10)", false, false},
+      {"retry-backoff", "initial reconnect backoff, s (default 0.05)", false,
+       false},
+      {"retry-backoff-max", "backoff cap, s (default 1)", false, false},
+      {"breaker",
+       "consecutive transport errors before the circuit opens "
+       "(default 8; 0 disables)",
+       false, false},
       trace_out_spec(),
   });
   flags.parse(args);
@@ -600,6 +635,17 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
       flags.get_double_in("timeout", 300.0, 0.1, 86400.0));
   const auto connect_timeout = common::Duration::from_seconds(
       flags.get_double_in("connect-timeout", 10.0, 0.1, 3600.0));
+  server::ClientOptions client_options;
+  client_options.auto_reconnect = flags.get_bool("reconnect");
+  client_options.retry.max_attempts =
+      flags.get_int_in("retry-max", 10, 1, 1000);
+  client_options.retry.initial_backoff = common::Duration::from_seconds(
+      flags.get_double_in("retry-backoff", 0.05, 0.001, 60.0));
+  client_options.retry.max_backoff = common::Duration::from_seconds(
+      flags.get_double_in("retry-backoff-max", 1.0, 0.001, 600.0));
+  client_options.breaker_threshold = flags.get_int_in("breaker", 8, 0, 1000);
+  // Distinct jitter per client process so synchronized redial storms decay.
+  client_options.jitter_seed = 0x5eed + static_cast<std::uint64_t>(slot_base);
 
   // Same registry recipe as run_dynamic: one "precompiled" kernel per spec.
   cudart::KernelRegistry registry;
@@ -617,7 +663,7 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   std::string error;
   auto conn = server::ClientConnection::connect(
       *socket_path, "client@" + std::to_string(slot_base), connect_timeout,
-      &error);
+      client_options, &error);
   if (conn == nullptr) throw ArgsError("cannot connect: " + error);
 
   // The direct (unintercepted) runtime path needs an engine; with the
@@ -709,6 +755,11 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
                                     : r.reply.error);
     }
     out << "\n";
+  }
+
+  if (conn->reconnects() > 0) {
+    out << "RECONNECTS n=" << conn->reconnects()
+        << " replayed=" << conn->replayed_launches() << "\n";
   }
 
   if (flags.get_bool("shutdown")) {

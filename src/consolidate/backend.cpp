@@ -1,10 +1,13 @@
 #include "consolidate/backend.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/log.hpp"
+#include "fault/injector.hpp"
 #include "obs/histogram.hpp"
 #include "obs/tracer.hpp"
+#include "trace/counters.hpp"
 
 namespace ewc::consolidate {
 
@@ -102,12 +105,18 @@ void Backend::fail_pending(std::vector<LaunchRequest>& pending,
     reply.ok = false;
     reply.error = error;
     reply.request_id = req.request_id;
+    reply.owner = req.owner;
     req.reply->send(std::move(reply));
   }
   pending.clear();
 }
 
 void Backend::process_batch(std::vector<LaunchRequest>& batch) {
+  if (auto a = fault::hit("backend.batch");
+      a.kind == fault::ActionKind::kFail) {
+    fail_pending(batch, "injected backend batch failure");
+    return;
+  }
   static obs::Histogram* batch_hist =
       obs::HistogramRegistry::instance().get("backend.batch_size");
   batch_hist->record(static_cast<double>(batch.size()));
@@ -220,10 +229,45 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
 
   Alternative chosen = Alternative::kIndividualGpu;
   if (tmpl != nullptr) {
-    Decision d =
-        decision_.decide(plan, profiles, overhead, options_.policy);
-    chosen = d.chosen;
-    report.decision = std::move(d);
+    // The predictor is a component that can misbehave, not an oracle: if it
+    // throws or overruns its deadline, degrade to the paper's serial
+    // (unconsolidated) plan instead of failing every launch in the group.
+    const auto decide_start = std::chrono::steady_clock::now();
+    try {
+      Decision d =
+          decision_.decide(plan, profiles, overhead, options_.policy);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        decide_start)
+              .count();
+      if (options_.decision_deadline.seconds() > 0.0 &&
+          elapsed > options_.decision_deadline.seconds()) {
+        report.degraded = true;
+        report.degraded_reason =
+            "decision deadline exceeded (" + std::to_string(elapsed) + "s > " +
+            std::to_string(options_.decision_deadline.seconds()) + "s)";
+      } else {
+        chosen = d.chosen;
+        report.decision = std::move(d);
+      }
+    } catch (const std::exception& e) {
+      report.degraded = true;
+      report.degraded_reason = e.what();
+    }
+    if (report.degraded) {
+      chosen = Alternative::kIndividualGpu;
+      static trace::Counters::Handle degraded_counter =
+          trace::Counters::instance().handle("server.degraded_decisions");
+      degraded_counter.inc();
+      if (obs::Tracer::enabled()) {
+        obs::instant("backend.degraded",
+                     batch.empty() ? 0 : batch.front().request_id,
+                     "\"reason\":\"" + obs::json_escape(report.degraded_reason) +
+                         "\"");
+      }
+      common::log_info("backend: degraded to serial execution: ",
+                       report.degraded_reason);
+    }
   } else {
     common::log_info("backend: no template covers batch; running individually");
   }
@@ -338,6 +382,7 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
     if (tmpl != nullptr) {
       args += ",\"template\":\"" + obs::json_escape(tmpl->name) + "\"";
     }
+    if (report.degraded) args += ",\"degraded\":true";
     span.set_args(std::move(args));
   }
 
@@ -355,6 +400,7 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
       replies[i].error = "instance completion not recorded";
     }
     replies[i].request_id = batch[i].request_id;
+    replies[i].owner = batch[i].owner;
     if (tracing) {
       obs::instant("backend.reply", batch[i].request_id,
                    "\"where\":" +

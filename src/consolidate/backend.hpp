@@ -40,6 +40,10 @@ struct BackendOptions {
   /// 10 x the number of GPUs); flush() forces earlier processing.
   int batch_threshold = 10;
   cpusim::CpuConfig cpu_config;
+  /// Wall-clock budget for one DecisionEngine::decide call. When the
+  /// predictor overruns it (or throws), the group degrades to the serial
+  /// individual-GPU plan instead of failing the batch. zero() = unlimited.
+  common::Duration decision_deadline = common::Duration::zero();
 };
 
 /// What happened to one processed candidate group. A batch of pending
@@ -59,6 +63,10 @@ struct BatchReport {
   common::Duration execution_time = common::Duration::zero();
   common::Duration total_time = common::Duration::zero();
   common::Energy energy = common::Energy::zero();
+  /// The decision engine faulted or blew its deadline and the group fell
+  /// back to serial individual-GPU execution (`decision` stays absent).
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 class Backend {

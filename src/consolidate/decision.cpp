@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "fault/injector.hpp"
 #include "obs/histogram.hpp"
 #include "obs/tracer.hpp"
 
@@ -123,6 +124,19 @@ Decision DecisionEngine::decide(
   }
   if (cpu_profiles.size() != plan.instances.size()) {
     throw std::invalid_argument("DecisionEngine::decide: profile count mismatch");
+  }
+
+  // Scripted predictor misbehavior: a fail is an exception (the Backend's
+  // degraded path catches it), a stall burns wall time against the
+  // decision deadline.
+  if (auto a = fault::hit("decision.decide")) {
+    if (a.kind == fault::ActionKind::kFail) {
+      throw fault::InjectedFault("injected decision failure");
+    }
+    if (a.kind == fault::ActionKind::kStall ||
+        a.kind == fault::ActionKind::kDelay) {
+      fault::sleep_for(a.duration);
+    }
   }
 
   static obs::Histogram* decide_hist =

@@ -26,6 +26,11 @@ struct CompletionReply {
   /// Echo of LaunchRequest::request_id, so transports that multiplex many
   /// launches over one reply channel (the ewcd socket server) can correlate.
   std::uint64_t request_id = 0;
+  /// Echo of LaunchRequest::owner. In-process only — never wire-encoded —
+  /// so a server routing all backend replies through one channel can key
+  /// its (owner, request_id) delivery/dedup tables. request_id alone is not
+  /// unique across connections.
+  std::string owner;
   /// Simulated wall time from batch start to this instance's completion.
   common::Duration finish_time = common::Duration::zero();
   /// Where the instance actually ran.

@@ -1,0 +1,147 @@
+// Deterministic, seed-scripted fault injection.
+//
+// Robustness paths — torn writes, connect refusals, predictor timeouts —
+// are only trustworthy when they are as reproducible as the happy path.
+// The Injector is a process-wide registry of scripted fault rules keyed by
+// *site* names ("net.send", "decision.decide", ...). Code at a trust
+// boundary asks `fault::hit(site)` what, if anything, should go wrong here;
+// when no scenario is armed that is a single relaxed atomic load, so
+// production binaries carry the hooks for free.
+//
+// A scenario is a ';'-separated rule list, each rule
+//
+//   site=kind[:p=P][:after=N][:times=M][:dur=S][:bytes=B]
+//
+//   kind   one of fail, stall, short_write, corrupt, close, drop, delay
+//   p      fire probability per hit (default 1; draws from the seeded rng)
+//   after  skip the first N hits of the site (default 0)
+//   times  fire at most M times, -1 = unlimited (default -1)
+//   dur    stall/delay duration in real seconds (default 0)
+//   bytes  short_write chunk cap / torn-close prefix length (default 0)
+//
+// e.g. EWC_FAULTS='decision.decide=fail:after=1:times=2;net.send=stall:dur=0.05'
+// Scenarios arm via the EWC_FAULTS / EWC_FAULTS_SEED environment variables
+// (read once at first use) or explicitly via `ewcsim serve --faults`. Every
+// fire bumps a `fault.injected.<site>` counter so injected damage is always
+// visible in `ewcsim stats` output and test assertions.
+//
+// Determinism: rules with p=1 fire purely on hit counts, which are
+// deterministic per site whenever the call order at that site is. Rules
+// with p<1 additionally consume the shared seeded rng, so cross-thread
+// interleavings can reorder draws; scripted tests that need bit-exact
+// outcomes should prefer after=/times= gating over probabilities.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <atomic>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace ewc::fault {
+
+enum class ActionKind {
+  kNone,        ///< nothing injected
+  kFail,        ///< fail the operation (error return, or throw at decide())
+  kStall,       ///< sleep `duration` before proceeding normally
+  kShortWrite,  ///< cap each send(2) chunk at `bytes` (torn-write exercise)
+  kCorrupt,     ///< flip one bit of the outgoing frame (bit chosen by `draw`)
+  kClose,       ///< shut the socket down mid-operation
+  kDrop,        ///< silently discard the message, report success
+  kDelay,       ///< sleep `duration`, then proceed (alias of stall for replies)
+};
+
+const char* action_kind_name(ActionKind k);
+
+/// What an armed rule told the call site to do. Default state (kNone)
+/// converts to false, so hooks read naturally: `if (auto a = fault::hit(..))`.
+struct Action {
+  ActionKind kind = ActionKind::kNone;
+  common::Duration duration = common::Duration::zero();
+  std::size_t bytes = 0;
+  std::uint64_t draw = 0;  ///< seeded per-fire draw (e.g. which bit to flip)
+
+  explicit operator bool() const { return kind != ActionKind::kNone; }
+};
+
+/// One parsed scenario rule. See the grammar in the header comment.
+struct Rule {
+  std::string site;
+  ActionKind kind = ActionKind::kFail;
+  double probability = 1.0;
+  int after = 0;
+  int times = -1;
+  common::Duration duration = common::Duration::zero();
+  std::size_t bytes = 0;
+};
+
+/// Thrown by hooks whose contract is exception-based (DecisionEngine).
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The injection sites wired into the codebase. arm() rejects scenarios
+/// naming anything else: a typo'd site must fail loudly, not inject nothing.
+std::span<const std::string_view> known_sites();
+
+/// Parse a scenario string; nullopt + `error` on bad grammar/site/kind.
+std::optional<std::vector<Rule>> parse_scenario(const std::string& text,
+                                                std::string* error);
+
+class Injector {
+ public:
+  /// The process-wide instance. First use arms from EWC_FAULTS /
+  /// EWC_FAULTS_SEED if set (a malformed value aborts: a chaos run with a
+  /// typo'd scenario must not silently test nothing).
+  static Injector& instance();
+
+  /// Replace the armed scenario. Empty text disarms.
+  bool arm(const std::string& scenario, std::uint64_t seed, std::string* error);
+  void disarm();
+
+  /// Fast path: false whenever no scenario is armed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Evaluate the site against armed rules (first rule that fires wins).
+  Action hit(std::string_view site);
+
+  /// Fires recorded for one site / across all sites (tests, stats).
+  std::uint64_t fired(std::string_view site) const;
+  std::uint64_t total_fired() const;
+
+ private:
+  Injector();
+
+  struct ArmedRule {
+    Rule rule;
+    int hits = 0;
+    int fired = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::vector<ArmedRule> rules_;
+  common::Rng rng_{0};
+};
+
+/// Hook helper: one relaxed load when nothing is armed.
+inline Action hit(std::string_view site) {
+  Injector& inj = Injector::instance();
+  if (!inj.armed()) return {};
+  return inj.hit(site);
+}
+
+/// Real-time sleep for kStall/kDelay actions, in small chunks so armed
+/// processes still shut down promptly.
+void sleep_for(common::Duration d);
+
+}  // namespace ewc::fault

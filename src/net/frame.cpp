@@ -1,5 +1,9 @@
 #include "net/frame.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "fault/injector.hpp"
 #include "net/wire.hpp"
 
 namespace ewc::net {
@@ -17,6 +21,38 @@ IoStatus write_frame(Socket& sock, std::uint16_t type,
   w.u16(0);  // flags
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.raw(payload);
+  if (auto a = fault::hit("net.frame.send")) {
+    std::span<const std::byte> bytes = w.bytes();
+    switch (a.kind) {
+      case fault::ActionKind::kCorrupt: {
+        // Flip one seeded bit anywhere in the assembled frame — header
+        // corruption desynchronizes the stream, payload corruption must be
+        // caught by the codec's bounds checks.
+        auto mutated = std::vector<std::byte>(bytes.begin(), bytes.end());
+        const std::size_t bit = a.draw % (mutated.size() * 8);
+        mutated[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+        return sock.send_exact(mutated.data(), mutated.size(), deadline, error);
+      }
+      case fault::ActionKind::kClose: {
+        // Torn frame: a prefix, then a dead stream.
+        const std::size_t keep =
+            a.bytes > 0 ? std::min(a.bytes, bytes.size()) : bytes.size() / 2;
+        (void)sock.send_exact(bytes.data(), keep, deadline, error);
+        sock.shutdown_rw();
+        if (error) *error = "injected torn frame";
+        return IoStatus::kError;
+      }
+      case fault::ActionKind::kDrop:
+        // Lost in transit; the sender believes it got through.
+        return IoStatus::kOk;
+      case fault::ActionKind::kStall:
+      case fault::ActionKind::kDelay:
+        fault::sleep_for(a.duration);
+        break;
+      default:
+        break;
+    }
+  }
   // One send for header+payload: frames from concurrent writers guarded by a
   // mutex can never interleave mid-frame.
   return sock.send_exact(w.bytes().data(), w.bytes().size(), deadline, error);

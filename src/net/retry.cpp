@@ -1,0 +1,24 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ewc::net {
+
+common::Duration RetryPolicy::backoff(int attempt, common::Rng& rng) const {
+  if (attempt < 1) attempt = 1;
+  double delay = initial_backoff.seconds() *
+                 std::pow(std::max(1.0, multiplier),
+                          static_cast<double>(attempt - 1));
+  delay = std::min(delay, max_backoff.seconds());
+  if (jitter > 0.0) {
+    // One rng draw per backoff whether or not the factor moves the delay:
+    // the draw sequence — and so the whole retry schedule — depends only on
+    // the seed and the attempt count.
+    const double factor = 1.0 + jitter * (2.0 * rng.uniform() - 1.0);
+    delay *= factor;
+  }
+  return common::Duration::from_seconds(std::max(0.0, delay));
+}
+
+}  // namespace ewc::net

@@ -1,0 +1,29 @@
+// Capped exponential backoff with deterministic seeded jitter.
+//
+// The schedule every transport-level retry in the client stack follows:
+// reconnect attempts after a dropped daemon connection, initial connects
+// against a daemon that is still binding. Jitter draws from a caller-owned
+// seeded common::Rng, so a scripted chaos run retries at bit-identical
+// offsets every time — reproducibility is the whole point of this layer.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace ewc::net {
+
+struct RetryPolicy {
+  int max_attempts = 10;  ///< per outage; <=0 disables retrying entirely
+  common::Duration initial_backoff = common::Duration::from_millis(50.0);
+  common::Duration max_backoff = common::Duration::from_seconds(1.0);
+  double multiplier = 2.0;
+  /// Symmetric jitter fraction: the capped delay is scaled by a uniform
+  /// factor in [1 - jitter, 1 + jitter]. 0 = fully deterministic spacing.
+  double jitter = 0.1;
+
+  /// Delay before retry `attempt` (1-based): initial * multiplier^(attempt-1),
+  /// capped at max_backoff, then jittered via `rng`. Never negative.
+  common::Duration backoff(int attempt, common::Rng& rng) const;
+};
+
+}  // namespace ewc::net

@@ -5,8 +5,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "fault/injector.hpp"
 
 namespace ewc::net {
 
@@ -109,16 +112,49 @@ void Socket::shutdown_rw() {
 IoStatus Socket::send_exact(const void* data, std::size_t n,
                             const Deadline& deadline, std::string* error) {
   const auto* p = static_cast<const std::byte*>(data);
+  // A scripted short_write caps every send(2) chunk, forcing the loop to
+  // split even a 12-byte frame header across calls — the torn-write path a
+  // cooperative kernel almost never takes on a UNIX socket.
+  std::size_t chunk_cap = n;
+  if (auto a = fault::hit("net.send")) {
+    switch (a.kind) {
+      case fault::ActionKind::kFail:
+        if (error) *error = "injected send failure";
+        return IoStatus::kError;
+      case fault::ActionKind::kClose:
+        shutdown_rw();
+        if (error) *error = "injected mid-stream close";
+        return IoStatus::kError;
+      case fault::ActionKind::kStall:
+        fault::sleep_for(a.duration);
+        break;
+      case fault::ActionKind::kShortWrite:
+        chunk_cap = a.bytes > 0 ? a.bytes : 1;
+        break;
+      default:
+        break;
+    }
+  }
   std::size_t sent = 0;
   while (sent < n) {
     // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the daemon.
-    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    const ssize_t rc =
+        ::send(fd_, p + sent, std::min(n - sent, chunk_cap), MSG_NOSIGNAL);
     if (rc > 0) {
       sent += static_cast<std::size_t>(rc);
       continue;
     }
-    if (rc < 0 && errno == EINTR) continue;
-    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (rc == 0) {
+      // send(2) should never return 0 for a nonzero count, but treating it
+      // as progress-free success would spin this loop forever.
+      if (error) {
+        *error = "send returned 0 after " + std::to_string(sent) + "/" +
+                 std::to_string(n) + " bytes";
+      }
+      return IoStatus::kError;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
       const IoStatus w = poll_for(fd_, POLLOUT, deadline, error);
       if (w != IoStatus::kOk) return w;
       continue;
@@ -131,6 +167,23 @@ IoStatus Socket::send_exact(const void* data, std::size_t n,
 
 IoStatus Socket::recv_exact(void* data, std::size_t n, const Deadline& deadline,
                             std::string* error) {
+  if (auto a = fault::hit("net.recv")) {
+    switch (a.kind) {
+      case fault::ActionKind::kFail:
+        if (error) *error = "injected recv failure";
+        return IoStatus::kError;
+      case fault::ActionKind::kClose:
+        // The kernel drains to EOF; the read below observes it.
+        shutdown_rw();
+        break;
+      case fault::ActionKind::kStall:
+      case fault::ActionKind::kDelay:
+        fault::sleep_for(a.duration);
+        break;
+      default:
+        break;
+    }
+  }
   auto* p = static_cast<std::byte*>(data);
   std::size_t got = 0;
   while (got < n) {
@@ -167,6 +220,15 @@ IoStatus Socket::wait_readable(const Deadline& deadline, std::string* error) {
 std::optional<Socket> connect_unix(const std::string& path,
                                    const Deadline& deadline,
                                    std::string* error) {
+  if (auto a = fault::hit("net.connect")) {
+    if (a.kind == fault::ActionKind::kStall ||
+        a.kind == fault::ActionKind::kDelay) {
+      fault::sleep_for(a.duration);
+    } else {
+      if (error) *error = "injected connect refusal: " + path;
+      return std::nullopt;
+    }
+  }
   sockaddr_un addr;
   if (!fill_addr(path, &addr, error)) return std::nullopt;
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -207,9 +269,31 @@ std::optional<Listener> Listener::bind_unix(const std::string& path,
   l.fd_ = fd;
   l.path_ = path;
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    set_error(error, ("bind " + path).c_str());
-    l.path_.clear();  // not ours to unlink
-    return std::nullopt;
+    // A SIGKILL'd daemon leaves its socket file behind (only graceful exits
+    // unlink). Probe it: connection refused means nobody is listening, so
+    // the file is stale and a restarted daemon may reclaim the address. A
+    // live daemon answers the probe and keeps the path.
+    const int bind_errno = errno;
+    bool stale = false;
+    if (bind_errno == EADDRINUSE) {
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (probe >= 0) {
+        if (::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0 &&
+            errno == ECONNREFUSED) {
+          stale = true;
+        }
+        ::close(probe);
+      }
+    }
+    if (!stale || ::unlink(path.c_str()) != 0 ||
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      if (!stale) errno = bind_errno;
+      set_error(error, ("bind " + path).c_str());
+      l.path_.clear();  // not ours to unlink
+      return std::nullopt;
+    }
   }
   if (::listen(fd, backlog) != 0) {
     set_error(error, "listen");

@@ -1,65 +1,168 @@
 #include "server/client.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "net/frame.hpp"
 #include "obs/tracer.hpp"
+#include "trace/counters.hpp"
 
 namespace ewc::server {
 
-std::unique_ptr<ClientConnection> ClientConnection::connect(
-    const std::string& socket_path, const std::string& owner,
-    common::Duration timeout, std::string* error) {
-  auto sock = net::connect_unix(socket_path, net::Deadline::after(timeout),
-                                error);
-  if (!sock.has_value()) return nullptr;
+namespace {
 
-  std::unique_ptr<ClientConnection> conn(new ClientConnection());
-  conn->sock_ = std::move(*sock);
-  conn->owner_ = owner;
+struct ClientCounters {
+  trace::Counters::Handle reconnects, replayed, breaker_trips;
+};
 
-  const auto deadline = net::Deadline::after(conn->io_timeout_);
+ClientCounters& counters() {
+  auto h = [](const char* n) { return trace::Counters::instance().handle(n); };
+  static ClientCounters* s = new ClientCounters{
+      h("client.reconnects"), h("client.replayed_launches"),
+      h("client.breaker_trips")};
+  return *s;
+}
+
+}  // namespace
+
+bool ClientConnection::handshake(net::Socket& sock, const std::string& owner,
+                                 common::Duration io_timeout,
+                                 HelloOkMsg* settings, std::string* error) {
+  const auto deadline = net::Deadline::after(io_timeout);
   std::string err;
-  if (net::write_frame(conn->sock_,
-                       static_cast<std::uint16_t>(MsgType::kHello),
+  if (net::write_frame(sock, static_cast<std::uint16_t>(MsgType::kHello),
                        encode_hello({kProtocolVersion, owner}), deadline,
                        &err) != net::IoStatus::kOk) {
     if (error) *error = "hello: " + err;
-    return nullptr;
+    return false;
   }
   net::Frame frame;
-  if (net::read_frame(conn->sock_, &frame, deadline, &err) !=
-      net::IoStatus::kOk) {
+  if (net::read_frame(sock, &frame, deadline, &err) != net::IoStatus::kOk) {
     if (error) *error = "hello reply: " + err;
-    return nullptr;
+    return false;
   }
   if (frame.type == static_cast<std::uint16_t>(MsgType::kError)) {
     const auto msg = decode_error(frame.payload);
     if (error) *error = "server refused: " + (msg ? msg->message : "?");
-    return nullptr;
+    return false;
   }
   const auto ok = frame.type == static_cast<std::uint16_t>(MsgType::kHelloOk)
                       ? decode_hello_ok(frame.payload)
                       : std::nullopt;
   if (!ok.has_value()) {
     if (error) *error = "malformed hello reply";
-    return nullptr;
+    return false;
   }
-  conn->settings_ = *ok;
-  conn->reader_ = std::thread([raw = conn.get()] { raw->reader_loop(); });
-  return conn;
+  *settings = *ok;
+  return true;
+}
+
+std::unique_ptr<ClientConnection> ClientConnection::connect(
+    const std::string& socket_path, const std::string& owner,
+    common::Duration timeout, std::string* error) {
+  return connect(socket_path, owner, timeout, ClientOptions{}, error);
+}
+
+std::unique_ptr<ClientConnection> ClientConnection::connect(
+    const std::string& socket_path, const std::string& owner,
+    common::Duration timeout, ClientOptions options, std::string* error) {
+  std::unique_ptr<ClientConnection> conn(new ClientConnection());
+  conn->path_ = socket_path;
+  conn->owner_ = owner;
+  conn->opts_ = options;
+  conn->rng_ = common::Rng(options.jitter_seed);
+
+  // Without auto_reconnect a refused dial is final (connect_unix already
+  // rides out a daemon that is still binding); with it, the RetryPolicy
+  // also covers scripted connect refusals and daemon restarts.
+  const int max_attempts =
+      options.auto_reconnect ? std::max(1, options.retry.max_attempts) : 1;
+  std::string err;
+  for (int attempt = 1;; ++attempt) {
+    auto sock =
+        net::connect_unix(socket_path, net::Deadline::after(timeout), &err);
+    if (sock.has_value()) {
+      if (handshake(*sock, owner, conn->io_timeout_, &conn->settings_, &err)) {
+        conn->sock_ = std::move(*sock);
+        conn->reader_ = std::thread([raw = conn.get()] { raw->reader_loop(); });
+        return conn;
+      }
+    }
+    if (attempt >= max_attempts) break;
+    const auto backoff = options.retry.backoff(attempt, conn->rng_);
+    conn->interruptible_sleep(backoff);
+  }
+  if (error) *error = err;
+  return nullptr;
 }
 
 ClientConnection::~ClientConnection() {
-  sock_.shutdown_rw();
+  shutting_down_.store(true);
+  {
+    std::lock_guard lock(write_mu_);
+    sock_.shutdown_rw();
+  }
   if (reader_.joinable()) reader_.join();
+}
+
+void ClientConnection::inject_disconnect() {
+  std::lock_guard lock(write_mu_);
+  sock_.shutdown_rw();
+}
+
+bool ClientConnection::interruptible_sleep(common::Duration d) {
+  double left = d.is_finite() ? d.seconds() : 0.0;
+  while (left > 0.0) {
+    if (shutting_down_.load()) return false;
+    const double step = std::min(left, 0.01);
+    std::this_thread::sleep_for(std::chrono::duration<double>(step));
+    left -= step;
+  }
+  return !shutting_down_.load();
+}
+
+bool ClientConnection::breaker_allows() {
+  if (opts_.breaker_threshold <= 0) return true;
+  std::lock_guard lock(mu_);
+  return std::chrono::steady_clock::now() >= breaker_open_until_;
+}
+
+void ClientConnection::record_transport_error() {
+  if (opts_.breaker_threshold <= 0) return;
+  std::lock_guard lock(mu_);
+  ++consecutive_failures_;
+  // At or past the threshold every further failure re-opens the breaker:
+  // half-open probes that fail trip it again immediately.
+  if (consecutive_failures_ >= opts_.breaker_threshold) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto until =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      opts_.breaker_cooldown.seconds()));
+    if (breaker_open_until_ < now) counters().breaker_trips.inc();
+    breaker_open_until_ = until;
+  }
+}
+
+void ClientConnection::record_transport_success() {
+  if (opts_.breaker_threshold <= 0) return;
+  std::lock_guard lock(mu_);
+  consecutive_failures_ = 0;
 }
 
 bool ClientConnection::send(MsgType type, std::span<const std::byte> payload) {
   std::lock_guard lock(write_mu_);
-  return net::write_frame(sock_, static_cast<std::uint16_t>(type), payload,
-                          net::Deadline::after(io_timeout_),
-                          nullptr) == net::IoStatus::kOk;
+  const bool ok =
+      net::write_frame(sock_, static_cast<std::uint16_t>(type), payload,
+                       net::Deadline::after(io_timeout_),
+                       nullptr) == net::IoStatus::kOk;
+  if (!ok) {
+    record_transport_error();
+    // Wake the reader out of its blocking read so it notices the dead
+    // transport and (if armed) starts recovery.
+    if (opts_.auto_reconnect) sock_.shutdown_rw();
+  }
+  return ok;
 }
 
 consolidate::CompletionReply ClientConnection::launch(
@@ -71,7 +174,7 @@ consolidate::CompletionReply ClientConnection::launch(
     reply.request_id = req.request_id;
     return reply;
   };
-  if (dead_.load()) return fail("connection dead: " + death_reason_);
+  if (!breaker_allows()) return fail("circuit breaker open");
 
   // Client half of the request-lifecycle trace: this wall-clock span and the
   // server's "server.request" span carry the same request_id, so a merged
@@ -80,21 +183,51 @@ consolidate::CompletionReply ClientConnection::launch(
   auto waiter =
       std::make_shared<common::Channel<consolidate::CompletionReply>>();
   {
+    // dead_ is checked under mu_ *while registering*: fail_all holds mu_ to
+    // set dead_ and swap the maps, so a waiter either registers before the
+    // swap (and is failed by it) or observes dead_ here — it can never slip
+    // in after the swap and hang until timeout.
     std::lock_guard lock(mu_);
+    if (dead_.load()) return fail("connection dead: " + death_reason_);
     req.request_id = next_id_++;
     launch_waiters_[req.request_id] = waiter;
   }
   span.set_request_id(req.request_id);
   req.reply = nullptr;  // never crosses the wire
-  if (!send(MsgType::kLaunch, encode_launch(req))) {
+  const auto payload = encode_launch(req);
+  bool sent;
+  {
+    // Registration of the replay payload and the send are one atomic step
+    // with respect to recovery (which holds write_mu_ while swapping the
+    // socket and replaying): the launch is either replayed or sent directly
+    // on the new socket, never both — the server would reject the
+    // duplicate id on the same connection.
+    std::lock_guard wlock(write_mu_);
+    if (opts_.auto_reconnect) {
+      std::lock_guard lock(mu_);
+      inflight_launches_[req.request_id] = payload;
+    }
+    sent = net::write_frame(sock_, static_cast<std::uint16_t>(MsgType::kLaunch),
+                            payload, net::Deadline::after(io_timeout_),
+                            nullptr) == net::IoStatus::kOk;
+    if (!sent) {
+      record_transport_error();
+      if (opts_.auto_reconnect) sock_.shutdown_rw();
+    }
+  }
+  if (!sent && !opts_.auto_reconnect) {
     std::lock_guard lock(mu_);
     launch_waiters_.erase(req.request_id);
     return fail("send failed");
   }
+  // With auto_reconnect a failed send is not fatal: the payload is in the
+  // replay map, so the recovery pass resends it and the answer still lands
+  // in this waiter.
   auto reply = waiter->receive_for(timeout);
   {
     std::lock_guard lock(mu_);
     launch_waiters_.erase(req.request_id);
+    inflight_launches_.erase(req.request_id);
   }
   if (!reply.has_value()) return fail("timed out waiting for completion");
   if (span.active()) {
@@ -108,11 +241,12 @@ consolidate::CompletionReply ClientConnection::launch(
 }
 
 bool ClientConnection::flush(common::Duration timeout) {
-  if (dead_.load()) return false;
+  if (!breaker_allows()) return false;
   auto waiter = std::make_shared<common::Channel<bool>>();
   std::uint64_t token;
   {
     std::lock_guard lock(mu_);
+    if (dead_.load()) return false;
     token = next_id_++;
     flush_waiters_[token] = waiter;
   }
@@ -128,12 +262,13 @@ bool ClientConnection::flush(common::Duration timeout) {
 
 std::optional<StatsReplyMsg> ClientConnection::stats(
     bool include_histograms, common::Duration timeout) {
-  if (dead_.load()) return std::nullopt;
+  if (!breaker_allows()) return std::nullopt;
   auto waiter =
       std::make_shared<common::Channel<std::optional<StatsReplyMsg>>>();
   std::uint64_t token;
   {
     std::lock_guard lock(mu_);
+    if (dead_.load()) return std::nullopt;
     token = next_id_++;
     stats_waiters_[token] = waiter;
   }
@@ -167,6 +302,7 @@ void ClientConnection::fail_all(const std::string& error) {
     launches.swap(launch_waiters_);
     flushes.swap(flush_waiters_);
     stats.swap(stats_waiters_);
+    inflight_launches_.clear();
   }
   for (auto& [id, waiter] : launches) {
     consolidate::CompletionReply reply;
@@ -179,60 +315,148 @@ void ClientConnection::fail_all(const std::string& error) {
   for (auto& [token, waiter] : stats) waiter->send(std::nullopt);
 }
 
+void ClientConnection::fail_connection_scoped() {
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<bool>>> flushes;
+  std::map<std::uint64_t,
+           std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>>>
+      stats;
+  {
+    std::lock_guard lock(mu_);
+    flushes.swap(flush_waiters_);
+    stats.swap(stats_waiters_);
+  }
+  for (auto& [token, waiter] : flushes) waiter->send(false);
+  for (auto& [token, waiter] : stats) waiter->send(std::nullopt);
+}
+
+bool ClientConnection::recover(const std::string& why) {
+  if (!opts_.auto_reconnect || shutting_down_.load()) return false;
+  // Launch waiters survive: their payloads replay onto the new connection
+  // and the server's dedup makes that idempotent. Flush/stats tokens are
+  // connection-scoped — anything lost with the old stream fails now.
+  fail_connection_scoped();
+  const int max_attempts = std::max(1, opts_.retry.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    record_transport_error();
+    if (!interruptible_sleep(opts_.retry.backoff(attempt, rng_))) return false;
+    std::string err;
+    auto sock = net::connect_unix(
+        path_, net::Deadline::after(opts_.dial_timeout), &err);
+    if (!sock.has_value()) continue;
+    HelloOkMsg settings;
+    if (!handshake(*sock, owner_, io_timeout_, &settings, &err)) continue;
+    std::map<std::uint64_t, std::vector<std::byte>> replays;
+    bool sent_all = true;
+    {
+      std::lock_guard wlock(write_mu_);
+      sock_ = std::move(*sock);
+      settings_ = settings;
+      {
+        std::lock_guard lock(mu_);
+        replays = inflight_launches_;
+      }
+      for (const auto& [id, payload] : replays) {
+        if (net::write_frame(sock_,
+                             static_cast<std::uint16_t>(MsgType::kLaunch),
+                             payload, net::Deadline::after(io_timeout_),
+                             nullptr) != net::IoStatus::kOk) {
+          sent_all = false;
+          break;
+        }
+      }
+    }
+    if (!sent_all) continue;
+    reconnects_.fetch_add(1);
+    replayed_.fetch_add(replays.size());
+    counters().reconnects.inc();
+    counters().replayed.add(static_cast<double>(replays.size()));
+    record_transport_success();
+    (void)why;
+    return true;
+  }
+  return false;
+}
+
 void ClientConnection::reader_loop() {
   for (;;) {
     net::Frame frame;
     std::string err;
     const auto s =
         net::read_frame(sock_, &frame, net::Deadline::never(), &err);
-    if (s == net::IoStatus::kEof) return fail_all("server closed connection");
-    if (s != net::IoStatus::kOk) return fail_all("read failed: " + err);
+    if (s != net::IoStatus::kOk) {
+      const std::string why = s == net::IoStatus::kEof
+                                  ? "server closed connection"
+                                  : "read failed: " + err;
+      if (recover(why)) continue;
+      return fail_all(why);
+    }
 
     switch (static_cast<MsgType>(frame.type)) {
       case MsgType::kCompletion: {
         const auto reply = decode_completion(frame.payload);
-        if (!reply.has_value()) return fail_all("malformed completion");
+        if (!reply.has_value()) {
+          if (recover("malformed completion")) continue;
+          return fail_all("malformed completion");
+        }
         std::shared_ptr<common::Channel<consolidate::CompletionReply>> waiter;
         {
           std::lock_guard lock(mu_);
           auto it = launch_waiters_.find(reply->request_id);
           if (it != launch_waiters_.end()) waiter = it->second;
+          // Answered: a future reconnect must not replay it.
+          inflight_launches_.erase(reply->request_id);
         }
+        record_transport_success();
         // No waiter: the launcher timed out and moved on; drop it.
         if (waiter) waiter->send(*reply);
         break;
       }
       case MsgType::kFlushDone: {
         const auto done = decode_flush_done(frame.payload);
-        if (!done.has_value()) return fail_all("malformed flush_done");
+        if (!done.has_value()) {
+          if (recover("malformed flush_done")) continue;
+          return fail_all("malformed flush_done");
+        }
         std::shared_ptr<common::Channel<bool>> waiter;
         {
           std::lock_guard lock(mu_);
           auto it = flush_waiters_.find(done->token);
           if (it != flush_waiters_.end()) waiter = it->second;
         }
+        record_transport_success();
         if (waiter) waiter->send(done->ok);
         break;
       }
       case MsgType::kStatsReply: {
         auto reply = decode_stats_reply(frame.payload);
-        if (!reply.has_value()) return fail_all("malformed stats_reply");
+        if (!reply.has_value()) {
+          if (recover("malformed stats_reply")) continue;
+          return fail_all("malformed stats_reply");
+        }
         std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>> waiter;
         {
           std::lock_guard lock(mu_);
           auto it = stats_waiters_.find(reply->token);
           if (it != stats_waiters_.end()) waiter = it->second;
         }
+        record_transport_success();
         if (waiter) waiter->send(std::move(reply));
         break;
       }
       case MsgType::kError: {
         const auto msg = decode_error(frame.payload);
-        return fail_all("server error: " + (msg ? msg->message : "?"));
+        const std::string why = "server error: " + (msg ? msg->message : "?");
+        // The server closes the stream after kError; with reconnect armed
+        // this is recoverable like any other mid-stream loss.
+        if (recover(why)) continue;
+        return fail_all(why);
       }
-      default:
-        return fail_all("unexpected message type " +
-                        std::to_string(frame.type));
+      default: {
+        const std::string why =
+            "unexpected message type " + std::to_string(frame.type);
+        if (recover(why)) continue;
+        return fail_all(why);
+      }
     }
   }
 }

@@ -6,9 +6,22 @@
 // thread — can share one connection; request ids correlate). A dead or
 // misbehaving daemon surfaces as failed CompletionReplies, never as a hang:
 // every wait is bounded by the caller's timeout.
+//
+// Resilience (opt-in via ClientOptions::auto_reconnect): when the reader
+// thread observes EOF, a read error, or a corrupt frame, it redials under
+// the RetryPolicy's capped-exponential/seeded-jitter schedule, re-runs the
+// handshake, and replays every launch still awaiting an answer (encoded
+// payloads are kept keyed by request_id until answered). The server's
+// (owner, request_id) dedup table makes replay idempotent: a launch is
+// executed exactly once no matter how many times the wire delivers it. A
+// per-connection circuit breaker opens after `breaker_threshold`
+// consecutive transport errors and fails calls fast until its cooldown
+// elapses (half-open: the next call probes; success closes it again).
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -16,13 +29,31 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/channel.hpp"
+#include "common/rng.hpp"
 #include "consolidate/protocol.hpp"
+#include "net/retry.hpp"
 #include "net/socket.hpp"
 #include "server/protocol_wire.hpp"
 
 namespace ewc::server {
+
+struct ClientOptions {
+  /// Reconnect + replay instead of failing all waiters on a dead transport.
+  bool auto_reconnect = false;
+  /// Backoff schedule for reconnect attempts (and initial-connect retries
+  /// when auto_reconnect is set).
+  net::RetryPolicy retry;
+  /// Per-redial budget for one connect_unix attempt during recovery.
+  common::Duration dial_timeout = common::Duration::from_seconds(2.0);
+  /// Consecutive transport errors before the circuit opens; <=0 disables.
+  int breaker_threshold = 8;
+  common::Duration breaker_cooldown = common::Duration::from_seconds(1.0);
+  /// Seed for the jittered backoff schedule (deterministic per seed).
+  std::uint64_t jitter_seed = 0x5eed;
+};
 
 class ClientConnection {
  public:
@@ -31,6 +62,12 @@ class ClientConnection {
   static std::unique_ptr<ClientConnection> connect(
       const std::string& socket_path, const std::string& owner,
       common::Duration timeout, std::string* error);
+
+  /// As above with explicit resilience options. With auto_reconnect the
+  /// initial connect also retries up to retry.max_attempts dials.
+  static std::unique_ptr<ClientConnection> connect(
+      const std::string& socket_path, const std::string& owner,
+      common::Duration timeout, ClientOptions options, std::string* error);
 
   ~ClientConnection();
 
@@ -61,20 +98,49 @@ class ClientConnection {
   const std::string& owner() const { return owner_; }
   bool alive() const { return !dead_.load(); }
 
+  /// Successful reconnects / launches replayed over them (tests, reports).
+  std::uint64_t reconnects() const { return reconnects_.load(); }
+  std::uint64_t replayed_launches() const { return replayed_.load(); }
+
+  /// Test hook: sever the transport as if the daemon dropped it. With
+  /// auto_reconnect the reader recovers and replays; without, waiters fail.
+  void inject_disconnect();
+
  private:
   ClientConnection() = default;
+  /// hello/hello_ok exchange on a fresh socket. Shared by connect() and
+  /// recovery redials.
+  static bool handshake(net::Socket& sock, const std::string& owner,
+                        common::Duration io_timeout, HelloOkMsg* settings,
+                        std::string* error);
   void reader_loop();
+  /// Reader-thread-only: redial + handshake + replay in-flight launches.
+  /// True when the connection is live again.
+  bool recover(const std::string& why);
   /// Fail every waiter and mark the connection dead.
   void fail_all(const std::string& error);
+  /// Fail flush/stats waiters only: their tokens are connection-scoped and
+  /// a frame lost with the old connection will never be answered.
+  void fail_connection_scoped();
   bool send(MsgType type, std::span<const std::byte> payload);
+  /// Sleep in small chunks; false when shutdown interrupted the wait.
+  bool interruptible_sleep(common::Duration d);
+
+  // Circuit breaker (all under mu_).
+  bool breaker_allows();
+  void record_transport_error();
+  void record_transport_success();
 
   net::Socket sock_;
+  std::string path_;
   std::string owner_;
   HelloOkMsg settings_;
+  ClientOptions opts_;
   common::Duration io_timeout_ = common::Duration::from_seconds(30.0);
+  common::Rng rng_{0};  ///< backoff jitter; connect()/reader thread only
 
-  std::mutex write_mu_;
-  std::mutex mu_;  ///< guards next_id_ and the waiter maps
+  std::mutex write_mu_;  ///< serializes senders; recovery swaps sock_ under it
+  std::mutex mu_;  ///< guards next_id_, waiter maps, replay map, breaker
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t,
            std::shared_ptr<common::Channel<consolidate::CompletionReply>>>
@@ -86,8 +152,17 @@ class ClientConnection {
   std::map<std::uint64_t,
            std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>>>
       stats_waiters_;
+  /// Encoded kLaunch payloads awaiting an answer, for replay after a
+  /// reconnect. Only populated when auto_reconnect is on.
+  std::map<std::uint64_t, std::vector<std::byte>> inflight_launches_;
+
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_open_until_{};
 
   std::atomic<bool> dead_{false};
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> replayed_{0};
   std::string death_reason_;
   std::thread reader_;
 };

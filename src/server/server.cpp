@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "fault/injector.hpp"
 #include "obs/histogram.hpp"
 #include "obs/tracer.hpp"
 #include "trace/counters.hpp"
@@ -26,7 +27,8 @@ struct ServerCounters {
   trace::Counters::Handle connections_accepted, connections_rejected,
       connections_closed, protocol_errors, admitted, rejected, requests,
       replies, flushes, shutdown_requests, stats_requests, deadline_expired,
-      drain_failed_replies, drain_flush_timeouts;
+      drain_failed_replies, drain_flush_timeouts, replayed_requests,
+      parked_replies;
 };
 
 ServerCounters& counters() {
@@ -40,7 +42,8 @@ ServerCounters& counters() {
       h("server.requests"),             h("server.replies"),
       h("server.flushes"),              h("server.shutdown_requests"),
       h("server.stats_requests"),       h("server.deadline_expired"),
-      h("server.drain.failed_replies"), h("server.drain.flush_timeouts")};
+      h("server.drain.failed_replies"), h("server.drain.flush_timeouts"),
+      h("server.replayed_requests"),    h("server.parked_replies")};
   return *s;
 }
 
@@ -58,6 +61,8 @@ Server::Server(consolidate::Backend& backend, ServerOptions options)
 Server::~Server() {
   if (running_.load()) stop();
   if (acceptor_.joinable()) acceptor_.join();
+  backend_replies_->close();
+  if (demux_.joinable()) demux_.join();
   for (int fd : stop_pipe_) {
     if (fd >= 0) ::close(fd);
   }
@@ -84,6 +89,7 @@ bool Server::start(std::string* error) {
   }
   running_.store(true);
   started_at_ = std::chrono::steady_clock::now();
+  demux_ = std::thread([this] { demux_loop(); });
   acceptor_ = std::thread([this] { accept_loop(); });
   return true;
 }
@@ -188,6 +194,44 @@ void Server::reap_finished() {
   }
 }
 
+void Server::record_completed_locked(
+    const consolidate::CompletionReply& reply) {
+  routes_.erase(RequestKey{reply.owner, reply.request_id});
+  CompletedLog& log = completed_[reply.owner];
+  // First write wins: if the writer already recorded a deadline/drain error
+  // for this key, the client was answered with it — a replay must see the
+  // same answer, not a different late one.
+  if (!log.replies.emplace(reply.request_id, reply).second) return;
+  log.order.push_back(reply.request_id);
+  while (log.order.size() > kCompletedCapPerOwner) {
+    log.replies.erase(log.order.front());
+    log.order.pop_front();
+  }
+}
+
+void Server::demux_loop() {
+  for (;;) {
+    auto reply = backend_replies_->receive();
+    if (!reply.has_value()) break;  // closed and drained: shutting down
+    std::shared_ptr<Connection> target;
+    {
+      std::lock_guard lock(route_mu_);
+      const auto it = routes_.find(RequestKey{reply->owner, reply->request_id});
+      if (it != routes_.end()) target = it->second.lock();
+      record_completed_locked(*reply);
+    }
+    if (target != nullptr) {
+      // The connection's writer sends the frame; if the client died in the
+      // meantime the send is a dropped no-op and the reply stays parked in
+      // the completed log above for a future replay.
+      if (!target->replies->send(*reply)) counters().parked_replies.inc();
+    } else {
+      // No live route: client gone (or already answered by deadline expiry).
+      counters().parked_replies.inc();
+    }
+  }
+}
+
 bool Server::send_frame(Connection& conn, MsgType type,
                         std::span<const std::byte> payload) {
   std::lock_guard lock(conn.write_mu);
@@ -215,9 +259,11 @@ void Server::send_completion_error(Connection& conn, std::uint64_t request_id,
 void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
   const auto teardown = [&] {
     conn->closing.store(true);
-    // Closing the reply channel (a) wakes the writer and (b) makes the
-    // backend's send() of any still-outstanding reply for this client a
-    // dropped no-op — a dead client fails only its own replies.
+    // Closing the reply channel wakes the writer so it drains and exits.
+    // Replies still in flight for this client are parked by the demux in
+    // the completed log (the route's weak_ptr expires with the conn): a
+    // dead client loses only its own replies, and a reconnecting one can
+    // still replay-claim them.
     conn->replies->close();
     conn->sock.shutdown_rw();
     conn->reader_done.store(true);
@@ -273,28 +319,92 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
           return teardown();
         }
         const std::uint64_t id = req->request_id;
+        const std::string req_owner = req->owner;
+        if (auto a = fault::hit("server.admit");
+            a.kind == fault::ActionKind::kStall ||
+            a.kind == fault::ActionKind::kDelay) {
+          fault::sleep_for(a.duration);
+        }
         if (draining_.load()) {
           send_completion_error(*conn, id, "server draining");
           counters().rejected.inc();
           break;
         }
+
+        const auto make_deadline = [&] {
+          std::optional<std::chrono::steady_clock::time_point> deadline;
+          if (options_.request_deadline > common::Duration::zero()) {
+            deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        options_.request_deadline.seconds()));
+          }
+          return deadline;
+        };
+
+        // Replay dedup: a reconnecting client resends every unanswered
+        // launch. An already-answered one is served from the completed log;
+        // one still in the backend has its route re-pointed at this
+        // connection — never re-forwarded, so it executes exactly once and
+        // batch output stays bit-identical.
+        std::optional<consolidate::CompletionReply> cached;
+        bool inflight_replay = false;
+        {
+          std::lock_guard lock(route_mu_);
+          const auto done = completed_.find(req_owner);
+          if (done != completed_.end()) {
+            const auto hit = done->second.replies.find(id);
+            if (hit != done->second.replies.end()) cached = hit->second;
+          }
+          if (!cached.has_value()) {
+            const auto route = routes_.find(RequestKey{req_owner, id});
+            if (route != routes_.end()) {
+              const auto current = route->second.lock();
+              if (current == nullptr || current.get() != conn.get()) {
+                route->second = conn;
+                inflight_replay = true;
+              }
+              // Same live connection: fall through to admission, which
+              // rejects the duplicate id.
+            }
+          }
+        }
+        if (cached.has_value()) {
+          counters().replayed_requests.inc();
+          if (send_frame(*conn, MsgType::kCompletion,
+                         encode_completion(*cached))) {
+            counters().replies.inc();
+          }
+          obs::instant("server.replay", id,
+                       "\"owner\":\"" + obs::json_escape(req_owner) +
+                           "\",\"from\":\"completed\"");
+          break;
+        }
+        if (inflight_replay) {
+          {
+            std::lock_guard lock(conn->mu);
+            conn->outstanding.emplace(
+                id, Connection::Outstanding{req_owner, make_deadline(),
+                                            obs::Tracer::now_us()});
+          }
+          counters().replayed_requests.inc();
+          obs::instant("server.replay", id,
+                       "\"owner\":\"" + obs::json_escape(req_owner) +
+                           "\",\"from\":\"inflight\"");
+          break;
+        }
+
         // Admission control: bounded unanswered launches per client.
         bool admitted = false;
         {
           std::lock_guard lock(conn->mu);
           if (static_cast<int>(conn->outstanding.size()) <
               options_.inflight_limit) {
-            std::optional<std::chrono::steady_clock::time_point> deadline;
-            if (options_.request_deadline > common::Duration::zero()) {
-              deadline = std::chrono::steady_clock::now() +
-                         std::chrono::duration_cast<
-                             std::chrono::steady_clock::duration>(
-                             std::chrono::duration<double>(
-                                 options_.request_deadline.seconds()));
-            }
             admitted = conn->outstanding
                            .emplace(id, Connection::Outstanding{
-                                            deadline, obs::Tracer::now_us()})
+                                            req_owner, make_deadline(),
+                                            obs::Tracer::now_us()})
                            .second;
           }
         }
@@ -308,10 +418,20 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
           obs::instant("server.reject", id);
           break;
         }
-        req->reply = conn->replies;
+        req->reply = backend_replies_;
+        {
+          std::lock_guard lock(route_mu_);
+          routes_[RequestKey{req_owner, id}] = conn;
+        }
         if (!backend_.channel().send(std::move(*req))) {
-          std::lock_guard lock(conn->mu);
-          conn->outstanding.erase(id);
+          {
+            std::lock_guard lock(conn->mu);
+            conn->outstanding.erase(id);
+          }
+          {
+            std::lock_guard lock(route_mu_);
+            routes_.erase(RequestKey{req_owner, id});
+          }
           send_completion_error(*conn, id, "backend unavailable");
           counters().rejected.inc();
           break;
@@ -394,6 +514,16 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
       // A reply whose id is no longer outstanding already got a deadline /
       // drain error; dropping the late real answer keeps the stream sane.
       if (live && !conn->closing.load()) {
+        if (auto a = fault::hit("server.reply")) {
+          if (a.kind == fault::ActionKind::kDelay ||
+              a.kind == fault::ActionKind::kStall) {
+            fault::sleep_for(a.duration);
+          } else if (a.kind == fault::ActionKind::kDrop) {
+            // Lost reply: the client's deadline (or its replay after a
+            // reconnect — the completed log still has the answer) recovers.
+            continue;
+          }
+        }
         send_frame(*conn, MsgType::kCompletion, encode_completion(*reply));
         counters().replies.inc();
         const double now_us = obs::Tracer::now_us();
@@ -415,17 +545,29 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
     if (options_.request_deadline > common::Duration::zero() &&
         !conn->closing.load()) {
       const auto now = std::chrono::steady_clock::now();
-      std::vector<std::uint64_t> expired;
+      std::vector<std::pair<std::uint64_t, std::string>> expired;
       {
         std::lock_guard lock(conn->mu);
         for (const auto& [id, entry] : conn->outstanding) {
           if (entry.deadline.has_value() && now >= *entry.deadline) {
-            expired.push_back(id);
+            expired.emplace_back(id, entry.owner);
           }
         }
-        for (std::uint64_t id : expired) conn->outstanding.erase(id);
+        for (const auto& [id, owner] : expired) conn->outstanding.erase(id);
       }
-      for (std::uint64_t id : expired) {
+      for (const auto& [id, owner] : expired) {
+        // Record the error as this key's answer (and drop the route) so the
+        // eventual backend reply is parked, and a replay of the request is
+        // told the same thing the client was.
+        consolidate::CompletionReply expired_reply;
+        expired_reply.ok = false;
+        expired_reply.error = "request deadline exceeded";
+        expired_reply.request_id = id;
+        expired_reply.owner = owner;
+        {
+          std::lock_guard lock(route_mu_);
+          record_completed_locked(expired_reply);
+        }
         send_completion_error(*conn, id, "request deadline exceeded");
         counters().deadline_expired.inc();
         obs::instant("server.deadline_expired", id);
@@ -447,15 +589,27 @@ void Server::drain() {
     conns = conns_;
   }
 
-  // Fail outstanding replies with an error...
+  // Fail outstanding replies with an error (recording the error as each
+  // key's final answer so the flushed batch's late replies are parked)...
   for (auto& conn : conns) {
-    std::vector<std::uint64_t> ids;
+    std::vector<std::pair<std::uint64_t, std::string>> ids;
     {
       std::lock_guard lock(conn->mu);
-      for (const auto& [id, entry] : conn->outstanding) ids.push_back(id);
+      for (const auto& [id, entry] : conn->outstanding) {
+        ids.emplace_back(id, entry.owner);
+      }
       conn->outstanding.clear();
     }
-    for (std::uint64_t id : ids) {
+    for (const auto& [id, owner] : ids) {
+      consolidate::CompletionReply drained;
+      drained.ok = false;
+      drained.error = "server draining";
+      drained.request_id = id;
+      drained.owner = owner;
+      {
+        std::lock_guard lock(route_mu_);
+        record_completed_locked(drained);
+      }
       send_completion_error(*conn, id, "server draining");
       counters().drain_failed_replies.inc();
     }

@@ -17,25 +17,33 @@
 //     (real time) is failed with an error reply; a later backend reply for
 //     it is dropped;
 //   * fault isolation — a client dying mid-batch fails only that client's
-//     outstanding replies (they are dropped on its closed reply channel);
-//     the daemon keeps serving every other connection;
+//     outstanding replies; the daemon keeps serving every other connection;
+//   * replay idempotency — every backend reply flows through one server-wide
+//     channel and a demux thread that routes it by (owner, request_id); a
+//     reconnecting client replaying an unanswered launch re-points the route
+//     (never re-executes), and a launch already answered is served from a
+//     bounded per-owner completed-reply log. At-least-once delivery over the
+//     socket, exactly-once execution in the backend;
 //   * graceful drain — on stop (SIGTERM via notify_stop()) the daemon stops
 //     accepting, fails outstanding replies with an error, flushes the
 //     pending backend batch (bounded by drain_timeout), and exits.
 //
-// Threads: one acceptor, plus a reader and a writer per connection. All
-// socket I/O is real time; the simulated clock stays inside the Backend.
+// Threads: one acceptor, one backend-reply demux, plus a reader and a
+// writer per connection. All socket I/O is real time; the simulated clock
+// stays inside the Backend.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "consolidate/backend.hpp"
@@ -93,12 +101,15 @@ class Server {
     /// Serializes frames from the reader (rejects, flush acks) and the
     /// writer (completions) onto the socket.
     std::mutex write_mu;
-    /// Backend delivers CompletionReplies here; closed on teardown so late
-    /// replies for a dead client are dropped, not delivered.
+    /// The demux thread delivers this connection's CompletionReplies here;
+    /// closed on teardown so the writer drains and exits. Replies for a
+    /// dead client stay parked in the server's completed log for replay.
     std::shared_ptr<consolidate::ReplyChannel> replies =
         std::make_shared<consolidate::ReplyChannel>();
     /// Admission-time bookkeeping for one unanswered launch.
     struct Outstanding {
+      /// LaunchRequest::owner — with the id, the server-wide routing key.
+      std::string owner;
       std::optional<std::chrono::steady_clock::time_point> deadline;
       /// steady-clock µs at admission (Tracer::now_us domain): the request-
       /// latency histogram and the server-side request span measure from
@@ -114,9 +125,17 @@ class Server {
     std::thread writer;
   };
 
+  /// Delivery key for one launch: request_ids are only unique per client
+  /// connection, but owners are globally unique per app thread.
+  using RequestKey = std::pair<std::string, std::uint64_t>;
+
   void accept_loop();
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void writer_loop(const std::shared_ptr<Connection>& conn);
+  /// Routes every backend reply to the connection currently owning its
+  /// (owner, request_id) — which may not be the one that forwarded it, if
+  /// the client reconnected — and records it in the completed log.
+  void demux_loop();
   void drain();
   /// Join and drop connections whose threads have both finished.
   void reap_finished();
@@ -125,6 +144,9 @@ class Server {
                   std::span<const std::byte> payload);
   void send_completion_error(Connection& conn, std::uint64_t request_id,
                              const std::string& error);
+  /// Under route_mu_: drop the route and remember the reply for replays
+  /// (first write wins; the log is capped per owner, oldest evicted).
+  void record_completed_locked(const consolidate::CompletionReply& reply);
 
   consolidate::Backend& backend_;
   ServerOptions options_;
@@ -136,6 +158,22 @@ class Server {
   mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::uint64_t next_conn_id_ = 1;
+
+  /// All backend replies funnel through this one channel into demux_loop();
+  /// per-connection channels would die with their connection and strand
+  /// replies a reconnecting client still needs.
+  std::shared_ptr<consolidate::ReplyChannel> backend_replies_ =
+      std::make_shared<consolidate::ReplyChannel>();
+  std::thread demux_;
+  std::mutex route_mu_;
+  std::map<RequestKey, std::weak_ptr<Connection>> routes_;
+  /// Answered launches, kept for replay dedup. Bounded FIFO per owner.
+  struct CompletedLog {
+    std::map<std::uint64_t, consolidate::CompletionReply> replies;
+    std::deque<std::uint64_t> order;
+  };
+  std::map<std::string, CompletedLog> completed_;
+  static constexpr std::size_t kCompletedCapPerOwner = 1024;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};

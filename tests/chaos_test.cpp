@@ -1,0 +1,270 @@
+// Chaos test: SIGKILL the daemon mid-batch, restart it on the same socket,
+// and require the reconnecting clients to replay their unanswered launches
+// so the final results are bit-identical to a fault-free run.
+//
+// Timeline:
+//   1. Fault-free reference: one daemon + 4 client processes, SIGTERM,
+//      collect REPORT/TOTAL (daemon) and REPLY (client) records.
+//   2. Chaos run: the daemon starts with --threshold 100, so all 8 launches
+//      are admitted and forwarded but the batch never fires. Once the
+//      daemon's server.requests counter reaches 8, SIGKILL it — no drain,
+//      no goodbye, stale socket file left behind.
+//   3. Restart the daemon on the same path (exercises stale-socket rebind)
+//      with the normal threshold. The clients — still blocked in launch()
+//      with --reconnect armed — redial under backoff, re-handshake, and
+//      replay. The batch fires once, every client exits 0, and every
+//      REPORT/TOTAL/REPLY field matches the reference bit for bit.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "server/client.hpp"
+
+namespace ewc {
+namespace {
+
+using common::Duration;
+
+std::string socket_path(const std::string& tag) {
+  return ::testing::TempDir() + "ewcd_chaos_" + tag + ".sock";
+}
+
+pid_t spawn_ewcsim(const std::vector<std::string>& args,
+                   const std::string& stdout_path) {
+  std::vector<std::string> full;
+  full.push_back(EWCSIM_PATH);
+  full.insert(full.end(), args.begin(), args.end());
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: only async-signal-safe calls until execv.
+    const int fd =
+        ::open(stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+    }
+    std::vector<char*> argv;
+    argv.reserve(full.size() + 1);
+    for (auto& a : full) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+int wait_exit_code(pid_t pid) {
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -WTERMSIG(status);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Parse "KEY k1=v1 k2=v2 ..." lines with the given leading keyword.
+std::vector<std::map<std::string, std::string>> parse_records(
+    const std::string& text, const std::string& keyword) {
+  std::vector<std::map<std::string, std::string>> records;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word) || word != keyword) continue;
+    std::map<std::string, std::string> rec;
+    while (words >> word) {
+      const auto eq = word.find('=');
+      if (eq != std::string::npos) {
+        rec[word.substr(0, eq)] = word.substr(eq + 1);
+      }
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+struct ClientSlice {
+  std::string workload;
+  int slot_base;
+};
+
+const std::vector<ClientSlice> kSlices = {
+    {"encryption_12k=2", 0},
+    {"encryption_12k=2", 2},
+    {"sorting_6k=2", 4},
+    {"sorting_6k=2", 6},
+};
+
+const std::vector<std::string> kServeWorkloads = {
+    "--workload", "encryption_12k=4", "--workload", "sorting_6k=4"};
+
+/// Poll the daemon's counters until `counter` >= want (or deadline).
+bool wait_for_counter(const std::string& path, const std::string& counter,
+                      double want, Duration deadline) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double>(deadline.seconds());
+  while (std::chrono::steady_clock::now() < until) {
+    std::string err;
+    auto conn = server::ClientConnection::connect(
+        path, "chaos-poll", Duration::from_seconds(2.0), &err);
+    if (conn != nullptr) {
+      const auto stats = conn->stats(false, Duration::from_seconds(5.0));
+      if (stats.has_value()) {
+        const auto it = stats->counters.find(counter);
+        if (it != stats->counters.end() && it->second >= want) return true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+/// REPLY records keyed by owner, pooled across the client logs.
+std::map<std::string, std::map<std::string, std::string>> pooled_replies(
+    const std::vector<std::string>& logs) {
+  std::map<std::string, std::map<std::string, std::string>> replies;
+  for (const auto& log : logs) {
+    for (auto& rec : parse_records(read_file(log), "REPLY")) {
+      replies[rec["owner"]] = rec;
+    }
+  }
+  return replies;
+}
+
+TEST(ChaosTest, KillRestartReplayIsBitIdenticalToFaultFreeRun) {
+  const std::string out_dir = ::testing::TempDir();
+
+  // ---- 1. fault-free reference run ----
+  const std::string ref_path = socket_path("ref");
+  ::unlink(ref_path.c_str());
+  const std::string ref_server_log = out_dir + "chaos_ref_serve.log";
+  std::vector<std::string> serve_args = {"serve", "--socket", ref_path};
+  serve_args.insert(serve_args.end(), kServeWorkloads.begin(),
+                    kServeWorkloads.end());
+  const pid_t ref_server = spawn_ewcsim(serve_args, ref_server_log);
+
+  std::vector<pid_t> ref_clients;
+  std::vector<std::string> ref_client_logs;
+  for (std::size_t i = 0; i < kSlices.size(); ++i) {
+    const auto log = out_dir + "chaos_ref_client" + std::to_string(i) + ".log";
+    ref_client_logs.push_back(log);
+    ref_clients.push_back(spawn_ewcsim(
+        {"client", "--socket", ref_path, "--workload", kSlices[i].workload,
+         "--slot-base", std::to_string(kSlices[i].slot_base)},
+        log));
+  }
+  for (const pid_t pid : ref_clients) ASSERT_EQ(wait_exit_code(pid), 0);
+  ::kill(ref_server, SIGTERM);
+  ASSERT_EQ(wait_exit_code(ref_server), 0);
+  const auto ref_out = read_file(ref_server_log);
+  const auto ref_reports = parse_records(ref_out, "REPORT");
+  const auto ref_totals = parse_records(ref_out, "TOTAL");
+  ASSERT_EQ(ref_reports.size(), 1u) << ref_out;
+  ASSERT_EQ(ref_totals.size(), 1u) << ref_out;
+  const auto ref_replies = pooled_replies(ref_client_logs);
+  ASSERT_EQ(ref_replies.size(), 8u);
+
+  // ---- 2. chaos run: admit everything, execute nothing, die ----
+  const std::string path = socket_path("kill");
+  ::unlink(path.c_str());
+  const std::string victim_log = out_dir + "chaos_victim_serve.log";
+  std::vector<std::string> victim_args = {"serve",       "--socket", path,
+                                          "--threshold", "100"};
+  victim_args.insert(victim_args.end(), kServeWorkloads.begin(),
+                     kServeWorkloads.end());
+  const pid_t victim = spawn_ewcsim(victim_args, victim_log);
+
+  std::vector<pid_t> clients;
+  std::vector<std::string> client_logs;
+  for (std::size_t i = 0; i < kSlices.size(); ++i) {
+    const auto log =
+        out_dir + "chaos_kill_client" + std::to_string(i) + ".log";
+    client_logs.push_back(log);
+    clients.push_back(spawn_ewcsim(
+        {"client", "--socket", path, "--workload", kSlices[i].workload,
+         "--slot-base", std::to_string(kSlices[i].slot_base), "--reconnect",
+         "--retry-max", "120", "--retry-backoff", "0.05",
+         "--retry-backoff-max", "0.5", "--breaker", "0"},
+        log));
+  }
+
+  // All 8 launches admitted and pinned behind the high threshold — the
+  // moment of maximum in-flight damage. Kill without ceremony.
+  ASSERT_TRUE(wait_for_counter(path, "server.requests", 8.0,
+                               Duration::from_seconds(120.0)))
+      << read_file(victim_log);
+  ::kill(victim, SIGKILL);
+  ASSERT_EQ(wait_exit_code(victim), -SIGKILL);
+
+  // ---- 3. restart on the same (stale) socket path; clients replay ----
+  const std::string restart_log = out_dir + "chaos_restart_serve.log";
+  std::vector<std::string> restart_args = {"serve", "--socket", path};
+  restart_args.insert(restart_args.end(), kServeWorkloads.begin(),
+                      kServeWorkloads.end());
+  const pid_t restarted = spawn_ewcsim(restart_args, restart_log);
+
+  // Every client must finish cleanly: reconnect, replay, full batch fires.
+  for (const pid_t pid : clients) EXPECT_EQ(wait_exit_code(pid), 0);
+  ::kill(restarted, SIGTERM);
+  ASSERT_EQ(wait_exit_code(restarted), 0);
+
+  const auto chaos_out = read_file(restart_log);
+  EXPECT_NE(chaos_out.find("ewcd drained, exiting"), std::string::npos)
+      << chaos_out;
+
+  // The restarted daemon's batch must be indistinguishable from the
+  // reference run: one REPORT, every field bit-identical.
+  const auto reports = parse_records(chaos_out, "REPORT");
+  ASSERT_EQ(reports.size(), 1u) << chaos_out;
+  for (const auto& [key, want] : ref_reports[0]) {
+    ASSERT_TRUE(reports[0].count(key)) << "missing REPORT key " << key;
+    EXPECT_EQ(reports[0].at(key), want) << "REPORT key " << key;
+  }
+  EXPECT_EQ(reports[0].at("degraded"), "0");
+  const auto totals = parse_records(chaos_out, "TOTAL");
+  ASSERT_EQ(totals.size(), 1u) << chaos_out;
+  EXPECT_EQ(totals[0], ref_totals[0]);
+
+  // Every owner's reply — placement and bit-exact finish time — matches.
+  const auto replies = pooled_replies(client_logs);
+  ASSERT_EQ(replies.size(), 8u);
+  for (const auto& [owner, want] : ref_replies) {
+    ASSERT_TRUE(replies.count(owner)) << "missing reply for " << owner;
+    const auto& got = replies.at(owner);
+    EXPECT_EQ(got.at("ok"), "1") << owner;
+    EXPECT_EQ(got.at("where"), want.at("where")) << owner;
+    EXPECT_EQ(got.at("finish"), want.at("finish")) << owner;
+  }
+
+  // And the clients really did take the replay path, not a lucky race.
+  int clients_reconnected = 0;
+  for (const auto& log : client_logs) {
+    const auto recs = parse_records(read_file(log), "RECONNECTS");
+    if (!recs.empty()) {
+      ++clients_reconnected;
+      EXPECT_GE(std::stoi(recs[0].at("replayed")), 1) << log;
+    }
+  }
+  EXPECT_EQ(clients_reconnected, 4);
+}
+
+}  // namespace
+}  // namespace ewc
