@@ -497,9 +497,13 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
       {"deadline", "per-request real-time deadline, s (default 0 = off)",
        false, false},
       {"drain-timeout", "drain flush budget, s (default 10)", false, false},
+      {"replay-grace",
+       "seconds a disconnected replay session's dedup state survives "
+       "(default 120)",
+       false, false},
       {"decision-deadline",
-       "decision-engine wall budget, s; overruns degrade to serial "
-       "execution (default 0 = off)",
+       "decision-engine wait budget, s; a decide call not answered within "
+       "it degrades the group to serial execution (default 0 = off)",
        false, false},
       {"faults",
        "fault-injection scenario, e.g. 'decision.decide=fail:times=2' "
@@ -559,6 +563,8 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
       flags.get_double_in("deadline", 0.0, 0.0, 86400.0));
   sopt.drain_timeout = common::Duration::from_seconds(
       flags.get_double_in("drain-timeout", 10.0, 0.1, 86400.0));
+  sopt.replay_grace = common::Duration::from_seconds(
+      flags.get_double_in("replay-grace", 120.0, 0.0, 86400.0));
 
   server::Server server(backend, sopt);
   std::string error;

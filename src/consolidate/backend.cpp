@@ -30,6 +30,9 @@ Backend::Backend(const gpusim::FluidEngine& engine,
       templates_(std::move(templates)),
       options_(options),
       context_("backend", std::size_t{4} * 1024 * 1024 * 1024) {
+  if (options_.decision_deadline > common::Duration::zero()) {
+    decision_worker_ = std::thread([this] { decision_loop(); });
+  }
   worker_ = std::thread([this] { run_loop(); });
 }
 
@@ -52,6 +55,10 @@ void Backend::shutdown() {
   channel_.send(ShutdownRequest{});
   channel_.close();
   worker_.join();
+  // The batch thread is done, so no new decide jobs can arrive; wait out
+  // whatever decide is still in flight (injected stalls are finite).
+  decide_jobs_.close();
+  if (decision_worker_.joinable()) decision_worker_.join();
 }
 
 std::vector<BatchReport> Backend::reports() const {
@@ -106,9 +113,66 @@ void Backend::fail_pending(std::vector<LaunchRequest>& pending,
     reply.error = error;
     reply.request_id = req.request_id;
     reply.owner = req.owner;
+    reply.session = req.session;
     req.reply->send(std::move(reply));
   }
   pending.clear();
+}
+
+void Backend::decision_loop() {
+  for (;;) {
+    auto job = decide_jobs_.receive();
+    if (!job.has_value()) break;  // closed and drained: shutting down
+    DecideOutcome out;
+    try {
+      out.decision =
+          decision_.decide(job->plan, job->profiles, job->overhead,
+                           job->policy);
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+    // The batch thread may have degraded and walked away already; the
+    // shared channel keeps this send safe and the late result unread.
+    job->done->send(std::move(out));
+  }
+}
+
+std::optional<Decision> Backend::bounded_decide(
+    const gpusim::LaunchPlan& plan,
+    const std::vector<std::optional<cpusim::CpuTask>>& profiles,
+    common::Duration overhead, std::string* degraded_reason) {
+  if (options_.decision_deadline <= common::Duration::zero()) {
+    try {
+      return decision_.decide(plan, profiles, overhead, options_.policy);
+    } catch (const std::exception& e) {
+      *degraded_reason = e.what();
+      return std::nullopt;
+    }
+  }
+  DecideJob job;
+  job.plan = plan;
+  job.profiles = profiles;
+  job.overhead = overhead;
+  job.policy = options_.policy;
+  job.done = std::make_shared<common::Channel<DecideOutcome>>();
+  auto done = job.done;
+  if (!decide_jobs_.send(std::move(job))) {
+    *degraded_reason = "decision worker unavailable";
+    return std::nullopt;
+  }
+  auto out = done->receive_for(options_.decision_deadline);
+  if (!out.has_value()) {
+    *degraded_reason =
+        "decision deadline exceeded (" +
+        std::to_string(options_.decision_deadline.seconds()) + "s)";
+    return std::nullopt;
+  }
+  if (!out->ok) {
+    *degraded_reason = out->error;
+    return std::nullopt;
+  }
+  return std::move(out->decision);
 }
 
 void Backend::process_batch(std::vector<LaunchRequest>& batch) {
@@ -230,29 +294,18 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
   Alternative chosen = Alternative::kIndividualGpu;
   if (tmpl != nullptr) {
     // The predictor is a component that can misbehave, not an oracle: if it
-    // throws or overruns its deadline, degrade to the paper's serial
-    // (unconsolidated) plan instead of failing every launch in the group.
-    const auto decide_start = std::chrono::steady_clock::now();
-    try {
-      Decision d =
-          decision_.decide(plan, profiles, overhead, options_.policy);
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        decide_start)
-              .count();
-      if (options_.decision_deadline.seconds() > 0.0 &&
-          elapsed > options_.decision_deadline.seconds()) {
-        report.degraded = true;
-        report.degraded_reason =
-            "decision deadline exceeded (" + std::to_string(elapsed) + "s > " +
-            std::to_string(options_.decision_deadline.seconds()) + "s)";
-      } else {
-        chosen = d.chosen;
-        report.decision = std::move(d);
-      }
-    } catch (const std::exception& e) {
+    // throws or overruns its deadline (a bounded wait on the decision
+    // thread — a hung decide cannot wedge the batch), degrade to the
+    // paper's serial (unconsolidated) plan instead of failing the group.
+    std::string degraded_reason;
+    std::optional<Decision> d =
+        bounded_decide(plan, profiles, overhead, &degraded_reason);
+    if (d.has_value()) {
+      chosen = d->chosen;
+      report.decision = std::move(d);
+    } else {
       report.degraded = true;
-      report.degraded_reason = e.what();
+      report.degraded_reason = std::move(degraded_reason);
     }
     if (report.degraded) {
       chosen = Alternative::kIndividualGpu;
@@ -401,6 +454,7 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
     }
     replies[i].request_id = batch[i].request_id;
     replies[i].owner = batch[i].owner;
+    replies[i].session = batch[i].session;
     if (tracing) {
       obs::instant("backend.reply", batch[i].request_id,
                    "\"where\":" +

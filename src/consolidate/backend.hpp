@@ -40,9 +40,16 @@ struct BackendOptions {
   /// 10 x the number of GPUs); flush() forces earlier processing.
   int batch_threshold = 10;
   cpusim::CpuConfig cpu_config;
-  /// Wall-clock budget for one DecisionEngine::decide call. When the
-  /// predictor overruns it (or throws), the group degrades to the serial
-  /// individual-GPU plan instead of failing the batch. zero() = unlimited.
+  /// Wall-clock budget for one DecisionEngine::decide call, enforced as a
+  /// bounded wait: decide() runs on a dedicated decision thread and the
+  /// batch loop waits at most this long before degrading the group to the
+  /// serial individual-GPU plan, so even a hung predictor cannot wedge a
+  /// batch (or the clients queued behind it). An overrunning decide keeps
+  /// the decision thread busy — its late result is discarded unread, and a
+  /// following group whose decide cannot start in time degrades the same
+  /// way. shutdown() still joins the decision thread, so it waits out an
+  /// in-flight decide (injected stalls are finite). zero() = unlimited,
+  /// decide() runs inline on the batch thread.
   common::Duration decision_deadline = common::Duration::zero();
 };
 
@@ -101,7 +108,32 @@ class Backend {
   common::Energy total_energy() const;
 
  private:
+  /// Outcome of one DecisionEngine::decide call on the decision thread.
+  struct DecideOutcome {
+    bool ok = false;
+    Decision decision;
+    std::string error;  ///< what decide() threw, when !ok
+  };
+  /// One decide call shipped to the decision thread. Inputs are copies:
+  /// the batch thread may abandon the job at the deadline and move on while
+  /// the decision thread is still reading them.
+  struct DecideJob {
+    gpusim::LaunchPlan plan;
+    std::vector<std::optional<cpusim::CpuTask>> profiles;
+    common::Duration overhead = common::Duration::zero();
+    DecisionPolicy policy = DecisionPolicy::kModelBased;
+    std::shared_ptr<common::Channel<DecideOutcome>> done;
+  };
+
   void run_loop();
+  void decision_loop();
+  /// Run decide() under the configured deadline (bounded wait on the
+  /// decision thread, or inline when no deadline is set). nullopt + reason
+  /// when the group must degrade.
+  std::optional<Decision> bounded_decide(
+      const gpusim::LaunchPlan& plan,
+      const std::vector<std::optional<cpusim::CpuTask>>& profiles,
+      common::Duration overhead, std::string* degraded_reason);
   /// Answer every request's reply channel with an error (requests that will
   /// never execute, e.g. when the channel closes under a non-empty batch).
   static void fail_pending(std::vector<LaunchRequest>& pending,
@@ -128,6 +160,10 @@ class Backend {
   int next_instance_id_ = 0;
 
   std::thread worker_;
+  /// Decision thread (started only when decision_deadline > 0): serializes
+  /// decide() calls off the batch thread so their wait can be bounded.
+  common::Channel<DecideJob> decide_jobs_;
+  std::thread decision_worker_;
 };
 
 }  // namespace ewc::consolidate

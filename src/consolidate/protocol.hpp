@@ -28,9 +28,14 @@ struct CompletionReply {
   std::uint64_t request_id = 0;
   /// Echo of LaunchRequest::owner. In-process only — never wire-encoded —
   /// so a server routing all backend replies through one channel can key
-  /// its (owner, request_id) delivery/dedup tables. request_id alone is not
-  /// unique across connections.
+  /// its (session, owner, request_id) delivery/dedup tables. request_id
+  /// alone is not unique across connections.
   std::string owner;
+  /// Echo of LaunchRequest::session. In-process only. Scopes the server's
+  /// delivery/dedup keys to one client session so deterministic owner
+  /// names and restarting request-id sequences cannot collide across
+  /// client process lifetimes. 0 for the in-process frontend path.
+  std::uint64_t session = 0;
   /// Simulated wall time from batch start to this instance's completion.
   common::Duration finish_time = common::Duration::zero();
   /// Where the instance actually ran.
@@ -47,6 +52,10 @@ struct LaunchRequest {
   /// in-process Frontend leaves it 0 (its reply channel carries one launch
   /// at a time); the socket server assigns per-connection unique ids.
   std::uint64_t request_id = 0;
+  /// Client session the launch arrived on, echoed into the CompletionReply.
+  /// Stamped by the socket server (from the hello handshake) before the
+  /// request enters the backend channel; never wire-encoded. 0 in-process.
+  std::uint64_t session = 0;
   gpusim::KernelDesc desc;
   /// Bytes the frontend staged through the backend buffer for this launch.
   std::size_t staged_bytes = 0;

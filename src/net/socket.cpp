@@ -126,6 +126,7 @@ IoStatus Socket::send_exact(const void* data, std::size_t n,
         if (error) *error = "injected mid-stream close";
         return IoStatus::kError;
       case fault::ActionKind::kStall:
+      case fault::ActionKind::kDelay:
         fault::sleep_for(a.duration);
         break;
       case fault::ActionKind::kShortWrite:

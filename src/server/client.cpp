@@ -1,5 +1,7 @@
 #include "server/client.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 
@@ -10,6 +12,26 @@
 namespace ewc::server {
 
 namespace {
+
+/// Session nonce for one ClientConnection lifetime. Uniqueness — not
+/// determinism or secrecy — is the requirement: owner names and request-id
+/// sequences ARE deterministic across process runs, and the nonce is what
+/// keeps the server's replay dedup from answering a fresh process out of a
+/// predecessor's cache. pid + wall clock + a process-local counter, spread
+/// through a splitmix64 finalizer; never 0 (0 means "no session").
+std::uint64_t fresh_session_nonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t x = static_cast<std::uint64_t>(::getpid()) << 32;
+  x ^= static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  x += 0x9e3779b97f4a7c15ull * (counter.fetch_add(1) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
 
 struct ClientCounters {
   trace::Counters::Handle reconnects, replayed, breaker_trips;
@@ -26,13 +48,14 @@ ClientCounters& counters() {
 }  // namespace
 
 bool ClientConnection::handshake(net::Socket& sock, const std::string& owner,
+                                 std::uint64_t session, bool replay,
                                  common::Duration io_timeout,
                                  HelloOkMsg* settings, std::string* error) {
   const auto deadline = net::Deadline::after(io_timeout);
   std::string err;
   if (net::write_frame(sock, static_cast<std::uint16_t>(MsgType::kHello),
-                       encode_hello({kProtocolVersion, owner}), deadline,
-                       &err) != net::IoStatus::kOk) {
+                       encode_hello({kProtocolVersion, owner, session, replay}),
+                       deadline, &err) != net::IoStatus::kOk) {
     if (error) *error = "hello: " + err;
     return false;
   }
@@ -71,6 +94,8 @@ std::unique_ptr<ClientConnection> ClientConnection::connect(
   conn->owner_ = owner;
   conn->opts_ = options;
   conn->rng_ = common::Rng(options.jitter_seed);
+  conn->session_ = options.session_nonce != 0 ? options.session_nonce
+                                              : fresh_session_nonce();
 
   // Without auto_reconnect a refused dial is final (connect_unix already
   // rides out a daemon that is still binding); with it, the RetryPolicy
@@ -82,7 +107,8 @@ std::unique_ptr<ClientConnection> ClientConnection::connect(
     auto sock =
         net::connect_unix(socket_path, net::Deadline::after(timeout), &err);
     if (sock.has_value()) {
-      if (handshake(*sock, owner, conn->io_timeout_, &conn->settings_, &err)) {
+      if (handshake(*sock, owner, conn->session_, options.auto_reconnect,
+                    conn->io_timeout_, &conn->settings_, &err)) {
         conn->sock_ = std::move(*sock);
         conn->reader_ = std::thread([raw = conn.get()] { raw->reader_loop(); });
         return conn;
@@ -344,7 +370,10 @@ bool ClientConnection::recover(const std::string& why) {
         path_, net::Deadline::after(opts_.dial_timeout), &err);
     if (!sock.has_value()) continue;
     HelloOkMsg settings;
-    if (!handshake(*sock, owner_, io_timeout_, &settings, &err)) continue;
+    if (!handshake(*sock, owner_, session_, /*replay=*/true, io_timeout_,
+                   &settings, &err)) {
+      continue;
+    }
     std::map<std::uint64_t, std::vector<std::byte>> replays;
     bool sent_all = true;
     {

@@ -53,6 +53,13 @@ struct ClientOptions {
   common::Duration breaker_cooldown = common::Duration::from_seconds(1.0);
   /// Seed for the jittered backoff schedule (deterministic per seed).
   std::uint64_t jitter_seed = 0x5eed;
+  /// Session nonce sent in the hello; 0 (the default) generates a fresh
+  /// one per connection object. The nonce scopes the server's replay/dedup
+  /// state to this connection's lifetime, so pin it only to deliberately
+  /// resume another connection's session (tests do this to exercise the
+  /// server's grace-window eviction) — two live clients must never share
+  /// a nonce.
+  std::uint64_t session_nonce = 0;
 };
 
 class ClientConnection {
@@ -96,6 +103,10 @@ class ClientConnection {
   /// Settings the server announced in the hello handshake.
   const HelloOkMsg& server_settings() const { return settings_; }
   const std::string& owner() const { return owner_; }
+  /// The session nonce sent in every hello (initial and reconnect): the
+  /// server scopes replay dedup to it, so replays after a reconnect are
+  /// idempotent while fresh processes can never hit a predecessor's state.
+  std::uint64_t session() const { return session_; }
   bool alive() const { return !dead_.load(); }
 
   /// Successful reconnects / launches replayed over them (tests, reports).
@@ -109,8 +120,10 @@ class ClientConnection {
  private:
   ClientConnection() = default;
   /// hello/hello_ok exchange on a fresh socket. Shared by connect() and
-  /// recovery redials.
+  /// recovery redials; the same session nonce is sent every time so the
+  /// server treats the redial as a resume, not a new client.
   static bool handshake(net::Socket& sock, const std::string& owner,
+                        std::uint64_t session, bool replay,
                         common::Duration io_timeout, HelloOkMsg* settings,
                         std::string* error);
   void reader_loop();
@@ -134,6 +147,7 @@ class ClientConnection {
   net::Socket sock_;
   std::string path_;
   std::string owner_;
+  std::uint64_t session_ = 0;  ///< hello session nonce; fixed at connect()
   HelloOkMsg settings_;
   ClientOptions opts_;
   common::Duration io_timeout_ = common::Duration::from_seconds(30.0);

@@ -64,6 +64,8 @@ std::vector<std::byte> encode_hello(const HelloMsg& m) {
   net::Writer w;
   w.u32(m.version);
   w.str(m.owner);
+  w.u64(m.session);
+  w.u8(m.replay ? 1 : 0);
   return w.take();
 }
 
@@ -72,6 +74,12 @@ std::optional<HelloMsg> decode_hello(std::span<const std::byte> payload) {
   HelloMsg m;
   m.version = r.u32();
   m.owner = r.str();
+  // Additive session fields (still protocol version 1): a pre-session
+  // client's hello ends here and decodes as session 0 / no replay.
+  if (r.ok() && r.remaining() > 0) {
+    m.session = r.u64();
+    m.replay = r.u8() != 0;
+  }
   if (!r.done()) return std::nullopt;
   return m;
 }

@@ -46,6 +46,17 @@ const char* msg_type_name(MsgType t);
 struct HelloMsg {
   std::uint32_t version = kProtocolVersion;
   std::string owner;
+  /// Session nonce (additive field, still protocol version 1; 0 = none).
+  /// Generated once per client process/connection object and reused
+  /// verbatim across reconnect handshakes, it scopes the server's replay
+  /// routing and dedup state: a fresh process that happens to reuse the
+  /// same owner names and request ids can never be answered from a
+  /// previous process's cached replies.
+  std::uint64_t session = 0;
+  /// Client intends to reconnect and replay unanswered launches. The
+  /// server records completed replies for dedup only for sessions that set
+  /// this, so one-shot clients cost the daemon no replay memory.
+  bool replay = false;
 };
 
 struct HelloOkMsg {

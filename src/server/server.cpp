@@ -124,6 +124,10 @@ int Server::active_connections() const {
 void Server::accept_loop() {
   for (;;) {
     reap_finished();
+    {
+      std::lock_guard lock(route_mu_);
+      sweep_sessions_locked();
+    }
     pollfd fds[2] = {{listener_->fd(), POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
     const int rc = ::poll(fds, 2, -1);
     if (rc < 0) {
@@ -196,16 +200,56 @@ void Server::reap_finished() {
 
 void Server::record_completed_locked(
     const consolidate::CompletionReply& reply) {
-  routes_.erase(RequestKey{reply.owner, reply.request_id});
-  CompletedLog& log = completed_[reply.owner];
+  routes_.erase(RequestKey{reply.session, reply.owner, reply.request_id});
+  // Only sessions that negotiated replay have an entry here: one-shot
+  // clients' replies are never recorded, so they cost no daemon memory.
+  const auto it = sessions_.find(reply.session);
+  if (reply.session == 0 || it == sessions_.end()) return;
+  SessionState& s = it->second;
   // First write wins: if the writer already recorded a deadline/drain error
   // for this key, the client was answered with it — a replay must see the
   // same answer, not a different late one.
-  if (!log.replies.emplace(reply.request_id, reply).second) return;
-  log.order.push_back(reply.request_id);
-  while (log.order.size() > kCompletedCapPerOwner) {
-    log.replies.erase(log.order.front());
-    log.order.pop_front();
+  if (!s.replies.emplace(reply.request_id, reply).second) return;
+  s.order.push_back(reply.request_id);
+  while (s.order.size() > kCompletedCapPerSession) {
+    s.replies.erase(s.order.front());
+    s.order.pop_front();
+  }
+}
+
+void Server::sweep_sessions_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto grace =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.replay_grace.seconds()));
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.live_connections == 0 &&
+        now - it->second.idle_since >= grace) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::register_session(const Connection& conn) {
+  if (!conn.replay) return;
+  std::lock_guard lock(route_mu_);
+  // Piggyback eviction on hellos: every new client pays a cheap sweep, so
+  // stale sessions never outlive the grace window by more than the gap to
+  // the next connection (the accept loop sweeps on its wakeups too).
+  sweep_sessions_locked();
+  ++sessions_[conn.session].live_connections;
+}
+
+void Server::release_session(const Connection& conn) {
+  if (!conn.replay) return;
+  std::lock_guard lock(route_mu_);
+  const auto it = sessions_.find(conn.session);
+  if (it == sessions_.end()) return;
+  if (--it->second.live_connections <= 0) {
+    it->second.live_connections = 0;
+    it->second.idle_since = std::chrono::steady_clock::now();
   }
 }
 
@@ -216,7 +260,8 @@ void Server::demux_loop() {
     std::shared_ptr<Connection> target;
     {
       std::lock_guard lock(route_mu_);
-      const auto it = routes_.find(RequestKey{reply->owner, reply->request_id});
+      const auto it = routes_.find(
+          RequestKey{reply->session, reply->owner, reply->request_id});
       if (it != routes_.end()) target = it->second.lock();
       record_completed_locked(*reply);
     }
@@ -261,11 +306,12 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     conn->closing.store(true);
     // Closing the reply channel wakes the writer so it drains and exits.
     // Replies still in flight for this client are parked by the demux in
-    // the completed log (the route's weak_ptr expires with the conn): a
-    // dead client loses only its own replies, and a reconnecting one can
-    // still replay-claim them.
+    // the session's completed log (the route's weak_ptr expires with the
+    // conn): a dead client loses only its own replies, and a reconnecting
+    // one can still replay-claim them within the replay grace window.
     conn->replies->close();
     conn->sock.shutdown_rw();
+    release_session(*conn);
     conn->reader_done.store(true);
     counters().connections_closed.inc();
   };
@@ -289,6 +335,12 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
     return teardown();
   }
   conn->owner = hello->owner;
+  // A replay session needs a nonzero nonce: without one the dedup key
+  // cannot distinguish client process lifetimes, and serving a cached
+  // reply to a fresh process reusing old identities would be wrong.
+  conn->session = hello->session;
+  conn->replay = hello->session != 0 && hello->replay;
+  register_session(*conn);
   HelloOkMsg ok;
   ok.inflight_limit = static_cast<std::uint32_t>(options_.inflight_limit);
   ok.deadline_micros =
@@ -344,21 +396,27 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
         };
 
         // Replay dedup: a reconnecting client resends every unanswered
-        // launch. An already-answered one is served from the completed log;
-        // one still in the backend has its route re-pointed at this
-        // connection — never re-forwarded, so it executes exactly once and
-        // batch output stays bit-identical.
+        // launch. An already-answered one is served from its session's
+        // completed log; one still in the backend has its route re-pointed
+        // at this connection — never re-forwarded, so it executes exactly
+        // once and batch output stays bit-identical. Both lookups are
+        // scoped by the session nonce, so a fresh client process reusing
+        // the same owner names and request ids can never be answered from
+        // a previous process's state.
         std::optional<consolidate::CompletionReply> cached;
         bool inflight_replay = false;
         {
           std::lock_guard lock(route_mu_);
-          const auto done = completed_.find(req_owner);
-          if (done != completed_.end()) {
-            const auto hit = done->second.replies.find(id);
-            if (hit != done->second.replies.end()) cached = hit->second;
+          if (conn->replay) {
+            const auto sess = sessions_.find(conn->session);
+            if (sess != sessions_.end()) {
+              const auto hit = sess->second.replies.find(id);
+              if (hit != sess->second.replies.end()) cached = hit->second;
+            }
           }
           if (!cached.has_value()) {
-            const auto route = routes_.find(RequestKey{req_owner, id});
+            const auto route =
+                routes_.find(RequestKey{conn->session, req_owner, id});
             if (route != routes_.end()) {
               const auto current = route->second.lock();
               if (current == nullptr || current.get() != conn.get()) {
@@ -419,9 +477,10 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
           break;
         }
         req->reply = backend_replies_;
+        req->session = conn->session;
         {
           std::lock_guard lock(route_mu_);
-          routes_[RequestKey{req_owner, id}] = conn;
+          routes_[RequestKey{conn->session, req_owner, id}] = conn;
         }
         if (!backend_.channel().send(std::move(*req))) {
           {
@@ -430,7 +489,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
           }
           {
             std::lock_guard lock(route_mu_);
-            routes_.erase(RequestKey{req_owner, id});
+            routes_.erase(RequestKey{conn->session, req_owner, id});
           }
           send_completion_error(*conn, id, "backend unavailable");
           counters().rejected.inc();
@@ -564,6 +623,7 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
         expired_reply.error = "request deadline exceeded";
         expired_reply.request_id = id;
         expired_reply.owner = owner;
+        expired_reply.session = conn->session;
         {
           std::lock_guard lock(route_mu_);
           record_completed_locked(expired_reply);
@@ -606,6 +666,7 @@ void Server::drain() {
       drained.error = "server draining";
       drained.request_id = id;
       drained.owner = owner;
+      drained.session = conn->session;
       {
         std::lock_guard lock(route_mu_);
         record_completed_locked(drained);

@@ -19,11 +19,16 @@
 //   * fault isolation — a client dying mid-batch fails only that client's
 //     outstanding replies; the daemon keeps serving every other connection;
 //   * replay idempotency — every backend reply flows through one server-wide
-//     channel and a demux thread that routes it by (owner, request_id); a
-//     reconnecting client replaying an unanswered launch re-points the route
-//     (never re-executes), and a launch already answered is served from a
-//     bounded per-owner completed-reply log. At-least-once delivery over the
-//     socket, exactly-once execution in the backend;
+//     channel and a demux thread that routes it by (session, owner,
+//     request_id); a reconnecting client replaying an unanswered launch
+//     re-points the route (never re-executes), and a launch already
+//     answered is served from a bounded per-session completed-reply log.
+//     At-least-once delivery over the socket, exactly-once execution in the
+//     backend. The session nonce from the hello scopes all of this to one
+//     client process lifetime: a fresh process reusing the same owner names
+//     and request ids can never be answered from a predecessor's cached
+//     replies. Only sessions that negotiate replay record completions, and
+//     an idle session is evicted after replay_grace;
 //   * graceful drain — on stop (SIGTERM via notify_stop()) the daemon stops
 //     accepting, fails outstanding replies with an error, flushes the
 //     pending backend batch (bounded by drain_timeout), and exits.
@@ -34,6 +39,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -43,6 +49,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -65,6 +72,12 @@ struct ServerOptions {
   common::Duration drain_timeout = common::Duration::from_seconds(10.0);
   /// Per-frame socket write budget (a stuck client cannot wedge a writer).
   common::Duration io_timeout = common::Duration::from_seconds(30.0);
+  /// How long a replay session's dedup state (the completed-reply log)
+  /// survives after its last connection closed. A client reconnecting
+  /// within the window replays idempotently; past it the session is
+  /// evicted and a replay would re-execute — the window bounds daemon
+  /// memory across many client lifetimes.
+  common::Duration replay_grace = common::Duration::from_seconds(120.0);
 };
 
 class Server {
@@ -98,6 +111,13 @@ class Server {
     std::uint64_t id = 0;
     net::Socket sock;
     std::string owner;
+    /// Client session nonce from the hello (0 = none). Scopes every
+    /// routing/dedup key: deterministic owner names and restarting
+    /// request-id sequences cannot collide across client processes.
+    std::uint64_t session = 0;
+    /// Session negotiated replay in the hello: completed replies are
+    /// recorded for dedup and survive a disconnect within replay_grace.
+    bool replay = false;
     /// Serializes frames from the reader (rejects, flush acks) and the
     /// writer (completions) onto the socket.
     std::mutex write_mu;
@@ -125,16 +145,20 @@ class Server {
     std::thread writer;
   };
 
-  /// Delivery key for one launch: request_ids are only unique per client
-  /// connection, but owners are globally unique per app thread.
-  using RequestKey = std::pair<std::string, std::uint64_t>;
+  /// Delivery key for one launch: (session, owner, request_id). The
+  /// session nonce scopes the key to one client process lifetime; within a
+  /// session request_ids are connection-unique, and for session-less
+  /// legacy clients (session 0) owners are globally unique per app thread.
+  using RequestKey =
+      std::tuple<std::uint64_t, std::string, std::uint64_t>;
 
   void accept_loop();
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void writer_loop(const std::shared_ptr<Connection>& conn);
   /// Routes every backend reply to the connection currently owning its
-  /// (owner, request_id) — which may not be the one that forwarded it, if
-  /// the client reconnected — and records it in the completed log.
+  /// (session, owner, request_id) — which may not be the one that forwarded
+  /// it, if the client reconnected — and records it in the session's
+  /// completed log when replay was negotiated.
   void demux_loop();
   void drain();
   /// Join and drop connections whose threads have both finished.
@@ -144,9 +168,15 @@ class Server {
                   std::span<const std::byte> payload);
   void send_completion_error(Connection& conn, std::uint64_t request_id,
                              const std::string& error);
-  /// Under route_mu_: drop the route and remember the reply for replays
-  /// (first write wins; the log is capped per owner, oldest evicted).
+  /// Under route_mu_: drop the route and — for replay sessions only —
+  /// remember the reply for replays (first write wins; the log is capped
+  /// per session, oldest evicted).
   void record_completed_locked(const consolidate::CompletionReply& reply);
+  /// Under route_mu_: evict replay sessions idle past replay_grace.
+  void sweep_sessions_locked();
+  /// Attach/detach a connection's replay session (hello / teardown).
+  void register_session(const Connection& conn);
+  void release_session(const Connection& conn);
 
   consolidate::Backend& backend_;
   ServerOptions options_;
@@ -167,13 +197,21 @@ class Server {
   std::thread demux_;
   std::mutex route_mu_;
   std::map<RequestKey, std::weak_ptr<Connection>> routes_;
-  /// Answered launches, kept for replay dedup. Bounded FIFO per owner.
-  struct CompletedLog {
+  /// Replay/dedup state for one client session that negotiated replay in
+  /// its hello (session nonce != 0). Answered launches are keyed by
+  /// request_id — connection-assigned, so unique within the session — in a
+  /// bounded FIFO. The whole session is evicted once it has been idle (no
+  /// live connection) past replay_grace, bounding daemon memory across
+  /// client lifetimes; sessions that never negotiate replay record nothing.
+  struct SessionState {
     std::map<std::uint64_t, consolidate::CompletionReply> replies;
     std::deque<std::uint64_t> order;
+    int live_connections = 0;
+    /// When the last connection closed; meaningful while live == 0.
+    std::chrono::steady_clock::time_point idle_since{};
   };
-  std::map<std::string, CompletedLog> completed_;
-  static constexpr std::size_t kCompletedCapPerOwner = 1024;
+  std::map<std::uint64_t, SessionState> sessions_;
+  static constexpr std::size_t kCompletedCapPerSession = 1024;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};

@@ -224,6 +224,34 @@ TEST_F(SocketPairTest, ShortWriteInjectionStillDeliversWholeFrame) {
   EXPECT_GE(fault::Injector::instance().fired("net.send"), 1u);
 }
 
+// `net.send=delay` must actually sleep before the write proceeds — the
+// regression guard for the fault switch silently ignoring kDelay.
+TEST_F(SocketPairTest, DelayInjectionDefersButStillDeliversFrame) {
+  ArmGuard guard("net.send=delay:dur=0.05:times=1");
+  const auto payload = pattern_payload(64);
+  std::string err;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread writer([&] {
+    EXPECT_EQ(net::write_frame(a_, 3, payload, Deadline::never(), &err),
+              IoStatus::kOk)
+        << err;
+  });
+  net::Frame frame;
+  std::string rerr;
+  EXPECT_EQ(net::read_frame(b_, &frame, Deadline::after(
+                                Duration::from_seconds(10.0)),
+                            &rerr),
+            IoStatus::kOk)
+      << rerr;
+  writer.join();
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_GE(elapsed, 0.05);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_GE(fault::Injector::instance().fired("net.send"), 1u);
+}
+
 TEST_F(SocketPairTest, InjectedSendFailureSurfacesAsError) {
   ArmGuard guard("net.send=fail");
   const auto payload = pattern_payload(16);
@@ -568,7 +596,8 @@ class FaultDaemonTest : public ::testing::Test {
 
   struct Daemon {
     Daemon(gpusim::FluidEngine& engine, const power::GpuPowerModel& model,
-           const std::string& path, int threshold) {
+           const std::string& path, int threshold,
+           Duration replay_grace = Duration::from_seconds(120.0)) {
       consolidate::BackendOptions options;
       options.batch_threshold = threshold;
       backend = std::make_unique<consolidate::Backend>(
@@ -579,6 +608,7 @@ class FaultDaemonTest : public ::testing::Test {
       ::unlink(path.c_str());
       server::ServerOptions sopt;
       sopt.socket_path = path;
+      sopt.replay_grace = replay_grace;
       server = std::make_unique<server::Server>(*backend, sopt);
       std::string error;
       started = server->start(&error);
@@ -644,6 +674,83 @@ TEST_F(FaultDaemonTest, ReconnectReplaysInFlightLaunches) {
   const auto reports = daemon.backend->reports();
   ASSERT_EQ(reports.size(), 1u);
   EXPECT_EQ(reports[0].num_instances, 2);
+}
+
+// A fresh client process reusing its predecessor's deterministic owner
+// names and request-id sequence must never be answered from the old
+// session's completed-reply log — each ClientConnection hellos with a
+// fresh session nonce, so the daemon re-executes.
+TEST_F(FaultDaemonTest, FreshSessionIsNeverServedStaleCompletions) {
+  const auto path = scripted_path("fresh-session");
+  Daemon daemon(*engine_, *model_, path, /*threshold=*/1);
+  ASSERT_TRUE(daemon.started);
+
+  server::ClientOptions copts;
+  copts.auto_reconnect = true;  // negotiate replay so dedup state is recorded
+  std::string err;
+  auto conn1 = server::ClientConnection::connect(
+      path, "twice-client", Duration::from_seconds(5.0), copts, &err);
+  ASSERT_NE(conn1, nullptr) << err;
+  const auto r1 =
+      conn1->launch(aes_launch("twice-a"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(r1.ok) << r1.error;
+  const auto nonce1 = conn1->session();
+  conn1.reset();
+
+  // Same owner, same request id (a fresh connection restarts at 1) — but a
+  // new nonce, so this must execute, not replay the cached reply.
+  auto conn2 = server::ClientConnection::connect(
+      path, "twice-client", Duration::from_seconds(5.0), copts, &err);
+  ASSERT_NE(conn2, nullptr) << err;
+  EXPECT_NE(conn2->session(), nonce1);
+  const auto r2 =
+      conn2->launch(aes_launch("twice-a"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(daemon.backend->reports().size(), 2u);
+}
+
+// A client that pins its session nonce resumes its predecessor's dedup
+// state within replay_grace (idempotent replay), and re-executes once the
+// idle session has been evicted past the window.
+TEST_F(FaultDaemonTest, ReplayGraceWindowBoundsSessionDedupLifetime) {
+  const auto path = scripted_path("grace");
+  Daemon daemon(*engine_, *model_, path, /*threshold=*/1,
+                /*replay_grace=*/Duration::from_seconds(1.0));
+  ASSERT_TRUE(daemon.started);
+
+  server::ClientOptions copts;
+  copts.auto_reconnect = true;
+  copts.session_nonce = 0x1234;  // deliberate resume across connections
+  std::string err;
+  auto conn1 = server::ClientConnection::connect(
+      path, "grace-client", Duration::from_seconds(5.0), copts, &err);
+  ASSERT_NE(conn1, nullptr) << err;
+  const auto r1 =
+      conn1->launch(aes_launch("grace-a"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(r1.ok) << r1.error;
+  conn1.reset();
+
+  // Within the grace window: same nonce + same id is a dedup hit, served
+  // from the session's completed log without re-executing.
+  auto conn2 = server::ClientConnection::connect(
+      path, "grace-client", Duration::from_seconds(5.0), copts, &err);
+  ASSERT_NE(conn2, nullptr) << err;
+  const auto r2 =
+      conn2->launch(aes_launch("grace-a"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(daemon.backend->reports().size(), 1u);
+  conn2.reset();
+
+  // Past the window the idle session is evicted (swept on the next hello),
+  // so the same nonce + id executes afresh.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  auto conn3 = server::ClientConnection::connect(
+      path, "grace-client", Duration::from_seconds(5.0), copts, &err);
+  ASSERT_NE(conn3, nullptr) << err;
+  const auto r3 =
+      conn3->launch(aes_launch("grace-a"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(r3.ok) << r3.error;
+  EXPECT_EQ(daemon.backend->reports().size(), 2u);
 }
 
 TEST_F(FaultDaemonTest, ReconnectSurvivesScriptedConnectRefusals) {
@@ -760,10 +867,17 @@ TEST_F(FaultDaemonTest, DecisionDeadlineOverrunDegrades) {
   auto req = aes_launch("deadline0");
   req.request_id = 1;
   req.reply = reply_ch;
+  const auto t0 = std::chrono::steady_clock::now();
   backend.channel().send(std::move(req));
   const auto reply = reply_ch->receive();
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
   ASSERT_TRUE(reply.has_value());
   EXPECT_TRUE(reply->ok) << reply->error;
+  // The wait is bounded by the deadline, not the 0.2s stall: the reply must
+  // arrive while the stalled decide call is still sleeping.
+  EXPECT_LT(elapsed, 0.15);
 
   const auto reports = backend.reports();
   ASSERT_EQ(reports.size(), 1u);
