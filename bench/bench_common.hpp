@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -16,6 +15,7 @@
 #include "gpusim/engine.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
+#include "obs/jsonl.hpp"
 #include "power/trainer.hpp"
 #include "trace/counters.hpp"
 #include "workloads/paper_configs.hpp"
@@ -87,12 +87,15 @@ inline void write_observability_json(int argc, char** argv,
   doc.emplace("counters", std::move(counters));
   doc.emplace("histograms", std::move(histograms));
 
-  std::ofstream out(path, std::ios::app);
-  if (!out) {
-    std::cerr << "bench: cannot open " << path << " for append\n";
+  // One atomic O_APPEND write per datapoint: bench binaries running in
+  // parallel (CI shards, sweep scripts) append to the same log, and a
+  // buffered ofstream could interleave partial lines between them.
+  std::string err;
+  if (!obs::append_jsonl_line(path, obs::json::Value(std::move(doc)).dump(),
+                              &err)) {
+    std::cerr << "bench: " << err << "\n";
     return;
   }
-  out << obs::json::Value(std::move(doc)).dump() << "\n";
   std::cout << "observability JSON appended to " << path << "\n";
 }
 

@@ -7,6 +7,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -26,6 +27,8 @@
 #include "cudart/runtime.hpp"
 #include "fault/injector.hpp"
 #include "gpusim/engine.hpp"
+#include "loadgen/loadgen.hpp"
+#include "loadgen/trajectory.hpp"
 #include "perf/consolidation_model.hpp"
 #include "perf/hong_kim.hpp"
 #include "power/trainer.hpp"
@@ -179,6 +182,8 @@ std::string main_usage() {
       "  serve      run the consolidation daemon on a UNIX socket (ewcd)\n"
       "  client     launch workloads against a running ewcd daemon\n"
       "  stats      print a live counter/histogram snapshot from a daemon\n"
+      "  loadgen    open-loop traffic harness against a daemon; emits a\n"
+      "             BENCH_ewcd.json perf-trajectory datapoint\n"
       "  trace-merge  merge Chrome-trace JSONs (client + server) into one\n";
 }
 
@@ -826,6 +831,157 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"socket", "UNIX socket path of the daemon", false, false},
+      {"profile",
+       "arrival process: poisson:rate=R | diurnal:rate=R:period=P:depth=D | "
+       "bursty:rate=R:period=P:burst=K:duty=F (default poisson:rate=100)",
+       false, false},
+      {"workload", "name[=weight] in the traffic mix, repeatable", false,
+       true},
+      {"sessions", "concurrent client sessions (default 500)", false, false},
+      {"duration", "schedule horizon, s (default 10)", false, false},
+      {"seed", "schedule seed (default 42)", false, false},
+      {"dispatchers", "sender threads (default 8)", false, false},
+      {"connect-timeout", "daemon connect budget, s (default 30)", false,
+       false},
+      {"drain-timeout",
+       "wait for outstanding completions after dispatch, s (default 120)",
+       false, false},
+      {"reconnect", "redial + replay on transport loss (per session)", true,
+       false},
+      {"breaker",
+       "consecutive transport errors before a session's circuit opens "
+       "(default 8; 0 disables)",
+       false, false},
+      {"out",
+       "append the ewcd-bench/v1 datapoint to this JSONL file "
+       "(default BENCH_ewcd.json; 'none' skips)",
+       false, false},
+      {"git-rev", "revision recorded in the datapoint (default unknown)",
+       false, false},
+      {"compare",
+       "baseline JSONL; exit 3 if this run regressed vs the last datapoint "
+       "with the same config hash",
+       false, false},
+      {"tolerance", "relative regression tolerance (default 0.25)", false,
+       false},
+      {"print-schedule",
+       "print the deterministic (time, session, workload) schedule and exit "
+       "without contacting a daemon",
+       true, false},
+  });
+  flags.parse(args);
+
+  loadgen::LoadgenConfig config;
+  {
+    std::string perr;
+    const auto profile = loadgen::ArrivalProfile::parse(
+        flags.get_string("profile", "poisson:rate=100"), &perr);
+    if (!profile.has_value()) throw ArgsError("--profile: " + perr);
+    config.profile = *profile;
+  }
+  // Sorted by name so the mix's canonical text — and therefore the config
+  // hash and the schedule's weighted draws — don't depend on flag order.
+  std::map<std::string, double> weights;
+  for (const auto& token : flags.values("workload")) {
+    auto [name, count] = parse_workload_count(token);
+    weights[name] += count;
+  }
+  if (weights.empty()) {
+    throw ArgsError("at least one --workload name[=weight] is required");
+  }
+  std::string mix_text;
+  for (const auto& [name, weight] : weights) {
+    config.mix.push_back({name, weight, find_spec(name).gpu});
+    if (!mix_text.empty()) mix_text += ",";
+    mix_text += name + "=" + std::to_string(static_cast<int>(weight));
+  }
+  config.sessions = flags.get_int_in("sessions", 500, 1, 100000);
+  config.duration_seconds = flags.get_double_in("duration", 10.0, 0.1, 86400.0);
+  config.seed = static_cast<std::uint64_t>(
+      flags.get_int_in("seed", 42, 0, std::numeric_limits<int>::max()));
+  config.dispatchers = flags.get_int_in("dispatchers", 8, 1, 1024);
+  config.connect_timeout = common::Duration::from_seconds(
+      flags.get_double_in("connect-timeout", 30.0, 0.1, 3600.0));
+  config.drain_timeout = common::Duration::from_seconds(
+      flags.get_double_in("drain-timeout", 120.0, 1.0, 86400.0));
+  config.client.auto_reconnect = flags.get_bool("reconnect");
+  config.client.breaker_threshold = flags.get_int_in("breaker", 8, 0, 1000);
+
+  if (flags.get_bool("print-schedule")) {
+    for (const auto& e : loadgen::build_schedule(config)) {
+      out << "SCHED t=" << f64_bits(e.at_seconds) << " session=" << e.session
+          << " mix=" << config.mix[e.mix_index].name << "\n";
+    }
+    return 0;
+  }
+
+  const auto socket_path = flags.value("socket");
+  if (!socket_path.has_value()) throw ArgsError("--socket is required");
+  config.socket_path = *socket_path;
+
+  loadgen::LoadgenResult result;
+  std::string error;
+  if (!loadgen::run_loadgen(config, &result, &error)) {
+    throw ArgsError("loadgen: " + error);
+  }
+
+  out << "LOADGEN sessions=" << result.sessions_connected
+      << " sent=" << result.sent << " completed=" << result.completed
+      << " ok=" << result.ok << " rejected=" << result.rejected
+      << " failed=" << result.failed << " lost=" << result.lost
+      << " dup=" << result.duplicates << "\n";
+  out << "LATENCY p50=" << result.latency.percentile(50)
+      << " p95=" << result.latency.percentile(95)
+      << " p99=" << result.latency.percentile(99) << " seconds\n";
+  out << "RATE rps=" << result.requests_per_second
+      << " wall=" << result.wall_seconds << "\n";
+  out << "ENERGY valid=" << (result.energy_valid ? 1 : 0)
+      << " joules=" << result.energy_joules
+      << " j_per_req=" << result.joules_per_request << "\n";
+
+  const auto point = loadgen::make_datapoint(
+      config, result, mix_text, flags.get_string("git-rev", "unknown"),
+      static_cast<std::int64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch()).count()));
+
+  const std::string out_path = flags.get_string("out", "BENCH_ewcd.json");
+  if (out_path != "none") {
+    if (!loadgen::append_datapoint(out_path, point, &error)) {
+      throw ArgsError("bench emit: " + error);
+    }
+    out << "BENCH wrote " << out_path << "\n";
+  }
+
+  int exit_code = 0;
+  if (result.lost > 0 || result.duplicates > 0 ||
+      result.sessions_connected !=
+          static_cast<std::uint64_t>(config.sessions)) {
+    out << "LOADGEN FAILED: lost or duplicated requests\n";
+    exit_code = 1;
+  }
+
+  const auto baseline = flags.value("compare");
+  if (baseline.has_value()) {
+    const double tolerance =
+        flags.get_double_in("tolerance", 0.25, 0.0, 10.0);
+    const auto verdict =
+        loadgen::compare_datapoint(point, *baseline, tolerance, &error);
+    if (!verdict.has_value()) throw ArgsError("compare: " + error);
+    if (!verdict->baseline_found) {
+      out << "COMPARE no baseline (" << verdict->detail << ")\n";
+    } else {
+      out << verdict->detail;
+      out << "COMPARE " << (verdict->regressed ? "REGRESSED" : "ok")
+          << " tolerance=" << tolerance << "\n";
+      if (verdict->regressed && exit_code == 0) exit_code = 3;
+    }
+  }
+  return exit_code;
+}
+
 int cmd_trace_merge(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
       {"in", "input Chrome-trace JSON, repeatable", false, true},
@@ -866,6 +1022,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "serve") return cmd_serve(rest, out);
     if (command == "client") return cmd_client(rest, out);
     if (command == "stats") return cmd_stats(rest, out);
+    if (command == "loadgen") return cmd_loadgen(rest, out);
     if (command == "trace-merge") return cmd_trace_merge(rest, out);
     if (command == "help" || command == "--help") {
       out << main_usage();

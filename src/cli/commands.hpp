@@ -17,6 +17,9 @@
 //                   [--slot-base 0] [--flush] [--shutdown]
 //                   [--trace-out client.json]
 //   ewcsim stats    --socket /tmp/ewcd.sock [--no-histograms]
+//   ewcsim loadgen  --socket /tmp/ewcd.sock --profile poisson:rate=200
+//                   --workload encryption_12k=3 --sessions 500 --duration 10
+//                   [--out BENCH_ewcd.json] [--compare baseline.json]
 //   ewcsim trace-merge --in serve.json --in client.json --out merged.json
 #pragma once
 
@@ -42,6 +45,7 @@ int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out);
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out);
 int cmd_client(const std::vector<std::string>& args, std::ostream& out);
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out);
+int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out);
 int cmd_trace_merge(const std::vector<std::string>& args, std::ostream& out);
 
 /// Top-level usage text.

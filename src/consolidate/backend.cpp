@@ -444,6 +444,15 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
     total_time_ += report.total_time;
     total_energy_ += report.energy;
     reports_.push_back(report);
+    // Published as gauges so remote harnesses (loadgen) can read the
+    // simulated energy/time totals over the kStats wire and compute
+    // joules/request without an in-process Backend handle.
+    static trace::Counters::Handle energy_counter =
+        trace::Counters::instance().handle("backend.total_energy_joules");
+    static trace::Counters::Handle time_counter =
+        trace::Counters::instance().handle("backend.total_time_seconds");
+    energy_counter.set(total_energy_.joules());
+    time_counter.set(total_time_.seconds());
   }
 
   const bool tracing = obs::Tracer::enabled();

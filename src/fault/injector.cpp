@@ -14,9 +14,10 @@ namespace {
 
 // Every site with a hook in the tree. Keep sorted; known_sites() is part of
 // the scenario-validation contract and docs/ROBUSTNESS.md mirrors this list.
-constexpr std::array<std::string_view, 8> kKnownSites = {
+constexpr std::array<std::string_view, 9> kKnownSites = {
     "backend.batch",    // consolidate::Backend::process_batch entry
     "decision.decide",  // consolidate::DecisionEngine::decide entry
+    "net.accept",       // net::Listener::accept, after readiness (fd mint)
     "net.connect",      // net::connect_unix entry
     "net.frame.send",   // net::write_frame, whole assembled frame
     "net.recv",         // net::Socket::recv_exact entry

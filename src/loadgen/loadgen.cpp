@@ -1,0 +1,252 @@
+#include "loadgen/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "consolidate/protocol.hpp"
+
+namespace ewc::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string session_owner(int i) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "lg-%05d", i);
+  return buf;
+}
+
+/// Atomic tallies shared by every completion callback. Callbacks run on
+/// session reader threads, so everything here is relaxed-atomic.
+struct Tally {
+  std::atomic<std::uint64_t> completed{0}, ok{0}, rejected{0}, failed{0},
+      duplicates{0};
+};
+
+bool is_admission_rejection(const consolidate::CompletionReply& reply) {
+  return reply.error.find("in-flight limit") != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<ScheduleEntry> build_schedule(const LoadgenConfig& config) {
+  std::vector<ScheduleEntry> schedule;
+  if (config.mix.empty() || config.sessions <= 0) return schedule;
+  common::Rng rng(config.seed);
+  const auto arrivals =
+      generate_arrivals(config.profile, config.duration_seconds, rng);
+  double total_weight = 0.0;
+  for (const auto& m : config.mix) total_weight += m.weight;
+  schedule.reserve(arrivals.size());
+  for (const double t : arrivals) {
+    ScheduleEntry e;
+    e.at_seconds = t;
+    e.session = static_cast<std::uint32_t>(
+        rng.pick_index(static_cast<std::size_t>(config.sessions)));
+    double draw = rng.uniform() * total_weight;
+    std::uint32_t idx = 0;
+    for (; idx + 1 < config.mix.size(); ++idx) {
+      draw -= config.mix[idx].weight;
+      if (draw < 0.0) break;
+    }
+    e.mix_index = idx;
+    schedule.push_back(e);
+  }
+  return schedule;  // arrivals are generated in time order already
+}
+
+bool run_loadgen(const LoadgenConfig& config, LoadgenResult* result,
+                 std::string* error) {
+  *result = LoadgenResult{};
+  if (config.mix.empty()) {
+    if (error) *error = "empty workload mix";
+    return false;
+  }
+  if (config.sessions <= 0) {
+    if (error) *error = "sessions must be >= 1";
+    return false;
+  }
+  const auto schedule = build_schedule(config);
+
+  // Destruction order matters: the tallies, histogram, and answered flags
+  // are captured by completion callbacks that can fire until the session
+  // connections join their reader threads, so the connections (declared
+  // after) must be destroyed first.
+  Tally tally;
+  obs::Histogram latency_hist;
+  std::vector<std::atomic<std::uint32_t>> answered(schedule.size());
+  std::vector<std::unique_ptr<server::ClientConnection>> conns(
+      static_cast<std::size_t>(config.sessions));
+
+  // Dial all sessions in parallel — 500 sequential handshakes would take
+  // longer than the smoke run itself.
+  {
+    std::atomic<int> connected{0};
+    std::string first_error;
+    std::mutex error_mu;
+    const int threads =
+        std::min(config.sessions, 32);
+    std::vector<std::thread> dialers;
+    for (int d = 0; d < threads; ++d) {
+      dialers.emplace_back([&, d] {
+        for (int s = d; s < config.sessions; s += threads) {
+          server::ClientOptions copts = config.client;
+          copts.jitter_seed =
+              config.client.jitter_seed + static_cast<std::uint64_t>(s);
+          std::string err;
+          auto conn = server::ClientConnection::connect(
+              config.socket_path, session_owner(s), config.connect_timeout,
+              copts, &err);
+          if (conn == nullptr) {
+            std::lock_guard lock(error_mu);
+            if (first_error.empty()) {
+              first_error = session_owner(s) + ": " + err;
+            }
+            continue;
+          }
+          conns[static_cast<std::size_t>(s)] = std::move(conn);
+          connected.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : dialers) t.join();
+    result->sessions_connected =
+        static_cast<std::uint64_t>(connected.load());
+    if (connected.load() != config.sessions) {
+      if (error) {
+        *error = "connected " + std::to_string(connected.load()) + "/" +
+                 std::to_string(config.sessions) +
+                 " sessions; first failure: " + first_error;
+      }
+      return false;
+    }
+  }
+
+  // A separate control connection for flush + before/after stats, so the
+  // measurement traffic never mixes with a measured session's stream.
+  std::string err;
+  auto control = server::ClientConnection::connect(
+      config.socket_path, "lg-control", config.connect_timeout, &err);
+  if (control == nullptr) {
+    if (error) *error = "control connection: " + err;
+    return false;
+  }
+  const auto stats_before =
+      control->stats(/*include_histograms=*/false, config.connect_timeout);
+
+  // Shard the schedule: dispatcher d owns every entry whose session is
+  // congruent to d, preserving the global time order within the shard.
+  const int dispatchers =
+      std::clamp(config.dispatchers, 1, config.sessions);
+  std::vector<std::vector<std::size_t>> shards(
+      static_cast<std::size_t>(dispatchers));
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    shards[schedule[i].session % static_cast<std::uint32_t>(dispatchers)]
+        .push_back(i);
+  }
+
+  std::atomic<std::uint64_t> sent{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> senders;
+  for (int d = 0; d < dispatchers; ++d) {
+    senders.emplace_back([&, d] {
+      for (const std::size_t i : shards[static_cast<std::size_t>(d)]) {
+        const ScheduleEntry& entry = schedule[i];
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(entry.at_seconds)));
+        auto& conn = *conns[entry.session];
+        consolidate::LaunchRequest req;
+        req.owner = conn.owner();
+        req.desc = config.mix[entry.mix_index].desc;
+        req.api_messages = 1;
+        const auto t_send = Clock::now();
+        sent.fetch_add(1, std::memory_order_relaxed);
+        conn.launch_async(
+            std::move(req),
+            [&tally, &latency_hist, &answered, i,
+             t_send](const consolidate::CompletionReply& reply) {
+              if (answered[i].fetch_add(1, std::memory_order_relaxed) > 0) {
+                tally.duplicates.fetch_add(1, std::memory_order_relaxed);
+                return;
+              }
+              latency_hist.record(
+                  std::chrono::duration<double>(Clock::now() - t_send)
+                      .count());
+              tally.completed.fetch_add(1, std::memory_order_relaxed);
+              if (reply.ok) {
+                tally.ok.fetch_add(1, std::memory_order_relaxed);
+              } else if (is_admission_rejection(reply)) {
+                tally.rejected.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                tally.failed.fetch_add(1, std::memory_order_relaxed);
+              }
+            });
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+
+  // Drain: everything is dispatched; flush pushes the daemon's pending
+  // partial batch through, then we wait for the callbacks. Re-flush
+  // periodically — a flush that raced the last sends can miss them.
+  const auto drain_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             config.drain_timeout.seconds()));
+  auto next_flush = Clock::now();
+  while (tally.completed.load() + tally.duplicates.load() <
+             sent.load() &&
+         Clock::now() < drain_deadline) {
+    if (Clock::now() >= next_flush) {
+      control->flush(common::Duration::from_seconds(30.0));
+      next_flush = Clock::now() + std::chrono::seconds(2);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const auto t_end = Clock::now();
+
+  // Snapshot the tallies BEFORE tearing down connections: teardown fails
+  // any still-pending callback with a "connection dead" reply, and those
+  // must count as lost, not as late failures.
+  result->sent = sent.load();
+  result->completed = tally.completed.load();
+  result->ok = tally.ok.load();
+  result->rejected = tally.rejected.load();
+  result->failed = tally.failed.load();
+  result->duplicates = tally.duplicates.load();
+  result->lost = result->sent - result->completed;
+  result->wall_seconds = std::chrono::duration<double>(t_end - t0).count();
+  result->latency = latency_hist.snapshot();
+  result->requests_per_second =
+      result->wall_seconds > 0.0
+          ? static_cast<double>(result->completed) / result->wall_seconds
+          : 0.0;
+
+  const auto stats_after =
+      control->stats(/*include_histograms=*/false, config.connect_timeout);
+  if (stats_after.has_value()) {
+    result->daemon_counters = stats_after->counters;
+    if (stats_before.has_value()) {
+      auto energy_of = [](const server::StatsReplyMsg& m) {
+        const auto it = m.counters.find("backend.total_energy_joules");
+        return it == m.counters.end() ? 0.0 : it->second;
+      };
+      result->energy_valid = true;
+      result->energy_joules = energy_of(*stats_after) - energy_of(*stats_before);
+      result->joules_per_request =
+          result->ok > 0
+              ? result->energy_joules / static_cast<double>(result->ok)
+              : 0.0;
+    }
+  }
+  return true;
+}
+
+}  // namespace ewc::loadgen

@@ -1,0 +1,179 @@
+#include "loadgen/profile.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace ewc::loadgen {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(text, &pos);
+    return pos == text.size() && std::isfinite(*out);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error) *error = why;
+  return false;
+}
+
+/// Shortest round-trippable text for a rate/period/etc. value.
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+bool parse_into(const std::string& text, ArrivalProfile* p,
+                std::string* error) {
+  const auto parts = split(text, ':');
+  if (parts.empty() || parts[0].empty()) {
+    return fail(error, "empty arrival profile");
+  }
+  if (parts[0] == "poisson") {
+    p->kind = ArrivalProfile::Kind::kPoisson;
+  } else if (parts[0] == "diurnal") {
+    p->kind = ArrivalProfile::Kind::kDiurnal;
+  } else if (parts[0] == "bursty") {
+    p->kind = ArrivalProfile::Kind::kBursty;
+  } else {
+    return fail(error, "unknown arrival kind '" + parts[0] +
+                           "' (poisson, diurnal, bursty)");
+  }
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      return fail(error, "option '" + parts[i] + "' is not key=value");
+    }
+    const std::string key = parts[i].substr(0, eq);
+    double value = 0.0;
+    if (!parse_double(parts[i].substr(eq + 1), &value)) {
+      return fail(error, "bad number in '" + parts[i] + "'");
+    }
+    if (key == "rate") {
+      if (value <= 0.0) return fail(error, "rate must be > 0");
+      p->rate = value;
+    } else if (key == "period") {
+      if (value <= 0.0) return fail(error, "period must be > 0");
+      p->period_seconds = value;
+    } else if (key == "depth") {
+      if (value < 0.0 || value >= 1.0) {
+        return fail(error, "depth must be in [0, 1)");
+      }
+      p->depth = value;
+    } else if (key == "burst") {
+      if (value < 1.0) return fail(error, "burst must be >= 1");
+      p->burst_factor = value;
+    } else if (key == "duty") {
+      if (value <= 0.0 || value >= 1.0) {
+        return fail(error, "duty must be in (0, 1)");
+      }
+      p->burst_duty = value;
+    } else {
+      return fail(error, "unknown profile key '" + key +
+                             "' (rate, period, depth, burst, duty)");
+    }
+  }
+  if (p->kind == ArrivalProfile::Kind::kBursty &&
+      p->burst_factor * p->burst_duty > 1.0) {
+    return fail(error,
+                "burst*duty must be <= 1 (the burst alone would exceed the "
+                "mean rate, leaving the off window negative)");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ArrivalProfile> ArrivalProfile::parse(const std::string& text,
+                                                    std::string* error) {
+  ArrivalProfile p;
+  if (!parse_into(text, &p, error)) return std::nullopt;
+  return p;
+}
+
+std::string ArrivalProfile::canonical() const {
+  switch (kind) {
+    case Kind::kPoisson:
+      return "poisson:rate=" + num(rate);
+    case Kind::kDiurnal:
+      return "diurnal:rate=" + num(rate) + ":period=" + num(period_seconds) +
+             ":depth=" + num(depth);
+    case Kind::kBursty:
+      return "bursty:rate=" + num(rate) + ":period=" + num(period_seconds) +
+             ":burst=" + num(burst_factor) + ":duty=" + num(burst_duty);
+  }
+  return "?";
+}
+
+double ArrivalProfile::rate_at(double t_seconds) const {
+  switch (kind) {
+    case Kind::kPoisson:
+      return rate;
+    case Kind::kDiurnal:
+      return rate * (1.0 + depth * std::sin(2.0 * std::numbers::pi *
+                                            t_seconds / period_seconds));
+    case Kind::kBursty: {
+      const double phase = std::fmod(t_seconds, period_seconds);
+      if (phase < burst_duty * period_seconds) return rate * burst_factor;
+      // Off-window rate chosen so duty*burst*R + (1-duty)*off = R.
+      return rate * (1.0 - burst_factor * burst_duty) / (1.0 - burst_duty);
+    }
+  }
+  return rate;
+}
+
+double ArrivalProfile::peak_rate() const {
+  switch (kind) {
+    case Kind::kPoisson:
+      return rate;
+    case Kind::kDiurnal:
+      return rate * (1.0 + depth);
+    case Kind::kBursty:
+      return rate * burst_factor;
+  }
+  return rate;
+}
+
+std::vector<double> generate_arrivals(const ArrivalProfile& profile,
+                                      double horizon_seconds,
+                                      common::Rng& rng) {
+  std::vector<double> arrivals;
+  const double peak = profile.peak_rate();
+  if (peak <= 0.0 || horizon_seconds <= 0.0) return arrivals;
+  arrivals.reserve(static_cast<std::size_t>(profile.rate * horizon_seconds) +
+                   16);
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(peak);
+    if (t >= horizon_seconds) break;
+    // Thinning: keep the candidate with probability rate(t)/peak. The
+    // rejected draw still consumes rng state, which is exactly what keeps
+    // the schedule a pure function of (profile, horizon, seed).
+    if (rng.uniform() * peak < profile.rate_at(t)) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace ewc::loadgen

@@ -1,0 +1,191 @@
+#include "loadgen/trajectory.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+
+namespace ewc::loadgen {
+
+namespace {
+
+/// config_hash travels as a 16-digit hex string: the JSON layer stores
+/// numbers as doubles, which cannot hold a 64-bit hash exactly.
+std::string hash_hex(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+double field_num(const obs::json::Value& v, const std::string& key) {
+  const auto* f = v.find(key);
+  return (f != nullptr && f->is_number()) ? f->as_number() : 0.0;
+}
+
+}  // namespace
+
+std::uint64_t config_hash(const std::string& profile, const std::string& mix,
+                          int sessions, double duration_seconds,
+                          std::uint64_t seed) {
+  const std::string identity = profile + "|" + mix + "|" +
+                               std::to_string(sessions) + "|" +
+                               num(duration_seconds) + "|" +
+                               std::to_string(seed);
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const char c : identity) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+BenchDatapoint make_datapoint(const LoadgenConfig& config,
+                              const LoadgenResult& result,
+                              const std::string& mix_text,
+                              const std::string& git_rev,
+                              std::int64_t unix_seconds) {
+  BenchDatapoint p;
+  p.git_rev = git_rev;
+  p.unix_seconds = unix_seconds;
+  p.profile = config.profile.canonical();
+  p.mix = mix_text;
+  p.sessions = config.sessions;
+  p.duration_seconds = config.duration_seconds;
+  p.seed = config.seed;
+  p.config_hash = config_hash(p.profile, p.mix, p.sessions,
+                              p.duration_seconds, p.seed);
+  p.sent = result.sent;
+  p.completed = result.completed;
+  p.ok = result.ok;
+  p.rejected = result.rejected;
+  p.failed = result.failed;
+  p.lost = result.lost;
+  p.duplicates = result.duplicates;
+  p.wall_seconds = result.wall_seconds;
+  p.requests_per_second = result.requests_per_second;
+  p.p50_seconds = result.latency.percentile(50.0);
+  p.p95_seconds = result.latency.percentile(95.0);
+  p.p99_seconds = result.latency.percentile(99.0);
+  p.energy_valid = result.energy_valid;
+  p.energy_joules = result.energy_joules;
+  p.joules_per_request = result.joules_per_request;
+  return p;
+}
+
+std::string datapoint_json(const BenchDatapoint& point) {
+  obs::json::Object o;
+  o["schema"] = point.schema;
+  o["git_rev"] = point.git_rev;
+  o["unix_seconds"] = static_cast<double>(point.unix_seconds);
+  o["profile"] = point.profile;
+  o["mix"] = point.mix;
+  o["sessions"] = point.sessions;
+  o["duration_seconds"] = point.duration_seconds;
+  o["seed"] = static_cast<double>(point.seed);
+  o["config_hash"] = hash_hex(point.config_hash);
+  o["sent"] = static_cast<double>(point.sent);
+  o["completed"] = static_cast<double>(point.completed);
+  o["ok"] = static_cast<double>(point.ok);
+  o["rejected"] = static_cast<double>(point.rejected);
+  o["failed"] = static_cast<double>(point.failed);
+  o["lost"] = static_cast<double>(point.lost);
+  o["duplicates"] = static_cast<double>(point.duplicates);
+  o["wall_seconds"] = point.wall_seconds;
+  o["requests_per_second"] = point.requests_per_second;
+  o["p50_seconds"] = point.p50_seconds;
+  o["p95_seconds"] = point.p95_seconds;
+  o["p99_seconds"] = point.p99_seconds;
+  o["energy_valid"] = point.energy_valid;
+  o["energy_joules"] = point.energy_joules;
+  o["joules_per_request"] = point.joules_per_request;
+  return obs::json::Value(std::move(o)).dump();
+}
+
+bool append_datapoint(const std::string& path, const BenchDatapoint& point,
+                      std::string* error) {
+  return obs::append_jsonl_line(path, datapoint_json(point), error);
+}
+
+std::optional<CompareOutcome> compare_datapoint(
+    const BenchDatapoint& point, const std::string& baseline_path,
+    double tolerance, std::string* error) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    if (error) *error = "cannot open baseline " + baseline_path;
+    return std::nullopt;
+  }
+  const std::string want_hash = hash_hex(point.config_hash);
+  std::optional<obs::json::Value> baseline;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string parse_err;
+    auto v = obs::json::parse(line, &parse_err);
+    if (!v.has_value()) {
+      if (error) {
+        *error = baseline_path + ":" + std::to_string(line_no) + ": " +
+                 parse_err;
+      }
+      return std::nullopt;
+    }
+    const auto* schema = v->find("schema");
+    const auto* hash = v->find("config_hash");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != point.schema) {
+      continue;
+    }
+    if (hash != nullptr && hash->is_string() &&
+        hash->as_string() == want_hash) {
+      baseline = std::move(*v);  // keep scanning: LAST match wins
+    }
+  }
+
+  CompareOutcome out;
+  if (!baseline.has_value()) {
+    out.detail = "no baseline datapoint with config_hash " + want_hash +
+                 " in " + baseline_path;
+    return out;
+  }
+  out.baseline_found = true;
+
+  std::ostringstream detail;
+  auto check = [&](const std::string& name, double current, double base,
+                   bool higher_is_worse) {
+    // A zero baseline can't scale by a tolerance; skip rather than divide.
+    if (base <= 0.0) return;
+    const double bound =
+        higher_is_worse ? base * (1.0 + tolerance) : base * (1.0 - tolerance);
+    const bool bad = higher_is_worse ? current > bound : current < bound;
+    if (bad) out.regressed = true;
+    detail << (bad ? "REGRESSED " : "ok        ") << name << ": " << current
+           << (higher_is_worse ? " vs bound <= " : " vs bound >= ") << bound
+           << " (baseline " << base << ")\n";
+  };
+  check("p95_seconds", point.p95_seconds,
+        field_num(*baseline, "p95_seconds"), /*higher_is_worse=*/true);
+  check("requests_per_second", point.requests_per_second,
+        field_num(*baseline, "requests_per_second"),
+        /*higher_is_worse=*/false);
+  const auto* base_energy_valid = baseline->find("energy_valid");
+  if (point.energy_valid && base_energy_valid != nullptr &&
+      base_energy_valid->is_bool() && base_energy_valid->as_bool()) {
+    check("joules_per_request", point.joules_per_request,
+          field_num(*baseline, "joules_per_request"),
+          /*higher_is_worse=*/true);
+  }
+  out.detail = detail.str();
+  return out;
+}
+
+}  // namespace ewc::loadgen

@@ -1,0 +1,81 @@
+// BENCH_ewcd.json datapoints: the perf trajectory of the daemon over time.
+//
+// Each loadgen run appends ONE line of JSON (schema "ewcd-bench/v1") to a
+// JSONL file — one datapoint per line, atomic O_APPEND writes, so parallel
+// CI jobs can append to the same artifact without tearing. A datapoint
+// carries enough identity (git rev, config hash, canonical profile, mix) to
+// answer "is this run comparable to that one?" mechanically, which is what
+// `--compare` does: find the most recent baseline line with the same
+// workload identity and fail if the new run regressed beyond a tolerance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "loadgen/loadgen.hpp"
+
+namespace ewc::loadgen {
+
+/// One BENCH_ewcd.json line, pre-serialization.
+struct BenchDatapoint {
+  std::string schema = "ewcd-bench/v1";
+  std::string git_rev;          ///< caller-supplied (CI passes GITHUB_SHA)
+  std::int64_t unix_seconds = 0;  ///< caller-supplied wall timestamp
+  std::string profile;          ///< ArrivalProfile::canonical()
+  std::string mix;              ///< "name:weight,name:weight" sorted by name
+  int sessions = 0;
+  double duration_seconds = 0.0;
+  std::uint64_t seed = 0;
+  std::uint64_t config_hash = 0;  ///< FNV-1a of the identity fields above
+  // Measurements.
+  std::uint64_t sent = 0, completed = 0, ok = 0, rejected = 0, failed = 0,
+                lost = 0, duplicates = 0;
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  double p50_seconds = 0.0, p95_seconds = 0.0, p99_seconds = 0.0;
+  bool energy_valid = false;
+  double energy_joules = 0.0;
+  double joules_per_request = 0.0;
+};
+
+/// FNV-1a over the canonical identity string (profile|mix|sessions|
+/// duration|seed). Two datapoints with equal config_hash ran the same
+/// deterministic schedule and are directly comparable.
+std::uint64_t config_hash(const std::string& profile, const std::string& mix,
+                          int sessions, double duration_seconds,
+                          std::uint64_t seed);
+
+/// Build a datapoint from a finished run. `mix_text` is the canonical mix
+/// string the CLI assembled; git_rev/unix_seconds come from the caller.
+BenchDatapoint make_datapoint(const LoadgenConfig& config,
+                              const LoadgenResult& result,
+                              const std::string& mix_text,
+                              const std::string& git_rev,
+                              std::int64_t unix_seconds);
+
+/// Serialize to one compact JSON object (no trailing newline).
+std::string datapoint_json(const BenchDatapoint& point);
+
+/// Append the datapoint as one line to `path` (atomic O_APPEND write).
+bool append_datapoint(const std::string& path, const BenchDatapoint& point,
+                      std::string* error);
+
+struct CompareOutcome {
+  bool baseline_found = false;  ///< a comparable line existed in the file
+  bool regressed = false;       ///< only meaningful when baseline_found
+  std::string detail;           ///< human-readable verdict per metric
+};
+
+/// Compare `point` against the LAST line in `baseline_path` whose
+/// config_hash matches. Regression means any of: p95 latency above
+/// baseline*(1+tolerance), requests/sec below baseline*(1-tolerance), or
+/// joules/request above baseline*(1+tolerance) (energy only when both
+/// points carry valid energy). No matching baseline is NOT a regression —
+/// the first datapoint for a config has nothing to compare against. nullopt
+/// with *error only when the baseline file is unreadable or malformed.
+std::optional<CompareOutcome> compare_datapoint(
+    const BenchDatapoint& point, const std::string& baseline_path,
+    double tolerance, std::string* error);
+
+}  // namespace ewc::loadgen

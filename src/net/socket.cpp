@@ -85,6 +85,7 @@ const char* io_status_name(IoStatus s) {
     case IoStatus::kEof: return "eof";
     case IoStatus::kTimeout: return "timeout";
     case IoStatus::kError: return "error";
+    case IoStatus::kTransient: return "transient";
   }
   return "?";
 }
@@ -340,6 +341,18 @@ std::optional<Socket> Listener::accept(const Deadline& deadline,
       if (status) *status = w;
       return std::nullopt;
     }
+    // A scripted fail here simulates fd exhaustion: the poll reported a
+    // pending connection, but accept(2) cannot mint an fd for it.
+    if (auto a = fault::hit("net.accept")) {
+      if (a.kind == fault::ActionKind::kStall ||
+          a.kind == fault::ActionKind::kDelay) {
+        fault::sleep_for(a.duration);
+      } else {
+        if (error) *error = "injected accept failure: EMFILE";
+        if (status) *status = IoStatus::kTransient;
+        return std::nullopt;
+      }
+    }
     const int cfd = ::accept(fd_, nullptr, nullptr);
     if (cfd >= 0) {
       if (status) *status = IoStatus::kOk;
@@ -348,6 +361,14 @@ std::optional<Socket> Listener::accept(const Deadline& deadline,
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
         errno == ECONNABORTED) {
       continue;
+    }
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS) {
+      // The pending connection stays queued and keeps the listener
+      // readable, so retrying here would spin. Report kTransient and let
+      // the caller back off until fds free up.
+      set_error(error, "accept");
+      if (status) *status = IoStatus::kTransient;
+      return std::nullopt;
     }
     set_error(error, "accept");
     if (status) *status = IoStatus::kError;

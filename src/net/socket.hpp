@@ -35,9 +35,11 @@ class Deadline {
 
 enum class IoStatus {
   kOk,
-  kEof,      ///< peer closed cleanly (only at an operation boundary)
-  kTimeout,  ///< deadline expired before the operation finished
-  kError,    ///< errno-level failure, including EOF mid-message
+  kEof,        ///< peer closed cleanly (only at an operation boundary)
+  kTimeout,    ///< deadline expired before the operation finished
+  kError,      ///< errno-level failure, including EOF mid-message
+  kTransient,  ///< resource pressure (EMFILE/ENFILE/ENOBUFS); retry after
+               ///< backing off — the condition clears when fds free up
 };
 
 const char* io_status_name(IoStatus s);
@@ -96,7 +98,12 @@ class Listener {
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
 
-  /// Accept one connection; nullopt on timeout or error (status tells which).
+  /// Accept one connection; nullopt on timeout or error (status tells
+  /// which). Process/system fd exhaustion (EMFILE/ENFILE) and transient
+  /// kernel memory pressure (ENOBUFS) report kTransient rather than kError:
+  /// the listener itself is healthy and accept will succeed again once
+  /// resources free up, so callers should back off and retry instead of
+  /// tearing down the accept loop.
   std::optional<Socket> accept(const Deadline& deadline, IoStatus* status,
                                std::string* error);
 

@@ -19,6 +19,11 @@ int HistogramParams::bucket_index(double v) const {
 
 double HistogramSnapshot::percentile(double p) const {
   if (total == 0) return 0.0;
+  // NaN must be rejected before clamp: it survives std::clamp (every
+  // comparison is false), makes `rank` NaN, and the scan below then walks
+  // past every bucket and reports the overflow threshold as if the
+  // histogram were saturated.
+  if (std::isnan(p)) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   // Rank of the target observation, 0-based, linearly spread over the count
   // (matches common::percentile's interpolation on sorted samples).
@@ -33,6 +38,11 @@ double HistogramSnapshot::percentile(double p) const {
       // below the target rank.
       const double lo = params.bucket_lower(i);
       const double hi = params.bucket_lower(i + 1);
+      // p=100 means "the maximum observed": report the covering (= last
+      // occupied) bucket's upper edge. The rank formula alone would land
+      // at an interior point — exactly `lo` when the bucket holds one
+      // observation — understating the max by up to one growth factor.
+      if (p >= 100.0) return hi;
       const double frac =
           (rank - static_cast<double>(seen)) / static_cast<double>(c);
       return lo + (hi - lo) * frac;

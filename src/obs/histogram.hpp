@@ -57,9 +57,16 @@ struct HistogramSnapshot {
   bool empty() const { return total == 0; }
   double mean() const { return total ? sum / static_cast<double>(total) : 0.0; }
 
-  /// p in [0, 100]. Linear interpolation inside the covering bucket;
-  /// overflow-bucket hits report the overflow threshold (the histogram
-  /// cannot see beyond its top edge). 0 for an empty snapshot.
+  /// p in [0, 100]. Linear interpolation inside the covering bucket.
+  /// Documented edge cases (pinned by tests/obs_test.cpp):
+  ///   * empty snapshot: 0.0 for every p;
+  ///   * NaN p: 0.0 (never the overflow threshold); p outside [0,100]
+  ///     clamps;
+  ///   * p=0: lower edge of the first occupied bucket;
+  ///   * p=100: upper edge of the last occupied bucket;
+  ///   * a rank resolving to the overflow bucket reports the overflow
+  ///     threshold (the histogram cannot see beyond its top edge) — in
+  ///     particular every p when all mass is overflow.
   double percentile(double p) const;
 
   /// Sum another snapshot into this one.

@@ -1,0 +1,47 @@
+#include "obs/jsonl.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ewc::obs {
+
+bool append_jsonl_line(const std::string& path, const std::string& line,
+                       std::string* error) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (error) {
+      *error = "open " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  std::string record = line;
+  record.push_back('\n');
+  ssize_t rc;
+  do {
+    rc = ::write(fd, record.data(), record.size());
+  } while (rc < 0 && errno == EINTR);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc == static_cast<ssize_t>(record.size())) return true;
+  if (error) {
+    if (rc < 0) {
+      *error = "write " + path + ": " + std::strerror(saved_errno);
+    } else {
+      // A short write on a regular file is ENOSPC territory; the line may
+      // be torn on disk, so surface it rather than silently appending the
+      // remainder (which could interleave with another emitter).
+      *error = "short write to " + path + ": " + std::to_string(rc) + "/" +
+               std::to_string(record.size()) + " bytes";
+    }
+  }
+  return false;
+}
+
+}  // namespace ewc::obs

@@ -1,0 +1,22 @@
+// Atomic JSON-lines appends.
+//
+// Bench harnesses and the loadgen trajectory both accumulate datapoints by
+// appending one JSON object per line to a shared file (BENCH_*.json).
+// Concurrent emitters — parallel CI shards, a bench sweep script — must
+// never interleave partial lines, so each record goes down as ONE write(2)
+// on an O_APPEND descriptor: POSIX makes the append offset + write atomic,
+// which a buffered std::ofstream (multiple flushes per line) does not.
+#pragma once
+
+#include <string>
+
+namespace ewc::obs {
+
+/// Append `line` (a complete JSON object, no trailing newline) plus '\n'
+/// to `path` as a single atomic O_APPEND write. Creates the file (0644)
+/// when missing. False (with *error) on open failure or a short write —
+/// a short write can tear the line, so it is reported, not retried.
+bool append_jsonl_line(const std::string& path, const std::string& line,
+                       std::string* error = nullptr);
+
+}  // namespace ewc::obs

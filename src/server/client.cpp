@@ -50,7 +50,9 @@ ClientCounters& counters() {
 bool ClientConnection::handshake(net::Socket& sock, const std::string& owner,
                                  std::uint64_t session, bool replay,
                                  common::Duration io_timeout,
-                                 HelloOkMsg* settings, std::string* error) {
+                                 HelloOkMsg* settings, std::string* error,
+                                 bool* server_refused) {
+  if (server_refused) *server_refused = false;
   const auto deadline = net::Deadline::after(io_timeout);
   std::string err;
   if (net::write_frame(sock, static_cast<std::uint16_t>(MsgType::kHello),
@@ -67,6 +69,7 @@ bool ClientConnection::handshake(net::Socket& sock, const std::string& owner,
   if (frame.type == static_cast<std::uint16_t>(MsgType::kError)) {
     const auto msg = decode_error(frame.payload);
     if (error) *error = "server refused: " + (msg ? msg->message : "?");
+    if (server_refused) *server_refused = true;
     return false;
   }
   const auto ok = frame.type == static_cast<std::uint16_t>(MsgType::kHelloOk)
@@ -266,6 +269,63 @@ consolidate::CompletionReply ClientConnection::launch(
   return *reply;
 }
 
+std::uint64_t ClientConnection::launch_async(
+    consolidate::LaunchRequest req,
+    std::function<void(const consolidate::CompletionReply&)> on_reply) {
+  auto fail_now = [&](std::uint64_t id, const std::string& why) {
+    consolidate::CompletionReply reply;
+    reply.ok = false;
+    reply.error = why;
+    reply.request_id = id;
+    on_reply(reply);
+    return id;
+  };
+  if (!breaker_allows()) return fail_now(0, "circuit breaker open");
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (dead_.load()) return fail_now(0, "connection dead: " + death_reason_);
+    id = next_id_++;
+    launch_callbacks_[id] = std::move(on_reply);
+  }
+  req.request_id = id;
+  req.reply = nullptr;  // never crosses the wire
+  const auto payload = encode_launch(req);
+  bool sent;
+  {
+    // Same atomicity contract as launch(): replay registration and the send
+    // are one step with respect to recovery's socket swap + replay pass.
+    std::lock_guard wlock(write_mu_);
+    if (opts_.auto_reconnect) {
+      std::lock_guard lock(mu_);
+      inflight_launches_[id] = payload;
+    }
+    sent = net::write_frame(sock_, static_cast<std::uint16_t>(MsgType::kLaunch),
+                            payload, net::Deadline::after(io_timeout_),
+                            nullptr) == net::IoStatus::kOk;
+    if (!sent) {
+      record_transport_error();
+      if (opts_.auto_reconnect) sock_.shutdown_rw();
+    }
+  }
+  if (!sent && !opts_.auto_reconnect) {
+    std::function<void(const consolidate::CompletionReply&)> cb;
+    {
+      std::lock_guard lock(mu_);
+      auto it = launch_callbacks_.find(id);
+      if (it == launch_callbacks_.end()) return id;  // fail_all beat us to it
+      cb = std::move(it->second);
+      launch_callbacks_.erase(it);
+    }
+    consolidate::CompletionReply reply;
+    reply.ok = false;
+    reply.error = "send failed";
+    reply.request_id = id;
+    cb(reply);
+  }
+  return id;
+}
+
 bool ClientConnection::flush(common::Duration timeout) {
   if (!breaker_allows()) return false;
   auto waiter = std::make_shared<common::Channel<bool>>();
@@ -321,6 +381,9 @@ void ClientConnection::fail_all(const std::string& error) {
   std::map<std::uint64_t,
            std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>>>
       stats;
+  std::map<std::uint64_t,
+           std::function<void(const consolidate::CompletionReply&)>>
+      callbacks;
   {
     std::lock_guard lock(mu_);
     death_reason_ = error;
@@ -328,6 +391,7 @@ void ClientConnection::fail_all(const std::string& error) {
     launches.swap(launch_waiters_);
     flushes.swap(flush_waiters_);
     stats.swap(stats_waiters_);
+    callbacks.swap(launch_callbacks_);
     inflight_launches_.clear();
   }
   for (auto& [id, waiter] : launches) {
@@ -336,6 +400,13 @@ void ClientConnection::fail_all(const std::string& error) {
     reply.error = error;
     reply.request_id = id;
     waiter->send(std::move(reply));
+  }
+  for (auto& [id, callback] : callbacks) {
+    consolidate::CompletionReply reply;
+    reply.ok = false;
+    reply.error = error;
+    reply.request_id = id;
+    callback(reply);
   }
   for (auto& [token, waiter] : flushes) waiter->send(false);
   for (auto& [token, waiter] : stats) waiter->send(std::nullopt);
@@ -361,17 +432,28 @@ bool ClientConnection::recover(const std::string& why) {
   // and the server's dedup makes that idempotent. Flush/stats tokens are
   // connection-scoped — anything lost with the old stream fails now.
   fail_connection_scoped();
+  // The disconnect that triggered recovery is one transport error; each
+  // failed redial below adds another. A handshake the server *answers* with
+  // a refusal ("server full") is deliberately excluded: that is admission
+  // backpressure from a live daemon, and counting it would let benign
+  // overload trip the breaker and strand a session that the very next
+  // attempt could resume.
+  record_transport_error();
   const int max_attempts = std::max(1, opts_.retry.max_attempts);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    record_transport_error();
     if (!interruptible_sleep(opts_.retry.backoff(attempt, rng_))) return false;
     std::string err;
     auto sock = net::connect_unix(
         path_, net::Deadline::after(opts_.dial_timeout), &err);
-    if (!sock.has_value()) continue;
+    if (!sock.has_value()) {
+      record_transport_error();
+      continue;
+    }
     HelloOkMsg settings;
+    bool refused = false;
     if (!handshake(*sock, owner_, session_, /*replay=*/true, io_timeout_,
-                   &settings, &err)) {
+                   &settings, &err, &refused)) {
+      if (!refused) record_transport_error();
       continue;
     }
     std::map<std::uint64_t, std::vector<std::byte>> replays;
@@ -394,7 +476,10 @@ bool ClientConnection::recover(const std::string& why) {
         }
       }
     }
-    if (!sent_all) continue;
+    if (!sent_all) {
+      record_transport_error();
+      continue;
+    }
     reconnects_.fetch_add(1);
     replayed_.fetch_add(replays.size());
     counters().reconnects.inc();
@@ -428,16 +513,23 @@ void ClientConnection::reader_loop() {
           return fail_all("malformed completion");
         }
         std::shared_ptr<common::Channel<consolidate::CompletionReply>> waiter;
+        std::function<void(const consolidate::CompletionReply&)> callback;
         {
           std::lock_guard lock(mu_);
           auto it = launch_waiters_.find(reply->request_id);
           if (it != launch_waiters_.end()) waiter = it->second;
+          auto cit = launch_callbacks_.find(reply->request_id);
+          if (cit != launch_callbacks_.end()) {
+            callback = std::move(cit->second);
+            launch_callbacks_.erase(cit);
+          }
           // Answered: a future reconnect must not replay it.
           inflight_launches_.erase(reply->request_id);
         }
         record_transport_success();
         // No waiter: the launcher timed out and moved on; drop it.
         if (waiter) waiter->send(*reply);
+        if (callback) callback(*reply);
         break;
       }
       case MsgType::kFlushDone: {

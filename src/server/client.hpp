@@ -17,12 +17,16 @@
 // per-connection circuit breaker opens after `breaker_threshold`
 // consecutive transport errors and fails calls fast until its cooldown
 // elapses (half-open: the next call probes; success closes it again).
+// Server admission rejections — ok=false completions for an over-limit
+// launch, or a "server full" hello refusal during recovery — are
+// backpressure from a live daemon and never count toward the breaker.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -88,6 +92,20 @@ class ClientConnection {
   consolidate::CompletionReply launch(consolidate::LaunchRequest req,
                                       common::Duration timeout);
 
+  /// Fire-and-callback launch for load harnesses: assigns the request id,
+  /// sends the frame, and returns it immediately (0 if the request was
+  /// refused before a send was attempted — breaker open or connection
+  /// dead). `on_reply` is invoked exactly once with the completion — on the
+  /// reader thread for wire replies, or inline (before this returns) for
+  /// immediate failures — so it must be cheap and must not call back into
+  /// this connection. Admission rejections arrive as ok=false replies, same
+  /// as for launch(). With auto_reconnect the payload stays registered for
+  /// replay until answered; without it a failed send fails the callback
+  /// inline.
+  std::uint64_t launch_async(
+      consolidate::LaunchRequest req,
+      std::function<void(const consolidate::CompletionReply&)> on_reply);
+
   /// Ask the daemon to process everything pending; true when it confirms.
   bool flush(common::Duration timeout);
 
@@ -122,10 +140,13 @@ class ClientConnection {
   /// hello/hello_ok exchange on a fresh socket. Shared by connect() and
   /// recovery redials; the same session nonce is sent every time so the
   /// server treats the redial as a resume, not a new client.
+  /// `server_refused` (optional) is set when the server answered the hello
+  /// with a well-formed kError frame — it is alive and refusing (e.g.
+  /// "server full"), which is admission backpressure, not transport death.
   static bool handshake(net::Socket& sock, const std::string& owner,
                         std::uint64_t session, bool replay,
                         common::Duration io_timeout, HelloOkMsg* settings,
-                        std::string* error);
+                        std::string* error, bool* server_refused = nullptr);
   void reader_loop();
   /// Reader-thread-only: redial + handshake + replay in-flight launches.
   /// True when the connection is live again.
@@ -169,6 +190,11 @@ class ClientConnection {
   /// Encoded kLaunch payloads awaiting an answer, for replay after a
   /// reconnect. Only populated when auto_reconnect is on.
   std::map<std::uint64_t, std::vector<std::byte>> inflight_launches_;
+  /// launch_async completion callbacks, keyed by request id; invoked once
+  /// (reader thread or fail_all) then erased.
+  std::map<std::uint64_t,
+           std::function<void(const consolidate::CompletionReply&)>>
+      launch_callbacks_;
 
   int consecutive_failures_ = 0;
   std::chrono::steady_clock::time_point breaker_open_until_{};

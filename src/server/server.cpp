@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -28,7 +29,7 @@ struct ServerCounters {
       connections_closed, protocol_errors, admitted, rejected, requests,
       replies, flushes, shutdown_requests, stats_requests, deadline_expired,
       drain_failed_replies, drain_flush_timeouts, replayed_requests,
-      parked_replies;
+      parked_replies, accept_backoff;
 };
 
 ServerCounters& counters() {
@@ -43,7 +44,8 @@ ServerCounters& counters() {
       h("server.flushes"),              h("server.shutdown_requests"),
       h("server.stats_requests"),       h("server.deadline_expired"),
       h("server.drain.failed_replies"), h("server.drain.flush_timeouts"),
-      h("server.replayed_requests"),    h("server.parked_replies")};
+      h("server.replayed_requests"),    h("server.parked_replies"),
+      h("server.accept_backoff")};
   return *s;
 }
 
@@ -122,6 +124,13 @@ int Server::active_connections() const {
 }
 
 void Server::accept_loop() {
+  // Capped exponential backoff for transient accept failures (fd
+  // exhaustion). The pending connection keeps the listener readable, so
+  // without a pause this loop would spin at 100% CPU while contributing
+  // nothing; with one it rides out the pressure until closes free fds.
+  int backoff_ms = 0;
+  constexpr int kAcceptBackoffFloorMs = 1;
+  constexpr int kAcceptBackoffCapMs = 100;
   for (;;) {
     reap_finished();
     {
@@ -143,11 +152,23 @@ void Server::accept_loop() {
     auto sock = listener_->accept(net::Deadline::after(common::Duration::zero()),
                                   &status, &err);
     if (!sock.has_value()) {
-      if (status == net::IoStatus::kError) {
+      if (status == net::IoStatus::kTransient) {
+        backoff_ms = std::min(std::max(backoff_ms * 2, kAcceptBackoffFloorMs),
+                              kAcceptBackoffCapMs);
+        counters().accept_backoff.inc();
+        common::log_info("ewcd: accept backoff " +
+                         std::to_string(backoff_ms) + "ms: " + err);
+        // Sleep on the stop pipe so shutdown is not delayed by the backoff.
+        pollfd stop_fd{stop_pipe_[0], POLLIN, 0};
+        if (::poll(&stop_fd, 1, backoff_ms) > 0 && stop_fd.revents != 0) {
+          break;
+        }
+      } else if (status == net::IoStatus::kError) {
         common::log_info("ewcd: accept failed: " + err);
       }
       continue;
     }
+    backoff_ms = 0;
     if (active_connections() >= options_.max_clients) {
       // Turn the connection away explicitly rather than letting it hang.
       // Consume the client's hello first so the rejection is ordered after

@@ -12,11 +12,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
@@ -32,6 +35,7 @@
 #include "server/client.hpp"
 #include "server/protocol_wire.hpp"
 #include "server/server.hpp"
+#include "trace/counters.hpp"
 #include "workloads/paper_configs.hpp"
 #include "workloads/registry.hpp"
 #include "workloads/rodinia_like.hpp"
@@ -435,6 +439,8 @@ TEST(FuzzTest, TenThousandAdversarialFramesNeverCrashTheParser) {
         break;
       case IoStatus::kTimeout:
         FAIL() << "parser stalled on adversarial input at iter " << iter;
+      case IoStatus::kTransient:
+        FAIL() << "read_frame reported kTransient (accept-only status)";
     }
   }
   // All three outcomes must actually occur, or the generator is broken.
@@ -597,7 +603,8 @@ class FaultDaemonTest : public ::testing::Test {
   struct Daemon {
     Daemon(gpusim::FluidEngine& engine, const power::GpuPowerModel& model,
            const std::string& path, int threshold,
-           Duration replay_grace = Duration::from_seconds(120.0)) {
+           Duration replay_grace = Duration::from_seconds(120.0),
+           int max_clients = 64, int inflight_limit = 64) {
       consolidate::BackendOptions options;
       options.batch_threshold = threshold;
       backend = std::make_unique<consolidate::Backend>(
@@ -609,6 +616,8 @@ class FaultDaemonTest : public ::testing::Test {
       server::ServerOptions sopt;
       sopt.socket_path = path;
       sopt.replay_grace = replay_grace;
+      sopt.max_clients = max_clients;
+      sopt.inflight_limit = inflight_limit;
       server = std::make_unique<server::Server>(*backend, sopt);
       std::string error;
       started = server->start(&error);
@@ -814,6 +823,155 @@ TEST_F(FaultDaemonTest, BreakerOpensAfterConsecutiveTransportFailures) {
   EXPECT_EQ(second.error, "circuit breaker open");
   EXPECT_LT(elapsed, 1.0);
   EXPECT_FALSE(conn->stats(false, Duration::from_seconds(30.0)).has_value());
+}
+
+// ---- overload bugs flushed out by the traffic harness ----
+
+// fd exhaustion at the accept site (EMFILE/ENFILE/ENOBUFS) is transient —
+// fds come back when connections close. Before the fix Listener::accept
+// reported it as IoStatus::kError and the accept loop just logged and spun;
+// under real exhaustion that is a hot loop, and the daemon never
+// distinguished "retry later" from "socket is broken". Now accept reports
+// kTransient and the loop backs off (capped, stop-aware), counting each
+// wait in server.accept_backoff.
+TEST_F(FaultDaemonTest, AcceptFdExhaustionBacksOffAndRecovers) {
+  const auto path = scripted_path("accept-fd");
+  Daemon daemon(*engine_, *model_, path, /*threshold=*/1);
+  ASSERT_TRUE(daemon.started);
+  const double backoffs_before =
+      trace::Counters::instance().value("server.accept_backoff");
+
+  // The first three accept readiness events mint no fd (simulated EMFILE);
+  // the pending connection stays queued, so each backoff ends in another
+  // ready poll until the fourth attempt accepts for real.
+  ArmGuard guard("net.accept=fail:times=3");
+  std::string err;
+  auto conn = server::ClientConnection::connect(
+      path, "fd-client", Duration::from_seconds(10.0), &err);
+  ASSERT_NE(conn, nullptr) << err;
+  EXPECT_EQ(fault::Injector::instance().fired("net.accept"), 3u);
+  EXPECT_GE(trace::Counters::instance().value("server.accept_backoff") -
+                backoffs_before,
+            3.0);
+
+  const auto reply =
+      conn->launch(aes_launch("fd-a"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
+}
+
+// A "server full" hello refusal during reconnect recovery is admission
+// backpressure from a live daemon, not a transport failure. Before the fix
+// recover() counted each refused redial toward the breaker: a session that
+// lost its slot during a disconnect (another client grabbed it) would trip
+// the breaker after breaker_threshold refusals and strand every subsequent
+// launch behind "circuit breaker open" even after the slot freed up.
+TEST_F(FaultDaemonTest, ServerFullRecoveryRefusalsDoNotTripBreaker) {
+  const auto path = scripted_path("full-recover");
+  Daemon daemon(*engine_, *model_, path, /*threshold=*/1,
+                Duration::from_seconds(120.0), /*max_clients=*/1);
+  ASSERT_TRUE(daemon.started);
+  const double trips_before =
+      trace::Counters::instance().value("client.breaker_trips");
+
+  server::ClientOptions vopts;
+  vopts.auto_reconnect = true;
+  vopts.retry.max_attempts = 60;
+  vopts.retry.initial_backoff = Duration::from_millis(150.0);
+  vopts.retry.max_backoff = Duration::from_millis(150.0);
+  vopts.breaker_threshold = 3;
+  vopts.breaker_cooldown = Duration::from_seconds(300.0);  // a trip is fatal
+  std::string err;
+  auto victim = server::ClientConnection::connect(
+      path, "victim", Duration::from_seconds(5.0), vopts, &err);
+  ASSERT_NE(victim, nullptr) << err;
+
+  // Sever the victim's transport; while it backs off before redialing, a
+  // rival takes the daemon's only connection slot (retry until the daemon
+  // has reaped the victim's old connection).
+  victim->inject_disconnect();
+  std::unique_ptr<server::ClientConnection> rival;
+  for (int i = 0; i < 40 && rival == nullptr; ++i) {
+    rival = server::ClientConnection::connect(path, "rival",
+                                              Duration::from_seconds(2.0),
+                                              &err);
+    if (rival == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  ASSERT_NE(rival, nullptr) << err;
+
+  // ~6 redials at 150ms all handshake successfully at the socket level and
+  // are answered "server full" — more consecutive refusals than the
+  // breaker threshold of 3.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  rival.reset();  // slot freed; the victim's next redial succeeds
+
+  const auto reply =
+      victim->launch(aes_launch("victim-a"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
+  EXPECT_GE(victim->reconnects(), 1u);
+  EXPECT_EQ(trace::Counters::instance().value("client.breaker_trips"),
+            trips_before);
+}
+
+// Same principle at the launch level: ok=false "in-flight limit" rejections
+// are the daemon shedding load, and a flood of them past the admission
+// bound must leave the breaker closed and the session usable.
+TEST_F(FaultDaemonTest, AdmissionRejectionFloodDoesNotTripBreaker) {
+  const auto path = scripted_path("admission-flood");
+  Daemon daemon(*engine_, *model_, path, /*threshold=*/1,
+                Duration::from_seconds(120.0), /*max_clients=*/64,
+                /*inflight_limit=*/2);
+  ASSERT_TRUE(daemon.started);
+  const double trips_before =
+      trace::Counters::instance().value("client.breaker_trips");
+
+  server::ClientOptions copts;
+  copts.breaker_threshold = 3;
+  copts.breaker_cooldown = Duration::from_seconds(300.0);
+  std::string err;
+  auto conn = server::ClientConnection::connect(
+      path, "flood", Duration::from_seconds(5.0), copts, &err);
+  ASSERT_NE(conn, nullptr) << err;
+
+  constexpr int kFlood = 40;
+  std::atomic<int> ok{0}, rejected{0}, breaker_failures{0}, other{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding = kFlood;
+  for (int i = 0; i < kFlood; ++i) {
+    conn->launch_async(
+        aes_launch("flood"), [&](const consolidate::CompletionReply& r) {
+          if (r.ok) {
+            ok.fetch_add(1);
+          } else if (r.error.find("in-flight limit") != std::string::npos) {
+            rejected.fetch_add(1);
+          } else if (r.error == "circuit breaker open") {
+            breaker_failures.fetch_add(1);
+          } else {
+            other.fetch_add(1);
+          }
+          std::lock_guard lock(mu);
+          if (--outstanding == 0) cv.notify_one();
+        });
+  }
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                            [&] { return outstanding == 0; }));
+  }
+  // The flood outpaces the 2-deep admission window, so most launches bounce
+  // — and none of those bounces may open the breaker.
+  EXPECT_GT(rejected.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_EQ(breaker_failures.load(), 0);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(trace::Counters::instance().value("client.breaker_trips"),
+            trips_before);
+
+  const auto reply =
+      conn->launch(aes_launch("flood"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
 }
 
 // ---- degraded-mode consolidation ----

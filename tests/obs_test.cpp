@@ -2,13 +2,20 @@
 // Chrome-trace exporter's schema, counter handles, and the STATS codec.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <fstream>
+#include <map>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/chrome_trace.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
+#include "obs/jsonl.hpp"
 #include "obs/tracer.hpp"
 #include "server/protocol_wire.hpp"
 #include "trace/counters.hpp"
@@ -128,6 +135,131 @@ TEST(Histogram, EmptyPercentileIsZero) {
   obs::Histogram h;
   EXPECT_TRUE(h.snapshot().empty());
   EXPECT_DOUBLE_EQ(h.snapshot().percentile(50), 0.0);
+}
+
+// The edge cases documented on HistogramSnapshot::percentile, pinned so a
+// refactor cannot silently change what p=0/p=100/NaN report (the bench
+// compare gate reads these values straight out of BENCH datapoints).
+
+TEST(Histogram, EmptySnapshotEveryPercentileIsZero) {
+  obs::Histogram h;
+  const auto s = h.snapshot();
+  for (double q : {0.0, 0.001, 50.0, 99.999, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.percentile(q), 0.0) << "p" << q;
+  }
+  // Out-of-range and NaN on an empty snapshot are still zero.
+  EXPECT_DOUBLE_EQ(s.percentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(101.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(std::nan("")), 0.0);
+}
+
+TEST(Histogram, PercentileZeroIsFirstOccupiedLowerEdge) {
+  obs::HistogramParams p;
+  p.min_value = 1.0;
+  p.growth = 2.0;
+  p.buckets = 8;
+  obs::Histogram h(p);
+  h.record(3.0);    // bucket [2, 4)
+  h.record(100.0);  // bucket [64, 128)
+  const auto s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 2.0);
+  // Below-range p clamps to 0, same answer.
+  EXPECT_DOUBLE_EQ(s.percentile(-50.0), 2.0);
+}
+
+TEST(Histogram, PercentileHundredIsLastOccupiedUpperEdge) {
+  obs::HistogramParams p;
+  p.min_value = 1.0;
+  p.growth = 2.0;
+  p.buckets = 8;
+  obs::Histogram h(p);
+  h.record(3.0);    // bucket [2, 4)
+  h.record(100.0);  // bucket [64, 128)
+  const auto s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 128.0);
+  // Above-range p clamps to 100, same answer.
+  EXPECT_DOUBLE_EQ(s.percentile(250.0), 128.0);
+}
+
+TEST(Histogram, PercentileNanIsZeroNotOverflowThreshold) {
+  obs::HistogramParams p;
+  p.min_value = 1.0;
+  p.growth = 2.0;
+  p.buckets = 8;
+  obs::Histogram h(p);
+  for (int i = 0; i < 100; ++i) h.record(3.0);
+  // Before the NaN guard this fell through the clamp, made the target rank
+  // NaN, failed every bucket comparison, and reported the overflow
+  // threshold — a wildly wrong answer for a histogram whose mass sits in
+  // [2, 4).
+  EXPECT_DOUBLE_EQ(h.snapshot().percentile(std::nan("")), 0.0);
+}
+
+TEST(Histogram, AllOverflowEveryPercentileIsThreshold) {
+  obs::HistogramParams p;
+  p.min_value = 1.0;
+  p.growth = 2.0;
+  p.buckets = 4;  // top edge 16
+  obs::Histogram h(p);
+  for (int i = 0; i < 10; ++i) h.record(1e9);
+  const auto s = h.snapshot();
+  const double threshold = p.bucket_lower(p.buckets);
+  for (double q : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.percentile(q), threshold) << "p" << q;
+  }
+}
+
+// ---- atomic JSONL append ----
+
+// append_jsonl_line issues line+'\n' as ONE write(2) on an O_APPEND fd, the
+// POSIX recipe for tear-free concurrent appends. Bench processes and CI
+// jobs append datapoints to the same BENCH file in parallel, so interleaved
+// or truncated lines would silently corrupt the trajectory.
+TEST(JsonlAppend, ConcurrentAppendsNeverTearLines) {
+  const std::string path = ::testing::TempDir() + "/jsonl_append_race.jsonl";
+  ::unlink(path.c_str());
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kLines; ++i) {
+        // Distinct lengths per writer so an interleave cannot reassemble
+        // into a valid line by accident.
+        const std::string line = "{\"writer\":" + std::to_string(t) +
+                                 ",\"seq\":" + std::to_string(i) +
+                                 ",\"pad\":\"" +
+                                 std::string(static_cast<std::size_t>(t) * 7,
+                                             'x') +
+                                 "\"}";
+        std::string err;
+        ASSERT_TRUE(obs::append_jsonl_line(path, line, &err)) << err;
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  std::ifstream in(path);
+  std::string line;
+  int total = 0;
+  std::map<int, int> per_writer;
+  while (std::getline(in, line)) {
+    ++total;
+    std::string err;
+    const auto doc = obs::json::parse(line, &err);
+    ASSERT_TRUE(doc.has_value()) << "line " << total << ": " << err;
+    ASSERT_TRUE(doc->is_object());
+    per_writer[static_cast<int>(doc->find("writer")->as_number())]++;
+  }
+  EXPECT_EQ(total, kThreads * kLines);
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_writer[t], kLines) << t;
+}
+
+TEST(JsonlAppend, ReportsUnwritableTarget) {
+  std::string err;
+  EXPECT_FALSE(
+      obs::append_jsonl_line("/nonexistent-dir/x.jsonl", "{}", &err));
+  EXPECT_FALSE(err.empty());
 }
 
 TEST(HistogramRegistry, HandlesAreStableAcrossClear) {
