@@ -33,6 +33,7 @@
 #include "perf/hong_kim.hpp"
 #include "power/trainer.hpp"
 #include "ptx/analyzer.hpp"
+#include "router/router.hpp"
 #include "ptx/parser.hpp"
 #include "ptx/samples.hpp"
 #include "server/client.hpp"
@@ -113,10 +114,12 @@ std::string f64_bits(double v) {
 }
 
 server::Server* g_serve_instance = nullptr;
+router::Router* g_route_instance = nullptr;
 
 void serve_signal_handler(int) {
-  // Async-signal-safe: notify_stop only writes one byte to a self-pipe.
+  // Async-signal-safe: notify_stop only writes one eventfd word.
   if (g_serve_instance != nullptr) g_serve_instance->notify_stop();
+  if (g_route_instance != nullptr) g_route_instance->notify_stop();
 }
 
 /// Shared --trace-out flag spec for commands that can record a trace.
@@ -179,9 +182,12 @@ std::string main_usage() {
       "  timeline   export a consolidated run's occupancy timeline\n"
       "  cache-stats  replay a trace cache-off vs cache-on and report\n"
       "               hit/miss/eviction counts, speedup and output parity\n"
-      "  serve      run the consolidation daemon on a UNIX socket (ewcd)\n"
-      "  client     launch workloads against a running ewcd daemon\n"
+      "  serve      run one consolidation daemon shard (ewcd) on a UNIX\n"
+      "             or TCP endpoint\n"
+      "  route      front N ewcd shards with energy-aware session placement\n"
+      "  client     launch workloads against a running daemon or router\n"
       "  stats      print a live counter/histogram snapshot from a daemon\n"
+      "             or router (per-shard breakdown)\n"
       "  loadgen    open-loop traffic harness against a daemon; emits a\n"
       "             BENCH_ewcd.json perf-trajectory datapoint\n"
       "  trace-merge  merge Chrome-trace JSONs (client + server) into one\n";
@@ -490,9 +496,12 @@ int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out) {
 
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
-      {"socket", "UNIX socket path to listen on", false, false},
+      {"socket",
+       "endpoint to listen on: unix:/path, tcp:host:port, or a bare path",
+       false, false},
       {"workload", "name[=count] the daemon will serve, repeatable", false,
        true},
+      {"workers", "pump worker threads (default 0 = auto)", false, false},
       {"threshold", "batch threshold (default: sum of workload counts)", false,
        false},
       {"max-clients", "concurrent client connections (default 64)", false,
@@ -570,6 +579,7 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
       flags.get_double_in("drain-timeout", 10.0, 0.1, 86400.0));
   sopt.replay_grace = common::Duration::from_seconds(
       flags.get_double_in("replay-grace", 120.0, 0.0, 86400.0));
+  sopt.workers = flags.get_int_in("workers", 0, 0, 256);
 
   server::Server server(backend, sopt);
   std::string error;
@@ -580,7 +590,9 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   std::signal(SIGTERM, serve_signal_handler);
   std::signal(SIGINT, serve_signal_handler);
 
-  out << "ewcd listening on " << *socket_path << " (threshold "
+  // The canonical bound endpoint (not the flag text): a tcp:host:0 bind
+  // prints the actual port, which test harnesses parse.
+  out << "ewcd listening on " << server.endpoint() << " (threshold "
       << options.batch_threshold << ", " << total << " expected instances)\n";
   out.flush();
   server.wait();
@@ -610,9 +622,102 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags({
+      {"listen",
+       "endpoint to serve clients on: unix:/path or tcp:host:port",
+       false, false},
+      {"shard", "shard endpoint, repeatable (index = flag order)", false,
+       true},
+      {"poll", "stats-poll interval, s (default 0.5)", false, false},
+      {"dial-timeout", "per-shard placement dial budget, s (default 1)",
+       false, false},
+      {"load-weight", "placement weight on sessions+inflight (default 1)",
+       false, false},
+      {"energy-weight", "placement weight on shard watts (default 0.05)",
+       false, false},
+      {"breaker",
+       "consecutive dial failures opening a shard's breaker "
+       "(default 2; 0 disables)",
+       false, false},
+      {"breaker-cooldown", "breaker open time, s (default 3)", false, false},
+      {"drain",
+       "shard index to drain (new placements avoid it), repeatable",
+       false, true},
+      {"workers", "pump worker threads (default 0 = auto)", false, false},
+      {"faults",
+       "fault-injection scenario, e.g. 'router.forward=drop:p=0.01' "
+       "(see docs/ROBUSTNESS.md)",
+       false, false},
+      {"fault-seed", "seed for the fault scenario rng (default 0)", false,
+       false},
+  });
+  flags.parse(args);
+  const auto listen = flags.value("listen");
+  if (!listen.has_value()) throw ArgsError("--listen is required");
+  if (const auto scenario = flags.value("faults")) {
+    const auto seed = static_cast<std::uint64_t>(
+        flags.get_int_in("fault-seed", 0, 0, 1 << 30));
+    std::string ferr;
+    if (!fault::Injector::instance().arm(*scenario, seed, &ferr)) {
+      throw ArgsError("--faults: " + ferr);
+    }
+    out << "FAULTS armed: " << *scenario << " (seed " << seed << ")\n";
+  }
+
+  router::RouterOptions ropt;
+  ropt.listen = *listen;
+  ropt.shards = flags.values("shard");
+  if (ropt.shards.empty()) {
+    throw ArgsError("at least one --shard endpoint is required");
+  }
+  ropt.poll_interval = common::Duration::from_seconds(
+      flags.get_double_in("poll", 0.5, 0.05, 3600.0));
+  ropt.dial_timeout = common::Duration::from_seconds(
+      flags.get_double_in("dial-timeout", 1.0, 0.05, 600.0));
+  ropt.load_weight = flags.get_double_in("load-weight", 1.0, 0.0, 1e9);
+  ropt.energy_weight = flags.get_double_in("energy-weight", 0.05, 0.0, 1e9);
+  ropt.breaker_threshold = flags.get_int_in("breaker", 2, 0, 1000);
+  ropt.breaker_cooldown = common::Duration::from_seconds(
+      flags.get_double_in("breaker-cooldown", 3.0, 0.01, 3600.0));
+  ropt.workers = flags.get_int_in("workers", 0, 0, 256);
+  for (const auto& token : flags.values("drain")) {
+    try {
+      ropt.drain.push_back(std::stoi(token));
+    } catch (const std::exception&) {
+      throw ArgsError("--drain: not a shard index: " + token);
+    }
+  }
+
+  router::Router router(ropt);
+  std::string error;
+  if (!router.start(&error)) {
+    throw ArgsError("cannot start router: " + error);
+  }
+  g_route_instance = &router;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+
+  out << "router listening on " << router.endpoint() << " fronting "
+      << ropt.shards.size() << " shard(s)";
+  if (!ropt.drain.empty()) {
+    out << " (draining";
+    for (const int i : ropt.drain) out << " " << i;
+    out << ")";
+  }
+  out << "\n";
+  out.flush();
+  router.wait();
+  g_route_instance = nullptr;
+  out << "router stopped\n";
+  return 0;
+}
+
 int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
-      {"socket", "UNIX socket path of the daemon", false, false},
+      {"socket",
+       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path",
+       false, false},
       {"workload", "name[=count] to launch, repeatable", false, true},
       {"slot-base", "first global slot index for owner naming (default 0)",
        false, false},
@@ -783,7 +888,9 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
 
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
-      {"socket", "UNIX socket path of the daemon", false, false},
+      {"socket",
+       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path",
+       false, false},
       {"connect-timeout", "daemon connect budget, s (default 10)", false,
        false},
       {"timeout", "reply wait budget, s (default 30)", false, false},
@@ -810,11 +917,35 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
 
   out << "ewcd uptime: "
       << static_cast<double>(reply->uptime_micros) * 1e-6 << " s\n";
+  // Against a router the reply carries a shard.<i>.* breakdown next to the
+  // fleet aggregate; split it out so each shard reads as its own table.
+  std::map<int, std::map<std::string, double>> per_shard;
   common::TextTable counters({"counter", "value"});
   for (const auto& [name, value] : reply->counters) {
+    if (name.rfind("shard.", 0) == 0) {
+      const auto dot = name.find('.', 6);
+      if (dot != std::string::npos && dot > 6) {
+        bool digits = true;
+        for (std::size_t i = 6; i < dot; ++i) {
+          digits = digits && name[i] >= '0' && name[i] <= '9';
+        }
+        if (digits) {
+          per_shard[std::stoi(name.substr(6, dot - 6))]
+                   [name.substr(dot + 1)] = value;
+          continue;
+        }
+      }
+    }
     counters.add_row({name, common::TextTable::num(value, 0)});
   }
-  out << "counters:\n" << counters;
+  out << (per_shard.empty() ? "counters:\n" : "fleet counters:\n") << counters;
+  for (const auto& [shard, shard_counters] : per_shard) {
+    common::TextTable t({"counter", "value"});
+    for (const auto& [name, value] : shard_counters) {
+      t.add_row({name, common::TextTable::num(value, 0)});
+    }
+    out << "shard " << shard << " counters:\n" << t;
+  }
 
   if (!reply->histograms.empty()) {
     common::TextTable hists(
@@ -833,7 +964,9 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
 
 int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
-      {"socket", "UNIX socket path of the daemon", false, false},
+      {"socket",
+       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path",
+       false, false},
       {"profile",
        "arrival process: poisson:rate=R | diurnal:rate=R:period=P:depth=D | "
        "bursty:rate=R:period=P:burst=K:duty=F (default poisson:rate=100)",
@@ -1020,6 +1153,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "timeline") return cmd_timeline(rest, out);
     if (command == "cache-stats") return cmd_cache_stats(rest, out);
     if (command == "serve") return cmd_serve(rest, out);
+    if (command == "route") return cmd_route(rest, out);
     if (command == "client") return cmd_client(rest, out);
     if (command == "stats") return cmd_stats(rest, out);
     if (command == "loadgen") return cmd_loadgen(rest, out);

@@ -11,16 +11,22 @@
 //   ewcsim ptx      --sample blackscholes | --file kernel.ptx
 //   ewcsim timeline --workload encryption_12k=9 [--csv out.csv]
 //   ewcsim cache-stats --requests 300 [--workload name]... [--pool 4]
-//   ewcsim serve    --socket /tmp/ewcd.sock --workload encryption_12k=6 ...
+//   ewcsim serve    --socket unix:/tmp/ewcd.sock|tcp:host:port
+//                   --workload encryption_12k=6 ... [--workers 8]
 //                   [--trace-out serve.json]
-//   ewcsim client   --socket /tmp/ewcd.sock --workload encryption_12k=3
+//   ewcsim route    --listen tcp:127.0.0.1:7070 --shard tcp:127.0.0.1:7071
+//                   --shard tcp:127.0.0.1:7072 [--drain 1] [--poll 0.5]
+//   ewcsim client   --socket unix:/tmp/ewcd.sock --workload encryption_12k=3
 //                   [--slot-base 0] [--flush] [--shutdown]
 //                   [--trace-out client.json]
-//   ewcsim stats    --socket /tmp/ewcd.sock [--no-histograms]
-//   ewcsim loadgen  --socket /tmp/ewcd.sock --profile poisson:rate=200
+//   ewcsim stats    --socket tcp:127.0.0.1:7070 [--no-histograms]
+//   ewcsim loadgen  --socket tcp:127.0.0.1:7070 --profile poisson:rate=200
 //                   --workload encryption_12k=3 --sessions 500 --duration 10
 //                   [--out BENCH_ewcd.json] [--compare baseline.json]
 //   ewcsim trace-merge --in serve.json --in client.json --out merged.json
+//
+// Every --socket/--listen/--shard flag takes the endpoint grammar:
+// `unix:/path`, `tcp:host:port` (IPv6 in brackets), or a bare UNIX path.
 #pragma once
 
 #include <iosfwd>
@@ -43,6 +49,7 @@ int cmd_ptx(const std::vector<std::string>& args, std::ostream& out);
 int cmd_timeline(const std::vector<std::string>& args, std::ostream& out);
 int cmd_cache_stats(const std::vector<std::string>& args, std::ostream& out);
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out);
+int cmd_route(const std::vector<std::string>& args, std::ostream& out);
 int cmd_client(const std::vector<std::string>& args, std::ostream& out);
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out);
 int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out);

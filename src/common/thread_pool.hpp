@@ -48,6 +48,11 @@ class ThreadPool {
     return future;
   }
 
+  /// Fire-and-forget submit: no future, no packaged_task allocation. The
+  /// server reactor schedules its per-connection pumps through this on
+  /// every frame, so the cheap path matters.
+  void post(std::function<void()> job) { enqueue(std::move(job)); }
+
   /// Run body(i) for i in [begin, end) across the pool and wait for all of
   /// them. The calling thread participates, so parallel_for never deadlocks
   /// when invoked from inside a pool task. The first exception thrown by any

@@ -14,16 +14,18 @@ namespace {
 
 // Every site with a hook in the tree. Keep sorted; known_sites() is part of
 // the scenario-validation contract and docs/ROBUSTNESS.md mirrors this list.
-constexpr std::array<std::string_view, 9> kKnownSites = {
-    "backend.batch",    // consolidate::Backend::process_batch entry
-    "decision.decide",  // consolidate::DecisionEngine::decide entry
-    "net.accept",       // net::Listener::accept, after readiness (fd mint)
-    "net.connect",      // net::connect_unix entry
-    "net.frame.send",   // net::write_frame, whole assembled frame
-    "net.recv",         // net::Socket::recv_exact entry
-    "net.send",         // net::Socket::send_exact entry
-    "server.admit",     // server reader, before launch admission
-    "server.reply",     // server writer, before the completion frame
+constexpr std::array<std::string_view, 11> kKnownSites = {
+    "backend.batch",     // consolidate::Backend::process_batch entry
+    "decision.decide",   // consolidate::DecisionEngine::decide entry
+    "net.accept",        // net::Listener::accept, after readiness (fd mint)
+    "net.connect",       // net::connect_unix entry
+    "net.frame.send",    // net::write_frame, whole assembled frame
+    "net.recv",          // net::Socket::recv_exact entry + reactor read
+    "net.send",          // net::Socket::send_exact entry
+    "net.tcp_connect",   // net::connect_tcp entry
+    "router.forward",    // router downstream->upstream frame forward
+    "server.admit",      // server pump, before launch admission
+    "server.reply",      // server reply delivery, before the frame
 };
 
 bool is_known_site(std::string_view site) {

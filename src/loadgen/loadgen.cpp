@@ -129,10 +129,14 @@ bool run_loadgen(const LoadgenConfig& config, LoadgenResult* result,
   }
 
   // A separate control connection for flush + before/after stats, so the
-  // measurement traffic never mixes with a measured session's stream.
+  // measurement traffic never mixes with a measured session's stream. It
+  // gets the same resilience knobs as the sessions: against a fleet, the
+  // drain-phase flushes and the closing stats must survive the control
+  // connection's shard dying mid-run.
   std::string err;
   auto control = server::ClientConnection::connect(
-      config.socket_path, "lg-control", config.connect_timeout, &err);
+      config.socket_path, "lg-control", config.connect_timeout, config.client,
+      &err);
   if (control == nullptr) {
     if (error) *error = "control connection: " + err;
     return false;

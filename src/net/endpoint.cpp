@@ -1,0 +1,111 @@
+#include "net/endpoint.hpp"
+
+namespace ewc::net {
+
+namespace {
+
+bool parse_port(const std::string& text, std::uint16_t* out,
+                std::string* error) {
+  if (text.empty()) {
+    if (error) *error = "endpoint port is empty";
+    return false;
+  }
+  std::uint32_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      if (error) *error = "endpoint port is not a number: '" + text + "'";
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+    if (value > 65535) {
+      if (error) *error = "endpoint port out of range: '" + text + "'";
+      return false;
+    }
+  }
+  *out = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Endpoint> Endpoint::parse(const std::string& text,
+                                        std::string* error) {
+  if (text.empty()) {
+    if (error) *error = "endpoint is empty";
+    return std::nullopt;
+  }
+  Endpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = text.substr(5);
+    if (ep.path.empty()) {
+      if (error) *error = "unix endpoint has no path: '" + text + "'";
+      return std::nullopt;
+    }
+    return ep;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    ep.kind = Kind::kTcp;
+    const std::string rest = text.substr(4);
+    std::string::size_type colon;
+    if (!rest.empty() && rest.front() == '[') {
+      // Bracketed IPv6 literal: tcp:[::1]:7070.
+      const auto close = rest.find(']');
+      if (close == std::string::npos || close + 1 >= rest.size() ||
+          rest[close + 1] != ':') {
+        if (error) {
+          *error = "tcp endpoint must be tcp:[v6addr]:port, got '" + text + "'";
+        }
+        return std::nullopt;
+      }
+      ep.host = rest.substr(1, close - 1);
+      colon = close + 1;
+    } else {
+      colon = rest.rfind(':');
+      if (colon == std::string::npos) {
+        if (error) {
+          *error = "tcp endpoint must be tcp:host:port, got '" + text + "'";
+        }
+        return std::nullopt;
+      }
+      ep.host = rest.substr(0, colon);
+    }
+    if (ep.host.empty()) {
+      if (error) *error = "tcp endpoint has no host: '" + text + "'";
+      return std::nullopt;
+    }
+    if (!parse_port(rest.substr(colon + 1), &ep.port, error)) {
+      return std::nullopt;
+    }
+    return ep;
+  }
+  // No scheme: a bare filesystem path, the pre-fleet spelling.
+  ep.kind = Kind::kUnix;
+  ep.path = text;
+  return ep;
+}
+
+std::string Endpoint::canonical() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  const bool v6 = host.find(':') != std::string::npos;
+  return "tcp:" + (v6 ? "[" + host + "]" : host) + ":" + std::to_string(port);
+}
+
+std::optional<Socket> connect_endpoint(const Endpoint& ep,
+                                       const Deadline& deadline,
+                                       std::string* error) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    return connect_unix(ep.path, deadline, error);
+  }
+  return connect_tcp(ep.host, ep.port, deadline, error);
+}
+
+std::optional<Socket> connect_endpoint(const std::string& text,
+                                       const Deadline& deadline,
+                                       std::string* error) {
+  auto ep = Endpoint::parse(text, error);
+  if (!ep) return std::nullopt;
+  return connect_endpoint(*ep, deadline, error);
+}
+
+}  // namespace ewc::net

@@ -1,0 +1,53 @@
+// Endpoint grammar for the ewcd fleet: `unix:/path` | `tcp:host:port`.
+//
+// PR 2's daemon spoke only UNIX-domain sockets; the sharded fleet needs the
+// router and its shards to be reachable across address spaces, so every CLI
+// surface that used to take a socket *path* now takes an *endpoint* string.
+// A bare path with no scheme prefix still parses as a UNIX endpoint, so all
+// pre-fleet invocations (and the existing test fixtures) keep working
+// unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace ewc::net {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;          ///< kUnix: filesystem path of the socket
+  std::string host;          ///< kTcp: hostname or numeric address
+  std::uint16_t port = 0;    ///< kTcp: 0 = ephemeral (listeners only)
+
+  /// Parse `unix:/path`, `tcp:host:port`, or a bare path (treated as UNIX
+  /// for backwards compatibility). IPv6 literals use the bracket form
+  /// `tcp:[::1]:7070`. Returns nullopt and sets *error on a malformed spec.
+  static std::optional<Endpoint> parse(const std::string& text,
+                                       std::string* error);
+
+  /// Round-trippable form: "unix:/path" or "tcp:host:port".
+  std::string canonical() const;
+
+  bool is_unix() const { return kind == Kind::kUnix; }
+  bool is_tcp() const { return kind == Kind::kTcp; }
+};
+
+/// Connect to an endpoint before the deadline. UNIX endpoints go through
+/// connect_unix (fault site net.connect); TCP endpoints through connect_tcp
+/// (fault site net.tcp_connect). Both retry connection-refused until the
+/// deadline so a client can dial a daemon that is still binding.
+std::optional<Socket> connect_endpoint(const Endpoint& ep,
+                                       const Deadline& deadline,
+                                       std::string* error);
+
+/// Parse + connect in one step; sets *error on a malformed spec too.
+std::optional<Socket> connect_endpoint(const std::string& text,
+                                       const Deadline& deadline,
+                                       std::string* error);
+
+}  // namespace ewc::net

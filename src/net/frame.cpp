@@ -58,31 +58,41 @@ IoStatus write_frame(Socket& sock, std::uint16_t type,
   return sock.send_exact(w.bytes().data(), w.bytes().size(), deadline, error);
 }
 
+bool parse_frame_header(std::span<const std::byte> bytes, FrameHeader* out,
+                        std::string* error) {
+  Reader r(bytes.first(kFrameHeaderSize));
+  const std::uint32_t magic = r.u32();
+  out->type = r.u16();
+  const std::uint16_t flags = r.u16();
+  out->length = r.u32();
+  if (magic != kFrameMagic) {
+    if (error) *error = "bad frame magic";
+    return false;
+  }
+  if (flags != 0) {
+    if (error) *error = "unsupported frame flags";
+    return false;
+  }
+  if (out->length > kMaxFramePayload) {
+    if (error) *error = "frame payload too large";
+    return false;
+  }
+  return true;
+}
+
 IoStatus read_frame(Socket& sock, Frame* out, const Deadline& deadline,
                     std::string* error) {
   std::byte header[kFrameHeaderSize];
   IoStatus s = sock.recv_exact(header, sizeof(header), deadline, error);
   if (s != IoStatus::kOk) return s;
 
-  Reader r(std::span<const std::byte>(header, sizeof(header)));
-  const std::uint32_t magic = r.u32();
-  const std::uint16_t type = r.u16();
-  const std::uint16_t flags = r.u16();
-  const std::uint32_t length = r.u32();
-  if (magic != kFrameMagic) {
-    if (error) *error = "bad frame magic";
+  FrameHeader h;
+  if (!parse_frame_header(std::span<const std::byte>(header, sizeof(header)),
+                          &h, error)) {
     return IoStatus::kError;
   }
-  if (flags != 0) {
-    if (error) *error = "unsupported frame flags";
-    return IoStatus::kError;
-  }
-  if (length > kMaxFramePayload) {
-    if (error) *error = "frame payload too large";
-    return IoStatus::kError;
-  }
-
-  out->type = type;
+  const std::uint32_t length = h.length;
+  out->type = h.type;
   out->payload.resize(length);
   if (length > 0) {
     s = sock.recv_exact(out->payload.data(), length, deadline, error);

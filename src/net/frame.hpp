@@ -33,6 +33,19 @@ struct Frame {
   std::vector<std::byte> payload;
 };
 
+struct FrameHeader {
+  std::uint16_t type = 0;
+  std::uint32_t length = 0;
+};
+
+/// Validate and decode a 12-byte frame header from `bytes` (which must hold
+/// at least kFrameHeaderSize). Returns false with *error on bad magic,
+/// non-zero flags, or an oversized length — the stream cannot be
+/// resynchronized past any of these. Shared by the blocking read_frame path
+/// and the reactor's incremental parser.
+bool parse_frame_header(std::span<const std::byte> bytes, FrameHeader* out,
+                        std::string* error);
+
 /// Serialize and send one frame before the deadline.
 IoStatus write_frame(Socket& sock, std::uint16_t type,
                      std::span<const std::byte> payload,

@@ -1,5 +1,8 @@
 #include "net/socket.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -258,6 +261,125 @@ std::optional<Socket> connect_unix(const std::string& path,
   }
 }
 
+std::optional<Socket> connect_tcp(const std::string& host, std::uint16_t port,
+                                  const Deadline& deadline,
+                                  std::string* error) {
+  const std::string where = host + ":" + std::to_string(port);
+  if (auto a = fault::hit("net.tcp_connect")) {
+    if (a.kind == fault::ActionKind::kStall ||
+        a.kind == fault::ActionKind::kDelay) {
+      fault::sleep_for(a.duration);
+    } else {
+      if (error) *error = "injected tcp connect refusal: " + where;
+      return std::nullopt;
+    }
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  const std::string port_str = std::to_string(port);
+  for (;;) {
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+    if (rc != 0) {
+      if (error) {
+        *error = "resolve " + where + ": " + ::gai_strerror(rc);
+      }
+      return std::nullopt;
+    }
+    int last_errno = ECONNREFUSED;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      const int fd =
+          ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last_errno = errno;
+        continue;
+      }
+      Socket sock(fd);
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        ::freeaddrinfo(res);
+        return sock;
+      }
+      last_errno = errno;
+    }
+    ::freeaddrinfo(res);
+    // Same retry contract as connect_unix: the daemon may still be binding,
+    // so connection-refused is retried until the caller's deadline.
+    if (last_errno == ECONNREFUSED && !deadline.expired()) {
+      ::poll(nullptr, 0, 20);
+      continue;
+    }
+    errno = last_errno;
+    set_error(error, ("connect tcp:" + where).c_str());
+    return std::nullopt;
+  }
+}
+
+std::optional<Listener> Listener::bind_tcp(const std::string& host,
+                                           std::uint16_t port, int backlog,
+                                           std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    if (error) {
+      *error = "resolve tcp:" + host + ":" + port_str + ": " +
+               ::gai_strerror(rc);
+    }
+    return std::nullopt;
+  }
+  int bind_errno = EADDRNOTAVAIL;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      bind_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      bind_errno = errno;
+      ::close(fd);
+      continue;
+    }
+    // Recover the actual port so port 0 (ephemeral) callers can announce a
+    // dialable address.
+    sockaddr_storage bound{};
+    socklen_t len = sizeof(bound);
+    std::uint16_t actual = port;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        actual = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        actual = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    ::freeaddrinfo(res);
+    Listener l;
+    l.fd_ = fd;
+    l.port_ = actual;
+    const std::string shown = host.empty() ? "0.0.0.0" : host;
+    const bool v6 = shown.find(':') != std::string::npos;
+    l.name_ = "tcp:" + (v6 ? "[" + shown + "]" : shown) + ":" +
+              std::to_string(actual);
+    return l;
+  }
+  ::freeaddrinfo(res);
+  errno = bind_errno;
+  set_error(error, ("bind tcp:" + host + ":" + port_str).c_str());
+  return std::nullopt;
+}
+
 std::optional<Listener> Listener::bind_unix(const std::string& path,
                                             int backlog, std::string* error) {
   sockaddr_un addr;
@@ -270,6 +392,7 @@ std::optional<Listener> Listener::bind_unix(const std::string& path,
   Listener l;
   l.fd_ = fd;
   l.path_ = path;
+  l.name_ = "unix:" + path;
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     // A SIGKILL'd daemon leaves its socket file behind (only graceful exits
     // unlink). Probe it: connection refused means nobody is listening, so
@@ -306,9 +429,15 @@ std::optional<Listener> Listener::bind_unix(const std::string& path,
 
 Listener::~Listener() { close(); }
 
-Listener::Listener(Listener&& o) noexcept : fd_(o.fd_), path_(std::move(o.path_)) {
+Listener::Listener(Listener&& o) noexcept
+    : fd_(o.fd_),
+      path_(std::move(o.path_)),
+      port_(o.port_),
+      name_(std::move(o.name_)) {
   o.fd_ = -1;
   o.path_.clear();
+  o.port_ = 0;
+  o.name_.clear();
 }
 
 Listener& Listener::operator=(Listener&& o) noexcept {
@@ -316,8 +445,12 @@ Listener& Listener::operator=(Listener&& o) noexcept {
     close();
     fd_ = o.fd_;
     path_ = std::move(o.path_);
+    port_ = o.port_;
+    name_ = std::move(o.name_);
     o.fd_ = -1;
     o.path_.clear();
+    o.port_ = 0;
+    o.name_.clear();
   }
   return *this;
 }
@@ -331,6 +464,8 @@ void Listener::close() {
     ::unlink(path_.c_str());
     path_.clear();
   }
+  port_ = 0;
+  name_.clear();
 }
 
 std::optional<Socket> Listener::accept(const Deadline& deadline,

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -86,11 +87,26 @@ std::optional<Socket> connect_unix(const std::string& path,
                                    const Deadline& deadline,
                                    std::string* error);
 
-/// A bound, listening UNIX-domain socket. Unlinks its path on destruction.
+/// Connect to a TCP endpoint. Resolves `host` (numeric or name), sets
+/// TCP_NODELAY (the protocol is small request/response frames), and retries
+/// connection-refused until the deadline, mirroring connect_unix. Fault
+/// site: net.tcp_connect (refusal / stall).
+std::optional<Socket> connect_tcp(const std::string& host, std::uint16_t port,
+                                  const Deadline& deadline,
+                                  std::string* error);
+
+/// A bound, listening stream socket — UNIX-domain (unlinks its path on
+/// destruction) or TCP.
 class Listener {
  public:
   static std::optional<Listener> bind_unix(const std::string& path,
                                            int backlog, std::string* error);
+  /// Bind a TCP listener. port 0 picks an ephemeral port; port() reports
+  /// the actual one after binding. SO_REUSEADDR is set so a restarted
+  /// daemon can reclaim its address without waiting out TIME_WAIT.
+  static std::optional<Listener> bind_tcp(const std::string& host,
+                                          std::uint16_t port, int backlog,
+                                          std::string* error);
   ~Listener();
 
   Listener(Listener&& o) noexcept;
@@ -110,12 +126,18 @@ class Listener {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
   const std::string& path() const { return path_; }
+  /// Actual bound port for TCP listeners (resolves port 0); 0 for UNIX.
+  std::uint16_t port() const { return port_; }
+  /// Canonical endpoint string ("unix:/path" or "tcp:host:port").
+  const std::string& name() const { return name_; }
   void close();
 
  private:
   Listener() = default;
   int fd_ = -1;
   std::string path_;
+  std::uint16_t port_ = 0;
+  std::string name_;
 };
 
 }  // namespace ewc::net

@@ -1,0 +1,609 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "fault/injector.hpp"
+#include "net/endpoint.hpp"
+#include "obs/tracer.hpp"
+#include "trace/counters.hpp"
+
+namespace ewc::router {
+
+namespace {
+
+using server::MsgType;
+using server::Reactor;
+
+struct RouterCounters {
+  trace::Counters::Handle placed, placement_failures, forwarded, returned,
+      upstream_closed, breaker_trips, poll_failures, stats_requests,
+      accept_backoff;
+};
+
+RouterCounters& counters() {
+  auto h = [](const char* n) { return trace::Counters::instance().handle(n); };
+  static RouterCounters* s = new RouterCounters{
+      h("router.sessions_placed"),   h("router.placement_failures"),
+      h("router.forwarded_frames"),  h("router.returned_frames"),
+      h("router.upstream_closed"),   h("router.breaker_trips"),
+      h("router.poll_failures"),     h("router.stats_requests"),
+      h("router.accept_backoff")};
+  return *s;
+}
+
+void sleep_for(common::Duration d) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(d.seconds()));
+}
+
+}  // namespace
+
+std::optional<std::size_t> pick_shard(const std::vector<ShardSnapshot>& shards,
+                                      double load_weight,
+                                      double energy_weight) {
+  std::optional<std::size_t> best;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& s = shards[i];
+    if (!s.alive || s.draining || s.breaker_open) continue;
+    const double score = load_weight * (s.sessions + s.inflight) +
+                         energy_weight * s.power_watts;
+    // Strict '<': equal scores keep the earlier index (deterministic).
+    if (!best.has_value() || score < best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  for (const auto& endpoint : options_.shards) {
+    auto shard = std::make_unique<Shard>();
+    shard->endpoint = endpoint;
+    shards_.push_back(std::move(shard));
+  }
+  for (const int i : options_.drain) {
+    if (i >= 0 && static_cast<std::size_t>(i) < shards_.size()) {
+      shards_[static_cast<std::size_t>(i)]->draining.store(true);
+    }
+  }
+  poll_conns_.resize(shards_.size());
+}
+
+Router::~Router() {
+  if (running_.load()) stop();
+  wait();
+}
+
+bool Router::start(std::string* error) {
+  if (shards_.empty()) {
+    if (error) *error = "router needs at least one shard endpoint";
+    return false;
+  }
+  const auto ep = net::Endpoint::parse(options_.listen, error);
+  if (!ep.has_value()) return false;
+  std::optional<net::Listener> listener;
+  if (ep->is_unix()) {
+    listener = net::Listener::bind_unix(ep->path, 128, error);
+  } else {
+    listener = net::Listener::bind_tcp(ep->host, ep->port, 128, error);
+  }
+  if (!listener.has_value()) return false;
+  bound_endpoint_ = listener->name();
+
+  Reactor::Options ropts;
+  ropts.workers = options_.workers;
+  ropts.io_timeout = options_.io_timeout;
+  Reactor::Handler handler;
+  handler.on_open = [this](const Reactor::ConnPtr& c) { on_open(c); };
+  handler.on_frame = [this](const Reactor::ConnPtr& c, net::Frame f) {
+    on_frame(c, std::move(f));
+  };
+  handler.on_close = [this](const Reactor::ConnPtr& c,
+                            server::CloseReason reason,
+                            const std::string& msg) {
+    on_close(c, reason, msg);
+  };
+  handler.on_accept_backoff = [] { counters().accept_backoff.inc(); };
+  handler.on_tick = [this] { on_tick(); };
+  handler.on_stopped = [this] {
+    running_.store(false);
+    std::lock_guard lock(stopped_mu_);
+    stopped_ = true;
+    stopped_cv_.notify_all();
+  };
+
+  reactor_ = std::make_unique<Reactor>(ropts, std::move(handler));
+  started_at_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lock(stopped_mu_);
+    stopped_ = false;
+  }
+  running_.store(true);
+  if (!reactor_->start(std::move(*listener), error)) {
+    running_.store(false);
+    std::lock_guard lock(stopped_mu_);
+    stopped_ = true;
+    return false;
+  }
+  {
+    std::lock_guard lock(poller_mu_);
+    poller_stop_ = false;
+  }
+  poller_ = std::thread([this] { poll_loop(); });
+  common::log_info("router: serving ", bound_endpoint_, " fronting ",
+                   shards_.size(), " shard(s)");
+  return true;
+}
+
+void Router::notify_stop() {
+  if (reactor_) reactor_->notify_stop();
+}
+
+void Router::wait() {
+  {
+    std::unique_lock lock(stopped_mu_);
+    stopped_cv_.wait(lock, [this] { return stopped_; });
+  }
+  if (reactor_) reactor_->join();
+  {
+    std::lock_guard lock(poller_mu_);
+    poller_stop_ = true;
+  }
+  poller_cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
+  {
+    // Drop the poll connections outside poll_mu_-holding paths.
+    std::lock_guard lock(poll_mu_);
+    for (auto& conn : poll_conns_) conn.reset();
+  }
+}
+
+void Router::stop() {
+  notify_stop();
+  wait();
+}
+
+void Router::set_draining(std::size_t shard, bool draining) {
+  if (shard < shards_.size()) shards_[shard]->draining.store(draining);
+}
+
+ShardSnapshot Router::snapshot_of(const Shard& shard) const {
+  ShardSnapshot s;
+  s.alive = shard.alive.load();
+  s.draining = shard.draining.load();
+  s.sessions = static_cast<double>(shard.placements.load());
+  {
+    std::lock_guard lock(shard.mu);
+    s.breaker_open =
+        std::chrono::steady_clock::now() < shard.breaker_open_until;
+    s.inflight = shard.inflight;
+    s.power_watts = shard.power_watts;
+  }
+  return s;
+}
+
+std::vector<ShardSnapshot> Router::snapshots() const {
+  std::vector<ShardSnapshot> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(snapshot_of(*shard));
+  return out;
+}
+
+std::vector<std::size_t> Router::placement_order() const {
+  auto snaps = snapshots();
+  std::vector<std::size_t> order;
+  // Repeatedly take the best placeable shard; each pick is masked out so
+  // the order is exactly "pick_shard, then pick_shard without the first
+  // choice, ...". Dial-time fallback walks this list.
+  for (;;) {
+    const auto best =
+        pick_shard(snaps, options_.load_weight, options_.energy_weight);
+    if (!best.has_value()) break;
+    order.push_back(*best);
+    snaps[*best].alive = false;
+  }
+  return order;
+}
+
+void Router::record_dial_failure(Shard& shard) {
+  if (options_.breaker_threshold <= 0) return;
+  std::lock_guard lock(shard.mu);
+  ++shard.dial_failures;
+  if (shard.dial_failures >= options_.breaker_threshold) {
+    const auto now = std::chrono::steady_clock::now();
+    if (shard.breaker_open_until < now) counters().breaker_trips.inc();
+    shard.breaker_open_until =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      options_.breaker_cooldown.seconds()));
+  }
+}
+
+void Router::record_dial_success(Shard& shard) {
+  std::lock_guard lock(shard.mu);
+  shard.dial_failures = 0;
+  shard.breaker_open_until = {};
+}
+
+void Router::on_open(const Reactor::ConnPtr& conn) {
+  auto ctx = std::make_shared<Ctx>();
+  ctx->hello_deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                options_.hello_timeout.seconds()));
+  ctx->self = conn;
+  conn->set_ctx(ctx);
+  std::lock_guard lock(conns_mu_);
+  downstream_[conn->id()] = ctx;
+}
+
+void Router::on_frame(const Reactor::ConnPtr& conn, net::Frame frame) {
+  auto ctx = std::static_pointer_cast<Ctx>(conn->ctx());
+  if (ctx == nullptr) return;
+
+  if (ctx->is_upstream) {
+    // Shard -> client: forward verbatim. The shard speaks only to placed
+    // sessions, so everything it sends belongs to the paired client.
+    forward(conn, ctx, frame);
+    return;
+  }
+
+  switch (ctx->state.load()) {
+    case Ctx::State::kAwaitHello:
+      handle_hello(conn, ctx, frame);
+      return;
+    case Ctx::State::kServing:
+      break;
+    case Ctx::State::kClosed:
+      return;
+  }
+
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kStats:
+      handle_stats(conn, frame);
+      return;
+    case MsgType::kFlush:
+      handle_flush(conn, frame);
+      return;
+    case MsgType::kShutdown:
+      handle_shutdown();
+      return;
+    default:
+      forward(conn, ctx, frame);
+      return;
+  }
+}
+
+void Router::handle_hello(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                          const net::Frame& frame) {
+  const auto hello =
+      static_cast<MsgType>(frame.type) == MsgType::kHello
+          ? server::decode_hello(frame.payload)
+          : std::nullopt;
+  if (!hello.has_value()) {
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               server::encode_error({"expected hello"}));
+    ctx->state.store(Ctx::State::kClosed);
+    conn->close_async();
+    return;
+  }
+
+  // Walk shards best-score-first; the first one that answers a dial hosts
+  // the session. A refused dial consumes its whole (short) budget — the
+  // dialer deliberately rides out daemons that are still binding — so the
+  // breaker exists to keep later placements from re-paying that cost.
+  for (const std::size_t idx : placement_order()) {
+    Shard& shard = *shards_[idx];
+    std::string err;
+    auto sock = net::connect_endpoint(
+        shard.endpoint, net::Deadline::after(options_.dial_timeout), &err);
+    if (!sock.has_value()) {
+      record_dial_failure(shard);
+      common::log_warn("router: dial shard ", idx, " (", shard.endpoint,
+                       "): ", err);
+      continue;
+    }
+    record_dial_success(shard);
+
+    auto up_ctx = std::make_shared<Ctx>();
+    up_ctx->is_upstream = true;
+    up_ctx->shard = static_cast<int>(idx);
+    up_ctx->state.store(Ctx::State::kServing);
+    up_ctx->peer = conn;
+    auto up = reactor_->adopt(std::move(*sock), up_ctx);
+    if (up == nullptr) {  // router stopping
+      ctx->state.store(Ctx::State::kClosed);
+      conn->close_async();
+      return;
+    }
+    {
+      std::lock_guard lock(ctx->mu);
+      ctx->peer = up;
+    }
+    ctx->shard = static_cast<int>(idx);
+    ctx->state.store(Ctx::State::kServing);
+    shard.placements.fetch_add(1);
+    // Forward the hello verbatim: kHelloOk (limits, batching flags) or a
+    // "server full" refusal flows back through the pairing, so the shard
+    // keeps authority over admission and protocol versioning.
+    if (!up->send(static_cast<std::uint16_t>(MsgType::kHello),
+                  frame.payload)) {
+      // Send failure already marked the upstream closing; its close event
+      // unwinds the pairing and the client retries.
+      return;
+    }
+    counters().placed.inc();
+    obs::instant("router.place", hello->session,
+                 "\"shard\":" + std::to_string(idx) + ",\"owner\":\"" +
+                     obs::json_escape(hello->owner) + "\"");
+    return;
+  }
+
+  counters().placement_failures.inc();
+  conn->send(static_cast<std::uint16_t>(MsgType::kError),
+             server::encode_error({"no shard available"}));
+  ctx->state.store(Ctx::State::kClosed);
+  conn->close_async();
+}
+
+void Router::forward(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                     const net::Frame& frame) {
+  if (auto a = fault::hit("router.forward")) {
+    switch (a.kind) {
+      case fault::ActionKind::kDrop:
+        return;  // silently discard; deadlines/replay pick up the pieces
+      case fault::ActionKind::kStall:
+      case fault::ActionKind::kDelay:
+        sleep_for(a.duration);
+        break;
+      default:
+        // fail/close/...: sever the pairing; both sides see a close.
+        conn->close_async();
+        ctx->state.store(Ctx::State::kClosed);
+        return;
+    }
+  }
+  Reactor::ConnPtr peer;
+  {
+    std::lock_guard lock(ctx->mu);
+    peer = ctx->peer;
+  }
+  if (peer == nullptr || peer->closing()) {
+    // Pairing already severed; the close path tears this side down too.
+    return;
+  }
+  if (peer->send(frame.type, frame.payload)) {
+    (ctx->is_upstream ? counters().returned : counters().forwarded).inc();
+  }
+}
+
+void Router::handle_stats(const Reactor::ConnPtr& conn,
+                          const net::Frame& frame) {
+  const auto stats = server::decode_stats(frame.payload);
+  if (!stats.has_value()) {
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               server::encode_error({"malformed stats"}));
+    conn->close_async();
+    return;
+  }
+  counters().stats_requests.inc();
+  // A fresh pass keeps the fleet aggregate (notably the energy gauge the
+  // bench harness differences) poll-interval-independent.
+  poll_shards();
+
+  server::StatsReplyMsg reply;
+  reply.token = stats->token;
+  reply.uptime_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  // Router-local counters (router.*, client.* from the pollers) first;
+  // then every shard summed in under its plain name — so fleet-wide
+  // "server.replies" or "backend.total_energy_joules" read exactly like a
+  // single daemon's — plus the shard.<i>.* breakdown.
+  reply.counters = trace::Counters::instance().snapshot();
+  double alive = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard lock(shard.mu);
+    if (shard.alive.load()) alive += 1;
+    const std::string prefix = "shard." + std::to_string(i) + ".";
+    for (const auto& [name, value] : shard.counters) {
+      reply.counters[name] += value;
+      reply.counters[prefix + name] = value;
+    }
+    reply.counters[prefix + "router.placements"] =
+        static_cast<double>(shard.placements.load());
+    reply.counters[prefix + "router.alive"] = shard.alive.load() ? 1.0 : 0.0;
+    reply.counters[prefix + "router.draining"] =
+        shard.draining.load() ? 1.0 : 0.0;
+    reply.counters[prefix + "router.power_watts"] = shard.power_watts;
+    if (stats->include_histograms) {
+      for (const auto& [name, snap] : shard.histograms) {
+        auto [it, inserted] = reply.histograms.emplace(name, snap);
+        if (!inserted) it->second.merge(snap);
+      }
+    }
+  }
+  reply.counters["router.shards"] = static_cast<double>(shards_.size());
+  reply.counters["router.shards_alive"] = alive;
+  conn->send(static_cast<std::uint16_t>(MsgType::kStatsReply),
+             server::encode_stats_reply(reply));
+}
+
+void Router::handle_flush(const server::Reactor::ConnPtr& conn,
+                          const net::Frame& frame) {
+  const auto flush = server::decode_flush(frame.payload);
+  if (!flush.has_value()) {
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               server::encode_error({"malformed flush"}));
+    conn->close_async();
+    return;
+  }
+  bool ok = true;
+  {
+    std::lock_guard lock(poll_mu_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      auto& poll = poll_conns_[i];
+      if (poll == nullptr || !poll->alive()) {
+        poll.reset();
+        std::string err;
+        poll = server::ClientConnection::connect(
+            shards_[i]->endpoint, "router.poll", options_.dial_timeout,
+            server::ClientOptions{}, &err);
+      }
+      // An unreachable shard can't be holding this client's work (its
+      // sessions died with it), so skip it rather than failing the flush.
+      if (poll == nullptr) continue;
+      ok = poll->flush(options_.io_timeout) && ok;
+    }
+  }
+  conn->send(static_cast<std::uint16_t>(MsgType::kFlushDone),
+             server::encode_flush_done({flush->token, ok}));
+}
+
+void Router::handle_shutdown() {
+  common::log_info("router: shutdown requested; fanning out to shards");
+  {
+    std::lock_guard lock(poll_mu_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      auto& conn = poll_conns_[i];
+      if (conn == nullptr || !conn->alive()) {
+        std::string err;
+        conn = server::ClientConnection::connect(
+            shards_[i]->endpoint, "router.ctl",
+            options_.dial_timeout, server::ClientOptions{}, &err);
+      }
+      if (conn != nullptr) conn->request_shutdown();
+    }
+  }
+  notify_stop();
+}
+
+void Router::on_close(const Reactor::ConnPtr& conn,
+                      server::CloseReason reason, const std::string& msg) {
+  auto ctx = std::static_pointer_cast<Ctx>(conn->ctx());
+  if (ctx == nullptr) return;
+  const auto prev = ctx->state.exchange(Ctx::State::kClosed);
+
+  Reactor::ConnPtr peer;
+  {
+    std::lock_guard lock(ctx->mu);
+    peer = std::move(ctx->peer);
+    ctx->peer = nullptr;
+  }
+  if (peer != nullptr) peer->close_async();
+
+  if (ctx->is_upstream) {
+    // A shard dropping a live pairing (vs. us unwinding it) is the signal
+    // the chaos drill cares about: the client's reconnect+replay path
+    // restores the session on another shard.
+    if (prev == Ctx::State::kServing &&
+        reason != server::CloseReason::kLocal) {
+      counters().upstream_closed.inc();
+      common::log_warn("router: shard ", ctx->shard,
+                       " closed a live session: ", msg.empty() ? "eof" : msg);
+    }
+  } else {
+    std::lock_guard lock(conns_mu_);
+    downstream_.erase(conn->id());
+  }
+  if (ctx->shard >= 0 && !ctx->is_upstream) {
+    shards_[static_cast<std::size_t>(ctx->shard)]->placements.fetch_sub(1);
+  }
+}
+
+void Router::on_tick() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<CtxPtr> expired;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (const auto& [id, ctx] : downstream_) {
+      if (ctx->state.load() == Ctx::State::kAwaitHello &&
+          now >= ctx->hello_deadline) {
+        expired.push_back(ctx);
+      }
+    }
+  }
+  for (auto& ctx : expired) {
+    auto want = Ctx::State::kAwaitHello;
+    if (!ctx->state.compare_exchange_strong(want, Ctx::State::kClosed)) {
+      continue;  // hello arrived between the scan and now
+    }
+    if (auto conn = ctx->self.lock()) conn->close_async();
+  }
+}
+
+void Router::poll_shards() {
+  std::lock_guard poll_lock(poll_mu_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    auto& conn = poll_conns_[i];
+    if (conn == nullptr || !conn->alive()) {
+      conn.reset();
+      std::string err;
+      conn = server::ClientConnection::connect(
+          shard.endpoint, "router.poll", options_.dial_timeout,
+          server::ClientOptions{}, &err);
+      if (conn == nullptr) {
+        shard.alive.store(false);
+        counters().poll_failures.inc();
+        continue;
+      }
+    }
+    const auto stats =
+        conn->stats(/*include_histograms=*/true, options_.dial_timeout);
+    if (!stats.has_value()) {
+      // One failed poll marks the shard dead for placement; the next pass
+      // redials. Cheap false negatives beat placing onto a corpse.
+      shard.alive.store(false);
+      counters().poll_failures.inc();
+      conn.reset();
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard lock(shard.mu);
+    const auto get = [&](const char* name) {
+      const auto it = stats->counters.find(name);
+      return it == stats->counters.end() ? 0.0 : it->second;
+    };
+    const double energy = get("backend.total_energy_joules");
+    if (shard.have_energy && shard.polled_at.time_since_epoch().count() != 0) {
+      const double dt =
+          std::chrono::duration<double>(now - shard.polled_at).count();
+      if (dt > 1e-3) {
+        shard.power_watts =
+            std::max(0.0, (energy - shard.energy_joules) / dt);
+      }
+    }
+    shard.energy_joules = energy;
+    shard.have_energy = true;
+    shard.polled_at = now;
+    shard.inflight =
+        std::max(0.0, get("server.admitted") - get("server.replies") -
+                          get("server.deadline_expired") -
+                          get("server.drain.failed_replies"));
+    shard.counters = stats->counters;
+    shard.histograms = stats->histograms;
+    shard.alive.store(true);
+  }
+}
+
+void Router::poll_loop() {
+  for (;;) {
+    poll_shards();
+    std::unique_lock lock(poller_mu_);
+    poller_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(options_.poll_interval.seconds()),
+        [this] { return poller_stop_; });
+    if (poller_stop_) return;
+  }
+}
+
+}  // namespace ewc::router

@@ -1,0 +1,228 @@
+// Energy-aware fleet router: one process fronting N ewcd shards.
+//
+// The paper consolidates workloads onto one GPU; the fleet generalizes that
+// to N single-GPU shards behind one endpoint. The router terminates the
+// client side of the EWC1 protocol only far enough to *place* a session —
+// everything else is frame forwarding:
+//
+//   * a new downstream connection's kHello triggers placement: the router
+//     scores every shard by reported load and power draw (polled over the
+//     existing kStats frame) and dials the cheapest healthy one, then
+//     forwards the hello verbatim. The shard answers kHelloOk (or "server
+//     full") straight through, so admission control, replay dedup, and
+//     protocol versioning stay shard-owned;
+//   * after placement every downstream frame is forwarded to the paired
+//     upstream connection and vice versa, 1:1, in order (both directions
+//     ride the same epoll reactor that serves ewcd itself). kStats and
+//     kShutdown are the two exceptions: stats are answered by the router
+//     with a fleet-wide aggregate (plus a shard.<i>.* breakdown), and
+//     shutdown fans out to every shard before stopping the router;
+//   * a shard death closes the affected downstream connections; clients
+//     with auto_reconnect redial the router, get re-placed on a healthy
+//     shard, and replay their inflight launches — the same at-least-once /
+//     exactly-once contract as a single-daemon restart;
+//   * per-shard circuit breakers (dial failures) and liveness from the
+//     stats poller keep placement away from dead or refusing shards, and a
+//     draining shard stops receiving new sessions while existing ones run
+//     to completion (migration-by-attrition; see docs/SHARDING.md).
+//
+// Placement is a pure function (pick_shard) over per-shard snapshots so the
+// policy is unit-testable without sockets.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/histogram.hpp"
+#include "server/client.hpp"
+#include "server/protocol_wire.hpp"
+#include "server/reactor.hpp"
+
+namespace ewc::router {
+
+/// One shard as the placement policy sees it.
+struct ShardSnapshot {
+  bool alive = true;          ///< last stats poll answered
+  bool draining = false;      ///< operator is migrating sessions away
+  bool breaker_open = false;  ///< recent dial failures; in cooldown
+  double sessions = 0;        ///< router-placed live sessions
+  double inflight = 0;        ///< shard-reported unanswered launches
+  double power_watts = 0;     ///< d(energy)/dt between the last two polls
+};
+
+/// The placement policy: minimize
+///   load_weight * (sessions + inflight) + energy_weight * power_watts
+/// over shards that are alive, not draining, and not breaker-open; lowest
+/// index wins ties (deterministic). nullopt when no shard is placeable.
+std::optional<std::size_t> pick_shard(const std::vector<ShardSnapshot>& shards,
+                                      double load_weight,
+                                      double energy_weight);
+
+struct RouterOptions {
+  /// Endpoint to serve clients on (`unix:/path`, `tcp:host:port`, bare path).
+  std::string listen;
+  /// Shard endpoints, in index order (index is the stats-breakdown key).
+  std::vector<std::string> shards;
+  /// Stats-poll cadence; also bounds how stale placement's energy view is.
+  common::Duration poll_interval = common::Duration::from_millis(500.0);
+  /// Per-attempt budget for dialing a shard at placement time. Kept short:
+  /// a refused dial burns the whole budget (the dialer rides out daemons
+  /// that are still binding), and placement falls back to the next shard.
+  common::Duration dial_timeout = common::Duration::from_seconds(1.0);
+  /// Per-frame blocking-send budget, both directions.
+  common::Duration io_timeout = common::Duration::from_seconds(30.0);
+  /// A downstream connection that sends no hello within this is closed.
+  common::Duration hello_timeout = common::Duration::from_seconds(10.0);
+  /// Placement score weights (see pick_shard).
+  double load_weight = 1.0;
+  double energy_weight = 0.05;
+  /// Consecutive dial failures that open a shard's breaker; <=0 disables.
+  int breaker_threshold = 2;
+  /// How long an open breaker keeps placement away before a half-open probe.
+  common::Duration breaker_cooldown = common::Duration::from_seconds(3.0);
+  /// Shard indices draining from the start (also settable at runtime).
+  std::vector<int> drain;
+  /// Reactor pump workers (0 = min(16, max(4, hardware))).
+  int workers = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Bind the listen endpoint, start the reactor and the stats poller.
+  bool start(std::string* error);
+
+  /// Async-signal-safe stop trigger.
+  void notify_stop();
+
+  /// Block until the router has stopped.
+  void wait();
+
+  /// notify_stop() + wait().
+  void stop();
+
+  bool running() const { return running_.load(); }
+  /// Canonical endpoint actually bound (resolves a tcp port-0 bind).
+  const std::string& endpoint() const { return bound_endpoint_; }
+
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Mark/unmark a shard as draining: new placements avoid it, existing
+  /// sessions keep running (migration by attrition).
+  void set_draining(std::size_t shard, bool draining);
+  /// The placement policy's current view (tests, stats breakdown).
+  std::vector<ShardSnapshot> snapshots() const;
+
+ private:
+  /// Live state for one shard.
+  struct Shard {
+    std::string endpoint;
+    std::atomic<bool> alive{true};
+    std::atomic<bool> draining{false};
+    std::atomic<int> placements{0};  ///< live router-placed sessions
+
+    mutable std::mutex mu;  ///< guards everything below
+    int dial_failures = 0;  ///< consecutive; resets on success
+    std::chrono::steady_clock::time_point breaker_open_until{};
+    /// Last successful poll's view.
+    double inflight = 0;
+    double energy_joules = 0;
+    double power_watts = 0;
+    bool have_energy = false;
+    std::chrono::steady_clock::time_point polled_at{};
+    std::map<std::string, double> counters;
+    std::map<std::string, obs::HistogramSnapshot> histograms;
+  };
+
+  /// Per-connection state, attached as Reactor::Conn ctx on both sides of
+  /// a pairing. Downstream (client-facing) conns start in kAwaitHello;
+  /// upstream (shard-facing) conns are born kServing with `peer` fixed.
+  struct Ctx {
+    enum class State { kAwaitHello, kServing, kClosed };
+    bool is_upstream = false;
+    int shard = -1;
+    std::atomic<State> state{State::kAwaitHello};
+    std::chrono::steady_clock::time_point hello_deadline{};
+    std::mutex mu;  ///< guards peer (downstream side; upstream's is fixed)
+    server::Reactor::ConnPtr peer;
+    /// Back-reference for the tick sweep (set in on_open; downstream only).
+    std::weak_ptr<server::Reactor::Conn> self;
+  };
+  using CtxPtr = std::shared_ptr<Ctx>;
+
+  // Reactor handlers.
+  void on_open(const server::Reactor::ConnPtr& conn);
+  void on_frame(const server::Reactor::ConnPtr& conn, net::Frame frame);
+  void on_close(const server::Reactor::ConnPtr& conn,
+                server::CloseReason reason, const std::string& msg);
+  void on_tick();
+
+  /// Downstream hello: place the session, dial, pair, forward.
+  void handle_hello(const server::Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                    const net::Frame& frame);
+  /// Downstream kStats: answer with the fleet aggregate + breakdown.
+  void handle_stats(const server::Reactor::ConnPtr& conn,
+                    const net::Frame& frame);
+  /// Downstream kFlush: fan out to every shard (a client asking "push the
+  /// pending batch through" means the fleet's, not just its own shard's),
+  /// then answer kFlushDone(ok = every shard flushed).
+  void handle_flush(const server::Reactor::ConnPtr& conn,
+                    const net::Frame& frame);
+  /// Downstream kShutdown: fan out to shards, then stop the router.
+  void handle_shutdown();
+  /// Forward one frame to the connection's peer (either direction), through
+  /// the router.forward fault site.
+  void forward(const server::Reactor::ConnPtr& conn, const CtxPtr& ctx,
+               const net::Frame& frame);
+
+  /// Candidate order for one placement: best score first.
+  std::vector<std::size_t> placement_order() const;
+  ShardSnapshot snapshot_of(const Shard& shard) const;
+  void record_dial_failure(Shard& shard);
+  void record_dial_success(Shard& shard);
+
+  /// One synchronous poll pass over every shard (poller thread; also run
+  /// on demand by handle_stats for a fresh aggregate).
+  void poll_shards();
+  void poll_loop();
+
+  RouterOptions options_;
+  std::string bound_endpoint_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::unique_ptr<server::Reactor> reactor_;
+
+  mutable std::mutex conns_mu_;
+  std::map<std::uint64_t, CtxPtr> downstream_;  ///< by Reactor::Conn id
+
+  /// Poller state: one persistent stats client per shard, redialed on
+  /// failure. poll_mu_ serializes poll passes (timer vs on-demand).
+  std::mutex poll_mu_;
+  std::vector<std::unique_ptr<server::ClientConnection>> poll_conns_;
+  std::thread poller_;
+  std::mutex poller_mu_;
+  std::condition_variable poller_cv_;
+  bool poller_stop_ = false;
+
+  std::atomic<bool> running_{false};
+  std::chrono::steady_clock::time_point started_at_{};
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = true;  ///< until start()
+};
+
+}  // namespace ewc::router

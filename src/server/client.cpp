@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "net/endpoint.hpp"
 #include "net/frame.hpp"
 #include "obs/tracer.hpp"
 #include "trace/counters.hpp"
@@ -107,8 +108,8 @@ std::unique_ptr<ClientConnection> ClientConnection::connect(
       options.auto_reconnect ? std::max(1, options.retry.max_attempts) : 1;
   std::string err;
   for (int attempt = 1;; ++attempt) {
-    auto sock =
-        net::connect_unix(socket_path, net::Deadline::after(timeout), &err);
+    auto sock = net::connect_endpoint(socket_path,
+                                      net::Deadline::after(timeout), &err);
     if (sock.has_value()) {
       if (handshake(*sock, owner, conn->session_, options.auto_reconnect,
                     conn->io_timeout_, &conn->settings_, &err)) {
@@ -443,7 +444,7 @@ bool ClientConnection::recover(const std::string& why) {
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (!interruptible_sleep(opts_.retry.backoff(attempt, rng_))) return false;
     std::string err;
-    auto sock = net::connect_unix(
+    auto sock = net::connect_endpoint(
         path_, net::Deadline::after(opts_.dial_timeout), &err);
     if (!sock.has_value()) {
       record_transport_error();

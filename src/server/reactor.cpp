@@ -1,0 +1,434 @@
+#include "server/reactor.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "fault/injector.hpp"
+
+namespace ewc::server {
+
+namespace {
+
+constexpr int kAcceptBackoffFloorMs = 1;
+constexpr int kAcceptBackoffCapMs = 100;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+bool Reactor::Conn::send(std::uint16_t type,
+                         std::span<const std::byte> payload) {
+  std::lock_guard lock(write_mu_);
+  std::string err;
+  const auto s = net::write_frame(
+      sock_, type, payload,
+      net::Deadline::after(reactor_->options_.io_timeout), &err);
+  if (s != net::IoStatus::kOk) {
+    closing_.store(true, std::memory_order_relaxed);
+    // Shut the read side down too so the reactor notices and runs the
+    // close path for this connection.
+    sock_.shutdown_rw();
+    return false;
+  }
+  return true;
+}
+
+bool Reactor::Conn::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(q_mu_);
+    if (close_queued_ || close_delivered_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  reactor_->schedule(shared_from_this());
+  return true;
+}
+
+void Reactor::Conn::close_async() {
+  closing_.store(true, std::memory_order_relaxed);
+  sock_.shutdown_rw();
+}
+
+Reactor::Reactor(Options options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+Reactor::~Reactor() {
+  notify_stop();
+  join();
+  if (epfd_ >= 0) ::close(epfd_);
+  if (wakefd_ >= 0) ::close(wakefd_);
+}
+
+bool Reactor::start(net::Listener listener, std::string* error) {
+  if (started_.load()) {
+    if (error) *error = "reactor already started";
+    return false;
+  }
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) {
+    if (error) *error = std::string("epoll_create1: ") + std::strerror(errno);
+    return false;
+  }
+  wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakefd_ < 0) {
+    if (error) *error = std::string("eventfd: ") + std::strerror(errno);
+    return false;
+  }
+  listener_ = std::move(listener);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = const_cast<int*>(&wake_tag_);
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) != 0) {
+    if (error) *error = std::string("epoll_ctl wake: ") + std::strerror(errno);
+    return false;
+  }
+  ev.data.ptr = const_cast<int*>(&listener_tag_);
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, listener_->fd(), &ev) != 0) {
+    if (error) {
+      *error = std::string("epoll_ctl listener: ") + std::strerror(errno);
+    }
+    return false;
+  }
+
+  int workers = options_.workers;
+  if (workers <= 0) {
+    workers = std::min(
+        16, std::max(4, static_cast<int>(std::thread::hardware_concurrency())));
+  }
+  pool_ = std::make_unique<common::ThreadPool>(
+      static_cast<std::size_t>(workers));
+
+  started_.store(true);
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void Reactor::notify_stop() {
+  stop_requested_.store(true);
+  if (wakefd_ >= 0) {
+    const std::uint64_t one = 1;
+    // eventfd write is async-signal-safe; a full counter means a wake-up is
+    // already pending.
+    [[maybe_unused]] ssize_t rc = ::write(wakefd_, &one, sizeof(one));
+  }
+}
+
+void Reactor::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Reactor::wake() {
+  if (wakefd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wakefd_, &one, sizeof(one));
+  }
+}
+
+void Reactor::post_op(std::function<void()> op) {
+  {
+    std::lock_guard lock(ops_mu_);
+    ops_.push_back(std::move(op));
+  }
+  wake();
+}
+
+Reactor::ConnPtr Reactor::adopt(net::Socket sock, std::shared_ptr<void> ctx) {
+  if (!started_.load() || stop_requested_.load()) return nullptr;
+  auto conn = std::make_shared<Conn>();
+  conn->reactor_ = this;
+  conn->id_ = next_id_.fetch_add(1);
+  conn->sock_ = std::move(sock);
+  conn->ctx_ = std::move(ctx);
+  set_nonblocking(conn->sock_.fd());
+  post_op([this, conn] { register_conn(conn); });
+  return conn;
+}
+
+void Reactor::register_conn(const ConnPtr& conn) {
+  conns_.push_back(conn);
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.ptr = conn.get();
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->sock_.fd(), &ev) != 0) {
+    finish_read(conn, CloseReason::kError,
+                std::string("epoll_ctl add: ") + std::strerror(errno));
+  }
+}
+
+void Reactor::run() {
+  const auto tick = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.tick.seconds()));
+  auto next_tick = std::chrono::steady_clock::now() + tick;
+  epoll_event events[64];
+  while (!stop_requested_.load()) {
+    const auto now = std::chrono::steady_clock::now();
+    int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(next_tick - now)
+            .count());
+    timeout_ms = std::clamp(timeout_ms, 0, 1000);
+    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed: drain and stop
+    }
+    for (int i = 0; i < n; ++i) {
+      void* ptr = events[i].data.ptr;
+      if (ptr == &wake_tag_) {
+        std::uint64_t buf;
+        while (::read(wakefd_, &buf, sizeof(buf)) > 0) {
+        }
+        std::vector<std::function<void()>> ops;
+        {
+          std::lock_guard lock(ops_mu_);
+          ops.swap(ops_);
+        }
+        for (auto& op : ops) op();
+      } else if (ptr == &listener_tag_) {
+        do_accept();
+      } else {
+        do_read(static_cast<Conn*>(ptr)->shared_from_this());
+      }
+    }
+    if (std::chrono::steady_clock::now() >= next_tick) {
+      next_tick = std::chrono::steady_clock::now() + tick;
+      if (accept_resume_at_.has_value() &&
+          std::chrono::steady_clock::now() >= *accept_resume_at_) {
+        accept_resume_at_.reset();
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.ptr = const_cast<int*>(&listener_tag_);
+        ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listener_->fd(), &ev);
+      }
+      if (handler_.on_tick) handler_.on_tick();
+    }
+  }
+  teardown();
+}
+
+void Reactor::do_accept() {
+  for (;;) {
+    std::string err;
+    net::IoStatus status;
+    auto sock = listener_->accept(
+        net::Deadline::after(common::Duration::zero()), &status, &err);
+    if (!sock.has_value()) {
+      if (status == net::IoStatus::kTransient) {
+        // The pending connection keeps the listener readable, so accepting
+        // again immediately would spin. Deregister it and resume after a
+        // capped exponential backoff (driven by the tick).
+        accept_backoff_ms_ =
+            std::min(std::max(accept_backoff_ms_ * 2, kAcceptBackoffFloorMs),
+                     kAcceptBackoffCapMs);
+        accept_resume_at_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(accept_backoff_ms_);
+        ::epoll_ctl(epfd_, EPOLL_CTL_DEL, listener_->fd(), nullptr);
+        if (handler_.on_accept_backoff) handler_.on_accept_backoff();
+      }
+      // kTimeout: no more pending connections. kError: transient oddity
+      // (e.g. ECONNABORTED storms are swallowed by accept itself); skip.
+      return;
+    }
+    accept_backoff_ms_ = 0;
+    set_nonblocking(sock->fd());
+    const int one = 1;
+    // No-op (ENOTSUP) on UNIX-domain sockets; tiny request/response frames
+    // on TCP should not wait out Nagle.
+    ::setsockopt(sock->fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->reactor_ = this;
+    conn->id_ = next_id_.fetch_add(1);
+    conn->sock_ = std::move(*sock);
+    if (handler_.on_open) handler_.on_open(conn);
+    register_conn(conn);
+  }
+}
+
+void Reactor::do_read(const ConnPtr& conn) {
+  if (auto a = fault::hit("net.recv")) {
+    switch (a.kind) {
+      case fault::ActionKind::kFail:
+        finish_read(conn, CloseReason::kError, "injected recv failure");
+        return;
+      case fault::ActionKind::kClose:
+        conn->sock_.shutdown_rw();
+        break;
+      case fault::ActionKind::kStall:
+      case fault::ActionKind::kDelay:
+        fault::sleep_for(a.duration);
+        break;
+      default:
+        break;
+    }
+  }
+  std::byte buf[65536];
+  for (;;) {
+    const ssize_t rc = ::recv(conn->sock_.fd(), buf, sizeof(buf), 0);
+    if (rc > 0) {
+      conn->inbuf_.insert(conn->inbuf_.end(), buf, buf + rc);
+      std::string why;
+      if (!parse_frames(conn, &why)) {
+        finish_read(conn, CloseReason::kProtocol, why);
+        return;
+      }
+      if (rc < static_cast<ssize_t>(sizeof(buf))) return;
+      continue;
+    }
+    if (rc == 0) {
+      if (conn->closing()) {
+        finish_read(conn, CloseReason::kLocal, "");
+      } else if (conn->inbuf_.empty()) {
+        finish_read(conn, CloseReason::kEof, "");
+      } else {
+        finish_read(conn, CloseReason::kError, "unexpected EOF mid-frame");
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    finish_read(conn,
+                conn->closing() ? CloseReason::kLocal : CloseReason::kError,
+                std::string("recv: ") + std::strerror(errno));
+    return;
+  }
+}
+
+bool Reactor::parse_frames(const ConnPtr& conn, std::string* why) {
+  auto& buf = conn->inbuf_;
+  std::size_t off = 0;
+  bool queued = false;
+  while (buf.size() - off >= net::kFrameHeaderSize) {
+    net::FrameHeader h;
+    if (!net::parse_frame_header(
+            std::span<const std::byte>(buf.data() + off,
+                                       net::kFrameHeaderSize),
+            &h, why)) {
+      return false;
+    }
+    if (buf.size() - off - net::kFrameHeaderSize < h.length) break;
+    net::Frame frame;
+    frame.type = h.type;
+    const std::byte* body = buf.data() + off + net::kFrameHeaderSize;
+    frame.payload.assign(body, body + h.length);
+    off += net::kFrameHeaderSize + h.length;
+    {
+      std::lock_guard lock(conn->q_mu_);
+      conn->inbox_.push_back(std::move(frame));
+    }
+    queued = true;
+  }
+  if (off > 0) buf.erase(buf.begin(), buf.begin() + static_cast<long>(off));
+  if (queued) schedule(conn);
+  return true;
+}
+
+void Reactor::finish_read(const ConnPtr& conn, CloseReason reason,
+                          std::string msg) {
+  {
+    std::lock_guard lock(conn->q_mu_);
+    if (conn->close_queued_) return;
+    conn->close_queued_ = true;
+    conn->close_reason_ = reason;
+    conn->close_msg_ = std::move(msg);
+  }
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->sock_.fd(), nullptr);
+  schedule(conn);
+}
+
+void Reactor::schedule(ConnPtr conn) {
+  {
+    std::lock_guard lock(conn->q_mu_);
+    if (conn->pump_scheduled_) return;
+    conn->pump_scheduled_ = true;
+  }
+  std::lock_guard lock(pool_mu_);
+  if (stopping_ || pool_ == nullptr) return;
+  pool_->post([this, c = std::move(conn)] { pump(c); });
+}
+
+void Reactor::pump(const ConnPtr& conn) {
+  for (;;) {
+    std::function<void()> task;
+    net::Frame frame;
+    enum { kNone, kTask, kFrame, kClose } kind = kNone;
+    {
+      std::lock_guard lock(conn->q_mu_);
+      if (!conn->tasks_.empty()) {
+        task = std::move(conn->tasks_.front());
+        conn->tasks_.pop_front();
+        kind = kTask;
+      } else if (!conn->inbox_.empty()) {
+        frame = std::move(conn->inbox_.front());
+        conn->inbox_.pop_front();
+        kind = kFrame;
+      } else if (conn->close_queued_ && !conn->close_delivered_) {
+        conn->close_delivered_ = true;
+        kind = kClose;
+      } else {
+        conn->pump_scheduled_ = false;
+        return;
+      }
+    }
+    switch (kind) {
+      case kTask:
+        task();
+        break;
+      case kFrame:
+        if (handler_.on_frame) handler_.on_frame(conn, std::move(frame));
+        break;
+      case kClose:
+        if (handler_.on_close) {
+          handler_.on_close(conn, conn->close_reason_, conn->close_msg_);
+        }
+        retire(conn);
+        break;
+      case kNone:
+        return;
+    }
+  }
+}
+
+void Reactor::retire(const ConnPtr& conn) {
+  post_op([this, conn] {
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+  });
+}
+
+void Reactor::teardown() {
+  // Stop accepting first (unlinks a UNIX socket path), then let the handler
+  // drain gracefully while connections are still writable.
+  listener_.reset();
+  if (handler_.on_shutdown) handler_.on_shutdown();
+  // Shut every connection down so a pump blocked in a send fails fast...
+  for (auto& c : conns_) {
+    c->closing_.store(true);
+    c->sock_.shutdown_rw();
+  }
+  {
+    std::lock_guard lock(pool_mu_);
+    stopping_ = true;
+  }
+  // ...then drain the pump queue and join the workers.
+  pool_.reset();
+  conns_.clear();
+  {
+    std::lock_guard lock(ops_mu_);
+    ops_.clear();
+  }
+  if (handler_.on_stopped) handler_.on_stopped();
+}
+
+}  // namespace ewc::server

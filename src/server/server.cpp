@@ -1,15 +1,12 @@
 #include "server/server.hpp"
 
-#include <fcntl.h>
-#include <poll.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "common/log.hpp"
 #include "fault/injector.hpp"
+#include "net/endpoint.hpp"
 #include "obs/histogram.hpp"
 #include "obs/tracer.hpp"
 #include "trace/counters.hpp"
@@ -18,11 +15,11 @@ namespace ewc::server {
 
 namespace {
 
-/// Writer wake-up tick: bounds deadline-sweep latency without busy-waiting.
-constexpr common::Duration kWriterTick = common::Duration::from_millis(50.0);
+/// Reactor tick: bounds deadline-sweep latency without busy-waiting.
+constexpr common::Duration kTick = common::Duration::from_millis(50.0);
 
-/// The daemon's counters, resolved to atomic cells once: the reader/writer
-/// loops bump these per frame, so each hit is one relaxed atomic add with no
+/// The daemon's counters, resolved to atomic cells once: the pump handlers
+/// bump these per frame, so each hit is one relaxed atomic add with no
 /// registry lock. The `server.*` namespace is documented in docs/SERVER.md.
 struct ServerCounters {
   trace::Counters::Handle connections_accepted, connections_rejected,
@@ -62,12 +59,9 @@ Server::Server(consolidate::Backend& backend, ServerOptions options)
 
 Server::~Server() {
   if (running_.load()) stop();
-  if (acceptor_.joinable()) acceptor_.join();
+  reactor_.reset();  // joins the event loop + pump workers
   backend_replies_->close();
   if (demux_.joinable()) demux_.join();
-  for (int fd : stop_pipe_) {
-    if (fd >= 0) ::close(fd);
-  }
 }
 
 bool Server::start(std::string* error) {
@@ -75,33 +69,63 @@ bool Server::start(std::string* error) {
     if (error) *error = "server already running";
     return false;
   }
-  if (::pipe(stop_pipe_) != 0) {
-    if (error) *error = std::string("pipe: ") + std::strerror(errno);
-    return false;
-  }
-  ::fcntl(stop_pipe_[0], F_SETFD, FD_CLOEXEC);
-  ::fcntl(stop_pipe_[1], F_SETFD, FD_CLOEXEC);
-  auto listener = net::Listener::bind_unix(options_.socket_path,
-                                           /*backlog=*/128, error);
+  const auto ep = net::Endpoint::parse(options_.socket_path, error);
+  if (!ep.has_value()) return false;
+  auto listener =
+      ep->is_unix()
+          ? net::Listener::bind_unix(ep->path, /*backlog=*/128, error)
+          : net::Listener::bind_tcp(ep->host, ep->port, /*backlog=*/128,
+                                    error);
   if (!listener.has_value()) return false;
-  listener_ = std::move(*listener);
+  bound_endpoint_ = listener->name();
+
+  Reactor::Options ropt;
+  ropt.workers = options_.workers;
+  ropt.tick = kTick;
+  ropt.io_timeout = options_.io_timeout;
+  Reactor::Handler handler;
+  handler.on_open = [this](const Reactor::ConnPtr& c) { on_open(c); };
+  handler.on_frame = [this](const Reactor::ConnPtr& c, net::Frame f) {
+    on_frame(c, std::move(f));
+  };
+  handler.on_close = [this](const Reactor::ConnPtr& c, CloseReason r,
+                            const std::string& m) { on_close(c, r, m); };
+  handler.on_accept_backoff = [this] {
+    counters().accept_backoff.inc();
+    common::log_info("ewcd: accept backoff (fd pressure)");
+  };
+  handler.on_tick = [this] { on_tick(); };
+  handler.on_shutdown = [this] { drain(); };
+  handler.on_stopped = [this] {
+    running_.store(false);
+    {
+      std::lock_guard lock(stopped_mu_);
+      stopped_ = true;
+    }
+    stopped_cv_.notify_all();
+  };
+  reactor_ = std::make_unique<Reactor>(ropt, std::move(handler));
+
   {
     std::lock_guard lock(stopped_mu_);
     stopped_ = false;
   }
   running_.store(true);
   started_at_ = std::chrono::steady_clock::now();
+  if (!reactor_->start(std::move(*listener), error)) {
+    running_.store(false);
+    {
+      std::lock_guard lock(stopped_mu_);
+      stopped_ = true;
+    }
+    return false;
+  }
   demux_ = std::thread([this] { demux_loop(); });
-  acceptor_ = std::thread([this] { accept_loop(); });
   return true;
 }
 
 void Server::notify_stop() {
-  if (stop_pipe_[1] >= 0) {
-    const char byte = 's';
-    // Async-signal-safe; a full pipe means a stop is already pending.
-    [[maybe_unused]] ssize_t rc = ::write(stop_pipe_[1], &byte, 1);
-  }
+  if (reactor_ != nullptr) reactor_->notify_stop();
 }
 
 void Server::wait() {
@@ -117,106 +141,406 @@ void Server::stop() {
 int Server::active_connections() const {
   std::lock_guard lock(conns_mu_);
   int n = 0;
-  for (const auto& c : conns_) {
-    if (!c->reader_done.load()) ++n;
+  for (const auto& [id, ctx] : conns_) {
+    if (ctx->state.load() != ConnCtx::State::kRejecting) ++n;
   }
   return n;
 }
 
-void Server::accept_loop() {
-  // Capped exponential backoff for transient accept failures (fd
-  // exhaustion). The pending connection keeps the listener readable, so
-  // without a pause this loop would spin at 100% CPU while contributing
-  // nothing; with one it rides out the pressure until closes free fds.
-  int backoff_ms = 0;
-  constexpr int kAcceptBackoffFloorMs = 1;
-  constexpr int kAcceptBackoffCapMs = 100;
-  for (;;) {
-    reap_finished();
-    {
-      std::lock_guard lock(route_mu_);
-      sweep_sessions_locked();
+void Server::on_open(const Reactor::ConnPtr& conn) {
+  auto ctx = std::make_shared<ConnCtx>();
+  ctx->conn = conn;
+  ctx->hello_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.io_timeout.seconds()));
+  conn->set_ctx(ctx);
+  const bool full = active_connections() >= options_.max_clients;
+  if (full) {
+    // Turn the connection away explicitly rather than letting it hang —
+    // but only after its hello arrives: replying before the client sent
+    // anything could RST the socket and lose the error frame.
+    ctx->state.store(ConnCtx::State::kRejecting);
+    counters().connections_rejected.inc();
+  } else {
+    counters().connections_accepted.inc();
+  }
+  std::lock_guard lock(conns_mu_);
+  conns_.emplace(conn->id(), std::move(ctx));
+}
+
+void Server::on_frame(const Reactor::ConnPtr& conn, net::Frame frame) {
+  auto ctx = std::static_pointer_cast<ConnCtx>(conn->ctx());
+  if (ctx == nullptr) return;
+  switch (ctx->state.load()) {
+    case ConnCtx::State::kRejecting: {
+      conn->send(static_cast<std::uint16_t>(MsgType::kError),
+                 encode_error({"server full"}));
+      ctx->state.store(ConnCtx::State::kClosed);
+      conn->close_async();
+      return;
     }
-    pollfd fds[2] = {{listener_->fd(), POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      common::log_info("ewcd: poll failed, draining");
+    case ConnCtx::State::kAwaitHello:
+      handle_hello(conn, ctx, frame);
+      return;
+    case ConnCtx::State::kServing:
+      break;
+    case ConnCtx::State::kClosed:
+      return;
+  }
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kLaunch:
+      handle_launch(conn, ctx, frame);
+      break;
+    case MsgType::kFlush:
+      handle_flush(conn, frame);
+      break;
+    case MsgType::kShutdown:
+      counters().shutdown_requests.inc();
+      notify_stop();
+      break;
+    case MsgType::kStats:
+      handle_stats(conn, frame);
+      break;
+    default: {
+      counters().protocol_errors.inc();
+      conn->send(static_cast<std::uint16_t>(MsgType::kError),
+                 encode_error({std::string("unexpected message type ") +
+                               std::to_string(frame.type)}));
+      conn->close_async();
       break;
     }
-    if (fds[1].revents != 0) break;  // stop requested
-    if (fds[0].revents == 0) continue;
+  }
+}
 
-    std::string err;
-    net::IoStatus status;
-    auto sock = listener_->accept(net::Deadline::after(common::Duration::zero()),
-                                  &status, &err);
-    if (!sock.has_value()) {
-      if (status == net::IoStatus::kTransient) {
-        backoff_ms = std::min(std::max(backoff_ms * 2, kAcceptBackoffFloorMs),
-                              kAcceptBackoffCapMs);
-        counters().accept_backoff.inc();
-        common::log_info("ewcd: accept backoff " +
-                         std::to_string(backoff_ms) + "ms: " + err);
-        // Sleep on the stop pipe so shutdown is not delayed by the backoff.
-        pollfd stop_fd{stop_pipe_[0], POLLIN, 0};
-        if (::poll(&stop_fd, 1, backoff_ms) > 0 && stop_fd.revents != 0) {
-          break;
+void Server::handle_hello(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                          const net::Frame& frame) {
+  const auto fail = [&](const char* why) {
+    counters().protocol_errors.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               encode_error({why}));
+    conn->close_async();
+  };
+  if (frame.type != static_cast<std::uint16_t>(MsgType::kHello)) {
+    return fail("expected hello");
+  }
+  const auto hello = decode_hello(frame.payload);
+  if (!hello.has_value() || hello->version != kProtocolVersion) {
+    return fail("unsupported protocol version");
+  }
+  ctx->owner = hello->owner;
+  // A replay session needs a nonzero nonce: without one the dedup key
+  // cannot distinguish client process lifetimes, and serving a cached
+  // reply to a fresh process reusing old identities would be wrong.
+  ctx->session = hello->session;
+  ctx->replay = hello->session != 0 && hello->replay;
+  register_session(*ctx);
+  ctx->state.store(ConnCtx::State::kServing);
+  HelloOkMsg ok;
+  ok.inflight_limit = static_cast<std::uint32_t>(options_.inflight_limit);
+  ok.deadline_micros =
+      static_cast<std::uint64_t>(options_.request_deadline.micros());
+  ok.argument_batching = backend_.options().optimizations.argument_batching;
+  if (!conn->send(static_cast<std::uint16_t>(MsgType::kHelloOk),
+                  encode_hello_ok(ok))) {
+    conn->close_async();
+  }
+}
+
+void Server::send_completion_error(const Reactor::ConnPtr& conn,
+                                   std::uint64_t request_id,
+                                   const std::string& error) {
+  consolidate::CompletionReply reply;
+  reply.ok = false;
+  reply.error = error;
+  reply.request_id = request_id;
+  conn->send(static_cast<std::uint16_t>(MsgType::kCompletion),
+             encode_completion(reply));
+}
+
+void Server::handle_launch(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                           const net::Frame& frame) {
+  auto req = decode_launch(frame.payload);
+  if (!req.has_value()) {
+    counters().protocol_errors.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               encode_error({"malformed launch"}));
+    conn->close_async();
+    return;
+  }
+  const std::uint64_t id = req->request_id;
+  const std::string req_owner = req->owner;
+  if (auto a = fault::hit("server.admit");
+      a.kind == fault::ActionKind::kStall ||
+      a.kind == fault::ActionKind::kDelay) {
+    fault::sleep_for(a.duration);
+  }
+  if (draining_.load()) {
+    send_completion_error(conn, id, "server draining");
+    counters().rejected.inc();
+    return;
+  }
+
+  const auto make_deadline = [&] {
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (options_.request_deadline > common::Duration::zero()) {
+      deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  options_.request_deadline.seconds()));
+    }
+    return deadline;
+  };
+
+  // Replay dedup: a reconnecting client resends every unanswered launch.
+  // An already-answered one is served from its session's completed log;
+  // one still in the backend has its route re-pointed at this connection —
+  // never re-forwarded, so it executes exactly once and batch output stays
+  // bit-identical. Both lookups are scoped by the session nonce, so a
+  // fresh client process reusing the same owner names and request ids can
+  // never be answered from a previous process's state.
+  std::optional<consolidate::CompletionReply> cached;
+  bool inflight_replay = false;
+  {
+    std::lock_guard lock(route_mu_);
+    if (ctx->replay) {
+      const auto sess = sessions_.find(ctx->session);
+      if (sess != sessions_.end()) {
+        const auto hit = sess->second.replies.find(id);
+        if (hit != sess->second.replies.end()) cached = hit->second;
+      }
+    }
+    if (!cached.has_value()) {
+      const auto route =
+          routes_.find(RequestKey{ctx->session, req_owner, id});
+      if (route != routes_.end()) {
+        const auto current = route->second.lock();
+        if (current == nullptr || current.get() != ctx.get()) {
+          route->second = ctx;
+          inflight_replay = true;
         }
-      } else if (status == net::IoStatus::kError) {
-        common::log_info("ewcd: accept failed: " + err);
+        // Same live connection: fall through to admission, which rejects
+        // the duplicate id.
+      }
+    }
+  }
+  if (cached.has_value()) {
+    counters().replayed_requests.inc();
+    if (conn->send(static_cast<std::uint16_t>(MsgType::kCompletion),
+                   encode_completion(*cached))) {
+      counters().replies.inc();
+    }
+    obs::instant("server.replay", id,
+                 "\"owner\":\"" + obs::json_escape(req_owner) +
+                     "\",\"from\":\"completed\"");
+    return;
+  }
+  if (inflight_replay) {
+    {
+      std::lock_guard lock(ctx->mu);
+      ctx->outstanding.emplace(
+          id, Outstanding{req_owner, make_deadline(), obs::Tracer::now_us()});
+    }
+    counters().replayed_requests.inc();
+    obs::instant("server.replay", id,
+                 "\"owner\":\"" + obs::json_escape(req_owner) +
+                     "\",\"from\":\"inflight\"");
+    return;
+  }
+
+  // Admission control: bounded unanswered launches per client.
+  bool admitted = false;
+  {
+    std::lock_guard lock(ctx->mu);
+    if (static_cast<int>(ctx->outstanding.size()) < options_.inflight_limit) {
+      admitted = ctx->outstanding
+                     .emplace(id, Outstanding{req_owner, make_deadline(),
+                                              obs::Tracer::now_us()})
+                     .second;
+    }
+  }
+  if (!admitted) {
+    send_completion_error(
+        conn, id,
+        "rejected: in-flight limit (" +
+            std::to_string(options_.inflight_limit) +
+            ") exceeded or duplicate request id");
+    counters().rejected.inc();
+    obs::instant("server.reject", id);
+    return;
+  }
+  req->reply = backend_replies_;
+  req->session = ctx->session;
+  {
+    std::lock_guard lock(route_mu_);
+    routes_[RequestKey{ctx->session, req_owner, id}] = ctx;
+  }
+  if (!backend_.channel().send(std::move(*req))) {
+    {
+      std::lock_guard lock(ctx->mu);
+      ctx->outstanding.erase(id);
+    }
+    {
+      std::lock_guard lock(route_mu_);
+      routes_.erase(RequestKey{ctx->session, req_owner, id});
+    }
+    send_completion_error(conn, id, "backend unavailable");
+    counters().rejected.inc();
+    return;
+  }
+  counters().requests.inc();
+  counters().admitted.inc();
+  obs::instant("server.admit", id,
+               "\"owner\":\"" + obs::json_escape(ctx->owner) + "\"");
+}
+
+void Server::handle_flush(const Reactor::ConnPtr& conn,
+                          const net::Frame& frame) {
+  const auto flush = decode_flush(frame.payload);
+  if (!flush.has_value()) {
+    counters().protocol_errors.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               encode_error({"malformed flush"}));
+    conn->close_async();
+    return;
+  }
+  counters().flushes.inc();
+  auto done = std::make_shared<common::Channel<bool>>();
+  FlushDoneMsg reply{flush->token, false};
+  if (backend_.channel().send(consolidate::FlushRequest{done})) {
+    // Blocks this pump worker (bounded by drain_timeout); the pool keeps
+    // other connections moving meanwhile.
+    reply.ok = done->receive_for(options_.drain_timeout).has_value();
+  }
+  conn->send(static_cast<std::uint16_t>(MsgType::kFlushDone),
+             encode_flush_done(reply));
+}
+
+void Server::handle_stats(const Reactor::ConnPtr& conn,
+                          const net::Frame& frame) {
+  const auto stats = decode_stats(frame.payload);
+  if (!stats.has_value()) {
+    counters().protocol_errors.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               encode_error({"malformed stats"}));
+    conn->close_async();
+    return;
+  }
+  counters().stats_requests.inc();
+  StatsReplyMsg reply;
+  reply.token = stats->token;
+  reply.uptime_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  reply.counters = trace::Counters::instance().snapshot();
+  if (stats->include_histograms) {
+    reply.histograms = obs::HistogramRegistry::instance().snapshot_all();
+  }
+  conn->send(static_cast<std::uint16_t>(MsgType::kStatsReply),
+             encode_stats_reply(reply));
+}
+
+void Server::on_close(const Reactor::ConnPtr& conn, CloseReason reason,
+                      const std::string& msg) {
+  auto ctx = std::static_pointer_cast<ConnCtx>(conn->ctx());
+  if (ctx == nullptr) return;
+  const auto state = ctx->state.load();
+  if (reason == CloseReason::kError || reason == CloseReason::kProtocol) {
+    // The stream died uncleanly under the peer: tell it why, best-effort,
+    // mirroring the old reader's error reply before teardown.
+    counters().protocol_errors.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               encode_error({msg.empty() ? "read error" : msg}));
+  }
+  if (state == ConnCtx::State::kServing) release_session(*ctx);
+  if (state != ConnCtx::State::kRejecting) {
+    counters().connections_closed.inc();
+  }
+  ctx->state.store(ConnCtx::State::kClosed);
+  std::lock_guard lock(conns_mu_);
+  conns_.erase(conn->id());
+}
+
+void Server::on_tick() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<CtxPtr> snapshot;
+  {
+    std::lock_guard lock(conns_mu_);
+    snapshot.reserve(conns_.size());
+    for (const auto& [id, ctx] : conns_) snapshot.push_back(ctx);
+  }
+  for (const auto& ctx : snapshot) {
+    auto state = ctx->state.load();
+    // Handshake timeout: a connection that never sent its hello (or a
+    // rejected one that never sent anything) is closed once io_timeout
+    // passes — the old blocking-read handshake bound, kept under epoll.
+    if ((state == ConnCtx::State::kAwaitHello ||
+         state == ConnCtx::State::kRejecting) &&
+        now >= ctx->hello_deadline) {
+      if (ctx->state.compare_exchange_strong(state,
+                                             ConnCtx::State::kClosed)) {
+        auto conn = ctx->conn.lock();
+        if (conn != nullptr) {
+          const bool rejecting = state == ConnCtx::State::kRejecting;
+          conn->post([conn, rejecting] {
+            if (!rejecting) {
+              counters().protocol_errors.inc();
+              conn->send(static_cast<std::uint16_t>(MsgType::kError),
+                         encode_error({"expected hello"}));
+            }
+            conn->close_async();
+          });
+        }
       }
       continue;
     }
-    backoff_ms = 0;
-    if (active_connections() >= options_.max_clients) {
-      // Turn the connection away explicitly rather than letting it hang.
-      // Consume the client's hello first so the rejection is ordered after
-      // its send: closing before the hello arrives would RST the socket and
-      // the client could lose the error frame instead of reading it.
-      net::Frame hello_frame;
-      net::read_frame(*sock, &hello_frame,
-                      net::Deadline::after(options_.io_timeout), nullptr);
-      const auto payload = encode_error({"server full"});
-      net::write_frame(*sock, static_cast<std::uint16_t>(MsgType::kError),
-                       payload, net::Deadline::after(options_.io_timeout),
-                       nullptr);
-      counters().connections_rejected.inc();
+    if (state != ConnCtx::State::kServing ||
+        options_.request_deadline <= common::Duration::zero()) {
       continue;
     }
-
-    auto conn = std::make_shared<Connection>();
-    conn->sock = std::move(*sock);
+    // Per-request deadline sweep (was the per-connection writer's tick).
+    std::vector<std::pair<std::uint64_t, std::string>> expired;
     {
-      std::lock_guard lock(conns_mu_);
-      conn->id = next_conn_id_++;
-      conns_.push_back(conn);
+      std::lock_guard lock(ctx->mu);
+      for (const auto& [id, entry] : ctx->outstanding) {
+        if (entry.deadline.has_value() && now >= *entry.deadline) {
+          expired.emplace_back(id, entry.owner);
+        }
+      }
+      for (const auto& [id, owner] : expired) ctx->outstanding.erase(id);
     }
-    counters().connections_accepted.inc();
-    conn->reader = std::thread([this, conn] { reader_loop(conn); });
-    conn->writer = std::thread([this, conn] { writer_loop(conn); });
-  }
-  drain();
-  running_.store(false);
-  {
-    std::lock_guard lock(stopped_mu_);
-    stopped_ = true;
-  }
-  stopped_cv_.notify_all();
-}
-
-void Server::reap_finished() {
-  std::lock_guard lock(conns_mu_);
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    auto& c = *it;
-    if (c->reader_done.load() && c->writer_done.load()) {
-      if (c->reader.joinable()) c->reader.join();
-      if (c->writer.joinable()) c->writer.join();
-      it = conns_.erase(it);
-    } else {
-      ++it;
+    if (expired.empty()) continue;
+    auto conn = ctx->conn.lock();
+    for (const auto& [id, owner] : expired) {
+      // Record the error as this key's answer (and drop the route) so the
+      // eventual backend reply is parked, and a replay of the request is
+      // told the same thing the client was.
+      consolidate::CompletionReply expired_reply;
+      expired_reply.ok = false;
+      expired_reply.error = "request deadline exceeded";
+      expired_reply.request_id = id;
+      expired_reply.owner = owner;
+      expired_reply.session = ctx->session;
+      {
+        std::lock_guard lock(route_mu_);
+        record_completed_locked(expired_reply);
+      }
+      counters().deadline_expired.inc();
+      obs::instant("server.deadline_expired", id);
+      if (conn != nullptr) {
+        // The send happens on the connection's serialized pump: the
+        // reactor thread must never block on a stuck peer.
+        const std::uint64_t rid = id;
+        conn->post([this, conn, rid] {
+          send_completion_error(conn, rid, "request deadline exceeded");
+        });
+      }
     }
   }
+  std::lock_guard lock(route_mu_);
+  sweep_sessions_locked();
 }
 
 void Server::record_completed_locked(
@@ -227,7 +551,7 @@ void Server::record_completed_locked(
   const auto it = sessions_.find(reply.session);
   if (reply.session == 0 || it == sessions_.end()) return;
   SessionState& s = it->second;
-  // First write wins: if the writer already recorded a deadline/drain error
+  // First write wins: if the sweep already recorded a deadline/drain error
   // for this key, the client was answered with it — a replay must see the
   // same answer, not a different late one.
   if (!s.replies.emplace(reply.request_id, reply).second) return;
@@ -253,20 +577,19 @@ void Server::sweep_sessions_locked() {
   }
 }
 
-void Server::register_session(const Connection& conn) {
-  if (!conn.replay) return;
+void Server::register_session(const ConnCtx& ctx) {
+  if (!ctx.replay) return;
   std::lock_guard lock(route_mu_);
   // Piggyback eviction on hellos: every new client pays a cheap sweep, so
-  // stale sessions never outlive the grace window by more than the gap to
-  // the next connection (the accept loop sweeps on its wakeups too).
+  // stale sessions never outlive the grace window by more than a tick.
   sweep_sessions_locked();
-  ++sessions_[conn.session].live_connections;
+  ++sessions_[ctx.session].live_connections;
 }
 
-void Server::release_session(const Connection& conn) {
-  if (!conn.replay) return;
+void Server::release_session(const ConnCtx& ctx) {
+  if (!ctx.replay) return;
   std::lock_guard lock(route_mu_);
-  const auto it = sessions_.find(conn.session);
+  const auto it = sessions_.find(ctx.session);
   if (it == sessions_.end()) return;
   if (--it->second.live_connections <= 0) {
     it->second.live_connections = 0;
@@ -278,7 +601,7 @@ void Server::demux_loop() {
   for (;;) {
     auto reply = backend_replies_->receive();
     if (!reply.has_value()) break;  // closed and drained: shutting down
-    std::shared_ptr<Connection> target;
+    CtxPtr target;
     {
       std::lock_guard lock(route_mu_);
       const auto it = routes_.find(
@@ -286,439 +609,116 @@ void Server::demux_loop() {
       if (it != routes_.end()) target = it->second.lock();
       record_completed_locked(*reply);
     }
+    bool delivered = false;
     if (target != nullptr) {
-      // The connection's writer sends the frame; if the client died in the
-      // meantime the send is a dropped no-op and the reply stays parked in
+      // The connection's serialized pump sends the frame; if the client
+      // died in the meantime the post fails and the reply stays parked in
       // the completed log above for a future replay.
-      if (!target->replies->send(*reply)) counters().parked_replies.inc();
-    } else {
-      // No live route: client gone (or already answered by deadline expiry).
-      counters().parked_replies.inc();
+      if (auto conn = target->conn.lock()) {
+        delivered = conn->post(
+            [this, conn, target, r = *reply] {
+              deliver_completion(conn, target, r);
+            });
+      }
     }
+    if (!delivered) counters().parked_replies.inc();
   }
 }
 
-bool Server::send_frame(Connection& conn, MsgType type,
-                        std::span<const std::byte> payload) {
-  std::lock_guard lock(conn.write_mu);
-  std::string err;
-  const auto s = net::write_frame(conn.sock,
-                                  static_cast<std::uint16_t>(type), payload,
-                                  net::Deadline::after(options_.io_timeout),
-                                  &err);
-  if (s != net::IoStatus::kOk) {
-    conn.closing.store(true);
-    return false;
-  }
-  return true;
-}
-
-void Server::send_completion_error(Connection& conn, std::uint64_t request_id,
-                                   const std::string& error) {
-  consolidate::CompletionReply reply;
-  reply.ok = false;
-  reply.error = error;
-  reply.request_id = request_id;
-  send_frame(conn, MsgType::kCompletion, encode_completion(reply));
-}
-
-void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
-  const auto teardown = [&] {
-    conn->closing.store(true);
-    // Closing the reply channel wakes the writer so it drains and exits.
-    // Replies still in flight for this client are parked by the demux in
-    // the session's completed log (the route's weak_ptr expires with the
-    // conn): a dead client loses only its own replies, and a reconnecting
-    // one can still replay-claim them within the replay grace window.
-    conn->replies->close();
-    conn->sock.shutdown_rw();
-    release_session(*conn);
-    conn->reader_done.store(true);
-    counters().connections_closed.inc();
-  };
-
-  // ---- handshake ----
-  net::Frame frame;
-  std::string err;
-  auto s = net::read_frame(conn->sock, &frame,
-                           net::Deadline::after(options_.io_timeout), &err);
-  if (s != net::IoStatus::kOk ||
-      frame.type != static_cast<std::uint16_t>(MsgType::kHello)) {
-    counters().protocol_errors.inc();
-    send_frame(*conn, MsgType::kError, encode_error({"expected hello"}));
-    return teardown();
-  }
-  const auto hello = decode_hello(frame.payload);
-  if (!hello.has_value() || hello->version != kProtocolVersion) {
-    counters().protocol_errors.inc();
-    send_frame(*conn, MsgType::kError,
-               encode_error({"unsupported protocol version"}));
-    return teardown();
-  }
-  conn->owner = hello->owner;
-  // A replay session needs a nonzero nonce: without one the dedup key
-  // cannot distinguish client process lifetimes, and serving a cached
-  // reply to a fresh process reusing old identities would be wrong.
-  conn->session = hello->session;
-  conn->replay = hello->session != 0 && hello->replay;
-  register_session(*conn);
-  HelloOkMsg ok;
-  ok.inflight_limit = static_cast<std::uint32_t>(options_.inflight_limit);
-  ok.deadline_micros =
-      static_cast<std::uint64_t>(options_.request_deadline.micros());
-  ok.argument_batching = backend_.options().optimizations.argument_batching;
-  if (!send_frame(*conn, MsgType::kHelloOk, encode_hello_ok(ok))) {
-    return teardown();
-  }
-
-  // ---- request loop ----
-  for (;;) {
-    s = net::read_frame(conn->sock, &frame, net::Deadline::never(), &err);
-    if (s == net::IoStatus::kEof) break;  // clean close
-    if (s != net::IoStatus::kOk) {
-      if (!conn->closing.load()) {
-        counters().protocol_errors.inc();
-        send_frame(*conn, MsgType::kError, encode_error({err}));
-      }
-      break;
-    }
-    switch (static_cast<MsgType>(frame.type)) {
-      case MsgType::kLaunch: {
-        auto req = decode_launch(frame.payload);
-        if (!req.has_value()) {
-          counters().protocol_errors.inc();
-          send_frame(*conn, MsgType::kError,
-                     encode_error({"malformed launch"}));
-          return teardown();
-        }
-        const std::uint64_t id = req->request_id;
-        const std::string req_owner = req->owner;
-        if (auto a = fault::hit("server.admit");
-            a.kind == fault::ActionKind::kStall ||
-            a.kind == fault::ActionKind::kDelay) {
-          fault::sleep_for(a.duration);
-        }
-        if (draining_.load()) {
-          send_completion_error(*conn, id, "server draining");
-          counters().rejected.inc();
-          break;
-        }
-
-        const auto make_deadline = [&] {
-          std::optional<std::chrono::steady_clock::time_point> deadline;
-          if (options_.request_deadline > common::Duration::zero()) {
-            deadline =
-                std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(
-                        options_.request_deadline.seconds()));
-          }
-          return deadline;
-        };
-
-        // Replay dedup: a reconnecting client resends every unanswered
-        // launch. An already-answered one is served from its session's
-        // completed log; one still in the backend has its route re-pointed
-        // at this connection — never re-forwarded, so it executes exactly
-        // once and batch output stays bit-identical. Both lookups are
-        // scoped by the session nonce, so a fresh client process reusing
-        // the same owner names and request ids can never be answered from
-        // a previous process's state.
-        std::optional<consolidate::CompletionReply> cached;
-        bool inflight_replay = false;
-        {
-          std::lock_guard lock(route_mu_);
-          if (conn->replay) {
-            const auto sess = sessions_.find(conn->session);
-            if (sess != sessions_.end()) {
-              const auto hit = sess->second.replies.find(id);
-              if (hit != sess->second.replies.end()) cached = hit->second;
-            }
-          }
-          if (!cached.has_value()) {
-            const auto route =
-                routes_.find(RequestKey{conn->session, req_owner, id});
-            if (route != routes_.end()) {
-              const auto current = route->second.lock();
-              if (current == nullptr || current.get() != conn.get()) {
-                route->second = conn;
-                inflight_replay = true;
-              }
-              // Same live connection: fall through to admission, which
-              // rejects the duplicate id.
-            }
-          }
-        }
-        if (cached.has_value()) {
-          counters().replayed_requests.inc();
-          if (send_frame(*conn, MsgType::kCompletion,
-                         encode_completion(*cached))) {
-            counters().replies.inc();
-          }
-          obs::instant("server.replay", id,
-                       "\"owner\":\"" + obs::json_escape(req_owner) +
-                           "\",\"from\":\"completed\"");
-          break;
-        }
-        if (inflight_replay) {
-          {
-            std::lock_guard lock(conn->mu);
-            conn->outstanding.emplace(
-                id, Connection::Outstanding{req_owner, make_deadline(),
-                                            obs::Tracer::now_us()});
-          }
-          counters().replayed_requests.inc();
-          obs::instant("server.replay", id,
-                       "\"owner\":\"" + obs::json_escape(req_owner) +
-                           "\",\"from\":\"inflight\"");
-          break;
-        }
-
-        // Admission control: bounded unanswered launches per client.
-        bool admitted = false;
-        {
-          std::lock_guard lock(conn->mu);
-          if (static_cast<int>(conn->outstanding.size()) <
-              options_.inflight_limit) {
-            admitted = conn->outstanding
-                           .emplace(id, Connection::Outstanding{
-                                            req_owner, make_deadline(),
-                                            obs::Tracer::now_us()})
-                           .second;
-          }
-        }
-        if (!admitted) {
-          send_completion_error(
-              *conn, id,
-              "rejected: in-flight limit (" +
-                  std::to_string(options_.inflight_limit) +
-                  ") exceeded or duplicate request id");
-          counters().rejected.inc();
-          obs::instant("server.reject", id);
-          break;
-        }
-        req->reply = backend_replies_;
-        req->session = conn->session;
-        {
-          std::lock_guard lock(route_mu_);
-          routes_[RequestKey{conn->session, req_owner, id}] = conn;
-        }
-        if (!backend_.channel().send(std::move(*req))) {
-          {
-            std::lock_guard lock(conn->mu);
-            conn->outstanding.erase(id);
-          }
-          {
-            std::lock_guard lock(route_mu_);
-            routes_.erase(RequestKey{conn->session, req_owner, id});
-          }
-          send_completion_error(*conn, id, "backend unavailable");
-          counters().rejected.inc();
-          break;
-        }
-        counters().requests.inc();
-        counters().admitted.inc();
-        obs::instant("server.admit", id,
-                     "\"owner\":\"" + obs::json_escape(conn->owner) + "\"");
-        break;
-      }
-      case MsgType::kFlush: {
-        const auto flush = decode_flush(frame.payload);
-        if (!flush.has_value()) {
-          counters().protocol_errors.inc();
-          send_frame(*conn, MsgType::kError, encode_error({"malformed flush"}));
-          return teardown();
-        }
-        counters().flushes.inc();
-        auto done = std::make_shared<common::Channel<bool>>();
-        FlushDoneMsg reply{flush->token, false};
-        if (backend_.channel().send(consolidate::FlushRequest{done})) {
-          reply.ok = done->receive_for(options_.drain_timeout).has_value();
-        }
-        send_frame(*conn, MsgType::kFlushDone, encode_flush_done(reply));
-        break;
-      }
-      case MsgType::kShutdown: {
-        counters().shutdown_requests.inc();
-        notify_stop();
-        break;
-      }
-      case MsgType::kStats: {
-        const auto stats = decode_stats(frame.payload);
-        if (!stats.has_value()) {
-          counters().protocol_errors.inc();
-          send_frame(*conn, MsgType::kError, encode_error({"malformed stats"}));
-          return teardown();
-        }
-        counters().stats_requests.inc();
-        StatsReplyMsg reply;
-        reply.token = stats->token;
-        reply.uptime_micros = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - started_at_)
-                .count());
-        reply.counters = trace::Counters::instance().snapshot();
-        if (stats->include_histograms) {
-          reply.histograms = obs::HistogramRegistry::instance().snapshot_all();
-        }
-        send_frame(*conn, MsgType::kStatsReply, encode_stats_reply(reply));
-        break;
-      }
-      default: {
-        counters().protocol_errors.inc();
-        send_frame(*conn, MsgType::kError,
-                   encode_error({std::string("unexpected message type ") +
-                                 std::to_string(frame.type)}));
-        return teardown();
-      }
+void Server::deliver_completion(const Reactor::ConnPtr& conn,
+                                const CtxPtr& ctx,
+                                const consolidate::CompletionReply& reply) {
+  bool live = false;
+  double admitted_at_us = 0.0;
+  {
+    std::lock_guard lock(ctx->mu);
+    auto it = ctx->outstanding.find(reply.request_id);
+    if (it != ctx->outstanding.end()) {
+      live = true;
+      admitted_at_us = it->second.admitted_at_us;
+      ctx->outstanding.erase(it);
     }
   }
-  teardown();
-}
-
-void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
-  for (;;) {
-    auto reply = conn->replies->receive_for(kWriterTick);
-    if (reply.has_value()) {
-      bool live = false;
-      double admitted_at_us = 0.0;
-      {
-        std::lock_guard lock(conn->mu);
-        auto it = conn->outstanding.find(reply->request_id);
-        if (it != conn->outstanding.end()) {
-          live = true;
-          admitted_at_us = it->second.admitted_at_us;
-          conn->outstanding.erase(it);
-        }
-      }
-      // A reply whose id is no longer outstanding already got a deadline /
-      // drain error; dropping the late real answer keeps the stream sane.
-      if (live && !conn->closing.load()) {
-        if (auto a = fault::hit("server.reply")) {
-          if (a.kind == fault::ActionKind::kDelay ||
-              a.kind == fault::ActionKind::kStall) {
-            fault::sleep_for(a.duration);
-          } else if (a.kind == fault::ActionKind::kDrop) {
-            // Lost reply: the client's deadline (or its replay after a
-            // reconnect — the completed log still has the answer) recovers.
-            continue;
-          }
-        }
-        send_frame(*conn, MsgType::kCompletion, encode_completion(*reply));
-        counters().replies.inc();
-        const double now_us = obs::Tracer::now_us();
-        request_latency_hist()->record((now_us - admitted_at_us) * 1e-6);
-        if (obs::Tracer::enabled()) {
-          // The server-side request-lifecycle span: admission to reply
-          // write, correlated with the client's launch span by request_id.
-          obs::SpanEvent ev;
-          ev.name = "server.request";
-          ev.ts_us = admitted_at_us;
-          ev.dur_us = now_us - admitted_at_us;
-          ev.request_id = reply->request_id;
-          ev.args = std::string("\"ok\":") + (reply->ok ? "true" : "false");
-          obs::Tracer::instance().record(std::move(ev));
-        }
-      }
+  // A reply whose id is no longer outstanding already got a deadline /
+  // drain error; dropping the late real answer keeps the stream sane.
+  if (!live || conn->closing()) return;
+  if (auto a = fault::hit("server.reply")) {
+    if (a.kind == fault::ActionKind::kDelay ||
+        a.kind == fault::ActionKind::kStall) {
+      fault::sleep_for(a.duration);
+    } else if (a.kind == fault::ActionKind::kDrop) {
+      // Lost reply: the client's deadline (or its replay after a
+      // reconnect — the completed log still has the answer) recovers.
+      return;
     }
-
-    if (options_.request_deadline > common::Duration::zero() &&
-        !conn->closing.load()) {
-      const auto now = std::chrono::steady_clock::now();
-      std::vector<std::pair<std::uint64_t, std::string>> expired;
-      {
-        std::lock_guard lock(conn->mu);
-        for (const auto& [id, entry] : conn->outstanding) {
-          if (entry.deadline.has_value() && now >= *entry.deadline) {
-            expired.emplace_back(id, entry.owner);
-          }
-        }
-        for (const auto& [id, owner] : expired) conn->outstanding.erase(id);
-      }
-      for (const auto& [id, owner] : expired) {
-        // Record the error as this key's answer (and drop the route) so the
-        // eventual backend reply is parked, and a replay of the request is
-        // told the same thing the client was.
-        consolidate::CompletionReply expired_reply;
-        expired_reply.ok = false;
-        expired_reply.error = "request deadline exceeded";
-        expired_reply.request_id = id;
-        expired_reply.owner = owner;
-        expired_reply.session = conn->session;
-        {
-          std::lock_guard lock(route_mu_);
-          record_completed_locked(expired_reply);
-        }
-        send_completion_error(*conn, id, "request deadline exceeded");
-        counters().deadline_expired.inc();
-        obs::instant("server.deadline_expired", id);
-      }
-    }
-
-    if (conn->replies->closed() && !reply.has_value()) break;
   }
-  conn->writer_done.store(true);
+  conn->send(static_cast<std::uint16_t>(MsgType::kCompletion),
+             encode_completion(reply));
+  counters().replies.inc();
+  const double now_us = obs::Tracer::now_us();
+  request_latency_hist()->record((now_us - admitted_at_us) * 1e-6);
+  if (obs::Tracer::enabled()) {
+    // The server-side request-lifecycle span: admission to reply write,
+    // correlated with the client's launch span by request_id.
+    obs::SpanEvent ev;
+    ev.name = "server.request";
+    ev.ts_us = admitted_at_us;
+    ev.dur_us = now_us - admitted_at_us;
+    ev.request_id = reply.request_id;
+    ev.args = std::string("\"ok\":") + (reply.ok ? "true" : "false");
+    obs::Tracer::instance().record(std::move(ev));
+  }
 }
 
 void Server::drain() {
   draining_.store(true);
-  listener_->close();  // stop accepting; unlinks the socket path
-
-  std::vector<std::shared_ptr<Connection>> conns;
+  // The reactor already closed the listener (unlinking a UNIX socket path).
+  std::vector<CtxPtr> snapshot;
   {
     std::lock_guard lock(conns_mu_);
-    conns = conns_;
+    for (const auto& [id, ctx] : conns_) snapshot.push_back(ctx);
   }
 
   // Fail outstanding replies with an error (recording the error as each
   // key's final answer so the flushed batch's late replies are parked)...
-  for (auto& conn : conns) {
+  for (const auto& ctx : snapshot) {
     std::vector<std::pair<std::uint64_t, std::string>> ids;
     {
-      std::lock_guard lock(conn->mu);
-      for (const auto& [id, entry] : conn->outstanding) {
+      std::lock_guard lock(ctx->mu);
+      for (const auto& [id, entry] : ctx->outstanding) {
         ids.emplace_back(id, entry.owner);
       }
-      conn->outstanding.clear();
+      ctx->outstanding.clear();
     }
+    auto conn = ctx->conn.lock();
     for (const auto& [id, owner] : ids) {
       consolidate::CompletionReply drained;
       drained.ok = false;
       drained.error = "server draining";
       drained.request_id = id;
       drained.owner = owner;
-      drained.session = conn->session;
+      drained.session = ctx->session;
       {
         std::lock_guard lock(route_mu_);
         record_completed_locked(drained);
       }
-      send_completion_error(*conn, id, "server draining");
+      if (conn != nullptr) {
+        send_completion_error(conn, id, "server draining");
+      }
       counters().drain_failed_replies.inc();
     }
   }
 
-  // ...flush the pending batch (its replies were failed above and are
-  // dropped; the batch still executes so the backend's reports are complete)
-  // bounded by drain_timeout...
+  // ...and flush the pending batch (its replies were failed above and are
+  // dropped; the batch still executes so the backend's reports are
+  // complete) bounded by drain_timeout. The reactor closes every
+  // connection right after this handler returns.
   auto done = std::make_shared<common::Channel<bool>>();
   if (backend_.channel().send(consolidate::FlushRequest{done})) {
     if (!done->receive_for(options_.drain_timeout).has_value()) {
       common::log_info("ewcd: drain flush timed out");
       counters().drain_flush_timeouts.inc();
     }
-  }
-
-  // ...and close every connection.
-  for (auto& conn : conns) {
-    conn->closing.store(true);
-    conn->replies->close();
-    conn->sock.shutdown_rw();
-    if (conn->reader.joinable()) conn->reader.join();
-    if (conn->writer.joinable()) conn->writer.join();
-  }
-  {
-    std::lock_guard lock(conns_mu_);
-    conns_.clear();
   }
 }
 

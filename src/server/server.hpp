@@ -1,13 +1,14 @@
-// ewcd — the consolidation daemon, served over a UNIX-domain socket.
+// ewcd — the consolidation daemon, one shard of the served fleet.
 //
 // The paper (Section IV) deploys the framework as a frontend shared library
 // in each user process talking to a backend daemon over a UNIX-socket
 // connection. This is that service boundary made real: Server accepts N
-// concurrent client connections, speaks the framed wire protocol
-// (net/frame.hpp + server/protocol_wire.hpp), and bridges every decoded
-// LaunchRequest onto the existing consolidate::Backend channel. Replies are
-// correlated back to their connection through per-connection reply channels
-// and the request_id field.
+// concurrent client connections over a UNIX or TCP endpoint, speaks the
+// framed wire protocol (net/frame.hpp + server/protocol_wire.hpp), and
+// bridges every decoded LaunchRequest onto the existing
+// consolidate::Backend channel. Replies are correlated back to their
+// connection through a server-wide demux keyed by (session, owner,
+// request_id).
 //
 // Service properties:
 //   * admission control — at most `inflight_limit` unanswered launches per
@@ -33,9 +34,12 @@
 //     accepting, fails outstanding replies with an error, flushes the
 //     pending backend batch (bounded by drain_timeout), and exits.
 //
-// Threads: one acceptor, one backend-reply demux, plus a reader and a
-// writer per connection. All socket I/O is real time; the simulated clock
-// stays inside the Backend.
+// Threads: one epoll reactor (accept + all socket reads + the tick-driven
+// deadline sweeps), a bounded pump worker pool running the per-connection
+// protocol handlers (serialized per connection — see server/reactor.hpp),
+// and one backend-reply demux. Thousands of idle sessions cost fds and a
+// few hundred bytes each, not two threads each. All socket I/O is real
+// time; the simulated clock stays inside the Backend.
 #pragma once
 
 #include <atomic>
@@ -57,10 +61,13 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "server/protocol_wire.hpp"
+#include "server/reactor.hpp"
 
 namespace ewc::server {
 
 struct ServerOptions {
+  /// Endpoint to serve on: `unix:/path`, `tcp:host:port` (port 0 picks an
+  /// ephemeral port; see Server::endpoint()), or a bare UNIX path.
   std::string socket_path;
   /// Concurrent client connections; further connects get kError + close.
   int max_clients = 64;
@@ -70,7 +77,9 @@ struct ServerOptions {
   common::Duration request_deadline = common::Duration::zero();
   /// Bound on waiting for the backend flush while draining.
   common::Duration drain_timeout = common::Duration::from_seconds(10.0);
-  /// Per-frame socket write budget (a stuck client cannot wedge a writer).
+  /// Per-frame socket write budget (a stuck client cannot wedge a writer),
+  /// and the handshake budget: a connection that sends no hello within it
+  /// is closed.
   common::Duration io_timeout = common::Duration::from_seconds(30.0);
   /// How long a replay session's dedup state (the completed-reply log)
   /// survives after its last connection closed. A client reconnecting
@@ -78,6 +87,9 @@ struct ServerOptions {
   /// evicted and a replay would re-execute — the window bounds daemon
   /// memory across many client lifetimes.
   common::Duration replay_grace = common::Duration::from_seconds(120.0);
+  /// Pump worker threads (0 = min(16, max(4, hardware))). Bounds protocol-
+  /// handler concurrency regardless of connection count.
+  int workers = 0;
 };
 
 class Server {
@@ -88,11 +100,10 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind the socket and start accepting. False (with *error) on failure.
+  /// Bind the endpoint and start serving. False (with *error) on failure.
   bool start(std::string* error);
 
-  /// Async-signal-safe stop trigger (callable from a SIGTERM handler):
-  /// writes one byte to the acceptor's self-pipe.
+  /// Async-signal-safe stop trigger (callable from a SIGTERM handler).
   void notify_stop();
 
   /// Block until the daemon has drained and stopped.
@@ -103,13 +114,30 @@ class Server {
 
   bool running() const { return running_.load(); }
   const std::string& socket_path() const { return options_.socket_path; }
-  /// Connections whose reader is still alive (observability/tests).
+  /// Canonical endpoint actually bound (resolves a tcp port-0 bind).
+  const std::string& endpoint() const { return bound_endpoint_; }
+  /// Connections accepted as clients and not yet closed (observability).
   int active_connections() const;
 
  private:
-  struct Connection {
-    std::uint64_t id = 0;
-    net::Socket sock;
+  /// Admission-time bookkeeping for one unanswered launch.
+  struct Outstanding {
+    /// LaunchRequest::owner — with the id, the server-wide routing key.
+    std::string owner;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// steady-clock µs at admission (Tracer::now_us domain): the request-
+    /// latency histogram and the server-side request span measure from
+    /// here.
+    double admitted_at_us = 0.0;
+  };
+
+  /// Per-connection protocol state, attached as Reactor::Conn::ctx. State
+  /// transitions happen on the connection's serialized pump; the reactor
+  /// tick reads `state` for the handshake/deadline sweeps.
+  struct ConnCtx {
+    enum class State { kAwaitHello, kServing, kRejecting, kClosed };
+    std::atomic<State> state{State::kAwaitHello};
+    std::chrono::steady_clock::time_point hello_deadline{};
     std::string owner;
     /// Client session nonce from the hello (0 = none). Scopes every
     /// routing/dedup key: deterministic owner names and restarting
@@ -118,32 +146,11 @@ class Server {
     /// Session negotiated replay in the hello: completed replies are
     /// recorded for dedup and survive a disconnect within replay_grace.
     bool replay = false;
-    /// Serializes frames from the reader (rejects, flush acks) and the
-    /// writer (completions) onto the socket.
-    std::mutex write_mu;
-    /// The demux thread delivers this connection's CompletionReplies here;
-    /// closed on teardown so the writer drains and exits. Replies for a
-    /// dead client stay parked in the server's completed log for replay.
-    std::shared_ptr<consolidate::ReplyChannel> replies =
-        std::make_shared<consolidate::ReplyChannel>();
-    /// Admission-time bookkeeping for one unanswered launch.
-    struct Outstanding {
-      /// LaunchRequest::owner — with the id, the server-wide routing key.
-      std::string owner;
-      std::optional<std::chrono::steady_clock::time_point> deadline;
-      /// steady-clock µs at admission (Tracer::now_us domain): the request-
-      /// latency histogram and the server-side request span measure from
-      /// here.
-      double admitted_at_us = 0.0;
-    };
     std::mutex mu;  ///< guards `outstanding`
     std::map<std::uint64_t, Outstanding> outstanding;
-    std::atomic<bool> closing{false};
-    std::atomic<bool> reader_done{false};
-    std::atomic<bool> writer_done{false};
-    std::thread reader;
-    std::thread writer;
+    std::weak_ptr<Reactor::Conn> conn;
   };
+  using CtxPtr = std::shared_ptr<ConnCtx>;
 
   /// Delivery key for one launch: (session, owner, request_id). The
   /// session nonce scopes the key to one client process lifetime; within a
@@ -152,21 +159,35 @@ class Server {
   using RequestKey =
       std::tuple<std::uint64_t, std::string, std::uint64_t>;
 
-  void accept_loop();
-  void reader_loop(const std::shared_ptr<Connection>& conn);
-  void writer_loop(const std::shared_ptr<Connection>& conn);
+  // Reactor handlers.
+  void on_open(const Reactor::ConnPtr& conn);
+  void on_frame(const Reactor::ConnPtr& conn, net::Frame frame);
+  void on_close(const Reactor::ConnPtr& conn, CloseReason reason,
+                const std::string& msg);
+  void on_tick();
+  void on_shutdown();
+
+  // Frame handlers (pump workers, serialized per connection).
+  void handle_hello(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                    const net::Frame& frame);
+  void handle_launch(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                     const net::Frame& frame);
+  void handle_flush(const Reactor::ConnPtr& conn, const net::Frame& frame);
+  void handle_stats(const Reactor::ConnPtr& conn, const net::Frame& frame);
+
   /// Routes every backend reply to the connection currently owning its
   /// (session, owner, request_id) — which may not be the one that forwarded
   /// it, if the client reconnected — and records it in the session's
   /// completed log when replay was negotiated.
   void demux_loop();
+  /// On the connection's pump: drop if no longer outstanding (deadline or
+  /// drain already answered it), else send + record latency/span.
+  void deliver_completion(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                          const consolidate::CompletionReply& reply);
   void drain();
-  /// Join and drop connections whose threads have both finished.
-  void reap_finished();
 
-  bool send_frame(Connection& conn, MsgType type,
-                  std::span<const std::byte> payload);
-  void send_completion_error(Connection& conn, std::uint64_t request_id,
+  void send_completion_error(const Reactor::ConnPtr& conn,
+                             std::uint64_t request_id,
                              const std::string& error);
   /// Under route_mu_: drop the route and — for replay sessions only —
   /// remember the reply for replays (first write wins; the log is capped
@@ -174,20 +195,18 @@ class Server {
   void record_completed_locked(const consolidate::CompletionReply& reply);
   /// Under route_mu_: evict replay sessions idle past replay_grace.
   void sweep_sessions_locked();
-  /// Attach/detach a connection's replay session (hello / teardown).
-  void register_session(const Connection& conn);
-  void release_session(const Connection& conn);
+  /// Attach/detach a connection's replay session (hello / close).
+  void register_session(const ConnCtx& ctx);
+  void release_session(const ConnCtx& ctx);
 
   consolidate::Backend& backend_;
   ServerOptions options_;
+  std::string bound_endpoint_;
 
-  std::optional<net::Listener> listener_;
-  int stop_pipe_[2] = {-1, -1};
-  std::thread acceptor_;
+  std::unique_ptr<Reactor> reactor_;
 
   mutable std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, CtxPtr> conns_;  ///< by Reactor::Conn id
 
   /// All backend replies funnel through this one channel into demux_loop();
   /// per-connection channels would die with their connection and strand
@@ -196,7 +215,7 @@ class Server {
       std::make_shared<consolidate::ReplyChannel>();
   std::thread demux_;
   std::mutex route_mu_;
-  std::map<RequestKey, std::weak_ptr<Connection>> routes_;
+  std::map<RequestKey, std::weak_ptr<ConnCtx>> routes_;
   /// Replay/dedup state for one client session that negotiated replay in
   /// its hello (session nonce != 0). Answered launches are keyed by
   /// request_id — connection-assigned, so unique within the session — in a

@@ -266,5 +266,118 @@ TEST(ChaosTest, KillRestartReplayIsBitIdenticalToFaultFreeRun) {
   EXPECT_EQ(clients_reconnected, 4);
 }
 
+// ---- fleet chaos: SIGKILL one shard behind the router mid-run ----
+
+/// Poll `log_path` until a "listening on <endpoint>" line appears and
+/// return the endpoint token ("" on timeout). Works for both the daemon
+/// ("ewcd listening on ...") and the router ("router listening on ...");
+/// with a TCP port-0 bind this is how the test learns the real port.
+std::string wait_for_endpoint(const std::string& log_path, double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            static_cast<int>(seconds * 1000));
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string text = read_file(log_path);
+    const auto at = text.find("listening on ");
+    if (at != std::string::npos) {
+      auto start = at + std::string("listening on ").size();
+      auto end = text.find_first_of(" \n", start);
+      if (end != std::string::npos) return text.substr(start, end - start);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return "";
+}
+
+// The fleet version of the kill drill: two TCP shards behind the router,
+// a 40-session load against the router's endpoint, and one shard
+// SIGKILLed mid-run. Sessions placed on the dead shard redial the router,
+// get re-placed on the survivor, and replay — the run must end with zero
+// lost and zero duplicated requests and every session's arithmetic intact
+// (completed == sent), exactly the single-daemon restart contract.
+TEST(FleetChaosTest, KillOneShardMidRunLosesAndDuplicatesNothing) {
+  const std::string dir = ::testing::TempDir();
+
+  std::vector<pid_t> shard_pids;
+  std::vector<std::string> shard_eps;
+  for (int i = 0; i < 2; ++i) {
+    const std::string log =
+        dir + "fleet_chaos_shard" + std::to_string(i) + ".log";
+    ::unlink(log.c_str());  // a stale log would satisfy wait_for_endpoint
+    const pid_t pid = spawn_ewcsim(
+        {"serve", "--socket", "tcp:127.0.0.1:0", "--workload",
+         "encryption_6k=4", "--threshold", "4", "--max-clients", "600",
+         "--inflight", "256"},
+        log);
+    ASSERT_GT(pid, 0);
+    shard_pids.push_back(pid);
+    const std::string ep = wait_for_endpoint(log, 30.0);
+    ASSERT_FALSE(ep.empty()) << "shard " << i << " never bound: "
+                             << read_file(log);
+    shard_eps.push_back(ep);
+  }
+
+  const std::string router_log = dir + "fleet_chaos_router.log";
+  ::unlink(router_log.c_str());
+  const pid_t router_pid = spawn_ewcsim(
+      {"route", "--listen", "tcp:127.0.0.1:0", "--shard", shard_eps[0],
+       "--shard", shard_eps[1], "--poll", "0.2", "--dial-timeout", "0.5",
+       "--breaker-cooldown", "1"},
+      router_log);
+  ASSERT_GT(router_pid, 0);
+  const std::string router_ep = wait_for_endpoint(router_log, 30.0);
+  ASSERT_FALSE(router_ep.empty()) << read_file(router_log);
+
+  const std::string load_log = dir + "fleet_chaos_load.log";
+  ::unlink(load_log.c_str());
+  const pid_t load_pid = spawn_ewcsim(
+      {"loadgen", "--socket", router_ep, "--profile", "poisson:rate=150",
+       "--workload", "encryption_6k=2", "--workload", "sorting_6k=1",
+       "--sessions", "40", "--duration", "3", "--seed", "7", "--reconnect",
+       "--drain-timeout", "60", "--out", "none"},
+      load_log);
+  ASSERT_GT(load_pid, 0);
+
+  // Mid-run, with both shards carrying placed sessions, one shard dies
+  // without a goodbye.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  ASSERT_EQ(::kill(shard_pids[0], SIGKILL), 0);
+  EXPECT_EQ(wait_exit_code(shard_pids[0]), -SIGKILL);
+
+  const int load_exit = wait_exit_code(load_pid);
+  const std::string load_out = read_file(load_log);
+  EXPECT_EQ(load_exit, 0) << load_out;
+  const auto recs = parse_records(load_out, "LOADGEN");
+  ASSERT_FALSE(recs.empty()) << load_out;
+  const auto& rec = recs[0];
+  EXPECT_EQ(rec.at("sessions"), "40");
+  EXPECT_EQ(rec.at("lost"), "0");
+  EXPECT_EQ(rec.at("dup"), "0");
+  EXPECT_EQ(rec.at("completed"), rec.at("sent"));
+  EXPECT_GT(std::stoull(rec.at("sent")), 40u);
+
+  // The survivor's stats (through the router) must show the fleet degraded
+  // to one live shard and the router holding breaker/forwarding state.
+  {
+    std::string err;
+    auto conn = server::ClientConnection::connect(
+        router_ep, "fleet-chaos-probe", Duration::from_seconds(10.0), &err);
+    ASSERT_NE(conn, nullptr) << err;
+    const auto stats = conn->stats(false, Duration::from_seconds(10.0));
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->counters.at("router.shards"), 2.0);
+    EXPECT_EQ(stats->counters.at("router.shards_alive"), 1.0);
+    EXPECT_EQ(stats->counters.at("shard.0.router.alive"), 0.0);
+    EXPECT_EQ(stats->counters.at("shard.1.router.alive"), 1.0);
+    EXPECT_GE(stats->counters.at("router.forwarded_frames"), 1.0);
+  }
+
+  ASSERT_EQ(::kill(router_pid, SIGTERM), 0);
+  EXPECT_EQ(wait_exit_code(router_pid), 0) << read_file(router_log);
+  ASSERT_EQ(::kill(shard_pids[1], SIGTERM), 0);
+  EXPECT_EQ(wait_exit_code(shard_pids[1]), 0)
+      << read_file(dir + "fleet_chaos_shard1.log");
+}
+
 }  // namespace
 }  // namespace ewc

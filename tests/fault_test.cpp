@@ -581,6 +581,44 @@ TEST(ClientDemuxTest, PendingLaunchFailsFastOnTornReply) {
   EXPECT_LT(elapsed, 10.0);
 }
 
+// ---- fleet fault sites (PR 7) ----
+
+// The two router-era sites must parse and arm like any other site.
+TEST(InjectorTest, FleetSitesParseAndArm) {
+  auto& inj = fault::Injector::instance();
+  std::string err;
+  ASSERT_TRUE(inj.arm("net.tcp_connect=fail:times=2", 1, &err)) << err;
+  inj.disarm();
+  ASSERT_TRUE(inj.arm("router.forward=drop:times=1", 1, &err)) << err;
+  inj.disarm();
+  ASSERT_TRUE(inj.arm("router.forward=stall:dur=0.01", 1, &err)) << err;
+  inj.disarm();
+}
+
+// net.tcp_connect=fail refuses the dial attempt up front (before any
+// resolution or socket work); once the rule is exhausted the same endpoint
+// connects fine.
+TEST(TcpConnectFaultTest, InjectedRefusalFailsOneDialThenRecovers) {
+  std::string error;
+  auto listener = net::Listener::bind_tcp("127.0.0.1", 0, 8, &error);
+  ASSERT_TRUE(listener.has_value()) << error;
+
+  ArmGuard guard("net.tcp_connect=fail:times=1");
+  auto refused = net::connect_tcp(
+      "127.0.0.1", listener->port(),
+      Deadline::after(Duration::from_seconds(2.0)), &error);
+  EXPECT_FALSE(refused.has_value());
+  EXPECT_NE(error.find("injected"), std::string::npos) << error;
+  EXPECT_EQ(fault::Injector::instance().fired("net.tcp_connect"), 1u);
+
+  auto ok = net::connect_tcp("127.0.0.1", listener->port(),
+                             Deadline::after(Duration::from_seconds(5.0)),
+                             &error);
+  EXPECT_TRUE(ok.has_value()) << error;
+  // UNIX dials never consult the TCP site.
+  EXPECT_EQ(fault::Injector::instance().fired("net.tcp_connect"), 1u);
+}
+
 // ---- reconnect + replay + breaker against a real daemon ----
 
 // Shared expensive fixture: engine + trained power model (same recipe as

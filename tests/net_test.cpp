@@ -5,11 +5,15 @@
 #include <sys/socket.h>
 
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <thread>
+#include <vector>
 
+#include "net/endpoint.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -415,6 +419,146 @@ TEST(ProtocolWireTest, ErrorRoundTrip) {
       server::decode_error(server::encode_error({"server full"}));
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->message, "server full");
+}
+
+// ---- endpoint grammar ----
+
+TEST(EndpointTest, ParsesUnixTcpAndBarePathSpecs) {
+  std::string err;
+  const auto u = net::Endpoint::parse("unix:/tmp/ewcd.sock", &err);
+  ASSERT_TRUE(u.has_value()) << err;
+  EXPECT_TRUE(u->is_unix());
+  EXPECT_EQ(u->path, "/tmp/ewcd.sock");
+  EXPECT_EQ(u->canonical(), "unix:/tmp/ewcd.sock");
+
+  const auto t = net::Endpoint::parse("tcp:127.0.0.1:7070", &err);
+  ASSERT_TRUE(t.has_value()) << err;
+  EXPECT_TRUE(t->is_tcp());
+  EXPECT_EQ(t->host, "127.0.0.1");
+  EXPECT_EQ(t->port, 7070);
+  EXPECT_EQ(t->canonical(), "tcp:127.0.0.1:7070");
+
+  // Hostnames keep everything up to the *last* colon.
+  const auto named = net::Endpoint::parse("tcp:shard-3.fleet.local:0", &err);
+  ASSERT_TRUE(named.has_value()) << err;
+  EXPECT_EQ(named->host, "shard-3.fleet.local");
+  EXPECT_EQ(named->port, 0);
+
+  // A bare path is the pre-fleet spelling and still means UNIX.
+  const auto bare = net::Endpoint::parse("/var/run/ewcd.sock", &err);
+  ASSERT_TRUE(bare.has_value()) << err;
+  EXPECT_TRUE(bare->is_unix());
+  EXPECT_EQ(bare->path, "/var/run/ewcd.sock");
+  EXPECT_EQ(bare->canonical(), "unix:/var/run/ewcd.sock");
+}
+
+TEST(EndpointTest, ParsesBracketedIpv6AndCanonicalRoundTrips) {
+  std::string err;
+  const auto ep = net::Endpoint::parse("tcp:[::1]:7070", &err);
+  ASSERT_TRUE(ep.has_value()) << err;
+  EXPECT_TRUE(ep->is_tcp());
+  EXPECT_EQ(ep->host, "::1");
+  EXPECT_EQ(ep->port, 7070);
+  EXPECT_EQ(ep->canonical(), "tcp:[::1]:7070");
+
+  // canonical() re-parses to the same endpoint for every kind.
+  for (const char* spec :
+       {"unix:/tmp/a.sock", "tcp:10.0.0.7:9", "tcp:[fe80::2]:65535"}) {
+    const auto a = net::Endpoint::parse(spec, &err);
+    ASSERT_TRUE(a.has_value()) << spec << ": " << err;
+    const auto b = net::Endpoint::parse(a->canonical(), &err);
+    ASSERT_TRUE(b.has_value()) << a->canonical() << ": " << err;
+    EXPECT_EQ(b->canonical(), a->canonical());
+  }
+}
+
+TEST(EndpointTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "unix:", "tcp:127.0.0.1", "tcp::7070", "tcp:host:",
+        "tcp:host:notaport", "tcp:host:70000", "tcp:[::1]", "tcp:[::1]7070"}) {
+    std::string err;
+    EXPECT_FALSE(net::Endpoint::parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+// The TCP analogue of ListenerTest.BindAcceptConnectRoundTrip: bind an
+// ephemeral port, learn it from the listener, dial through the endpoint
+// grammar, and push an EWC1 frame both ways.
+TEST(EndpointTest, TcpBindConnectFrameRoundTrip) {
+  std::string error;
+  auto listener = net::Listener::bind_tcp("127.0.0.1", 0, 8, &error);
+  ASSERT_TRUE(listener.has_value()) << error;
+  EXPECT_GT(listener->port(), 0);
+  EXPECT_EQ(listener->name(),
+            "tcp:127.0.0.1:" + std::to_string(listener->port()));
+
+  std::optional<Socket> client;
+  std::string cerr2;
+  std::thread connector([&] {
+    client = net::connect_endpoint(
+        listener->name(), Deadline::after(Duration::from_seconds(5)), &cerr2);
+  });
+  IoStatus status = IoStatus::kOk;
+  auto server_side = listener->accept(
+      Deadline::after(Duration::from_seconds(5)), &status, &error);
+  connector.join();
+  ASSERT_TRUE(server_side.has_value()) << error;
+  ASSERT_TRUE(client.has_value()) << cerr2;
+
+  const auto payload = [] {
+    std::vector<std::byte> p(4096);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] = static_cast<std::byte>((i * 131 + 7) & 0xFF);
+    }
+    return p;
+  }();
+  ASSERT_EQ(net::write_frame(*client, 3, payload, Deadline::never(), &error),
+            IoStatus::kOk)
+      << error;
+  Frame f;
+  ASSERT_EQ(net::read_frame(*server_side, &f,
+                            Deadline::after(Duration::from_seconds(5)),
+                            &error),
+            IoStatus::kOk)
+      << error;
+  EXPECT_EQ(f.type, 3);
+  EXPECT_EQ(f.payload, payload);
+
+  // And back the other way, daemon-to-client.
+  ASSERT_EQ(net::write_frame(*server_side, 4, payload, Deadline::never(),
+                             &error),
+            IoStatus::kOk)
+      << error;
+  Frame back;
+  ASSERT_EQ(net::read_frame(*client, &back,
+                            Deadline::after(Duration::from_seconds(5)),
+                            &error),
+            IoStatus::kOk)
+      << error;
+  EXPECT_EQ(back.type, 4);
+  EXPECT_EQ(back.payload, payload);
+}
+
+TEST(EndpointTest, TcpConnectToClosedPortFailsBeforeDeadline) {
+  // Grab an ephemeral port, then close the listener so nothing is bound
+  // there: connect_endpoint must keep retrying refusals until the deadline,
+  // then fail cleanly.
+  std::string error;
+  auto listener = net::Listener::bind_tcp("127.0.0.1", 0, 1, &error);
+  ASSERT_TRUE(listener.has_value()) << error;
+  const std::string spec = listener->name();
+  listener.reset();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto client = net::connect_endpoint(
+      spec, Deadline::after(Duration::from_millis(200.0)), &error);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_FALSE(client.has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_LT(elapsed, 5.0);
 }
 
 }  // namespace

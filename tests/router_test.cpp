@@ -1,0 +1,412 @@
+// Tests for the energy-aware fleet router.
+//
+// The placement policy is a pure function (pick_shard), so its tests need
+// no sockets. The integration tests stand up two real in-process ewcd
+// shards on UNIX sockets behind one Router and drive them with the real
+// client, covering placement balancing, drain-based migration, flush
+// fan-out, stats aggregation, and the router.forward fault site.
+//
+// In-process caveat: trace::Counters is process-wide, so two in-process
+// shards report the *same* global counter registry and the fleet sums
+// would double count. These tests therefore assert placement state via
+// Router::snapshots() and stats *structure* (shard.<i>.* breakdown keys,
+// router.* gauges); cross-process aggregation arithmetic is covered by the
+// fleet chaos test and the CI fleet-smoke job, where every shard is its
+// own process.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+#include "consolidate/backend.hpp"
+#include "fault/injector.hpp"
+#include "gpusim/engine.hpp"
+#include "power/trainer.hpp"
+#include "router/router.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "workloads/paper_configs.hpp"
+#include "workloads/rodinia_like.hpp"
+
+namespace ewc {
+namespace {
+
+using common::Duration;
+using router::pick_shard;
+using router::Router;
+using router::RouterOptions;
+using router::ShardSnapshot;
+
+ShardSnapshot snap(double sessions, double inflight = 0,
+                   double power_watts = 0) {
+  ShardSnapshot s;
+  s.sessions = sessions;
+  s.inflight = inflight;
+  s.power_watts = power_watts;
+  return s;
+}
+
+// ---- placement policy ----
+
+TEST(PickShardTest, PrefersLeastLoadedShard) {
+  const std::vector<ShardSnapshot> shards = {snap(3), snap(1), snap(2)};
+  EXPECT_EQ(pick_shard(shards, 1.0, 0.0), 1u);
+}
+
+TEST(PickShardTest, InflightCountsTowardLoad) {
+  // Shard 0 has fewer sessions but a deep unanswered-launch backlog.
+  const std::vector<ShardSnapshot> shards = {snap(1, 5), snap(2, 0)};
+  EXPECT_EQ(pick_shard(shards, 1.0, 0.0), 1u);
+}
+
+TEST(PickShardTest, EnergyWeightSteersAwayFromHotShards) {
+  // Equal load: the cooler shard wins once energy has any weight.
+  const std::vector<ShardSnapshot> equal_load = {snap(2, 0, 90.0),
+                                                 snap(2, 0, 30.0)};
+  EXPECT_EQ(pick_shard(equal_load, 1.0, 0.05), 1u);
+  // With energy ignored, the tie goes to the lower index.
+  EXPECT_EQ(pick_shard(equal_load, 1.0, 0.0), 0u);
+  // A big enough energy weight outvotes a one-session load difference.
+  const std::vector<ShardSnapshot> hot_but_idle = {snap(1, 0, 90.0),
+                                                   snap(2, 0, 30.0)};
+  EXPECT_EQ(pick_shard(hot_but_idle, 1.0, 0.05), 1u);
+  EXPECT_EQ(pick_shard(hot_but_idle, 1.0, 0.0), 0u);
+}
+
+TEST(PickShardTest, SkipsDeadDrainingAndBreakerOpenShards) {
+  std::vector<ShardSnapshot> shards = {snap(0), snap(1), snap(2), snap(3)};
+  shards[0].alive = false;
+  shards[1].draining = true;
+  shards[2].breaker_open = true;
+  EXPECT_EQ(pick_shard(shards, 1.0, 0.0), 3u);
+}
+
+TEST(PickShardTest, NoPlaceableShardIsNullopt) {
+  EXPECT_EQ(pick_shard({}, 1.0, 0.0), std::nullopt);
+  std::vector<ShardSnapshot> shards = {snap(0), snap(0)};
+  shards[0].alive = false;
+  shards[1].draining = true;
+  EXPECT_EQ(pick_shard(shards, 1.0, 0.0), std::nullopt);
+}
+
+TEST(PickShardTest, TiesAreDeterministicallyLowestIndex) {
+  const std::vector<ShardSnapshot> shards = {snap(2), snap(2), snap(2)};
+  EXPECT_EQ(pick_shard(shards, 1.0, 0.05), 0u);
+}
+
+// ---- integration: two in-process shards behind one router ----
+
+/// Re-arms the process-wide injector for one test (copied idiom from
+/// fault_test).
+class ArmGuard {
+ public:
+  explicit ArmGuard(const std::string& scenario, std::uint64_t seed = 42) {
+    std::string err;
+    ok_ = fault::Injector::instance().arm(scenario, seed, &err);
+    EXPECT_TRUE(ok_) << scenario << ": " << err;
+  }
+  ~ArmGuard() { fault::Injector::instance().disarm(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = false;
+};
+
+class RouterFleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine_ = new gpusim::FluidEngine();
+    power::ModelTrainer trainer(*engine_);
+    model_ = new power::GpuPowerModel(
+        trainer.train(workloads::rodinia_training_kernels()).model);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete engine_;
+    model_ = nullptr;
+    engine_ = nullptr;
+  }
+
+  struct Shard {
+    Shard(const std::string& path, int threshold) {
+      consolidate::BackendOptions options;
+      options.batch_threshold = threshold;
+      backend = std::make_unique<consolidate::Backend>(
+          *engine_, *model_, consolidate::TemplateRegistry::paper_defaults(),
+          options);
+      backend->set_cpu_profile("aes_encrypt",
+                               workloads::encryption_12k().cpu);
+      ::unlink(path.c_str());
+      server::ServerOptions sopt;
+      sopt.socket_path = path;
+      server = std::make_unique<server::Server>(*backend, sopt);
+      std::string error;
+      started = server->start(&error);
+      EXPECT_TRUE(started) << error;
+    }
+    ~Shard() {
+      if (server && server->running()) server->stop();
+    }
+    std::unique_ptr<consolidate::Backend> backend;
+    std::unique_ptr<server::Server> server;
+    bool started = false;
+  };
+
+  /// Two shards + a router on UNIX sockets, torn down in reverse order.
+  struct Fleet {
+    Fleet(const std::string& tag, int threshold,
+          double energy_weight = 0.0) {
+      const std::string dir = ::testing::TempDir();
+      for (int i = 0; i < 2; ++i) {
+        const auto path =
+            dir + "ewc_router_" + tag + "_s" + std::to_string(i) + ".sock";
+        shards.push_back(std::make_unique<Shard>(path, threshold));
+        shard_paths.push_back(path);
+      }
+      RouterOptions ropt;
+      ropt.listen = "unix:" + dir + "ewc_router_" + tag + ".sock";
+      ::unlink((dir + "ewc_router_" + tag + ".sock").c_str());
+      for (const auto& p : shard_paths) ropt.shards.push_back("unix:" + p);
+      ropt.poll_interval = Duration::from_millis(100.0);
+      ropt.dial_timeout = Duration::from_seconds(2.0);
+      // Placement determinism for the tests: score by load only, unless a
+      // test opts back into the energy term.
+      ropt.energy_weight = energy_weight;
+      router = std::make_unique<Router>(ropt);
+      std::string error;
+      started = router->start(&error);
+      EXPECT_TRUE(started) << error;
+    }
+    ~Fleet() {
+      if (router && router->running()) router->stop();
+      shards.clear();
+    }
+
+    std::unique_ptr<server::ClientConnection> connect(
+        const std::string& owner) {
+      std::string error;
+      auto conn = server::ClientConnection::connect(
+          router->endpoint(), owner, Duration::from_seconds(10.0), &error);
+      EXPECT_NE(conn, nullptr) << owner << ": " << error;
+      return conn;
+    }
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::vector<std::string> shard_paths;
+    std::unique_ptr<Router> router;
+    bool started = false;
+  };
+
+  static consolidate::LaunchRequest aes_launch(const std::string& owner) {
+    consolidate::LaunchRequest req;
+    req.owner = owner;
+    req.desc = workloads::encryption_12k().gpu;
+    req.api_messages = 1;
+    return req;
+  }
+
+  static gpusim::FluidEngine* engine_;
+  static power::GpuPowerModel* model_;
+};
+gpusim::FluidEngine* RouterFleetTest::engine_ = nullptr;
+power::GpuPowerModel* RouterFleetTest::model_ = nullptr;
+
+TEST_F(RouterFleetTest, LaunchRoundTripsThroughTheRouter) {
+  Fleet fleet("roundtrip", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+  auto conn = fleet.connect("rt-client");
+  ASSERT_NE(conn, nullptr);
+  const auto reply =
+      conn->launch(aes_launch("rt-client"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
+  EXPECT_GT(reply.finish_time.seconds(), 0.0);
+}
+
+TEST_F(RouterFleetTest, SessionsBalanceAcrossShards) {
+  Fleet fleet("balance", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+  std::vector<std::unique_ptr<server::ClientConnection>> conns;
+  for (int i = 0; i < 4; ++i) {
+    conns.push_back(fleet.connect("bal-" + std::to_string(i)));
+    ASSERT_NE(conns.back(), nullptr);
+  }
+  // Score = live sessions (energy weight zeroed), so four sequential
+  // hellos must alternate 0,1,0,1.
+  const auto snaps = fleet.router->snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].sessions, 2.0);
+  EXPECT_EQ(snaps[1].sessions, 2.0);
+  // Disconnects release the placement.
+  conns.clear();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto after = fleet.router->snapshots();
+    if (after[0].sessions == 0.0 && after[1].sessions == 0.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const auto after = fleet.router->snapshots();
+  EXPECT_EQ(after[0].sessions, 0.0);
+  EXPECT_EQ(after[1].sessions, 0.0);
+}
+
+TEST_F(RouterFleetTest, DrainingShardStopsReceivingNewSessions) {
+  Fleet fleet("drain", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+
+  // One session lands on shard 0, then the operator drains it.
+  auto pinned = fleet.connect("drain-pinned");
+  ASSERT_NE(pinned, nullptr);
+  ASSERT_EQ(fleet.router->snapshots()[0].sessions, 1.0);
+  fleet.router->set_draining(0, true);
+
+  // Every new session now lands on shard 1 (migration by attrition)...
+  std::vector<std::unique_ptr<server::ClientConnection>> conns;
+  for (int i = 0; i < 3; ++i) {
+    conns.push_back(fleet.connect("drain-" + std::to_string(i)));
+    ASSERT_NE(conns.back(), nullptr);
+  }
+  auto snaps = fleet.router->snapshots();
+  EXPECT_TRUE(snaps[0].draining);
+  EXPECT_EQ(snaps[0].sessions, 1.0);
+  EXPECT_EQ(snaps[1].sessions, 3.0);
+
+  // ...while the pinned session keeps working on the draining shard.
+  const auto reply =
+      pinned->launch(aes_launch("drain-pinned"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
+
+  // Undraining puts the shard back into rotation.
+  fleet.router->set_draining(0, false);
+  conns.push_back(fleet.connect("drain-return"));
+  ASSERT_NE(conns.back(), nullptr);
+  snaps = fleet.router->snapshots();
+  EXPECT_FALSE(snaps[0].draining);
+  EXPECT_EQ(snaps[0].sessions, 2.0);
+}
+
+TEST_F(RouterFleetTest, FlushFansOutToEveryShard) {
+  // Threshold 4 so nothing executes on its own: a single client's flush
+  // must push the *other* shard's pending batch through too.
+  Fleet fleet("flush", /*threshold=*/4);
+  ASSERT_TRUE(fleet.started);
+
+  auto a = fleet.connect("flush-a");  // placed on shard 0
+  auto b = fleet.connect("flush-b");  // placed on shard 1
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(fleet.router->snapshots()[0].sessions, 1.0);
+  ASSERT_EQ(fleet.router->snapshots()[1].sessions, 1.0);
+
+  auto reply_b = std::make_shared<std::promise<consolidate::CompletionReply>>();
+  auto done_b = reply_b->get_future();
+  ASSERT_NE(b->launch_async(aes_launch("flush-b"),
+                            [reply_b](const consolidate::CompletionReply& r) {
+                              reply_b->set_value(r);
+                            }),
+            0u);
+  // The launch sits below threshold on shard 1: no completion yet.
+  EXPECT_EQ(done_b.wait_for(std::chrono::milliseconds(300)),
+            std::future_status::timeout);
+
+  // Client A (shard 0) flushes; the router fans the flush out fleet-wide.
+  EXPECT_TRUE(a->flush(Duration::from_seconds(30.0)));
+  ASSERT_EQ(done_b.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  const auto reply = done_b.get();
+  EXPECT_TRUE(reply.ok) << reply.error;
+}
+
+TEST_F(RouterFleetTest, StatsAggregateCarriesPerShardBreakdown) {
+  Fleet fleet("stats", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+  auto a = fleet.connect("stats-a");
+  auto b = fleet.connect("stats-b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(a->launch(aes_launch("stats-a"), Duration::from_seconds(60.0)).ok);
+  EXPECT_TRUE(b->launch(aes_launch("stats-b"), Duration::from_seconds(60.0)).ok);
+
+  const auto stats = a->stats(true, Duration::from_seconds(30.0));
+  ASSERT_TRUE(stats.has_value());
+  const auto& c = stats->counters;
+  ASSERT_TRUE(c.count("router.shards"));
+  EXPECT_EQ(c.at("router.shards"), 2.0);
+  EXPECT_EQ(c.at("router.shards_alive"), 2.0);
+  EXPECT_GE(c.at("router.sessions_placed"), 2.0);
+  // Per-shard breakdown keys exist for both shards, and each shard reports
+  // its own placement gauge.
+  for (int i = 0; i < 2; ++i) {
+    const std::string prefix = "shard." + std::to_string(i) + ".";
+    ASSERT_TRUE(c.count(prefix + "router.placements")) << prefix;
+    ASSERT_TRUE(c.count(prefix + "router.alive")) << prefix;
+    EXPECT_EQ(c.at(prefix + "router.alive"), 1.0) << prefix;
+    EXPECT_TRUE(c.count(prefix + "server.replies")) << prefix;
+  }
+  // The fleet-wide view reads like a single daemon's: plain counter names
+  // are present (summed across shards).
+  EXPECT_TRUE(c.count("server.replies"));
+  EXPECT_TRUE(c.count("backend.total_energy_joules"));
+}
+
+TEST_F(RouterFleetTest, ForwardDropFaultTimesOutOneLaunchThenRecovers) {
+  Fleet fleet("fwd-drop", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+  auto conn = fleet.connect("drop-client");
+  ASSERT_NE(conn, nullptr);
+
+  // The first forwarded frame (this launch) is dropped in the router; the
+  // client's wait must expire rather than hang or crash anything.
+  ArmGuard guard("router.forward=drop:times=1");
+  const auto lost =
+      conn->launch(aes_launch("drop-client"), Duration::from_seconds(1.0));
+  EXPECT_FALSE(lost.ok);
+  EXPECT_EQ(fault::Injector::instance().fired("router.forward"), 1u);
+
+  // The rule is exhausted: the pairing is intact and the next launch works.
+  const auto ok =
+      conn->launch(aes_launch("drop-client"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(ok.ok) << ok.error;
+}
+
+TEST_F(RouterFleetTest, DeadShardFailsOverToTheSurvivor) {
+  Fleet fleet("failover", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+
+  // Kill shard 0 outright; placement must route every new session to
+  // shard 1 (dial failure → fallback), and the poller must mark shard 0
+  // not alive.
+  fleet.shards[0]->server->stop();
+  std::vector<std::unique_ptr<server::ClientConnection>> conns;
+  for (int i = 0; i < 2; ++i) {
+    conns.push_back(fleet.connect("failover-" + std::to_string(i)));
+    ASSERT_NE(conns.back(), nullptr);
+    const auto reply = conns.back()->launch(
+        aes_launch("failover-" + std::to_string(i)),
+        Duration::from_seconds(60.0));
+    EXPECT_TRUE(reply.ok) << reply.error;
+  }
+  const auto snaps = fleet.router->snapshots();
+  EXPECT_EQ(snaps[0].sessions, 0.0);
+  EXPECT_EQ(snaps[1].sessions, 2.0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!fleet.router->snapshots()[0].alive) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_FALSE(fleet.router->snapshots()[0].alive);
+  EXPECT_TRUE(fleet.router->snapshots()[1].alive);
+}
+
+}  // namespace
+}  // namespace ewc
