@@ -12,6 +12,7 @@
 #include "bench/bench_common.hpp"
 #include "cpusim/engine.hpp"
 #include "gpusim/engine.hpp"
+#include "gpusim/simd.hpp"
 #include "perf/consolidation_model.hpp"
 #include "power/event_rates.hpp"
 #include "power/trainer.hpp"
@@ -40,6 +41,45 @@ void BM_EngineRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EngineRun)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
+
+// Phase-split engine timing: the advance loop (dispatch + fluid events) vs
+// the rest of run() (statics, transfers, result assembly), separated via the
+// engine's own wall_advance/wall_total instrumentation. Arg 2 selects the
+// advance path (0 = scalar reference, 1 = SIMD), so one run of this
+// benchmark in the default build yields the scalar-vs-SIMD speedup ratio CI
+// publishes; in an EWC_SIMD=OFF build the SIMD rows are skipped.
+void BM_EngineAdvance(benchmark::State& state) {
+  gpusim::FluidEngine engine;
+  const auto plan = make_plan(static_cast<int>(state.range(0)));
+  const bool simd = state.range(1) != 0;
+  if (simd && !gpusim::simd_compiled_in()) {
+    state.SkipWithError("SIMD path not compiled in (EWC_SIMD=OFF)");
+    return;
+  }
+  const bool prev = gpusim::simd_enabled();
+  gpusim::set_simd_enabled(simd);
+  double advance_s = 0.0;
+  double total_s = 0.0;
+  double events = 0.0;
+  for (auto _ : state) {
+    const auto run = engine.run(plan);
+    advance_s += run.wall_advance_seconds;
+    total_s += run.wall_total_seconds;
+    events = static_cast<double>(run.fluid_events);
+    benchmark::DoNotOptimize(&run);
+  }
+  gpusim::set_simd_enabled(prev);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["advance_s_per_run"] = advance_s / iters;
+  state.counters["advance_frac"] = total_s > 0.0 ? advance_s / total_s : 0.0;
+  state.counters["fluid_events"] = events;
+  state.counters["simd"] = simd ? 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineAdvance)
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({256, 0})->Args({256, 1});
 
 void BM_PerfPredict(benchmark::State& state) {
   perf::ConsolidationModel model;

@@ -164,9 +164,13 @@ Decision DecisionEngine::decide(
     eb.which = Alternative::kIndividualGpu;
     Duration total = Duration::zero();
     Energy energy = Energy::zero();
+    // One single-instance plan reused across the scan: the copy assignment
+    // below recycles its string/vector capacity instead of re-allocating a
+    // fresh plan per candidate.
+    gpusim::LaunchPlan single;
+    single.instances.resize(1);
     for (const auto& inst : plan.instances) {
-      gpusim::LaunchPlan single;
-      single.instances.push_back(inst);
+      single.instances[0] = inst;
       const auto p = predict_gpu(single, "decide-single",
                                  /*include_instance_ids=*/false);
       total += p.time;
@@ -181,6 +185,7 @@ Decision DecisionEngine::decide(
   const auto eval_cpu = [&] {
     ec.which = Alternative::kCpu;
     std::vector<cpusim::CpuTask> tasks;
+    tasks.reserve(cpu_profiles.size());
     bool have_all = true;
     for (const auto& p : cpu_profiles) {
       if (!p.has_value()) {

@@ -59,9 +59,22 @@ QueueSimResult QueueSimulator::run(
   double t_free = 0.0;
   double busy_and_gap_joules = 0.0;
 
+  // Per-batch working buffers, hoisted so a long trace replay allocates them
+  // once: after the first few batches every clear()/push_back cycle runs
+  // inside retained capacity (same SoA-era discipline as FluidEngine's
+  // arena; DecisionEngine's parallel evaluation depends on `plan` staying
+  // stable for the batch).
+  std::vector<trace::Request> batch;
+  gpusim::LaunchPlan plan;
+  std::vector<std::optional<cpusim::CpuTask>> profiles;
+  std::vector<std::size_t> staged;
+  std::vector<int> messages;
+  std::vector<cpusim::CpuTask> cpu_tasks;
+
   while (next < requests.size()) {
     // ---- form one batch ----
-    std::vector<trace::Request> batch{requests[next++]};
+    batch.clear();
+    batch.push_back(requests[next++]);
     const double deadline =
         batch.front().arrival_seconds + options_.batch_timeout.seconds();
     while (static_cast<int>(batch.size()) < options_.batch_threshold &&
@@ -78,11 +91,11 @@ QueueSimResult QueueSimulator::run(
     double ready = filled ? batch.back().arrival_seconds : deadline;
 
     // ---- build the launch plan + profiles ----
-    gpusim::LaunchPlan plan;
+    plan.instances.clear();
     plan.reuse_constant_data = options_.optimizations.constant_data_reuse;
-    std::vector<std::optional<cpusim::CpuTask>> profiles;
-    std::vector<std::size_t> staged;
-    std::vector<int> messages;
+    profiles.clear();
+    staged.clear();
+    messages.clear();
     for (std::size_t b = 0; b < batch.size(); ++b) {
       auto it = catalogue_.find(batch[b].workload);
       if (it == catalogue_.end()) {
@@ -144,10 +157,10 @@ QueueSimResult QueueSimulator::run(
         break;
       }
       case Alternative::kCpu: {
-        std::vector<cpusim::CpuTask> tasks;
-        for (auto& p : profiles) tasks.push_back(*p);
+        cpu_tasks.clear();
+        for (auto& p : profiles) cpu_tasks.push_back(*p);
         cpusim::CpuEngine cpu(options_.cpu_config);
-        const auto run = cpu.run(tasks);
+        const auto run = cpu.run(cpu_tasks);
         exec_seconds = run.makespan.seconds();
         exec_joules = run.system_energy.joules() +
                       gpu_idle_delta_w * run.makespan.seconds();

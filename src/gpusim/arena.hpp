@@ -1,0 +1,65 @@
+// Per-run bump arena for the fluid simulator's SoA state.
+//
+// FluidEngine::run used to allocate dozens of small vectors/sets per run and
+// a std::set<std::string> *per fluid event*; at fleet scale those allocations
+// dominated the advance loop. The arena replaces all of them with ONE
+// allocation per run, carved into typed arrays. Lifetime rules
+// (docs/SIMULATOR.md): the arena lives exactly as long as one run() call, is
+// never resized after carving (pointers into it stay stable through the
+// event loop), and is not shared across threads — each concurrent run owns
+// its own arena.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace ewc::gpusim {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t bytes)
+      : buf_(new unsigned char[bytes]), cap_(bytes) {}
+
+  /// Carve a zero-initialized array of `n` Ts (T must be trivially
+  /// copyable: the arena never runs destructors).
+  /// @throws std::logic_error if the run's size estimate was wrong — carving
+  ///         is sized exactly up front, so overflow is a bug, not a
+  ///         condition to handle.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t align = alignof(T) > kMinAlign ? alignof(T) : kMinAlign;
+    std::size_t at = (used_ + align - 1) & ~(align - 1);
+    const std::size_t bytes = n * sizeof(T);
+    if (at + bytes > cap_) {
+      throw std::logic_error("Arena: carve overflow (sizing bug)");
+    }
+    used_ = at + bytes;
+    T* p = reinterpret_cast<T*>(buf_.get() + at);
+    std::memset(static_cast<void*>(p), 0, bytes);
+    return p;
+  }
+
+  /// Worst-case bytes `alloc<T>(n)` may consume (payload + alignment slack);
+  /// run() sums these to size the arena exactly.
+  template <typename T>
+  static constexpr std::size_t need(std::size_t n) {
+    const std::size_t align = alignof(T) > kMinAlign ? alignof(T) : kMinAlign;
+    return n * sizeof(T) + align;
+  }
+
+  std::size_t used() const { return used_; }
+
+ private:
+  // Every array is at least cache-line aligned so the SIMD loops never
+  // straddle an unaligned head element.
+  static constexpr std::size_t kMinAlign = 64;
+
+  std::unique_ptr<unsigned char[]> buf_;
+  std::size_t used_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace ewc::gpusim

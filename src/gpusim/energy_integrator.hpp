@@ -39,6 +39,11 @@ class EnergyIntegrator {
   }
   const std::vector<PowerSegment>& segments() const { return segments_; }
 
+  /// Capacity hint from callers that know roughly how many advance() calls
+  /// are coming (FluidEngine sizes this from the plan), so segment growth
+  /// never reallocates inside the event loop.
+  void reserve_segments(std::size_t n) { segments_.reserve(n); }
+
  private:
   EnergyConfig cfg_;
   Power idle_;

@@ -1,28 +1,93 @@
+// FluidEngine hot path. The simulation state lives in SoA arrays carved from
+// a per-run Arena (one allocation per run, zero per event): each SM owns a
+// fixed-capacity segment of slots [smi*cap, smi*cap + nres[smi]) whose order
+// mirrors the old per-SM resident lists, so every ordered floating-point
+// accumulation visits values in exactly the historical order.
+//
+// Two advance paths share this state (see docs/SIMULATOR.md):
+//   * the scalar reference — a faithful transcription of the original branchy
+//     per-block loops; golden digests pin it as ground truth;
+//   * the SIMD path — branchless elementwise loops and min-reductions under
+//     `#pragma omp simd`. Only arithmetic that is EXACT under reordering is
+//     vectorized (elementwise ops, min); every ordered sum (DRAM pressure,
+//     event/energy accumulation) runs through helpers shared by both paths.
+// The two paths are therefore bit-identical by construction; the `golden`
+// ctest label enforces it mechanically.
 #include "gpusim/engine.hpp"
 
 #include "common/rng.hpp"
+#include "gpusim/arena.hpp"
+#include "gpusim/simd.hpp"
 #include "obs/tracer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <deque>
+#include <cstring>
 #include <limits>
-#include <set>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#if !defined(EWC_SIMD_DISABLED) && (defined(__GNUC__) || defined(__clang__))
+#define EWC_PRAGMA_SIMD _Pragma("omp simd")
+#define EWC_PRAGMA_SIMD_REDUCE(clause) _Pragma(clause)
+#else
+#define EWC_PRAGMA_SIMD
+#define EWC_PRAGMA_SIMD_REDUCE(clause)
+#endif
 
 namespace ewc::gpusim {
 
 namespace {
 
+#ifdef EWC_PHASE_PROF
+struct PhaseProf {
+  double acc[10] = {};
+  static constexpr const char* kNames[10] = {
+      "setup",  "rates",       "pressure", "min_dt",   "drain",
+      "accum",  "completions", "dispatch", "assemble", "other"};
+  ~PhaseProf() {
+    for (int i = 0; i < 10; ++i) {
+      std::fprintf(stderr, "phase %-12s %10.3f ms\n", kNames[i], acc[i] * 1e3);
+    }
+  }
+};
+PhaseProf g_prof;
+#define PROF_DECL auto prof_t0 = std::chrono::steady_clock::now()
+#define PROF_ADD(idx)                                                \
+  do {                                                               \
+    const auto prof_now = std::chrono::steady_clock::now();          \
+    g_prof.acc[idx] +=                                               \
+        std::chrono::duration<double>(prof_now - prof_t0).count();   \
+    prof_t0 = prof_now;                                              \
+  } while (0)
+#else
+#define PROF_DECL \
+  do {            \
+  } while (0)
+#define PROF_ADD(idx) \
+  do {                \
+  } while (0)
+#endif
+
 constexpr double kEpsCycles = 1e-6;
 constexpr double kEpsBytes = 1e-6;
 constexpr double kRegReadsPerInst = 3.0;  // 2 reads + 1 write per ALU op
 
-/// Per-instance values precomputed once per run.
+/// Number of event channels accumulated per slot (the ComponentCounts
+/// channels): 6 compute-cycle densities then 2 DRAM-byte densities. The
+/// per-slot density row is one cache line, so the per-event accumulation
+/// vectorizes ACROSS CHANNELS while each channel's ordered sum still visits
+/// slots in ascending slot order (bit-exact on both advance paths).
+constexpr int kChannels = 8;
+
+/// Per-instance values precomputed once per run. No std::string member:
+/// kernel names stay in the run-local distinct-name table (name_id indexes
+/// it), so building statics allocates nothing per instance.
 struct KernelStatic {
-  std::string name;
+  int name_id = 0;  ///< dense id over distinct kernel names in the plan
   int warps = 0;
   int threads = 0;
   std::int64_t regs_per_block = 0;
@@ -32,47 +97,26 @@ struct KernelStatic {
   double stall_per_warp = 0.0;  ///< barrier-stall cycles (unshared latency)
   double mem_per_warp = 0.0;    ///< bytes
   double per_warp_mem_cap = 0.0;  ///< bytes / second
-  double dram_eff = 1.0;
+  double inv_per_warp_cap = 0.0;  ///< 1 / per_warp_mem_cap (0 when cap 0)
+  double cap_warps = 0.0;  ///< per_warp_mem_cap * warps (block demand)
+  double cap_warps_eff = 0.0;  ///< cap_warps * dram_efficiency
 
-  // Event densities: events per drained compute-cycle (per warp) and per
-  // drained DRAM byte (per warp).
-  double fp_per_cycle = 0.0;
-  double int_per_cycle = 0.0;
-  double sfu_per_cycle = 0.0;
-  double shared_per_cycle = 0.0;
-  double const_per_cycle = 0.0;
-  double reg_per_cycle = 0.0;
-  double coal_tx_per_byte = 0.0;
-  double uncoal_tx_per_byte = 0.0;
+  /// Block event densities premultiplied by warps: events per drained
+  /// compute-cycle (channels 0-5) / per drained DRAM byte (channels 6-7).
+  alignas(64) double dens[kChannels] = {};
+  /// Nominal whole-block event totals (density * full demand): credited to
+  /// the SM's counters when the block completes.
+  double block_totals[kChannels] = {};
 
   int blocks_remaining = 0;
-};
-
-struct Block {
-  int inst = -1;         ///< index into plan.instances / statics
-  double comp_rem = 0;   ///< issue cycles per warp
-  double stall_rem = 0;  ///< barrier-stall cycles per warp
-  double mem_rem = 0;    ///< bytes per warp
-  double comp_rate = 0;  ///< cycles / s per warp (recomputed each event)
-  double mem_rate = 0;   ///< bytes / s per warp
-
-  bool done() const {
-    return comp_rem <= kEpsCycles && stall_rem <= kEpsCycles &&
-           mem_rem <= kEpsBytes;
-  }
-};
-
-struct SmState {
-  std::vector<int> resident;  ///< indices into the block array
-  int threads_used = 0;
-  int nblocks = 0;
-  std::int64_t regs_used = 0;
-  std::int64_t smem_used = 0;
+  /// Dense id over distinct per-slot CONSTANT sets (warps, caps, densities):
+  /// instances with identical constants share one id, which lets place()
+  /// skip re-writing a slot whose previous occupant had the same constants.
+  int const_id = 0;
 };
 
 KernelStatic make_static(const DeviceConfig& dev, const KernelDesc& k) {
   KernelStatic s;
-  s.name = k.name;
   s.warps = k.warps_per_block(dev);
   s.threads = k.threads_per_block;
   s.regs_per_block = static_cast<std::int64_t>(k.resources.registers_per_thread) *
@@ -81,40 +125,550 @@ KernelStatic make_static(const DeviceConfig& dev, const KernelDesc& k) {
   s.comp_per_warp = k.warp_compute_cycles(dev);
   s.stall_per_warp = k.warp_stall_cycles(dev);
   s.mem_per_warp = k.warp_mem_bytes(dev);
-  s.dram_eff = k.dram_efficiency(dev);
 
   const double latency_s =
       k.effective_mem_latency_cycles(dev) / dev.shader_clock.hertz();
   s.per_warp_mem_cap =
       k.effective_mlp(dev) * k.avg_tx_bytes(dev) / latency_s;
+  s.inv_per_warp_cap =
+      s.per_warp_mem_cap > 0.0 ? 1.0 / s.per_warp_mem_cap : 0.0;
+  s.cap_warps = s.per_warp_mem_cap * s.warps;
+  s.cap_warps_eff = s.cap_warps * k.dram_efficiency(dev);
 
+  const double w = static_cast<double>(s.warps);
   if (s.comp_per_warp > 0.0) {
     const auto& m = k.mix;
-    s.fp_per_cycle = m.fp_insts / s.comp_per_warp;
-    s.int_per_cycle = m.int_insts / s.comp_per_warp;
-    s.sfu_per_cycle = m.sfu_insts / s.comp_per_warp;
-    s.shared_per_cycle = m.shared_accesses / s.comp_per_warp;
-    s.const_per_cycle = m.const_accesses / s.comp_per_warp;
-    s.reg_per_cycle = kRegReadsPerInst * m.compute_insts() / s.comp_per_warp;
+    s.dens[0] = m.fp_insts / s.comp_per_warp * w;
+    s.dens[1] = m.int_insts / s.comp_per_warp * w;
+    s.dens[2] = m.sfu_insts / s.comp_per_warp * w;
+    s.dens[3] = m.shared_accesses / s.comp_per_warp * w;
+    s.dens[4] = m.const_accesses / s.comp_per_warp * w;
+    s.dens[5] = kRegReadsPerInst * m.compute_insts() / s.comp_per_warp * w;
   }
   if (s.mem_per_warp > 0.0) {
     const auto& m = k.mix;
-    s.coal_tx_per_byte = m.coalesced_mem_insts / s.mem_per_warp;
-    s.uncoal_tx_per_byte =
-        m.uncoalesced_mem_insts * dev.warp_size / s.mem_per_warp;
+    s.dens[6] = m.coalesced_mem_insts / s.mem_per_warp * w;
+    s.dens[7] = m.uncoalesced_mem_insts * dev.warp_size / s.mem_per_warp * w;
+  }
+  for (int ch = 0; ch < kChannels; ++ch) {
+    s.block_totals[ch] =
+        s.dens[ch] * (ch < 6 ? s.comp_per_warp : s.mem_per_warp);
   }
   s.blocks_remaining = k.num_blocks;
   return s;
 }
 
-bool fits(const DeviceConfig& dev, const SmState& sm, const KernelStatic& k) {
-  if (sm.nblocks + 1 > dev.max_blocks_per_sm) return false;
-  if (sm.threads_used + k.threads > dev.max_threads_per_sm) return false;
-  if (sm.regs_used + k.regs_per_block > dev.registers_per_sm) return false;
-  if (sm.smem_used + k.smem_per_block > dev.shared_mem_per_sm) return false;
+/// SoA simulation state. Per-slot arrays are indexed (SM, resident slot):
+/// slot i = smi*cap + r with r < nres[smi]. All pointers live in the
+/// per-run Arena.
+///
+/// INVARIANT (inert slots): unoccupied slots (r >= nres[smi], including the
+/// padding up to `padded`) hold exact 0.0 in every demand, rate, and drain
+/// field, which makes them invisible to every full-range pass — they add
+/// +0.0 to ordered sums (a bitwise no-op for the non-negative accumulators
+/// here), contribute only infinity sentinels to the min-dt reduction, and
+/// drain 0 of 0. The SIMD kernels can therefore sweep the whole
+/// [0, padded) range in single long loops with no per-SM bounds.
+struct Soa {
+  int num_sms = 0;
+  int cap = 0;     ///< max_blocks_per_sm: slots per SM segment
+  int total = 0;   ///< num_sms * cap
+  int padded = 0;  ///< total rounded up to a multiple of kChannels
+
+  // Per-slot dynamic state.
+  double* comp_rem = nullptr;   ///< issue cycles per warp
+  double* stall_rem = nullptr;  ///< barrier-stall cycles per warp
+  double* mem_rem = nullptr;    ///< bytes per warp
+  double* comp_rate = nullptr;  ///< cycles / s per warp (per event)
+  double* inv_comp_rate = nullptr;  ///< 1 / comp_rate (0 when rate is 0)
+  double* mem_rate = nullptr;   ///< bytes / s per warp (per event)
+  double* dc = nullptr;         ///< cycles drained this event (scratch)
+  double* db = nullptr;         ///< bytes drained this event (scratch)
+
+  // Per-slot constants, denormalized from KernelStatic for contiguity.
+  double* per_warp_cap = nullptr;
+  double* inv_per_warp_cap = nullptr;  ///< 1 / per_warp_cap (0 when cap 0)
+  double* cap_warps = nullptr;
+  double* eff_cap = nullptr;  ///< cap_warps * dram_efficiency
+  double* warps_d = nullptr;
+  double* dens = nullptr;  ///< kChannels-wide premultiplied density rows
+  int* inst = nullptr;
+  int* block_id = nullptr;  ///< grid-order block index (tracing identity)
+  int* warps_i = nullptr;
+
+  // Per-SM occupancy and resources.
+  int* nres = nullptr;
+  int* threads_used = nullptr;
+  int* warps_res = nullptr;
+  std::int64_t* regs_used = nullptr;
+  std::int64_t* smem_used = nullptr;
+
+  /// const_id + 1 of the constants currently written to the slot (0: none).
+  /// Constants survive vacate(), so a slot re-used by a same-constants block
+  /// skips 6 double stores + the density-row copy on place().
+  int* brand = nullptr;
+
+  // Scratch: distinct-kernel epoch stamps, kRandom candidate list, the
+  // per-SM completed-slot tally from the drain sweep / completion pre-scan,
+  // and the per-SM fair-share compute rate pair from the SIMD rates sweep
+  // (the SIMD path never materializes per-slot rate arrays: the drain sweep
+  // recomputes each slot's rate from these with the identical expressions).
+  std::uint64_t* name_stamp = nullptr;
+  int* sm_candidates = nullptr;
+  int* sm_ndone = nullptr;
+  double* sm_comp_rate = nullptr;
+  double* sm_inv_comp_rate = nullptr;
+
+  int slot(int smi, int r) const { return smi * cap + r; }
+
+  void place(int smi, const KernelStatic& st, int instance, int blk_id) {
+    const int i = slot(smi, nres[smi]);
+    comp_rem[i] = st.comp_per_warp;
+    stall_rem[i] = st.stall_per_warp;
+    mem_rem[i] = st.mem_per_warp;
+    if (brand[i] != st.const_id + 1) {
+      brand[i] = st.const_id + 1;
+      per_warp_cap[i] = st.per_warp_mem_cap;
+      inv_per_warp_cap[i] = st.inv_per_warp_cap;
+      cap_warps[i] = st.cap_warps;
+      eff_cap[i] = st.cap_warps_eff;
+      warps_d[i] = static_cast<double>(st.warps);
+      warps_i[i] = st.warps;
+      std::memcpy(dens + static_cast<std::size_t>(i) * kChannels, st.dens,
+                  sizeof st.dens);
+    }
+    inst[i] = instance;
+    block_id[i] = blk_id;
+    nres[smi] += 1;
+    threads_used[smi] += st.threads;
+    warps_res[smi] += st.warps;
+    regs_used[smi] += st.regs_per_block;
+    smem_used[smi] += st.smem_per_block;
+  }
+
+  /// Copy slot `from` down to slot `to` during the post-completion
+  /// compaction pass (to < from, same SM segment). Rates are recomputed
+  /// from the demands for every slot at the top of the next event, so only
+  /// demands + constants + identity travel.
+  void compact_copy(int to, int from) {
+    comp_rem[to] = comp_rem[from];
+    stall_rem[to] = stall_rem[from];
+    mem_rem[to] = mem_rem[from];
+    if (brand[to] != brand[from]) {
+      brand[to] = brand[from];
+      per_warp_cap[to] = per_warp_cap[from];
+      inv_per_warp_cap[to] = inv_per_warp_cap[from];
+      cap_warps[to] = cap_warps[from];
+      eff_cap[to] = eff_cap[from];
+      warps_d[to] = warps_d[from];
+      warps_i[to] = warps_i[from];
+      std::memcpy(dens + static_cast<std::size_t>(to) * kChannels,
+                  dens + static_cast<std::size_t>(from) * kChannels,
+                  sizeof(double) * kChannels);
+    }
+    inst[to] = inst[from];
+    block_id[to] = block_id[from];
+  }
+
+  /// Re-zero a vacated slot's demand and drain state (the inert-slot
+  /// invariant; its rates are rewritten from the zero demands next event).
+  void vacate(int i) {
+    comp_rem[i] = 0.0;
+    stall_rem[i] = 0.0;
+    mem_rem[i] = 0.0;
+    comp_rate[i] = 0.0;
+    inv_comp_rate[i] = 0.0;
+    mem_rate[i] = 0.0;
+    dc[i] = 0.0;
+    db[i] = 0.0;
+  }
+
+  /// Column-wise vacate of [first, first + count): restores the inert-slot
+  /// invariant with one contiguous zero-fill per array (the all-zero bit
+  /// pattern is exactly +0.0).
+  void vacate_range(int first, int count) {
+    const auto bytes = static_cast<std::size_t>(count) * sizeof(double);
+    std::memset(comp_rem + first, 0, bytes);
+    std::memset(stall_rem + first, 0, bytes);
+    std::memset(mem_rem + first, 0, bytes);
+    std::memset(comp_rate + first, 0, bytes);
+    std::memset(inv_comp_rate + first, 0, bytes);
+    std::memset(mem_rate + first, 0, bytes);
+    std::memset(dc + first, 0, bytes);
+    std::memset(db + first, 0, bytes);
+  }
+
+  bool done(int i) const {
+    return comp_rem[i] <= kEpsCycles && stall_rem[i] <= kEpsCycles &&
+           mem_rem[i] <= kEpsBytes;
+  }
+};
+
+bool fits(const DeviceConfig& dev, const Soa& s, int smi,
+          const KernelStatic& k) {
+  if (s.nres[smi] + 1 > dev.max_blocks_per_sm) return false;
+  if (s.threads_used[smi] + k.threads > dev.max_threads_per_sm) return false;
+  if (s.regs_used[smi] + k.regs_per_block > dev.registers_per_sm) return false;
+  if (s.smem_used[smi] + k.smem_per_block > dev.shared_mem_per_sm) return false;
   return true;
 }
 
+// ---- advance kernels -------------------------------------------------------
+//
+// Each stage has two variants computing bit-identical values:
+//   * `_scalar` — the reference: branchy per-SM loops bounded by nres, the
+//     structure of the original per-block implementation;
+//   * `_simd`  — branchless full-range sweeps over [0, padded) slots that
+//     lean on the inert-slot invariant, written so the compiler can
+//     vectorize them (guards become selects, min-reductions are lane-banked
+//     — exact, since FP min commutes without rounding).
+// Both variants evaluate the SAME floating-point expressions per slot;
+// every ordered accumulation (DRAM pressure, event/energy accrual) visits
+// slots in ascending slot order on both paths (see docs/SIMULATOR.md).
+
+void comp_rates_scalar(const Soa& s, double clock, double inv_clock) {
+  for (int smi = 0; smi < s.num_sms; ++smi) {
+    const int base = smi * s.cap, n = s.nres[smi];
+    int with_comp = 0;
+    for (int r = 0; r < n; ++r) {
+      if (s.comp_rem[base + r] > kEpsCycles) with_comp += s.warps_i[base + r];
+    }
+    // comp_rem > eps implies with_comp >= that block's warps > 0, so the
+    // hoisted fair-share rate is only ever selected when it is well-defined.
+    const double rate = with_comp > 0 ? clock / with_comp : 0.0;
+    const double inv_rate = with_comp > 0 ? with_comp * inv_clock : 0.0;
+    for (int r = 0; r < n; ++r) {
+      const int i = base + r;
+      if (s.comp_rem[i] > kEpsCycles) {
+        s.comp_rate[i] = rate;
+        s.inv_comp_rate[i] = inv_rate;
+      } else {
+        s.comp_rate[i] = 0.0;
+        s.inv_comp_rate[i] = 0.0;
+      }
+    }
+  }
+}
+
+/// Device-wide DRAM demand. SHARED by construction: both paths call this one
+/// helper, and its sums are HAND-BANKED over kChannels lanes (lane l owns
+/// slots i ≡ l mod kChannels; lanes fold in ascending order at the end).
+/// The banked association is fixed in source, so the result is bit-identical
+/// whether or not the compiler vectorizes the loop — which makes the helper
+/// safe to share across build flavours. Inert slots select an exact +0.0.
+/// When the plan has a single distinct kernel name the distinct-kernel count
+/// needs no stamp scan: it is 1 exactly when any DRAM demand is live.
+struct MemPressure {
+  double total_cap = 0.0;
+  double eff_weighted = 0.0;
+  int distinct_kernels = 0;
+};
+
+MemPressure mem_pressure(const Soa& s, const KernelStatic* statics,
+                         bool single_name, std::uint64_t epoch) {
+  const double* __restrict mem_rem = s.mem_rem;
+  const double* __restrict cap_warps = s.cap_warps;
+  const double* __restrict eff_cap = s.eff_cap;
+  double cap_lane[kChannels] = {};
+  double eff_lane[kChannels] = {};
+  // Live slots only: each slot keeps its global banked lane (j mod
+  // kChannels) and lanes still see their slots in ascending order, so
+  // skipping the inert slots — which select an exact +0.0, a bitwise no-op —
+  // leaves every lane sum unchanged.
+  for (int smi = 0; smi < s.num_sms; ++smi) {
+    const int base = smi * s.cap;
+    const int n = s.nres[smi];
+    for (int r = 0; r < n; ++r) {
+      const int j = base + r;
+      const bool live = mem_rem[j] > kEpsBytes;
+      const int l = j % kChannels;
+      cap_lane[l] += live ? cap_warps[j] : 0.0;
+      eff_lane[l] += live ? eff_cap[j] : 0.0;
+    }
+  }
+  MemPressure mp;
+  for (int l = 0; l < kChannels; ++l) {
+    mp.total_cap += cap_lane[l];
+    mp.eff_weighted += eff_lane[l];
+  }
+  if (single_name) {
+    mp.distinct_kernels = mp.total_cap > 0.0 ? 1 : 0;
+    return mp;
+  }
+  for (int smi = 0; smi < s.num_sms; ++smi) {
+    const int base = smi * s.cap, n = s.nres[smi];
+    for (int r = 0; r < n; ++r) {
+      const int i = base + r;
+      if (s.mem_rem[i] > kEpsBytes) {
+        const int nid = statics[s.inst[i]].name_id;
+        if (s.name_stamp[nid] != epoch) {
+          s.name_stamp[nid] = epoch;
+          mp.distinct_kernels += 1;
+        }
+      }
+    }
+  }
+  return mp;
+}
+
+void mem_rates_scalar(const Soa& s, double mem_scale) {
+  for (int smi = 0; smi < s.num_sms; ++smi) {
+    const int base = smi * s.cap, n = s.nres[smi];
+    for (int r = 0; r < n; ++r) {
+      const int i = base + r;
+      s.mem_rate[i] =
+          (s.mem_rem[i] > kEpsBytes) ? s.per_warp_cap[i] * mem_scale : 0.0;
+    }
+  }
+}
+
+// Earliest demand completion. Division-free on both paths: each candidate
+// multiplies the remaining demand by a precomputed reciprocal rate
+// (inv_comp_rate from the rates pass, inv_clock per run,
+// inv_per_warp_cap * inv_mem_scale for the DRAM term). Rates are nonzero
+// exactly when the matching demand exceeds its epsilon, so the rate>0
+// select alone reproduces the guard conditions; every reciprocal is finite
+// (0 when the true rate is 0), so neither NaN nor a spurious candidate can
+// appear. Vacated slots contribute only infinities.
+double min_dt_scalar(const Soa& s, double inv_clock, double inv_mem_scale) {
+  double dt = std::numeric_limits<double>::infinity();
+  for (int smi = 0; smi < s.num_sms; ++smi) {
+    const int base = smi * s.cap, n = s.nres[smi];
+    for (int r = 0; r < n; ++r) {
+      const int i = base + r;
+      if (s.comp_rate[i] > 0.0) {
+        dt = std::min(dt, s.comp_rem[i] * s.inv_comp_rate[i]);
+      }
+      // Barrier stalls elapse at wall-clock rate, hidden under nothing.
+      if (s.stall_rem[i] > kEpsCycles) {
+        dt = std::min(dt, s.stall_rem[i] * inv_clock);
+      }
+      if (s.mem_rate[i] > 0.0) {
+        dt = std::min(dt,
+                      s.mem_rem[i] * s.inv_per_warp_cap[i] * inv_mem_scale);
+      }
+    }
+  }
+  return dt;
+}
+
+void drain_scalar(const Soa& s, double dt, double clock) {
+  for (int smi = 0; smi < s.num_sms; ++smi) {
+    const int base = smi * s.cap, n = s.nres[smi];
+    for (int r = 0; r < n; ++r) {
+      const int i = base + r;
+      double vdc = 0.0, vdb = 0.0;
+      if (dt > 0.0 && s.comp_rate[i] > 0.0) {
+        vdc = std::min(s.comp_rem[i], s.comp_rate[i] * dt);
+        s.comp_rem[i] -= vdc;
+      }
+      if (dt > 0.0 && s.stall_rem[i] > kEpsCycles) {
+        s.stall_rem[i] = std::max(0.0, s.stall_rem[i] - clock * dt);
+      }
+      if (dt > 0.0 && s.mem_rate[i] > 0.0) {
+        vdb = std::min(s.mem_rem[i], s.mem_rate[i] * dt);
+        s.mem_rem[i] -= vdb;
+      }
+      s.dc[i] = vdc;
+      s.db[i] = vdb;
+    }
+  }
+}
+
+/// Per-event channel accrual. SHARED by both paths (one helper, one
+/// codegen): channel ch's ordered sum visits slots in ascending order; the
+/// kChannels-wide inner loop vectorizes ACROSS channels, which leaves each
+/// channel's add order untouched. Inert slots have dc == db == 0 and
+/// contribute exact +0.0 no-ops.
+struct IntervalAccum {
+  alignas(64) double ch[kChannels] = {};
+  double bytes = 0.0;
+};
+
+void accumulate_interval(const Soa& s, IntervalAccum& acc) {
+  const double* __restrict dc = s.dc;
+  const double* __restrict db = s.db;
+  const double* __restrict dens = s.dens;
+  const double* __restrict wd = s.warps_d;
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  double c4 = 0.0, c5 = 0.0, c6 = 0.0, c7 = 0.0;
+  // Hand-banked byte total (lane l owns slots i ≡ l mod kChannels, lanes
+  // fold in order below): fixed association in source, so the value is the
+  // same whether or not this loop vectorizes.
+  double bl[kChannels] = {};
+  for (int i = 0; i < s.padded; i += kChannels) {
+    EWC_PRAGMA_SIMD
+    for (int l = 0; l < kChannels; ++l) {
+      bl[l] += db[i + l] * wd[i + l];
+    }
+  }
+  for (int i = 0; i < s.total; ++i) {
+    const double vdc = dc[i];
+    const double vdb = db[i];
+    const double* __restrict row = dens + static_cast<std::size_t>(i) * kChannels;
+    c0 += vdc * row[0];
+    c1 += vdc * row[1];
+    c2 += vdc * row[2];
+    c3 += vdc * row[3];
+    c4 += vdc * row[4];
+    c5 += vdc * row[5];
+    c6 += vdb * row[6];
+    c7 += vdb * row[7];
+  }
+  acc.ch[0] = c0;
+  acc.ch[1] = c1;
+  acc.ch[2] = c2;
+  acc.ch[3] = c3;
+  acc.ch[4] = c4;
+  acc.ch[5] = c5;
+  acc.ch[6] = c6;
+  acc.ch[7] = c7;
+  for (int l = 0; l < kChannels; ++l) acc.bytes += bl[l];
+}
+
+// ---- fused SIMD sweeps -----------------------------------------------------
+//
+// The SIMD path's event cost is pass overhead, not arithmetic: at realistic
+// occupancies an event touches a few hundred slots, so six separate sweeps
+// (rates, DRAM rates, min-dt, drain, accrual, completion scan) cost more in
+// loads/stores than in FLOPs. The fused sweeps below collapse them to two
+// passes while evaluating THE SAME per-slot expressions as the scalar
+// kernels above, in the same order — parity is unchanged (and mechanically
+// enforced by the golden/differential tests).
+
+/// Fused comp_rates + mem_rates + min_dt: one pass over each SM's LIVE
+/// slots (inert slots would only contribute 0 warps and +inf candidates, so
+/// skipping them cannot change any value). The min folds through a single
+/// `reduction(min:)` accumulator: FP min is exact under any reordering, so
+/// the compiler is free to vectorize the reduction without affecting the
+/// result — this is the one reduction the golden contract lets the
+/// vectorizer reassociate. No per-slot rate array is written: the fair-share
+/// pair is stored per SM (sm_comp_rate / sm_inv_comp_rate) and the drain
+/// sweep re-derives each slot's rate from it with the identical selects.
+double rates_and_min_dt_simd(const Soa& s, double clock, double inv_clock,
+                             double mem_scale, double inv_mem_scale) {
+  const double* __restrict comp_rem = s.comp_rem;
+  const double* __restrict stall_rem = s.stall_rem;
+  const double* __restrict mem_rem = s.mem_rem;
+  const double* __restrict per_warp_cap = s.per_warp_cap;
+  const double* __restrict inv_per_warp_cap = s.inv_per_warp_cap;
+  const int* __restrict warps_i = s.warps_i;
+  const double inf = std::numeric_limits<double>::infinity();
+  double dt = inf;
+  for (int smi = 0; smi < s.num_sms; ++smi) {
+    const int base = smi * s.cap;
+    const int n = s.nres[smi];
+    if (n == 0) continue;
+    int with_comp = 0;
+    EWC_PRAGMA_SIMD_REDUCE("omp simd reduction(+ : with_comp)")
+    for (int r = 0; r < n; ++r) {
+      with_comp += comp_rem[base + r] > kEpsCycles ? warps_i[base + r] : 0;
+    }
+    const double rate = with_comp > 0 ? clock / with_comp : 0.0;
+    const double inv_rate = with_comp > 0 ? with_comp * inv_clock : 0.0;
+    s.sm_comp_rate[smi] = rate;
+    s.sm_inv_comp_rate[smi] = inv_rate;
+    EWC_PRAGMA_SIMD_REDUCE("omp simd reduction(min : dt)")
+    for (int r = 0; r < n; ++r) {
+      const int j = base + r;
+      const bool active = comp_rem[j] > kEpsCycles;
+      const double cr = active ? rate : 0.0;
+      const double icr = active ? inv_rate : 0.0;
+      const double mr =
+          mem_rem[j] > kEpsBytes ? per_warp_cap[j] * mem_scale : 0.0;
+      const double c = cr > 0.0 ? comp_rem[j] * icr : inf;
+      const double st =
+          stall_rem[j] > kEpsCycles ? stall_rem[j] * inv_clock : inf;
+      const double m = mr > 0.0
+                           ? mem_rem[j] * inv_per_warp_cap[j] * inv_mem_scale
+                           : inf;
+      dt = std::min(dt, std::min(c, std::min(st, m)));
+    }
+  }
+  return dt;
+}
+
+
+/// Fused drain + channel accrual + per-SM completion tally, over each SM's
+/// LIVE slots only (inert slots drain 0 of 0 and accrue exact +0.0 — a
+/// bitwise no-op for these non-negative accumulators — so skipping them
+/// cannot change any value). Evaluates the drain_scalar expressions
+/// branchlessly (rates are 0 exactly where the guards would skip, so the
+/// unguarded min() drains an exact 0), feeds each vdc/vdb straight into the
+/// accumulators accumulate_interval would read from dc/db — same
+/// per-channel order (ascending slot), same banked byte lanes (lane = slot
+/// % kChannels) — and counts post-drain done() slots per SM so the
+/// completion scan can skip untouched SMs. dc/db are not written: nothing
+/// reads them on this path.
+/// Returns the number of slots whose DRAM demand finished (crossed from
+/// live to <= eps) during this drain: while that stays 0 — and completions
+/// / dispatch leave residency untouched — the live mem set is unchanged, so
+/// the previous event's MemPressure totals remain bit-for-bit valid (they
+/// sum CONSTANT cap/eff values selected by liveness, not the drained
+/// amounts).
+int drain_accum_simd(const Soa& s, double dt, double clock, double mem_scale,
+                     IntervalAccum& acc, int* __restrict sm_ndone) {
+  double* __restrict comp_rem = s.comp_rem;
+  double* __restrict stall_rem = s.stall_rem;
+  double* __restrict mem_rem = s.mem_rem;
+  const double* __restrict per_warp_cap = s.per_warp_cap;
+  const double* __restrict dens = s.dens;
+  const double* __restrict wd = s.warps_d;
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  double c4 = 0.0, c5 = 0.0, c6 = 0.0, c7 = 0.0;
+  double bl[kChannels] = {};
+  int mem_crossings = 0;
+  for (int smi = 0; smi < s.num_sms; ++smi) {
+    const int base = smi * s.cap;
+    const int n = s.nres[smi];
+    sm_ndone[smi] = 0;
+    if (n == 0) continue;
+    const double rate = s.sm_comp_rate[smi];
+    int ndone = 0;
+    for (int r = 0; r < n; ++r) {
+      const int j = base + r;
+      // Re-derived rates, identical selects/products to the rates sweep
+      // (comp_rem/mem_rem are still pre-drain here).
+      const double cr = comp_rem[j] > kEpsCycles ? rate : 0.0;
+      const double mr =
+          mem_rem[j] > kEpsBytes ? per_warp_cap[j] * mem_scale : 0.0;
+      const double vdc = std::min(comp_rem[j], cr * dt);
+      comp_rem[j] -= vdc;
+      const double st = stall_rem[j];
+      const double drained = st - clock * dt;
+      stall_rem[j] = st > kEpsCycles ? (drained > 0.0 ? drained : 0.0) : st;
+      const double vdb = std::min(mem_rem[j], mr * dt);
+      mem_rem[j] -= vdb;
+      const double* __restrict row =
+          dens + static_cast<std::size_t>(j) * kChannels;
+      c0 += vdc * row[0];
+      c1 += vdc * row[1];
+      c2 += vdc * row[2];
+      c3 += vdc * row[3];
+      c4 += vdc * row[4];
+      c5 += vdc * row[5];
+      c6 += vdb * row[6];
+      c7 += vdb * row[7];
+      bl[j % kChannels] += vdb * wd[j];
+      mem_crossings += (mr > 0.0 && mem_rem[j] <= kEpsBytes) ? 1 : 0;
+      ndone += (comp_rem[j] <= kEpsCycles && stall_rem[j] <= kEpsCycles &&
+                mem_rem[j] <= kEpsBytes)
+                   ? 1
+                   : 0;
+    }
+    sm_ndone[smi] = ndone;
+  }
+  acc.ch[0] = c0;
+  acc.ch[1] = c1;
+  acc.ch[2] = c2;
+  acc.ch[3] = c3;
+  acc.ch[4] = c4;
+  acc.ch[5] = c5;
+  acc.ch[6] = c6;
+  acc.ch[7] = c7;
+  for (int l = 0; l < kChannels; ++l) acc.bytes += bl[l];
+  return mem_crossings;
+}
 }  // namespace
 
 FluidEngine::FluidEngine(DeviceConfig dev, EnergyConfig energy)
@@ -142,19 +696,27 @@ std::size_t FluidEngine::event_budget(std::size_t total_blocks) {
 }
 
 RunResult FluidEngine::run(const LaunchPlan& plan) const {
+  const auto wall_run_start = std::chrono::steady_clock::now();
+  PROF_DECL;
   RunResult result;
   result.sm_stats.resize(static_cast<std::size_t>(dev_.num_sms));
+  // Every instance completes exactly once; reserving keeps the completion
+  // fast path free of reallocation (and of its string moves).
+  result.completions.reserve(plan.instances.size());
   EnergyIntegrator integrator(energy_, energy_.system_idle_with_gpu);
+  // Transfers contribute <= 2 segments; each positive-dt event one more.
+  integrator.reserve_segments(2 * plan.instances.size() + 16);
 
-  // Sampled once: a mid-run toggle is not observed, which keeps every check
-  // below branch-predictable. Simulated-time events land on lane 0
-  // (batch-level) or lane 1+sm (per-SM), offset by the caller's
-  // SimClockScope.
+  // Sampled once: a mid-run toggle (of tracing or the SIMD path) is not
+  // observed, which keeps every check below branch-predictable.
   const bool tracing = obs::Tracer::enabled();
+  const bool use_simd = simd_enabled();
 
   // Precompute statics and validate.
   std::vector<KernelStatic> statics;
   statics.reserve(plan.instances.size());
+  std::vector<std::string> names;  // distinct kernel names -> name_id
+  std::size_t total_blocks = 0;
   for (const auto& inst : plan.instances) {
     if (inst.desc.num_blocks < 0 || inst.desc.threads_per_block <= 0) {
       throw std::invalid_argument("FluidEngine: malformed kernel '" +
@@ -165,18 +727,98 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
                                   "' exceeds SM resources");
     }
     statics.push_back(make_static(dev_, inst.desc));
+    auto& st = statics.back();
+    const auto found = std::find(names.begin(), names.end(), inst.desc.name);
+    st.name_id = static_cast<int>(found - names.begin());
+    if (found == names.end()) names.push_back(inst.desc.name);
+    // Dedupe slot-constant sets by value (NOT by name: the same name can in
+    // principle carry a different desc). O(n^2) over distinct sets only.
+    st.const_id = static_cast<int>(statics.size()) - 1;
+    for (std::size_t j = 0; j + 1 < statics.size(); ++j) {
+      const auto& o = statics[j];
+      if (o.warps == st.warps && o.per_warp_mem_cap == st.per_warp_mem_cap &&
+          o.inv_per_warp_cap == st.inv_per_warp_cap &&
+          o.cap_warps == st.cap_warps && o.cap_warps_eff == st.cap_warps_eff &&
+          std::memcmp(o.dens, st.dens, sizeof st.dens) == 0) {
+        st.const_id = o.const_id;
+        break;
+      }
+    }
+    total_blocks += static_cast<std::size_t>(inst.desc.num_blocks);
   }
+  const std::size_t name_count = names.empty() ? 1 : names.size();
+
+  // ---- per-run arena: every simulation-state array in one allocation ----
+  // Per-slot arrays are allocated at the PADDED length: the Arena zero-fills,
+  // which establishes the inert-slot invariant for the padding lanes the SIMD
+  // sweeps touch (padding slots have inst == 0, a valid index, but their
+  // demands are 0 so no pass ever dereferences through them).
+  const std::size_t slots =
+      static_cast<std::size_t>(dev_.num_sms) *
+      static_cast<std::size_t>(dev_.max_blocks_per_sm);
+  const std::size_t padded =
+      (slots + kChannels - 1) / kChannels * kChannels;
+  const std::size_t sms = static_cast<std::size_t>(dev_.num_sms);
+  const std::size_t ninst = plan.instances.size();
+  Arena arena(Arena::need<double>(padded) * 13 +
+              Arena::need<double>(padded * kChannels) +
+              Arena::need<double>(sms) * 2 +
+              Arena::need<int>(padded) * 4 + Arena::need<int>(sms) * 5 +
+              Arena::need<int>(sms * ninst) +
+              Arena::need<std::int64_t>(sms) * 2 +
+              Arena::need<std::uint64_t>(name_count) +
+              Arena::need<unsigned char>(name_count));
+  Soa soa;
+  soa.num_sms = dev_.num_sms;
+  soa.cap = dev_.max_blocks_per_sm;
+  soa.total = static_cast<int>(slots);
+  soa.padded = static_cast<int>(padded);
+  soa.comp_rem = arena.alloc<double>(padded);
+  soa.stall_rem = arena.alloc<double>(padded);
+  soa.mem_rem = arena.alloc<double>(padded);
+  soa.comp_rate = arena.alloc<double>(padded);
+  soa.inv_comp_rate = arena.alloc<double>(padded);
+  soa.mem_rate = arena.alloc<double>(padded);
+  soa.dc = arena.alloc<double>(padded);
+  soa.db = arena.alloc<double>(padded);
+  soa.per_warp_cap = arena.alloc<double>(padded);
+  soa.inv_per_warp_cap = arena.alloc<double>(padded);
+  soa.cap_warps = arena.alloc<double>(padded);
+  soa.eff_cap = arena.alloc<double>(padded);
+  soa.warps_d = arena.alloc<double>(padded);
+  soa.dens = arena.alloc<double>(padded * kChannels);
+  soa.inst = arena.alloc<int>(padded);
+  soa.block_id = arena.alloc<int>(padded);
+  soa.warps_i = arena.alloc<int>(padded);
+  soa.brand = arena.alloc<int>(padded);
+  soa.nres = arena.alloc<int>(sms);
+  soa.threads_used = arena.alloc<int>(sms);
+  soa.warps_res = arena.alloc<int>(sms);
+  soa.sm_candidates = arena.alloc<int>(sms);
+  soa.sm_ndone = arena.alloc<int>(sms);
+  soa.sm_comp_rate = arena.alloc<double>(sms);
+  soa.sm_inv_comp_rate = arena.alloc<double>(sms);
+  soa.regs_used = arena.alloc<std::int64_t>(sms);
+  soa.smem_used = arena.alloc<std::int64_t>(sms);
+  soa.name_stamp = arena.alloc<std::uint64_t>(name_count);
+  unsigned char* constants_uploaded = arena.alloc<unsigned char>(name_count);
+  // Per-(SM, instance) completion tally: the advance loop only increments
+  // an int per completed block; the per-SM event counts are assembled once
+  // after the loop as tally * block_totals (same totals, fewer FP ops in
+  // the hot path).
+  int* ncomp = arena.alloc<int>(sms * ninst);
 
   // ---- host -> device transfers ----
   {
-    std::set<std::string> constants_uploaded;
     double h2d_secs = 0.0;
-    for (const auto& inst : plan.instances) {
+    for (std::size_t i = 0; i < plan.instances.size(); ++i) {
+      const auto& inst = plan.instances[i];
       double bytes = inst.desc.h2d_bytes.bytes();
       double cbytes = inst.desc.resources.constant_data.bytes();
       if (cbytes > 0.0) {
-        if (!plan.reuse_constant_data ||
-            constants_uploaded.insert(inst.desc.name).second) {
+        const int nid = statics[i].name_id;
+        if (!plan.reuse_constant_data || !constants_uploaded[nid]) {
+          constants_uploaded[nid] = 1;
           bytes += cbytes;
         }
       }
@@ -194,28 +836,34 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
   }
 
   // ---- kernel execution (fluid DES) ----
-  std::vector<Block> blocks;
-  std::deque<int> pending;
+  // Pending blocks are a *virtual* grid-order queue: all blocks of an
+  // instance are identical, so a (instance, block-within) cursor replaces
+  // the old per-block deque.
+  struct PendingCursor {
+    std::size_t next_inst = 0;
+    int next_block = 0;
+    std::size_t remaining = 0;
+    int next_block_id = 0;
+  } pending;
+  pending.remaining = total_blocks;
+
   for (std::size_t i = 0; i < plan.instances.size(); ++i) {
-    const auto& st = statics[i];
-    for (int b = 0; b < plan.instances[i].desc.num_blocks; ++b) {
-      Block blk;
-      blk.inst = static_cast<int>(i);
-      blk.comp_rem = st.comp_per_warp;
-      blk.stall_rem = st.stall_per_warp;
-      blk.mem_rem = st.mem_per_warp;
-      pending.push_back(static_cast<int>(blocks.size()));
-      blocks.push_back(blk);
-    }
     if (plan.instances[i].desc.num_blocks == 0) {
       // Empty instances complete immediately.
       result.completions.push_back(InstanceCompletion{
-          plan.instances[i].instance_id, st.name, result.h2d_time});
+          plan.instances[i].instance_id, names[statics[i].name_id],
+          result.h2d_time});
     }
   }
+  auto skip_empty = [&] {
+    while (pending.next_inst < plan.instances.size() &&
+           plan.instances[pending.next_inst].desc.num_blocks == 0) {
+      pending.next_inst += 1;
+      pending.next_block = 0;
+    }
+  };
+  skip_empty();
 
-  std::vector<SmState> sms(static_cast<std::size_t>(dev_.num_sms));
-  std::vector<int> block_sm(blocks.size(), -1);
   int rr_cursor = 0;
   int resident_count = 0;
   common::Rng dispatch_rng(dev_.dispatch_seed);
@@ -224,15 +872,16 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
   double t = 0.0;  // kernel-relative seconds
   // Per-block dispatch times, so completion can emit the block's residency
   // span on its SM's lane.
-  std::vector<double> block_dispatched(tracing ? blocks.size() : 0, 0.0);
+  std::vector<double> block_dispatched(tracing ? total_blocks : 0, 0.0);
 
-  auto resident_warps = [&](const SmState& sm) {
-    int w = 0;
-    for (int bi : sm.resident) {
-      w += statics[static_cast<std::size_t>(blocks[bi].inst)].warps;
-    }
-    return w;
-  };
+  // Dispatch-probe early exit (the event_budget fix): resources only free
+  // on completion, so once the head pending block failed to place, every
+  // re-probe before the next completion would rescan all SMs for nothing.
+  // free_epoch counts completions; a recorded (head instance, epoch) pair
+  // makes those degenerate probes O(1).
+  std::uint64_t free_epoch = 0;
+  std::uint64_t stalled_epoch = 0;
+  int stalled_inst = -1;
 
   auto dispatch = [&]() {
     // Strict grid-order dispatch. The SM choice follows dispatch_policy;
@@ -240,15 +889,16 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
     // paper describes (initial round-robin distribution; freed SMs pick up
     // the next untouched block).
     int placed = 0;
-    while (!pending.empty()) {
-      int bi = pending.front();
-      const KernelStatic& st = statics[static_cast<std::size_t>(blocks[bi].inst)];
+    while (pending.remaining > 0) {
+      const int head_inst = static_cast<int>(pending.next_inst);
+      if (stalled_inst == head_inst && stalled_epoch == free_epoch) break;
+      const KernelStatic& st = statics[static_cast<std::size_t>(head_inst)];
       int chosen = -1;
       switch (dev_.dispatch_policy) {
         case DispatchPolicy::kRoundRobin:
           for (int probe = 0; probe < dev_.num_sms; ++probe) {
             int smi = (rr_cursor + probe) % dev_.num_sms;
-            if (fits(dev_, sms[static_cast<std::size_t>(smi)], st)) {
+            if (fits(dev_, soa, smi, st)) {
               chosen = smi;
               break;
             }
@@ -257,9 +907,8 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
         case DispatchPolicy::kLeastLoadedWarps: {
           int best_warps = 0;
           for (int smi = 0; smi < dev_.num_sms; ++smi) {
-            const SmState& sm = sms[static_cast<std::size_t>(smi)];
-            if (!fits(dev_, sm, st)) continue;
-            const int w = resident_warps(sm);
+            if (!fits(dev_, soa, smi, st)) continue;
+            const int w = soa.warps_res[smi];
             if (chosen < 0 || w < best_warps) {
               chosen = smi;
               best_warps = w;
@@ -268,42 +917,90 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
           break;
         }
         case DispatchPolicy::kRandom: {
-          std::vector<int> candidates;
+          int ncand = 0;
           for (int smi = 0; smi < dev_.num_sms; ++smi) {
-            if (fits(dev_, sms[static_cast<std::size_t>(smi)], st)) {
-              candidates.push_back(smi);
-            }
+            if (fits(dev_, soa, smi, st)) soa.sm_candidates[ncand++] = smi;
           }
-          if (!candidates.empty()) {
-            chosen = candidates[dispatch_rng.pick_index(candidates.size())];
+          if (ncand > 0) {
+            chosen = soa.sm_candidates[dispatch_rng.pick_index(
+                static_cast<std::size_t>(ncand))];
           }
           break;
         }
       }
-      if (chosen < 0) break;
-      SmState& sm = sms[static_cast<std::size_t>(chosen)];
-      sm.resident.push_back(bi);
-      sm.nblocks += 1;
-      sm.threads_used += st.threads;
-      sm.regs_used += st.regs_per_block;
-      sm.smem_used += st.smem_per_block;
-      block_sm[static_cast<std::size_t>(bi)] = chosen;
-      pending.pop_front();
+      if (chosen < 0) {
+        stalled_inst = head_inst;
+        stalled_epoch = free_epoch;
+        break;
+      }
+      soa.place(chosen, st, head_inst, pending.next_block_id);
+      if (tracing) {
+        block_dispatched[static_cast<std::size_t>(pending.next_block_id)] = t;
+      }
+      pending.next_block += 1;
+      pending.next_block_id += 1;
+      pending.remaining -= 1;
+      if (pending.next_block >=
+          plan.instances[pending.next_inst].desc.num_blocks) {
+        pending.next_inst += 1;
+        pending.next_block = 0;
+        skip_empty();
+      }
       rr_cursor = (chosen + 1) % dev_.num_sms;
       resident_count += 1;
       placed += 1;
-      if (tracing) block_dispatched[static_cast<std::size_t>(bi)] = t;
     }
     if (tracing && placed > 0) {
       obs::sim_instant("gpusim.dispatch_wave", h2d_secs + t, 0,
                        "\"blocks\":" + std::to_string(placed) +
-                           ",\"pending\":" + std::to_string(pending.size()));
+                           ",\"pending\":" + std::to_string(pending.remaining));
+    }
+    return placed;
+  };
+
+  // Observable side effects of one block's completion, in residency order:
+  // completion tally, residency span, and — when it was the instance's last
+  // block — the instance-completion record. Resource counters are the
+  // caller's job (subtracted per block on the compaction path, reset
+  // wholesale on the all-done path).
+  auto complete_block = [&](int smi, int i) {
+    const int inst_idx = soa.inst[i];
+    KernelStatic& st = statics[static_cast<std::size_t>(inst_idx)];
+    ncomp[static_cast<std::size_t>(smi) * ninst +
+          static_cast<std::size_t>(inst_idx)] += 1;
+    if (tracing) {
+      const double t0 =
+          block_dispatched[static_cast<std::size_t>(soa.block_id[i])];
+      obs::sim_span("block:" + names[static_cast<std::size_t>(st.name_id)],
+                    h2d_secs + t0, t - t0, static_cast<std::uint32_t>(smi) + 1);
+    }
+    if (--st.blocks_remaining == 0) {
+      const auto& name = names[static_cast<std::size_t>(st.name_id)];
+      result.completions.push_back(InstanceCompletion{
+          plan.instances[static_cast<std::size_t>(inst_idx)].instance_id, name,
+          result.h2d_time + Duration::from_seconds(t)});
+      if (tracing) {
+        // Cumulative system energy at this completion: subtracting the
+        // previous instance's figure attributes the increment.
+        char args[128];
+        std::snprintf(
+            args, sizeof args,
+            "\"instance_id\":%d,\"kernel\":\"%s\",\"cum_energy_j\":%.6f",
+            plan.instances[static_cast<std::size_t>(inst_idx)].instance_id,
+            obs::json_escape(name).c_str(), integrator.total_energy().joules());
+        obs::sim_instant("gpusim.instance_complete", h2d_secs + t,
+                         static_cast<std::uint32_t>(smi) + 1, args);
+      }
     }
   };
 
+  PROF_ADD(0);
+  const auto wall_advance_start = std::chrono::steady_clock::now();
   dispatch();
+  PROF_ADD(7);
 
   const double clock = dev_.shader_clock.hertz();
+  const double inv_clock = 1.0 / clock;
   const double peak_bw = dev_.dram_bandwidth.bytes_per_second();
   double dram_util_integral = 0.0;
   double sm_util_integral = 0.0;
@@ -314,135 +1011,127 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
   double sat_min_scale = 1.0;
   int prev_busy_sms = 0;
 
-  const std::size_t max_events = event_budget(blocks.size());
+  const std::size_t max_events = event_budget(total_blocks);
   std::size_t events = 0;
+  // One occupancy sample per positive-dt event; sized to the demand-
+  // completion term of the budget (dispatch rounds produce no sample).
+  result.occupancy.reserve(std::min<std::size_t>(max_events, 4096));
+
+  // DRAM-pressure cache (SIMD path): mem_pressure sums CONSTANT cap/eff
+  // values (and counts distinct kernels) over the slots whose DRAM demand
+  // is live — nothing in it depends on the demands' magnitudes. The result
+  // therefore stays bit-for-bit valid until the live mem set changes: a
+  // drain finishes some slot's DRAM demand (the fused sweep counts those
+  // crossings), compaction moves live slots across banked lanes, or
+  // dispatch places new blocks.
+  const bool single_name = names.size() <= 1;
+  MemPressure pressure_cache;
+  bool pressure_cached = false;
 
   while (resident_count > 0) {
     if (++events > max_events) {
       throw std::runtime_error(
           "FluidEngine: event budget exceeded (bug): " +
           std::to_string(events) + " events for " +
-          std::to_string(blocks.size()) + " blocks");
+          std::to_string(total_blocks) + " blocks");
     }
 
     // -- rates --
     // Compute: fair share of the SM's issue cycles among warps with work.
-    for (auto& sm : sms) {
-      int warps_with_comp = 0;
-      for (int bi : sm.resident) {
-        if (blocks[bi].comp_rem > kEpsCycles) {
-          warps_with_comp += statics[static_cast<std::size_t>(blocks[bi].inst)].warps;
-        }
-      }
-      for (int bi : sm.resident) {
-        Block& b = blocks[bi];
-        b.comp_rate = (b.comp_rem > kEpsCycles && warps_with_comp > 0)
-                          ? clock / warps_with_comp
-                          : 0.0;
-      }
-    }
+    // (On the SIMD path the compute rates are produced by the fused sweep
+    // below, after mem_scale is known.)
+    if (!use_simd) comp_rates_scalar(soa, clock, inv_clock);
+    PROF_ADD(1);
     // Memory: proportional share of effective DRAM bandwidth, per-warp cap.
-    double total_cap = 0.0;
-    double eff_weighted = 0.0;
-    std::set<std::string> active_kernels;
-    for (auto& sm : sms) {
-      for (int bi : sm.resident) {
-        Block& b = blocks[bi];
-        const KernelStatic& st = statics[static_cast<std::size_t>(b.inst)];
-        if (b.mem_rem > kEpsBytes) {
-          double cap = st.per_warp_mem_cap * st.warps;
-          total_cap += cap;
-          eff_weighted += cap * st.dram_eff;
-          active_kernels.insert(st.name);
-        }
+    // Ordered sums + distinct-kernel count: shared scalar helper (the event
+    // counter doubles as the distinct-name epoch), skipped when the drain
+    // sweep's cached totals are still valid.
+    MemPressure mp;
+    if (pressure_cached) {
+      mp = pressure_cache;
+    } else {
+      mp = mem_pressure(soa, statics.data(), single_name, events);
+      if (use_simd) {
+        pressure_cache = mp;
+        pressure_cached = true;
       }
     }
     double mem_scale = 1.0;
-    double eff_bw = peak_bw;
-    if (total_cap > 0.0) {
-      double stream_eff = eff_weighted / total_cap;
-      double mixing =
-          std::max(dev_.min_mixing_efficiency,
-                   1.0 - dev_.mixing_penalty_per_kernel *
-                             (static_cast<double>(active_kernels.size()) - 1.0));
-      eff_bw = peak_bw * stream_eff * mixing;
-      mem_scale = std::min(1.0, eff_bw / total_cap);
+    if (mp.total_cap > 0.0) {
+      double stream_eff = mp.eff_weighted / mp.total_cap;
+      double mixing = std::max(
+          dev_.min_mixing_efficiency,
+          1.0 - dev_.mixing_penalty_per_kernel *
+                    (static_cast<double>(mp.distinct_kernels) - 1.0));
+      const double eff_bw = peak_bw * stream_eff * mixing;
+      mem_scale = std::min(1.0, eff_bw / mp.total_cap);
     }
-    for (auto& sm : sms) {
-      for (int bi : sm.resident) {
-        Block& b = blocks[bi];
-        const KernelStatic& st = statics[static_cast<std::size_t>(b.inst)];
-        b.mem_rate =
-            (b.mem_rem > kEpsBytes) ? st.per_warp_mem_cap * mem_scale : 0.0;
-      }
-    }
+    PROF_ADD(2);
 
-    // -- next event --
-    double dt = std::numeric_limits<double>::infinity();
-    for (auto& sm : sms) {
-      for (int bi : sm.resident) {
-        const Block& b = blocks[bi];
-        if (b.comp_rem > kEpsCycles && b.comp_rate > 0.0) {
-          dt = std::min(dt, b.comp_rem / b.comp_rate);
-        }
-        // Barrier stalls elapse at wall-clock rate, hidden under nothing.
-        if (b.stall_rem > kEpsCycles) {
-          dt = std::min(dt, b.stall_rem / clock);
-        }
-        if (b.mem_rem > kEpsBytes && b.mem_rate > 0.0) {
-          dt = std::min(dt, b.mem_rem / b.mem_rate);
-        }
-      }
+    // -- rates + next event --
+    const double inv_mem_scale = 1.0 / mem_scale;
+    double dt;
+    if (use_simd) {
+      dt = rates_and_min_dt_simd(soa, clock, inv_clock, mem_scale,
+                                 inv_mem_scale);
+    } else {
+      mem_rates_scalar(soa, mem_scale);
+      dt = min_dt_scalar(soa, inv_clock, inv_mem_scale);
     }
     if (!std::isfinite(dt)) dt = 0.0;  // only zero-work blocks remain resident
+    PROF_ADD(3);
 
     // -- drain demands, accumulate events & energy --
-    ComponentCounts interval_events;
-    double bytes_drained = 0.0;
-    int busy_sms = 0;
-    for (std::size_t smi = 0; smi < sms.size(); ++smi) {
-      SmState& sm = sms[smi];
-      if (!sm.resident.empty()) ++busy_sms;
-      for (int bi : sm.resident) {
-        Block& b = blocks[bi];
-        const KernelStatic& st = statics[static_cast<std::size_t>(b.inst)];
-        ComponentCounts ev;
-        if (dt > 0.0 && b.comp_rate > 0.0) {
-          double dc = std::min(b.comp_rem, b.comp_rate * dt);
-          b.comp_rem -= dc;
-          double warps = st.warps;
-          ev.fp += dc * st.fp_per_cycle * warps;
-          ev.int_ops += dc * st.int_per_cycle * warps;
-          ev.sfu += dc * st.sfu_per_cycle * warps;
-          ev.shared += dc * st.shared_per_cycle * warps;
-          ev.constant += dc * st.const_per_cycle * warps;
-          ev.reg += dc * st.reg_per_cycle * warps;
-        }
-        if (dt > 0.0 && b.stall_rem > kEpsCycles) {
-          b.stall_rem = std::max(0.0, b.stall_rem - clock * dt);
-        }
-        if (dt > 0.0 && b.mem_rate > 0.0) {
-          double db = std::min(b.mem_rem, b.mem_rate * dt);
-          b.mem_rem -= db;
-          double warps = st.warps;
-          ev.coalesced_tx += db * st.coal_tx_per_byte * warps;
-          ev.uncoalesced_tx += db * st.uncoal_tx_per_byte * warps;
-          bytes_drained += db * warps;
-        }
-        result.sm_stats[smi].counts += ev;
-        interval_events += ev;
-      }
-      if (dt > 0.0 && !sm.resident.empty()) {
-        result.sm_stats[smi].busy += Duration::from_seconds(dt);
-      }
+    // SIMD: one fused sweep drains, accrues the interval's channel sums,
+    // tallies post-drain done() slots per SM for the completion scan, and
+    // refreshes the pressure cache (valid while residency stays unchanged;
+    // multi-name plans still need the distinct-kernel stamp walk).
+    IntervalAccum acc;
+    if (use_simd) {
+      const int mem_crossings =
+          drain_accum_simd(soa, dt, clock, mem_scale, acc, soa.sm_ndone);
+      if (mem_crossings > 0) pressure_cached = false;
+    } else {
+      drain_scalar(soa, dt, clock);
     }
+    PROF_ADD(4);
+
+    int busy_sms = 0;
+    for (int smi = 0; smi < soa.num_sms; ++smi) {
+      if (soa.nres[smi] > 0) ++busy_sms;
+    }
+
     if (dt > 0.0) {
+      // Ordered accumulation of per-event channel contributions: one helper
+      // SHARED by both paths, visiting slots in ascending slot order (the
+      // historical per-SM resident order). Per-SM counts are no longer
+      // integrated per event — each block's nominal whole-block totals are
+      // credited to its SM at completion (they sum to the same thing: total
+      // drain equals the block's full demand).
+      if (!use_simd) accumulate_interval(soa, acc);
+      ComponentCounts interval_events;
+      interval_events.fp = acc.ch[0];
+      interval_events.int_ops = acc.ch[1];
+      interval_events.sfu = acc.ch[2];
+      interval_events.shared = acc.ch[3];
+      interval_events.constant = acc.ch[4];
+      interval_events.reg = acc.ch[5];
+      interval_events.coalesced_tx = acc.ch[6];
+      interval_events.uncoalesced_tx = acc.ch[7];
+      const double bytes_drained = acc.bytes;
+      for (int smi = 0; smi < soa.num_sms; ++smi) {
+        if (soa.nres[smi] > 0) {
+          result.sm_stats[static_cast<std::size_t>(smi)].busy +=
+              Duration::from_seconds(dt);
+        }
+      }
+
       integrator.advance(Duration::from_seconds(dt), interval_events, false);
       result.device_counts += interval_events;
       dram_util_integral += bytes_drained / peak_bw;  // seconds at full BW
       sm_util_integral += dt * busy_sms / dev_.num_sms;
       if (tracing) {
-        const bool saturated = total_cap > 0.0 && mem_scale < 1.0;
+        const bool saturated = mp.total_cap > 0.0 && mem_scale < 1.0;
         if (saturated) {
           if (sat_start < 0.0) {
             sat_start = t;
@@ -460,8 +1149,8 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
         // Takeover: the tail of the batch collapses onto one SM, the
         // "critical" SM whose last blocks now bound the makespan.
         if (busy_sms == 1 && prev_busy_sms > 1) {
-          for (std::size_t smi = 0; smi < sms.size(); ++smi) {
-            if (!sms[smi].resident.empty()) {
+          for (int smi = 0; smi < soa.num_sms; ++smi) {
+            if (soa.nres[smi] > 0) {
               obs::sim_instant(
                   "gpusim.critical_sm_takeover", h2d_secs + t,
                   static_cast<std::uint32_t>(smi) + 1,
@@ -477,51 +1166,112 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
           Duration::from_seconds(t), busy_sms, resident_count,
           bytes_drained / (peak_bw * dt)});
     }
+    PROF_ADD(5);
 
     // -- completions --
-    for (std::size_t smi = 0; smi < sms.size(); ++smi) {
-      SmState& sm = sms[smi];
-      for (std::size_t r = 0; r < sm.resident.size();) {
-        int bi = sm.resident[r];
-        Block& b = blocks[bi];
-        if (b.done()) {
-          KernelStatic& st = statics[static_cast<std::size_t>(b.inst)];
-          sm.resident.erase(sm.resident.begin() + static_cast<long>(r));
-          sm.nblocks -= 1;
-          sm.threads_used -= st.threads;
-          sm.regs_used -= st.regs_per_block;
-          sm.smem_used -= st.smem_per_block;
-          result.sm_stats[smi].blocks_executed += 1;
-          resident_count -= 1;
-          if (tracing) {
-            const double t0 = block_dispatched[static_cast<std::size_t>(bi)];
-            obs::sim_span("block:" + st.name, h2d_secs + t0, t - t0,
-                          static_cast<std::uint32_t>(smi) + 1);
-          }
-          if (--st.blocks_remaining == 0) {
-            result.completions.push_back(InstanceCompletion{
-                plan.instances[static_cast<std::size_t>(b.inst)].instance_id,
-                st.name, result.h2d_time + Duration::from_seconds(t)});
-            if (tracing) {
-              // Cumulative system energy at this completion: subtracting the
-              // previous instance's figure attributes the increment.
-              char args[128];
-              std::snprintf(
-                  args, sizeof args,
-                  "\"instance_id\":%d,\"kernel\":\"%s\",\"cum_energy_j\":%.6f",
-                  plan.instances[static_cast<std::size_t>(b.inst)].instance_id,
-                  obs::json_escape(st.name).c_str(),
-                  integrator.total_energy().joules());
-              obs::sim_instant("gpusim.instance_complete", h2d_secs + t,
-                               static_cast<std::uint32_t>(smi) + 1, args);
-            }
-          }
-        } else {
-          ++r;
+    // One-pass two-pointer compaction per SM segment: survivors slide down
+    // (each is copied at most once), completed blocks fire their side
+    // effects in residency order — exactly the order the old remove-and-
+    // shift loop produced — and the freed tail is re-zeroed to keep the
+    // inert-slot invariant.
+    for (int smi = 0; smi < soa.num_sms; ++smi) {
+      const int base = smi * soa.cap;
+      const int n = soa.nres[smi];
+      // Pre-scan: count done() live slots (exact comparisons, so
+      // build-flavour-safe) and skip SMs with no completion. The SIMD drain
+      // sweep already produced the tally; the scalar path counts here.
+      int ndone;
+      if (use_simd) {
+        ndone = soa.sm_ndone[smi];
+      } else {
+        const double* __restrict crem = soa.comp_rem;
+        const double* __restrict srem = soa.stall_rem;
+        const double* __restrict mrem = soa.mem_rem;
+        ndone = 0;
+        for (int r = 0; r < n; ++r) {
+          const int i = base + r;
+          ndone += (crem[i] <= kEpsCycles && srem[i] <= kEpsCycles &&
+                    mrem[i] <= kEpsBytes)
+                       ? 1
+                       : 0;
         }
       }
+      if (ndone == 0) continue;
+      if (ndone == n) {
+        // Whole-segment completion — the common case when symmetric blocks
+        // finish together in a consolidation wave. All residents leave, so
+        // the resource counters return to exactly 0 and can be reset
+        // wholesale; the observable per-block effects still fire in
+        // residency order.
+        free_epoch += static_cast<std::uint64_t>(n);
+        resident_count -= n;
+        soa.threads_used[smi] = 0;
+        soa.warps_res[smi] = 0;
+        soa.regs_used[smi] = 0;
+        soa.smem_used[smi] = 0;
+        result.sm_stats[static_cast<std::size_t>(smi)].blocks_executed += n;
+        for (int r = 0; r < n; ++r) complete_block(smi, base + r);
+        soa.vacate_range(base, n);
+        soa.nres[smi] = 0;
+        continue;
+      }
+      int live = 0;
+      for (int r = 0; r < n; ++r) {
+        const int i = base + r;
+        if (!soa.done(i)) {
+          if (live != r) soa.compact_copy(base + live, i);
+          ++live;
+          continue;
+        }
+        const KernelStatic& st = statics[static_cast<std::size_t>(soa.inst[i])];
+        free_epoch += 1;
+        resident_count -= 1;
+        soa.threads_used[smi] -= st.threads;
+        soa.warps_res[smi] -= st.warps;
+        soa.regs_used[smi] -= st.regs_per_block;
+        soa.smem_used[smi] -= st.smem_per_block;
+        result.sm_stats[static_cast<std::size_t>(smi)].blocks_executed += 1;
+        complete_block(smi, i);
+      }
+      if (live != n) {
+        soa.vacate_range(base + live, n - live);
+        soa.nres[smi] = live;
+      }
+      // Compaction moved live slots across banked lanes; the cached
+      // pressure association no longer matches a fresh sweep. (The all-done
+      // path above keeps the cache: it only vacates slots whose pressure
+      // contribution was already an exact +0.0.)
+      pressure_cached = false;
     }
-    dispatch();
+    PROF_ADD(6);
+    if (dispatch() > 0) pressure_cached = false;
+    PROF_ADD(7);
+  }
+  result.fluid_events = events;
+  result.wall_advance_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_advance_start)
+          .count();
+
+  // Assemble per-SM event counts from the completion tallies: each block
+  // contributed its nominal whole-block totals (the interval drains sum to
+  // the full demand, so this is the same quantity, aggregated once).
+  for (std::size_t smi = 0; smi < sms; ++smi) {
+    ComponentCounts& cnt = result.sm_stats[smi].counts;
+    for (std::size_t k = 0; k < ninst; ++k) {
+      const int tally = ncomp[smi * ninst + k];
+      if (tally == 0) continue;
+      const double m = static_cast<double>(tally);
+      const KernelStatic& st = statics[k];
+      cnt.fp += m * st.block_totals[0];
+      cnt.int_ops += m * st.block_totals[1];
+      cnt.sfu += m * st.block_totals[2];
+      cnt.shared += m * st.block_totals[3];
+      cnt.constant += m * st.block_totals[4];
+      cnt.reg += m * st.block_totals[5];
+      cnt.coalesced_tx += m * st.block_totals[6];
+      cnt.uncoalesced_tx += m * st.block_totals[7];
+    }
   }
 
   result.kernel_time = Duration::from_seconds(t);
@@ -575,6 +1325,11 @@ RunResult FluidEngine::run(const LaunchPlan& plan) const {
     obs::sim_span("gpusim.run", 0.0, result.total_time.seconds(), 0, args,
                   obs::Tracer::current_request_id());
   }
+  PROF_ADD(8);
+  result.wall_total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_run_start)
+          .count();
   return result;
 }
 

@@ -43,6 +43,9 @@ void RunResult::append(const RunResult& next) {
     sm_stats[i].counts += next.sm_stats[i].counts;
   }
   device_counts += next.device_counts;
+  fluid_events += next.fluid_events;
+  wall_advance_seconds += next.wall_advance_seconds;
+  wall_total_seconds += next.wall_total_seconds;
 
   for (PowerSegment seg : next.power_segments) {
     seg.start += offset;

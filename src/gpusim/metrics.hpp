@@ -107,6 +107,17 @@ struct RunResult {
   /// Mean fraction of SM issue capacity consumed during kernel execution.
   double avg_sm_utilization = 0.0;
 
+  /// Fluid events the run consumed (every event-loop iteration, including
+  /// zero-length dispatch rounds). Part of the golden digests: a change in
+  /// event semantics shows up here even when all times/energies agree.
+  std::size_t fluid_events = 0;
+
+  // Host-side wall-clock measurements (std::chrono), for the phase-split
+  // benchmarks. NOT simulation outputs: excluded from golden digests and
+  // from any cross-run comparison.
+  double wall_advance_seconds = 0.0;  ///< dispatch + event loop only
+  double wall_total_seconds = 0.0;    ///< whole run() call
+
   /// Merge a subsequent run (serial back-to-back execution). Time-stamped
   /// series (power segments, completions, occupancy samples) are
   /// concatenated with the accumulated offset applied, so the combined

@@ -1,0 +1,38 @@
+#include "gpusim/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ewc::gpusim {
+
+namespace {
+
+// -1 = not yet resolved from the environment; 0/1 = forced.
+std::atomic<int> g_simd_state{-1};
+
+bool env_simd_enabled() {
+  const char* v = std::getenv("EWC_SIMD");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "OFF") == 0 ||
+           std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "no") == 0);
+}
+
+}  // namespace
+
+bool simd_enabled() {
+  if (!simd_compiled_in()) return false;
+  int s = g_simd_state.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = env_simd_enabled() ? 1 : 0;
+    g_simd_state.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void set_simd_enabled(bool on) {
+  g_simd_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace ewc::gpusim

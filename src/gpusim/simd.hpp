@@ -1,0 +1,37 @@
+// Runtime + compile-time switch between the FluidEngine advance paths.
+//
+// Two implementations of the inner advance kernels are always part of the
+// source: the scalar reference (the ground truth the golden digests pin) and
+// a vectorized path (branchless loops under `#pragma omp simd`). Which one
+// runs is decided at runtime:
+//   * EWC_SIMD=off|0|false|no in the environment forces the scalar path;
+//   * set_simd_enabled() overrides the environment (tests flip it to prove
+//     both paths bit-identical in one process);
+//   * a -DEWC_SIMD=OFF build compiles with EWC_SIMD_DISABLED, which pins the
+//     scalar path regardless of the environment (the CI golden job builds
+//     both flavours and diffs their digest output).
+//
+// The two paths are bit-identical BY CONSTRUCTION, not by tolerance: only
+// elementwise arithmetic and min-reductions (exact under reordering) are
+// vectorized, while every ordered floating-point sum goes through shared
+// scalar helpers. See docs/SIMULATOR.md for the full policy.
+#pragma once
+
+namespace ewc::gpusim {
+
+/// True when the vectorized advance path is active for new runs.
+bool simd_enabled();
+
+/// Test/tooling override. No-op (always scalar) in EWC_SIMD_DISABLED builds.
+void set_simd_enabled(bool on);
+
+/// True when the vectorized path exists in this binary at all.
+constexpr bool simd_compiled_in() {
+#ifdef EWC_SIMD_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace ewc::gpusim

@@ -1,0 +1,354 @@
+// Golden-digest + differential harness for the FluidEngine rewrite
+// (ctest label: golden).
+//
+// Two layers of protection:
+//   1. Checked-in FNV-1a digests of complete RunResults for the paper's
+//      figure/table configurations. ANY change to the simulator's numerics
+//      or event semantics — times, energies, per-SM counts, occupancy
+//      samples, event counts — flips a digest. The scalar reference and the
+//      SIMD path must BOTH reproduce every checked-in value (they are
+//      bit-identical by construction; see docs/SIMULATOR.md).
+//   2. A seeded differential fuzzer: ~1k randomized plans over varied
+//      devices (SM counts, residency caps, bandwidth pressure, dispatch
+//      policies) asserting the SIMD path bit-identical to the scalar
+//      reference. There are NO tolerance exceptions; a failure prints the
+//      seed and a minimal repro plan.
+//
+// Updating a digest is a deliberate act: rerun with EWC_GOLDEN_OUT=<file>
+// (or read the failure message), verify the numeric change is intended, and
+// paste the new value. CI builds both -DEWC_SIMD flavours and diffs their
+// EWC_GOLDEN_OUT dumps, so a build-flavour-dependent digest cannot land.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/engine.hpp"
+#include "gpusim/simd.hpp"
+#include "workloads/paper_configs.hpp"
+
+namespace ewc {
+namespace {
+
+// ---- canonical RunResult digest -------------------------------------------
+
+class Fnv1a {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 1099511628211ull;
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+
+/// Canonical serialization of everything the simulator computes. The wall_*
+/// fields are deliberately EXCLUDED: they are host-side measurements, not
+/// simulation outputs.
+std::uint64_t digest_run(const gpusim::RunResult& r) {
+  Fnv1a d;
+  d.f64(r.total_time.seconds());
+  d.f64(r.kernel_time.seconds());
+  d.f64(r.h2d_time.seconds());
+  d.f64(r.d2h_time.seconds());
+  d.f64(r.system_energy.joules());
+  d.f64(r.avg_system_power.watts());
+  d.u64(r.sm_stats.size());
+  for (const auto& sm : r.sm_stats) {
+    d.f64(sm.busy.seconds());
+    d.i64(sm.blocks_executed);
+    d.f64(sm.counts.fp);
+    d.f64(sm.counts.int_ops);
+    d.f64(sm.counts.sfu);
+    d.f64(sm.counts.coalesced_tx);
+    d.f64(sm.counts.uncoalesced_tx);
+    d.f64(sm.counts.shared);
+    d.f64(sm.counts.constant);
+    d.f64(sm.counts.reg);
+  }
+  d.f64(r.device_counts.fp);
+  d.f64(r.device_counts.int_ops);
+  d.f64(r.device_counts.sfu);
+  d.f64(r.device_counts.coalesced_tx);
+  d.f64(r.device_counts.uncoalesced_tx);
+  d.f64(r.device_counts.shared);
+  d.f64(r.device_counts.constant);
+  d.f64(r.device_counts.reg);
+  d.u64(r.power_segments.size());
+  for (const auto& s : r.power_segments) {
+    d.f64(s.start.seconds());
+    d.f64(s.length.seconds());
+    d.f64(s.system_power.watts());
+  }
+  d.u64(r.completions.size());
+  for (const auto& c : r.completions) {
+    d.i64(c.instance_id);
+    d.str(c.kernel_name);
+    d.f64(c.finish_time.seconds());
+  }
+  d.u64(r.occupancy.size());
+  for (const auto& o : r.occupancy) {
+    d.f64(o.time.seconds());
+    d.i64(o.busy_sms);
+    d.i64(o.resident_blocks);
+    d.f64(o.dram_utilization);
+  }
+  d.f64(r.avg_temp_delta_kelvin);
+  d.f64(r.avg_dram_utilization);
+  d.f64(r.avg_sm_utilization);
+  d.u64(r.fluid_events);
+  return d.value();
+}
+
+/// The minimal repro a digest mismatch prints: enough to reconstruct the
+/// exact FluidEngine::run call in a debugger or one-off main().
+std::string describe_plan(const gpusim::DeviceConfig& dev,
+                          const gpusim::LaunchPlan& plan) {
+  std::ostringstream os;
+  os << "device{sms=" << dev.num_sms
+     << ",blk/sm=" << dev.max_blocks_per_sm
+     << ",bw=" << dev.dram_bandwidth.bytes_per_second()
+     << ",policy=" << static_cast<int>(dev.dispatch_policy)
+     << ",seed=" << dev.dispatch_seed << "} reuse_const="
+     << plan.reuse_constant_data << " instances[";
+  for (const auto& inst : plan.instances) {
+    os << " " << inst.desc.name << "#" << inst.instance_id << "("
+       << inst.desc.num_blocks << "x" << inst.desc.threads_per_block << ")";
+  }
+  os << " ]";
+  return os.str();
+}
+
+struct PathDigests {
+  std::uint64_t scalar = 0;
+  std::uint64_t simd = 0;
+};
+
+/// Run the plan under the scalar reference and (when compiled in) the SIMD
+/// path. Always restores the environment-selected path.
+PathDigests run_both(const gpusim::FluidEngine& engine,
+                     const gpusim::LaunchPlan& plan) {
+  PathDigests out;
+  gpusim::set_simd_enabled(false);
+  out.scalar = digest_run(engine.run(plan));
+  if (gpusim::simd_compiled_in()) {
+    gpusim::set_simd_enabled(true);
+    out.simd = digest_run(engine.run(plan));
+    gpusim::set_simd_enabled(false);
+  } else {
+    out.simd = out.scalar;
+  }
+  return out;
+}
+
+// ---- golden fixtures -------------------------------------------------------
+
+struct Fixture {
+  const char* name;
+  std::uint64_t expected;
+  std::function<gpusim::FluidEngine()> engine;
+  std::function<gpusim::LaunchPlan()> plan;
+};
+
+gpusim::LaunchPlan plan_of(const std::vector<workloads::InstanceSpec>& specs) {
+  gpusim::LaunchPlan plan;
+  int id = 0;
+  for (const auto& s : specs) {
+    plan.instances.push_back(gpusim::KernelInstance{s.gpu, id++, ""});
+  }
+  return plan;
+}
+
+gpusim::LaunchPlan replicated(const workloads::InstanceSpec& spec, int n) {
+  gpusim::LaunchPlan plan;
+  for (int i = 0; i < n; ++i) {
+    plan.instances.push_back(gpusim::KernelInstance{spec.gpu, i, ""});
+  }
+  return plan;
+}
+
+std::vector<Fixture> fixtures() {
+  const auto tesla = [] { return gpusim::FluidEngine(); };
+  const auto fermi = [] {
+    return gpusim::FluidEngine(gpusim::fermi_c2050(), gpusim::c2050_energy());
+  };
+  return {
+      // Paper Table 1 mix on the paper's device.
+      {"tesla-table1-mix", 0x884eebe7f428baf1ull, tesla,
+       [] { return plan_of(workloads::table1_specs()); }},
+      // Section III consolidation scenarios.
+      {"tesla-scenario1", 0x38bb6788c2e49baeull, tesla,
+       [] {
+         return plan_of({workloads::scenario1_montecarlo(),
+                         workloads::scenario1_encryption()});
+       }},
+      // Fermi device over the full enterprise catalogue.
+      {"fermi-enterprise-mix", 0xf01ede87e478bf06ull, fermi,
+       [] { return plan_of(workloads::enterprise_specs()); }},
+      // Batching-threshold sweep points (Figure 3 regime): the same
+      // enterprise kernel consolidated at increasing batch sizes.
+      {"tesla-threshold-2", 0x0997703274a19a07ull, tesla,
+       [] { return replicated(workloads::encryption_12k(), 2); }},
+      {"tesla-threshold-8", 0x86f78a9071873343ull, tesla,
+       [] { return replicated(workloads::encryption_12k(), 8); }},
+      {"tesla-threshold-32", 0xd7296b86a6029cc3ull, tesla,
+       [] { return replicated(workloads::encryption_12k(), 32); }},
+      // Constant-data reuse (the h2d dedup path) over a hetero mix.
+      {"tesla-reuse-constants", 0x7f812d9716d1daa7ull, tesla,
+       [] {
+         auto plan = plan_of({workloads::encryption_12k(),
+                              workloads::encryption_12k(),
+                              workloads::sorting_6k(),
+                              workloads::search_10k()});
+         plan.reuse_constant_data = true;
+         return plan;
+       }},
+  };
+}
+
+TEST(GoldenDigests, FixturesReproduceOnBothPaths) {
+  const char* out_path = std::getenv("EWC_GOLDEN_OUT");
+  std::ofstream out;
+  if (out_path != nullptr) out.open(out_path, std::ios::app);
+
+  for (const auto& f : fixtures()) {
+    const auto engine = f.engine();
+    const auto plan = f.plan();
+    const PathDigests got = run_both(engine, plan);
+    if (out.is_open()) {
+      char line[96];
+      std::snprintf(line, sizeof line, "%s 0x%016llx\n", f.name,
+                    static_cast<unsigned long long>(got.scalar));
+      out << line;
+    }
+    EXPECT_EQ(got.scalar, got.simd)
+        << "SIMD path diverged from scalar reference on fixture '" << f.name
+        << "'\nrepro: " << describe_plan(engine.device(), plan);
+    EXPECT_EQ(got.scalar, f.expected)
+        << "golden digest mismatch on fixture '" << f.name << "': got 0x"
+        << std::hex << got.scalar << ", expected 0x" << f.expected
+        << std::dec << "\nrepro: " << describe_plan(engine.device(), plan)
+        << "\nIf the numeric change is intentional, update the digest in "
+           "tests/golden_test.cpp (policy: docs/SIMULATOR.md).";
+  }
+}
+
+// ---- differential fuzz -----------------------------------------------------
+
+gpusim::KernelDesc fuzz_kernel(common::Rng& rng, int index) {
+  gpusim::KernelDesc k;
+  k.name = "fuzz" + std::to_string(static_cast<int>(rng.uniform_int(0, 3)));
+  k.num_blocks = static_cast<int>(rng.uniform_int(0, 70));
+  k.threads_per_block = static_cast<int>(rng.uniform_int(1, 8)) * 32;
+  k.mix.fp_insts = rng.uniform(0.0, 2.0e5);
+  k.mix.int_insts = rng.uniform(0.0, 1.0e5);
+  k.mix.sfu_insts = rng.uniform(0.0, 2.0e4);
+  k.mix.coalesced_mem_insts = rng.uniform(0.0, 2.0e4);
+  k.mix.uncoalesced_mem_insts = rng.uniform(0.0, 800.0);
+  k.mix.shared_accesses = rng.uniform(0.0, 5.0e4);
+  k.mix.const_accesses = rng.uniform(0.0, 5.0e4);
+  k.mix.sync_insts = rng.uniform(0.0, 300.0);
+  k.resources.registers_per_thread = static_cast<int>(rng.uniform_int(8, 32));
+  k.resources.shared_mem_per_block = rng.uniform_int(0, 8) * 1024;
+  if (rng.uniform(0.0, 1.0) < 0.3) {
+    k.resources.constant_data = common::Bytes::from_bytes(
+        static_cast<double>(rng.uniform_int(1, 16)) * 1024.0);
+  }
+  k.h2d_bytes = common::Bytes::from_bytes(rng.uniform(0.0, 1.0e6));
+  k.d2h_bytes = common::Bytes::from_bytes(rng.uniform(0.0, 1.0e6));
+  if (rng.uniform(0.0, 1.0) < 0.2) k.mlp = rng.uniform(1.0, 8.0);
+  // Zero-work corner cases stay in the pool: blocks whose demands are all
+  // zero exercise the dt == 0 retire path.
+  if (rng.uniform(0.0, 1.0) < 0.1) {
+    k.mix = gpusim::InstructionMix{};
+  }
+  (void)index;
+  return k;
+}
+
+/// Randomized device: varied SM counts, residency caps, and a DRAM
+/// bandwidth squeeze that forces mem_scale < 1 (the saturated regime).
+gpusim::DeviceConfig fuzz_device(common::Rng& rng) {
+  gpusim::DeviceConfig dev = gpusim::tesla_c1060();
+  dev.num_sms = static_cast<int>(rng.uniform_int(1, 30));
+  dev.max_blocks_per_sm = static_cast<int>(rng.uniform_int(1, 8));
+  const double squeeze[] = {0.1, 0.5, 1.0};
+  dev.dram_bandwidth = common::Bandwidth::from_bytes_per_second(
+      dev.dram_bandwidth.bytes_per_second() *
+      squeeze[rng.uniform_int(0, 2)]);
+  const gpusim::DispatchPolicy policies[] = {
+      gpusim::DispatchPolicy::kRoundRobin,
+      gpusim::DispatchPolicy::kLeastLoadedWarps,
+      gpusim::DispatchPolicy::kRandom};
+  dev.dispatch_policy = policies[rng.uniform_int(0, 2)];
+  dev.dispatch_seed = rng.uniform_int(1, 1 << 20);
+  return dev;
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialFuzz, SimdBitIdenticalToScalar) {
+  if (!gpusim::simd_compiled_in()) {
+    GTEST_SKIP() << "EWC_SIMD=OFF build: only the scalar path exists";
+  }
+  // 8 shards x 128 seeds = 1024 randomized plans.
+  const int shard = GetParam();
+  for (int i = 0; i < 128; ++i) {
+    const std::uint64_t seed =
+        0x90ddull + static_cast<std::uint64_t>(shard) * 128 + i;
+    common::Rng rng(seed);
+    const gpusim::DeviceConfig dev = fuzz_device(rng);
+    gpusim::FluidEngine engine(dev);
+    gpusim::LaunchPlan plan;
+    plan.reuse_constant_data = rng.uniform(0.0, 1.0) < 0.5;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 5));
+    for (int j = 0; j < n; ++j) {
+      gpusim::KernelInstance inst;
+      inst.desc = fuzz_kernel(rng, j);
+      while (inst.desc.num_blocks > 0 &&
+             !inst.desc.block_fits_empty_sm(dev)) {
+        inst.desc.threads_per_block -= 32;  // shrink until runnable
+        if (inst.desc.threads_per_block <= 0) {
+          inst.desc.threads_per_block = 32;
+          inst.desc.resources.shared_mem_per_block = 0;
+          inst.desc.resources.registers_per_thread = 8;
+        }
+      }
+      inst.instance_id = j;
+      plan.instances.push_back(std::move(inst));
+    }
+    const PathDigests got = run_both(engine, plan);
+    ASSERT_EQ(got.scalar, got.simd)
+        << "SIMD/scalar divergence at fuzz seed " << seed
+        << "\nrepro: " << describe_plan(dev, plan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ewc

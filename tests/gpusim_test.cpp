@@ -6,6 +6,8 @@
 #include "gpusim/engine.hpp"
 #include "gpusim/energy_integrator.hpp"
 #include "gpusim/kernel_desc.hpp"
+#include "gpusim/simd.hpp"
+#include "workloads/paper_configs.hpp"
 
 namespace ewc::gpusim {
 namespace {
@@ -373,6 +375,35 @@ TEST(Engine, EventBudgetIsDerivedAndMonotone) {
   // plan the old guard admitted still runs.
   for (std::size_t n : {1u, 10u, 1000u}) {
     EXPECT_GT(FluidEngine::event_budget(n), 6u * n + 64u);
+  }
+}
+
+TEST(Engine, EventCountPinnedFor64InstancePlan) {
+  // Pins the exact fluid-event count for a 64-instance consolidation, on
+  // both advance paths. The SoA rewrite (and any future scheduling change)
+  // cannot silently alter event semantics: a different dt sequence, drain
+  // order, or dispatch cadence changes this number before it changes any
+  // tolerance-checked metric. The dispatch-probe early exit must also be
+  // invisible here — it skips only probes that had no side effects.
+  FluidEngine engine;
+  LaunchPlan plan;
+  const auto spec = workloads::encryption_12k();
+  for (int i = 0; i < 64; ++i) {
+    plan.instances.push_back(KernelInstance{spec.gpu, i, ""});
+  }
+  const auto total_blocks =
+      static_cast<std::size_t>(plan.total_blocks());
+
+  set_simd_enabled(false);
+  const auto scalar = engine.run(plan);
+  EXPECT_EQ(scalar.fluid_events, 9u);
+  EXPECT_LE(scalar.fluid_events, FluidEngine::event_budget(total_blocks));
+
+  if (simd_compiled_in()) {
+    set_simd_enabled(true);
+    const auto simd = engine.run(plan);
+    set_simd_enabled(false);
+    EXPECT_EQ(simd.fluid_events, scalar.fluid_events);
   }
 }
 

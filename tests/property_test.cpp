@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "consolidate/runner.hpp"
 #include "gpusim/engine.hpp"
+#include "gpusim/simd.hpp"
 #include "perf/consolidation_model.hpp"
 #include "power/meter.hpp"
 #include "power/trainer.hpp"
@@ -101,6 +102,87 @@ TEST_P(RandomPlanSweep, EngineInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlanSweep, ::testing::Range(0, 16));
+
+/// RAII pin of the advance path, so a failing assertion can't leave the
+/// process on the wrong path for later tests.
+class PathGuard {
+ public:
+  explicit PathGuard(bool simd) { gpusim::set_simd_enabled(simd); }
+  ~PathGuard() { gpusim::set_simd_enabled(false); }
+};
+
+TEST_P(RandomPlanSweep, InvariantsHoldOnBothAdvancePaths) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
+  const gpusim::FluidEngine engine;
+  const auto& dev = engine.device();
+  gpusim::LaunchPlan plan;
+  const int n = 1 + GetParam() % 4;
+  for (int i = 0; i < n; ++i) {
+    gpusim::KernelInstance inst;
+    inst.desc = random_kernel(rng, i);
+    inst.instance_id = i;
+    plan.instances.push_back(std::move(inst));
+  }
+
+  for (const bool simd : {false, true}) {
+    if (simd && !gpusim::simd_compiled_in()) continue;
+    SCOPED_TRACE(simd ? "simd path" : "scalar path");
+    PathGuard guard(simd);
+    const auto run = engine.run(plan);
+
+    // Total energy equals the integral of the power trace (each segment a
+    // constant-power interval the instances' energies sum into).
+    double joules = 0.0;
+    for (const auto& s : run.power_segments) {
+      joules += s.system_power.watts() * s.length.seconds();
+    }
+    EXPECT_NEAR(run.system_energy.joules(), joules,
+                1e-6 * std::max(1.0, joules));
+
+    // Simulated time is non-decreasing across events, and every completion
+    // lands inside [0, makespan].
+    double prev_t = 0.0;
+    for (const auto& o : run.occupancy) {
+      EXPECT_GE(o.time.seconds(), prev_t);
+      prev_t = o.time.seconds();
+      // Per-SM occupancy never exceeds the device's residency limits.
+      EXPECT_LE(o.busy_sms, dev.num_sms);
+      EXPECT_GE(o.busy_sms, 0);
+      EXPECT_LE(o.resident_blocks, dev.num_sms * dev.max_blocks_per_sm);
+      EXPECT_GE(o.resident_blocks, o.busy_sms);
+    }
+    EXPECT_LE(prev_t, run.kernel_time.seconds() + 1e-12);
+    for (const auto& sm : run.sm_stats) {
+      EXPECT_LE(sm.busy.seconds(), run.kernel_time.seconds() + 1e-9);
+    }
+    EXPECT_LE(run.fluid_events,
+              gpusim::FluidEngine::event_budget(
+                  static_cast<std::size_t>(plan.total_blocks())));
+  }
+}
+
+TEST_P(RandomPlanSweep, SerialAtLeastConsolidatedOnBothPaths) {
+  // For a homogeneous plan (one kernel replicated) there is no DRAM mixing
+  // penalty, so consolidation is work-conserving: run_serial's total time
+  // bounds any consolidated plan's makespan from above.
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 32452843);
+  const gpusim::FluidEngine engine;
+  gpusim::LaunchPlan plan;
+  const auto desc = random_kernel(rng, 0);
+  const int n = 2 + GetParam() % 3;
+  for (int i = 0; i < n; ++i) {
+    plan.instances.push_back(gpusim::KernelInstance{desc, i, ""});
+  }
+  for (const bool simd : {false, true}) {
+    if (simd && !gpusim::simd_compiled_in()) continue;
+    SCOPED_TRACE(simd ? "simd path" : "scalar path");
+    PathGuard guard(simd);
+    const auto consolidated = engine.run(plan);
+    const auto serial = engine.run_serial(plan.instances);
+    EXPECT_GE(serial.total_time.seconds(),
+              consolidated.total_time.seconds() * (1.0 - 1e-9));
+  }
+}
 
 class PredictionSweep : public ::testing::TestWithParam<int> {};
 
