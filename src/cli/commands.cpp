@@ -188,6 +188,8 @@ std::string main_usage() {
       "  client     launch workloads against a running daemon or router\n"
       "  stats      print a live counter/histogram snapshot from a daemon\n"
       "             or router (per-shard breakdown)\n"
+      "  top        live time-series dashboard (rps, p95, watts, J/request\n"
+      "             with sparklines) for a daemon or router fleet\n"
       "  loadgen    open-loop traffic harness against a daemon; emits a\n"
       "             BENCH_ewcd.json perf-trajectory datapoint\n"
       "  trace-merge  merge Chrome-trace JSONs (client + server) into one\n";
@@ -515,6 +517,11 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
        "seconds a disconnected replay session's dedup state survives "
        "(default 120)",
        false, false},
+      {"metrics-interval",
+       "time-series sampler tick, s (default 1; 0 disables kMetrics series)",
+       false, false},
+      {"metrics-history", "points kept per series (default 120)", false,
+       false},
       {"decision-deadline",
        "decision-engine wait budget, s; a decide call not answered within "
        "it degrades the group to serial execution (default 0 = off)",
@@ -580,6 +587,10 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   sopt.replay_grace = common::Duration::from_seconds(
       flags.get_double_in("replay-grace", 120.0, 0.0, 86400.0));
   sopt.workers = flags.get_int_in("workers", 0, 0, 256);
+  sopt.metrics_interval =
+      flags.get_double_in("metrics-interval", 1.0, 0.0, 3600.0);
+  sopt.metrics_history = static_cast<std::size_t>(
+      flags.get_int_in("metrics-history", 120, 2, 1 << 20));
 
   server::Server server(backend, sopt);
   std::string error;
@@ -645,14 +656,21 @@ int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
        "shard index to drain (new placements avoid it), repeatable",
        false, true},
       {"workers", "pump worker threads (default 0 = auto)", false, false},
+      {"metrics-interval",
+       "time-series sampler tick, s (default 1; 0 disables kMetrics series)",
+       false, false},
+      {"metrics-history", "points kept per series (default 120)", false,
+       false},
       {"faults",
        "fault-injection scenario, e.g. 'router.forward=drop:p=0.01' "
        "(see docs/ROBUSTNESS.md)",
        false, false},
       {"fault-seed", "seed for the fault scenario rng (default 0)", false,
        false},
+      trace_out_spec(),
   });
   flags.parse(args);
+  maybe_enable_tracing(flags);
   const auto listen = flags.value("listen");
   if (!listen.has_value()) throw ArgsError("--listen is required");
   if (const auto scenario = flags.value("faults")) {
@@ -681,6 +699,10 @@ int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
   ropt.breaker_cooldown = common::Duration::from_seconds(
       flags.get_double_in("breaker-cooldown", 3.0, 0.01, 3600.0));
   ropt.workers = flags.get_int_in("workers", 0, 0, 256);
+  ropt.metrics_interval =
+      flags.get_double_in("metrics-interval", 1.0, 0.0, 3600.0);
+  ropt.metrics_history = static_cast<std::size_t>(
+      flags.get_int_in("metrics-history", 120, 2, 1 << 20));
   for (const auto& token : flags.values("drain")) {
     try {
       ropt.drain.push_back(std::stoi(token));
@@ -709,6 +731,7 @@ int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
   out.flush();
   router.wait();
   g_route_instance = nullptr;
+  maybe_export_trace(flags, "ewcsim route", out);
   out << "router stopped\n";
   return 0;
 }
@@ -1004,8 +1027,14 @@ int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out) {
        "print the deterministic (time, session, workload) schedule and exit "
        "without contacting a daemon",
        true, false},
+      {"interval-jsonl",
+       "append one ewcd-bench/v1 interval row per second (rps, p50/p95, "
+       "inflight) to this JSONL file while the run is live",
+       false, false},
+      trace_out_spec(),
   });
   flags.parse(args);
+  maybe_enable_tracing(flags);
 
   loadgen::LoadgenConfig config;
   {
@@ -1042,6 +1071,7 @@ int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out) {
       flags.get_double_in("drain-timeout", 120.0, 1.0, 86400.0));
   config.client.auto_reconnect = flags.get_bool("reconnect");
   config.client.breaker_threshold = flags.get_int_in("breaker", 8, 0, 1000);
+  config.interval_jsonl = flags.get_string("interval-jsonl", "");
 
   if (flags.get_bool("print-schedule")) {
     for (const auto& e : loadgen::build_schedule(config)) {
@@ -1112,6 +1142,7 @@ int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out) {
       if (verdict->regressed && exit_code == 0) exit_code = 3;
     }
   }
+  maybe_export_trace(flags, "ewcsim loadgen", out);
   return exit_code;
 }
 
@@ -1156,6 +1187,7 @@ int run_command(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "route") return cmd_route(rest, out);
     if (command == "client") return cmd_client(rest, out);
     if (command == "stats") return cmd_stats(rest, out);
+    if (command == "top") return cmd_top(rest, out);
     if (command == "loadgen") return cmd_loadgen(rest, out);
     if (command == "trace-merge") return cmd_trace_merge(rest, out);
     if (command == "help" || command == "--help") {

@@ -20,6 +20,8 @@
 //                   [--slot-base 0] [--flush] [--shutdown]
 //                   [--trace-out client.json]
 //   ewcsim stats    --socket tcp:127.0.0.1:7070 [--no-histograms]
+//   ewcsim top      --socket tcp:127.0.0.1:7070 [--interval 1]
+//                   [--once [--json | --prometheus]]
 //   ewcsim loadgen  --socket tcp:127.0.0.1:7070 --profile poisson:rate=200
 //                   --workload encryption_12k=3 --sessions 500 --duration 10
 //                   [--out BENCH_ewcd.json] [--compare baseline.json]
@@ -52,6 +54,7 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out);
 int cmd_route(const std::vector<std::string>& args, std::ostream& out);
 int cmd_client(const std::vector<std::string>& args, std::ostream& out);
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out);
+int cmd_top(const std::vector<std::string>& args, std::ostream& out);
 int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out);
 int cmd_trace_merge(const std::vector<std::string>& args, std::ostream& out);
 

@@ -241,6 +241,11 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
   using common::Energy;
 
   obs::ScopedSpan span("backend.group");
+  // Wall-clock start of this group's processing: every request in the batch
+  // gets a per-request "backend.request" slice over [here, reply-send) so
+  // trace-merge can anchor cross-process flow arrows on a backend span.
+  const double group_start_us =
+      obs::Tracer::enabled() ? obs::Tracer::now_us() : 0.0;
 
   BatchReport report;
   report.num_instances = static_cast<int>(batch.size());
@@ -390,6 +395,8 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
         obs::SimClockScope sim_base(sim_anchor + overhead.seconds() +
                                     offset.seconds());
         obs::RequestScope req_scope(batch[i].request_id);
+        obs::TraceScope trace_scope(batch[i].trace_id,
+                                    batch[i].parent_span_id);
         const gpusim::RunResult run = engine_.run(single);
         replies[i].ok = true;
         replies[i].where = CompletionReply::Where::kIndividualGpu;
@@ -465,10 +472,23 @@ void Backend::process_group(std::vector<LaunchRequest>& batch,
     replies[i].owner = batch[i].owner;
     replies[i].session = batch[i].session;
     if (tracing) {
+      obs::TraceScope trace_scope(batch[i].trace_id,
+                                  batch[i].parent_span_id);
       obs::instant("backend.reply", batch[i].request_id,
                    "\"where\":" +
                        std::to_string(static_cast<int>(replies[i].where)) +
                        ",\"ok\":" + (replies[i].ok ? "true" : "false"));
+      // Per-request backend residency slice [group start, reply send);
+      // carries the distributed-trace context so the merged fleet trace
+      // draws a flow arrow into the backend stage.
+      obs::SpanEvent ev;
+      ev.name = "backend.request";
+      ev.request_id = batch[i].request_id;
+      ev.trace_id = batch[i].trace_id;
+      ev.parent_span_id = batch[i].parent_span_id;
+      ev.ts_us = group_start_us;
+      ev.dur_us = obs::Tracer::now_us() - group_start_us;
+      obs::Tracer::instance().record(std::move(ev));
     }
     if (batch[i].reply) batch[i].reply->send(replies[i]);
   }

@@ -56,6 +56,13 @@ struct LaunchRequest {
   /// Stamped by the socket server (from the hello handshake) before the
   /// request enters the backend channel; never wire-encoded. 0 in-process.
   std::uint64_t session = 0;
+  /// Distributed-trace context: the end-to-end trace this launch belongs to
+  /// and the upstream span it hangs under. Assigned by the originating
+  /// client, carried on the wire by the additive launch fields, and threaded
+  /// through the backend so FluidEngine phase events land in the same trace.
+  /// 0 = no context (pre-trace peers, tracing disabled).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   gpusim::KernelDesc desc;
   /// Bytes the frontend staged through the backend buffer for this launch.
   std::size_t staged_bytes = 0;

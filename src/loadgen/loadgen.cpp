@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "consolidate/protocol.hpp"
+#include "obs/jsonl.hpp"
 
 namespace ewc::loadgen {
 
@@ -31,6 +34,22 @@ struct Tally {
 
 bool is_admission_rejection(const consolidate::CompletionReply& reply) {
   return reply.error.find("in-flight limit") != std::string::npos;
+}
+
+/// The interval distribution between two cumulative snapshots of the SAME
+/// histogram: geometry is fixed and counts only grow, so counts subtract.
+obs::HistogramSnapshot diff_hist(const obs::HistogramSnapshot& newer,
+                                 const obs::HistogramSnapshot& older) {
+  obs::HistogramSnapshot d;
+  d.params = newer.params;
+  d.counts.resize(newer.counts.size());
+  for (std::size_t i = 0; i < newer.counts.size(); ++i) {
+    const std::uint64_t prev = i < older.counts.size() ? older.counts[i] : 0;
+    d.counts[i] = newer.counts[i] >= prev ? newer.counts[i] - prev : 0;
+    d.total += d.counts[i];
+  }
+  d.sum = newer.sum - older.sum;
+  return d;
 }
 
 }  // namespace
@@ -157,6 +176,61 @@ bool run_loadgen(const LoadgenConfig& config, LoadgenResult* result,
 
   std::atomic<std::uint64_t> sent{0};
   const auto t0 = Clock::now();
+
+  // Interval monitor: while the run is live (send phase through drain),
+  // append one "ewcd-bench-interval/v1" row per second — interval rps and
+  // percentiles from diffing the cumulative tallies/histogram between
+  // ticks. Joined before teardown so it never reads a dead histogram.
+  std::thread monitor;
+  std::mutex monitor_mu;
+  std::condition_variable monitor_cv;
+  bool monitor_stop = false;
+  if (!config.interval_jsonl.empty()) {
+    monitor = std::thread([&] {
+      double t_prev = 0.0;
+      std::uint64_t sent_prev = 0, completed_prev = 0, ok_prev = 0;
+      obs::HistogramSnapshot hist_prev = latency_hist.snapshot();
+      std::unique_lock lock(monitor_mu);
+      for (;;) {
+        monitor_cv.wait_for(lock, std::chrono::seconds(1),
+                            [&] { return monitor_stop; });
+        const bool last = monitor_stop;
+        lock.unlock();
+        const double t_now =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        const std::uint64_t sent_now = sent.load(std::memory_order_relaxed);
+        const std::uint64_t completed_now =
+            tally.completed.load(std::memory_order_relaxed);
+        const std::uint64_t ok_now = tally.ok.load(std::memory_order_relaxed);
+        obs::HistogramSnapshot hist_now = latency_hist.snapshot();
+        const obs::HistogramSnapshot d = diff_hist(hist_now, hist_prev);
+        const double dt = t_now - t_prev;
+        std::ostringstream os;
+        os.precision(10);
+        os << "{\"schema\":\"ewcd-bench-interval/v1\""
+           << ",\"t_start_s\":" << t_prev << ",\"t_end_s\":" << t_now
+           << ",\"sent\":" << sent_now - sent_prev
+           << ",\"completed\":" << completed_now - completed_prev
+           << ",\"ok\":" << ok_now - ok_prev << ",\"rps\":"
+           << (dt > 1e-9
+                   ? static_cast<double>(completed_now - completed_prev) / dt
+                   : 0.0)
+           << ",\"p50_s\":" << d.percentile(50.0)
+           << ",\"p95_s\":" << d.percentile(95.0)
+           << ",\"inflight\":" << sent_now - completed_now << "}";
+        std::string write_err;
+        obs::append_jsonl_line(config.interval_jsonl, os.str(), &write_err);
+        t_prev = t_now;
+        sent_prev = sent_now;
+        completed_prev = completed_now;
+        ok_prev = ok_now;
+        hist_prev = std::move(hist_now);
+        lock.lock();
+        if (last) return;
+      }
+    });
+  }
+
   std::vector<std::thread> senders;
   for (int d = 0; d < dispatchers; ++d) {
     senders.emplace_back([&, d] {
@@ -215,6 +289,17 @@ bool run_loadgen(const LoadgenConfig& config, LoadgenResult* result,
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   const auto t_end = Clock::now();
+
+  // Stop the interval monitor first: its final (partial) row covers up to
+  // the drain end, and it must not outlive the tallies it reads.
+  if (monitor.joinable()) {
+    {
+      std::lock_guard lock(monitor_mu);
+      monitor_stop = true;
+    }
+    monitor_cv.notify_all();
+    monitor.join();
+  }
 
   // Snapshot the tallies BEFORE tearing down connections: teardown fails
   // any still-pending callback with a "connection dead" reply, and those

@@ -58,6 +58,12 @@ struct LoadgenConfig {
   common::Duration drain_timeout = common::Duration::from_seconds(120.0);
   /// Per-session client resilience knobs (breaker, reconnect) pass through.
   server::ClientOptions client;
+  /// When non-empty, append one "ewcd-bench-interval/v1" JSON line per
+  /// elapsed second of the run (send phase through drain): interval rps,
+  /// p50/p95 over just that interval's completions, and the in-flight
+  /// backlog. Gives the time-resolved view the single end-of-run datapoint
+  /// flattens away.
+  std::string interval_jsonl;
 };
 
 /// One scheduled request: fires at `at_seconds` after harness start, on

@@ -22,6 +22,15 @@ std::string num(double v) {
   return buf;
 }
 
+// u64 ids are exported as 16-hex-digit strings: a JSON number is a double
+// and silently loses the low bits of ids above 2^53.
+std::string hex_id(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
 void write_event_common(std::ostream& out, const SpanEvent& ev, int pid,
                         std::uint32_t tid) {
   out << "{\"name\":\"" << json_escape(ev.name) << "\",\"ph\":\""
@@ -33,11 +42,22 @@ void write_event_common(std::ostream& out, const SpanEvent& ev, int pid,
     out << ",\"s\":\"t\"";  // instant scope: thread
   }
   out << ",\"cat\":\"" << (ev.clock == Clock::kSim ? "sim" : "wall") << '"';
-  if (ev.request_id != 0 || !ev.args.empty()) {
+  if (ev.request_id != 0 || ev.trace_id != 0 || ev.parent_span_id != 0 ||
+      !ev.args.empty()) {
     out << ",\"args\":{";
     bool first = true;
     if (ev.request_id != 0) {
       out << "\"request_id\":" << ev.request_id;
+      first = false;
+    }
+    if (ev.trace_id != 0) {
+      if (!first) out << ',';
+      out << "\"trace_id\":\"" << hex_id(ev.trace_id) << '"';
+      first = false;
+    }
+    if (ev.parent_span_id != 0) {
+      if (!first) out << ',';
+      out << "\"parent_span_id\":\"" << hex_id(ev.parent_span_id) << '"';
       first = false;
     }
     if (!ev.args.empty()) {
@@ -119,6 +139,73 @@ bool export_chrome_trace_file(const std::string& path,
   return true;
 }
 
+namespace {
+
+double event_number(const json::Value& ev, const char* key) {
+  const json::Value* v = ev.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+}
+
+std::string event_string(const json::Value& ev, const char* key) {
+  const json::Value* v = ev.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+/// The deterministic merge order: (ts, pid, tid, name), then the full
+/// serialization as a final tie-break, so identical inputs always produce
+/// byte-identical artifacts (CI diffs them across runs).
+bool event_less(const json::Value& a, const json::Value& b) {
+  const double ta = event_number(a, "ts"), tb = event_number(b, "ts");
+  if (ta != tb) return ta < tb;
+  const double pa = event_number(a, "pid"), pb = event_number(b, "pid");
+  if (pa != pb) return pa < pb;
+  const double ia = event_number(a, "tid"), ib = event_number(b, "tid");
+  if (ia != ib) return ia < ib;
+  const std::string na = event_string(a, "name"), nb = event_string(b, "name");
+  if (na != nb) return na < nb;
+  return a.dump() < b.dump();
+}
+
+/// Stitch one Perfetto flow per trace_id: every wall-clock complete span
+/// carrying args.trace_id becomes a step on the "request" flow, so the
+/// loadgen -> router -> shard -> backend chain draws as connected arrows
+/// across process boundaries. Simulated-clock spans are excluded — their
+/// timestamps live on a different axis.
+json::Array stitch_flows(const json::Array& events) {
+  std::map<std::string, std::vector<const json::Value*>> by_trace;
+  for (const auto& ev : events) {
+    if (event_string(ev, "ph") != "X") continue;
+    if (event_string(ev, "cat") == "sim") continue;
+    const json::Value* args = ev.find("args");
+    if (args == nullptr) continue;
+    const json::Value* trace = args->find("trace_id");
+    if (trace == nullptr || !trace->is_string()) continue;
+    by_trace[trace->as_string()].push_back(&ev);
+  }
+  json::Array flows;
+  for (const auto& [trace, spans] : by_trace) {
+    if (spans.size() < 2) continue;  // nothing to connect
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const json::Value& span = *spans[i];
+      json::Object f;
+      f.emplace("name", json::Value("request"));
+      f.emplace("cat", json::Value("flow"));
+      f.emplace("ph", json::Value(i == 0 ? "s"
+                                  : i + 1 == spans.size() ? "f"
+                                                          : "t"));
+      f.emplace("id", json::Value(trace));
+      f.emplace("ts", json::Value(event_number(span, "ts")));
+      f.emplace("pid", json::Value(event_number(span, "pid")));
+      f.emplace("tid", json::Value(event_number(span, "tid")));
+      if (i + 1 == spans.size()) f.emplace("bp", json::Value("e"));
+      flows.push_back(json::Value(std::move(f)));
+    }
+  }
+  return flows;
+}
+
+}  // namespace
+
 bool merge_chrome_trace_files(const std::vector<std::string>& inputs,
                               const std::string& output, std::string* error) {
   json::Array merged;
@@ -136,6 +223,10 @@ bool merge_chrome_trace_files(const std::vector<std::string>& inputs,
     }
     for (const auto& ev : events->as_array()) merged.push_back(ev);
   }
+  std::stable_sort(merged.begin(), merged.end(), event_less);
+  json::Array flows = stitch_flows(merged);
+  for (auto& f : flows) merged.push_back(std::move(f));
+  std::stable_sort(merged.begin(), merged.end(), event_less);
   json::Object root;
   root.emplace("traceEvents", json::Value(std::move(merged)));
   root.emplace("displayTimeUnit", json::Value("ms"));

@@ -43,8 +43,11 @@ bool export_chrome_trace_file(const std::string& path,
                               std::string* error);
 
 /// Merge several Chrome-trace JSON files (each {"traceEvents":[...]}) into
-/// one. Events pass through untouched — pids keep the files apart. False
-/// with *error on unreadable/malformed input.
+/// one. Pids keep the files apart; events are sorted deterministically by
+/// (ts, pid, tid, name) and every group of wall-clock spans sharing an
+/// args.trace_id is stitched into one Perfetto flow ("s"/"t"/"f" events,
+/// cat "flow", id = trace_id) so a request draws as connected arrows across
+/// processes. False with *error on unreadable/malformed input.
 bool merge_chrome_trace_files(const std::vector<std::string>& inputs,
                               const std::string& output, std::string* error);
 

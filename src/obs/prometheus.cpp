@@ -1,0 +1,92 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ewc::obs::prom {
+
+namespace {
+
+bool valid_metric_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+std::string format_value(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Split "shard.<digits>.rest" into (rest, shard-index); empty index when
+/// the name carries no shard scope. Mirrors the `ewcsim stats` breakdown
+/// parsing.
+std::pair<std::string, std::string> split_shard_scope(
+    const std::string& dotted) {
+  constexpr const char* kPrefix = "shard.";
+  constexpr std::size_t kPrefixLen = 6;
+  if (dotted.rfind(kPrefix, 0) != 0) return {dotted, {}};
+  const std::size_t dot = dotted.find('.', kPrefixLen);
+  if (dot == std::string::npos || dot == kPrefixLen ||
+      dot + 1 >= dotted.size()) {
+    return {dotted, {}};
+  }
+  for (std::size_t i = kPrefixLen; i < dot; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(dotted[i]))) {
+      return {dotted, {}};
+    }
+  }
+  return {dotted.substr(dot + 1), dotted.substr(kPrefixLen, dot - kPrefixLen)};
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(const std::string& dotted) {
+  std::string body;
+  body.reserve(dotted.size());
+  for (char c : dotted) body += valid_metric_char(c) ? c : '_';
+  if (body.rfind("ewc_", 0) == 0) return body;
+  return "ewc_" + body;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_exposition(const std::map<std::string, double>& values) {
+  // family name -> [(shard label or empty, value)]
+  std::map<std::string, std::vector<std::pair<std::string, double>>> families;
+  for (const auto& [dotted, value] : values) {
+    auto [plain, shard] = split_shard_scope(dotted);
+    families[sanitize_metric_name(plain)].emplace_back(std::move(shard),
+                                                       value);
+  }
+  std::string out;
+  for (const auto& [family, samples] : families) {
+    out += "# TYPE " + family + " gauge\n";
+    for (const auto& [shard, value] : samples) {
+      out += family;
+      if (!shard.empty()) {
+        out += "{shard=\"" + escape_label_value(shard) + "\"}";
+      }
+      out += ' ' + format_value(value) + '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace ewc::obs::prom

@@ -4,13 +4,25 @@
 #include <chrono>
 #include <cstdio>
 
+#include "trace/counters.hpp"
+
 namespace ewc::obs {
 
 namespace {
 
 thread_local std::uint64_t t_request_id = 0;
+thread_local std::uint64_t t_trace_id = 0;
+thread_local std::uint64_t t_parent_span_id = 0;
 thread_local double t_sim_base_seconds = 0.0;
 thread_local Tracer::ThreadRing* t_ring = nullptr;
+
+/// Ring wrap overwrites the oldest span silently; this counter makes the
+/// truncation diagnosable from STATS without collecting the trace.
+trace::Counters::Handle dropped_spans_counter() {
+  static trace::Counters::Handle h =
+      trace::Counters::instance().handle("obs.trace.dropped_spans");
+  return h;
+}
 
 }  // namespace
 
@@ -51,10 +63,15 @@ Tracer::ThreadRing* Tracer::ring_for_this_thread() {
 void Tracer::record(SpanEvent ev) {
   ThreadRing* r = ring_for_this_thread();
   if (ev.clock == Clock::kWall) ev.lane = r->tid;
-  std::lock_guard lock(r->mu);
-  r->ring[r->next] = std::move(ev);
-  r->next = (r->next + 1) % r->ring.size();
-  r->written += 1;
+  bool overwrote;
+  {
+    std::lock_guard lock(r->mu);
+    overwrote = r->written >= r->ring.size();
+    r->ring[r->next] = std::move(ev);
+    r->next = (r->next + 1) % r->ring.size();
+    r->written += 1;
+  }
+  if (overwrote) dropped_spans_counter().inc();
 }
 
 std::vector<SpanEvent> Tracer::collect() const {
@@ -102,12 +119,24 @@ void Tracer::clear() {
 }
 
 std::uint64_t Tracer::current_request_id() { return t_request_id; }
+std::uint64_t Tracer::current_trace_id() { return t_trace_id; }
+std::uint64_t Tracer::current_parent_span_id() { return t_parent_span_id; }
 double Tracer::sim_base_seconds() { return t_sim_base_seconds; }
 
 RequestScope::RequestScope(std::uint64_t id) : saved_(t_request_id) {
   t_request_id = id;
 }
 RequestScope::~RequestScope() { t_request_id = saved_; }
+
+TraceScope::TraceScope(std::uint64_t trace_id, std::uint64_t parent_span_id)
+    : saved_trace_(t_trace_id), saved_parent_(t_parent_span_id) {
+  t_trace_id = trace_id;
+  t_parent_span_id = parent_span_id;
+}
+TraceScope::~TraceScope() {
+  t_trace_id = saved_trace_;
+  t_parent_span_id = saved_parent_;
+}
 
 SimClockScope::SimClockScope(double base_seconds)
     : saved_(t_sim_base_seconds) {
@@ -122,6 +151,8 @@ void instant(std::string name, std::uint64_t request_id, std::string args) {
   ev.args = std::move(args);
   ev.ts_us = Tracer::now_us();
   ev.request_id = request_id ? request_id : Tracer::current_request_id();
+  ev.trace_id = t_trace_id;
+  ev.parent_span_id = t_parent_span_id;
   Tracer::instance().record(std::move(ev));
 }
 
@@ -137,6 +168,8 @@ void sim_span(std::string name, double start_seconds, double dur_seconds,
   ev.dur_us = dur_seconds * 1e6;
   ev.lane = lane;
   ev.request_id = request_id ? request_id : Tracer::current_request_id();
+  ev.trace_id = t_trace_id;
+  ev.parent_span_id = t_parent_span_id;
   Tracer::instance().record(std::move(ev));
 }
 
@@ -150,6 +183,8 @@ void sim_instant(std::string name, double at_seconds, std::uint32_t lane,
   ev.ts_us = (t_sim_base_seconds + at_seconds) * 1e6;
   ev.lane = lane;
   ev.request_id = request_id ? request_id : Tracer::current_request_id();
+  ev.trace_id = t_trace_id;
+  ev.parent_span_id = t_parent_span_id;
   Tracer::instance().record(std::move(ev));
 }
 

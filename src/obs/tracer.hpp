@@ -27,6 +27,14 @@
 // Trace context: request_id. Layers that know it pass it explicitly; layers
 // that don't inherit the thread's current RequestScope. id 0 means "no
 // request".
+//
+// Distributed trace context: trace_id / parent_span_id. A trace_id names one
+// end-to-end request across processes (assigned by the originating client,
+// carried on the wire by the additive EWC1 launch fields); parent_span_id
+// names the upstream span the local work hangs under. Both default to the
+// thread's TraceScope, mirroring RequestScope, and 0 means "none". The
+// exporter renders them as hex strings in args and trace-merge uses them to
+// stitch Perfetto flow arrows across process boundaries.
 #pragma once
 
 #include <atomic>
@@ -48,6 +56,8 @@ struct SpanEvent {
   double ts_us = 0.0;    ///< kWall: steady-clock µs; kSim: simulated µs
   double dur_us = -1.0;  ///< < 0 marks an instant event
   std::uint64_t request_id = 0;  ///< 0 = none
+  std::uint64_t trace_id = 0;        ///< distributed trace id; 0 = none
+  std::uint64_t parent_span_id = 0;  ///< upstream span id; 0 = none
   /// kSim: simulator lane (0 = batch-level, 1+i = SM i). kWall: stamped by
   /// Tracer::record with the recording thread's ring id.
   std::uint32_t lane = 0;
@@ -89,6 +99,8 @@ class Tracer {
 
   // ---- thread-local trace context ----
   static std::uint64_t current_request_id();
+  static std::uint64_t current_trace_id();
+  static std::uint64_t current_parent_span_id();
   static double sim_base_seconds();
 
   /// Implementation detail, public only so the thread-local registration in
@@ -103,6 +115,7 @@ class Tracer {
 
  private:
   friend class RequestScope;
+  friend class TraceScope;
   friend class SimClockScope;
 
   Tracer() = default;
@@ -124,6 +137,8 @@ class ScopedSpan {
     if (!active_) return;
     ev_.name = std::move(name);
     ev_.request_id = request_id ? request_id : Tracer::current_request_id();
+    ev_.trace_id = Tracer::current_trace_id();
+    ev_.parent_span_id = Tracer::current_parent_span_id();
     ev_.ts_us = Tracer::now_us();
   }
   ~ScopedSpan() {
@@ -139,6 +154,10 @@ class ScopedSpan {
   /// id is assigned mid-launch on the client; args often aren't known until
   /// the work is done).
   void set_request_id(std::uint64_t id) { ev_.request_id = id; }
+  void set_trace(std::uint64_t trace_id, std::uint64_t parent_span_id) {
+    ev_.trace_id = trace_id;
+    ev_.parent_span_id = parent_span_id;
+  }
   void set_args(std::string args_json_members) {
     ev_.args = std::move(args_json_members);
   }
@@ -159,6 +178,22 @@ class RequestScope {
 
  private:
   std::uint64_t saved_;
+};
+
+/// Thread-local distributed-trace context: spans opened inside the scope
+/// default their trace_id/parent_span_id to the scope's values. Install one
+/// wherever a request crosses into this process (client launch, server
+/// admission, backend per-request execution).
+class TraceScope {
+ public:
+  TraceScope(std::uint64_t trace_id, std::uint64_t parent_span_id);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::uint64_t saved_trace_;
+  std::uint64_t saved_parent_;
 };
 
 /// Thread-local simulated-clock base: kSim events recorded inside the scope

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "fault/injector.hpp"
 #include "net/endpoint.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/tracer.hpp"
 #include "trace/counters.hpp"
 
@@ -20,7 +21,7 @@ using server::Reactor;
 struct RouterCounters {
   trace::Counters::Handle placed, placement_failures, forwarded, returned,
       upstream_closed, breaker_trips, poll_failures, stats_requests,
-      accept_backoff;
+      metrics_requests, accept_backoff;
 };
 
 RouterCounters& counters() {
@@ -30,7 +31,7 @@ RouterCounters& counters() {
       h("router.forwarded_frames"),  h("router.returned_frames"),
       h("router.upstream_closed"),   h("router.breaker_trips"),
       h("router.poll_failures"),     h("router.stats_requests"),
-      h("router.accept_backoff")};
+      h("router.metrics_requests"),  h("router.accept_backoff")};
   return *s;
 }
 
@@ -134,9 +135,114 @@ bool Router::start(std::string* error) {
     poller_stop_ = false;
   }
   poller_ = std::thread([this] { poll_loop(); });
+  start_sampler();
   common::log_info("router: serving ", bound_endpoint_, " fronting ",
                    shards_.size(), " shard(s)");
   return true;
+}
+
+void Router::start_sampler() {
+  if (options_.metrics_interval <= 0.0) return;
+  sampler_ = std::make_unique<obs::Sampler>(options_.metrics_history);
+  // Every provider reads the poller's shard view, so series are at most
+  // poll_interval stale — handle_metrics runs a fresh poll pass before
+  // sampling for one-shot scrapes.
+  auto shard_counter = [this](std::size_t i, const char* name) {
+    return [this, i, name] {
+      Shard& s = *shards_[i];
+      std::lock_guard lock(s.mu);
+      const auto it = s.counters.find(name);
+      return it == s.counters.end() ? 0.0 : it->second;
+    };
+  };
+  auto fleet_counter = [this](const char* name) {
+    return [this, name] {
+      double sum = 0.0;
+      for (const auto& sp : shards_) {
+        std::lock_guard lock(sp->mu);
+        const auto it = sp->counters.find(name);
+        if (it != sp->counters.end()) sum += it->second;
+      }
+      return sum;
+    };
+  };
+  auto shard_hist = [this](std::size_t i) {
+    return [this, i] {
+      Shard& s = *shards_[i];
+      std::lock_guard lock(s.mu);
+      const auto it = s.histograms.find("server.request_latency_seconds");
+      return it == s.histograms.end() ? obs::HistogramSnapshot{} : it->second;
+    };
+  };
+
+  sampler_->add_rate("rps", fleet_counter("server.replies"));
+  sampler_->add_gauge("power_watts", [this] {
+    double sum = 0.0;
+    for (const auto& sp : shards_) {
+      std::lock_guard lock(sp->mu);
+      sum += sp->power_watts;
+    }
+    return sum;
+  });
+  sampler_->add_ratio("joules_per_request",
+                      fleet_counter("backend.total_energy_joules"),
+                      fleet_counter("server.replies"));
+  sampler_->add_histogram_percentile(
+      "p95_seconds",
+      [this] {
+        obs::HistogramSnapshot merged;
+        bool have = false;
+        for (const auto& sp : shards_) {
+          std::lock_guard lock(sp->mu);
+          const auto it =
+              sp->histograms.find("server.request_latency_seconds");
+          if (it == sp->histograms.end()) continue;
+          if (!have) {
+            merged = it->second;
+            have = true;
+          } else {
+            merged.merge(it->second);
+          }
+        }
+        return merged;
+      },
+      95.0);
+  sampler_->add_gauge("inflight", [this] {
+    double sum = 0.0;
+    for (const auto& sp : shards_) {
+      std::lock_guard lock(sp->mu);
+      sum += sp->inflight;
+    }
+    return sum;
+  });
+  sampler_->add_gauge("energy_joules",
+                      fleet_counter("backend.total_energy_joules"));
+  sampler_->add_gauge("requests", fleet_counter("server.replies"));
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "shard." + std::to_string(i) + ".";
+    sampler_->add_rate(prefix + "rps", shard_counter(i, "server.replies"));
+    sampler_->add_gauge(prefix + "power_watts", [this, i] {
+      Shard& s = *shards_[i];
+      std::lock_guard lock(s.mu);
+      return s.power_watts;
+    });
+    sampler_->add_ratio(prefix + "joules_per_request",
+                        shard_counter(i, "backend.total_energy_joules"),
+                        shard_counter(i, "server.replies"));
+    sampler_->add_histogram_percentile(prefix + "p95_seconds", shard_hist(i),
+                                       95.0);
+    sampler_->add_gauge(prefix + "inflight", [this, i] {
+      Shard& s = *shards_[i];
+      std::lock_guard lock(s.mu);
+      return s.inflight;
+    });
+    sampler_->add_gauge(prefix + "energy_joules",
+                        shard_counter(i, "backend.total_energy_joules"));
+    sampler_->add_gauge(prefix + "requests",
+                        shard_counter(i, "server.replies"));
+  }
+  sampler_->start(options_.metrics_interval);
 }
 
 void Router::notify_stop() {
@@ -155,6 +261,7 @@ void Router::wait() {
   }
   poller_cv_.notify_all();
   if (poller_.joinable()) poller_.join();
+  sampler_.reset();
   {
     // Drop the poll connections outside poll_mu_-holding paths.
     std::lock_guard lock(poll_mu_);
@@ -267,6 +374,9 @@ void Router::on_frame(const Reactor::ConnPtr& conn, net::Frame frame) {
     case MsgType::kStats:
       handle_stats(conn, frame);
       return;
+    case MsgType::kMetrics:
+      handle_metrics(conn, frame);
+      return;
     case MsgType::kFlush:
       handle_flush(conn, frame);
       return;
@@ -377,8 +487,30 @@ void Router::forward(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
     // Pairing already severed; the close path tears this side down too.
     return;
   }
+  // The router's hop in the distributed trace: a client-bound kLaunch gets
+  // a "router.forward" slice carrying the launch's wire trace context, so
+  // the merged fleet trace shows the router between the client's span and
+  // the shard's. Decoding the payload costs a KernelDesc parse, so it is
+  // gated on tracing being on.
+  const bool trace_launch =
+      !ctx->is_upstream && obs::Tracer::enabled() &&
+      static_cast<MsgType>(frame.type) == MsgType::kLaunch;
+  const double start_us = trace_launch ? obs::Tracer::now_us() : 0.0;
   if (peer->send(frame.type, frame.payload)) {
     (ctx->is_upstream ? counters().returned : counters().forwarded).inc();
+    if (trace_launch) {
+      if (const auto req = server::decode_launch(frame.payload)) {
+        obs::SpanEvent ev;
+        ev.name = "router.forward";
+        ev.request_id = req->request_id;
+        ev.trace_id = req->trace_id;
+        ev.parent_span_id = req->parent_span_id;
+        ev.ts_us = start_us;
+        ev.dur_us = obs::Tracer::now_us() - start_us;
+        ev.args = "\"shard\":" + std::to_string(ctx->shard);
+        obs::Tracer::instance().record(std::move(ev));
+      }
+    }
   }
 }
 
@@ -434,6 +566,47 @@ void Router::handle_stats(const Reactor::ConnPtr& conn,
   reply.counters["router.shards_alive"] = alive;
   conn->send(static_cast<std::uint16_t>(MsgType::kStatsReply),
              server::encode_stats_reply(reply));
+}
+
+void Router::handle_metrics(const server::Reactor::ConnPtr& conn,
+                            const net::Frame& frame) {
+  const auto metrics = server::decode_metrics(frame.payload);
+  if (!metrics.has_value()) {
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               server::encode_error({"malformed metrics"}));
+    conn->close_async();
+    return;
+  }
+  counters().metrics_requests.inc();
+  server::MetricsReplyMsg reply;
+  reply.token = metrics->token;
+  reply.uptime_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  if (sampler_ != nullptr) {
+    // Refresh the shard view, then sample it, so a one-shot scrape reads
+    // end-of-run cumulative gauges (energy, requests) as of *now* rather
+    // than up to a poll/tick stale.
+    poll_shards();
+    sampler_->sample_now();
+    reply.interval_seconds = options_.metrics_interval;
+    reply.series = sampler_->snapshot();
+  }
+  if (metrics->include_prometheus) {
+    // Router-local counters plus the sampler's newest fleet + shard.<i>.*
+    // values; the exposition folds the shard prefix into a label.
+    std::map<std::string, double> values =
+        trace::Counters::instance().snapshot();
+    if (sampler_ != nullptr) {
+      for (const auto& [name, value] : sampler_->last_values()) {
+        values[name] = value;
+      }
+    }
+    reply.prometheus_text = obs::prom::render_exposition(values);
+  }
+  conn->send(static_cast<std::uint16_t>(MsgType::kMetricsReply),
+             server::encode_metrics_reply(reply));
 }
 
 void Router::handle_flush(const server::Reactor::ConnPtr& conn,

@@ -44,6 +44,7 @@
 
 #include "common/units.hpp"
 #include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
 #include "server/client.hpp"
 #include "server/protocol_wire.hpp"
 #include "server/reactor.hpp"
@@ -94,6 +95,12 @@ struct RouterOptions {
   std::vector<int> drain;
   /// Reactor pump workers (0 = min(16, max(4, hardware))).
   int workers = 0;
+  /// Time-series sampler tick (seconds): every tick derives fleet-wide and
+  /// per-shard (shard.<i>.*) rps / p95 / watts / joules-per-request series
+  /// from the poller's shard view, served over kMetrics. 0 disables.
+  double metrics_interval = 1.0;
+  /// Points kept per series (history window = interval * history).
+  std::size_t metrics_history = 120;
 };
 
 class Router {
@@ -177,6 +184,13 @@ class Router {
   /// Downstream kStats: answer with the fleet aggregate + breakdown.
   void handle_stats(const server::Reactor::ConnPtr& conn,
                     const net::Frame& frame);
+  /// Downstream kMetrics: answer with the fleet time-series (fleet-wide
+  /// names plus the shard.<i>.* breakdown) from the router's own sampler.
+  void handle_metrics(const server::Reactor::ConnPtr& conn,
+                      const net::Frame& frame);
+  /// Register the fleet + per-shard derived series over the poller's view
+  /// and start the sampler thread; no-op when disabled.
+  void start_sampler();
   /// Downstream kFlush: fan out to every shard (a client asking "push the
   /// pending batch through" means the fleet's, not just its own shard's),
   /// then answer kFlushDone(ok = every shard flushed).
@@ -217,6 +231,9 @@ class Router {
   std::mutex poller_mu_;
   std::condition_variable poller_cv_;
   bool poller_stop_ = false;
+
+  /// The kMetrics time-series rings, fed from the polled shard state.
+  std::unique_ptr<obs::Sampler> sampler_;
 
   std::atomic<bool> running_{false};
   std::chrono::steady_clock::time_point started_at_{};

@@ -34,6 +34,20 @@ std::uint64_t fresh_session_nonce() {
   return x == 0 ? 1 : x;
 }
 
+/// Distributed trace id for one launch: the session nonce (already unique
+/// per client process lifetime) mixed with the connection-unique request id
+/// through a splitmix64 finalizer. Deterministic per (session, request), so
+/// a replayed launch keeps its trace id; never 0 (0 means "no trace").
+std::uint64_t mix_trace_id(std::uint64_t session, std::uint64_t request_id) {
+  std::uint64_t x = session + 0x9e3779b97f4a7c15ull * (request_id + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
 struct ClientCounters {
   trace::Counters::Handle reconnects, replayed, breaker_trips;
 };
@@ -223,6 +237,13 @@ consolidate::CompletionReply ClientConnection::launch(
     launch_waiters_[req.request_id] = waiter;
   }
   span.set_request_id(req.request_id);
+  // Root of the distributed trace: this span is the trace's origin, so its
+  // id doubles as the wire parent for everything downstream.
+  if (req.trace_id == 0) {
+    req.trace_id = mix_trace_id(session_, req.request_id);
+    req.parent_span_id = req.trace_id;
+  }
+  span.set_trace(req.trace_id, 0);
   req.reply = nullptr;  // never crosses the wire
   const auto payload = encode_launch(req);
   bool sent;
@@ -273,6 +294,27 @@ consolidate::CompletionReply ClientConnection::launch(
 std::uint64_t ClientConnection::launch_async(
     consolidate::LaunchRequest req,
     std::function<void(const consolidate::CompletionReply&)> on_reply) {
+  // Async half of the client.launch span: no thread blocks across the wire
+  // round-trip, so the span is recorded manually from the callback —
+  // [here, reply) — on whichever thread delivers it. The trace id is
+  // re-derived from (session, request_id), matching the id stamped on the
+  // wire below, so the span joins the same distributed trace.
+  if (obs::Tracer::enabled()) {
+    const double start_us = obs::Tracer::now_us();
+    on_reply = [start_us, session = session_, cb = std::move(on_reply)](
+                   const consolidate::CompletionReply& r) {
+      obs::SpanEvent ev;
+      ev.name = "client.launch";
+      ev.request_id = r.request_id;
+      if (r.request_id != 0) ev.trace_id = mix_trace_id(session, r.request_id);
+      ev.ts_us = start_us;
+      ev.dur_us = obs::Tracer::now_us() - start_us;
+      ev.args = std::string("\"ok\":") + (r.ok ? "true" : "false") +
+                ",\"async\":true";
+      obs::Tracer::instance().record(std::move(ev));
+      cb(r);
+    };
+  }
   auto fail_now = [&](std::uint64_t id, const std::string& why) {
     consolidate::CompletionReply reply;
     reply.ok = false;
@@ -290,6 +332,10 @@ std::uint64_t ClientConnection::launch_async(
     launch_callbacks_[id] = std::move(on_reply);
   }
   req.request_id = id;
+  if (req.trace_id == 0) {
+    req.trace_id = mix_trace_id(session_, id);
+    req.parent_span_id = req.trace_id;
+  }
   req.reply = nullptr;  // never crosses the wire
   const auto payload = encode_launch(req);
   bool sent;
@@ -369,6 +415,28 @@ std::optional<StatsReplyMsg> ClientConnection::stats(
   return reply;
 }
 
+std::optional<MetricsReplyMsg> ClientConnection::metrics(
+    bool include_prometheus, common::Duration timeout) {
+  if (!breaker_allows()) return std::nullopt;
+  auto waiter =
+      std::make_shared<common::Channel<std::optional<MetricsReplyMsg>>>();
+  std::uint64_t token;
+  {
+    std::lock_guard lock(mu_);
+    if (dead_.load()) return std::nullopt;
+    token = next_id_++;
+    metrics_waiters_[token] = waiter;
+  }
+  std::optional<MetricsReplyMsg> reply;
+  if (send(MsgType::kMetrics, encode_metrics({token, include_prometheus}))) {
+    auto got = waiter->receive_for(timeout);
+    if (got.has_value()) reply = std::move(*got);
+  }
+  std::lock_guard lock(mu_);
+  metrics_waiters_.erase(token);
+  return reply;
+}
+
 bool ClientConnection::request_shutdown() {
   if (dead_.load()) return false;
   return send(MsgType::kShutdown, encode_shutdown());
@@ -383,6 +451,9 @@ void ClientConnection::fail_all(const std::string& error) {
            std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>>>
       stats;
   std::map<std::uint64_t,
+           std::shared_ptr<common::Channel<std::optional<MetricsReplyMsg>>>>
+      metrics;
+  std::map<std::uint64_t,
            std::function<void(const consolidate::CompletionReply&)>>
       callbacks;
   {
@@ -392,6 +463,7 @@ void ClientConnection::fail_all(const std::string& error) {
     launches.swap(launch_waiters_);
     flushes.swap(flush_waiters_);
     stats.swap(stats_waiters_);
+    metrics.swap(metrics_waiters_);
     callbacks.swap(launch_callbacks_);
     inflight_launches_.clear();
   }
@@ -411,6 +483,7 @@ void ClientConnection::fail_all(const std::string& error) {
   }
   for (auto& [token, waiter] : flushes) waiter->send(false);
   for (auto& [token, waiter] : stats) waiter->send(std::nullopt);
+  for (auto& [token, waiter] : metrics) waiter->send(std::nullopt);
 }
 
 void ClientConnection::fail_connection_scoped() {
@@ -418,13 +491,18 @@ void ClientConnection::fail_connection_scoped() {
   std::map<std::uint64_t,
            std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>>>
       stats;
+  std::map<std::uint64_t,
+           std::shared_ptr<common::Channel<std::optional<MetricsReplyMsg>>>>
+      metrics;
   {
     std::lock_guard lock(mu_);
     flushes.swap(flush_waiters_);
     stats.swap(stats_waiters_);
+    metrics.swap(metrics_waiters_);
   }
   for (auto& [token, waiter] : flushes) waiter->send(false);
   for (auto& [token, waiter] : stats) waiter->send(std::nullopt);
+  for (auto& [token, waiter] : metrics) waiter->send(std::nullopt);
 }
 
 bool ClientConnection::recover(const std::string& why) {
@@ -560,6 +638,22 @@ void ClientConnection::reader_loop() {
           std::lock_guard lock(mu_);
           auto it = stats_waiters_.find(reply->token);
           if (it != stats_waiters_.end()) waiter = it->second;
+        }
+        record_transport_success();
+        if (waiter) waiter->send(std::move(reply));
+        break;
+      }
+      case MsgType::kMetricsReply: {
+        auto reply = decode_metrics_reply(frame.payload);
+        if (!reply.has_value()) {
+          if (recover("malformed metrics_reply")) continue;
+          return fail_all("malformed metrics_reply");
+        }
+        std::shared_ptr<common::Channel<std::optional<MetricsReplyMsg>>> waiter;
+        {
+          std::lock_guard lock(mu_);
+          auto it = metrics_waiters_.find(reply->token);
+          if (it != metrics_waiters_.end()) waiter = it->second;
         }
         record_transport_success();
         if (waiter) waiter->send(std::move(reply));

@@ -87,8 +87,11 @@ class ClientConnection {
 
   /// Submit one launch and block until the daemon answers (bounded by
   /// `timeout`; non-finite waits indefinitely). The request_id field is
-  /// assigned here. Always returns a reply — transport failures come back
-  /// as ok=false with an error message.
+  /// assigned here, and — when the request carries none — so is a fresh
+  /// distributed trace_id (mixed deterministically from the session nonce
+  /// and request id), which travels on the wire so downstream spans join
+  /// this client's trace. Always returns a reply — transport failures come
+  /// back as ok=false with an error message.
   consolidate::CompletionReply launch(consolidate::LaunchRequest req,
                                       common::Duration timeout);
 
@@ -114,6 +117,12 @@ class ClientConnection {
   /// kStats frame with kError).
   std::optional<StatsReplyMsg> stats(bool include_histograms,
                                      common::Duration timeout);
+
+  /// Snapshot the daemon's time-series rings (and optionally the Prometheus
+  /// text exposition). nullopt on timeout, transport failure, or a
+  /// pre-metrics daemon (which answers the kMetrics frame with kError).
+  std::optional<MetricsReplyMsg> metrics(bool include_prometheus,
+                                         common::Duration timeout);
 
   /// Ask the daemon to drain and exit (admin path).
   bool request_shutdown();
@@ -187,6 +196,10 @@ class ClientConnection {
   std::map<std::uint64_t,
            std::shared_ptr<common::Channel<std::optional<StatsReplyMsg>>>>
       stats_waiters_;
+  /// Same contract for kMetrics time-series snapshots.
+  std::map<std::uint64_t,
+           std::shared_ptr<common::Channel<std::optional<MetricsReplyMsg>>>>
+      metrics_waiters_;
   /// Encoded kLaunch payloads awaiting an answer, for replay after a
   /// reconnect. Only populated when auto_reconnect is on.
   std::map<std::uint64_t, std::vector<std::byte>> inflight_launches_;

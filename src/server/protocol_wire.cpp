@@ -14,6 +14,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kError: return "error";
     case MsgType::kStats: return "stats";
     case MsgType::kStatsReply: return "stats_reply";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kMetricsReply: return "metrics_reply";
   }
   return "unknown";
 }
@@ -111,6 +113,8 @@ std::vector<std::byte> encode_launch(const consolidate::LaunchRequest& req) {
   encode_kernel_desc(w, req.desc);
   w.u64(static_cast<std::uint64_t>(req.staged_bytes));
   w.i32(req.api_messages);
+  w.u64(req.trace_id);
+  w.u64(req.parent_span_id);
   return w.take();
 }
 
@@ -123,6 +127,12 @@ std::optional<consolidate::LaunchRequest> decode_launch(
   req.desc = decode_kernel_desc(r);
   req.staged_bytes = static_cast<std::size_t>(r.u64());
   req.api_messages = r.i32();
+  // Additive distributed-trace context (still protocol version 1): a
+  // pre-trace client's launch ends here and decodes as "no context".
+  if (r.ok() && r.remaining() > 0) {
+    req.trace_id = r.u64();
+    req.parent_span_id = r.u64();
+  }
   if (!r.done()) return std::nullopt;
   return req;
 }
@@ -278,6 +288,72 @@ std::optional<StatsReplyMsg> decode_stats_reply(
     for (std::uint32_t c = 0; c < ncounts; ++c) h.counts.push_back(r.u64());
     m.histograms.emplace(std::move(name), std::move(h));
   }
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_metrics(const MetricsMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u8(m.include_prometheus ? 1 : 0);
+  return w.take();
+}
+
+std::optional<MetricsMsg> decode_metrics(std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  MetricsMsg m;
+  m.token = r.u64();
+  m.include_prometheus = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_metrics_reply(const MetricsReplyMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u64(m.uptime_micros);
+  w.f64(m.interval_seconds);
+  w.u32(static_cast<std::uint32_t>(m.series.size()));
+  for (const auto& [name, snap] : m.series) {
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(snap.points.size()));
+    for (const auto& p : snap.points) {
+      w.f64(p.t_seconds);
+      w.f64(p.value);
+    }
+  }
+  w.str(m.prometheus_text);
+  return w.take();
+}
+
+std::optional<MetricsReplyMsg> decode_metrics_reply(
+    std::span<const std::byte> payload) {
+  // Same bounded-decode discipline as decode_stats_reply: counts are
+  // checked before allocation so a malformed frame cannot ask for
+  // gigabytes.
+  constexpr std::uint32_t kMaxEntries = 1 << 20;
+  net::Reader r(payload);
+  MetricsReplyMsg m;
+  m.token = r.u64();
+  m.uptime_micros = r.u64();
+  m.interval_seconds = r.f64();
+  const std::uint32_t nseries = r.u32();
+  if (!r.ok() || nseries > kMaxEntries) return std::nullopt;
+  for (std::uint32_t i = 0; i < nseries && r.ok(); ++i) {
+    std::string name = r.str();
+    const std::uint32_t npoints = r.u32();
+    if (!r.ok() || npoints > kMaxEntries) return std::nullopt;
+    obs::SeriesSnapshot snap;
+    snap.points.reserve(npoints);
+    for (std::uint32_t p = 0; p < npoints && r.ok(); ++p) {
+      obs::SeriesPoint pt;
+      pt.t_seconds = r.f64();
+      pt.value = r.f64();
+      snap.points.push_back(pt);
+    }
+    m.series.emplace(std::move(name), std::move(snap));
+  }
+  m.prometheus_text = r.str();
   if (!r.done()) return std::nullopt;
   return m;
 }

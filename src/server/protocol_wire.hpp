@@ -20,6 +20,7 @@
 #include "gpusim/kernel_desc.hpp"
 #include "net/wire.hpp"
 #include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
 
 namespace ewc::server {
 
@@ -39,6 +40,10 @@ enum class MsgType : std::uint16_t {
   // predates it answers kStats with kError, which stats clients must accept.
   kStats = 9,       ///< client -> server: snapshot counters (+ histograms)
   kStatsReply = 10, ///< server -> client: the snapshot
+  // Additive extension (still protocol version 1), same contract as kStats:
+  // older servers answer with kError, which metrics clients must accept.
+  kMetrics = 11,      ///< client -> server: time-series rings (+ Prometheus)
+  kMetricsReply = 12, ///< server -> client: the series
 };
 
 const char* msg_type_name(MsgType t);
@@ -95,6 +100,24 @@ struct StatsReplyMsg {
   std::map<std::string, obs::HistogramSnapshot> histograms;
 };
 
+struct MetricsMsg {
+  std::uint64_t token = 0;
+  /// Also render the Prometheus text exposition into the reply.
+  bool include_prometheus = false;
+};
+
+/// The sampler's ring contents: per-series point history (oldest first)
+/// plus, on request, the Prometheus text exposition of the newest values
+/// and counters. A daemon running without a sampler answers with an empty
+/// series map.
+struct MetricsReplyMsg {
+  std::uint64_t token = 0;
+  std::uint64_t uptime_micros = 0;
+  double interval_seconds = 0.0;  ///< sampler tick; 0 = sampler disabled
+  std::map<std::string, obs::SeriesSnapshot> series;
+  std::string prometheus_text;  ///< empty unless requested
+};
+
 // ---- KernelDesc (nested inside launch requests) ----
 void encode_kernel_desc(net::Writer& w, const gpusim::KernelDesc& d);
 gpusim::KernelDesc decode_kernel_desc(net::Reader& r);
@@ -108,8 +131,11 @@ std::optional<HelloMsg> decode_hello(std::span<const std::byte> payload);
 std::vector<std::byte> encode_hello_ok(const HelloOkMsg& m);
 std::optional<HelloOkMsg> decode_hello_ok(std::span<const std::byte> payload);
 
-/// Serializes owner, request_id, desc, staged_bytes, api_messages. The
-/// reply channel is transport-local and never crosses the wire.
+/// Serializes owner, request_id, desc, staged_bytes, api_messages, plus the
+/// additive trace_id/parent_span_id distributed-trace context (still
+/// protocol version 1: a pre-trace peer's launch ends early and decodes as
+/// trace_id 0 — no context). The reply channel is transport-local and never
+/// crosses the wire.
 std::vector<std::byte> encode_launch(const consolidate::LaunchRequest& req);
 std::optional<consolidate::LaunchRequest> decode_launch(
     std::span<const std::byte> payload);
@@ -137,6 +163,13 @@ std::optional<StatsMsg> decode_stats(std::span<const std::byte> payload);
 
 std::vector<std::byte> encode_stats_reply(const StatsReplyMsg& m);
 std::optional<StatsReplyMsg> decode_stats_reply(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_metrics(const MetricsMsg& m);
+std::optional<MetricsMsg> decode_metrics(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_metrics_reply(const MetricsReplyMsg& m);
+std::optional<MetricsReplyMsg> decode_metrics_reply(
     std::span<const std::byte> payload);
 
 }  // namespace ewc::server

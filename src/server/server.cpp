@@ -8,6 +8,7 @@
 #include "fault/injector.hpp"
 #include "net/endpoint.hpp"
 #include "obs/histogram.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/tracer.hpp"
 #include "trace/counters.hpp"
 
@@ -24,9 +25,9 @@ constexpr common::Duration kTick = common::Duration::from_millis(50.0);
 struct ServerCounters {
   trace::Counters::Handle connections_accepted, connections_rejected,
       connections_closed, protocol_errors, admitted, rejected, requests,
-      replies, flushes, shutdown_requests, stats_requests, deadline_expired,
-      drain_failed_replies, drain_flush_timeouts, replayed_requests,
-      parked_replies, accept_backoff;
+      replies, flushes, shutdown_requests, stats_requests, metrics_requests,
+      deadline_expired, drain_failed_replies, drain_flush_timeouts,
+      replayed_requests, parked_replies, accept_backoff;
 };
 
 ServerCounters& counters() {
@@ -39,7 +40,8 @@ ServerCounters& counters() {
       h("server.admitted"),             h("server.rejected"),
       h("server.requests"),             h("server.replies"),
       h("server.flushes"),              h("server.shutdown_requests"),
-      h("server.stats_requests"),       h("server.deadline_expired"),
+      h("server.stats_requests"),       h("server.metrics_requests"),
+      h("server.deadline_expired"),
       h("server.drain.failed_replies"), h("server.drain.flush_timeouts"),
       h("server.replayed_requests"),    h("server.parked_replies"),
       h("server.accept_backoff")};
@@ -59,6 +61,7 @@ Server::Server(consolidate::Backend& backend, ServerOptions options)
 
 Server::~Server() {
   if (running_.load()) stop();
+  sampler_.reset();  // joins the sampler tick thread
   reactor_.reset();  // joins the event loop + pump workers
   backend_replies_->close();
   if (demux_.joinable()) demux_.join();
@@ -121,7 +124,37 @@ bool Server::start(std::string* error) {
     return false;
   }
   demux_ = std::thread([this] { demux_loop(); });
+  start_sampler();
   return true;
+}
+
+void Server::start_sampler() {
+  if (options_.metrics_interval <= 0.0) return;
+  sampler_ = std::make_unique<obs::Sampler>(options_.metrics_history);
+  auto counter = [](const char* name) {
+    trace::Counters::Handle h = trace::Counters::instance().handle(name);
+    return [h]() mutable { return h.value(); };
+  };
+  sampler_->add_rate("rps", counter("server.replies"));
+  sampler_->add_rate("power_watts", counter("backend.total_energy_joules"));
+  sampler_->add_ratio("joules_per_request",
+                      counter("backend.total_energy_joules"),
+                      counter("server.replies"));
+  sampler_->add_histogram_percentile(
+      "p95_seconds", [] { return request_latency_hist()->snapshot(); },
+      95.0);
+  sampler_->add_gauge("inflight", [] {
+    const ServerCounters& c = counters();
+    return std::max(0.0, c.admitted.value() - c.replies.value() -
+                             c.deadline_expired.value() -
+                             c.drain_failed_replies.value());
+  });
+  // Cumulative gauges alongside the derived rates: a one-shot scrape can
+  // compute run-average joules/request (energy / requests) without any
+  // interval sensitivity.
+  sampler_->add_gauge("energy_joules", counter("backend.total_energy_joules"));
+  sampler_->add_gauge("requests", counter("server.replies"));
+  sampler_->start(options_.metrics_interval);
 }
 
 void Server::notify_stop() {
@@ -202,6 +235,9 @@ void Server::on_frame(const Reactor::ConnPtr& conn, net::Frame frame) {
     case MsgType::kStats:
       handle_stats(conn, frame);
       break;
+    case MsgType::kMetrics:
+      handle_metrics(conn, frame);
+      break;
     default: {
       counters().protocol_errors.inc();
       conn->send(static_cast<std::uint16_t>(MsgType::kError),
@@ -270,6 +306,9 @@ void Server::handle_launch(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
   }
   const std::uint64_t id = req->request_id;
   const std::string req_owner = req->owner;
+  // Every span/instant recorded while handling this launch inherits the
+  // wire's distributed-trace context (0/0 = none, a no-op).
+  obs::TraceScope trace_scope(req->trace_id, req->parent_span_id);
   if (auto a = fault::hit("server.admit");
       a.kind == fault::ActionKind::kStall ||
       a.kind == fault::ActionKind::kDelay) {
@@ -340,7 +379,8 @@ void Server::handle_launch(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
     {
       std::lock_guard lock(ctx->mu);
       ctx->outstanding.emplace(
-          id, Outstanding{req_owner, make_deadline(), obs::Tracer::now_us()});
+          id, Outstanding{req_owner, make_deadline(), obs::Tracer::now_us(),
+                          req->trace_id, req->parent_span_id});
     }
     counters().replayed_requests.inc();
     obs::instant("server.replay", id,
@@ -356,7 +396,9 @@ void Server::handle_launch(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
     if (static_cast<int>(ctx->outstanding.size()) < options_.inflight_limit) {
       admitted = ctx->outstanding
                      .emplace(id, Outstanding{req_owner, make_deadline(),
-                                              obs::Tracer::now_us()})
+                                              obs::Tracer::now_us(),
+                                              req->trace_id,
+                                              req->parent_span_id})
                      .second;
     }
   }
@@ -440,6 +482,47 @@ void Server::handle_stats(const Reactor::ConnPtr& conn,
   }
   conn->send(static_cast<std::uint16_t>(MsgType::kStatsReply),
              encode_stats_reply(reply));
+}
+
+void Server::handle_metrics(const Reactor::ConnPtr& conn,
+                            const net::Frame& frame) {
+  const auto metrics = decode_metrics(frame.payload);
+  if (!metrics.has_value()) {
+    counters().protocol_errors.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               encode_error({"malformed metrics"}));
+    conn->close_async();
+    return;
+  }
+  counters().metrics_requests.inc();
+  MetricsReplyMsg reply;
+  reply.token = metrics->token;
+  reply.uptime_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  if (sampler_ != nullptr) {
+    // Take a fresh sample so a one-shot scrape reads values as of *now*,
+    // not up to one tick stale (end-of-run accounting cares).
+    sampler_->sample_now();
+    reply.interval_seconds = options_.metrics_interval;
+    reply.series = sampler_->snapshot();
+  }
+  if (metrics->include_prometheus) {
+    // Counters plus the sampler's newest derived values in one scrape; the
+    // derived names (rps, p95_seconds, ...) never collide with the dotted
+    // counter namespace.
+    std::map<std::string, double> values =
+        trace::Counters::instance().snapshot();
+    if (sampler_ != nullptr) {
+      for (const auto& [name, value] : sampler_->last_values()) {
+        values[name] = value;
+      }
+    }
+    reply.prometheus_text = obs::prom::render_exposition(values);
+  }
+  conn->send(static_cast<std::uint16_t>(MsgType::kMetricsReply),
+             encode_metrics_reply(reply));
 }
 
 void Server::on_close(const Reactor::ConnPtr& conn, CloseReason reason,
@@ -630,12 +713,15 @@ void Server::deliver_completion(const Reactor::ConnPtr& conn,
                                 const consolidate::CompletionReply& reply) {
   bool live = false;
   double admitted_at_us = 0.0;
+  std::uint64_t trace_id = 0, parent_span_id = 0;
   {
     std::lock_guard lock(ctx->mu);
     auto it = ctx->outstanding.find(reply.request_id);
     if (it != ctx->outstanding.end()) {
       live = true;
       admitted_at_us = it->second.admitted_at_us;
+      trace_id = it->second.trace_id;
+      parent_span_id = it->second.parent_span_id;
       ctx->outstanding.erase(it);
     }
   }
@@ -665,6 +751,8 @@ void Server::deliver_completion(const Reactor::ConnPtr& conn,
     ev.ts_us = admitted_at_us;
     ev.dur_us = now_us - admitted_at_us;
     ev.request_id = reply.request_id;
+    ev.trace_id = trace_id;
+    ev.parent_span_id = parent_span_id;
     ev.args = std::string("\"ok\":") + (reply.ok ? "true" : "false");
     obs::Tracer::instance().record(std::move(ev));
   }

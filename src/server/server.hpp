@@ -60,6 +60,7 @@
 #include "consolidate/backend.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/timeseries.hpp"
 #include "server/protocol_wire.hpp"
 #include "server/reactor.hpp"
 
@@ -90,6 +91,13 @@ struct ServerOptions {
   /// Pump worker threads (0 = min(16, max(4, hardware))). Bounds protocol-
   /// handler concurrency regardless of connection count.
   int workers = 0;
+  /// Time-series sampler tick (seconds): every tick snapshots rps / p95 /
+  /// power_watts / joules-per-request / inflight into ring buffers served
+  /// by the kMetrics frame. 0 disables the sampler (kMetrics then answers
+  /// with an empty series map).
+  double metrics_interval = 1.0;
+  /// Points kept per series (history window = interval * history).
+  std::size_t metrics_history = 120;
 };
 
 class Server {
@@ -129,6 +137,11 @@ class Server {
     /// latency histogram and the server-side request span measure from
     /// here.
     double admitted_at_us = 0.0;
+    /// Distributed-trace context from the launch's additive wire fields,
+    /// carried to the completion so the server.request span joins the
+    /// client's trace. 0 = none.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span_id = 0;
   };
 
   /// Per-connection protocol state, attached as Reactor::Conn::ctx. State
@@ -174,6 +187,10 @@ class Server {
                      const net::Frame& frame);
   void handle_flush(const Reactor::ConnPtr& conn, const net::Frame& frame);
   void handle_stats(const Reactor::ConnPtr& conn, const net::Frame& frame);
+  void handle_metrics(const Reactor::ConnPtr& conn, const net::Frame& frame);
+  /// Register the daemon's derived series (rps, p95, watts, J/request,
+  /// inflight) and start the sampler thread; no-op when disabled.
+  void start_sampler();
 
   /// Routes every backend reply to the connection currently owning its
   /// (session, owner, request_id) — which may not be the one that forwarded
@@ -231,6 +248,10 @@ class Server {
   };
   std::map<std::uint64_t, SessionState> sessions_;
   static constexpr std::size_t kCompletedCapPerSession = 1024;
+
+  /// The kMetrics time-series rings; constructed (and its tick thread
+  /// started) by start() when metrics_interval > 0.
+  std::unique_ptr<obs::Sampler> sampler_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
