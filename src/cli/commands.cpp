@@ -653,8 +653,21 @@ int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
        false, false},
       {"breaker-cooldown", "breaker open time, s (default 3)", false, false},
       {"drain",
-       "shard index to drain (new placements avoid it), repeatable",
+       "shard index to drain (new placements avoid it and its idle replay "
+       "sessions live-migrate away), repeatable",
        false, true},
+      {"drain-after",
+       "delay before the --drain list takes effect, s (default 0 = at "
+       "startup; lets sessions build up first)",
+       false, false},
+      {"standby",
+       "run as warm standby of the primary router at this endpoint: refuse "
+       "hellos, replicate its fleet state, self-promote when it dies",
+       false, false},
+      {"standby-failures",
+       "consecutive failed state pulls before a standby promotes itself "
+       "(default 3)",
+       false, false},
       {"workers", "pump worker threads (default 0 = auto)", false, false},
       {"metrics-interval",
        "time-series sampler tick, s (default 1; 0 disables kMetrics series)",
@@ -710,6 +723,10 @@ int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
       throw ArgsError("--drain: not a shard index: " + token);
     }
   }
+  ropt.drain_after_seconds =
+      flags.get_double_in("drain-after", 0.0, 0.0, 86400.0);
+  ropt.standby_of = flags.value("standby").value_or("");
+  ropt.standby_failures = flags.get_int_in("standby-failures", 3, 1, 1000);
 
   router::Router router(ropt);
   std::string error;
@@ -722,9 +739,15 @@ int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
 
   out << "router listening on " << router.endpoint() << " fronting "
       << ropt.shards.size() << " shard(s)";
+  if (!ropt.standby_of.empty()) {
+    out << " (standby of " << ropt.standby_of << ")";
+  }
   if (!ropt.drain.empty()) {
     out << " (draining";
     for (const int i : ropt.drain) out << " " << i;
+    if (ropt.drain_after_seconds > 0.0) {
+      out << " after " << ropt.drain_after_seconds << "s";
+    }
     out << ")";
   }
   out << "\n";
@@ -739,7 +762,8 @@ int cmd_route(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
       {"socket",
-       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path",
+       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path; "
+       "comma-separate a failover list (primary,standby)",
        false, false},
       {"workload", "name[=count] to launch, repeatable", false, true},
       {"slot-base", "first global slot index for owner naming (default 0)",
@@ -912,7 +936,8 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
       {"socket",
-       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path",
+       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path; "
+       "comma-separate a failover list (primary,standby)",
        false, false},
       {"connect-timeout", "daemon connect budget, s (default 10)", false,
        false},
@@ -988,7 +1013,8 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out) {
 int cmd_loadgen(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
       {"socket",
-       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path",
+       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path; "
+       "comma-separate a failover list (primary,standby)",
        false, false},
       {"profile",
        "arrival process: poisson:rate=R | diurnal:rate=R:period=P:depth=D | "

@@ -125,7 +125,9 @@ void render_row(std::ostream& out, const std::string& scope,
       << pad(cell("p95_seconds", 1e3, 2), spark_width + 10)
       << pad(cell("power_watts", 1.0, 1), spark_width + 10)
       << pad(cell("joules_per_request", 1.0, 3), spark_width + 10)
-      << fmt(last_value(series, prefix + "inflight"), 0) << "\n";
+      << pad(fmt(last_value(series, prefix + "inflight"), 0), 9)
+      << pad(fmt(last_value(series, prefix + "sessions"), 0), 9)
+      << fmt(last_value(series, prefix + "sessions_migrated"), 0) << "\n";
 }
 
 void render_frame(std::ostream& out, const std::string& endpoint,
@@ -141,7 +143,7 @@ void render_frame(std::ostream& out, const std::string& endpoint,
     return std::string(buf);
   };
   out << "scope    " << head("rps") << head("p95 ms") << head("watts")
-      << head("J/req") << "inflight\n";
+      << head("J/req") << "inflight sessions migrated\n";
   render_row(out, "fleet", reply.series, "", spark_width);
   for (const int idx : shard_indices(reply.series)) {
     render_row(out, "shard " + std::to_string(idx), reply.series,
@@ -190,7 +192,8 @@ void render_json(std::ostream& out, const std::string& endpoint,
 int cmd_top(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags({
       {"socket",
-       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path",
+       "daemon/router endpoint: unix:/path, tcp:host:port, or a bare path; "
+       "comma-separate a failover list (primary,standby)",
        false, false},
       {"interval", "refresh cadence, s (default 1)", false, false},
       {"iterations",

@@ -14,7 +14,7 @@ namespace {
 
 // Every site with a hook in the tree. Keep sorted; known_sites() is part of
 // the scenario-validation contract and docs/ROBUSTNESS.md mirrors this list.
-constexpr std::array<std::string_view, 11> kKnownSites = {
+constexpr std::array<std::string_view, 13> kKnownSites = {
     "backend.batch",     // consolidate::Backend::process_batch entry
     "decision.decide",   // consolidate::DecisionEngine::decide entry
     "net.accept",        // net::Listener::accept, after readiness (fd mint)
@@ -24,7 +24,9 @@ constexpr std::array<std::string_view, 11> kKnownSites = {
     "net.send",          // net::Socket::send_exact entry
     "net.tcp_connect",   // net::connect_tcp entry
     "router.forward",    // router downstream->upstream frame forward
+    "router.handoff",    // router live-migration, before the export
     "server.admit",      // server pump, before launch admission
+    "server.migrate",    // server migrate export/import handlers
     "server.reply",      // server reply delivery, before the frame
 };
 

@@ -7,6 +7,8 @@
 #include "common/log.hpp"
 #include "fault/injector.hpp"
 #include "net/endpoint.hpp"
+#include "net/frame.hpp"
+#include "net/wire.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/tracer.hpp"
 #include "trace/counters.hpp"
@@ -21,17 +23,21 @@ using server::Reactor;
 struct RouterCounters {
   trace::Counters::Handle placed, placement_failures, forwarded, returned,
       upstream_closed, breaker_trips, poll_failures, stats_requests,
-      metrics_requests, accept_backoff;
+      metrics_requests, accept_backoff, sessions_migrated, migrations_failed,
+      sessions_rehomed, sync_pulls, standby_refusals, standby_promotions;
 };
 
 RouterCounters& counters() {
   auto h = [](const char* n) { return trace::Counters::instance().handle(n); };
   static RouterCounters* s = new RouterCounters{
-      h("router.sessions_placed"),   h("router.placement_failures"),
-      h("router.forwarded_frames"),  h("router.returned_frames"),
-      h("router.upstream_closed"),   h("router.breaker_trips"),
-      h("router.poll_failures"),     h("router.stats_requests"),
-      h("router.metrics_requests"),  h("router.accept_backoff")};
+      h("router.sessions_placed"),    h("router.placement_failures"),
+      h("router.forwarded_frames"),   h("router.returned_frames"),
+      h("router.upstream_closed"),    h("router.breaker_trips"),
+      h("router.poll_failures"),      h("router.stats_requests"),
+      h("router.metrics_requests"),   h("router.accept_backoff"),
+      h("router.sessions_migrated"),  h("router.migrations_failed"),
+      h("router.sessions_rehomed"),   h("router.sync_pulls"),
+      h("router.standby_refusals"),   h("router.standby_promotions")};
   return *s;
 }
 
@@ -66,11 +72,17 @@ Router::Router(RouterOptions options) : options_(std::move(options)) {
     shard->endpoint = endpoint;
     shards_.push_back(std::move(shard));
   }
-  for (const int i : options_.drain) {
-    if (i >= 0 && static_cast<std::size_t>(i) < shards_.size()) {
-      shards_[static_cast<std::size_t>(i)]->draining.store(true);
+  // With drain_after the list applies from the poller once the delay has
+  // elapsed, so a run can build up sessions first and then live-migrate.
+  if (options_.drain_after_seconds <= 0.0) {
+    for (const int i : options_.drain) {
+      if (i >= 0 && static_cast<std::size_t>(i) < shards_.size()) {
+        shards_[static_cast<std::size_t>(i)]->draining.store(true);
+      }
     }
+    drain_applied_ = true;
   }
+  standby_mode_.store(!options_.standby_of.empty());
   poll_conns_.resize(shards_.size());
 }
 
@@ -218,6 +230,16 @@ void Router::start_sampler() {
   sampler_->add_gauge("energy_joules",
                       fleet_counter("backend.total_energy_joules"));
   sampler_->add_gauge("requests", fleet_counter("server.replies"));
+  sampler_->add_gauge("sessions", [this] {
+    double sum = 0.0;
+    for (const auto& sp : shards_) {
+      sum += std::max(0, sp->placements.load());
+    }
+    return sum;
+  });
+  sampler_->add_gauge("sessions_migrated", [] {
+    return counters().sessions_migrated.value();
+  });
 
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const std::string prefix = "shard." + std::to_string(i) + ".";
@@ -241,6 +263,12 @@ void Router::start_sampler() {
                         shard_counter(i, "backend.total_energy_joules"));
     sampler_->add_gauge(prefix + "requests",
                         shard_counter(i, "server.replies"));
+    sampler_->add_gauge(prefix + "sessions", [this, i] {
+      return static_cast<double>(std::max(0, shards_[i]->placements.load()));
+    });
+    sampler_->add_gauge(prefix + "sessions_migrated", [this, i] {
+      return static_cast<double>(shards_[i]->migrated_out.load());
+    });
   }
   sampler_->start(options_.metrics_interval);
 }
@@ -362,7 +390,13 @@ void Router::on_frame(const Reactor::ConnPtr& conn, net::Frame frame) {
 
   switch (ctx->state.load()) {
     case Ctx::State::kAwaitHello:
-      handle_hello(conn, ctx, frame);
+      // A standby router introduces itself with kSyncPull instead of a
+      // hello; everything else must be a client handshake.
+      if (static_cast<MsgType>(frame.type) == MsgType::kSyncPull) {
+        handle_sync_pull(conn, ctx, frame);
+      } else {
+        handle_hello(conn, ctx, frame);
+      }
       return;
     case Ctx::State::kServing:
       break;
@@ -383,6 +417,9 @@ void Router::on_frame(const Reactor::ConnPtr& conn, net::Frame frame) {
     case MsgType::kShutdown:
       handle_shutdown();
       return;
+    case MsgType::kSyncPull:
+      handle_sync_pull(conn, ctx, frame);
+      return;
     default:
       forward(conn, ctx, frame);
       return;
@@ -402,12 +439,49 @@ void Router::handle_hello(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
     conn->close_async();
     return;
   }
+  if (standby_mode_.load()) {
+    // A well-formed refusal from a live-but-passive router: the client's
+    // endpoint rotation moves on to the primary without this counting as
+    // transport death (same breaker exemption as "server full").
+    counters().standby_refusals.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               server::encode_error({"router standby"}));
+    ctx->state.store(Ctx::State::kClosed);
+    conn->close_async();
+    return;
+  }
+  // The saved handshake is what a migration/re-home re-sends verbatim to
+  // the target shard, so a moved session introduces itself exactly as the
+  // client did.
+  ctx->session = hello->session;
+  ctx->replay = hello->session != 0 && hello->replay;
+  ctx->hello_payload.assign(frame.payload.begin(), frame.payload.end());
 
   // Walk shards best-score-first; the first one that answers a dial hosts
   // the session. A refused dial consumes its whole (short) budget — the
   // dialer deliberately rides out daemons that are still binding — so the
   // breaker exists to keep later placements from re-paying that cost.
-  for (const std::size_t idx : placement_order()) {
+  // Sticky re-placement first: a session we have seen goes back to the
+  // shard holding its replay state (even a draining one — drain excludes
+  // only *new* sessions) as long as that shard is alive.
+  auto order = placement_order();
+  std::optional<std::size_t> sticky;
+  if (hello->session != 0) {
+    std::lock_guard lock(place_mu_);
+    const auto it = placement_table_.find(hello->session);
+    if (it != placement_table_.end() && it->second < shards_.size()) {
+      sticky = it->second;
+    }
+  }
+  if (sticky.has_value()) {
+    const auto snap = snapshot_of(*shards_[*sticky]);
+    if (snap.alive && !snap.breaker_open) {
+      order.erase(std::remove(order.begin(), order.end(), *sticky),
+                  order.end());
+      order.insert(order.begin(), *sticky);
+    }
+  }
+  for (const std::size_t idx : order) {
     Shard& shard = *shards_[idx];
     std::string err;
     auto sock = net::connect_endpoint(
@@ -448,6 +522,8 @@ void Router::handle_hello(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
       return;
     }
     counters().placed.inc();
+    if (hello->session != 0) record_placement(hello->session, idx);
+    epoch_.fetch_add(1);
     obs::instant("router.place", hello->session,
                  "\"shard\":" + std::to_string(idx) + ",\"owner\":\"" +
                      obs::json_escape(hello->owner) + "\"");
@@ -479,9 +555,54 @@ void Router::forward(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
     }
   }
   Reactor::ConnPtr peer;
-  {
-    std::lock_guard lock(ctx->mu);
-    peer = ctx->peer;
+  if (!ctx->is_upstream) {
+    bool overflow = false;
+    {
+      std::lock_guard lock(ctx->mu);
+      if (ctx->migrating) {
+        // Mid-migration: hold client frames until the swap (or abort)
+        // lands them on the final peer, preserving order.
+        if (ctx->parked.size() >= kParkedFramesCap) {
+          overflow = true;
+        } else {
+          ctx->parked.push_back(frame);
+          return;
+        }
+      } else {
+        if (ctx->replay &&
+            static_cast<MsgType>(frame.type) == MsgType::kLaunch) {
+          // Remember the launch payload (request id is the leading u64)
+          // until the shard answers: a shard SIGKILL replays these onto
+          // the survivor during the re-home.
+          net::Reader r(frame.payload);
+          const std::uint64_t id = r.u64();
+          if (r.ok()) ctx->inflight[id] = frame.payload;
+        }
+        peer = ctx->peer;
+      }
+    }
+    if (overflow) {
+      ctx->state.store(Ctx::State::kClosed);
+      conn->close_async();
+      return;
+    }
+  } else {
+    {
+      std::lock_guard lock(ctx->mu);
+      peer = ctx->peer;
+    }
+    if (peer != nullptr &&
+        static_cast<MsgType>(frame.type) == MsgType::kCompletion) {
+      // Answered: drop it from the paired session's replay set.
+      if (auto down = std::static_pointer_cast<Ctx>(peer->ctx())) {
+        net::Reader r(frame.payload);
+        const std::uint64_t id = r.u64();
+        if (r.ok()) {
+          std::lock_guard lock(down->mu);
+          down->inflight.erase(id);
+        }
+      }
+    }
   }
   if (peer == nullptr || peer->closing()) {
     // Pairing already severed; the close path tears this side down too.
@@ -555,6 +676,8 @@ void Router::handle_stats(const Reactor::ConnPtr& conn,
     reply.counters[prefix + "router.draining"] =
         shard.draining.load() ? 1.0 : 0.0;
     reply.counters[prefix + "router.power_watts"] = shard.power_watts;
+    reply.counters[prefix + "router.migrated_out"] =
+        static_cast<double>(shard.migrated_out.load());
     if (stats->include_histograms) {
       for (const auto& [name, snap] : shard.histograms) {
         auto [it, inserted] = reply.histograms.emplace(name, snap);
@@ -564,6 +687,8 @@ void Router::handle_stats(const Reactor::ConnPtr& conn,
   }
   reply.counters["router.shards"] = static_cast<double>(shards_.size());
   reply.counters["router.shards_alive"] = alive;
+  reply.counters["router.epoch"] = static_cast<double>(epoch_.load());
+  reply.counters["router.standby"] = standby_mode_.load() ? 1.0 : 0.0;
   conn->send(static_cast<std::uint16_t>(MsgType::kStatsReply),
              server::encode_stats_reply(reply));
 }
@@ -670,24 +795,60 @@ void Router::on_close(const Reactor::ConnPtr& conn,
     peer = std::move(ctx->peer);
     ctx->peer = nullptr;
   }
-  if (peer != nullptr) peer->close_async();
 
   if (ctx->is_upstream) {
     // A shard dropping a live pairing (vs. us unwinding it) is the signal
-    // the chaos drill cares about: the client's reconnect+replay path
-    // restores the session on another shard.
-    if (prev == Ctx::State::kServing &&
-        reason != server::CloseReason::kLocal) {
+    // the chaos drill cares about. A replay session survives it in place:
+    // instead of closing the client, park its frames and hand the session
+    // to the poller for an in-router re-home (verbatim hello + inflight
+    // launch replay on a surviving shard). Non-replay sessions keep the
+    // old behavior — close through, client reconnects.
+    const bool unclean = prev == Ctx::State::kServing &&
+                         reason != server::CloseReason::kLocal;
+    if (unclean) {
       counters().upstream_closed.inc();
       common::log_warn("router: shard ", ctx->shard,
                        " closed a live session: ", msg.empty() ? "eof" : msg);
     }
+    bool rehomed = false;
+    if (unclean && peer != nullptr) {
+      if (auto down = std::static_pointer_cast<Ctx>(peer->ctx());
+          down != nullptr && !down->is_upstream && down->replay &&
+          down->session != 0 &&
+          down->state.load() == Ctx::State::kServing) {
+        bool queue = false;
+        {
+          std::lock_guard lock(down->mu);
+          if (down->peer.get() == conn.get()) down->peer = nullptr;
+          if (!down->migrating) {
+            down->migrating = true;  // frames park until the re-home lands
+            queue = true;
+          }
+        }
+        if (queue) {
+          {
+            std::lock_guard lock(rehome_mu_);
+            rehome_.push_back(down);
+          }
+          {
+            std::lock_guard lock(poller_mu_);
+            rehome_pending_ = true;
+          }
+          poller_cv_.notify_all();
+          rehomed = true;
+        }
+      }
+    }
+    if (!rehomed && peer != nullptr) peer->close_async();
   } else {
-    std::lock_guard lock(conns_mu_);
-    downstream_.erase(conn->id());
-  }
-  if (ctx->shard >= 0 && !ctx->is_upstream) {
-    shards_[static_cast<std::size_t>(ctx->shard)]->placements.fetch_sub(1);
+    if (peer != nullptr) peer->close_async();
+    {
+      std::lock_guard lock(conns_mu_);
+      downstream_.erase(conn->id());
+    }
+    if (ctx->shard >= 0) {
+      shards_[static_cast<std::size_t>(ctx->shard)]->placements.fetch_sub(1);
+    }
   }
 }
 
@@ -770,13 +931,505 @@ void Router::poll_shards() {
 void Router::poll_loop() {
   for (;;) {
     poll_shards();
+    if (!standby_mode_.load()) {
+      if (!drain_applied_ && options_.drain_after_seconds > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_at_)
+                  .count() >= options_.drain_after_seconds) {
+        for (const int i : options_.drain) {
+          if (i >= 0 && static_cast<std::size_t>(i) < shards_.size()) {
+            shards_[static_cast<std::size_t>(i)]->draining.store(true);
+            common::log_info("router: drain delay elapsed; draining shard ",
+                             i);
+          }
+        }
+        drain_applied_ = true;
+      }
+      process_rehomes();
+      migrate_draining();
+    } else {
+      if (sync_pull_once()) {
+        sync_failures_ = 0;
+      } else if (++sync_failures_ >=
+                 std::max(1, options_.standby_failures)) {
+        promote();
+      }
+    }
     std::unique_lock lock(poller_mu_);
     poller_cv_.wait_for(
         lock,
         std::chrono::duration<double>(options_.poll_interval.seconds()),
-        [this] { return poller_stop_; });
+        [this] { return poller_stop_ || rehome_pending_; });
+    rehome_pending_ = false;
     if (poller_stop_) return;
   }
+}
+
+void Router::record_placement(std::uint64_t session, std::size_t shard) {
+  std::lock_guard lock(place_mu_);
+  if (placement_table_.size() >= kPlacementTableCap &&
+      placement_table_.count(session) == 0) {
+    placement_table_.erase(placement_table_.begin());
+  }
+  placement_table_[session] = static_cast<std::uint32_t>(shard);
+}
+
+void Router::migrate_draining() {
+  for (std::size_t idx = 0; idx < shards_.size(); ++idx) {
+    Shard& shard = *shards_[idx];
+    if (!shard.draining.load() || !shard.alive.load()) continue;
+    // Snapshot the drain victims first: migrate_session dials and does
+    // frame I/O, which must not happen under conns_mu_.
+    std::vector<std::pair<Reactor::ConnPtr, CtxPtr>> victims;
+    {
+      std::lock_guard lock(conns_mu_);
+      for (const auto& [id, ctx] : downstream_) {
+        if (ctx->state.load() != Ctx::State::kServing) continue;
+        if (ctx->is_upstream || ctx->shard != static_cast<int>(idx)) continue;
+        // Only replay sessions are migratable: the shard's dedup state is
+        // what the snapshot carries, and only a replay client re-sends its
+        // hello with the same nonce after a disconnect.
+        if (!ctx->replay || ctx->session == 0) continue;
+        if (auto conn = ctx->self.lock()) victims.emplace_back(conn, ctx);
+      }
+    }
+    for (auto& [conn, ctx] : victims) migrate_session(conn, ctx, idx);
+  }
+}
+
+bool Router::migrate_session(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                             std::size_t from) {
+  // The idle test and the parking latch are one atom: once `migrating` is
+  // set no launch can slip through to the source, so the exported snapshot
+  // is complete by construction.
+  {
+    std::lock_guard lock(ctx->mu);
+    if (ctx->migrating || !ctx->inflight.empty() ||
+        ctx->state.load() != Ctx::State::kServing) {
+      return false;  // busy or already moving; the next sweep retries
+    }
+    ctx->migrating = true;
+  }
+  auto fail = [&](const char* why) {
+    common::log_warn("router: migration of session ", ctx->session,
+                     " off shard ", from, " failed: ", why);
+    counters().migrations_failed.inc();
+    abort_migration(ctx);
+    return false;
+  };
+  if (auto a = fault::hit("router.handoff")) {
+    switch (a.kind) {
+      case fault::ActionKind::kStall:
+      case fault::ActionKind::kDelay:
+        fault::sleep_for(a.duration);
+        break;
+      default:
+        return fail("injected fault");
+    }
+  }
+
+  // 1. Export without commit: the source stays authoritative, so any
+  //    failure from here on aborts with the session untouched.
+  std::string err;
+  auto src = server::ClientConnection::connect(
+      shards_[from]->endpoint, "router.migrate", options_.dial_timeout,
+      server::ClientOptions{}, &err);
+  if (src == nullptr) return fail("source dial failed");
+  const auto exported = src->migrate_export(ctx->session, /*commit=*/false,
+                                            options_.io_timeout);
+  if (!exported.has_value()) return fail("export transport failed");
+  if (!exported->ok) return fail(exported->error.c_str());
+
+  // 2. Pick a target: re-send the client's hello verbatim, then import the
+  //    snapshot, both on the socket that will become the new upstream.
+  std::optional<net::Socket> sock;
+  std::size_t target = 0;
+  for (const std::size_t idx : placement_order()) {
+    if (idx == from) continue;
+    Shard& cand = *shards_[idx];
+    auto s = net::connect_endpoint(
+        cand.endpoint, net::Deadline::after(options_.dial_timeout), &err);
+    if (!s.has_value()) {
+      record_dial_failure(cand);
+      continue;
+    }
+    const auto deadline = net::Deadline::after(options_.io_timeout);
+    if (net::write_frame(*s, static_cast<std::uint16_t>(MsgType::kHello),
+                         ctx->hello_payload, deadline,
+                         &err) != net::IoStatus::kOk) {
+      record_dial_failure(cand);
+      continue;
+    }
+    net::Frame reply;
+    if (net::read_frame(*s, &reply, deadline, &err) != net::IoStatus::kOk ||
+        static_cast<MsgType>(reply.type) != MsgType::kHelloOk) {
+      continue;  // alive but refusing ("server full"): try the next shard
+    }
+    server::MigrateImportMsg import;
+    import.token = ctx->session;
+    import.snapshot = exported->snapshot;
+    if (net::write_frame(*s,
+                         static_cast<std::uint16_t>(MsgType::kMigrateImport),
+                         server::encode_migrate_import(import), deadline,
+                         &err) != net::IoStatus::kOk) {
+      continue;
+    }
+    if (net::read_frame(*s, &reply, deadline, &err) != net::IoStatus::kOk ||
+        static_cast<MsgType>(reply.type) != MsgType::kMigrateImportReply) {
+      continue;
+    }
+    const auto imported =
+        server::decode_migrate_import_reply(reply.payload);
+    if (!imported.has_value() || !imported->ok) continue;
+    record_dial_success(cand);
+    sock = std::move(s);
+    target = idx;
+    break;
+  }
+  if (!sock.has_value()) return fail("no import target available");
+
+  // 3. Adopt the socket as the new upstream and swap the pairing. Parked
+  //    frames flush to the target in arrival order under the same lock
+  //    that parked them, so nothing can interleave or reorder.
+  auto up_ctx = std::make_shared<Ctx>();
+  up_ctx->is_upstream = true;
+  up_ctx->shard = static_cast<int>(target);
+  up_ctx->state.store(Ctx::State::kServing);
+  up_ctx->peer = conn;
+  auto up = reactor_->adopt(std::move(*sock), up_ctx);
+  if (up == nullptr) return fail("router stopping");
+
+  Reactor::ConnPtr old_up;
+  bool swapped = false;
+  {
+    std::lock_guard lock(ctx->mu);
+    if (ctx->state.load() == Ctx::State::kServing) {
+      old_up = std::move(ctx->peer);
+      ctx->peer = up;
+      ctx->shard = static_cast<int>(target);
+      for (const auto& parked : ctx->parked) {
+        if (static_cast<MsgType>(parked.type) == MsgType::kLaunch) {
+          net::Reader r(parked.payload);
+          const std::uint64_t id = r.u64();
+          if (r.ok()) ctx->inflight[id] = parked.payload;
+        }
+        // A failed send marks the upstream closing; its close event then
+        // queues a re-home which replays from ctx->inflight.
+        up->send(parked.type, parked.payload);
+      }
+      ctx->parked.clear();
+      ctx->migrating = false;
+      swapped = true;
+    }
+  }
+  if (!swapped) {
+    // Client vanished mid-swap: sever the fresh upstream quietly. The
+    // uncommitted export means the source copy simply ages out.
+    {
+      std::lock_guard lock(up_ctx->mu);
+      up_ctx->peer = nullptr;
+    }
+    up_ctx->state.store(Ctx::State::kClosed);
+    up->close_async();
+    return fail("client closed during swap");
+  }
+  if (old_up != nullptr) {
+    // Sever the old upstream silently: detach its peer first so its close
+    // event can't touch (or re-home) the just-moved session.
+    if (auto old_ctx = std::static_pointer_cast<Ctx>(old_up->ctx())) {
+      std::lock_guard lock(old_ctx->mu);
+      old_ctx->peer = nullptr;
+      old_ctx->state.store(Ctx::State::kClosed);
+    }
+    old_up->close_async();
+  }
+
+  shards_[from]->placements.fetch_sub(1);
+  shards_[from]->migrated_out.fetch_add(1);
+  shards_[target]->placements.fetch_add(1);
+  // 4. Commit: tell the source to drop its copy. Best-effort — a lost
+  //    commit leaves an orphan the idle sweep evicts after the grace
+  //    window; authority already moved with the swap.
+  src->migrate_export(ctx->session, /*commit=*/true, options_.io_timeout);
+  record_placement(ctx->session, target);
+  epoch_.fetch_add(1);
+  counters().sessions_migrated.inc();
+  obs::instant("router.handoff", ctx->session,
+               "\"from\":" + std::to_string(from) +
+                   ",\"to\":" + std::to_string(target));
+  common::log_info("router: live-migrated session ", ctx->session,
+                   " shard ", from, " -> ", target);
+  return true;
+}
+
+void Router::abort_migration(const CtxPtr& ctx) {
+  {
+    std::lock_guard lock(ctx->mu);
+    if (ctx->peer != nullptr && !ctx->peer->closing()) {
+      // The source is still authoritative: flush the parked frames to it
+      // in arrival order and resume normal forwarding.
+      for (const auto& frame : ctx->parked) {
+        if (ctx->replay &&
+            static_cast<MsgType>(frame.type) == MsgType::kLaunch) {
+          net::Reader r(frame.payload);
+          const std::uint64_t id = r.u64();
+          if (r.ok()) ctx->inflight[id] = frame.payload;
+        }
+        ctx->peer->send(frame.type, frame.payload);
+      }
+      ctx->parked.clear();
+      ctx->migrating = false;
+      return;
+    }
+    ctx->parked.clear();
+    ctx->migrating = false;
+  }
+  // No surviving peer to fall back to: close the client. Its
+  // reconnect+replay path restores the session (at-least-once holds; the
+  // shard's dedup keeps execution exactly-once).
+  ctx->state.store(Ctx::State::kClosed);
+  if (auto conn = ctx->self.lock()) conn->close_async();
+}
+
+void Router::process_rehomes() {
+  std::vector<CtxPtr> batch;
+  {
+    std::lock_guard lock(rehome_mu_);
+    batch.swap(rehome_);
+  }
+  for (auto& ctx : batch) {
+    if (!rehome_session(ctx)) {
+      counters().migrations_failed.inc();
+      abort_migration(ctx);
+    }
+  }
+}
+
+bool Router::rehome_session(const CtxPtr& ctx) {
+  auto conn = ctx->self.lock();
+  if (conn == nullptr || ctx->state.load() != Ctx::State::kServing) {
+    return false;
+  }
+  std::size_t from = 0;
+  bool have_from = false;
+  std::map<std::uint64_t, std::vector<std::byte>> inflight;
+  {
+    std::lock_guard lock(ctx->mu);
+    if (ctx->shard >= 0) {
+      from = static_cast<std::size_t>(ctx->shard);
+      have_from = true;
+    }
+    inflight = ctx->inflight;
+  }
+  std::string err;
+  for (const std::size_t idx : placement_order()) {
+    if (have_from && idx == from) continue;  // it just died; don't redial
+    Shard& cand = *shards_[idx];
+    auto s = net::connect_endpoint(
+        cand.endpoint, net::Deadline::after(options_.dial_timeout), &err);
+    if (!s.has_value()) {
+      record_dial_failure(cand);
+      continue;
+    }
+    const auto deadline = net::Deadline::after(options_.io_timeout);
+    if (net::write_frame(*s, static_cast<std::uint16_t>(MsgType::kHello),
+                         ctx->hello_payload, deadline,
+                         &err) != net::IoStatus::kOk) {
+      record_dial_failure(cand);
+      continue;
+    }
+    net::Frame reply;
+    if (net::read_frame(*s, &reply, deadline, &err) != net::IoStatus::kOk ||
+        static_cast<MsgType>(reply.type) != MsgType::kHelloOk) {
+      continue;
+    }
+    // Replay the unanswered launches (request-id order) before any parked
+    // frames: the shard's (owner, request_id) dedup makes a duplicate
+    // delivery idempotent, so at-least-once here still executes once.
+    bool replayed = true;
+    for (const auto& [id, payload] : inflight) {
+      if (net::write_frame(*s, static_cast<std::uint16_t>(MsgType::kLaunch),
+                           payload, deadline, &err) != net::IoStatus::kOk) {
+        replayed = false;
+        break;
+      }
+    }
+    if (!replayed) continue;
+    record_dial_success(cand);
+
+    auto up_ctx = std::make_shared<Ctx>();
+    up_ctx->is_upstream = true;
+    up_ctx->shard = static_cast<int>(idx);
+    up_ctx->state.store(Ctx::State::kServing);
+    up_ctx->peer = conn;
+    auto up = reactor_->adopt(std::move(*s), up_ctx);
+    if (up == nullptr) return false;  // router stopping
+
+    bool swapped = false;
+    {
+      std::lock_guard lock(ctx->mu);
+      if (ctx->state.load() == Ctx::State::kServing) {
+        ctx->peer = up;  // old peer was cleared when the shard died
+        ctx->shard = static_cast<int>(idx);
+        for (const auto& parked : ctx->parked) {
+          if (static_cast<MsgType>(parked.type) == MsgType::kLaunch) {
+            net::Reader r(parked.payload);
+            const std::uint64_t id = r.u64();
+            if (r.ok()) ctx->inflight[id] = parked.payload;
+          }
+          up->send(parked.type, parked.payload);
+        }
+        ctx->parked.clear();
+        ctx->migrating = false;
+        swapped = true;
+      }
+    }
+    if (!swapped) {
+      {
+        std::lock_guard lock(up_ctx->mu);
+        up_ctx->peer = nullptr;
+      }
+      up_ctx->state.store(Ctx::State::kClosed);
+      up->close_async();
+      return false;
+    }
+    // The dead shard never gave back its placement (upstream closes don't
+    // decrement), so move the count across here.
+    if (have_from) shards_[from]->placements.fetch_sub(1);
+    shards_[idx]->placements.fetch_add(1);
+    record_placement(ctx->session, idx);
+    epoch_.fetch_add(1);
+    counters().sessions_rehomed.inc();
+    obs::instant("router.rehome", ctx->session,
+                 "\"from\":" + (have_from ? std::to_string(from)
+                                          : std::string("-1")) +
+                     ",\"to\":" + std::to_string(idx) + ",\"replayed\":" +
+                     std::to_string(inflight.size()));
+    common::log_info("router: re-homed session ", ctx->session, " shard ",
+                     have_from ? static_cast<int>(from) : -1, " -> ", idx,
+                     " (", inflight.size(), " launches replayed)");
+    return true;
+  }
+  return false;
+}
+
+void Router::handle_sync_pull(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
+                              const net::Frame& frame) {
+  const auto pull = server::decode_sync_pull(frame.payload);
+  if (!pull.has_value()) {
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               server::encode_error({"malformed sync_pull"}));
+    ctx->state.store(Ctx::State::kClosed);
+    conn->close_async();
+    return;
+  }
+  counters().sync_pulls.inc();
+  // The peer is a router, not a client: mark it serving so the hello
+  // deadline sweep leaves the long-lived sync connection alone. It never
+  // gets a pairing, so any non-sync frame it sends just forwards into a
+  // null peer and is dropped.
+  ctx->state.store(Ctx::State::kServing);
+
+  server::SyncStateMsg msg;
+  msg.token = pull->token;
+  msg.epoch = epoch_.load();
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& sp : shards_) {
+    server::SyncStateMsg::ShardState st;
+    st.endpoint = sp->endpoint;
+    st.alive = sp->alive.load();
+    st.draining = sp->draining.load();
+    {
+      std::lock_guard lock(sp->mu);
+      st.breaker_open = now < sp->breaker_open_until;
+    }
+    st.placements =
+        static_cast<std::uint64_t>(std::max(0, sp->placements.load()));
+    msg.shards.push_back(std::move(st));
+  }
+  {
+    std::lock_guard lock(place_mu_);
+    msg.placements = placement_table_;
+  }
+  conn->send(static_cast<std::uint16_t>(MsgType::kSyncState),
+             server::encode_sync_state(msg));
+}
+
+bool Router::sync_pull_once() {
+  std::string err;
+  if (!sync_sock_.has_value()) {
+    auto s = net::connect_endpoint(
+        options_.standby_of, net::Deadline::after(options_.dial_timeout),
+        &err);
+    if (!s.has_value()) return false;
+    sync_sock_ = std::move(*s);
+  }
+  // dial_timeout (short) bounds the frame I/O too: a hung primary must not
+  // stall the poller for a full io_timeout per pull, or promotion after
+  // `standby_failures` misses would take minutes instead of seconds.
+  const auto deadline = net::Deadline::after(options_.dial_timeout);
+  server::SyncPullMsg pull;
+  pull.token = ++sync_token_;
+  pull.have_epoch = epoch_.load();
+  if (net::write_frame(*sync_sock_,
+                       static_cast<std::uint16_t>(MsgType::kSyncPull),
+                       server::encode_sync_pull(pull), deadline,
+                       &err) != net::IoStatus::kOk) {
+    sync_sock_.reset();
+    return false;
+  }
+  net::Frame frame;
+  if (net::read_frame(*sync_sock_, &frame, deadline, &err) !=
+          net::IoStatus::kOk ||
+      static_cast<MsgType>(frame.type) != MsgType::kSyncState) {
+    sync_sock_.reset();
+    return false;
+  }
+  const auto state = server::decode_sync_state(frame.payload);
+  if (!state.has_value()) {
+    sync_sock_.reset();
+    return false;
+  }
+  apply_sync_state(*state);
+  return true;
+}
+
+void Router::apply_sync_state(const server::SyncStateMsg& msg) {
+  {
+    std::lock_guard lock(place_mu_);
+    placement_table_.clear();
+    for (const auto& [session, shard] : msg.placements) {
+      if (shard < shards_.size()) placement_table_[session] = shard;
+    }
+  }
+  epoch_.store(msg.epoch);
+  const std::size_t n = std::min(shards_.size(), msg.shards.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& st = msg.shards[i];
+    Shard& shard = *shards_[i];
+    if (st.endpoint != shard.endpoint) continue;  // topology mismatch
+    shard.draining.store(st.draining);
+    if (st.breaker_open) {
+      std::lock_guard lock(shard.mu);
+      shard.breaker_open_until =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  options_.breaker_cooldown.seconds()));
+    }
+    // alive and placements stay local: this router's own poller and its
+    // own downstream accounting are authoritative for those the moment it
+    // promotes.
+  }
+}
+
+void Router::promote() {
+  standby_mode_.store(false);
+  sync_sock_.reset();
+  counters().standby_promotions.inc();
+  common::log_info(
+      "router: primary unreachable; standby promoting to active at epoch ",
+      epoch_.load());
 }
 
 }  // namespace ewc::router

@@ -34,6 +34,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -92,7 +93,25 @@ struct RouterOptions {
   /// How long an open breaker keeps placement away before a half-open probe.
   common::Duration breaker_cooldown = common::Duration::from_seconds(3.0);
   /// Shard indices draining from the start (also settable at runtime).
+  /// A draining shard stops receiving new placements AND the router
+  /// actively live-migrates its idle replay sessions onto healthy shards
+  /// (kMigrateExport/kMigrateImport), so the drain empties in seconds
+  /// instead of by attrition.
   std::vector<int> drain;
+  /// Delay (real seconds) before the --drain list takes effect; 0 applies
+  /// it at startup. Lets a chaos/CI run build up live sessions first and
+  /// then watch the live migration empty the shard mid-run.
+  double drain_after_seconds = 0.0;
+  /// Run as the warm standby of the primary router at this endpoint:
+  /// refuse client hellos (clients rotate through their endpoint list to
+  /// the primary) while pulling the primary's fleet state — placement
+  /// table, shard liveness/drain/breaker, migration epoch — over
+  /// kSyncPull/kSyncState every poll tick. After `standby_failures`
+  /// consecutive failed pulls the standby promotes itself and starts
+  /// accepting sessions with the primary's last replicated fleet view.
+  std::string standby_of;
+  /// Consecutive sync-pull failures before a standby promotes itself.
+  int standby_failures = 3;
   /// Reactor pump workers (0 = min(16, max(4, hardware))).
   int workers = 0;
   /// Time-series sampler tick (seconds): every tick derives fleet-wide and
@@ -128,11 +147,16 @@ class Router {
   const std::string& endpoint() const { return bound_endpoint_; }
 
   std::size_t shard_count() const { return shards_.size(); }
-  /// Mark/unmark a shard as draining: new placements avoid it, existing
-  /// sessions keep running (migration by attrition).
+  /// Mark/unmark a shard as draining: new placements avoid it, and the
+  /// poller live-migrates its idle replay sessions onto healthy shards.
   void set_draining(std::size_t shard, bool draining);
   /// The placement policy's current view (tests, stats breakdown).
   std::vector<ShardSnapshot> snapshots() const;
+  /// True while running as an unpromoted standby (refusing hellos).
+  bool standby() const { return standby_mode_.load(); }
+  /// Monotonic fleet-state version: bumps on every placement, migration,
+  /// and re-home; replicated to the standby in kSyncState.
+  std::uint64_t epoch() const { return epoch_.load(); }
 
  private:
   /// Live state for one shard.
@@ -140,7 +164,8 @@ class Router {
     std::string endpoint;
     std::atomic<bool> alive{true};
     std::atomic<bool> draining{false};
-    std::atomic<int> placements{0};  ///< live router-placed sessions
+    std::atomic<int> placements{0};   ///< live router-placed sessions
+    std::atomic<int> migrated_out{0};  ///< sessions live-migrated away
 
     mutable std::mutex mu;  ///< guards everything below
     int dial_failures = 0;  ///< consecutive; resets on success
@@ -164,8 +189,28 @@ class Router {
     int shard = -1;
     std::atomic<State> state{State::kAwaitHello};
     std::chrono::steady_clock::time_point hello_deadline{};
-    std::mutex mu;  ///< guards peer (downstream side; upstream's is fixed)
+    /// Session identity from the hello (downstream only; written once in
+    /// handle_hello before the state flips to kServing). The saved hello
+    /// payload is re-sent verbatim when a migration / re-home adopts a new
+    /// upstream, so the target shard sees the same handshake the client
+    /// sent.
+    std::uint64_t session = 0;
+    bool replay = false;
+    std::vector<std::byte> hello_payload;
+    std::mutex mu;  ///< guards peer + the migration state below
     server::Reactor::ConnPtr peer;
+    /// Live-migration latch (downstream only): while set, client frames
+    /// park in `parked` instead of forwarding, and the migration's swap
+    /// (or abort) unparks them onto the final peer. Set+checked under mu
+    /// together with the inflight-empty test, so a launch can never slip
+    /// between "session is idle" and "frames are parked".
+    bool migrating = false;
+    /// Replay-session kLaunch payloads awaiting a shard answer, keyed by
+    /// request id (downstream only). A shard SIGKILL replays these onto
+    /// the surviving shard during a re-home.
+    std::map<std::uint64_t, std::vector<std::byte>> inflight;
+    /// Frames parked while migrating (bounded; overflow closes the conn).
+    std::deque<net::Frame> parked;
     /// Back-reference for the tick sweep (set in on_open; downstream only).
     std::weak_ptr<server::Reactor::Conn> self;
   };
@@ -214,6 +259,34 @@ class Router {
   void poll_shards();
   void poll_loop();
 
+  // -- Live migration (poller thread) --------------------------------------
+  /// Sweep draining shards and live-migrate their idle replay sessions.
+  void migrate_draining();
+  /// Move one idle session off `from`: export snapshot -> hello + import on
+  /// a fresh upstream -> swap the pairing -> commit the export. Returns
+  /// false (source untouched, frames unparked) on any failure.
+  bool migrate_session(const server::Reactor::ConnPtr& conn,
+                       const CtxPtr& ctx, std::size_t from);
+  /// Unwind a failed migration: unpark onto the surviving peer, or close
+  /// the downstream when no peer is left (client reconnect recovers).
+  void abort_migration(const CtxPtr& ctx);
+  /// Re-home sessions whose shard died mid-run: fresh placement + verbatim
+  /// hello + inflight launch replay onto the survivor.
+  void process_rehomes();
+  bool rehome_session(const CtxPtr& ctx);
+  /// Remember (and bound) a session's shard for sticky re-placement.
+  void record_placement(std::uint64_t session, std::size_t shard);
+
+  // -- Active/standby replication ------------------------------------------
+  /// Primary side: answer a standby's kSyncPull with the fleet state.
+  void handle_sync_pull(const server::Reactor::ConnPtr& conn,
+                        const CtxPtr& ctx, const net::Frame& frame);
+  /// Standby side: one pull from the primary (poller thread). False on any
+  /// transport/decode failure.
+  bool sync_pull_once();
+  void apply_sync_state(const server::SyncStateMsg& msg);
+  void promote();
+
   RouterOptions options_;
   std::string bound_endpoint_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -234,6 +307,30 @@ class Router {
 
   /// The kMetrics time-series rings, fed from the polled shard state.
   std::unique_ptr<obs::Sampler> sampler_;
+
+  /// Sticky placement: session nonce -> shard index, bounded FIFO-ish (the
+  /// lowest nonce is evicted past the cap). A reconnecting session lands on
+  /// the shard that holds its replay state; migrations/re-homes update it.
+  std::mutex place_mu_;
+  std::map<std::uint64_t, std::uint32_t> placement_table_;
+  static constexpr std::size_t kPlacementTableCap = 65536;
+  static constexpr std::size_t kParkedFramesCap = 4096;
+  std::atomic<std::uint64_t> epoch_{0};
+
+  /// Standby state. standby_mode_ flips false exactly once (promotion);
+  /// the sync socket/counters are poller-thread-only.
+  std::atomic<bool> standby_mode_{false};
+  std::optional<net::Socket> sync_sock_;
+  std::uint64_t sync_token_ = 0;
+  int sync_failures_ = 0;
+  bool drain_applied_ = false;  ///< poller thread only
+
+  /// Downstream sessions whose upstream died, awaiting re-home (fed by
+  /// on_close, drained by the poller; rehome_pending_ under poller_mu_
+  /// short-circuits the poll sleep).
+  std::mutex rehome_mu_;
+  std::vector<CtxPtr> rehome_;
+  bool rehome_pending_ = false;
 
   std::atomic<bool> running_{false};
   std::chrono::steady_clock::time_point started_at_{};

@@ -52,6 +52,23 @@ struct ClientCounters {
   trace::Counters::Handle reconnects, replayed, breaker_trips;
 };
 
+/// Split a comma-separated --socket spec into its endpoints. Empty segments
+/// are dropped, so a plain single endpoint comes back as a one-entry list
+/// and behaves exactly as before.
+std::vector<std::string> split_endpoints(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = spec.find(',', start);
+    const std::string part =
+        spec.substr(start, end == std::string::npos ? end : end - start);
+    if (!part.empty()) out.push_back(part);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
 ClientCounters& counters() {
   auto h = [](const char* n) { return trace::Counters::instance().handle(n); };
   static ClientCounters* s = new ClientCounters{
@@ -108,25 +125,35 @@ std::unique_ptr<ClientConnection> ClientConnection::connect(
     const std::string& socket_path, const std::string& owner,
     common::Duration timeout, ClientOptions options, std::string* error) {
   std::unique_ptr<ClientConnection> conn(new ClientConnection());
-  conn->path_ = socket_path;
+  conn->endpoints_ = split_endpoints(socket_path);
   conn->owner_ = owner;
   conn->opts_ = options;
   conn->rng_ = common::Rng(options.jitter_seed);
   conn->session_ = options.session_nonce != 0 ? options.session_nonce
                                               : fresh_session_nonce();
+  if (conn->endpoints_.empty()) {
+    if (error) *error = "empty endpoint list";
+    return nullptr;
+  }
 
   // Without auto_reconnect a refused dial is final (connect_unix already
   // rides out a daemon that is still binding); with it, the RetryPolicy
-  // also covers scripted connect refusals and daemon restarts.
+  // also covers scripted connect refusals and daemon restarts. Each attempt
+  // walks the whole endpoint list, so a down primary falls through to its
+  // standby within the attempt.
   const int max_attempts =
       options.auto_reconnect ? std::max(1, options.retry.max_attempts) : 1;
   std::string err;
   for (int attempt = 1;; ++attempt) {
-    auto sock = net::connect_endpoint(socket_path,
-                                      net::Deadline::after(timeout), &err);
-    if (sock.has_value()) {
+    for (std::size_t k = 0; k < conn->endpoints_.size(); ++k) {
+      const std::size_t idx =
+          (conn->endpoint_idx_ + k) % conn->endpoints_.size();
+      auto sock = net::connect_endpoint(conn->endpoints_[idx],
+                                        net::Deadline::after(timeout), &err);
+      if (!sock.has_value()) continue;
       if (handshake(*sock, owner, conn->session_, options.auto_reconnect,
                     conn->io_timeout_, &conn->settings_, &err)) {
+        conn->endpoint_idx_ = idx;
         conn->sock_ = std::move(*sock);
         conn->reader_ = std::thread([raw = conn.get()] { raw->reader_loop(); });
         return conn;
@@ -201,7 +228,9 @@ bool ClientConnection::send(MsgType type, std::span<const std::byte> payload) {
                        net::Deadline::after(io_timeout_),
                        nullptr) == net::IoStatus::kOk;
   if (!ok) {
-    record_transport_error();
+    // While recovery is in flight every send fails by construction — the
+    // recovery's own outcome moves the breaker, not each doomed write.
+    if (!recovering_.load()) record_transport_error();
     // Wake the reader out of its blocking read so it notices the dead
     // transport and (if armed) starts recovery.
     if (opts_.auto_reconnect) sock_.shutdown_rw();
@@ -262,7 +291,7 @@ consolidate::CompletionReply ClientConnection::launch(
                             payload, net::Deadline::after(io_timeout_),
                             nullptr) == net::IoStatus::kOk;
     if (!sent) {
-      record_transport_error();
+      if (!recovering_.load()) record_transport_error();
       if (opts_.auto_reconnect) sock_.shutdown_rw();
     }
   }
@@ -351,7 +380,7 @@ std::uint64_t ClientConnection::launch_async(
                             payload, net::Deadline::after(io_timeout_),
                             nullptr) == net::IoStatus::kOk;
     if (!sent) {
-      record_transport_error();
+      if (!recovering_.load()) record_transport_error();
       if (opts_.auto_reconnect) sock_.shutdown_rw();
     }
   }
@@ -442,6 +471,54 @@ bool ClientConnection::request_shutdown() {
   return send(MsgType::kShutdown, encode_shutdown());
 }
 
+std::optional<MigrateExportReplyMsg> ClientConnection::migrate_export(
+    std::uint64_t session, bool commit, common::Duration timeout) {
+  if (!breaker_allows()) return std::nullopt;
+  auto waiter = std::make_shared<
+      common::Channel<std::optional<MigrateExportReplyMsg>>>();
+  std::uint64_t token;
+  {
+    std::lock_guard lock(mu_);
+    if (dead_.load()) return std::nullopt;
+    token = next_id_++;
+    migrate_export_waiters_[token] = waiter;
+  }
+  std::optional<MigrateExportReplyMsg> reply;
+  if (send(MsgType::kMigrateExport,
+           encode_migrate_export({token, session, commit}))) {
+    auto got = waiter->receive_for(timeout);
+    if (got.has_value()) reply = std::move(*got);
+  }
+  std::lock_guard lock(mu_);
+  migrate_export_waiters_.erase(token);
+  return reply;
+}
+
+std::optional<MigrateImportReplyMsg> ClientConnection::migrate_import(
+    const SessionSnapshot& snapshot, common::Duration timeout) {
+  if (!breaker_allows()) return std::nullopt;
+  auto waiter = std::make_shared<
+      common::Channel<std::optional<MigrateImportReplyMsg>>>();
+  std::uint64_t token;
+  {
+    std::lock_guard lock(mu_);
+    if (dead_.load()) return std::nullopt;
+    token = next_id_++;
+    migrate_import_waiters_[token] = waiter;
+  }
+  std::optional<MigrateImportReplyMsg> reply;
+  MigrateImportMsg msg;
+  msg.token = token;
+  msg.snapshot = snapshot;
+  if (send(MsgType::kMigrateImport, encode_migrate_import(msg))) {
+    auto got = waiter->receive_for(timeout);
+    if (got.has_value()) reply = std::move(*got);
+  }
+  std::lock_guard lock(mu_);
+  migrate_import_waiters_.erase(token);
+  return reply;
+}
+
 void ClientConnection::fail_all(const std::string& error) {
   std::map<std::uint64_t,
            std::shared_ptr<common::Channel<consolidate::CompletionReply>>>
@@ -456,6 +533,12 @@ void ClientConnection::fail_all(const std::string& error) {
   std::map<std::uint64_t,
            std::function<void(const consolidate::CompletionReply&)>>
       callbacks;
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<
+                              std::optional<MigrateExportReplyMsg>>>>
+      exports;
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<
+                              std::optional<MigrateImportReplyMsg>>>>
+      imports;
   {
     std::lock_guard lock(mu_);
     death_reason_ = error;
@@ -464,6 +547,8 @@ void ClientConnection::fail_all(const std::string& error) {
     flushes.swap(flush_waiters_);
     stats.swap(stats_waiters_);
     metrics.swap(metrics_waiters_);
+    exports.swap(migrate_export_waiters_);
+    imports.swap(migrate_import_waiters_);
     callbacks.swap(launch_callbacks_);
     inflight_launches_.clear();
   }
@@ -484,6 +569,8 @@ void ClientConnection::fail_all(const std::string& error) {
   for (auto& [token, waiter] : flushes) waiter->send(false);
   for (auto& [token, waiter] : stats) waiter->send(std::nullopt);
   for (auto& [token, waiter] : metrics) waiter->send(std::nullopt);
+  for (auto& [token, waiter] : exports) waiter->send(std::nullopt);
+  for (auto& [token, waiter] : imports) waiter->send(std::nullopt);
 }
 
 void ClientConnection::fail_connection_scoped() {
@@ -494,78 +581,116 @@ void ClientConnection::fail_connection_scoped() {
   std::map<std::uint64_t,
            std::shared_ptr<common::Channel<std::optional<MetricsReplyMsg>>>>
       metrics;
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<
+                              std::optional<MigrateExportReplyMsg>>>>
+      exports;
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<
+                              std::optional<MigrateImportReplyMsg>>>>
+      imports;
   {
     std::lock_guard lock(mu_);
     flushes.swap(flush_waiters_);
     stats.swap(stats_waiters_);
     metrics.swap(metrics_waiters_);
+    exports.swap(migrate_export_waiters_);
+    imports.swap(migrate_import_waiters_);
   }
   for (auto& [token, waiter] : flushes) waiter->send(false);
   for (auto& [token, waiter] : stats) waiter->send(std::nullopt);
   for (auto& [token, waiter] : metrics) waiter->send(std::nullopt);
+  for (auto& [token, waiter] : exports) waiter->send(std::nullopt);
+  for (auto& [token, waiter] : imports) waiter->send(std::nullopt);
 }
 
 bool ClientConnection::recover(const std::string& why) {
   if (!opts_.auto_reconnect || shutting_down_.load()) return false;
+  {
+    // The old transport is dead, but TCP will happily buffer one more write
+    // into it before the peer's RST lands. Shut it down before failing the
+    // waiters below, so a flush/stats call racing this recovery fails its
+    // send immediately (and its caller retries on the new connection)
+    // instead of parking a connection-scoped waiter on a frame that went
+    // nowhere until the full timeout expires.
+    std::lock_guard wlock(write_mu_);
+    sock_.shutdown_rw();
+  }
   // Launch waiters survive: their payloads replay onto the new connection
   // and the server's dedup makes that idempotent. Flush/stats tokens are
   // connection-scoped — anything lost with the old stream fails now.
   fail_connection_scoped();
-  // The disconnect that triggered recovery is one transport error; each
-  // failed redial below adds another. A handshake the server *answers* with
-  // a refusal ("server full") is deliberately excluded: that is admission
-  // backpressure from a live daemon, and counting it would let benign
-  // overload trip the breaker and strand a session that the very next
-  // attempt could resume.
+  // The disconnect that triggered recovery is one transport error. Each
+  // full rotation below that finds NO answering endpoint adds one more —
+  // per rotation, not per endpoint, so a dead primary in a two-entry list
+  // does not advance the breaker twice as fast as a dead lone server. A
+  // handshake the server *answers* with a refusal ("server full", a standby
+  // that has not promoted yet) is proof of a live peer and is deliberately
+  // excluded: that is admission backpressure, and counting it would let
+  // benign overload trip the breaker and strand a session that the very
+  // next attempt could resume.
   record_transport_error();
+  recovering_.store(true);
+  struct ClearRecovering {
+    std::atomic<bool>& flag;
+    ~ClearRecovering() { flag.store(false); }
+  } clear_recovering{recovering_};
   const int max_attempts = std::max(1, opts_.retry.max_attempts);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (!interruptible_sleep(opts_.retry.backoff(attempt, rng_))) return false;
-    std::string err;
-    auto sock = net::connect_endpoint(
-        path_, net::Deadline::after(opts_.dial_timeout), &err);
-    if (!sock.has_value()) {
-      record_transport_error();
-      continue;
-    }
-    HelloOkMsg settings;
-    bool refused = false;
-    if (!handshake(*sock, owner_, session_, /*replay=*/true, io_timeout_,
-                   &settings, &err, &refused)) {
-      if (!refused) record_transport_error();
-      continue;
-    }
-    std::map<std::uint64_t, std::vector<std::byte>> replays;
-    bool sent_all = true;
-    {
-      std::lock_guard wlock(write_mu_);
-      sock_ = std::move(*sock);
-      settings_ = settings;
-      {
-        std::lock_guard lock(mu_);
-        replays = inflight_launches_;
+    // Each attempt rotates through the endpoint list starting from the one
+    // that last worked: a dead primary router falls through to its standby
+    // within the attempt, and a refused handshake (standby not promoted
+    // yet, "server full") rotates on without counting as transport death.
+    bool peer_answered = false;
+    for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+      const std::size_t idx = (endpoint_idx_ + k) % endpoints_.size();
+      std::string err;
+      auto sock = net::connect_endpoint(
+          endpoints_[idx], net::Deadline::after(opts_.dial_timeout), &err);
+      if (!sock.has_value()) {
+        continue;
       }
-      for (const auto& [id, payload] : replays) {
-        if (net::write_frame(sock_,
-                             static_cast<std::uint16_t>(MsgType::kLaunch),
-                             payload, net::Deadline::after(io_timeout_),
-                             nullptr) != net::IoStatus::kOk) {
-          sent_all = false;
-          break;
+      HelloOkMsg settings;
+      bool refused = false;
+      if (!handshake(*sock, owner_, session_, /*replay=*/true, io_timeout_,
+                     &settings, &err, &refused)) {
+        if (refused) peer_answered = true;
+        continue;
+      }
+      std::map<std::uint64_t, std::vector<std::byte>> replays;
+      bool sent_all = true;
+      {
+        std::lock_guard wlock(write_mu_);
+        sock_ = std::move(*sock);
+        settings_ = settings;
+        {
+          std::lock_guard lock(mu_);
+          replays = inflight_launches_;
+        }
+        for (const auto& [id, payload] : replays) {
+          if (net::write_frame(sock_,
+                               static_cast<std::uint16_t>(MsgType::kLaunch),
+                               payload, net::Deadline::after(io_timeout_),
+                               nullptr) != net::IoStatus::kOk) {
+            sent_all = false;
+            break;
+          }
         }
       }
+      if (!sent_all) {
+        peer_answered = true;  // it accepted the handshake, then died
+        record_transport_error();
+        continue;
+      }
+      endpoint_idx_ = idx;
+      reconnects_.fetch_add(1);
+      replayed_.fetch_add(replays.size());
+      counters().reconnects.inc();
+      counters().replayed.add(static_cast<double>(replays.size()));
+      record_transport_success();
+      (void)why;
+      return true;
     }
-    if (!sent_all) {
-      record_transport_error();
-      continue;
-    }
-    reconnects_.fetch_add(1);
-    replayed_.fetch_add(replays.size());
-    counters().reconnects.inc();
-    counters().replayed.add(static_cast<double>(replays.size()));
-    record_transport_success();
-    (void)why;
-    return true;
+    if (!peer_answered) record_transport_error();
   }
   return false;
 }
@@ -654,6 +779,42 @@ void ClientConnection::reader_loop() {
           std::lock_guard lock(mu_);
           auto it = metrics_waiters_.find(reply->token);
           if (it != metrics_waiters_.end()) waiter = it->second;
+        }
+        record_transport_success();
+        if (waiter) waiter->send(std::move(reply));
+        break;
+      }
+      case MsgType::kMigrateExportReply: {
+        auto reply = decode_migrate_export_reply(frame.payload);
+        if (!reply.has_value()) {
+          if (recover("malformed migrate_export_reply")) continue;
+          return fail_all("malformed migrate_export_reply");
+        }
+        std::shared_ptr<
+            common::Channel<std::optional<MigrateExportReplyMsg>>>
+            waiter;
+        {
+          std::lock_guard lock(mu_);
+          auto it = migrate_export_waiters_.find(reply->token);
+          if (it != migrate_export_waiters_.end()) waiter = it->second;
+        }
+        record_transport_success();
+        if (waiter) waiter->send(std::move(reply));
+        break;
+      }
+      case MsgType::kMigrateImportReply: {
+        auto reply = decode_migrate_import_reply(frame.payload);
+        if (!reply.has_value()) {
+          if (recover("malformed migrate_import_reply")) continue;
+          return fail_all("malformed migrate_import_reply");
+        }
+        std::shared_ptr<
+            common::Channel<std::optional<MigrateImportReplyMsg>>>
+            waiter;
+        {
+          std::lock_guard lock(mu_);
+          auto it = migrate_import_waiters_.find(reply->token);
+          if (it != migrate_import_waiters_.end()) waiter = it->second;
         }
         record_transport_success();
         if (waiter) waiter->send(std::move(reply));

@@ -70,6 +70,10 @@ class ClientConnection {
  public:
   /// Connect + handshake. Retries while the daemon is still binding, up to
   /// `timeout` (real time). nullptr (with *error) on failure.
+  /// `socket_path` may be a comma-separated endpoint list (e.g. a primary
+  /// router and its standby): the connect tries each in order, and every
+  /// reconnect rotates through the list starting from the last endpoint
+  /// that worked — failover rides the existing retry/replay machinery.
   static std::unique_ptr<ClientConnection> connect(
       const std::string& socket_path, const std::string& owner,
       common::Duration timeout, std::string* error);
@@ -127,6 +131,19 @@ class ClientConnection {
   /// Ask the daemon to drain and exit (admin path).
   bool request_shutdown();
 
+  /// Live-migration export RPC (router/admin path): snapshot (commit=false)
+  /// or drop (commit=true) one replay session on the connected shard.
+  /// nullopt on timeout/transport failure or a pre-migration daemon (which
+  /// answers with kError).
+  std::optional<MigrateExportReplyMsg> migrate_export(std::uint64_t session,
+                                                      bool commit,
+                                                      common::Duration timeout);
+
+  /// Live-migration import RPC: install a session snapshot on the connected
+  /// shard. Same nullopt contract as migrate_export.
+  std::optional<MigrateImportReplyMsg> migrate_import(
+      const SessionSnapshot& snapshot, common::Duration timeout);
+
   /// Settings the server announced in the hello handshake.
   const HelloOkMsg& server_settings() const { return settings_; }
   const std::string& owner() const { return owner_; }
@@ -175,7 +192,11 @@ class ClientConnection {
   void record_transport_success();
 
   net::Socket sock_;
-  std::string path_;
+  /// The endpoint list from the comma-separated --socket spec. endpoint_idx_
+  /// is the entry currently connected (connect thread, then reader thread
+  /// only — recovery rotates from it through the list).
+  std::vector<std::string> endpoints_;
+  std::size_t endpoint_idx_ = 0;
   std::string owner_;
   std::uint64_t session_ = 0;  ///< hello session nonce; fixed at connect()
   HelloOkMsg settings_;
@@ -200,6 +221,13 @@ class ClientConnection {
   std::map<std::uint64_t,
            std::shared_ptr<common::Channel<std::optional<MetricsReplyMsg>>>>
       metrics_waiters_;
+  /// And for the live-migration RPCs (token-scoped, like flush/stats).
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<
+                              std::optional<MigrateExportReplyMsg>>>>
+      migrate_export_waiters_;
+  std::map<std::uint64_t, std::shared_ptr<common::Channel<
+                              std::optional<MigrateImportReplyMsg>>>>
+      migrate_import_waiters_;
   /// Encoded kLaunch payloads awaiting an answer, for replay after a
   /// reconnect. Only populated when auto_reconnect is on.
   std::map<std::uint64_t, std::vector<std::byte>> inflight_launches_;
@@ -214,6 +242,11 @@ class ClientConnection {
 
   std::atomic<bool> dead_{false};
   std::atomic<bool> shutting_down_{false};
+  /// True while the reader thread is inside recover(). Senders racing the
+  /// redial fail fast against the shut-down socket; those failures are a
+  /// consequence of the one disconnect already counted, so they must not
+  /// each advance the breaker.
+  std::atomic<bool> recovering_{false};
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<std::uint64_t> replayed_{0};
   std::string death_reason_;

@@ -16,6 +16,12 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kStatsReply: return "stats_reply";
     case MsgType::kMetrics: return "metrics";
     case MsgType::kMetricsReply: return "metrics_reply";
+    case MsgType::kMigrateExport: return "migrate_export";
+    case MsgType::kMigrateExportReply: return "migrate_export_reply";
+    case MsgType::kMigrateImport: return "migrate_import";
+    case MsgType::kMigrateImportReply: return "migrate_import_reply";
+    case MsgType::kSyncPull: return "sync_pull";
+    case MsgType::kSyncState: return "sync_state";
   }
   return "unknown";
 }
@@ -354,6 +360,195 @@ std::optional<MetricsReplyMsg> decode_metrics_reply(
     m.series.emplace(std::move(name), std::move(snap));
   }
   m.prometheus_text = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+namespace {
+
+void encode_session_snapshot(net::Writer& w, const SessionSnapshot& s) {
+  w.u64(s.session);
+  w.u32(static_cast<std::uint32_t>(s.entries.size()));
+  for (const auto& e : s.entries) {
+    w.u64(e.request_id);
+    w.str(e.owner);
+    w.u8(e.ok ? 1 : 0);
+    w.str(e.error);
+    w.f64(e.finish_seconds);
+    w.u8(e.where);
+  }
+}
+
+std::optional<SessionSnapshot> decode_session_snapshot(net::Reader& r) {
+  constexpr std::uint32_t kMaxEntries = 1 << 20;
+  SessionSnapshot s;
+  s.session = r.u64();
+  const std::uint32_t nentries = r.u32();
+  if (!r.ok() || nentries > kMaxEntries) return std::nullopt;
+  s.entries.reserve(nentries);
+  for (std::uint32_t i = 0; i < nentries && r.ok(); ++i) {
+    SessionSnapshot::Entry e;
+    e.request_id = r.u64();
+    e.owner = r.str();
+    e.ok = r.u8() != 0;
+    e.error = r.str();
+    e.finish_seconds = r.f64();
+    e.where = r.u8();
+    if (e.where > static_cast<std::uint8_t>(
+                      consolidate::CompletionReply::Where::kCpu)) {
+      return std::nullopt;
+    }
+    s.entries.push_back(std::move(e));
+  }
+  if (!r.ok()) return std::nullopt;
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_migrate_export(const MigrateExportMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u64(m.session);
+  w.u8(m.commit ? 1 : 0);
+  return w.take();
+}
+
+std::optional<MigrateExportMsg> decode_migrate_export(
+    std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  MigrateExportMsg m;
+  m.token = r.u64();
+  m.session = r.u64();
+  m.commit = r.u8() != 0;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_migrate_export_reply(
+    const MigrateExportReplyMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u8(m.ok ? 1 : 0);
+  w.str(m.error);
+  encode_session_snapshot(w, m.snapshot);
+  return w.take();
+}
+
+std::optional<MigrateExportReplyMsg> decode_migrate_export_reply(
+    std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  MigrateExportReplyMsg m;
+  m.token = r.u64();
+  m.ok = r.u8() != 0;
+  m.error = r.str();
+  auto snap = decode_session_snapshot(r);
+  if (!snap || !r.done()) return std::nullopt;
+  m.snapshot = std::move(*snap);
+  return m;
+}
+
+std::vector<std::byte> encode_migrate_import(const MigrateImportMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  encode_session_snapshot(w, m.snapshot);
+  return w.take();
+}
+
+std::optional<MigrateImportMsg> decode_migrate_import(
+    std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  MigrateImportMsg m;
+  m.token = r.u64();
+  auto snap = decode_session_snapshot(r);
+  if (!snap || !r.done()) return std::nullopt;
+  m.snapshot = std::move(*snap);
+  return m;
+}
+
+std::vector<std::byte> encode_migrate_import_reply(
+    const MigrateImportReplyMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u8(m.ok ? 1 : 0);
+  w.str(m.error);
+  return w.take();
+}
+
+std::optional<MigrateImportReplyMsg> decode_migrate_import_reply(
+    std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  MigrateImportReplyMsg m;
+  m.token = r.u64();
+  m.ok = r.u8() != 0;
+  m.error = r.str();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_sync_pull(const SyncPullMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u64(m.have_epoch);
+  return w.take();
+}
+
+std::optional<SyncPullMsg> decode_sync_pull(
+    std::span<const std::byte> payload) {
+  net::Reader r(payload);
+  SyncPullMsg m;
+  m.token = r.u64();
+  m.have_epoch = r.u64();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::byte> encode_sync_state(const SyncStateMsg& m) {
+  net::Writer w;
+  w.u64(m.token);
+  w.u64(m.epoch);
+  w.u32(static_cast<std::uint32_t>(m.shards.size()));
+  for (const auto& s : m.shards) {
+    w.str(s.endpoint);
+    w.u8(s.alive ? 1 : 0);
+    w.u8(s.draining ? 1 : 0);
+    w.u8(s.breaker_open ? 1 : 0);
+    w.u64(s.placements);
+  }
+  w.u32(static_cast<std::uint32_t>(m.placements.size()));
+  for (const auto& [session, shard] : m.placements) {
+    w.u64(session);
+    w.u32(shard);
+  }
+  return w.take();
+}
+
+std::optional<SyncStateMsg> decode_sync_state(
+    std::span<const std::byte> payload) {
+  constexpr std::uint32_t kMaxEntries = 1 << 20;
+  net::Reader r(payload);
+  SyncStateMsg m;
+  m.token = r.u64();
+  m.epoch = r.u64();
+  const std::uint32_t nshards = r.u32();
+  if (!r.ok() || nshards > kMaxEntries) return std::nullopt;
+  m.shards.reserve(nshards);
+  for (std::uint32_t i = 0; i < nshards && r.ok(); ++i) {
+    SyncStateMsg::ShardState s;
+    s.endpoint = r.str();
+    s.alive = r.u8() != 0;
+    s.draining = r.u8() != 0;
+    s.breaker_open = r.u8() != 0;
+    s.placements = r.u64();
+    m.shards.push_back(std::move(s));
+  }
+  const std::uint32_t nplacements = r.u32();
+  if (!r.ok() || nplacements > kMaxEntries) return std::nullopt;
+  for (std::uint32_t i = 0; i < nplacements && r.ok(); ++i) {
+    const std::uint64_t session = r.u64();
+    const std::uint32_t shard = r.u32();
+    m.placements.emplace(session, shard);
+  }
   if (!r.done()) return std::nullopt;
   return m;
 }

@@ -44,6 +44,19 @@ enum class MsgType : std::uint16_t {
   // older servers answer with kError, which metrics clients must accept.
   kMetrics = 11,      ///< client -> server: time-series rings (+ Prometheus)
   kMetricsReply = 12, ///< server -> client: the series
+  // Additive extension (still protocol version 1): live session migration.
+  // The router exports a session's authoritative replay state from one
+  // shard and imports it into another; a pre-migration server answers both
+  // with kError, which the router treats as "shard cannot migrate".
+  kMigrateExport = 13,       ///< router -> shard: snapshot (or commit) one session
+  kMigrateExportReply = 14,  ///< shard -> router: the snapshot / refusal
+  kMigrateImport = 15,       ///< router -> shard: install a session snapshot
+  kMigrateImportReply = 16,  ///< shard -> router: import ack
+  // Additive extension (still protocol version 1): router active/standby
+  // state sync. A standby router pulls the primary's placement table and
+  // shard health so a takeover starts from the primary's fleet view.
+  kSyncPull = 17,   ///< standby router -> primary: pull the fleet state
+  kSyncState = 18,  ///< primary -> standby: the state snapshot
 };
 
 const char* msg_type_name(MsgType t);
@@ -118,6 +131,77 @@ struct MetricsReplyMsg {
   std::string prometheus_text;  ///< empty unless requested
 };
 
+/// One session's authoritative replay state, as moved between shards: the
+/// session nonce plus the per-session completed-reply log in completion
+/// order (oldest first — the importer rebuilds the same bounded FIFO). The
+/// in-flight dedup keys travel implicitly: a migration only runs once the
+/// session has no in-flight launches (the exporter refuses otherwise), so
+/// the log IS the session's whole dedup state at export time.
+struct SessionSnapshot {
+  std::uint64_t session = 0;
+  struct Entry {
+    std::uint64_t request_id = 0;
+    std::string owner;
+    bool ok = false;
+    std::string error;
+    /// CompletionReply::finish_time in seconds; the f64 wire codec keeps
+    /// the IEEE-754 bits, so a migrated reply replays bit-identically.
+    double finish_seconds = 0.0;
+    std::uint8_t where = 0;  ///< consolidate::CompletionReply::Where
+  };
+  std::vector<Entry> entries;
+};
+
+struct MigrateExportMsg {
+  std::uint64_t token = 0;
+  std::uint64_t session = 0;
+  /// false: return a read-only snapshot, source stays authoritative.
+  /// true: drop the source's copy — sent only after the import was acked,
+  /// so a torn handoff at any earlier point leaves the source untouched.
+  bool commit = false;
+};
+
+struct MigrateExportReplyMsg {
+  std::uint64_t token = 0;
+  bool ok = false;
+  std::string error;  ///< "unknown session", "session busy", ...
+  SessionSnapshot snapshot;  ///< populated only for ok snapshot requests
+};
+
+struct MigrateImportMsg {
+  std::uint64_t token = 0;
+  SessionSnapshot snapshot;
+};
+
+struct MigrateImportReplyMsg {
+  std::uint64_t token = 0;
+  bool ok = false;
+  std::string error;
+};
+
+struct SyncPullMsg {
+  std::uint64_t token = 0;
+  std::uint64_t have_epoch = 0;  ///< the standby's last applied epoch
+};
+
+/// The primary router's fleet view, replicated to the standby: per-shard
+/// health (index order matches the shared --shard list) and the sticky
+/// placement table (session nonce -> shard index). `epoch` bumps on every
+/// placement / migration / re-home, so a standby can tell fresh from stale.
+struct SyncStateMsg {
+  std::uint64_t token = 0;
+  std::uint64_t epoch = 0;
+  struct ShardState {
+    std::string endpoint;
+    bool alive = true;
+    bool draining = false;
+    bool breaker_open = false;
+    std::uint64_t placements = 0;
+  };
+  std::vector<ShardState> shards;
+  std::map<std::uint64_t, std::uint32_t> placements;
+};
+
 // ---- KernelDesc (nested inside launch requests) ----
 void encode_kernel_desc(net::Writer& w, const gpusim::KernelDesc& d);
 gpusim::KernelDesc decode_kernel_desc(net::Reader& r);
@@ -170,6 +254,32 @@ std::optional<MetricsMsg> decode_metrics(std::span<const std::byte> payload);
 
 std::vector<std::byte> encode_metrics_reply(const MetricsReplyMsg& m);
 std::optional<MetricsReplyMsg> decode_metrics_reply(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_migrate_export(const MigrateExportMsg& m);
+std::optional<MigrateExportMsg> decode_migrate_export(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_migrate_export_reply(
+    const MigrateExportReplyMsg& m);
+std::optional<MigrateExportReplyMsg> decode_migrate_export_reply(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_migrate_import(const MigrateImportMsg& m);
+std::optional<MigrateImportMsg> decode_migrate_import(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_migrate_import_reply(
+    const MigrateImportReplyMsg& m);
+std::optional<MigrateImportReplyMsg> decode_migrate_import_reply(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_sync_pull(const SyncPullMsg& m);
+std::optional<SyncPullMsg> decode_sync_pull(
+    std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_sync_state(const SyncStateMsg& m);
+std::optional<SyncStateMsg> decode_sync_state(
     std::span<const std::byte> payload);
 
 }  // namespace ewc::server

@@ -27,7 +27,8 @@ struct ServerCounters {
       connections_closed, protocol_errors, admitted, rejected, requests,
       replies, flushes, shutdown_requests, stats_requests, metrics_requests,
       deadline_expired, drain_failed_replies, drain_flush_timeouts,
-      replayed_requests, parked_replies, accept_backoff;
+      replayed_requests, parked_replies, accept_backoff, migrate_exports,
+      migrate_imports, migrate_refusals;
 };
 
 ServerCounters& counters() {
@@ -44,7 +45,8 @@ ServerCounters& counters() {
       h("server.deadline_expired"),
       h("server.drain.failed_replies"), h("server.drain.flush_timeouts"),
       h("server.replayed_requests"),    h("server.parked_replies"),
-      h("server.accept_backoff")};
+      h("server.accept_backoff"),       h("server.migrate.exports"),
+      h("server.migrate.imports"),      h("server.migrate.refusals")};
   return *s;
 }
 
@@ -238,6 +240,12 @@ void Server::on_frame(const Reactor::ConnPtr& conn, net::Frame frame) {
     case MsgType::kMetrics:
       handle_metrics(conn, frame);
       break;
+    case MsgType::kMigrateExport:
+      handle_migrate_export(conn, frame);
+      break;
+    case MsgType::kMigrateImport:
+      handle_migrate_import(conn, frame);
+      break;
     default: {
       counters().protocol_errors.inc();
       conn->send(static_cast<std::uint16_t>(MsgType::kError),
@@ -354,9 +362,9 @@ void Server::handle_launch(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
       const auto route =
           routes_.find(RequestKey{ctx->session, req_owner, id});
       if (route != routes_.end()) {
-        const auto current = route->second.lock();
+        const auto current = route->second.ctx.lock();
         if (current == nullptr || current.get() != ctx.get()) {
-          route->second = ctx;
+          route->second.ctx = ctx;
           inflight_replay = true;
         }
         // Same live connection: fall through to admission, which rejects
@@ -391,13 +399,13 @@ void Server::handle_launch(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
 
   // Admission control: bounded unanswered launches per client.
   bool admitted = false;
+  const double admitted_at_us = obs::Tracer::now_us();
   {
     std::lock_guard lock(ctx->mu);
     if (static_cast<int>(ctx->outstanding.size()) < options_.inflight_limit) {
       admitted = ctx->outstanding
                      .emplace(id, Outstanding{req_owner, make_deadline(),
-                                              obs::Tracer::now_us(),
-                                              req->trace_id,
+                                              admitted_at_us, req->trace_id,
                                               req->parent_span_id})
                      .second;
     }
@@ -416,7 +424,8 @@ void Server::handle_launch(const Reactor::ConnPtr& conn, const CtxPtr& ctx,
   req->session = ctx->session;
   {
     std::lock_guard lock(route_mu_);
-    routes_[RequestKey{ctx->session, req_owner, id}] = ctx;
+    routes_[RequestKey{ctx->session, req_owner, id}] =
+        Route{ctx, req->trace_id, req->parent_span_id, admitted_at_us};
   }
   if (!backend_.channel().send(std::move(*req))) {
     {
@@ -523,6 +532,147 @@ void Server::handle_metrics(const Reactor::ConnPtr& conn,
   }
   conn->send(static_cast<std::uint16_t>(MsgType::kMetricsReply),
              encode_metrics_reply(reply));
+}
+
+void Server::handle_migrate_export(const Reactor::ConnPtr& conn,
+                                   const net::Frame& frame) {
+  const auto req = decode_migrate_export(frame.payload);
+  if (!req.has_value()) {
+    counters().protocol_errors.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               encode_error({"malformed migrate export"}));
+    conn->close_async();
+    return;
+  }
+  MigrateExportReplyMsg reply;
+  reply.token = req->token;
+  if (auto a = fault::hit("server.migrate")) {
+    if (a.kind == fault::ActionKind::kStall ||
+        a.kind == fault::ActionKind::kDelay) {
+      fault::sleep_for(a.duration);
+    } else if (a.kind == fault::ActionKind::kClose) {
+      // Torn export: the socket dies mid-handoff. Nothing was mutated yet,
+      // so the source stays authoritative.
+      conn->close_async();
+      return;
+    } else {
+      reply.error = "injected fault";
+      counters().migrate_refusals.inc();
+      conn->send(static_cast<std::uint16_t>(MsgType::kMigrateExportReply),
+                 encode_migrate_export_reply(reply));
+      return;
+    }
+  }
+  {
+    std::lock_guard lock(route_mu_);
+    const auto it =
+        req->session == 0 ? sessions_.end() : sessions_.find(req->session);
+    if (req->commit) {
+      // The router acked the import on the target: drop our copy. An
+      // already-gone session makes the commit an idempotent no-op.
+      if (it != sessions_.end()) sessions_.erase(it);
+      reply.ok = true;
+      counters().migrate_exports.inc();
+    } else if (it == sessions_.end()) {
+      reply.error = "unknown session";
+      counters().migrate_refusals.inc();
+    } else {
+      // Refuse while any launch of this session is still in the backend:
+      // the completed log alone would not be the whole dedup state.
+      const auto route = routes_.lower_bound(RequestKey{req->session, "", 0});
+      if (route != routes_.end() &&
+          std::get<0>(route->first) == req->session) {
+        reply.error = "session busy";
+        counters().migrate_refusals.inc();
+      } else {
+        const SessionState& s = it->second;
+        reply.ok = true;
+        reply.snapshot.session = req->session;
+        reply.snapshot.entries.reserve(s.order.size());
+        for (const std::uint64_t id : s.order) {
+          const auto hit = s.replies.find(id);
+          if (hit == s.replies.end()) continue;
+          SessionSnapshot::Entry e;
+          e.request_id = id;
+          e.owner = hit->second.owner;
+          e.ok = hit->second.ok;
+          e.error = hit->second.error;
+          e.finish_seconds = hit->second.finish_time.seconds();
+          e.where = static_cast<std::uint8_t>(hit->second.where);
+          reply.snapshot.entries.push_back(std::move(e));
+        }
+      }
+    }
+  }
+  conn->send(static_cast<std::uint16_t>(MsgType::kMigrateExportReply),
+             encode_migrate_export_reply(reply));
+}
+
+void Server::handle_migrate_import(const Reactor::ConnPtr& conn,
+                                   const net::Frame& frame) {
+  const auto req = decode_migrate_import(frame.payload);
+  if (!req.has_value()) {
+    counters().protocol_errors.inc();
+    conn->send(static_cast<std::uint16_t>(MsgType::kError),
+               encode_error({"malformed migrate import"}));
+    conn->close_async();
+    return;
+  }
+  MigrateImportReplyMsg reply;
+  reply.token = req->token;
+  if (auto a = fault::hit("server.migrate")) {
+    if (a.kind == fault::ActionKind::kStall ||
+        a.kind == fault::ActionKind::kDelay) {
+      fault::sleep_for(a.duration);
+    } else if (a.kind == fault::ActionKind::kClose) {
+      conn->close_async();
+      return;
+    } else {
+      reply.error = "injected fault";
+      conn->send(static_cast<std::uint16_t>(MsgType::kMigrateImportReply),
+                 encode_migrate_import_reply(reply));
+      return;
+    }
+  }
+  if (req->snapshot.session == 0) {
+    reply.error = "session 0 cannot migrate";
+    conn->send(static_cast<std::uint16_t>(MsgType::kMigrateImportReply),
+               encode_migrate_import_reply(reply));
+    return;
+  }
+  {
+    std::lock_guard lock(route_mu_);
+    auto [it, inserted] = sessions_.try_emplace(req->snapshot.session);
+    SessionState& s = it->second;
+    if (inserted) {
+      // No live connection owns this session yet: start the idle clock now
+      // so the default-constructed time_point cannot read as "idle since
+      // the epoch" and get the import swept on the next tick.
+      s.idle_since = std::chrono::steady_clock::now();
+    }
+    // First write wins, same rule as record_completed_locked: anything this
+    // shard already answered for the session keeps its local answer.
+    for (const auto& e : req->snapshot.entries) {
+      consolidate::CompletionReply r;
+      r.request_id = e.request_id;
+      r.owner = e.owner;
+      r.session = req->snapshot.session;
+      r.ok = e.ok;
+      r.error = e.error;
+      r.finish_time = common::Duration::from_seconds(e.finish_seconds);
+      r.where = static_cast<consolidate::CompletionReply::Where>(e.where);
+      if (!s.replies.emplace(e.request_id, std::move(r)).second) continue;
+      s.order.push_back(e.request_id);
+    }
+    while (s.order.size() > kCompletedCapPerSession) {
+      s.replies.erase(s.order.front());
+      s.order.pop_front();
+    }
+  }
+  reply.ok = true;
+  counters().migrate_imports.inc();
+  conn->send(static_cast<std::uint16_t>(MsgType::kMigrateImportReply),
+             encode_migrate_import_reply(reply));
 }
 
 void Server::on_close(const Reactor::ConnPtr& conn, CloseReason reason,
@@ -685,11 +835,15 @@ void Server::demux_loop() {
     auto reply = backend_replies_->receive();
     if (!reply.has_value()) break;  // closed and drained: shutting down
     CtxPtr target;
+    Route route_info;
     {
       std::lock_guard lock(route_mu_);
       const auto it = routes_.find(
           RequestKey{reply->session, reply->owner, reply->request_id});
-      if (it != routes_.end()) target = it->second.lock();
+      if (it != routes_.end()) {
+        route_info = it->second;
+        target = route_info.ctx.lock();
+      }
       record_completed_locked(*reply);
     }
     bool delivered = false;
@@ -704,7 +858,27 @@ void Server::demux_loop() {
             });
       }
     }
-    if (!delivered) counters().parked_replies.inc();
+    if (!delivered) {
+      counters().parked_replies.inc();
+      // The connection died before its answer did (a forwarding router
+      // crash is the common cause). The work still ran and the parked
+      // reply will answer the client's replay, so the request-lifecycle
+      // span must not vanish with the connection — emit it here from the
+      // route's copy of the trace correlation.
+      if (obs::Tracer::enabled() && route_info.trace_id != 0) {
+        const double now_us = obs::Tracer::now_us();
+        obs::SpanEvent ev;
+        ev.name = "server.request";
+        ev.ts_us = route_info.admitted_at_us;
+        ev.dur_us = now_us - route_info.admitted_at_us;
+        ev.request_id = reply->request_id;
+        ev.trace_id = route_info.trace_id;
+        ev.parent_span_id = route_info.parent_span_id;
+        ev.args = std::string("\"ok\":") + (reply->ok ? "true" : "false") +
+                  ",\"delivered\":false";
+        obs::Tracer::instance().record(std::move(ev));
+      }
+    }
   }
 }
 
@@ -727,7 +901,8 @@ void Server::deliver_completion(const Reactor::ConnPtr& conn,
   }
   // A reply whose id is no longer outstanding already got a deadline /
   // drain error; dropping the late real answer keeps the stream sane.
-  if (!live || conn->closing()) return;
+  if (!live) return;
+  bool drop = false;
   if (auto a = fault::hit("server.reply")) {
     if (a.kind == fault::ActionKind::kDelay ||
         a.kind == fault::ActionKind::kStall) {
@@ -735,17 +910,25 @@ void Server::deliver_completion(const Reactor::ConnPtr& conn,
     } else if (a.kind == fault::ActionKind::kDrop) {
       // Lost reply: the client's deadline (or its replay after a
       // reconnect — the completed log still has the answer) recovers.
-      return;
+      drop = true;
     }
   }
-  conn->send(static_cast<std::uint16_t>(MsgType::kCompletion),
-             encode_completion(reply));
-  counters().replies.inc();
+  bool delivered = false;
+  if (!drop && !conn->closing() &&
+      conn->send(static_cast<std::uint16_t>(MsgType::kCompletion),
+                 encode_completion(reply))) {
+    counters().replies.inc();
+    delivered = true;
+  }
   const double now_us = obs::Tracer::now_us();
   request_latency_hist()->record((now_us - admitted_at_us) * 1e-6);
   if (obs::Tracer::enabled()) {
-    // The server-side request-lifecycle span: admission to reply write,
-    // correlated with the client's launch span by request_id.
+    // The server-side request-lifecycle span: admission to completion,
+    // correlated with the client's launch span by request_id. Emitted even
+    // when the reply could not be written back (the forwarding router died
+    // first): the work DID run, the completed log holds the answer for the
+    // client's replay, and dropping the span would leave a hole in the
+    // stitched cross-process trace.
     obs::SpanEvent ev;
     ev.name = "server.request";
     ev.ts_us = admitted_at_us;
@@ -753,7 +936,8 @@ void Server::deliver_completion(const Reactor::ConnPtr& conn,
     ev.request_id = reply.request_id;
     ev.trace_id = trace_id;
     ev.parent_span_id = parent_span_id;
-    ev.args = std::string("\"ok\":") + (reply.ok ? "true" : "false");
+    ev.args = std::string("\"ok\":") + (reply.ok ? "true" : "false") +
+              ",\"delivered\":" + (delivered ? "true" : "false");
     obs::Tracer::instance().record(std::move(ev));
   }
 }

@@ -172,6 +172,18 @@ class Server {
   using RequestKey =
       std::tuple<std::uint64_t, std::string, std::uint64_t>;
 
+  /// One pending delivery: which connection the answer goes back to, plus
+  /// the trace correlation captured at admission. The trace fields live
+  /// here — not only in the connection's outstanding table — so a reply
+  /// whose connection died first (a forwarding router crash) can still
+  /// emit its server.request span when the answer is parked for replay.
+  struct Route {
+    std::weak_ptr<ConnCtx> ctx;
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span_id = 0;
+    double admitted_at_us = 0.0;
+  };
+
   // Reactor handlers.
   void on_open(const Reactor::ConnPtr& conn);
   void on_frame(const Reactor::ConnPtr& conn, net::Frame frame);
@@ -188,6 +200,18 @@ class Server {
   void handle_flush(const Reactor::ConnPtr& conn, const net::Frame& frame);
   void handle_stats(const Reactor::ConnPtr& conn, const net::Frame& frame);
   void handle_metrics(const Reactor::ConnPtr& conn, const net::Frame& frame);
+  /// Live-migration export: snapshot (commit=false) or drop (commit=true)
+  /// one replay session's completed log. A snapshot is refused while the
+  /// session has in-flight launches, and refused/torn exports leave the
+  /// source state untouched — the shard stays authoritative until the
+  /// router has the import acked and sends the commit.
+  void handle_migrate_export(const Reactor::ConnPtr& conn,
+                             const net::Frame& frame);
+  /// Live-migration import: install a session snapshot into sessions_
+  /// (first write wins against replies already recorded here, same rule as
+  /// record_completed_locked).
+  void handle_migrate_import(const Reactor::ConnPtr& conn,
+                             const net::Frame& frame);
   /// Register the daemon's derived series (rps, p95, watts, J/request,
   /// inflight) and start the sampler thread; no-op when disabled.
   void start_sampler();
@@ -232,7 +256,7 @@ class Server {
       std::make_shared<consolidate::ReplyChannel>();
   std::thread demux_;
   std::mutex route_mu_;
-  std::map<RequestKey, std::weak_ptr<ConnCtx>> routes_;
+  std::map<RequestKey, Route> routes_;
   /// Replay/dedup state for one client session that negotiated replay in
   /// its hello (session nonce != 0). Answered launches are keyed by
   /// request_id — connection-assigned, so unique within the session — in a

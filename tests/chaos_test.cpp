@@ -370,6 +370,9 @@ TEST(FleetChaosTest, KillOneShardMidRunLosesAndDuplicatesNothing) {
     EXPECT_EQ(stats->counters.at("shard.0.router.alive"), 0.0);
     EXPECT_EQ(stats->counters.at("shard.1.router.alive"), 1.0);
     EXPECT_GE(stats->counters.at("router.forwarded_frames"), 1.0);
+    // The kill severed live replay sessions: the router must have re-homed
+    // at least one onto the survivor rather than cutting clients loose.
+    EXPECT_GE(stats->counters.at("router.sessions_rehomed"), 1.0);
   }
 
   ASSERT_EQ(::kill(router_pid, SIGTERM), 0);
@@ -377,6 +380,116 @@ TEST(FleetChaosTest, KillOneShardMidRunLosesAndDuplicatesNothing) {
   ASSERT_EQ(::kill(shard_pids[1], SIGTERM), 0);
   EXPECT_EQ(wait_exit_code(shard_pids[1]), 0)
       << read_file(dir + "fleet_chaos_shard1.log");
+}
+
+// The front-door version of the kill drill: the same two-shard fleet, but
+// fronted by an active/standby router pair, with the loadgen handed both
+// endpoints as a comma-separated failover list. SIGKILLing the *primary
+// router* mid-run must cost nothing: clients rotate to the standby, which
+// refuses hellos until its sync pulls stop answering, promotes itself, and
+// serves the rest of the run — zero lost, zero duplicated requests.
+TEST(FleetChaosTest, KillPrimaryRouterFailsOverToStandbyLosingNothing) {
+  const std::string dir = ::testing::TempDir();
+
+  std::vector<pid_t> shard_pids;
+  std::vector<std::string> shard_eps;
+  for (int i = 0; i < 2; ++i) {
+    const std::string log =
+        dir + "router_ha_shard" + std::to_string(i) + ".log";
+    ::unlink(log.c_str());
+    const pid_t pid = spawn_ewcsim(
+        {"serve", "--socket", "tcp:127.0.0.1:0", "--workload",
+         "encryption_6k=4", "--threshold", "4", "--max-clients", "600",
+         "--inflight", "256"},
+        log);
+    ASSERT_GT(pid, 0);
+    shard_pids.push_back(pid);
+    const std::string ep = wait_for_endpoint(log, 30.0);
+    ASSERT_FALSE(ep.empty()) << "shard " << i << " never bound: "
+                             << read_file(log);
+    shard_eps.push_back(ep);
+  }
+
+  const std::string primary_log = dir + "router_ha_primary.log";
+  ::unlink(primary_log.c_str());
+  const pid_t primary_pid = spawn_ewcsim(
+      {"route", "--listen", "tcp:127.0.0.1:0", "--shard", shard_eps[0],
+       "--shard", shard_eps[1], "--poll", "0.2", "--dial-timeout", "0.5",
+       "--breaker-cooldown", "1"},
+      primary_log);
+  ASSERT_GT(primary_pid, 0);
+  const std::string primary_ep = wait_for_endpoint(primary_log, 30.0);
+  ASSERT_FALSE(primary_ep.empty()) << read_file(primary_log);
+
+  const std::string standby_log = dir + "router_ha_standby.log";
+  ::unlink(standby_log.c_str());
+  const pid_t standby_pid = spawn_ewcsim(
+      {"route", "--listen", "tcp:127.0.0.1:0", "--shard", shard_eps[0],
+       "--shard", shard_eps[1], "--poll", "0.2", "--dial-timeout", "0.5",
+       "--breaker-cooldown", "1", "--standby", primary_ep,
+       "--standby-failures", "2"},
+      standby_log);
+  ASSERT_GT(standby_pid, 0);
+  const std::string standby_ep = wait_for_endpoint(standby_log, 30.0);
+  ASSERT_FALSE(standby_ep.empty()) << read_file(standby_log);
+
+  const std::string load_log = dir + "router_ha_load.log";
+  ::unlink(load_log.c_str());
+  const pid_t load_pid = spawn_ewcsim(
+      {"loadgen", "--socket", primary_ep + "," + standby_ep, "--profile",
+       "poisson:rate=150", "--workload", "encryption_6k=2", "--workload",
+       "sorting_6k=1", "--sessions", "40", "--duration", "3", "--seed", "7",
+       "--reconnect", "--drain-timeout", "60", "--out", "none"},
+      load_log);
+  ASSERT_GT(load_pid, 0);
+
+  // Mid-run the primary router dies without a goodbye. Clients rotate to
+  // the standby; the standby's sync pulls start failing and it promotes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  ASSERT_EQ(::kill(primary_pid, SIGKILL), 0);
+  EXPECT_EQ(wait_exit_code(primary_pid), -SIGKILL);
+
+  const int load_exit = wait_exit_code(load_pid);
+  const std::string load_out = read_file(load_log);
+  EXPECT_EQ(load_exit, 0) << load_out;
+  const auto recs = parse_records(load_out, "LOADGEN");
+  ASSERT_FALSE(recs.empty()) << load_out;
+  const auto& rec = recs[0];
+  EXPECT_EQ(rec.at("sessions"), "40");
+  EXPECT_EQ(rec.at("lost"), "0");
+  EXPECT_EQ(rec.at("dup"), "0");
+  // Failover must be invisible to the workload: no request may fail inline
+  // ("circuit breaker open") just because every rotation dialed the dead
+  // primary before finding the standby.
+  EXPECT_EQ(rec.at("failed"), "0");
+  EXPECT_EQ(rec.at("completed"), rec.at("sent"));
+  EXPECT_GT(std::stoull(rec.at("sent")), 40u);
+
+  // The standby must have promoted itself and now answer as an active
+  // router fronting both shards.
+  ASSERT_TRUE(wait_for_counter(standby_ep, "router.standby_promotions", 1.0,
+                               Duration::from_seconds(30.0)))
+      << read_file(standby_log);
+  {
+    std::string err;
+    auto conn = server::ClientConnection::connect(
+        standby_ep, "router-ha-probe", Duration::from_seconds(10.0), &err);
+    ASSERT_NE(conn, nullptr) << err;
+    const auto stats = conn->stats(false, Duration::from_seconds(10.0));
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->counters.at("router.standby"), 0.0);
+    EXPECT_GE(stats->counters.at("router.standby_promotions"), 1.0);
+    EXPECT_EQ(stats->counters.at("router.shards"), 2.0);
+    EXPECT_EQ(stats->counters.at("router.shards_alive"), 2.0);
+  }
+
+  ASSERT_EQ(::kill(standby_pid, SIGTERM), 0);
+  EXPECT_EQ(wait_exit_code(standby_pid), 0) << read_file(standby_log);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(::kill(shard_pids[i], SIGTERM), 0);
+    EXPECT_EQ(wait_exit_code(shard_pids[i]), 0)
+        << read_file(dir + "router_ha_shard" + std::to_string(i) + ".log");
+  }
 }
 
 }  // namespace

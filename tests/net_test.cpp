@@ -421,6 +421,145 @@ TEST(ProtocolWireTest, ErrorRoundTrip) {
   EXPECT_EQ(back->message, "server full");
 }
 
+TEST(ProtocolWireTest, MigrateExportRoundTrip) {
+  server::MigrateExportMsg m;
+  m.token = 41;
+  m.session = 0xfeedfacecafebeefULL;
+  m.commit = true;
+  const auto back =
+      server::decode_migrate_export(server::encode_migrate_export(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->token, 41u);
+  EXPECT_EQ(back->session, m.session);
+  EXPECT_TRUE(back->commit);
+}
+
+TEST(ProtocolWireTest, MigrateSnapshotRoundTripIsBitExact) {
+  server::MigrateExportReplyMsg m;
+  m.token = 7;
+  m.ok = true;
+  m.snapshot.session = 0x1234;
+  server::SessionSnapshot::Entry e;
+  e.request_id = 3;
+  e.owner = "encryption_12k#0001";
+  e.ok = true;
+  e.finish_seconds = 2.0 + 1.0 / 3.0;  // not representable exactly in text
+  e.where = 1;
+  m.snapshot.entries.push_back(e);
+  e.request_id = 4;
+  e.ok = false;
+  e.error = "admission limit";
+  e.finish_seconds = 1e-300;
+  e.where = 0;
+  m.snapshot.entries.push_back(e);
+
+  const auto back = server::decode_migrate_export_reply(
+      server::encode_migrate_export_reply(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->snapshot.session, 0x1234u);
+  ASSERT_EQ(back->snapshot.entries.size(), 2u);
+  EXPECT_EQ(back->snapshot.entries[0].owner, "encryption_12k#0001");
+  EXPECT_EQ(
+      std::bit_cast<std::uint64_t>(back->snapshot.entries[0].finish_seconds),
+      std::bit_cast<std::uint64_t>(m.snapshot.entries[0].finish_seconds));
+  EXPECT_EQ(
+      std::bit_cast<std::uint64_t>(back->snapshot.entries[1].finish_seconds),
+      std::bit_cast<std::uint64_t>(m.snapshot.entries[1].finish_seconds));
+  EXPECT_EQ(back->snapshot.entries[1].error, "admission limit");
+  EXPECT_EQ(back->snapshot.entries[1].where, 0);
+
+  // Import carries the same snapshot encoding.
+  server::MigrateImportMsg imp;
+  imp.token = 8;
+  imp.snapshot = m.snapshot;
+  const auto imp_back =
+      server::decode_migrate_import(server::encode_migrate_import(imp));
+  ASSERT_TRUE(imp_back.has_value());
+  EXPECT_EQ(imp_back->snapshot.entries.size(), 2u);
+  EXPECT_EQ(
+      std::bit_cast<std::uint64_t>(imp_back->snapshot.entries[0].finish_seconds),
+      std::bit_cast<std::uint64_t>(m.snapshot.entries[0].finish_seconds));
+
+  server::MigrateImportReplyMsg rep;
+  rep.token = 8;
+  rep.ok = false;
+  rep.error = "session busy";
+  const auto rep_back = server::decode_migrate_import_reply(
+      server::encode_migrate_import_reply(rep));
+  ASSERT_TRUE(rep_back.has_value());
+  EXPECT_FALSE(rep_back->ok);
+  EXPECT_EQ(rep_back->error, "session busy");
+}
+
+TEST(ProtocolWireTest, SyncStateRoundTrip) {
+  server::SyncPullMsg pull;
+  pull.token = 5;
+  pull.have_epoch = 12;
+  const auto pull_back =
+      server::decode_sync_pull(server::encode_sync_pull(pull));
+  ASSERT_TRUE(pull_back.has_value());
+  EXPECT_EQ(pull_back->token, 5u);
+  EXPECT_EQ(pull_back->have_epoch, 12u);
+
+  server::SyncStateMsg m;
+  m.token = 5;
+  m.epoch = 13;
+  server::SyncStateMsg::ShardState s;
+  s.endpoint = "tcp:127.0.0.1:7001";
+  s.alive = true;
+  s.draining = true;
+  s.breaker_open = false;
+  s.placements = 9;
+  m.shards.push_back(s);
+  s.endpoint = "tcp:127.0.0.1:7002";
+  s.alive = false;
+  s.draining = false;
+  s.breaker_open = true;
+  s.placements = 0;
+  m.shards.push_back(s);
+  m.placements[0xabcULL] = 0;
+  m.placements[0xdefULL] = 1;
+
+  const auto back = server::decode_sync_state(server::encode_sync_state(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, 13u);
+  ASSERT_EQ(back->shards.size(), 2u);
+  EXPECT_EQ(back->shards[0].endpoint, "tcp:127.0.0.1:7001");
+  EXPECT_TRUE(back->shards[0].draining);
+  EXPECT_EQ(back->shards[0].placements, 9u);
+  EXPECT_FALSE(back->shards[1].alive);
+  EXPECT_TRUE(back->shards[1].breaker_open);
+  EXPECT_EQ(back->placements, m.placements);
+}
+
+TEST(ProtocolWireTest, MalformedMigrationPayloadsAreRejected) {
+  // Truncated snapshot entry.
+  server::MigrateImportMsg imp;
+  imp.snapshot.session = 1;
+  server::SessionSnapshot::Entry e;
+  e.request_id = 1;
+  e.owner = "x";
+  imp.snapshot.entries.push_back(e);
+  auto bytes = server::encode_migrate_import(imp);
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(server::decode_migrate_import(bytes).has_value());
+
+  // Out-of-range `where` in a snapshot entry.
+  imp.snapshot.entries[0].where = 9;
+  EXPECT_FALSE(
+      server::decode_migrate_import(server::encode_migrate_import(imp))
+          .has_value());
+
+  // Trailing junk after a valid sync pull.
+  auto pull = server::encode_sync_pull({1, 2});
+  pull.push_back(std::byte{0});
+  EXPECT_FALSE(server::decode_sync_pull(pull).has_value());
+
+  EXPECT_FALSE(server::decode_migrate_export({}).has_value());
+  EXPECT_FALSE(server::decode_sync_state({}).has_value());
+}
+
 // ---- endpoint grammar ----
 
 TEST(EndpointTest, ParsesUnixTcpAndBarePathSpecs) {

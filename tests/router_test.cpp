@@ -17,6 +17,7 @@
 
 #include <unistd.h>
 
+#include <bit>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -33,6 +34,7 @@
 #include "router/router.hpp"
 #include "server/client.hpp"
 #include "server/server.hpp"
+#include "trace/counters.hpp"
 #include "workloads/paper_configs.hpp"
 #include "workloads/rodinia_like.hpp"
 
@@ -195,6 +197,21 @@ class RouterFleetTest : public ::testing::Test {
       std::string error;
       auto conn = server::ClientConnection::connect(
           router->endpoint(), owner, Duration::from_seconds(10.0), &error);
+      EXPECT_NE(conn, nullptr) << owner << ": " << error;
+      return conn;
+    }
+
+    /// A resilient (replay) client: the router may live-migrate or re-home
+    /// its session. Pin `nonce` to resume another connection's session.
+    std::unique_ptr<server::ClientConnection> connect_replay(
+        const std::string& owner, std::uint64_t nonce = 0) {
+      server::ClientOptions copt;
+      copt.auto_reconnect = true;
+      copt.session_nonce = nonce;
+      std::string error;
+      auto conn = server::ClientConnection::connect(
+          router->endpoint(), owner, Duration::from_seconds(10.0), copt,
+          &error);
       EXPECT_NE(conn, nullptr) << owner << ": " << error;
       return conn;
     }
@@ -406,6 +423,233 @@ TEST_F(RouterFleetTest, DeadShardFailsOverToTheSurvivor) {
   }
   EXPECT_FALSE(fleet.router->snapshots()[0].alive);
   EXPECT_TRUE(fleet.router->snapshots()[1].alive);
+}
+
+// ---- live migration, re-home, and the replicated front door ----
+
+TEST_F(RouterFleetTest, DrainLiveMigratesIdleReplaySessions) {
+  Fleet fleet("livemig", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+  auto conn = fleet.connect_replay("livemig-client");
+  ASSERT_NE(conn, nullptr);
+  const auto original = conn->launch(aes_launch("livemig-client"),
+                                     Duration::from_seconds(60.0));
+  ASSERT_TRUE(original.ok) << original.error;
+  ASSERT_EQ(fleet.router->snapshots()[0].sessions, 1.0);
+
+  const double migrated_before =
+      trace::Counters::instance().value("router.sessions_migrated");
+  fleet.router->set_draining(0, true);
+
+  // The drain poller exports + imports + swaps the upstream underneath the
+  // untouched client connection.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto snaps = fleet.router->snapshots();
+    if (snaps[0].sessions == 0.0 && snaps[1].sessions == 1.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const auto snaps = fleet.router->snapshots();
+  EXPECT_EQ(snaps[0].sessions, 0.0);
+  EXPECT_EQ(snaps[1].sessions, 1.0);
+  EXPECT_GE(trace::Counters::instance().value("router.sessions_migrated"),
+            migrated_before + 1.0);
+
+  // The client never noticed: no reconnect, and the session keeps serving.
+  const auto after =
+      conn->launch(aes_launch("livemig-client"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(conn->reconnects(), 0u);
+
+  // The migrated dedup state answers replays bit-identically: resume the
+  // session (pinned nonce → sticky placement on the target shard) and
+  // re-issue the first launch.
+  const std::uint64_t nonce = conn->session();
+  conn.reset();
+  const double replays_before =
+      trace::Counters::instance().value("server.replayed_requests");
+  auto resumed = fleet.connect_replay("livemig-client", nonce);
+  ASSERT_NE(resumed, nullptr);
+  const auto replayed = resumed->launch(aes_launch("livemig-client"),
+                                        Duration::from_seconds(60.0));
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(replayed.finish_time.seconds()),
+            std::bit_cast<std::uint64_t>(original.finish_time.seconds()));
+  EXPECT_EQ(replayed.where, original.where);
+  EXPECT_GE(trace::Counters::instance().value("server.replayed_requests"),
+            replays_before + 1.0);
+}
+
+TEST_F(RouterFleetTest, HandoffFaultAbortsMigrationThenRetrySucceeds) {
+  Fleet fleet("handoff-fault", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+  auto conn = fleet.connect_replay("handoff-client");
+  ASSERT_NE(conn, nullptr);
+  ASSERT_TRUE(
+      conn->launch(aes_launch("handoff-client"), Duration::from_seconds(60.0))
+          .ok);
+
+  const double failed_before =
+      trace::Counters::instance().value("router.migrations_failed");
+  ArmGuard guard("router.handoff=fail:times=1");
+  fleet.router->set_draining(0, true);
+
+  // First handoff attempt hits the fault and aborts (source authoritative);
+  // the next drain tick retries and succeeds.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (fleet.router->snapshots()[0].sessions == 0.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(fleet.router->snapshots()[0].sessions, 0.0);
+  EXPECT_EQ(fault::Injector::instance().fired("router.handoff"), 1u);
+  EXPECT_GE(trace::Counters::instance().value("router.migrations_failed"),
+            failed_before + 1.0);
+
+  // The aborted attempt never disturbed the client.
+  const auto reply =
+      conn->launch(aes_launch("handoff-client"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(conn->reconnects(), 0u);
+}
+
+TEST_F(RouterFleetTest, ShardMigrateFaultLeavesSourceAuthoritative) {
+  Fleet fleet("srvmig-fault", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+  auto conn = fleet.connect_replay("srvfault-client");
+  ASSERT_NE(conn, nullptr);
+  ASSERT_TRUE(
+      conn->launch(aes_launch("srvfault-client"), Duration::from_seconds(60.0))
+          .ok);
+
+  const double failed_before =
+      trace::Counters::instance().value("router.migrations_failed");
+  // The *shard* refuses the export this time; the router must record a
+  // failed migration, leave the session where it is, and retry.
+  ArmGuard guard("server.migrate=fail:times=1");
+  fleet.router->set_draining(0, true);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (fleet.router->snapshots()[0].sessions == 0.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(fleet.router->snapshots()[0].sessions, 0.0);
+  EXPECT_GE(fault::Injector::instance().fired("server.migrate"), 1u);
+  EXPECT_GE(trace::Counters::instance().value("router.migrations_failed"),
+            failed_before + 1.0);
+
+  const auto reply = conn->launch(aes_launch("srvfault-client"),
+                                  Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(conn->reconnects(), 0u);
+}
+
+TEST_F(RouterFleetTest, ShardKillRehomesReplaySessionsInPlace) {
+  Fleet fleet("rehome", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+  auto conn = fleet.connect_replay("rehome-client");
+  ASSERT_NE(conn, nullptr);
+  ASSERT_TRUE(
+      conn->launch(aes_launch("rehome-client"), Duration::from_seconds(60.0))
+          .ok);
+  ASSERT_EQ(fleet.router->snapshots()[0].sessions, 1.0);
+
+  const double rehomed_before =
+      trace::Counters::instance().value("router.sessions_rehomed");
+  // SIGKILL equivalent for an in-process shard: the server vanishes and the
+  // router's upstream socket dies unclean. The router re-homes the session
+  // onto the survivor instead of cutting the client loose.
+  fleet.shards[0]->server->stop();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (trace::Counters::instance().value("router.sessions_rehomed") >=
+        rehomed_before + 1.0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(trace::Counters::instance().value("router.sessions_rehomed"),
+            rehomed_before + 1.0);
+
+  // Same connection keeps launching — the failover happened entirely inside
+  // the router.
+  const auto reply =
+      conn->launch(aes_launch("rehome-client"), Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(conn->reconnects(), 0u);
+}
+
+TEST_F(RouterFleetTest, StandbyRefusesHellosAndPromotesWhenPrimaryDies) {
+  Fleet fleet("standby", /*threshold=*/1);
+  ASSERT_TRUE(fleet.started);
+
+  const std::string dir = ::testing::TempDir();
+  RouterOptions sopt;
+  sopt.listen = "unix:" + dir + "ewc_router_standby_b.sock";
+  ::unlink((dir + "ewc_router_standby_b.sock").c_str());
+  for (const auto& p : fleet.shard_paths) sopt.shards.push_back("unix:" + p);
+  sopt.poll_interval = Duration::from_millis(100.0);
+  sopt.dial_timeout = Duration::from_seconds(2.0);
+  sopt.energy_weight = 0.0;
+  sopt.standby_of = fleet.router->endpoint();
+  sopt.standby_failures = 2;
+  auto standby = std::make_unique<Router>(sopt);
+  std::string error;
+  ASSERT_TRUE(standby->start(&error)) << error;
+  EXPECT_TRUE(standby->standby());
+
+  // An unpromoted standby refuses hellos so clients rotate on to the
+  // primary.
+  std::string refused_error;
+  auto refused = server::ClientConnection::connect(
+      standby->endpoint(), "too-early", Duration::from_seconds(2.0),
+      &refused_error);
+  EXPECT_EQ(refused, nullptr);
+  EXPECT_NE(refused_error.find("standby"), std::string::npos)
+      << refused_error;
+
+  // Place a replay session on the primary and let the standby pull the
+  // placement epoch.
+  auto conn = fleet.connect_replay("standby-client");
+  ASSERT_NE(conn, nullptr);
+  ASSERT_TRUE(
+      conn->launch(aes_launch("standby-client"), Duration::from_seconds(60.0))
+          .ok);
+  const std::uint64_t primary_epoch = fleet.router->epoch();
+  ASSERT_GE(primary_epoch, 1u);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (standby->epoch() >= primary_epoch) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(standby->epoch(), primary_epoch);
+
+  // Kill the primary: after standby_failures missed pulls the standby
+  // promotes itself and starts serving.
+  conn.reset();
+  fleet.router->stop();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!standby->standby()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_FALSE(standby->standby());
+
+  auto promoted_conn = server::ClientConnection::connect(
+      standby->endpoint(), "after-promotion", Duration::from_seconds(10.0),
+      &error);
+  ASSERT_NE(promoted_conn, nullptr) << error;
+  const auto reply = promoted_conn->launch(aes_launch("after-promotion"),
+                                           Duration::from_seconds(60.0));
+  EXPECT_TRUE(reply.ok) << reply.error;
+  promoted_conn.reset();
+  standby->stop();
 }
 
 }  // namespace

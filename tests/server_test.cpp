@@ -12,6 +12,7 @@
 #include <bit>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <map>
 #include <sstream>
 #include <thread>
@@ -19,8 +20,10 @@
 
 #include "consolidate/runner.hpp"
 #include "cudart/runtime.hpp"
+#include "fault/injector.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "trace/counters.hpp"
 #include "power/trainer.hpp"
 #include "server/client.hpp"
 #include "server/protocol_wire.hpp"
@@ -606,6 +609,198 @@ TEST(ServerTest, ClientShutdownRequestStopsTheServer) {
   EXPECT_TRUE(conn->request_shutdown());
   daemon.server->wait();
   EXPECT_FALSE(daemon.server->running());
+}
+
+// ---- live session migration ----
+
+TEST(ServerTest, MigrationMovesASessionAndReplaysBitIdentically) {
+  const auto spec = workloads::encryption_12k();
+  server::ServerOptions src_opt;
+  src_opt.socket_path = socket_path("mig_src");
+  TestDaemon src({{spec, 1}}, /*threshold=*/1, src_opt);
+  ASSERT_TRUE(src.started) << src.start_error;
+  server::ServerOptions dst_opt;
+  dst_opt.socket_path = socket_path("mig_dst");
+  TestDaemon dst({{spec, 1}}, /*threshold=*/1, dst_opt);
+  ASSERT_TRUE(dst.started) << dst.start_error;
+
+  server::ClientOptions copt;
+  copt.auto_reconnect = true;
+  copt.session_nonce = 0x5e551;
+  std::string error;
+  auto conn = server::ClientConnection::connect(
+      src_opt.socket_path, "mig", Duration::from_seconds(5.0), copt, &error);
+  ASSERT_NE(conn, nullptr) << error;
+  const auto original =
+      conn->launch(make_launch(spec, "mig#0000"), Duration::from_seconds(30.0));
+  ASSERT_TRUE(original.ok) << original.error;
+  // Drop the client: replay_grace keeps the parked session exportable.
+  conn.reset();
+
+  auto admin_src = server::ClientConnection::connect(
+      src_opt.socket_path, "router.migrate", Duration::from_seconds(5.0),
+      &error);
+  ASSERT_NE(admin_src, nullptr) << error;
+  const auto exported =
+      admin_src->migrate_export(copt.session_nonce, /*commit=*/false,
+                                Duration::from_seconds(10.0));
+  ASSERT_TRUE(exported.has_value());
+  ASSERT_TRUE(exported->ok) << exported->error;
+  ASSERT_EQ(exported->snapshot.entries.size(), 1u);
+  const auto& entry = exported->snapshot.entries.front();
+  EXPECT_EQ(entry.owner, "mig#0000");
+  EXPECT_EQ(f64_bits(entry.finish_seconds),
+            f64_bits(original.finish_time.seconds()));
+
+  // A snapshot without commit leaves the source authoritative: exporting
+  // again yields the same session.
+  const auto again = admin_src->migrate_export(
+      copt.session_nonce, /*commit=*/false, Duration::from_seconds(10.0));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->ok) << again->error;
+
+  auto admin_dst = server::ClientConnection::connect(
+      dst_opt.socket_path, "router.migrate", Duration::from_seconds(5.0),
+      &error);
+  ASSERT_NE(admin_dst, nullptr) << error;
+  const auto imported =
+      admin_dst->migrate_import(exported->snapshot, Duration::from_seconds(10.0));
+  ASSERT_TRUE(imported.has_value());
+  ASSERT_TRUE(imported->ok) << imported->error;
+
+  // Import acked: commit drops the source copy, after which the session is
+  // gone there.
+  const auto commit = admin_src->migrate_export(
+      copt.session_nonce, /*commit=*/true, Duration::from_seconds(10.0));
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_TRUE(commit->ok) << commit->error;
+  const auto gone = admin_src->migrate_export(
+      copt.session_nonce, /*commit=*/false, Duration::from_seconds(10.0));
+  ASSERT_TRUE(gone.has_value());
+  EXPECT_FALSE(gone->ok);
+  EXPECT_NE(gone->error.find("unknown session"), std::string::npos)
+      << gone->error;
+
+  // Resume the session on the target: the replayed launch must hit the
+  // imported dedup table and come back bit-identical, not recompute.
+  const double replays_before =
+      trace::Counters::instance().value("server.replayed_requests");
+  auto resumed = server::ClientConnection::connect(
+      dst_opt.socket_path, "mig", Duration::from_seconds(5.0), copt, &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  auto req = make_launch(spec, "mig#0000");
+  const auto replayed = resumed->launch(std::move(req),
+                                        Duration::from_seconds(30.0));
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  EXPECT_EQ(replayed.where, original.where);
+  EXPECT_EQ(f64_bits(replayed.finish_time.seconds()),
+            f64_bits(original.finish_time.seconds()));
+  EXPECT_GE(trace::Counters::instance().value("server.replayed_requests"),
+            replays_before + 1.0);
+
+  src.server->stop();
+  dst.server->stop();
+}
+
+TEST(ServerTest, MigrateExportRefusesBusySessionsUntilFlushed) {
+  const auto spec = workloads::encryption_12k();
+  server::ServerOptions sopt;
+  sopt.socket_path = socket_path("mig_busy");
+  // threshold 100: launches park in the backend until an explicit flush.
+  TestDaemon daemon({{spec, 1}}, /*threshold=*/100, sopt);
+  ASSERT_TRUE(daemon.started) << daemon.start_error;
+
+  server::ClientOptions copt;
+  copt.auto_reconnect = true;
+  copt.session_nonce = 0xb0557;
+  std::string error;
+  auto conn = server::ClientConnection::connect(
+      sopt.socket_path, "busy", Duration::from_seconds(5.0), copt, &error);
+  ASSERT_NE(conn, nullptr) << error;
+
+  std::promise<consolidate::CompletionReply> done;
+  auto fut = done.get_future();
+  const auto id = conn->launch_async(
+      make_launch(spec, "busy#0000"),
+      [&done](const consolidate::CompletionReply& r) { done.set_value(r); });
+  ASSERT_NE(id, 0u);
+
+  auto admin = server::ClientConnection::connect(
+      sopt.socket_path, "router.migrate", Duration::from_seconds(5.0), &error);
+  ASSERT_NE(admin, nullptr) << error;
+
+  // The launch races our export probe: poll until the in-flight request is
+  // visible as a refusal (an early probe may still see an ok empty export).
+  bool saw_busy = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!saw_busy && std::chrono::steady_clock::now() < deadline) {
+    const auto probe = admin->migrate_export(
+        copt.session_nonce, /*commit=*/false, Duration::from_seconds(10.0));
+    ASSERT_TRUE(probe.has_value());
+    if (!probe->ok && probe->error.find("busy") != std::string::npos) {
+      saw_busy = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(saw_busy) << "in-flight launch never refused an export";
+
+  ASSERT_TRUE(conn->flush(Duration::from_seconds(30.0)));
+  const auto reply = fut.get();
+  ASSERT_TRUE(reply.ok) << reply.error;
+
+  // Quiesced: the export now succeeds and carries the completed launch.
+  const auto exported = admin->migrate_export(
+      copt.session_nonce, /*commit=*/false, Duration::from_seconds(10.0));
+  ASSERT_TRUE(exported.has_value());
+  ASSERT_TRUE(exported->ok) << exported->error;
+  EXPECT_EQ(exported->snapshot.entries.size(), 1u);
+  daemon.server->stop();
+}
+
+TEST(ServerTest, MigrateFaultRefusesExportAndLeavesSourceAuthoritative) {
+  const auto spec = workloads::encryption_12k();
+  server::ServerOptions sopt;
+  sopt.socket_path = socket_path("mig_fault");
+  TestDaemon daemon({{spec, 1}}, /*threshold=*/1, sopt);
+  ASSERT_TRUE(daemon.started) << daemon.start_error;
+
+  server::ClientOptions copt;
+  copt.auto_reconnect = true;
+  copt.session_nonce = 0xfa07;
+  std::string error;
+  auto conn = server::ClientConnection::connect(
+      sopt.socket_path, "fault", Duration::from_seconds(5.0), copt, &error);
+  ASSERT_NE(conn, nullptr) << error;
+  const auto reply = conn->launch(make_launch(spec, "fault#0000"),
+                                  Duration::from_seconds(30.0));
+  ASSERT_TRUE(reply.ok) << reply.error;
+
+  auto admin = server::ClientConnection::connect(
+      sopt.socket_path, "router.migrate", Duration::from_seconds(5.0), &error);
+  ASSERT_NE(admin, nullptr) << error;
+
+  std::string arm_error;
+  ASSERT_TRUE(fault::Injector::instance().arm("server.migrate=fail:times=1",
+                                              42, &arm_error))
+      << arm_error;
+  const auto refused = admin->migrate_export(
+      copt.session_nonce, /*commit=*/false, Duration::from_seconds(10.0));
+  fault::Injector::instance().disarm();
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_FALSE(refused->ok);
+  EXPECT_NE(refused->error.find("injected fault"), std::string::npos)
+      << refused->error;
+
+  // The refusal mutated nothing: the very next export sees the session
+  // whole.
+  const auto exported = admin->migrate_export(
+      copt.session_nonce, /*commit=*/false, Duration::from_seconds(10.0));
+  ASSERT_TRUE(exported.has_value());
+  ASSERT_TRUE(exported->ok) << exported->error;
+  EXPECT_EQ(exported->snapshot.entries.size(), 1u);
+  daemon.server->stop();
 }
 
 }  // namespace
